@@ -1,0 +1,94 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * damped (Kitsune) vs sliding-window statistics — same information goal,
+//!   very different costs (the damped form is O(1) per packet, the window
+//!   recomputes);
+//! * feature-cache sharing across algorithms — the paper's "intermediate
+//!   results are shared" claim, measured as wall time of repeated runs with
+//!   and without the cache.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_algorithms::{algorithm, AlgorithmId};
+use lumen_bench::{packet_capture, to_source};
+use lumen_core::cache::FeatureCache;
+use lumen_core::data::DataKind;
+use lumen_core::Pipeline;
+
+fn run(template: serde_json::Value, source: &lumen_core::data::Data) -> usize {
+    let p = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+    let mut b = HashMap::new();
+    b.insert("source".to_string(), source.clone());
+    let mut out = p.run(b).unwrap();
+    match out.take("features").unwrap() {
+        lumen_core::data::Data::Table(t) => t.rows(),
+        _ => 0,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let source = to_source(&packet_capture());
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // --- damped vs sliding window -------------------------------------------
+    g.bench_function("kitsune_damped_stats", |b| {
+        b.iter(|| {
+            run(
+                serde_json::json!([
+                    {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+                    {"func": "DampedStats", "input": ["g"], "output": "features",
+                     "field": "wire_len"}
+                ]),
+                &source,
+            )
+        })
+    });
+    g.bench_function("sliding_window_stats", |b| {
+        b.iter(|| {
+            run(
+                serde_json::json!([
+                    {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+                    {"func": "RollingAggregates", "input": ["g"], "output": "features",
+                     "field": "wire_len", "fns": ["mean", "std"], "window_pkts": 64}
+                ]),
+                &source,
+            )
+        })
+    });
+
+    // --- feature cache on/off -----------------------------------------------
+    // Four nPrint variants share packet parsing but differ in encodings;
+    // A01 run repeatedly is the pure cache case.
+    let a01 = algorithm(AlgorithmId::A01);
+    g.bench_function("repeat_extraction_without_cache", |b| {
+        b.iter(|| {
+            let mut rows = 0;
+            for _ in 0..3 {
+                rows += a01.extract_features(&source).unwrap().rows();
+            }
+            rows
+        })
+    });
+    g.bench_function("repeat_extraction_with_cache", |b| {
+        b.iter(|| {
+            let cache = FeatureCache::new();
+            let mut rows = 0;
+            for _ in 0..3 {
+                rows += cache
+                    .get_or_compute("bench", a01.feature_fingerprint(), || {
+                        a01.extract_features(&source)
+                    })
+                    .unwrap()
+                    .rows();
+            }
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Feature-engineering operation benchmarks: the per-operation costs the
+//! engine's profiler reports, measured in isolation.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_bench::{bench_capture, packet_capture, to_source};
+use lumen_core::data::DataKind;
+use lumen_core::Pipeline;
+
+fn run_template(template: serde_json::Value, source: &lumen_core::data::Data) -> usize {
+    let p = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+    let mut b = HashMap::new();
+    b.insert("source".to_string(), source.clone());
+    let mut out = p.run(b).unwrap();
+    match out.take("features").unwrap() {
+        lumen_core::data::Data::Table(t) => t.rows(),
+        _ => 0,
+    }
+}
+
+fn bench_features(c: &mut Criterion) {
+    let conn_source = to_source(&bench_capture());
+    let pkt_source = to_source(&packet_capture());
+    let n_pkts = match &pkt_source {
+        lumen_core::data::Data::Packets(p) => p.len(),
+        _ => 0,
+    };
+
+    let mut g = c.benchmark_group("features");
+    g.throughput(Throughput::Elements(n_pkts as u64));
+
+    g.bench_function("field_extract", |b| {
+        b.iter(|| {
+            run_template(
+                serde_json::json!([
+                    {"func": "FieldExtract", "input": ["source"], "output": "features",
+                     "fields": ["wire_len", "ttl", "src_port", "dst_port", "payload_len"]}
+                ]),
+                &pkt_source,
+            )
+        })
+    });
+
+    g.bench_function("nprint_encode", |b| {
+        b.iter(|| {
+            run_template(
+                serde_json::json!([
+                    {"func": "NprintEncode", "input": ["source"], "output": "features",
+                     "sections": ["ipv4", "tcp", "udp"]}
+                ]),
+                &pkt_source,
+            )
+        })
+    });
+
+    g.bench_function("damped_stats_kitsune", |b| {
+        b.iter(|| {
+            run_template(
+                serde_json::json!([
+                    {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+                    {"func": "DampedStats", "input": ["g"], "output": "features",
+                     "field": "wire_len"}
+                ]),
+                &pkt_source,
+            )
+        })
+    });
+
+    g.bench_function("flow_assemble_conn_extract", |b| {
+        b.iter(|| {
+            run_template(
+                serde_json::json!([
+                    {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+                    {"func": "ConnExtract", "input": ["conns"], "output": "features",
+                     "fields": ["duration", "orig_pkts", "resp_pkts", "bandwidth",
+                                 "iat_mean", "iat_std", "state"]}
+                ]),
+                &conn_source,
+            )
+        })
+    });
+
+    g.bench_function("apply_aggregates_sliced", |b| {
+        b.iter(|| {
+            run_template(
+                serde_json::json!([
+                    {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+                    {"func": "TimeSlice", "input": ["g"], "output": "s", "window_s": 10.0},
+                    {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+                     "aggs": [{"fn": "count"}, {"fn": "bandwidth"},
+                               {"fn": "mean", "field": "wire_len"},
+                               {"fn": "entropy", "field": "src_port"}]}
+                ]),
+                &conn_source,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

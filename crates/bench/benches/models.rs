@@ -1,0 +1,88 @@
+//! ML substrate benchmarks: training and inference costs of the model
+//! families the 16 algorithms use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_ml::autoencoder::{Autoencoder, AutoencoderConfig};
+use lumen_ml::dataset::Dataset;
+use lumen_ml::forest::{ForestConfig, RandomForest};
+use lumen_ml::kitnet::{Kitnet, KitnetConfig};
+use lumen_ml::matrix::Matrix;
+use lumen_ml::model::{AnomalyDetector, Classifier};
+use lumen_ml::ocsvm::{OcsvmConfig, OneClassSvm};
+use lumen_util::Rng;
+
+fn toy_data(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let c = if i % 4 == 0 { 3.0 } else { 0.0 };
+            (0..d).map(|_| rng.normal_with(c, 1.0)).collect()
+        })
+        .collect();
+    let y: Vec<u8> = (0..n).map(|i| u8::from(i % 4 == 0)).collect();
+    Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let data = toy_data(1000, 20, 1);
+    let benign = data.rows_with_label(0);
+
+    let mut g = c.benchmark_group("models");
+    g.sample_size(20);
+
+    g.bench_function("random_forest_fit_1k", |b| {
+        b.iter(|| {
+            let mut rf = RandomForest::new(ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            });
+            rf.fit(&data).unwrap();
+            rf.tree_count()
+        })
+    });
+
+    let mut fitted_rf = RandomForest::new(ForestConfig {
+        n_trees: 20,
+        ..ForestConfig::default()
+    });
+    fitted_rf.fit(&data).unwrap();
+    g.bench_function("random_forest_predict_1k", |b| {
+        b.iter(|| fitted_rf.predict(&data.x).len())
+    });
+
+    g.bench_function("ocsvm_rff_fit_750", |b| {
+        b.iter(|| {
+            let mut svm = OneClassSvm::new(OcsvmConfig {
+                epochs: 20,
+                ..OcsvmConfig::default()
+            });
+            svm.fit_benign(&benign).unwrap();
+        })
+    });
+
+    g.bench_function("autoencoder_fit_750", |b| {
+        b.iter(|| {
+            let mut ae = Autoencoder::new(AutoencoderConfig {
+                hidden: vec![8],
+                epochs: 10,
+                ..AutoencoderConfig::default()
+            });
+            ae.fit_benign(&benign).unwrap();
+        })
+    });
+
+    g.bench_function("kitnet_fit_750", |b| {
+        b.iter(|| {
+            let mut kit = Kitnet::new(KitnetConfig {
+                epochs: 5,
+                ..KitnetConfig::default()
+            });
+            kit.fit_benign(&benign).unwrap();
+            kit.ensemble_size()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Packet-substrate benchmarks: frame parsing and pcap round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_bench::bench_capture;
+use lumen_net::{pcap, LinkType, PacketMeta};
+
+fn bench_parsing(c: &mut Criterion) {
+    let cap = bench_capture();
+    let total_bytes: usize = cap.packets.iter().map(|p| p.data.len()).sum();
+
+    let mut g = c.benchmark_group("parsing");
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("packet_meta_parse", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for p in &cap.packets {
+                let meta = PacketMeta::parse(LinkType::Ethernet, p.ts_us, &p.data).unwrap();
+                n += meta.wire_len as usize;
+            }
+            n
+        })
+    });
+
+    let bytes = cap.to_pcap_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("pcap_read", |b| {
+        b.iter(|| pcap::from_bytes(&bytes).unwrap().1.len())
+    });
+    g.bench_function("pcap_write", |b| {
+        b.iter(|| pcap::to_bytes(cap.link, &cap.packets).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

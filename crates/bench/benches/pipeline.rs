@@ -1,0 +1,38 @@
+//! Whole-algorithm pipeline benchmarks: end-to-end extract → train →
+//! evaluate for representative Table-2 algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_algorithms::{algorithm, AlgorithmId};
+use lumen_bench::{bench_capture, packet_capture, to_source};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let conn_source = to_source(&bench_capture());
+    let pkt_source = to_source(&packet_capture());
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    for (id, source) in [
+        (AlgorithmId::A14, &conn_source), // Zeek + RF
+        (AlgorithmId::A10, &conn_source), // smartdet uni-flow + RF
+        (AlgorithmId::A07, &conn_source), // OCSVM
+        (AlgorithmId::A02, &pkt_source),  // nPrint
+    ] {
+        let algo = algorithm(id);
+        g.bench_function(format!("extract_{}", id.code()), |b| {
+            b.iter(|| algo.extract_features(source).unwrap().rows())
+        });
+        let features = algo.extract_features(source).unwrap();
+        g.bench_function(format!("train_{}", id.code()), |b| {
+            b.iter(|| algo.train(&features, 1).unwrap())
+        });
+        let trained = algo.train(&features, 1).unwrap();
+        g.bench_function(format!("evaluate_{}", id.code()), |b| {
+            b.iter(|| algo.evaluate(&trained, &features).unwrap().0)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

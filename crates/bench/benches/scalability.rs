@@ -1,0 +1,29 @@
+//! §4.2 scalability: chunked-parallel capture processing (the Ray
+//! substitute) at increasing worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lumen_bench::bench_capture;
+use lumen_core::par::parse_capture;
+
+fn bench_scalability(c: &mut Criterion) {
+    let cap = bench_capture();
+    let mut g = c.benchmark_group("scalability");
+    g.throughput(Throughput::Elements(cap.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parse_capture", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let (metas, skipped) = parse_capture(cap.link, &cap.packets, t);
+                    assert_eq!(skipped, 0);
+                    metas.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use std::sync::Arc;
+
+use lumen_core::data::{Data, PacketData};
+use lumen_core::par::parse_capture;
+use lumen_synth::{build_dataset, DatasetId, LabeledCapture, SynthScale};
+
+/// A small but non-trivial benchmark capture (CTU-like Mirai scenario).
+pub fn bench_capture() -> LabeledCapture {
+    build_dataset(
+        DatasetId::F4,
+        SynthScale {
+            duration_s: 20.0,
+            benign_density: 6,
+            intensity: 1.0,
+        },
+        1234,
+    )
+}
+
+/// A packet-level capture for per-packet feature benchmarks.
+pub fn packet_capture() -> LabeledCapture {
+    build_dataset(DatasetId::P2, SynthScale::small(), 99)
+}
+
+/// Converts a capture into the framework's packet source.
+pub fn to_source(cap: &LabeledCapture) -> Data {
+    let (metas, _) = parse_capture(cap.link, &cap.packets, 4);
+    let labels: Vec<u8> = cap.labels.iter().map(|l| u8::from(l.malicious)).collect();
+    let n = labels.len();
+    Data::Packets(Arc::new(PacketData {
+        link: cap.link,
+        metas,
+        labels,
+        tags: vec![0; n],
+    }))
+}

@@ -1,0 +1,271 @@
+//! The 16 published ML-based IoT anomaly-detection algorithms (A00–A15,
+//! Table 2 of the paper) plus Lumen's synthesized variants (AM01–AM03),
+//! each expressed as a Lumen template pipeline over the framework's
+//! configurable operations — nothing here is hand-rolled feature code.
+//!
+//! Every algorithm carries its literature metadata (model family, reported
+//! evaluation datasets, reported performance) so the benchmark suite can
+//! regenerate Table 1 and Figure 1a, and its classification granularity so
+//! the runner can enforce faithful algorithm/dataset pairing (§3.3).
+
+pub mod catalog;
+
+pub use catalog::{algorithm, all_algorithms, AlgorithmId};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lumen_core::data::{Data, DataKind, PredOutput, Report, Trained};
+use lumen_core::{CoreError, CoreResult, Pipeline, Table};
+use lumen_net::LinkType;
+use serde_json::{json, Value};
+
+/// Classification granularity of an algorithm (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Classifies individual packets.
+    Packet,
+    /// Classifies unidirectional flows.
+    UniFlow,
+    /// Classifies bidirectional connections.
+    Connection,
+}
+
+impl Granularity {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Granularity::Packet => "packet",
+            Granularity::UniFlow => "uni-flow",
+            Granularity::Connection => "connection",
+        }
+    }
+}
+
+/// One benchmark algorithm: metadata + feature pipeline + model definition.
+pub struct Algorithm {
+    /// Table-2 identifier.
+    pub id: AlgorithmId,
+    /// Short name ("Kitsune", "nprint2", ...).
+    pub name: &'static str,
+    /// Citation label for Table 1.
+    pub citation: &'static str,
+    /// The ML model family the original paper uses (Table 1 column).
+    pub ml_model: &'static str,
+    /// Classification granularity.
+    pub granularity: Granularity,
+    /// Datasets the original paper evaluates on (for Figure 1a's
+    /// literature-comparison graph).
+    pub lit_datasets: &'static [&'static str],
+    /// Performance the original paper reports (Table 1 column).
+    pub reported: &'static str,
+    /// Link types the algorithm can ingest. Most need IP headers and thus
+    /// Ethernet captures; Kitsune's MAC/size/time features also work on raw
+    /// 802.11 (the paper's Q4: only A06 runs on AWID3).
+    pub links: &'static [LinkType],
+    /// Dataset codes this algorithm is restricted to, when the original
+    /// design only applies to specific captures (the paper's footnote 3:
+    /// A05 runs on a single dataset).
+    pub restricted_to: Option<&'static [&'static str]>,
+    /// Template pipeline mapping the bound `source` (Packets) to a
+    /// `features` table.
+    pub feature_template: Value,
+    /// Parameters of the `Model` operation (model type, hyperparameters,
+    /// training-time preprocessing).
+    pub model_params: Value,
+}
+
+impl Algorithm {
+    /// True when the algorithm can faithfully run on a dataset with the
+    /// given label granularity (§2.1: an algorithm can train at its own
+    /// granularity or coarser labels propagated down, but a coarse algorithm
+    /// cannot consume finer labels — the benchmark pairs them exactly).
+    pub fn matches_granularity(&self, dataset_is_packet_level: bool) -> bool {
+        match self.granularity {
+            Granularity::Packet => dataset_is_packet_level,
+            Granularity::UniFlow | Granularity::Connection => !dataset_is_packet_level,
+        }
+    }
+
+    /// True when the algorithm can parse captures of this link type.
+    pub fn supports_link(&self, link: LinkType) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// True when the algorithm may run on the dataset code (restriction
+    /// list, when present).
+    pub fn allowed_on(&self, dataset_code: &str) -> bool {
+        self.restricted_to
+            .is_none_or(|codes| codes.contains(&dataset_code))
+    }
+
+    /// Compiles the feature pipeline.
+    pub fn feature_pipeline(&self) -> CoreResult<Pipeline> {
+        Pipeline::parse(&self.feature_template, &[("source", DataKind::Packets)])
+    }
+
+    /// Stable fingerprint of the feature pipeline (feature-cache key).
+    pub fn feature_fingerprint(&self) -> u64 {
+        self.feature_pipeline()
+            .map(|p| p.fingerprint())
+            .unwrap_or(0)
+    }
+
+    /// Runs the feature pipeline over a packet source.
+    pub fn extract_features(&self, source: &Data) -> CoreResult<Arc<Table>> {
+        let pipeline = self.feature_pipeline()?;
+        let mut bindings = HashMap::new();
+        bindings.insert("source".to_string(), source.clone());
+        let mut out = pipeline.run(bindings)?;
+        match out.take("features")? {
+            Data::Table(t) => Ok(t),
+            other => Err(CoreError::TypeError(format!(
+                "feature pipeline of {} produced {}",
+                self.name,
+                other.kind().name()
+            ))),
+        }
+    }
+
+    /// Trains the algorithm's model on a feature table (via the framework's
+    /// `Model`/`Train` operations).
+    pub fn train(&self, features: &Arc<Table>, seed: u64) -> CoreResult<Trained> {
+        let mut model_params = self.model_params.clone();
+        if let Some(obj) = model_params.as_object_mut() {
+            obj.insert("func".into(), json!("Model"));
+            obj.insert("input".into(), json!([]));
+            obj.insert("output".into(), json!("clf"));
+            obj.entry("seed").or_insert(json!(seed));
+        }
+        let template = json!([
+            model_params,
+            {"func": "Train", "input": ["clf", "features"], "output": "trained"}
+        ]);
+        let pipeline = Pipeline::parse(&template, &[("features", DataKind::Table)])?;
+        let mut bindings = HashMap::new();
+        bindings.insert("features".to_string(), Data::Table(Arc::clone(features)));
+        let mut out = pipeline.run(bindings)?;
+        match out.take("trained")? {
+            Data::Trained(t) => Ok(t),
+            other => Err(CoreError::TypeError(format!(
+                "train pipeline produced {}",
+                other.kind().name()
+            ))),
+        }
+    }
+
+    /// Predicts + evaluates on a feature table.
+    pub fn evaluate(
+        &self,
+        trained: &Trained,
+        features: &Arc<Table>,
+    ) -> CoreResult<(Report, Arc<PredOutput>)> {
+        let template = json!([
+            {"func": "Predict", "input": ["trained", "features"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let pipeline = Pipeline::parse(
+            &template,
+            &[
+                ("trained", DataKind::Trained),
+                ("features", DataKind::Table),
+            ],
+        )?;
+        let mut bindings = HashMap::new();
+        bindings.insert("trained".to_string(), Data::Trained(trained.clone()));
+        bindings.insert("features".to_string(), Data::Table(Arc::clone(features)));
+        let mut out = pipeline.run(bindings)?;
+        // `preds` feeds `report` and is freed by the engine; re-derive it
+        // here for per-attack analysis by keeping it alive: bind report
+        // first, then preds survives only if unused... so instead run
+        // Predict and Evaluate with preds kept via an extra no-op read.
+        let report = match out.take("report")? {
+            Data::Report(r) => r,
+            other => {
+                return Err(CoreError::TypeError(format!(
+                    "evaluate produced {}",
+                    other.kind().name()
+                )))
+            }
+        };
+        // Recompute predictions output (cheap relative to training) so the
+        // caller gets row-level scores for the per-attack heatmap.
+        let preds = Arc::new(PredOutput {
+            preds: trained.model.predict(&features.x),
+            scores: trained.model.scores(&features.x),
+            labels: features.labels.clone(),
+            tags: features.tags.clone(),
+        });
+        Ok((report, preds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_unique() {
+        let algos = all_algorithms();
+        assert_eq!(algos.len(), 19); // A00..A15 + AM01..AM03
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+    }
+
+    #[test]
+    fn every_feature_template_compiles() {
+        for a in all_algorithms() {
+            a.feature_pipeline()
+                .unwrap_or_else(|e| panic!("{}: {e}", a.name));
+        }
+    }
+
+    #[test]
+    fn granularity_matching_rules() {
+        let kitsune = algorithm(AlgorithmId::A06);
+        assert!(kitsune.matches_granularity(true));
+        assert!(!kitsune.matches_granularity(false));
+        let zeek = algorithm(AlgorithmId::A14);
+        assert!(!zeek.matches_granularity(true));
+        assert!(zeek.matches_granularity(false));
+        let smartdet = algorithm(AlgorithmId::A10);
+        assert_eq!(smartdet.granularity, Granularity::UniFlow);
+        assert!(smartdet.matches_granularity(false));
+    }
+
+    #[test]
+    fn only_kitsune_runs_on_dot11() {
+        for a in all_algorithms() {
+            let supports = a.supports_link(LinkType::Ieee80211);
+            assert_eq!(
+                supports,
+                a.id == AlgorithmId::A06,
+                "{} dot11 support mismatch",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn a05_is_restricted() {
+        let a05 = algorithm(AlgorithmId::A05);
+        assert!(a05.allowed_on("P0"));
+        assert!(!a05.allowed_on("P1"));
+        let a06 = algorithm(AlgorithmId::A06);
+        assert!(a06.allowed_on("P1"));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_algorithms() {
+        use std::collections::HashSet;
+        let fps: HashSet<u64> = all_algorithms()
+            .iter()
+            .map(Algorithm::feature_fingerprint)
+            .collect();
+        // nprint variants share structure but differ in params; fingerprint
+        // is structural, so at least the distinct structures must differ.
+        assert!(fps.len() >= 8, "got {} distinct fingerprints", fps.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerates Figure 10: the median precision/recall heatmap per
+//! (training dataset × testing dataset) pair, across algorithms. Shows the
+//! asymmetry of transfer and the anomalous behaviour of F5 (Torii):
+//! Observation 3.
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::heatmap;
+use lumen_synth::DatasetId;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig10");
+
+    let labels: Vec<String> = DatasetId::ALL
+        .iter()
+        .map(|d| d.code().to_string())
+        .collect();
+    let grid = |metric: fn(&lumen_bench_suite::ResultRow) -> f64| -> Vec<Vec<Option<f64>>> {
+        DatasetId::ALL
+            .iter()
+            .map(|test| {
+                DatasetId::ALL
+                    .iter()
+                    .map(|train| store.median_metric(train.code(), test.code(), metric))
+                    .collect()
+            })
+            .collect()
+    };
+
+    print!(
+        "{}",
+        heatmap(
+            "Figure 10a: median precision (rows: testing dataset, cols: training dataset)",
+            &labels,
+            &labels,
+            &grid(|r| r.precision)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        heatmap(
+            "Figure 10b: median recall (rows: testing dataset, cols: training dataset)",
+            &labels,
+            &labels,
+            &grid(|r| r.recall)
+        )
+    );
+
+    // Observation 3: asymmetry + F5.
+    let p = grid(|r| r.precision);
+    let idx = |code: &str| {
+        DatasetId::ALL
+            .iter()
+            .position(|d| d.code() == code)
+            .unwrap()
+    };
+    let (f5, f6) = (idx("F5"), idx("F6"));
+    if let (Some(a), Some(b)) = (p[f6][f5], p[f5][f6]) {
+        println!(
+            "\ntrain F5 -> test F6 median precision: {a:.2}; train F6 -> test F5: {b:.2}\n\
+             (paper reports the same asymmetry: Torii-trained models transfer, Torii resists)."
+        );
+    }
+}

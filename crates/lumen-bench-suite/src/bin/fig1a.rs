@@ -1,0 +1,22 @@
+//! Regenerates Figure 1a: the number of possible literature comparisons per
+//! algorithm (two papers are comparable iff they share an evaluation
+//! dataset).
+
+use lumen_bench_suite::literature::{comparison_counts, uncomparable_fraction};
+use lumen_bench_suite::render::bar_rows;
+
+fn main() {
+    println!("Figure 1a: possible direct comparisons per algorithm (literature metadata)\n");
+    let counts = comparison_counts();
+    let max = counts.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1) as f64;
+    let pairs: Vec<(String, f64)> = counts
+        .iter()
+        .map(|(id, c)| (format!("{} ({})", id.code(), c), *c as f64 / max))
+        .collect();
+    print!("{}", bar_rows(&pairs));
+    println!(
+        "\n{:.0}% of the surveyed algorithms have no possible literature comparison\n\
+         (paper: \"for half of the algorithms ... there is no possible comparison\").",
+        uncomparable_fraction() * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 1b: precision spread of each algorithm when trained
+//! and tested on (a split of) the same dataset — wide spreads show that even
+//! same-source evaluation does not generalize across datasets.
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::distribution_line;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    println!("Figure 1b: same-dataset precision per algorithm (train/test split of one dataset)\n");
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), false);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig1b");
+    for id in published_algos() {
+        let values: Vec<f64> = store
+            .for_algo(id.code(), "same")
+            .map(|r| r.precision)
+            .collect();
+        println!("{}", distribution_line(id.code(), &values));
+    }
+    let (hits, misses) = runner.cache.stats();
+    eprintln!("\n[feature cache: {hits} hits / {misses} misses]");
+}

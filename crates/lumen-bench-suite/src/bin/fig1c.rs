@@ -1,0 +1,20 @@
+//! Regenerates Figure 1c: precision spread when training and testing
+//! datasets differ — the variance degrades further relative to Figure 1b.
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::distribution_line;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    println!("Figure 1c: cross-dataset precision per algorithm (train on A, test on B)\n");
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig1c");
+    for id in published_algos() {
+        let values: Vec<f64> = store
+            .for_algo(id.code(), "cross")
+            .map(|r| r.precision)
+            .collect();
+        println!("{}", distribution_line(id.code(), &values));
+    }
+}

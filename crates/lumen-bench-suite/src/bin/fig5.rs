@@ -1,0 +1,62 @@
+//! Regenerates Figure 5: the per-attack precision heatmap. The cell for
+//! algorithm Y and attack X averages Y's precision over the datasets that
+//! contain X (test restricted to benign + X); gray cells (`--`) mark
+//! pairings with no faithful run.
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::heatmap;
+use lumen_synth::AttackKind;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), false);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig5");
+
+    let attacks: Vec<AttackKind> = AttackKind::ALL
+        .into_iter()
+        .filter(|k| {
+            store
+                .per_attack()
+                .any(|r| r.attack.as_deref() == Some(k.name()))
+        })
+        .collect();
+    let col_labels: Vec<String> = attacks.iter().map(|a| a.name().to_string()).collect();
+    let row_labels: Vec<String> = published_algos()
+        .iter()
+        .map(|a| a.code().to_string())
+        .collect();
+    let cells: Vec<Vec<Option<f64>>> = published_algos()
+        .iter()
+        .map(|id| {
+            attacks
+                .iter()
+                .map(|a| store.attack_precision(id.code(), a.name()))
+                .collect()
+        })
+        .collect();
+    print!(
+        "{}",
+        heatmap(
+            "Figure 5: per-attack precision (rows: algorithms, cols: attacks; -- = no faithful run)",
+            &row_labels,
+            &col_labels,
+            &cells
+        )
+    );
+    println!("\nCSV:\n{}", {
+        let mut rows = Vec::new();
+        for (r, id) in published_algos().iter().enumerate() {
+            for (c, a) in attacks.iter().enumerate() {
+                if let Some(v) = cells[r][c] {
+                    rows.push(vec![
+                        id.code().to_string(),
+                        a.name().to_string(),
+                        format!("{v:.4}"),
+                    ]);
+                }
+            }
+        }
+        lumen_bench_suite::render::csv_series("algo,attack,precision", &rows)
+    });
+}

@@ -1,0 +1,71 @@
+//! Regenerates Figure 7: per-algorithm distance-from-best distributions.
+//! For every faithful (train, test) pair, the difference between the best
+//! precision/recall achieved by any algorithm and this algorithm's score.
+//! An optimal algorithm would be a flat line at 0; the paper's Observation 1
+//! is that no such algorithm exists.
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::distribution_line;
+use lumen_bench_suite::store::ResultStore;
+
+fn diffs(
+    store: &ResultStore,
+    algo: &str,
+    metric: impl Fn(&lumen_bench_suite::ResultRow) -> f64 + Copy,
+    best: impl Fn(&ResultStore, &str, &str) -> Option<f64>,
+) -> Vec<f64> {
+    store
+        .rows()
+        .iter()
+        .filter(|r| r.attack.is_none() && r.algo == algo)
+        .filter_map(|r| best(store, &r.train, &r.test).map(|b| b - metric(r)))
+        .collect()
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig7");
+
+    println!("Figure 7a: precision difference from the best algorithm per (train, test) pair\n");
+    for id in published_algos() {
+        let d = diffs(
+            &store,
+            id.code(),
+            |r| r.precision,
+            |s, a, b| s.best_precision(a, b),
+        );
+        println!("{}", distribution_line(id.code(), &d));
+    }
+
+    println!("\nFigure 7b: recall difference from the best algorithm per (train, test) pair\n");
+    for id in published_algos() {
+        let d = diffs(
+            &store,
+            id.code(),
+            |r| r.recall,
+            |s, a, b| s.best_recall(a, b),
+        );
+        println!("{}", distribution_line(id.code(), &d));
+    }
+
+    // Observation 1 check.
+    let optimal = published_algos().iter().any(|id| {
+        let d = diffs(
+            &store,
+            id.code(),
+            |r| r.precision,
+            |s, a, b| s.best_precision(a, b),
+        );
+        !d.is_empty() && d.iter().all(|&x| x < 1e-9)
+    });
+    println!(
+        "\nObservation 1: a single always-best algorithm {} (paper: does not exist).",
+        if optimal {
+            "EXISTS (!)"
+        } else {
+            "does not exist"
+        }
+    );
+}

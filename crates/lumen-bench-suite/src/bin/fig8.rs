@@ -1,0 +1,63 @@
+//! Regenerates Figure 8: per-algorithm precision/recall when trained and
+//! tested on the same dataset (Observation 2's same-source half).
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::csv_series;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), false);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig8");
+
+    println!("Figure 8: same-dataset precision and recall per algorithm\n");
+    println!(
+        "{:<6} {:<6} {:>9} {:>9} {:>9} {:>9}",
+        "algo", "data", "precision", "recall", "f1", "auc"
+    );
+    for r in store.by_mode("same") {
+        println!(
+            "{:<6} {:<6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            r.algo, r.train, r.precision, r.recall, r.f1, r.auc
+        );
+    }
+
+    // Observation 2, same-source half.
+    let mut low_precision = std::collections::BTreeSet::new();
+    let mut low_recall = std::collections::BTreeSet::new();
+    for r in store.by_mode("same") {
+        if r.precision < 0.2 {
+            low_precision.insert(r.algo.clone());
+        }
+        if r.recall < 0.2 {
+            low_recall.insert(r.algo.clone());
+        }
+    }
+    println!(
+        "\nAlgorithms with precision < 20% on at least one same-source dataset: {}/16 {:?}",
+        low_precision.len(),
+        low_precision
+    );
+    println!(
+        "Algorithms with recall   < 20% on at least one same-source dataset: {}/16 {:?}",
+        low_recall.len(),
+        low_recall
+    );
+    println!("(Paper's Observation 2 reports 8/16 and 4/16 on the real datasets.)");
+
+    let rows: Vec<Vec<String>> = store
+        .by_mode("same")
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                r.train.clone(),
+                format!("{:.4}", r.precision),
+                format!("{:.4}", r.recall),
+            ]
+        })
+        .collect();
+    println!(
+        "\nCSV:\n{}",
+        csv_series("algo,dataset,precision,recall", &rows)
+    );
+}

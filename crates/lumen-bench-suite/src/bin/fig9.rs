@@ -1,0 +1,50 @@
+//! Regenerates Figure 9: per-algorithm precision/recall with distinct
+//! training and testing datasets (Observation 2's cross-source half: every
+//! algorithm collapses somewhere).
+
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::render::distribution_line;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    lumen_bench_suite::exp::maybe_persist(&store, "fig9");
+
+    println!("Figure 9a: cross-dataset precision per algorithm\n");
+    for id in published_algos() {
+        let v: Vec<f64> = store
+            .for_algo(id.code(), "cross")
+            .map(|r| r.precision)
+            .collect();
+        println!("{}", distribution_line(id.code(), &v));
+    }
+    println!("\nFigure 9b: cross-dataset recall per algorithm\n");
+    for id in published_algos() {
+        let v: Vec<f64> = store
+            .for_algo(id.code(), "cross")
+            .map(|r| r.recall)
+            .collect();
+        println!("{}", distribution_line(id.code(), &v));
+    }
+
+    let mut collapse = 0;
+    let mut ran = 0;
+    for id in published_algos() {
+        let v: Vec<f64> = store
+            .for_algo(id.code(), "cross")
+            .map(|r| r.precision.min(r.recall))
+            .collect();
+        if v.is_empty() {
+            continue;
+        }
+        ran += 1;
+        if v.iter().any(|&x| x < 0.2) {
+            collapse += 1;
+        }
+    }
+    println!(
+        "\n{collapse}/{ran} cross-capable algorithms drop below 20% precision or recall on\n\
+         at least one train/test pair (paper's Observation 2: 16/16)."
+    );
+}

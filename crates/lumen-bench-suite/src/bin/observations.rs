@@ -1,0 +1,161 @@
+//! Checks the paper's five headline observations (§5.3–§5.4) against the
+//! measured benchmark matrix and prints a verdict per observation.
+
+use lumen_algorithms::AlgorithmId;
+use lumen_bench_suite::exp::{all_datasets, published_algos, ExpConfig};
+use lumen_bench_suite::store::ResultStore;
+use lumen_synth::DatasetId;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let runner = cfg.runner();
+    println!("Running the full faithful matrix (same + cross)...\n");
+    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    lumen_bench_suite::exp::maybe_persist(&store, "observations");
+
+    // --- Observation 1: no single best algorithm ---------------------------
+    let mut best_count: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut pairs = std::collections::HashSet::new();
+    for r in store.rows().iter().filter(|r| r.attack.is_none()) {
+        pairs.insert((r.train.clone(), r.test.clone()));
+    }
+    for (train, test) in &pairs {
+        if let Some(best) = store.best_precision(train, test) {
+            for r in store
+                .rows()
+                .iter()
+                .filter(|r| r.attack.is_none() && &r.train == train && &r.test == test)
+            {
+                if (best - r.precision).abs() < 1e-9 {
+                    *best_count.entry(r.algo.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let top = best_count.iter().max_by_key(|(_, c)| **c);
+    println!("Observation 1 — no single best algorithm:");
+    if let Some((algo, wins)) = top {
+        println!(
+            "  most-winning algorithm: {algo} with {wins}/{} pairs -> {}",
+            pairs.len(),
+            if *wins == pairs.len() {
+                "REFUTED (one algorithm always wins)"
+            } else {
+                "CONFIRMED"
+            }
+        );
+    }
+
+    // --- Observation 2: collapses below 20% --------------------------------
+    let count_below = |mode: &str, metric: fn(&lumen_bench_suite::ResultRow) -> f64| {
+        let mut set = std::collections::BTreeSet::new();
+        for r in store.by_mode(mode) {
+            if metric(r) < 0.2 {
+                set.insert(r.algo.clone());
+            }
+        }
+        set
+    };
+    let same_p = count_below("same", |r| r.precision);
+    let same_r = count_below("same", |r| r.recall);
+    let cross_p = count_below("cross", |r| r.precision);
+    println!("\nObservation 2 — generalization failures:");
+    println!(
+        "  same-source  precision<20% somewhere: {}/16 (paper: 8/16)",
+        same_p.len()
+    );
+    println!(
+        "  same-source  recall<20% somewhere:    {}/16 (paper: 4/16)",
+        same_r.len()
+    );
+    println!(
+        "  cross-source precision<20% somewhere: {}/{} (paper: 16/16)",
+        cross_p.len(),
+        published_algos().len()
+    );
+
+    // --- Observation 3: training-set selection matters ---------------------
+    println!("\nObservation 3 — training-dataset selection (connection datasets):");
+    let mut best_train = ("--".to_string(), 0.0f64);
+    let mut worst_train = ("--".to_string(), 1.0f64);
+    for train in DatasetId::CONNECTION {
+        let vals: Vec<f64> = store
+            .by_mode("cross")
+            .filter(|r| r.train == train.code())
+            .map(|r| r.precision)
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        if mean > best_train.1 {
+            best_train = (train.code().to_string(), mean);
+        }
+        if mean < worst_train.1 {
+            worst_train = (train.code().to_string(), mean);
+        }
+    }
+    println!(
+        "  best training set {} (mean cross precision {:.2}); worst {} ({:.2}) -> selection matters",
+        best_train.0, best_train.1, worst_train.0, worst_train.1
+    );
+
+    // --- Observation 4: per-attack specialization --------------------------
+    println!("\nObservation 4 — per-attack specialization:");
+    let mut per_attack: std::collections::BTreeMap<String, (String, f64)> = Default::default();
+    for r in store.per_attack() {
+        let a = r.attack.clone().expect("per-attack row");
+        let e = per_attack.entry(a).or_insert((r.algo.clone(), r.precision));
+        if r.precision > e.1 {
+            *e = (r.algo.clone(), r.precision);
+        }
+    }
+    for (attack, (algo, p)) in &per_attack {
+        println!("  {attack:<16} best: {algo} ({p:.2})");
+    }
+
+    // --- Observation 5: merged training + synthesis improve precision ------
+    println!("\nObservation 5 — improvement heuristics (merged training, §5.4):");
+    let mut merged = ResultStore::new();
+    for id in [
+        AlgorithmId::A13,
+        AlgorithmId::A14,
+        AlgorithmId::AM01,
+        AlgorithmId::AM02,
+        AlgorithmId::AM03,
+    ] {
+        if let Ok(rows) = runner.run_merged(id, &DatasetId::CONNECTION, 0.10, 1.0) {
+            for r in rows {
+                merged.push(r);
+            }
+        }
+    }
+    for id in [AlgorithmId::A13, AlgorithmId::A14] {
+        let ordinary: Vec<f64> = store
+            .for_algo(id.code(), "same")
+            .map(|r| r.precision)
+            .collect();
+        let base = ordinary.iter().sum::<f64>() / ordinary.len().max(1) as f64;
+        if let Some(m) = merged.by_mode("merged").find(|r| r.algo == id.code()) {
+            println!(
+                "  {}: per-dataset mean {:.3} -> merged {:.3} ({:+.1} points)",
+                id.code(),
+                base,
+                m.precision,
+                (m.precision - base) * 100.0
+            );
+        }
+    }
+    for id in [AlgorithmId::AM01, AlgorithmId::AM02, AlgorithmId::AM03] {
+        if let Some(m) = merged.by_mode("merged").find(|r| r.algo == id.code()) {
+            println!(
+                "  {}: synthesized algorithm precision {:.3}",
+                id.code(),
+                m.precision
+            );
+        }
+    }
+
+    let (hits, misses) = runner.cache.stats();
+    println!("\n[feature cache: {hits} hits / {misses} misses across the whole run]");
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table 1: the literature taxonomy of ML-based IoT NIDS.
+
+use lumen_bench_suite::literature::table1_rows;
+
+fn main() {
+    println!("Table 1: network-layer ML-based anomaly detection algorithms for IoT devices\n");
+    let rows = table1_rows();
+    let headers = [
+        "Algorithm",
+        "ML Model",
+        "Granularity",
+        "Datasets",
+        "Reported",
+    ];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for r in &rows {
+        print_row(r);
+    }
+    println!(
+        "\nNote: reported numbers are from each original paper on its own dataset(s);\n\
+         the heterogeneity of granularities and datasets is exactly why direct\n\
+         comparison of these values is meaningless (the paper's Table 1 caption)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Tables 2 and 3: the algorithms and datasets of the benchmark.
+
+use lumen_algorithms::all_algorithms;
+use lumen_synth::DatasetId;
+
+fn main() {
+    println!("Table 2: Algorithms\n");
+    println!(
+        "{:<6} {:<28} {:<12} Citation",
+        "Id", "Description", "Granularity"
+    );
+    for a in all_algorithms() {
+        println!(
+            "{:<6} {:<28} {:<12} {}",
+            a.id.code(),
+            a.name,
+            a.granularity.name(),
+            a.citation
+        );
+    }
+
+    println!("\nTable 3: Datasets\n");
+    println!(
+        "{:<5} {:<28} {:<12} Attacks",
+        "Id", "Description", "Granularity"
+    );
+    for id in DatasetId::ALL {
+        let spec = id.spec();
+        let attacks: Vec<&str> = spec.attacks.iter().map(|a| a.name()).collect();
+        println!(
+            "{:<5} {:<28} {:<12} {}",
+            id.code(),
+            spec.name,
+            match spec.granularity {
+                lumen_synth::LabelGranularity::Packet => "packet",
+                lumen_synth::LabelGranularity::Connection => "connection",
+            },
+            attacks.join(", ")
+        );
+    }
+    println!("\n10 connection-level (F0-F9) and 5 packet-level (P0-P4) datasets, as in §5.1.");
+}

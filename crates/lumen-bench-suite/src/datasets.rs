@@ -1,0 +1,201 @@
+//! Dataset registry: builds, parses, and caches the 15 benchmark datasets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lumen_core::data::{Data, PacketData};
+use lumen_core::par::parse_capture;
+use lumen_synth::{
+    build_dataset, AttackKind, DatasetId, DatasetSpec, LabelGranularity, LabeledCapture, SynthScale,
+};
+use parking_lot::Mutex;
+
+/// Maps an attack kind to the opaque row tag used inside the framework
+/// (0 is reserved for "benign / none").
+pub fn attack_tag(kind: AttackKind) -> u32 {
+    kind as u32 + 1
+}
+
+/// Inverse of [`attack_tag`].
+pub fn attack_from_tag(tag: u32) -> Option<AttackKind> {
+    if tag == 0 {
+        return None;
+    }
+    AttackKind::ALL.get(tag as usize - 1).copied()
+}
+
+/// One materialized benchmark dataset: capture + parsed packet source.
+pub struct BenchDataset {
+    /// Dataset identity and metadata.
+    pub spec: DatasetSpec,
+    /// The raw labeled capture.
+    pub capture: LabeledCapture,
+    /// The framework packet source (parsed, labeled, tagged).
+    pub source: Data,
+}
+
+impl BenchDataset {
+    /// Builds a dataset and its packet source. Packet-level datasets are
+    /// deterministically stride-subsampled to `max_packets` *before* feature
+    /// extraction: packet-granularity algorithms (nPrint especially) carry
+    /// hundreds of features per packet, and the paper itself notes that
+    /// per-packet pipelines are the scalability pain point (§4.2).
+    pub fn build(id: DatasetId, scale: SynthScale, seed: u64, max_packets: usize) -> BenchDataset {
+        let capture = build_dataset(id, scale, seed);
+        let spec = id.spec();
+        let capture = if spec.granularity == LabelGranularity::Packet && capture.len() > max_packets
+        {
+            let step = capture.len().div_ceil(max_packets);
+            LabeledCapture {
+                link: capture.link,
+                packets: capture.packets.iter().step_by(step).cloned().collect(),
+                labels: capture.labels.iter().step_by(step).copied().collect(),
+                granularity: capture.granularity,
+            }
+        } else {
+            capture
+        };
+        let (metas, _skipped) = parse_capture(capture.link, &capture.packets, 4);
+        let labels: Vec<u8> = capture
+            .labels
+            .iter()
+            .map(|l| u8::from(l.malicious))
+            .collect();
+        let tags: Vec<u32> = capture
+            .labels
+            .iter()
+            .map(|l| l.attack.map_or(0, attack_tag))
+            .collect();
+        let source = Data::Packets(Arc::new(PacketData {
+            link: capture.link,
+            metas,
+            labels,
+            tags,
+        }));
+        BenchDataset {
+            spec,
+            capture,
+            source,
+        }
+    }
+
+    /// Short dataset code ("F0").
+    pub fn code(&self) -> &'static str {
+        self.spec.id.code()
+    }
+
+    /// True when labels are per-packet.
+    pub fn is_packet_level(&self) -> bool {
+        self.spec.granularity == LabelGranularity::Packet
+    }
+}
+
+/// Lazily-built, thread-safe registry of the benchmark datasets.
+pub struct DatasetRegistry {
+    scale: SynthScale,
+    seed: u64,
+    max_packets: usize,
+    cache: Mutex<HashMap<DatasetId, Arc<BenchDataset>>>,
+}
+
+impl DatasetRegistry {
+    /// Creates a registry for a generation scale + base seed. Each dataset
+    /// derives its own seed from the base, so different datasets are
+    /// independent draws.
+    pub fn new(scale: SynthScale, seed: u64) -> DatasetRegistry {
+        DatasetRegistry {
+            scale,
+            seed,
+            max_packets: 4000,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the packet-dataset subsample cap.
+    pub fn with_max_packets(mut self, max: usize) -> DatasetRegistry {
+        self.max_packets = max;
+        self
+    }
+
+    /// Gets (building on first use) a dataset.
+    pub fn get(&self, id: DatasetId) -> Arc<BenchDataset> {
+        if let Some(d) = self.cache.lock().get(&id) {
+            return Arc::clone(d);
+        }
+        let built = Arc::new(BenchDataset::build(
+            id,
+            self.scale,
+            self.seed ^ ((0xD5 + id as u64) * 0x9E37_79B9),
+            self.max_packets,
+        ));
+        self.cache.lock().entry(id).or_insert(built).clone()
+    }
+
+    /// All connection-level datasets.
+    pub fn connection_datasets(&self) -> Vec<Arc<BenchDataset>> {
+        DatasetId::CONNECTION
+            .iter()
+            .map(|&id| self.get(id))
+            .collect()
+    }
+
+    /// All packet-level datasets.
+    pub fn packet_datasets(&self) -> Vec<Arc<BenchDataset>> {
+        DatasetId::PACKET.iter().map(|&id| self.get(id)).collect()
+    }
+
+    /// Every dataset.
+    pub fn all(&self) -> Vec<Arc<BenchDataset>> {
+        DatasetId::ALL.iter().map(|&id| self.get(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for kind in AttackKind::ALL {
+            assert_eq!(attack_from_tag(attack_tag(kind)), Some(kind));
+        }
+        assert_eq!(attack_from_tag(0), None);
+        assert_eq!(attack_from_tag(999), None);
+    }
+
+    #[test]
+    fn registry_caches() {
+        let reg = DatasetRegistry::new(SynthScale::small(), 1);
+        let a = reg.get(DatasetId::F5);
+        let b = reg.get(DatasetId::F5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn packet_dataset_is_subsampled() {
+        let reg = DatasetRegistry::new(SynthScale::small(), 2).with_max_packets(500);
+        let d = reg.get(DatasetId::P2);
+        assert!(d.capture.len() <= 500);
+        // Subsample retains both classes.
+        assert!(d.capture.malicious_fraction() > 0.0);
+        assert!(d.capture.malicious_fraction() < 1.0);
+    }
+
+    #[test]
+    fn connection_dataset_not_subsampled() {
+        let reg = DatasetRegistry::new(SynthScale::small(), 3).with_max_packets(100);
+        let d = reg.get(DatasetId::F0);
+        assert!(d.capture.len() > 100);
+    }
+
+    #[test]
+    fn source_has_parsed_metas() {
+        let reg = DatasetRegistry::new(SynthScale::small(), 4);
+        let d = reg.get(DatasetId::F4);
+        let Data::Packets(p) = &d.source else {
+            panic!()
+        };
+        assert_eq!(p.len(), d.capture.len());
+        assert!(p.labels.contains(&1));
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared scaffolding for the experiment binaries (one per paper artifact).
+
+use std::sync::Arc;
+
+use lumen_algorithms::AlgorithmId;
+use lumen_synth::{DatasetId, SynthScale};
+
+use crate::datasets::DatasetRegistry;
+use crate::runner::{RunConfig, Runner};
+
+/// Command-line configuration shared by every experiment binary.
+///
+/// Flags: `--fast` (small datasets for smoke runs), `--seed N`,
+/// `--threads N`, `--duration SECONDS`, `--max-packets N`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    pub scale: SynthScale,
+    pub seed: u64,
+    pub threads: usize,
+    pub max_packets: usize,
+}
+
+impl ExpConfig {
+    /// The defaults every experiment binary starts from.
+    pub fn defaults() -> ExpConfig {
+        ExpConfig {
+            scale: SynthScale::default(),
+            seed: 7,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            max_packets: 4000,
+        }
+    }
+
+    /// Parses `std::env::args`; unknown flags abort with usage.
+    pub fn from_args() -> ExpConfig {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_args(&args) {
+            Ok(cfg) => cfg,
+            Err(why) => {
+                eprintln!(
+                    "{why}; known flags: --fast --seed N --threads N --duration S --max-packets N"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses a flag list (testable core of [`ExpConfig::from_args`]).
+    pub fn parse_args(args: &[String]) -> Result<ExpConfig, String> {
+        let mut cfg = Self::defaults();
+        let mut i = 0;
+        let value = |i: &mut usize| -> Result<&str, String> {
+            *i += 1;
+            args.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("flag {} needs a value", args[*i - 1]))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--fast" => {
+                    cfg.scale = SynthScale::small();
+                    cfg.max_packets = 1500;
+                }
+                "--seed" => {
+                    cfg.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    cfg.threads = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--duration" => {
+                    cfg.scale.duration_s = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?;
+                }
+                "--max-packets" => {
+                    cfg.max_packets = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--max-packets: {e}"))?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        Ok(cfg)
+    }
+
+    /// Builds the standard runner (per-attack rows enabled).
+    pub fn runner(&self) -> Runner {
+        let registry = Arc::new(
+            DatasetRegistry::new(self.scale, self.seed).with_max_packets(self.max_packets),
+        );
+        Runner::new(
+            registry,
+            RunConfig {
+                train_frac: 0.7,
+                seed: self.seed,
+                threads: self.threads,
+                per_attack: true,
+            },
+        )
+    }
+}
+
+/// The packet-granularity published algorithms (A00–A06).
+pub fn packet_algos() -> Vec<AlgorithmId> {
+    vec![
+        AlgorithmId::A00,
+        AlgorithmId::A01,
+        AlgorithmId::A02,
+        AlgorithmId::A03,
+        AlgorithmId::A04,
+        AlgorithmId::A05,
+        AlgorithmId::A06,
+    ]
+}
+
+/// The flow/connection-granularity published algorithms (A07–A15).
+pub fn conn_algos() -> Vec<AlgorithmId> {
+    vec![
+        AlgorithmId::A07,
+        AlgorithmId::A08,
+        AlgorithmId::A09,
+        AlgorithmId::A10,
+        AlgorithmId::A11,
+        AlgorithmId::A12,
+        AlgorithmId::A13,
+        AlgorithmId::A14,
+        AlgorithmId::A15,
+    ]
+}
+
+/// All published algorithms.
+pub fn published_algos() -> Vec<AlgorithmId> {
+    AlgorithmId::PUBLISHED.to_vec()
+}
+
+/// All dataset ids.
+pub fn all_datasets() -> Vec<DatasetId> {
+    DatasetId::ALL.to_vec()
+}
+
+/// Persists a result store as JSON + CSV when `LUMEN_RESULTS_DIR` is set —
+/// the query-friendly format §3.3 promises, available from every
+/// experiment binary.
+pub fn maybe_persist(store: &crate::store::ResultStore, name: &str) {
+    let Ok(dir) = std::env::var("LUMEN_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let json = dir.join(format!("{name}.json"));
+    let csv = dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&json, store.to_json()) {
+        eprintln!("cannot write {}: {e}", json.display());
+    }
+    if let Err(e) = std::fs::write(&csv, store.to_csv()) {
+        eprintln!("cannot write {}: {e}", csv.display());
+    }
+    eprintln!(
+        "[results persisted to {} and {}]",
+        json.display(),
+        csv.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpConfig, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        ExpConfig::parse_args(&owned)
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.max_packets, 4000);
+    }
+
+    #[test]
+    fn fast_shrinks_scale() {
+        let cfg = parse(&["--fast"]).unwrap();
+        assert_eq!(cfg.max_packets, 1500);
+        assert!(cfg.scale.duration_s < ExpConfig::defaults().scale.duration_s);
+    }
+
+    #[test]
+    fn flags_with_values() {
+        let cfg = parse(&["--seed", "42", "--threads", "2", "--duration", "12.5"]).unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.threads, 2);
+        assert!((cfg.scale.duration_s - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_flag_and_missing_value_error() {
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn algo_helpers_cover_the_published_set() {
+        let mut all = packet_algos();
+        all.extend(conn_algos());
+        assert_eq!(all.len(), 16);
+        let pubs = published_algos();
+        assert!(all.iter().all(|a| pubs.contains(a)));
+    }
+}

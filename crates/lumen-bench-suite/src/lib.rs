@@ -1,0 +1,70 @@
+//! The Lumen benchmarking suite (§3.3).
+//!
+//! Pairs the algorithm catalog with the 15-dataset registry, enforces
+//! faithful algorithm/dataset pairing (matching classification granularity,
+//! link support, and restrictions), runs same-dataset and cross-dataset
+//! evaluations with a shared feature cache, stores every result in a
+//! query-friendly store, and renders the paper's tables/figures as aligned
+//! text heatmaps and CSV series.
+//!
+//! One binary per paper artifact lives in `src/bin/` (`fig5`, `fig7`, ...,
+//! `table1`, `validation`, `scalability`, `observations`); each prints the
+//! rows/series of the corresponding table or figure.
+
+pub mod datasets;
+pub mod exp;
+pub mod literature;
+pub mod render;
+pub mod runner;
+pub mod store;
+
+pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
+pub use runner::{EvalMode, RunConfig, Runner};
+pub use store::{ResultRow, ResultStore};
+
+/// Errors surfaced by the suite.
+#[derive(Debug)]
+pub enum BenchError {
+    /// An algorithm/dataset pairing is not faithful.
+    Incompatible {
+        algo: String,
+        dataset: String,
+        why: String,
+    },
+    /// Framework-core failure.
+    Core(lumen_core::CoreError),
+    /// I/O failure (result persistence).
+    Io(std::io::Error),
+    /// Serialization failure.
+    Serde(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Incompatible { algo, dataset, why } => {
+                write!(f, "{algo} cannot faithfully run on {dataset}: {why}")
+            }
+            BenchError::Core(e) => write!(f, "core: {e}"),
+            BenchError::Io(e) => write!(f, "io: {e}"),
+            BenchError::Serde(e) => write!(f, "serde: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<lumen_core::CoreError> for BenchError {
+    fn from(e: lumen_core::CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type BenchResult<T> = std::result::Result<T, BenchError>;

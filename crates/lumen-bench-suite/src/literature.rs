@@ -1,0 +1,90 @@
+//! Literature meta-analysis (§2.2, Figure 1a): which published algorithms
+//! could be compared at all, based on the datasets their papers evaluate on.
+
+use lumen_algorithms::{all_algorithms, Algorithm, AlgorithmId};
+
+/// For each published algorithm, the number of *other* algorithms whose
+/// papers share at least one evaluation dataset — Figure 1a's bar heights.
+pub fn comparison_counts() -> Vec<(AlgorithmId, usize)> {
+    let algos: Vec<Algorithm> = all_algorithms()
+        .into_iter()
+        .filter(|a| AlgorithmId::PUBLISHED.contains(&a.id))
+        .collect();
+    algos
+        .iter()
+        .map(|a| {
+            let count = algos
+                .iter()
+                .filter(|b| {
+                    b.id != a.id && a.lit_datasets.iter().any(|d| b.lit_datasets.contains(d))
+                })
+                .count();
+            (a.id, count)
+        })
+        .collect()
+}
+
+/// Fraction of published algorithms with no possible literature comparison
+/// (the paper: "for half of the algorithms ... no possible comparison").
+pub fn uncomparable_fraction() -> f64 {
+    let counts = comparison_counts();
+    counts.iter().filter(|(_, c)| *c == 0).count() as f64 / counts.len() as f64
+}
+
+/// Table-1 rows: (name, model, granularity, datasets, reported performance).
+pub fn table1_rows() -> Vec<[String; 5]> {
+    all_algorithms()
+        .into_iter()
+        .filter(|a| AlgorithmId::PUBLISHED.contains(&a.id))
+        .map(|a| {
+            [
+                format!("{} {}", a.name, a.citation),
+                a.ml_model.to_string(),
+                a.granularity.name().to_string(),
+                a.lit_datasets.join(", "),
+                a.reported.to_string(),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nprint_variants_compare_with_smartdet() {
+        // nPrint (cicids2017) and smartdet (cicids2017) share a dataset.
+        let counts = comparison_counts();
+        let a01 = counts
+            .iter()
+            .find(|(id, _)| *id == AlgorithmId::A01)
+            .unwrap();
+        assert!(a01.1 >= 1, "nprint should be comparable: {}", a01.1);
+    }
+
+    #[test]
+    fn custom_dataset_papers_are_uncomparable() {
+        let counts = comparison_counts();
+        for id in [AlgorithmId::A00, AlgorithmId::A05, AlgorithmId::A13] {
+            let (_, c) = counts.iter().find(|(i, _)| *i == id).unwrap();
+            assert_eq!(*c, 0, "{id:?} used only a custom dataset");
+        }
+    }
+
+    #[test]
+    fn roughly_half_have_no_comparison() {
+        let f = uncomparable_fraction();
+        assert!(
+            (0.3..=0.7).contains(&f),
+            "uncomparable fraction {f} (paper: ~half)"
+        );
+    }
+
+    #[test]
+    fn table1_has_sixteen_rows() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 16);
+        assert!(rows.iter().all(|r| !r[0].is_empty()));
+    }
+}

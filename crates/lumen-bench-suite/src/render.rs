@@ -1,0 +1,112 @@
+//! Terminal renderers for the paper's figures: heatmaps, per-algorithm
+//! series, and distribution summaries.
+
+/// Renders a heatmap of optional values in `[0, 1]` as an aligned text
+/// table. `None` cells print as `--` (the paper's gray squares: no faithful
+/// run possible).
+pub fn heatmap(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    cells: &[Vec<Option<f64>>],
+) -> String {
+    assert_eq!(cells.len(), row_labels.len());
+    let rw = row_labels.iter().map(String::len).max().unwrap_or(4).max(4);
+    let cw = col_labels.iter().map(String::len).max().unwrap_or(5).max(5);
+    let mut out = format!("# {title}\n{:rw$} ", "");
+    for c in col_labels {
+        out.push_str(&format!("{c:>cw$} "));
+    }
+    out.push('\n');
+    for (r, label) in row_labels.iter().enumerate() {
+        out.push_str(&format!("{label:<rw$} "));
+        for cell in &cells[r] {
+            match cell {
+                Some(v) => out.push_str(&format!("{:>cw$} ", format!("{:.2}", v))),
+                None => out.push_str(&format!("{:>cw$} ", "--")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A five-number summary line for one algorithm's score distribution
+/// (Figure 1b/1c and Figure 7's box-plot data, as text).
+pub fn distribution_line(label: &str, values: &[f64]) -> String {
+    if values.is_empty() {
+        return format!("{label:<22} (no runs)");
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |p: f64| lumen_util::stats::quantile_sorted(&sorted, p);
+    format!(
+        "{label:<22} n={:<3} min={:.2} q25={:.2} med={:.2} q75={:.2} max={:.2}",
+        sorted.len(),
+        q(0.0),
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        q(1.0)
+    )
+}
+
+/// Renders aligned `label value` rows (bar-chart data as text).
+pub fn bar_rows(pairs: &[(String, f64)]) -> String {
+    let w = pairs.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    for (label, v) in pairs {
+        let bar = "#".repeat((v * 40.0).round().clamp(0.0, 60.0) as usize);
+        out.push_str(&format!("{label:<w$} {v:>6.2} {bar}\n"));
+    }
+    out
+}
+
+/// CSV series: header + one row per entry, for plotting outside.
+pub fn csv_series(header: &str, rows: &[Vec<String>]) -> String {
+    let mut out = format!("{header}\n");
+    for r in rows {
+        out.push_str(&r.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_renders_values_and_gaps() {
+        let s = heatmap(
+            "test",
+            &["A06".into(), "A14".into()],
+            &["F0".into(), "F1".into()],
+            &[vec![Some(0.987), None], vec![Some(0.5), Some(0.25)]],
+        );
+        assert!(s.contains("# test"));
+        assert!(s.contains("0.99"));
+        assert!(s.contains("--"));
+        assert!(s.contains("0.25"));
+    }
+
+    #[test]
+    fn distribution_line_quartiles() {
+        let line = distribution_line("A10", &[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert!(line.contains("med=0.30"));
+        assert!(line.contains("min=0.10"));
+        assert!(line.contains("max=0.50"));
+    }
+
+    #[test]
+    fn distribution_line_empty() {
+        assert!(distribution_line("A00", &[]).contains("no runs"));
+    }
+
+    #[test]
+    fn bar_rows_scale() {
+        let s = bar_rows(&[("x".into(), 0.5), ("y".into(), 1.0)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].matches('#').count() > lines[0].matches('#').count());
+    }
+}

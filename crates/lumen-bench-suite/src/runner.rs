@@ -1,0 +1,604 @@
+//! The faithful evaluation runner.
+//!
+//! Enforces §3.3's faithfulness rule — an algorithm only runs against
+//! datasets of its own classification granularity (and a link type it can
+//! parse) — then executes same-dataset (70/30 stratified split),
+//! cross-dataset (train on all of A, test on all of B), and merged-dataset
+//! (§5.4) evaluations. Feature extraction is shared across algorithms and
+//! runs through the framework's [`lumen_core::cache::FeatureCache`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lumen_algorithms::{algorithm, Algorithm, AlgorithmId};
+use lumen_core::cache::FeatureCache;
+use lumen_core::data::PredOutput;
+use lumen_core::{CoreError, Table};
+use lumen_ml::metrics::{confusion, roc_auc};
+use lumen_synth::{AttackKind, DatasetId};
+use lumen_util::Rng;
+use parking_lot::Mutex;
+
+use crate::datasets::{attack_tag, BenchDataset, DatasetRegistry};
+use crate::store::{ResultRow, ResultStore};
+use crate::{BenchError, BenchResult};
+
+/// Evaluation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Train and test on a stratified split of one dataset.
+    Same,
+    /// Train on one dataset, test on another.
+    Cross,
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Training fraction for same-dataset splits.
+    pub train_frac: f64,
+    /// Base seed for splits and model training.
+    pub seed: u64,
+    /// Worker threads for matrix runs.
+    pub threads: usize,
+    /// Whether to also emit per-attack rows.
+    pub per_attack: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            train_frac: 0.7,
+            seed: 7,
+            threads: 4,
+            per_attack: false,
+        }
+    }
+}
+
+/// The evaluation runner.
+pub struct Runner {
+    /// Dataset registry (shared, lazily built).
+    pub registry: Arc<DatasetRegistry>,
+    /// Shared feature cache.
+    pub cache: FeatureCache,
+    /// Configuration.
+    pub config: RunConfig,
+}
+
+impl Runner {
+    /// Creates a runner over a registry.
+    pub fn new(registry: Arc<DatasetRegistry>, config: RunConfig) -> Runner {
+        Runner {
+            registry,
+            cache: FeatureCache::new(),
+            config,
+        }
+    }
+
+    /// Checks the faithfulness rules; `Err` explains the violation.
+    pub fn compatible(algo: &Algorithm, ds: &BenchDataset) -> Result<(), String> {
+        if !algo.matches_granularity(ds.is_packet_level()) {
+            return Err(format!(
+                "granularity mismatch: {} algorithm vs {} labels",
+                algo.granularity.name(),
+                if ds.is_packet_level() {
+                    "packet"
+                } else {
+                    "connection"
+                }
+            ));
+        }
+        if !algo.supports_link(ds.capture.link) {
+            return Err("link type unsupported".into());
+        }
+        if !algo.allowed_on(ds.code()) {
+            return Err("algorithm restricted to other datasets".into());
+        }
+        Ok(())
+    }
+
+    /// Extracts (or fetches cached) features of an algorithm on a dataset.
+    pub fn features(&self, algo: &Algorithm, ds: &BenchDataset) -> BenchResult<Arc<Table>> {
+        let fp = algo.feature_fingerprint();
+        self.cache
+            .get_or_compute(ds.code(), fp, || algo.extract_features(&ds.source))
+            .map_err(BenchError::from)
+    }
+
+    fn split(table: &Table, frac: f64, seed: u64) -> (Table, Table) {
+        let mut rng = Rng::new(seed);
+        let mut pos: Vec<usize> = (0..table.rows())
+            .filter(|&i| table.labels[i] == 1)
+            .collect();
+        let mut neg: Vec<usize> = (0..table.rows())
+            .filter(|&i| table.labels[i] == 0)
+            .collect();
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let cut = |v: &[usize]| ((v.len() as f64) * frac).round() as usize;
+        let (pc, nc) = (cut(&pos), cut(&neg));
+        let train: Vec<usize> = pos[..pc].iter().chain(neg[..nc].iter()).copied().collect();
+        let test: Vec<usize> = pos[pc..].iter().chain(neg[nc..].iter()).copied().collect();
+        (table.select_rows(&train), table.select_rows(&test))
+    }
+
+    fn incompatible(algo: &Algorithm, ds: &BenchDataset, why: String) -> BenchError {
+        BenchError::Incompatible {
+            algo: algo.id.code().into(),
+            dataset: ds.code().into(),
+            why,
+        }
+    }
+
+    fn make_row(
+        algo: &Algorithm,
+        train_code: &str,
+        test_code: &str,
+        mode: &str,
+        preds: &PredOutput,
+        n_train: usize,
+        wall_ms: u64,
+    ) -> ResultRow {
+        let c = confusion(&preds.preds, &preds.labels);
+        ResultRow {
+            algo: algo.id.code().into(),
+            train: train_code.into(),
+            test: test_code.into(),
+            mode: mode.into(),
+            attack: None,
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+            accuracy: c.accuracy(),
+            auc: roc_auc(&preds.scores, &preds.labels),
+            n_train,
+            n_test: preds.labels.len(),
+            wall_ms,
+        }
+    }
+
+    /// Per-attack breakdown: restricts the test rows to benign + one attack
+    /// and recomputes precision/recall per attack present (Figure 5's
+    /// methodology).
+    pub fn per_attack_rows(
+        algo: &Algorithm,
+        train_code: &str,
+        test_code: &str,
+        mode: &str,
+        preds: &PredOutput,
+        n_train: usize,
+    ) -> Vec<ResultRow> {
+        let mut rows = Vec::new();
+        for kind in AttackKind::ALL {
+            let tag = attack_tag(kind);
+            let idx: Vec<usize> = (0..preds.labels.len())
+                .filter(|&i| preds.labels[i] == 0 || preds.tags[i] == tag)
+                .collect();
+            let has_attack = idx
+                .iter()
+                .any(|&i| preds.tags[i] == tag && preds.labels[i] == 1);
+            if !has_attack {
+                continue;
+            }
+            let sub_preds: Vec<u8> = idx.iter().map(|&i| preds.preds[i]).collect();
+            let sub_truth: Vec<u8> = idx.iter().map(|&i| preds.labels[i]).collect();
+            let sub_scores: Vec<f64> = idx.iter().map(|&i| preds.scores[i]).collect();
+            let c = confusion(&sub_preds, &sub_truth);
+            rows.push(ResultRow {
+                algo: algo.id.code().into(),
+                train: train_code.into(),
+                test: test_code.into(),
+                mode: mode.into(),
+                attack: Some(kind.name().into()),
+                precision: c.precision(),
+                recall: c.recall(),
+                f1: c.f1(),
+                accuracy: c.accuracy(),
+                auc: roc_auc(&sub_scores, &sub_truth),
+                n_train,
+                n_test: idx.len(),
+                wall_ms: 0,
+            });
+        }
+        rows
+    }
+
+    /// Same-dataset evaluation: stratified split, train, test.
+    pub fn run_same(&self, id: AlgorithmId, ds_id: DatasetId) -> BenchResult<Vec<ResultRow>> {
+        let algo = algorithm(id);
+        let ds = self.registry.get(ds_id);
+        Self::compatible(&algo, &ds).map_err(|why| Self::incompatible(&algo, &ds, why))?;
+        let start = Instant::now();
+        let features = self.features(&algo, &ds)?;
+        let (train, test) = Self::split(&features, self.config.train_frac, self.config.seed);
+        if train.labels.iter().all(|&l| l == 1) || train.labels.iter().all(|&l| l == 0) {
+            return Err(Self::incompatible(
+                &algo,
+                &ds,
+                "training split is single-class".into(),
+            ));
+        }
+        let train = Arc::new(train);
+        let test = Arc::new(test);
+        let trained = algo
+            .train(&train, self.config.seed)
+            .map_err(BenchError::from)?;
+        let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
+        let wall_ms = start.elapsed().as_millis() as u64;
+        let mut rows = vec![Self::make_row(
+            &algo,
+            ds.code(),
+            ds.code(),
+            "same",
+            &preds,
+            train.rows(),
+            wall_ms,
+        )];
+        if self.config.per_attack {
+            rows.extend(Self::per_attack_rows(
+                &algo,
+                ds.code(),
+                ds.code(),
+                "same",
+                &preds,
+                train.rows(),
+            ));
+        }
+        Ok(rows)
+    }
+
+    /// Cross-dataset evaluation: train on all of `train_id`, test on all of
+    /// `test_id`.
+    pub fn run_cross(
+        &self,
+        id: AlgorithmId,
+        train_id: DatasetId,
+        test_id: DatasetId,
+    ) -> BenchResult<Vec<ResultRow>> {
+        let algo = algorithm(id);
+        let train_ds = self.registry.get(train_id);
+        let test_ds = self.registry.get(test_id);
+        Self::compatible(&algo, &train_ds)
+            .map_err(|why| Self::incompatible(&algo, &train_ds, why))?;
+        Self::compatible(&algo, &test_ds)
+            .map_err(|why| Self::incompatible(&algo, &test_ds, why))?;
+        let start = Instant::now();
+        let train = self.features(&algo, &train_ds)?;
+        let test = self.features(&algo, &test_ds)?;
+        if train.labels.iter().all(|&l| l == 1) || train.labels.iter().all(|&l| l == 0) {
+            return Err(Self::incompatible(
+                &algo,
+                &train_ds,
+                "training data is single-class".into(),
+            ));
+        }
+        let trained = algo
+            .train(&train, self.config.seed)
+            .map_err(BenchError::from)?;
+        let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
+        let wall_ms = start.elapsed().as_millis() as u64;
+        let mut rows = vec![Self::make_row(
+            &algo,
+            train_ds.code(),
+            test_ds.code(),
+            "cross",
+            &preds,
+            train.rows(),
+            wall_ms,
+        )];
+        if self.config.per_attack {
+            rows.extend(Self::per_attack_rows(
+                &algo,
+                train_ds.code(),
+                test_ds.code(),
+                "cross",
+                &preds,
+                train.rows(),
+            ));
+        }
+        Ok(rows)
+    }
+
+    /// Merged-dataset evaluation (§5.4): the training set concatenates
+    /// `train_frac_of_each` of every dataset's training split (the paper
+    /// uses 10%, keeping the training-set size constant); the test set
+    /// concatenates `test_frac_of_each` of every dataset's held-out split.
+    /// The paper also subsamples the test side; with the suite's smaller
+    /// synthetic captures, evaluating on the full held-out halves keeps the
+    /// per-attack slices statistically meaningful.
+    pub fn run_merged(
+        &self,
+        id: AlgorithmId,
+        datasets: &[DatasetId],
+        train_frac_of_each: f64,
+        test_frac_of_each: f64,
+    ) -> BenchResult<Vec<ResultRow>> {
+        let algo = algorithm(id);
+        let start = Instant::now();
+        let mut merged_train: Option<Table> = None;
+        let mut merged_test: Option<Table> = None;
+        let mut test_origins: Vec<DatasetId> = Vec::new();
+        for &ds_id in datasets {
+            let ds = self.registry.get(ds_id);
+            if Self::compatible(&algo, &ds).is_err() {
+                continue;
+            }
+            let features = self.features(&algo, &ds)?;
+            let (train, test) = Self::split(&features, self.config.train_frac, self.config.seed);
+            // Take a prefix of each split — `split` already shuffled, so a
+            // prefix is a stratified-ish random sample.
+            let take = |t: &Table, frac: f64| {
+                let keep = ((t.rows() as f64) * frac).ceil() as usize;
+                let idx: Vec<usize> = (0..t.rows().min(keep.max(2))).collect();
+                t.select_rows(&idx)
+            };
+            let (tr, te) = (
+                take(&train, train_frac_of_each),
+                take(&test, test_frac_of_each),
+            );
+            // Remember each test row's origin dataset so the per-attack
+            // breakdown can mirror the paper's "subset of datasets that
+            // contain the attack" rule.
+            test_origins.extend(std::iter::repeat_n(ds_id, te.rows()));
+            merged_train = Some(match merged_train {
+                None => tr,
+                Some(acc) => acc.vcat(&tr).map_err(BenchError::from)?,
+            });
+            merged_test = Some(match merged_test {
+                None => te,
+                Some(acc) => acc.vcat(&te).map_err(BenchError::from)?,
+            });
+        }
+        let (Some(train), Some(test)) = (merged_train, merged_test) else {
+            return Err(BenchError::Core(CoreError::TypeError(format!(
+                "no compatible datasets for {}",
+                algo.id.code()
+            ))));
+        };
+        let train = Arc::new(train);
+        let test = Arc::new(test);
+        let trained = algo
+            .train(&train, self.config.seed)
+            .map_err(BenchError::from)?;
+        let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
+        let wall_ms = start.elapsed().as_millis() as u64;
+        let mut rows = vec![Self::make_row(
+            &algo,
+            "MIX",
+            "MIX",
+            "merged",
+            &preds,
+            train.rows(),
+            wall_ms,
+        )];
+        // Per-attack breakdown with the paper's restriction: algorithm Y ×
+        // attack X is computed over the datasets that contain X, so benign
+        // traffic from unrelated datasets does not dilute the precision of
+        // rare attacks.
+        for kind in AttackKind::ALL {
+            let tag = attack_tag(kind);
+            let allowed: Vec<DatasetId> = datasets
+                .iter()
+                .copied()
+                .filter(|d| d.spec().attacks.contains(&kind))
+                .collect();
+            if allowed.is_empty() {
+                continue;
+            }
+            let idx: Vec<usize> = (0..preds.labels.len())
+                .filter(|&i| {
+                    allowed.contains(&test_origins[i])
+                        && (preds.labels[i] == 0 || preds.tags[i] == tag)
+                })
+                .collect();
+            let has_attack = idx
+                .iter()
+                .any(|&i| preds.tags[i] == tag && preds.labels[i] == 1);
+            if !has_attack {
+                continue;
+            }
+            let sub_preds: Vec<u8> = idx.iter().map(|&i| preds.preds[i]).collect();
+            let sub_truth: Vec<u8> = idx.iter().map(|&i| preds.labels[i]).collect();
+            let sub_scores: Vec<f64> = idx.iter().map(|&i| preds.scores[i]).collect();
+            let c = confusion(&sub_preds, &sub_truth);
+            rows.push(ResultRow {
+                algo: algo.id.code().into(),
+                train: "MIX".into(),
+                test: "MIX".into(),
+                mode: "merged".into(),
+                attack: Some(kind.name().into()),
+                precision: c.precision(),
+                recall: c.recall(),
+                f1: c.f1(),
+                accuracy: c.accuracy(),
+                auc: roc_auc(&sub_scores, &sub_truth),
+                n_train: train.rows(),
+                n_test: idx.len(),
+                wall_ms: 0,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Runs the full faithful matrix: every compatible (algorithm, train,
+    /// test) combination. `include_cross = false` restricts to the diagonal.
+    /// Incompatible pairings are silently skipped (they are not failures —
+    /// they are the faithfulness rule working).
+    pub fn run_matrix(
+        &self,
+        algos: &[AlgorithmId],
+        datasets: &[DatasetId],
+        include_cross: bool,
+    ) -> ResultStore {
+        // Build the task list.
+        let mut tasks: Vec<(AlgorithmId, DatasetId, DatasetId)> = Vec::new();
+        for &a in algos {
+            let algo = algorithm(a);
+            for &train in datasets {
+                let train_ds = self.registry.get(train);
+                if Self::compatible(&algo, &train_ds).is_err() {
+                    continue;
+                }
+                for &test in datasets {
+                    if !include_cross && train != test {
+                        continue;
+                    }
+                    let test_ds = self.registry.get(test);
+                    if Self::compatible(&algo, &test_ds).is_err() {
+                        continue;
+                    }
+                    tasks.push((a, train, test));
+                }
+            }
+        }
+
+        // Pre-warm feature extraction sequentially per dataset so the cache
+        // is shared rather than raced (extraction dominates; models are the
+        // parallel part).
+        let store = Mutex::new(ResultStore::new());
+        let next = AtomicUsize::new(0);
+        let threads = self.config.threads.max(1);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let (a, train, test) = tasks[i];
+                    let result = if train == test {
+                        self.run_same(a, train)
+                    } else {
+                        self.run_cross(a, train, test)
+                    };
+                    if let Ok(rows) = result {
+                        let mut s = store.lock();
+                        for r in rows {
+                            s.push(r);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("runner scope");
+        let mut store = store.into_inner();
+        sort_store(&mut store);
+        store
+    }
+}
+
+/// Deterministic ordering regardless of thread scheduling.
+fn sort_store(store: &mut ResultStore) {
+    let mut rows = std::mem::take(store).rows().to_vec();
+    rows.sort_by(|a, b| {
+        (&a.algo, &a.train, &a.test, &a.mode, &a.attack)
+            .cmp(&(&b.algo, &b.train, &b.test, &b.mode, &b.attack))
+    });
+    let mut fresh = ResultStore::new();
+    for r in rows {
+        fresh.push(r);
+    }
+    *store = fresh;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_synth::SynthScale;
+
+    fn runner() -> Runner {
+        let registry =
+            Arc::new(DatasetRegistry::new(SynthScale::small(), 3).with_max_packets(1500));
+        Runner::new(
+            registry,
+            RunConfig {
+                threads: 2,
+                per_attack: true,
+                ..RunConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn same_dataset_run_produces_rows() {
+        let r = runner();
+        let rows = r.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+        assert!(!rows.is_empty());
+        let main = &rows[0];
+        assert_eq!(main.mode, "same");
+        assert_eq!(main.train, "F4");
+        assert!(main.precision >= 0.0 && main.precision <= 1.0);
+        // Per-attack rows cover the Mirai attack present in F4.
+        assert!(rows
+            .iter()
+            .any(|r| r.attack.as_deref() == Some("botnet-mirai")));
+    }
+
+    #[test]
+    fn granularity_mismatch_is_rejected() {
+        let r = runner();
+        // Kitsune (packet) on a connection dataset.
+        let err = r.run_same(AlgorithmId::A06, DatasetId::F0).unwrap_err();
+        assert!(matches!(err, BenchError::Incompatible { .. }));
+        // Zeek (connection) on a packet dataset.
+        assert!(r.run_same(AlgorithmId::A14, DatasetId::P1).is_err());
+    }
+
+    #[test]
+    fn cross_run_works() {
+        let r = runner();
+        let rows = r
+            .run_cross(AlgorithmId::A14, DatasetId::F4, DatasetId::F6)
+            .unwrap();
+        assert_eq!(rows[0].mode, "cross");
+        assert_eq!(rows[0].train, "F4");
+        assert_eq!(rows[0].test, "F6");
+    }
+
+    #[test]
+    fn feature_cache_is_shared_across_runs() {
+        let r = runner();
+        r.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+        let (_h0, m0) = r.cache.stats();
+        r.run_cross(AlgorithmId::A14, DatasetId::F4, DatasetId::F6)
+            .unwrap();
+        let (h1, m1) = r.cache.stats();
+        // The cross run reuses F4's features: one hit, one new miss (F6).
+        assert!(h1 >= 1, "hits {h1}");
+        assert_eq!(m1, m0 + 1);
+    }
+
+    #[test]
+    fn small_matrix_runs_in_parallel() {
+        let r = runner();
+        let store = r.run_matrix(
+            &[AlgorithmId::A14, AlgorithmId::A15],
+            &[DatasetId::F4, DatasetId::F6],
+            true,
+        );
+        // 2 algos × 2×2 pairs, all compatible.
+        let whole: Vec<_> = store.rows().iter().filter(|r| r.attack.is_none()).collect();
+        assert_eq!(whole.len(), 8);
+        // Deterministic order.
+        let store2 = r.run_matrix(
+            &[AlgorithmId::A14, AlgorithmId::A15],
+            &[DatasetId::F4, DatasetId::F6],
+            true,
+        );
+        let p1: Vec<&String> = store.rows().iter().map(|r| &r.algo).collect();
+        let p2: Vec<&String> = store2.rows().iter().map(|r| &r.algo).collect();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn merged_run_produces_per_attack_rows() {
+        let r = runner();
+        let rows = r
+            .run_merged(AlgorithmId::A14, &[DatasetId::F4, DatasetId::F9], 0.5, 1.0)
+            .unwrap();
+        assert_eq!(rows[0].mode, "merged");
+        assert!(rows.len() > 1, "expected per-attack rows");
+    }
+}

@@ -1,0 +1,256 @@
+//! The query-friendly result store (§3.3: "Lumen stores all results in a
+//! query-friendly format").
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation result row.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ResultRow {
+    /// Algorithm code ("A06").
+    pub algo: String,
+    /// Training dataset code.
+    pub train: String,
+    /// Testing dataset code.
+    pub test: String,
+    /// "same", "cross", or "merged".
+    pub mode: String,
+    /// Attack restriction for per-attack rows (Figure 5); `None` for
+    /// whole-test rows.
+    pub attack: Option<String>,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub accuracy: f64,
+    pub auc: f64,
+    /// Training instances.
+    pub n_train: usize,
+    /// Test instances.
+    pub n_test: usize,
+    /// Wall time of the whole run (extract+train+test), milliseconds.
+    pub wall_ms: u64,
+}
+
+/// An appendable, queryable collection of result rows.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ResultStore {
+    rows: Vec<ResultRow>,
+}
+
+impl ResultStore {
+    /// Empty store.
+    pub fn new() -> ResultStore {
+        ResultStore::default()
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, row: ResultRow) {
+        self.rows.push(row);
+    }
+
+    /// Appends all rows of another store.
+    pub fn extend(&mut self, other: ResultStore) {
+        self.rows.extend(other.rows);
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[ResultRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows matching a mode, excluding per-attack rows.
+    pub fn by_mode<'a>(&'a self, mode: &'a str) -> impl Iterator<Item = &'a ResultRow> {
+        self.rows
+            .iter()
+            .filter(move |r| r.mode == mode && r.attack.is_none())
+    }
+
+    /// Whole-test rows for one algorithm in one mode.
+    pub fn for_algo<'a>(
+        &'a self,
+        algo: &'a str,
+        mode: &'a str,
+    ) -> impl Iterator<Item = &'a ResultRow> {
+        self.by_mode(mode).filter(move |r| r.algo == algo)
+    }
+
+    /// Per-attack rows (Figure 5/6 source data).
+    pub fn per_attack(&self) -> impl Iterator<Item = &ResultRow> {
+        self.rows.iter().filter(|r| r.attack.is_some())
+    }
+
+    /// The best precision achieved by any algorithm on a (train, test) pair.
+    pub fn best_precision(&self, train: &str, test: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.attack.is_none() && r.train == train && r.test == test)
+            .map(|r| r.precision)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.max(p))))
+    }
+
+    /// The best recall achieved on a (train, test) pair.
+    pub fn best_recall(&self, train: &str, test: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.attack.is_none() && r.train == train && r.test == test)
+            .map(|r| r.recall)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.max(p))))
+    }
+
+    /// Median of a metric over the whole-test rows of one (train, test)
+    /// pair across algorithms — Figure 10's cell value.
+    pub fn median_metric(
+        &self,
+        train: &str,
+        test: &str,
+        metric: impl Fn(&ResultRow) -> f64,
+    ) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.attack.is_none() && r.train == train && r.test == test)
+            .map(metric)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(lumen_util::stats::median(&vals))
+        }
+    }
+
+    /// Mean precision of an algorithm's per-attack rows for one attack —
+    /// Figure 5's cell value.
+    pub fn attack_precision(&self, algo: &str, attack: &str) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.algo == algo && r.attack.as_deref() == Some(attack))
+            .map(|r| r.precision)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("store serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<ResultStore, crate::BenchError> {
+        serde_json::from_str(s).map_err(|e| crate::BenchError::Serde(e.to_string()))
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "algo,train,test,mode,attack,precision,recall,f1,accuracy,auc,n_train,n_test,wall_ms\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}\n",
+                r.algo,
+                r.train,
+                r.test,
+                r.mode,
+                r.attack.as_deref().unwrap_or(""),
+                r.precision,
+                r.recall,
+                r.f1,
+                r.accuracy,
+                r.auc,
+                r.n_train,
+                r.n_test,
+                r.wall_ms
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(algo: &str, train: &str, test: &str, mode: &str, p: f64, rc: f64) -> ResultRow {
+        ResultRow {
+            algo: algo.into(),
+            train: train.into(),
+            test: test.into(),
+            mode: mode.into(),
+            attack: None,
+            precision: p,
+            recall: rc,
+            f1: 0.0,
+            accuracy: 0.0,
+            auc: 0.5,
+            n_train: 10,
+            n_test: 10,
+            wall_ms: 1,
+        }
+    }
+
+    #[test]
+    fn best_precision_across_algorithms() {
+        let mut s = ResultStore::new();
+        s.push(row("A1", "F0", "F0", "same", 0.8, 0.5));
+        s.push(row("A2", "F0", "F0", "same", 0.95, 0.4));
+        s.push(row("A1", "F0", "F1", "cross", 0.3, 0.2));
+        assert_eq!(s.best_precision("F0", "F0"), Some(0.95));
+        assert_eq!(s.best_precision("F0", "F1"), Some(0.3));
+        assert_eq!(s.best_precision("F9", "F9"), None);
+    }
+
+    #[test]
+    fn median_metric_over_algorithms() {
+        let mut s = ResultStore::new();
+        s.push(row("A1", "F0", "F1", "cross", 0.2, 0.1));
+        s.push(row("A2", "F0", "F1", "cross", 0.4, 0.1));
+        s.push(row("A3", "F0", "F1", "cross", 0.9, 0.1));
+        assert_eq!(s.median_metric("F0", "F1", |r| r.precision), Some(0.4));
+    }
+
+    #[test]
+    fn per_attack_queries() {
+        let mut s = ResultStore::new();
+        let mut r = row("A1", "F0", "F0", "same", 0.7, 0.7);
+        r.attack = Some("syn-flood".into());
+        s.push(r);
+        let mut r2 = row("A1", "F1", "F1", "same", 0.9, 0.9);
+        r2.attack = Some("syn-flood".into());
+        s.push(r2);
+        assert_eq!(s.attack_precision("A1", "syn-flood"), Some(0.8));
+        assert_eq!(s.attack_precision("A1", "udp-flood"), None);
+        // Per-attack rows are excluded from whole-test queries.
+        assert_eq!(s.by_mode("same").count(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = ResultStore::new();
+        s.push(row("A1", "F0", "F0", "same", 0.5, 0.5));
+        let back = ResultStore::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.rows(), s.rows());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut s = ResultStore::new();
+        s.push(row("A1", "F0", "F1", "cross", 0.25, 0.5));
+        let csv = s.to_csv();
+        assert!(csv.starts_with("algo,train"));
+        assert!(csv.contains("A1,F0,F1,cross,,0.2500"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Result persistence: `maybe_persist` writes JSON + CSV when
+//! `LUMEN_RESULTS_DIR` is set, and the JSON round-trips through the store.
+//!
+//! Kept in its own integration-test binary because it mutates the process
+//! environment.
+
+use lumen_bench_suite::exp::maybe_persist;
+use lumen_bench_suite::{ResultRow, ResultStore};
+
+fn row() -> ResultRow {
+    ResultRow {
+        algo: "A14".into(),
+        train: "F4".into(),
+        test: "F6".into(),
+        mode: "cross".into(),
+        attack: None,
+        precision: 0.75,
+        recall: 0.5,
+        f1: 0.6,
+        accuracy: 0.9,
+        auc: 0.8,
+        n_train: 100,
+        n_test: 50,
+        wall_ms: 12,
+    }
+}
+
+#[test]
+fn persists_when_env_set_and_roundtrips() {
+    let dir = std::env::temp_dir().join("lumen_persist_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::env::set_var("LUMEN_RESULTS_DIR", &dir);
+
+    let mut store = ResultStore::new();
+    store.push(row());
+    maybe_persist(&store, "unit");
+
+    let json = std::fs::read_to_string(dir.join("unit.json")).expect("json written");
+    let back = ResultStore::from_json(&json).expect("json parses");
+    assert_eq!(back.rows(), store.rows());
+
+    let csv = std::fs::read_to_string(dir.join("unit.csv")).expect("csv written");
+    assert!(csv.starts_with("algo,train"));
+    assert!(csv.contains("A14,F4,F6,cross"));
+
+    std::env::remove_var("LUMEN_RESULTS_DIR");
+    // With the variable unset, nothing further is written.
+    std::fs::remove_dir_all(&dir).ok();
+    maybe_persist(&store, "unit2");
+    assert!(!dir.join("unit2.json").exists());
+}

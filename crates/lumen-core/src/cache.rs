@@ -1,0 +1,156 @@
+//! Feature cache: shares extraction work across algorithms.
+//!
+//! Several algorithms use the same feature pipeline prefix (e.g. every
+//! connection-level algorithm starts with `FlowAssemble`; all four nPrint
+//! variants share packet parsing). The paper's evaluation pipeline "is
+//! constructed such that intermediate results are shared across algorithms"
+//! (§1); this cache is that mechanism — keyed by (dataset key, pipeline
+//! fingerprint) and safe to share across runner threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::table::Table;
+use crate::CoreResult;
+
+/// Thread-safe feature cache with hit/miss accounting.
+#[derive(Default)]
+pub struct FeatureCache {
+    map: Mutex<HashMap<(String, u64), Arc<Table>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl FeatureCache {
+    /// Creates an empty cache.
+    pub fn new() -> FeatureCache {
+        FeatureCache::default()
+    }
+
+    /// Returns the cached table for `(dataset_key, fingerprint)`, computing
+    /// and inserting it on a miss.
+    ///
+    /// The compute closure runs outside the map lock, so independent misses
+    /// can compute concurrently (at the cost of occasional duplicate work on
+    /// a race, which is benign — results are identical and the second insert
+    /// wins).
+    pub fn get_or_compute<F>(
+        &self,
+        dataset_key: &str,
+        fingerprint: u64,
+        compute: F,
+    ) -> CoreResult<Arc<Table>>
+    where
+        F: FnOnce() -> CoreResult<Arc<Table>>,
+    {
+        let key = (dataset_key.to_string(), fingerprint);
+        if let Some(t) = self.map.lock().get(&key) {
+            *self.hits.lock() += 1;
+            return Ok(Arc::clone(t));
+        }
+        *self.misses.lock() += 1;
+        let table = compute()?;
+        self.map.lock().insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Number of cached tables.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_ml::matrix::Matrix;
+
+    fn table(v: f64) -> Arc<Table> {
+        Arc::new(
+            Table::new(
+                vec!["x".into()],
+                Matrix::from_rows(vec![vec![v]]).unwrap(),
+                vec![0],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = FeatureCache::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let t = cache
+                .get_or_compute("F0", 42, || {
+                    computed += 1;
+                    Ok(table(7.0))
+                })
+                .unwrap();
+            assert_eq!(t.x.get(0, 0), 7.0);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = FeatureCache::new();
+        cache.get_or_compute("F0", 1, || Ok(table(1.0))).unwrap();
+        cache.get_or_compute("F0", 2, || Ok(table(2.0))).unwrap();
+        cache.get_or_compute("F1", 1, || Ok(table(3.0))).unwrap();
+        assert_eq!(cache.len(), 3);
+        let t = cache
+            .get_or_compute("F0", 2, || panic!("should hit"))
+            .unwrap();
+        assert_eq!(t.x.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn compute_error_is_not_cached() {
+        let cache = FeatureCache::new();
+        let err = cache.get_or_compute("F0", 9, || Err(crate::CoreError::Unbound("x".into())));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        // A later successful compute works.
+        cache.get_or_compute("F0", 9, || Ok(table(4.0))).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(FeatureCache::new());
+        crossbeam::thread::scope(|s| {
+            for i in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move |_| {
+                    for j in 0..20 {
+                        cache
+                            .get_or_compute("D", j % 4, || Ok(table((i + j) as f64)))
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cache.len(), 4);
+    }
+}

@@ -1,0 +1,285 @@
+//! The typed values flowing between pipeline operations.
+
+use std::sync::Arc;
+
+use lumen_flow::{ConnRecord, UniFlowRecord};
+use lumen_ml::model::Classifier;
+use lumen_net::{LinkType, PacketMeta};
+
+use crate::table::Table;
+
+/// The packet source a pipeline runs over: parsed packet summaries plus
+/// per-packet ground truth (label + opaque attack tag).
+///
+/// The tag is opaque to the framework: the benchmark suite maps attack kinds
+/// to integers before constructing a `PacketData`, which keeps the core free
+/// of any dependency on the traffic synthesizer.
+#[derive(Debug, Clone)]
+pub struct PacketData {
+    /// Link type of the capture.
+    pub link: LinkType,
+    /// Parsed packet summaries, sorted by timestamp.
+    pub metas: Vec<PacketMeta>,
+    /// Ground-truth label per packet (0 benign / 1 malicious).
+    pub labels: Vec<u8>,
+    /// Opaque attack tag per packet (0 = none).
+    pub tags: Vec<u32>,
+}
+
+impl PacketData {
+    /// Builds from parsed metas with all-benign labels (live deployment
+    /// shape, where ground truth is unknown).
+    pub fn unlabeled(link: LinkType, metas: Vec<PacketMeta>) -> PacketData {
+        let n = metas.len();
+        PacketData {
+            link,
+            metas,
+            labels: vec![0; n],
+            tags: vec![0; n],
+        }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+}
+
+/// A grouping of packets: each group is a list of indices into the parent
+/// [`PacketData`]. Produced by `GroupBy`, refined by `TimeSlice`.
+#[derive(Debug, Clone)]
+pub struct Grouped {
+    /// The grouped packets.
+    pub parent: Arc<PacketData>,
+    /// Groups of packet indices, each sorted by time.
+    pub groups: Vec<Vec<u32>>,
+    /// Human-readable description of the grouping key (for profiles).
+    pub key_desc: String,
+}
+
+/// Assembled connections plus derived ground truth.
+#[derive(Debug, Clone)]
+pub struct ConnData {
+    /// The source packets.
+    pub parent: Arc<PacketData>,
+    /// Connection records.
+    pub conns: Vec<ConnRecord>,
+    /// Connection labels (any-malicious rule over member packets).
+    pub labels: Vec<u8>,
+    /// Majority attack tag per connection (0 = benign).
+    pub tags: Vec<u32>,
+}
+
+/// Unidirectional flows plus derived ground truth.
+#[derive(Debug, Clone)]
+pub struct UniData {
+    /// Flow records.
+    pub flows: Vec<UniFlowRecord>,
+    /// Flow labels.
+    pub labels: Vec<u8>,
+    /// Attack tags.
+    pub tags: Vec<u32>,
+}
+
+/// A model definition (not yet trained) — output of the `Model` operation.
+#[derive(Debug, Clone)]
+pub struct ModelDef {
+    /// Registry kind string ("RandomForest", "Kitsune", "AutoML", ...).
+    pub kind: String,
+    /// Validated JSON parameters.
+    pub params: serde_json::Value,
+    /// Seed the `Train` operation threads through.
+    pub seed: u64,
+}
+
+/// A trained model handle.
+#[derive(Clone)]
+pub struct Trained {
+    /// The fitted classifier (anomaly detectors arrive pre-wrapped in a
+    /// calibrated adapter).
+    pub model: Arc<dyn Classifier>,
+    /// Definition it was built from.
+    pub def: ModelDef,
+    /// Names of the feature columns it was trained on.
+    pub feature_names: Vec<String>,
+}
+
+impl std::fmt::Debug for Trained {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trained")
+            .field("kind", &self.def.kind)
+            .field("features", &self.feature_names.len())
+            .finish()
+    }
+}
+
+/// Predictions over a table.
+#[derive(Debug, Clone)]
+pub struct PredOutput {
+    /// Hard predictions per row.
+    pub preds: Vec<u8>,
+    /// Continuous scores per row (higher = more malicious).
+    pub scores: Vec<f64>,
+    /// Ground-truth labels carried from the table.
+    pub labels: Vec<u8>,
+    /// Attack tags carried from the table.
+    pub tags: Vec<u32>,
+}
+
+/// Evaluation report — what the benchmark stores per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub accuracy: f64,
+    pub auc: f64,
+    pub tp: u64,
+    pub fp: u64,
+    pub tn: u64,
+    pub fn_: u64,
+}
+
+/// A train/test pair produced by `TrainTestSplit`.
+#[derive(Debug, Clone)]
+pub struct SplitPair {
+    pub train: Arc<Table>,
+    pub test: Arc<Table>,
+}
+
+/// A value flowing between operations.
+#[derive(Debug, Clone)]
+pub enum Data {
+    Packets(Arc<PacketData>),
+    Grouped(Arc<Grouped>),
+    Connections(Arc<ConnData>),
+    UniFlows(Arc<UniData>),
+    Table(Arc<Table>),
+    Model(ModelDef),
+    Trained(Trained),
+    Predictions(Arc<PredOutput>),
+    Report(Report),
+    Split(SplitPair),
+}
+
+/// Static type of a [`Data`] value, for pipeline type checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    Packets,
+    Grouped,
+    Connections,
+    UniFlows,
+    Table,
+    Model,
+    Trained,
+    Predictions,
+    Report,
+    Split,
+}
+
+impl DataKind {
+    /// Display name used in type-error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataKind::Packets => "Packets",
+            DataKind::Grouped => "Grouped",
+            DataKind::Connections => "Connections",
+            DataKind::UniFlows => "UniFlows",
+            DataKind::Table => "Table",
+            DataKind::Model => "Model",
+            DataKind::Trained => "Trained",
+            DataKind::Predictions => "Predictions",
+            DataKind::Report => "Report",
+            DataKind::Split => "Split",
+        }
+    }
+}
+
+impl Data {
+    /// The value's kind.
+    pub fn kind(&self) -> DataKind {
+        match self {
+            Data::Packets(_) => DataKind::Packets,
+            Data::Grouped(_) => DataKind::Grouped,
+            Data::Connections(_) => DataKind::Connections,
+            Data::UniFlows(_) => DataKind::UniFlows,
+            Data::Table(_) => DataKind::Table,
+            Data::Model(_) => DataKind::Model,
+            Data::Trained(_) => DataKind::Trained,
+            Data::Predictions(_) => DataKind::Predictions,
+            Data::Report(_) => DataKind::Report,
+            Data::Split(_) => DataKind::Split,
+        }
+    }
+
+    /// Approximate memory footprint, for the engine's per-op memory profile.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Data::Packets(p) => p.metas.len() * 256 + p.labels.len() * 5,
+            Data::Grouped(g) => g.groups.iter().map(|v| v.len() * 4 + 24).sum(),
+            Data::Connections(c) => c.conns.len() * 512,
+            Data::UniFlows(u) => u.flows.len() * 256,
+            Data::Table(t) => t.approx_bytes(),
+            Data::Model(_) => 64,
+            Data::Trained(_) => 1024,
+            Data::Predictions(p) => p.preds.len() * 14,
+            Data::Report(_) => 96,
+            Data::Split(s) => s.train.approx_bytes() + s.test.approx_bytes(),
+        }
+    }
+
+    /// Extracts a table or errors with a kind message.
+    pub fn as_table(&self) -> crate::CoreResult<&Arc<Table>> {
+        match self {
+            Data::Table(t) => Ok(t),
+            other => Err(crate::CoreError::TypeError(format!(
+                "expected Table, got {}",
+                other.kind().name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let pd = Arc::new(PacketData::unlabeled(LinkType::Ethernet, vec![]));
+        assert_eq!(Data::Packets(pd).kind(), DataKind::Packets);
+        assert_eq!(
+            Data::Report(Report {
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0,
+                accuracy: 0.0,
+                auc: 0.5,
+                tp: 0,
+                fp: 0,
+                tn: 0,
+                fn_: 0
+            })
+            .kind(),
+            DataKind::Report
+        );
+    }
+
+    #[test]
+    fn as_table_rejects_other_kinds() {
+        let pd = Arc::new(PacketData::unlabeled(LinkType::Ethernet, vec![]));
+        assert!(Data::Packets(pd).as_table().is_err());
+    }
+
+    #[test]
+    fn unlabeled_has_benign_labels() {
+        let pd = PacketData::unlabeled(LinkType::Ethernet, vec![]);
+        assert!(pd.is_empty());
+        assert_eq!(pd.labels.len(), 0);
+    }
+}

@@ -1,0 +1,522 @@
+//! Template parsing, type checking, execution, and profiling.
+//!
+//! A pipeline template is a JSON array of operation nodes in the shape of
+//! the paper's Figure 4:
+//!
+//! ```json
+//! [
+//!   {"func": "GroupBy",         "input": ["source"],  "output": "by_src", "key": "srcIp"},
+//!   {"func": "TimeSlice",       "input": ["by_src"],  "output": "sliced", "window_s": 10.0},
+//!   {"func": "ApplyAggregates", "input": ["sliced"],  "output": "feats",
+//!    "aggs": [{"fn": "mean", "field": "wire_len"}, {"fn": "bandwidth"}]},
+//!   {"func": "Model",           "input": [],          "output": "clf", "model_type": "RandomForest"},
+//!   {"func": "Train",           "input": ["clf", "feats"], "output": "trained"}
+//! ]
+//! ```
+//!
+//! Any key other than `func`/`input`/`output` is an operation parameter
+//! (a nested `"params"` object is also accepted and merged). Templates are
+//! type-checked against the declared input bindings before anything runs;
+//! execution frees every intermediate value after its last use and records a
+//! per-operation time/memory profile.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use serde_json::Value;
+
+use crate::data::{Data, DataKind};
+use crate::ops::{build_op, Operation};
+use crate::{CoreError, CoreResult};
+
+/// One parsed template node.
+struct Node {
+    func: String,
+    inputs: Vec<String>,
+    output: String,
+    /// Canonical JSON of the op parameters (part of the fingerprint: two
+    /// pipelines with the same structure but different parameters must not
+    /// alias in the feature cache).
+    params_repr: String,
+    op: Box<dyn Operation>,
+}
+
+/// A compiled, type-checked pipeline.
+pub struct Pipeline {
+    // (fields below; Debug is implemented manually since ops are trait objects)
+    nodes: Vec<Node>,
+    /// Declared external inputs (name → kind).
+    inputs: Vec<(String, DataKind)>,
+    /// For each node, the variables whose last use is that node.
+    frees: Vec<Vec<String>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field(
+                "ops",
+                &self
+                    .nodes
+                    .iter()
+                    .map(|n| n.func.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Per-operation execution profile entry.
+#[derive(Debug, Clone)]
+pub struct OpProfile {
+    /// Operation name.
+    pub op: String,
+    /// Output variable.
+    pub output: String,
+    /// Wall time in microseconds.
+    pub micros: u128,
+    /// Approximate size of the produced value.
+    pub output_bytes: usize,
+    /// Variables freed after this operation (dead-value elimination).
+    pub freed: Vec<String>,
+}
+
+/// Result of running a pipeline.
+pub struct RunOutput {
+    /// Variables still live at the end (terminal results).
+    pub outputs: HashMap<String, Data>,
+    /// Per-operation profile, in execution order.
+    pub profile: Vec<OpProfile>,
+}
+
+impl RunOutput {
+    /// Takes a named output, with a useful error.
+    pub fn take(&mut self, name: &str) -> CoreResult<Data> {
+        self.outputs
+            .remove(name)
+            .ok_or_else(|| CoreError::Unbound(format!("output {name:?} (freed or never bound)")))
+    }
+
+    /// Renders the profile as an aligned text table (the paper's "plots of
+    /// memory and time spent in each operation", in terminal form).
+    pub fn profile_table(&self) -> String {
+        let mut s = format!(
+            "{:<18} {:<14} {:>12} {:>12}  freed\n",
+            "operation", "output", "time(us)", "bytes"
+        );
+        for p in &self.profile {
+            s.push_str(&format!(
+                "{:<18} {:<14} {:>12} {:>12}  {}\n",
+                p.op,
+                p.output,
+                p.micros,
+                p.output_bytes,
+                p.freed.join(",")
+            ));
+        }
+        s
+    }
+}
+
+impl Pipeline {
+    /// Parses and type-checks a template against the declared input kinds.
+    pub fn parse(template: &Value, inputs: &[(&str, DataKind)]) -> CoreResult<Pipeline> {
+        let arr = template
+            .as_array()
+            .ok_or_else(|| CoreError::BadTemplate("template must be a JSON array".into()))?;
+        if arr.is_empty() {
+            return Err(CoreError::BadTemplate("template has no operations".into()));
+        }
+
+        let mut env: HashMap<String, DataKind> =
+            inputs.iter().map(|(n, k)| (n.to_string(), *k)).collect();
+        let mut nodes = Vec::with_capacity(arr.len());
+
+        for (i, raw) in arr.iter().enumerate() {
+            let obj = raw
+                .as_object()
+                .ok_or_else(|| CoreError::BadTemplate(format!("node {i} is not an object")))?;
+            let func = obj
+                .get("func")
+                .and_then(Value::as_str)
+                .ok_or_else(|| CoreError::BadTemplate(format!("node {i} missing \"func\"")))?
+                .to_string();
+            let node_inputs: Vec<String> = match obj.get("input") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(Value::Array(a)) => a
+                    .iter()
+                    .map(|v| {
+                        v.as_str().map(str::to_string).ok_or_else(|| {
+                            CoreError::BadTemplate(format!("node {i} input must be strings"))
+                        })
+                    })
+                    .collect::<CoreResult<_>>()?,
+                Some(Value::String(s)) => vec![s.clone()],
+                Some(_) => {
+                    return Err(CoreError::BadTemplate(format!(
+                        "node {i} \"input\" must be a list of names"
+                    )))
+                }
+            };
+            let output = obj
+                .get("output")
+                .and_then(Value::as_str)
+                .ok_or_else(|| CoreError::BadTemplate(format!("node {i} missing \"output\"")))?
+                .to_string();
+
+            // Everything else is an operation parameter.
+            let mut params = serde_json::Map::new();
+            for (k, v) in obj {
+                match k.as_str() {
+                    "func" | "input" | "output" => {}
+                    "params" => {
+                        if let Some(nested) = v.as_object() {
+                            for (nk, nv) in nested {
+                                params.insert(nk.clone(), nv.clone());
+                            }
+                        }
+                    }
+                    _ => {
+                        params.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            let params_repr = Value::Object(params.clone()).to_string();
+            let op = build_op(&func, &Value::Object(params))?;
+
+            // Type check.
+            let mut in_kinds = Vec::with_capacity(node_inputs.len());
+            for name in &node_inputs {
+                let kind = env.get(name).ok_or_else(|| {
+                    CoreError::TypeError(format!("node {i} ({func}): input {name:?} is not bound"))
+                })?;
+                in_kinds.push(*kind);
+            }
+            let expected = op.input_kinds();
+            if op.variadic() {
+                if in_kinds.is_empty() {
+                    return Err(CoreError::TypeError(format!(
+                        "node {i} ({func}): needs at least one input"
+                    )));
+                }
+                let want = expected[0];
+                for (name, got) in node_inputs.iter().zip(&in_kinds) {
+                    if *got != want {
+                        return Err(CoreError::TypeError(format!(
+                            "node {i} ({func}): input {name:?} is {}, expected {}",
+                            got.name(),
+                            want.name()
+                        )));
+                    }
+                }
+            } else {
+                if in_kinds.len() != expected.len() {
+                    return Err(CoreError::TypeError(format!(
+                        "node {i} ({func}): takes {} inputs, got {}",
+                        expected.len(),
+                        in_kinds.len()
+                    )));
+                }
+                for ((name, got), want) in node_inputs.iter().zip(&in_kinds).zip(&expected) {
+                    if got != want {
+                        return Err(CoreError::TypeError(format!(
+                            "node {i} ({func}): input {name:?} is {}, expected {}",
+                            got.name(),
+                            want.name()
+                        )));
+                    }
+                }
+            }
+            if env.contains_key(&output) {
+                return Err(CoreError::TypeError(format!(
+                    "node {i} ({func}): output {output:?} is already bound"
+                )));
+            }
+            env.insert(output.clone(), op.output_kind());
+            nodes.push(Node {
+                func,
+                inputs: node_inputs,
+                output,
+                params_repr,
+                op,
+            });
+        }
+
+        // Liveness: a variable dies after the last node that reads it.
+        let mut last_use: HashMap<&str, usize> = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            for input in &node.inputs {
+                last_use.insert(input.as_str(), i);
+            }
+        }
+        let frees: Vec<Vec<String>> = (0..nodes.len())
+            .map(|i| {
+                last_use
+                    .iter()
+                    .filter(|&(_, &li)| li == i)
+                    .map(|(name, _)| name.to_string())
+                    .collect()
+            })
+            .collect();
+
+        Ok(Pipeline {
+            nodes,
+            inputs: inputs.iter().map(|(n, k)| (n.to_string(), *k)).collect(),
+            frees,
+        })
+    }
+
+    /// Parses from a JSON source string.
+    pub fn parse_str(template: &str, inputs: &[(&str, DataKind)]) -> CoreResult<Pipeline> {
+        let v: Value = serde_json::from_str(template)
+            .map_err(|e| CoreError::BadTemplate(format!("json parse: {e}")))?;
+        Pipeline::parse(&v, inputs)
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the pipeline has no operations (cannot occur after parse).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A stable fingerprint of the pipeline's structure, used as a feature-
+    /// cache key component.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for n in &self.nodes {
+            n.func.hash(&mut h);
+            n.inputs.hash(&mut h);
+            n.output.hash(&mut h);
+            n.params_repr.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Executes with the given input bindings.
+    pub fn run(&self, bindings: HashMap<String, Data>) -> CoreResult<RunOutput> {
+        // Validate bindings against declared inputs.
+        for (name, kind) in &self.inputs {
+            match bindings.get(name) {
+                None => return Err(CoreError::Unbound(name.clone())),
+                Some(d) if d.kind() != *kind => {
+                    return Err(CoreError::TypeError(format!(
+                        "binding {name:?} is {}, declared {}",
+                        d.kind().name(),
+                        kind.name()
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        let mut env = bindings;
+        let mut profile = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let inputs: Vec<&Data> = node
+                .inputs
+                .iter()
+                .map(|n| env.get(n).ok_or_else(|| CoreError::Unbound(n.clone())))
+                .collect::<CoreResult<_>>()?;
+            let start = Instant::now();
+            let out = node.op.execute(&inputs)?;
+            let micros = start.elapsed().as_micros();
+            let output_bytes = out.approx_bytes();
+            env.insert(node.output.clone(), out);
+            // Dead-value elimination (the paper's basic memory optimization).
+            for dead in &self.frees[i] {
+                env.remove(dead);
+            }
+            profile.push(OpProfile {
+                op: node.func.clone(),
+                output: node.output.clone(),
+                micros,
+                output_bytes,
+                freed: self.frees[i].clone(),
+            });
+        }
+        Ok(RunOutput {
+            outputs: env,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PacketData;
+    use lumen_net::builder::{udp_packet, UdpParams};
+    use lumen_net::{LinkType, MacAddr, PacketMeta};
+    use serde_json::json;
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    fn source(n: usize) -> Data {
+        let metas: Vec<PacketMeta> = (0..n)
+            .map(|i| {
+                let pkt = udp_packet(UdpParams {
+                    src_mac: MacAddr::from_id(1),
+                    dst_mac: MacAddr::from_id(2),
+                    src_ip: Ipv4Addr::new(10, 0, 0, 1 + (i % 3) as u8),
+                    dst_ip: Ipv4Addr::new(10, 0, 0, 100),
+                    src_port: 4000,
+                    dst_port: 53,
+                    ttl: 64,
+                    payload: &vec![0u8; i % 50],
+                });
+                PacketMeta::parse(LinkType::Ethernet, (i as u64) * 10_000, &pkt).unwrap()
+            })
+            .collect();
+        let labels: Vec<u8> = (0..n).map(|i| u8::from(i % 5 == 0)).collect();
+        let tags: Vec<u32> = labels.iter().map(|&l| u32::from(l)).collect();
+        Data::Packets(Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels,
+            tags,
+        }))
+    }
+
+    fn figure3_template() -> Value {
+        // The paper's Figure 3/4 pipeline: extract → group by srcIP →
+        // time slice → aggregates → model → train.
+        json!([
+            {"func": "GroupBy", "input": ["source"], "output": "by_src", "key": "srcIp"},
+            {"func": "TimeSlice", "input": ["by_src"], "output": "sliced", "window_s": 10.0},
+            {"func": "ApplyAggregates", "input": ["sliced"], "output": "features",
+             "aggs": [
+                {"fn": "mean", "field": "wire_len"},
+                {"fn": "bandwidth"},
+                {"fn": "count"}
+             ]},
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest", "n_trees": 5},
+            {"func": "Train", "input": ["clf", "features"], "output": "trained"}
+        ])
+    }
+
+    #[test]
+    fn figure3_pipeline_runs_end_to_end() {
+        let p = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        assert_eq!(p.len(), 5);
+        let mut bindings = HashMap::new();
+        bindings.insert("source".to_string(), source(200));
+        let mut out = p.run(bindings).unwrap();
+        let trained = out.take("trained").unwrap();
+        assert_eq!(trained.kind(), DataKind::Trained);
+        // Intermediates were freed.
+        assert!(!out.outputs.contains_key("by_src"));
+        assert!(!out.outputs.contains_key("sliced"));
+        assert_eq!(out.profile.len(), 5);
+        assert!(out.profile.iter().all(|p| p.output_bytes > 0));
+    }
+
+    #[test]
+    fn type_error_on_wrong_input_kind() {
+        let bad = json!([
+            {"func": "TimeSlice", "input": ["source"], "output": "x", "window_s": 1.0}
+        ]);
+        let err = Pipeline::parse(&bad, &[("source", DataKind::Packets)]).unwrap_err();
+        let CoreError::TypeError(msg) = err else {
+            panic!("wrong error: {err:?}")
+        };
+        assert!(msg.contains("expected Grouped"), "{msg}");
+    }
+
+    #[test]
+    fn unbound_input_is_type_error() {
+        let bad = json!([
+            {"func": "GroupBy", "input": ["ghost"], "output": "x", "key": "srcIp"}
+        ]);
+        assert!(matches!(
+            Pipeline::parse(&bad, &[("source", DataKind::Packets)]),
+            Err(CoreError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let bad = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "dstIp"}
+        ]);
+        assert!(matches!(
+            Pipeline::parse(&bad, &[("source", DataKind::Packets)]),
+            Err(CoreError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let bad = json!([
+            {"func": "Train", "input": ["source"], "output": "t"}
+        ]);
+        assert!(matches!(
+            Pipeline::parse(&bad, &[("source", DataKind::Packets)]),
+            Err(CoreError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn bad_op_param_surfaces_at_parse_time() {
+        let bad = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "marsupial"}
+        ]);
+        assert!(matches!(
+            Pipeline::parse(&bad, &[("source", DataKind::Packets)]),
+            Err(CoreError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_binding_at_run_time() {
+        let p = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        assert!(matches!(p.run(HashMap::new()), Err(CoreError::Unbound(_))));
+    }
+
+    #[test]
+    fn nested_params_object_accepted() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g",
+             "params": {"key": "srcIp"}}
+        ]);
+        let p = Pipeline::parse(&t, &[("source", DataKind::Packets)]).unwrap();
+        let mut b = HashMap::new();
+        b.insert("source".to_string(), source(10));
+        assert!(p.run(b).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_structure_sensitive() {
+        let a = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        let b = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "dstIp"}
+        ]);
+        let c = Pipeline::parse(&other, &[("source", DataKind::Packets)]).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn profile_table_renders() {
+        let p = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        let mut b = HashMap::new();
+        b.insert("source".to_string(), source(50));
+        let out = p.run(b).unwrap();
+        let table = out.profile_table();
+        assert!(table.contains("GroupBy"));
+        assert!(table.contains("Train"));
+    }
+
+    #[test]
+    fn parse_str_rejects_invalid_json() {
+        assert!(matches!(
+            Pipeline::parse_str("not json", &[]),
+            Err(CoreError::BadTemplate(_))
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! The Lumen framework core — the paper's primary contribution.
+//!
+//! Lumen decomposes every published ML-based IoT anomaly-detection algorithm
+//! into a pipeline of **configurable operations** (§3.2): field extraction,
+//! grouping, time slicing, aggregate computation, incremental statistics,
+//! flow assembly, encoders, normalizers, and model train/test stages. A
+//! pipeline is described in a **template language** (a JSON document shaped
+//! like the paper's Figure 4), type-checked, and executed by an engine that
+//! profiles per-operation time and memory and frees intermediates as soon as
+//! they are dead.
+//!
+//! Crate layout:
+//!
+//! * [`data`] — the typed values that flow between operations
+//!   ([`data::Data`]): packet summaries, groupings, connections, feature
+//!   tables, models, predictions, reports.
+//! * [`table`] — the named-column feature table.
+//! * [`ops`] — the ~30 operation implementations plus the registry that
+//!   instantiates them from template JSON.
+//! * [`engine`] — template parsing, type checking, execution, profiling.
+//! * [`cache`] — a feature cache so the benchmark can share extraction work
+//!   across algorithms (§3.2 "intermediate results are shared").
+//! * [`par`] — crossbeam-based chunked parallelism (the Ray substitute).
+
+pub mod cache;
+pub mod data;
+pub mod engine;
+pub mod ops;
+pub mod par;
+pub mod table;
+
+pub use data::{Data, DataKind, PacketData, PredOutput, Report};
+pub use engine::{OpProfile, Pipeline, RunOutput};
+pub use table::Table;
+
+/// Errors from the framework core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Template JSON is syntactically or structurally invalid.
+    BadTemplate(String),
+    /// Static type checking of a pipeline failed.
+    TypeError(String),
+    /// An operation was given an invalid parameter.
+    BadParam { op: String, why: String },
+    /// A referenced variable is not bound.
+    Unbound(String),
+    /// Runtime failure inside an operation.
+    OpFailed { op: String, why: String },
+    /// An ML-layer error surfaced through an operation.
+    Ml(String),
+    /// A packet-layer error surfaced through an operation.
+    Net(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadTemplate(why) => write!(f, "bad template: {why}"),
+            CoreError::TypeError(why) => write!(f, "type error: {why}"),
+            CoreError::BadParam { op, why } => write!(f, "bad parameter for {op}: {why}"),
+            CoreError::Unbound(name) => write!(f, "unbound variable: {name}"),
+            CoreError::OpFailed { op, why } => write!(f, "operation {op} failed: {why}"),
+            CoreError::Ml(why) => write!(f, "ml error: {why}"),
+            CoreError::Net(why) => write!(f, "net error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lumen_ml::MlError> for CoreError {
+    fn from(e: lumen_ml::MlError) -> Self {
+        CoreError::Ml(e.to_string())
+    }
+}
+
+impl From<lumen_net::NetError> for CoreError {
+    fn from(e: lumen_net::NetError) -> Self {
+        CoreError::Net(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type CoreResult<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,829 @@
+//! Aggregate and incremental-statistics operations.
+//!
+//! `ApplyAggregates` emits one row per group (flow-style features);
+//! `RollingAggregates`, `InterArrival`, `DampedStats`, and `DampedCov` emit
+//! one row per packet (packet-style features with group context). The damped
+//! operations implement Kitsune's exponentially-decayed incremental
+//! statistics over multiple λ windows.
+
+use std::sync::Arc;
+
+use lumen_ml::matrix::Matrix;
+use lumen_util::entropy::entropy_of_counts;
+use serde_json::Value;
+
+use crate::data::{Data, DataKind, Grouped};
+use crate::ops::extract::{packet_field, PACKET_FIELDS};
+use crate::ops::{
+    bad_param, param_f64_list_or, param_str_list, param_str_or, param_usize_or, Operation,
+};
+use crate::table::Table;
+use crate::CoreResult;
+
+/// Kitsune's default decay constants.
+pub const KITSUNE_LAMBDAS: [f64; 5] = [5.0, 3.0, 1.0, 0.1, 0.01];
+
+fn group_truth(g: &Grouped, group: &[u32]) -> (u8, u32) {
+    let mut label = 0u8;
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &i in group {
+        let i = i as usize;
+        if g.parent.labels[i] == 1 {
+            label = 1;
+            *counts.entry(g.parent.tags[i]).or_insert(0) += 1;
+        }
+    }
+    let tag = counts
+        .into_iter()
+        .max_by_key(|&(t, c)| (c, t))
+        .map_or(0, |(t, _)| t);
+    (label, tag)
+}
+
+// ---- ApplyAggregates ---------------------------------------------------------
+
+/// One aggregate specification: a function over a per-packet field.
+#[derive(Debug, Clone)]
+struct AggSpec {
+    func: String,
+    field: Option<String>,
+}
+
+impl AggSpec {
+    fn column_name(&self) -> String {
+        match &self.field {
+            Some(f) => format!("{}_{}", self.func, f),
+            None => self.func.clone(),
+        }
+    }
+}
+
+const AGG_FNS: [&str; 11] = [
+    "mean",
+    "std",
+    "min",
+    "max",
+    "median",
+    "sum",
+    "count",
+    "rate",
+    "bandwidth",
+    "entropy",
+    "distinct",
+];
+
+/// `ApplyAggregates`: one row per group, one column per aggregate.
+///
+/// `count`, `rate` (packets/second), and `bandwidth` (wire bytes/second)
+/// need no field; the rest aggregate a packet-field's values within the
+/// group. `entropy`/`distinct` treat values as categorical.
+pub struct ApplyAggregates {
+    aggs: Vec<AggSpec>,
+}
+
+impl ApplyAggregates {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let arr = params
+            .get("aggs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad_param("ApplyAggregates", "missing list parameter \"aggs\""))?;
+        let mut aggs = Vec::new();
+        for a in arr {
+            let func = a
+                .get("fn")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad_param("ApplyAggregates", "each agg needs \"fn\""))?
+                .to_string();
+            if !AGG_FNS.contains(&func.as_str()) {
+                return Err(bad_param(
+                    "ApplyAggregates",
+                    format!("unknown aggregate {func:?}"),
+                ));
+            }
+            let field = a.get("field").and_then(Value::as_str).map(str::to_string);
+            let needs_field = !matches!(func.as_str(), "count" | "rate" | "bandwidth");
+            match (&field, needs_field) {
+                (None, true) => {
+                    return Err(bad_param(
+                        "ApplyAggregates",
+                        format!("aggregate {func:?} needs a \"field\""),
+                    ))
+                }
+                (Some(f), _) if !PACKET_FIELDS.contains(&f.as_str()) => {
+                    return Err(bad_param("ApplyAggregates", format!("unknown field {f:?}")))
+                }
+                _ => {}
+            }
+            aggs.push(AggSpec { func, field });
+        }
+        if aggs.is_empty() {
+            return Err(bad_param("ApplyAggregates", "aggs must be non-empty"));
+        }
+        Ok(Box::new(ApplyAggregates { aggs }))
+    }
+
+    fn compute(&self, g: &Grouped, group: &[u32], spec: &AggSpec) -> f64 {
+        let metas = &g.parent.metas;
+        let duration = if group.len() >= 2 {
+            (metas[*group.last().unwrap() as usize].ts_us - metas[group[0] as usize].ts_us) as f64
+                / 1e6
+        } else {
+            0.0
+        };
+        match spec.func.as_str() {
+            "count" => group.len() as f64,
+            "rate" => {
+                if duration <= 0.0 {
+                    group.len() as f64
+                } else {
+                    group.len() as f64 / duration
+                }
+            }
+            "bandwidth" => {
+                let bytes: f64 = group
+                    .iter()
+                    .map(|&i| f64::from(metas[i as usize].wire_len))
+                    .sum();
+                if duration <= 0.0 {
+                    bytes
+                } else {
+                    bytes / duration
+                }
+            }
+            func => {
+                let field = spec.field.as_deref().expect("validated");
+                let values: Vec<f64> = group
+                    .iter()
+                    .map(|&i| packet_field(&metas[i as usize], field))
+                    .collect();
+                match func {
+                    "mean" => lumen_util::Summary::of(&values).mean,
+                    "std" => lumen_util::Summary::of(&values).std_dev,
+                    "min" => lumen_util::Summary::of(&values).min,
+                    "max" => lumen_util::Summary::of(&values).max,
+                    "median" => lumen_util::Summary::of(&values).median,
+                    "sum" => values.iter().sum(),
+                    "entropy" => {
+                        let mut counts: std::collections::HashMap<u64, u64> =
+                            std::collections::HashMap::new();
+                        for v in &values {
+                            *counts.entry(v.to_bits()).or_insert(0) += 1;
+                        }
+                        entropy_of_counts(counts.values().copied(), values.len() as u64)
+                    }
+                    "distinct" => {
+                        let mut set: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+                        set.sort_unstable();
+                        set.dedup();
+                        set.len() as f64
+                    }
+                    _ => unreachable!("validated"),
+                }
+            }
+        }
+    }
+}
+
+impl Operation for ApplyAggregates {
+    fn name(&self) -> &'static str {
+        "ApplyAggregates"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Grouped]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Grouped(g) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut x = Matrix::zeros(g.groups.len(), self.aggs.len());
+        let mut labels = Vec::with_capacity(g.groups.len());
+        let mut tags = Vec::with_capacity(g.groups.len());
+        for (r, group) in g.groups.iter().enumerate() {
+            for (c, spec) in self.aggs.iter().enumerate() {
+                x.set(r, c, self.compute(g, group, spec));
+            }
+            let (l, t) = group_truth(g, group);
+            labels.push(l);
+            tags.push(t);
+        }
+        let names = self.aggs.iter().map(AggSpec::column_name).collect();
+        Ok(Data::Table(Arc::new(Table::new(names, x, labels, tags)?)))
+    }
+}
+
+// ---- RollingAggregates ---------------------------------------------------------
+
+/// `RollingAggregates`: one row per packet; each value aggregates the
+/// trailing `window_pkts` packets of the packet's group (inclusive).
+pub struct RollingAggregates {
+    field: String,
+    fns: Vec<String>,
+    window: usize,
+}
+
+impl RollingAggregates {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let field = param_str_or(params, "field", "wire_len");
+        if !PACKET_FIELDS.contains(&field.as_str()) {
+            return Err(bad_param(
+                "RollingAggregates",
+                format!("unknown field {field:?}"),
+            ));
+        }
+        let fns = param_str_list("RollingAggregates", params, "fns")?;
+        for f in &fns {
+            if ![
+                "mean", "std", "min", "max", "sum", "count", "entropy", "distinct",
+            ]
+            .contains(&f.as_str())
+            {
+                return Err(bad_param(
+                    "RollingAggregates",
+                    format!("unknown rolling fn {f:?}"),
+                ));
+            }
+        }
+        let window = param_usize_or(params, "window_pkts", 32);
+        if window == 0 {
+            return Err(bad_param(
+                "RollingAggregates",
+                "window_pkts must be positive",
+            ));
+        }
+        Ok(Box::new(RollingAggregates { field, fns, window }))
+    }
+}
+
+impl Operation for RollingAggregates {
+    fn name(&self) -> &'static str {
+        "RollingAggregates"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Grouped]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Grouped(g) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let n = g.parent.len();
+        let mut x = Matrix::zeros(n, self.fns.len());
+        for group in &g.groups {
+            let values: Vec<f64> = group
+                .iter()
+                .map(|&i| packet_field(&g.parent.metas[i as usize], &self.field))
+                .collect();
+            for (pos, &pkt) in group.iter().enumerate() {
+                let lo = pos.saturating_sub(self.window - 1);
+                let win = &values[lo..=pos];
+                for (c, f) in self.fns.iter().enumerate() {
+                    let v = match f.as_str() {
+                        "mean" => lumen_util::Summary::of(win).mean,
+                        "std" => lumen_util::Summary::of(win).std_dev,
+                        "min" => lumen_util::Summary::of(win).min,
+                        "max" => lumen_util::Summary::of(win).max,
+                        "sum" => win.iter().sum(),
+                        "count" => win.len() as f64,
+                        "entropy" => {
+                            let mut counts: std::collections::HashMap<u64, u64> =
+                                std::collections::HashMap::new();
+                            for v in win {
+                                *counts.entry(v.to_bits()).or_insert(0) += 1;
+                            }
+                            entropy_of_counts(counts.values().copied(), win.len() as u64)
+                        }
+                        _ => {
+                            let mut set: Vec<u64> = win.iter().map(|v| v.to_bits()).collect();
+                            set.sort_unstable();
+                            set.dedup();
+                            set.len() as f64
+                        }
+                    };
+                    x.set(pkt as usize, c, v);
+                }
+            }
+        }
+        let names = self
+            .fns
+            .iter()
+            .map(|f| format!("roll_{}_{}_{}", f, self.field, self.window))
+            .collect();
+        Ok(Data::Table(Arc::new(Table::new(
+            names,
+            x,
+            g.parent.labels.clone(),
+            g.parent.tags.clone(),
+        )?)))
+    }
+}
+
+// ---- InterArrival ---------------------------------------------------------------
+
+/// `InterArrival`: one row per packet, the gap (seconds) since the previous
+/// packet of the same group (0 for the first).
+pub struct InterArrival;
+
+impl InterArrival {
+    pub fn from_params(_params: &Value) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(InterArrival))
+    }
+}
+
+impl Operation for InterArrival {
+    fn name(&self) -> &'static str {
+        "InterArrival"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Grouped]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Grouped(g) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let n = g.parent.len();
+        let mut x = Matrix::zeros(n, 1);
+        for group in &g.groups {
+            let mut prev: Option<u64> = None;
+            for &i in group {
+                let ts = g.parent.metas[i as usize].ts_us;
+                let iat = prev.map_or(0.0, |p| ts.saturating_sub(p) as f64 / 1e6);
+                x.set(i as usize, 0, iat);
+                prev = Some(ts);
+            }
+        }
+        Ok(Data::Table(Arc::new(Table::new(
+            vec!["iat".into()],
+            x,
+            g.parent.labels.clone(),
+            g.parent.tags.clone(),
+        )?)))
+    }
+}
+
+// ---- DampedStats ------------------------------------------------------------------
+
+/// One exponentially-decayed incremental stream (Kitsune's damped window).
+#[derive(Debug, Clone, Copy, Default)]
+struct DampedStream {
+    w: f64,
+    ls: f64,
+    ss: f64,
+    last_us: Option<u64>,
+}
+
+impl DampedStream {
+    fn update(&mut self, lambda: f64, ts_us: u64, x: f64) {
+        if let Some(last) = self.last_us {
+            let dt = ts_us.saturating_sub(last) as f64 / 1e6;
+            let decay = (2.0f64).powf(-lambda * dt);
+            self.w *= decay;
+            self.ls *= decay;
+            self.ss *= decay;
+        }
+        self.w += 1.0;
+        self.ls += x;
+        self.ss += x * x;
+        self.last_us = Some(ts_us);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.w <= 0.0 {
+            0.0
+        } else {
+            self.ls / self.w
+        }
+    }
+
+    fn std(&self) -> f64 {
+        if self.w <= 0.0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.ss / self.w - m * m).abs().sqrt()
+    }
+}
+
+/// `DampedStats`: Kitsune's per-group incremental 1D statistics. For each
+/// packet, emits `(weight, mean, std)` of the damped stream of `field`
+/// values in that packet's group, for every λ.
+pub struct DampedStats {
+    field: String,
+    lambdas: Vec<f64>,
+    prefix: String,
+}
+
+impl DampedStats {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let field = param_str_or(params, "field", "wire_len");
+        // "iat" is special: the value is the gap to the group's previous
+        // packet (Kitsune's jitter streams).
+        if field != "iat" && !PACKET_FIELDS.contains(&field.as_str()) {
+            return Err(bad_param("DampedStats", format!("unknown field {field:?}")));
+        }
+        let lambdas = param_f64_list_or(params, "lambdas", &KITSUNE_LAMBDAS);
+        if lambdas.is_empty() || lambdas.iter().any(|&l| l <= 0.0) {
+            return Err(bad_param("DampedStats", "lambdas must be positive"));
+        }
+        Ok(Box::new(DampedStats {
+            field,
+            lambdas,
+            prefix: param_str_or(params, "prefix", "d"),
+        }))
+    }
+}
+
+impl Operation for DampedStats {
+    fn name(&self) -> &'static str {
+        "DampedStats"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Grouped]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Grouped(g) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let n = g.parent.len();
+        let width = self.lambdas.len() * 3;
+        let mut x = Matrix::zeros(n, width);
+        for group in &g.groups {
+            let mut streams = vec![DampedStream::default(); self.lambdas.len()];
+            let mut prev_ts: Option<u64> = None;
+            for &i in group {
+                let meta = &g.parent.metas[i as usize];
+                let v = if self.field == "iat" {
+                    let iat = prev_ts.map_or(0.0, |p| meta.ts_us.saturating_sub(p) as f64 / 1e6);
+                    prev_ts = Some(meta.ts_us);
+                    iat
+                } else {
+                    packet_field(meta, &self.field)
+                };
+                for (li, (&lambda, stream)) in
+                    self.lambdas.iter().zip(streams.iter_mut()).enumerate()
+                {
+                    stream.update(lambda, meta.ts_us, v);
+                    let base = li * 3;
+                    x.set(i as usize, base, stream.w);
+                    x.set(i as usize, base + 1, stream.mean());
+                    x.set(i as usize, base + 2, stream.std());
+                }
+            }
+        }
+        let mut names = Vec::with_capacity(width);
+        for &l in &self.lambdas {
+            for stat in ["w", "mu", "sigma"] {
+                names.push(format!("{}_{}_l{}_{}", self.prefix, self.field, l, stat));
+            }
+        }
+        Ok(Data::Table(Arc::new(Table::new(
+            names,
+            x,
+            g.parent.labels.clone(),
+            g.parent.tags.clone(),
+        )?)))
+    }
+}
+
+// ---- DampedCov -----------------------------------------------------------------
+
+/// `DampedCov`: Kitsune's 2D incremental statistics between the two
+/// directions of a conversation. Requires a direction-symmetric grouping
+/// (`pair` or `socket`-canonical); per packet emits `(magnitude, radius,
+/// cov, pcc)` per λ.
+pub struct DampedCov {
+    lambdas: Vec<f64>,
+    prefix: String,
+}
+
+impl DampedCov {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let lambdas = param_f64_list_or(params, "lambdas", &KITSUNE_LAMBDAS[..3]);
+        if lambdas.is_empty() || lambdas.iter().any(|&l| l <= 0.0) {
+            return Err(bad_param("DampedCov", "lambdas must be positive"));
+        }
+        Ok(Box::new(DampedCov {
+            lambdas,
+            prefix: param_str_or(params, "prefix", "cov"),
+        }))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DampedPair {
+    a: DampedStream,
+    b: DampedStream,
+    /// Damped sum of residual products.
+    sr: f64,
+    w: f64,
+    last_us: Option<u64>,
+}
+
+impl DampedPair {
+    fn update(&mut self, lambda: f64, ts_us: u64, x: f64, is_a: bool) {
+        if let Some(last) = self.last_us {
+            let dt = ts_us.saturating_sub(last) as f64 / 1e6;
+            let decay = (2.0f64).powf(-lambda * dt);
+            self.sr *= decay;
+            self.w *= decay;
+        }
+        self.last_us = Some(ts_us);
+        if is_a {
+            self.a.update(lambda, ts_us, x);
+        } else {
+            self.b.update(lambda, ts_us, x);
+        }
+        // Residual product of the updated value against the other stream.
+        let (ra, rb) = (x - self.a.mean(), x - self.b.mean());
+        self.sr += if is_a { ra } else { rb } * if is_a { rb } else { ra };
+        self.w += 1.0;
+    }
+
+    fn stats(&self) -> (f64, f64, f64, f64) {
+        let (ma, mb) = (self.a.mean(), self.b.mean());
+        let (sa, sb) = (self.a.std(), self.b.std());
+        let magnitude = (ma * ma + mb * mb).sqrt();
+        let radius = (sa.powi(4) + sb.powi(4)).sqrt();
+        let cov = if self.w > 0.0 { self.sr / self.w } else { 0.0 };
+        let denom = sa * sb;
+        let pcc = if denom > 1e-12 { cov / denom } else { 0.0 };
+        (magnitude, radius, cov, pcc)
+    }
+}
+
+impl Operation for DampedCov {
+    fn name(&self) -> &'static str {
+        "DampedCov"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Grouped]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Grouped(g) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let n = g.parent.len();
+        let width = self.lambdas.len() * 4;
+        let mut x = Matrix::zeros(n, width);
+        for group in &g.groups {
+            let mut pairs = vec![DampedPair::default(); self.lambdas.len()];
+            for &i in group {
+                let meta = &g.parent.metas[i as usize];
+                let v = f64::from(meta.wire_len);
+                // Direction within the conversation: lower address first.
+                let is_a = meta
+                    .ipv4
+                    .as_ref()
+                    .is_none_or(|ip| u32::from(ip.src) <= u32::from(ip.dst));
+                for (li, (&lambda, pair)) in self.lambdas.iter().zip(pairs.iter_mut()).enumerate() {
+                    pair.update(lambda, meta.ts_us, v, is_a);
+                    let (mag, rad, cov, pcc) = pair.stats();
+                    let base = li * 4;
+                    x.set(i as usize, base, mag);
+                    x.set(i as usize, base + 1, rad);
+                    x.set(i as usize, base + 2, cov);
+                    x.set(i as usize, base + 3, pcc);
+                }
+            }
+        }
+        let mut names = Vec::with_capacity(width);
+        for &l in &self.lambdas {
+            for stat in ["mag", "rad", "cov", "pcc"] {
+                names.push(format!("{}_l{}_{}", self.prefix, l, stat));
+            }
+        }
+        Ok(Data::Table(Arc::new(Table::new(
+            names,
+            x,
+            g.parent.labels.clone(),
+            g.parent.tags.clone(),
+        )?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PacketData;
+    use crate::ops::grouping::GroupBy;
+    use lumen_net::builder::{udp_packet, UdpParams};
+    use lumen_net::{LinkType, MacAddr, PacketMeta};
+    use serde_json::json;
+    use std::net::Ipv4Addr;
+
+    fn meta(ts: u64, src: u8, len: usize, sport: u16) -> PacketMeta {
+        let pkt = udp_packet(UdpParams {
+            src_mac: MacAddr::from_id(u64::from(src)),
+            dst_mac: MacAddr::from_id(9),
+            src_ip: Ipv4Addr::new(10, 0, 0, src),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 100),
+            src_port: sport,
+            dst_port: 53,
+            ttl: 64,
+            payload: &vec![0u8; len],
+        });
+        PacketMeta::parse(LinkType::Ethernet, ts, &pkt).unwrap()
+    }
+
+    fn grouped(metas: Vec<PacketMeta>, labels: Vec<u8>) -> Data {
+        let tags = labels.iter().map(|&l| u32::from(l) * 7).collect();
+        let src = Data::Packets(Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels,
+            tags,
+        }));
+        GroupBy::from_params(&json!({"key": "srcIp"}))
+            .unwrap()
+            .execute(&[&src])
+            .unwrap()
+    }
+
+    #[test]
+    fn aggregates_per_group() {
+        // Host .1 sends 3 packets (lens 42+0, 42+10, 42+20 wire), host .2 one.
+        let g = grouped(
+            vec![
+                meta(0, 1, 0, 1000),
+                meta(1_000_000, 1, 10, 1001),
+                meta(2_000_000, 1, 20, 1002),
+                meta(0, 2, 5, 2000),
+            ],
+            vec![0, 0, 1, 0],
+        );
+        let op = ApplyAggregates::from_params(&json!({"aggs": [
+            {"fn": "count"},
+            {"fn": "mean", "field": "wire_len"},
+            {"fn": "rate"},
+            {"fn": "entropy", "field": "src_port"},
+            {"fn": "distinct", "field": "src_port"}
+        ]}))
+        .unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.rows(), 2);
+        // Group 0: host .1, 3 packets over 2 seconds -> rate 1.5.
+        assert_eq!(t.x.get(0, 0), 3.0);
+        assert!((t.x.get(0, 2) - 1.5).abs() < 1e-9);
+        // 3 distinct source ports -> entropy log2(3).
+        assert!((t.x.get(0, 3) - 3f64.log2()).abs() < 1e-9);
+        assert_eq!(t.x.get(0, 4), 3.0);
+        // Group 0 contains a malicious packet -> label 1, tag 7.
+        assert_eq!(t.labels, vec![1, 0]);
+        assert_eq!(t.tags, vec![7, 0]);
+    }
+
+    #[test]
+    fn rate_of_single_packet_group_is_count() {
+        let g = grouped(vec![meta(0, 1, 0, 1000)], vec![0]);
+        let op = ApplyAggregates::from_params(&json!({"aggs": [{"fn": "rate"}]})).unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.x.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn interarrival_within_group() {
+        let g = grouped(
+            vec![
+                meta(0, 1, 0, 1000),
+                meta(500_000, 2, 0, 1000),
+                meta(1_000_000, 1, 0, 1000),
+            ],
+            vec![0, 0, 0],
+        );
+        let op = InterArrival::from_params(&json!({})).unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        // Packet 2 is host .1's second packet, 1 s after its first.
+        assert_eq!(t.x.get(0, 0), 0.0);
+        assert_eq!(t.x.get(1, 0), 0.0);
+        assert!((t.x.get(2, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rolling_mean_over_window() {
+        let g = grouped(
+            vec![
+                meta(0, 1, 0, 1000),  // wire 42
+                meta(1, 1, 10, 1000), // wire 52
+                meta(2, 1, 20, 1000), // wire 62
+            ],
+            vec![0, 0, 0],
+        );
+        let op = RollingAggregates::from_params(
+            &json!({"field": "wire_len", "fns": ["mean", "count"], "window_pkts": 2}),
+        )
+        .unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.x.get(0, 0), 42.0);
+        assert_eq!(t.x.get(1, 0), 47.0);
+        assert_eq!(t.x.get(2, 0), 57.0);
+        assert_eq!(t.x.get(2, 1), 2.0);
+    }
+
+    #[test]
+    fn damped_stats_decay_toward_recent_values() {
+        // Same group: early packets large, late packets (after a long gap) small.
+        let mut metas = Vec::new();
+        for i in 0..5 {
+            metas.push(meta(i * 100_000, 1, 1000, 1000));
+        }
+        for i in 0..5 {
+            metas.push(meta(60_000_000 + i * 100_000, 1, 0, 1000));
+        }
+        let labels = vec![0; metas.len()];
+        let g = grouped(metas, labels);
+        let op = DampedStats::from_params(
+            &json!({"field": "wire_len", "lambdas": [1.0], "prefix": "t"}),
+        )
+        .unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        // After the gap, the damped mean should be near the small size (42),
+        // having forgotten the 1042-byte packets.
+        let final_mean = t.x.get(9, 1);
+        assert!(final_mean < 100.0, "damped mean {final_mean}");
+        // Weight column is in (0, 5].
+        let w = t.x.get(9, 0);
+        assert!(w > 0.0 && w <= 5.01);
+    }
+
+    #[test]
+    fn damped_stats_weight_grows_without_gap() {
+        let metas: Vec<PacketMeta> = (0..4).map(|i| meta(i * 1000, 1, 10, 1000)).collect();
+        let g = grouped(metas, vec![0; 4]);
+        let op =
+            DampedStats::from_params(&json!({"field": "wire_len", "lambdas": [0.01]})).unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        // Nearly no decay at λ=0.01 over milliseconds: w ≈ packet count.
+        assert!((t.x.get(3, 0) - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn damped_iat_tracks_inter_arrival_jitter() {
+        // Regular 100 ms spacing: the damped IAT mean converges to 0.1 and
+        // sigma stays near zero.
+        let metas: Vec<PacketMeta> = (0..20).map(|i| meta(i * 100_000, 1, 10, 1000)).collect();
+        let g = grouped(metas, vec![0; 20]);
+        let op =
+            DampedStats::from_params(&json!({"field": "iat", "lambdas": [0.01], "prefix": "j"}))
+                .unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        let mean = t.x.get(19, 1);
+        let sigma = t.x.get(19, 2);
+        assert!((mean - 0.095).abs() < 0.01, "mean {mean}"); // first IAT is 0
+        assert!(sigma < 0.05, "sigma {sigma}");
+        assert!(t.names[0].starts_with("j_iat"));
+    }
+
+    #[test]
+    fn damped_cov_emits_per_lambda_columns() {
+        let g = grouped(
+            vec![meta(0, 1, 10, 1000), meta(1000, 2, 10, 1000)],
+            vec![0, 0],
+        );
+        let op = DampedCov::from_params(&json!({"lambdas": [1.0, 0.1]})).unwrap();
+        let Data::Table(t) = op.execute(&[&g]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.cols(), 8);
+        assert!(t.x.get(0, 0) > 0.0); // magnitude after first packet
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(ApplyAggregates::from_params(&json!({"aggs": [{"fn": "mean"}]})).is_err());
+        assert!(
+            ApplyAggregates::from_params(&json!({"aggs": [{"fn": "zzz", "field": "ttl"}]}))
+                .is_err()
+        );
+        assert!(DampedStats::from_params(&json!({"lambdas": [-1.0]})).is_err());
+        assert!(
+            RollingAggregates::from_params(&json!({"fns": ["mean"], "window_pkts": 0})).is_err()
+        );
+    }
+}

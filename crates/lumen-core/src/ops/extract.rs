@@ -1,0 +1,920 @@
+//! Extraction and encoding operations: per-packet fields, nPrint bit
+//! encodings, PDML-style summaries, payload bytes, and connection/flow
+//! feature catalogs.
+
+use std::sync::Arc;
+
+use lumen_ml::matrix::Matrix;
+use lumen_net::{PacketMeta, TransportMeta};
+use lumen_util::entropy::byte_entropy;
+use serde_json::Value;
+
+use crate::data::{Data, DataKind, PacketData};
+use crate::ops::{bad_param, param_bool_or, param_str_list, param_usize_or, Operation};
+use crate::table::Table;
+use crate::CoreResult;
+
+// ---- per-packet field catalog ----------------------------------------------
+
+/// Every per-packet field `FieldExtract` understands.
+pub const PACKET_FIELDS: [&str; 30] = [
+    "ts",
+    "wire_len",
+    "ip_len",
+    "ttl",
+    "dscp",
+    "proto",
+    "ident",
+    "dont_frag",
+    "is_tcp",
+    "is_udp",
+    "is_icmp",
+    "is_arp",
+    "src_port",
+    "dst_port",
+    "tcp_flags_bits",
+    "tcp_syn",
+    "tcp_ack",
+    "tcp_fin",
+    "tcp_rst",
+    "tcp_psh",
+    "tcp_window",
+    "tcp_seq",
+    "payload_len",
+    "payload_entropy",
+    "src_ip_u32",
+    "dst_ip_u32",
+    "dot11_type",
+    "dot11_subtype",
+    "dot11_duration",
+    "dot11_seq",
+];
+
+/// Extracts one named numeric field from a packet summary.
+pub fn packet_field(meta: &PacketMeta, field: &str) -> f64 {
+    match field {
+        "ts" => meta.ts_us as f64 / 1e6,
+        "wire_len" => f64::from(meta.wire_len),
+        "ip_len" => meta.ipv4.as_ref().map_or(0.0, |ip| f64::from(ip.total_len)),
+        "ttl" => meta.ipv4.as_ref().map_or(0.0, |ip| f64::from(ip.ttl)),
+        "dscp" => meta.ipv4.as_ref().map_or(0.0, |ip| f64::from(ip.dscp)),
+        "proto" => meta.ipv4.as_ref().map_or(0.0, |ip| f64::from(ip.protocol)),
+        "ident" => meta.ipv4.as_ref().map_or(0.0, |ip| f64::from(ip.ident)),
+        "dont_frag" => meta
+            .ipv4
+            .as_ref()
+            .map_or(0.0, |ip| f64::from(u8::from(ip.dont_frag))),
+        "is_tcp" => f64::from(u8::from(meta.is_tcp())),
+        "is_udp" => f64::from(u8::from(meta.is_udp())),
+        "is_icmp" => f64::from(u8::from(meta.is_icmp())),
+        "is_arp" => f64::from(u8::from(meta.arp.is_some())),
+        "src_port" => meta.transport.src_port().map_or(0.0, f64::from),
+        "dst_port" => meta.transport.dst_port().map_or(0.0, f64::from),
+        "tcp_flags_bits" => meta.transport.tcp_flags().map_or(0.0, |f| f64::from(f.0)),
+        "tcp_syn" => tcp_flag(meta, |f| f.syn()),
+        "tcp_ack" => tcp_flag(meta, |f| f.ack()),
+        "tcp_fin" => tcp_flag(meta, |f| f.fin()),
+        "tcp_rst" => tcp_flag(meta, |f| f.rst()),
+        "tcp_psh" => tcp_flag(meta, |f| f.psh()),
+        "tcp_window" => match &meta.transport {
+            TransportMeta::Tcp { window, .. } => f64::from(*window),
+            _ => 0.0,
+        },
+        "tcp_seq" => match &meta.transport {
+            TransportMeta::Tcp { seq, .. } => f64::from(*seq),
+            _ => 0.0,
+        },
+        "payload_len" => f64::from(meta.payload_len),
+        "payload_entropy" => byte_entropy(&meta.payload),
+        "src_ip_u32" => meta
+            .ipv4
+            .as_ref()
+            .map_or(0.0, |ip| f64::from(u32::from(ip.src))),
+        "dst_ip_u32" => meta
+            .ipv4
+            .as_ref()
+            .map_or(0.0, |ip| f64::from(u32::from(ip.dst))),
+        "dot11_type" => meta.dot11.as_ref().map_or(-1.0, |d| match d.frame_type {
+            lumen_net::wire::dot11::Dot11Type::Management => 0.0,
+            lumen_net::wire::dot11::Dot11Type::Control => 1.0,
+            lumen_net::wire::dot11::Dot11Type::Data => 2.0,
+            lumen_net::wire::dot11::Dot11Type::Extension => 3.0,
+        }),
+        "dot11_subtype" => meta.dot11.as_ref().map_or(-1.0, |d| f64::from(d.subtype)),
+        "dot11_duration" => meta.dot11.as_ref().map_or(0.0, |d| f64::from(d.duration)),
+        "dot11_seq" => meta.dot11.as_ref().map_or(0.0, |d| f64::from(d.sequence)),
+        _ => f64::NAN,
+    }
+}
+
+fn tcp_flag(meta: &PacketMeta, pick: impl Fn(lumen_net::wire::tcp::TcpFlags) -> bool) -> f64 {
+    meta.transport
+        .tcp_flags()
+        .map_or(0.0, |f| f64::from(u8::from(pick(f))))
+}
+
+fn packet_table(parent: &PacketData, names: Vec<String>, x: Matrix) -> CoreResult<Table> {
+    Table::new(names, x, parent.labels.clone(), parent.tags.clone())
+}
+
+// ---- FieldExtract -----------------------------------------------------------
+
+/// `FieldExtract`: one row per packet, one column per requested field.
+pub struct FieldExtract {
+    fields: Vec<String>,
+}
+
+impl FieldExtract {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let fields = param_str_list("FieldExtract", params, "fields")?;
+        for f in &fields {
+            if !PACKET_FIELDS.contains(&f.as_str()) {
+                return Err(bad_param(
+                    "FieldExtract",
+                    format!("unknown packet field {f:?}"),
+                ));
+            }
+        }
+        if fields.is_empty() {
+            return Err(bad_param("FieldExtract", "fields must be non-empty"));
+        }
+        Ok(Box::new(FieldExtract { fields }))
+    }
+}
+
+impl Operation for FieldExtract {
+    fn name(&self) -> &'static str {
+        "FieldExtract"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut x = Matrix::zeros(p.len(), self.fields.len());
+        for (r, meta) in p.metas.iter().enumerate() {
+            for (c, f) in self.fields.iter().enumerate() {
+                x.set(r, c, packet_field(meta, f));
+            }
+        }
+        Ok(Data::Table(Arc::new(packet_table(
+            p,
+            self.fields.clone(),
+            x,
+        )?)))
+    }
+}
+
+// ---- NprintEncode -----------------------------------------------------------
+
+/// `NprintEncode`: the nPrint unified bit-level packet representation.
+/// Every header bit of the selected sections becomes one feature; sections
+/// absent from a packet encode as -1 (nPrint's "missing" marker).
+pub struct NprintEncode {
+    ipv4: bool,
+    tcp: bool,
+    udp: bool,
+    icmp: bool,
+    payload_bytes: usize,
+}
+
+impl NprintEncode {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let sections = param_str_list("NprintEncode", params, "sections")?;
+        let mut op = NprintEncode {
+            ipv4: false,
+            tcp: false,
+            udp: false,
+            icmp: false,
+            payload_bytes: param_usize_or(params, "payload_bytes", 0),
+        };
+        for s in &sections {
+            match s.as_str() {
+                "ipv4" => op.ipv4 = true,
+                "tcp" => op.tcp = true,
+                "udp" => op.udp = true,
+                "icmp" => op.icmp = true,
+                other => {
+                    return Err(bad_param(
+                        "NprintEncode",
+                        format!("unknown section {other:?}"),
+                    ))
+                }
+            }
+        }
+        if !(op.ipv4 || op.tcp || op.udp || op.icmp || op.payload_bytes > 0) {
+            return Err(bad_param("NprintEncode", "no sections selected"));
+        }
+        Ok(Box::new(op))
+    }
+
+    fn width(&self) -> usize {
+        let mut w = 0;
+        if self.ipv4 {
+            w += 160;
+        }
+        if self.tcp {
+            w += 160;
+        }
+        if self.udp {
+            w += 64;
+        }
+        if self.icmp {
+            w += 64;
+        }
+        w + self.payload_bytes * 8
+    }
+
+    #[allow(clippy::needless_range_loop)] // bit index maps directly to wire offset
+    fn encode_bits(dst: &mut [f64], bytes: Option<&[u8]>, width_bits: usize) {
+        match bytes {
+            Some(b) => {
+                for bit in 0..width_bits {
+                    let byte = bit / 8;
+                    let v = if byte < b.len() {
+                        f64::from((b[byte] >> (7 - (bit % 8))) & 1)
+                    } else {
+                        -1.0
+                    };
+                    dst[bit] = v;
+                }
+            }
+            None => dst[..width_bits].fill(-1.0),
+        }
+    }
+}
+
+impl Operation for NprintEncode {
+    fn name(&self) -> &'static str {
+        "NprintEncode"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let width = self.width();
+        let mut x = Matrix::zeros(p.len(), width);
+        let mut names = Vec::with_capacity(width);
+        let push_names = |prefix: &str, bits: usize, names: &mut Vec<String>| {
+            for b in 0..bits {
+                names.push(format!("{prefix}_{b}"));
+            }
+        };
+        if self.ipv4 {
+            push_names("ipv4", 160, &mut names);
+        }
+        if self.tcp {
+            push_names("tcp", 160, &mut names);
+        }
+        if self.udp {
+            push_names("udp", 64, &mut names);
+        }
+        if self.icmp {
+            push_names("icmp", 64, &mut names);
+        }
+        push_names("pl", self.payload_bytes * 8, &mut names);
+
+        for (r, meta) in p.metas.iter().enumerate() {
+            let row = x.row_mut(r);
+            let mut at = 0;
+            if self.ipv4 {
+                let hdr = meta.ipv4.as_ref().map(|ip| &ip.header[..]);
+                Self::encode_bits(&mut row[at..at + 160], hdr, 160);
+                at += 160;
+            }
+            if self.tcp {
+                let hdr = match &meta.transport {
+                    TransportMeta::Tcp { header, .. } => Some(&header[..]),
+                    _ => None,
+                };
+                Self::encode_bits(&mut row[at..at + 160], hdr, 160);
+                at += 160;
+            }
+            if self.udp {
+                let hdr = match &meta.transport {
+                    TransportMeta::Udp { header, .. } => Some(&header[..]),
+                    _ => None,
+                };
+                Self::encode_bits(&mut row[at..at + 64], hdr, 64);
+                at += 64;
+            }
+            if self.icmp {
+                let hdr = match &meta.transport {
+                    TransportMeta::Icmp { header, .. } => Some(&header[..]),
+                    _ => None,
+                };
+                Self::encode_bits(&mut row[at..at + 64], hdr, 64);
+                at += 64;
+            }
+            if self.payload_bytes > 0 {
+                let pl = if meta.payload.is_empty() {
+                    None
+                } else {
+                    Some(&meta.payload[..])
+                };
+                Self::encode_bits(&mut row[at..], pl, self.payload_bytes * 8);
+            }
+        }
+        Ok(Data::Table(Arc::new(packet_table(p, names, x)?)))
+    }
+}
+
+// ---- PdmlEncode --------------------------------------------------------------
+
+/// `PdmlEncode`: SmartHome-IDS-style per-packet summary modeled on
+/// Wireshark's PDML dissection: per-layer presence, lengths, and key fields.
+pub struct PdmlEncode;
+
+impl PdmlEncode {
+    pub fn from_params(_params: &Value) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(PdmlEncode))
+    }
+
+    const FIELDS: [&'static str; 16] = [
+        "wire_len",
+        "is_tcp",
+        "is_udp",
+        "is_icmp",
+        "is_arp",
+        "ip_len",
+        "ttl",
+        "dscp",
+        "src_port",
+        "dst_port",
+        "tcp_flags_bits",
+        "tcp_window",
+        "payload_len",
+        "payload_entropy",
+        "dot11_type",
+        "dot11_subtype",
+    ];
+}
+
+impl Operation for PdmlEncode {
+    fn name(&self) -> &'static str {
+        "PdmlEncode"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let fields = Self::FIELDS;
+        let mut x = Matrix::zeros(p.len(), fields.len());
+        for (r, meta) in p.metas.iter().enumerate() {
+            for (c, f) in fields.iter().enumerate() {
+                x.set(r, c, packet_field(meta, f));
+            }
+        }
+        let names = fields.iter().map(|f| format!("pdml_{f}")).collect();
+        Ok(Data::Table(Arc::new(packet_table(p, names, x)?)))
+    }
+}
+
+// ---- PayloadBytes ------------------------------------------------------------
+
+/// `PayloadBytes`: the first `n` transport payload bytes as features
+/// (missing positions encode -1) — the early-detection representation.
+pub struct PayloadBytes {
+    n: usize,
+}
+
+impl PayloadBytes {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let n = param_usize_or(params, "n", 32);
+        if n == 0 || n > lumen_net::meta::PAYLOAD_SNIPPET {
+            return Err(bad_param(
+                "PayloadBytes",
+                format!("n must be in 1..={}", lumen_net::meta::PAYLOAD_SNIPPET),
+            ));
+        }
+        Ok(Box::new(PayloadBytes { n }))
+    }
+}
+
+impl Operation for PayloadBytes {
+    fn name(&self) -> &'static str {
+        "PayloadBytes"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut x = Matrix::zeros(p.len(), self.n);
+        for (r, meta) in p.metas.iter().enumerate() {
+            for c in 0..self.n {
+                let v = meta.payload.get(c).map_or(-1.0, |&b| f64::from(b));
+                x.set(r, c, v);
+            }
+        }
+        let names = (0..self.n).map(|i| format!("byte_{i}")).collect();
+        Ok(Data::Table(Arc::new(packet_table(p, names, x)?)))
+    }
+}
+
+// ---- ConnExtract -------------------------------------------------------------
+
+/// Every per-connection field `ConnExtract` understands.
+pub const CONN_FIELDS: [&str; 38] = [
+    "duration",
+    "orig_pkts",
+    "resp_pkts",
+    "total_pkts",
+    "orig_bytes",
+    "resp_bytes",
+    "orig_wire_bytes",
+    "resp_wire_bytes",
+    "bandwidth",
+    "symmetry",
+    "iat_mean",
+    "iat_std",
+    "iat_min",
+    "iat_max",
+    "iat_median",
+    "orig_len_mean",
+    "orig_len_std",
+    "orig_len_min",
+    "orig_len_max",
+    "resp_len_mean",
+    "resp_len_std",
+    "resp_len_min",
+    "resp_len_max",
+    "orig_syn",
+    "orig_ack",
+    "orig_fin",
+    "orig_rst",
+    "orig_psh",
+    "resp_syn",
+    "resp_ack",
+    "resp_fin",
+    "resp_rst",
+    "history_len",
+    "orig_ttl_mean",
+    "orig_port",
+    "resp_port",
+    "proto",
+    "resp_port_wellknown",
+];
+
+/// Extracts one named numeric field from a connection record.
+pub fn conn_field(c: &lumen_flow::ConnRecord, field: &str) -> f64 {
+    match field {
+        "duration" => c.duration_secs(),
+        "orig_pkts" => f64::from(c.orig_pkts),
+        "resp_pkts" => f64::from(c.resp_pkts),
+        "total_pkts" => f64::from(c.total_pkts()),
+        "orig_bytes" => c.orig_bytes as f64,
+        "resp_bytes" => c.resp_bytes as f64,
+        "orig_wire_bytes" => c.orig_wire_bytes as f64,
+        "resp_wire_bytes" => c.resp_wire_bytes as f64,
+        "bandwidth" => c.bandwidth(),
+        "symmetry" => c.symmetry(),
+        "iat_mean" => c.iat.mean,
+        "iat_std" => c.iat.std_dev,
+        "iat_min" => c.iat.min,
+        "iat_max" => c.iat.max,
+        "iat_median" => c.iat.median,
+        "orig_len_mean" => c.orig_len.mean,
+        "orig_len_std" => c.orig_len.std_dev,
+        "orig_len_min" => c.orig_len.min,
+        "orig_len_max" => c.orig_len.max,
+        "resp_len_mean" => c.resp_len.mean,
+        "resp_len_std" => c.resp_len.std_dev,
+        "resp_len_min" => c.resp_len.min,
+        "resp_len_max" => c.resp_len.max,
+        "orig_syn" => f64::from(c.orig_flags.syn()),
+        "orig_ack" => f64::from(c.orig_flags.ack()),
+        "orig_fin" => f64::from(c.orig_flags.fin()),
+        "orig_rst" => f64::from(c.orig_flags.rst()),
+        "orig_psh" => f64::from(c.orig_flags.psh()),
+        "resp_syn" => f64::from(c.resp_flags.syn()),
+        "resp_ack" => f64::from(c.resp_flags.ack()),
+        "resp_fin" => f64::from(c.resp_flags.fin()),
+        "resp_rst" => f64::from(c.resp_flags.rst()),
+        "history_len" => c.history.len() as f64,
+        "orig_ttl_mean" => c.orig_ttl_mean,
+        "orig_port" => f64::from(c.orig.1),
+        "resp_port" => f64::from(c.resp.1),
+        "proto" => f64::from(c.proto),
+        "resp_port_wellknown" => f64::from(u8::from(c.resp.1 < 1024)),
+        _ => f64::NAN,
+    }
+}
+
+/// `ConnExtract`: one row per connection. The special field `"state"`
+/// expands to a one-hot encoding of the Zeek connection state.
+pub struct ConnExtract {
+    fields: Vec<String>,
+    with_state: bool,
+}
+
+impl ConnExtract {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let mut fields = param_str_list("ConnExtract", params, "fields")?;
+        let with_state = fields.iter().any(|f| f == "state");
+        fields.retain(|f| f != "state");
+        for f in &fields {
+            if !CONN_FIELDS.contains(&f.as_str()) {
+                return Err(bad_param(
+                    "ConnExtract",
+                    format!("unknown connection field {f:?}"),
+                ));
+            }
+        }
+        if fields.is_empty() && !with_state {
+            return Err(bad_param("ConnExtract", "fields must be non-empty"));
+        }
+        Ok(Box::new(ConnExtract { fields, with_state }))
+    }
+}
+
+impl Operation for ConnExtract {
+    fn name(&self) -> &'static str {
+        "ConnExtract"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Connections]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Connections(cd) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let state_cols = if self.with_state {
+            lumen_flow::ConnState::COUNT
+        } else {
+            0
+        };
+        let width = self.fields.len() + state_cols;
+        let mut x = Matrix::zeros(cd.conns.len(), width);
+        for (r, conn) in cd.conns.iter().enumerate() {
+            for (c, f) in self.fields.iter().enumerate() {
+                x.set(r, c, conn_field(conn, f));
+            }
+            if self.with_state {
+                x.set(r, self.fields.len() + conn.state.code(), 1.0);
+            }
+        }
+        let mut names = self.fields.clone();
+        if self.with_state {
+            for s in 0..lumen_flow::ConnState::COUNT {
+                names.push(format!("state_{s}"));
+            }
+        }
+        Ok(Data::Table(Arc::new(Table::new(
+            names,
+            x,
+            cd.labels.clone(),
+            cd.tags.clone(),
+        )?)))
+    }
+}
+
+// ---- UniExtract --------------------------------------------------------------
+
+/// Every per-unidirectional-flow field `UniExtract` understands.
+pub const UNI_FIELDS: [&str; 19] = [
+    "duration",
+    "pkts",
+    "payload_bytes",
+    "wire_bytes",
+    "pkt_rate",
+    "byte_rate",
+    "len_mean",
+    "len_std",
+    "len_min",
+    "len_max",
+    "len_median",
+    "syn",
+    "ack",
+    "fin",
+    "rst",
+    "psh",
+    "flag_rate",
+    "src_port",
+    "dst_port",
+];
+
+fn uni_field(f: &lumen_flow::UniFlowRecord, field: &str) -> f64 {
+    let dur = f.duration_secs().max(1e-6);
+    match field {
+        "duration" => f.duration_secs(),
+        "pkts" => f64::from(f.pkts),
+        "payload_bytes" => f.payload_bytes as f64,
+        "wire_bytes" => f.wire_bytes as f64,
+        "pkt_rate" => f64::from(f.pkts) / dur,
+        "byte_rate" => f.wire_bytes as f64 / dur,
+        "len_mean" => f.len.mean,
+        "len_std" => f.len.std_dev,
+        "len_min" => f.len.min,
+        "len_max" => f.len.max,
+        "len_median" => f.len.median,
+        "syn" => f64::from(f.flags.syn()),
+        "ack" => f64::from(f.flags.ack()),
+        "fin" => f64::from(f.flags.fin()),
+        "rst" => f64::from(f.flags.rst()),
+        "psh" => f64::from(f.flags.psh()),
+        "flag_rate" => f64::from(f.flags.total()) / dur,
+        "src_port" => f64::from(f.src.1),
+        "dst_port" => f64::from(f.dst.1),
+        _ => f64::NAN,
+    }
+}
+
+/// `UniExtract`: one row per unidirectional flow (A10's granularity).
+pub struct UniExtract {
+    fields: Vec<String>,
+}
+
+impl UniExtract {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let fields = param_str_list("UniExtract", params, "fields")?;
+        for f in &fields {
+            if !UNI_FIELDS.contains(&f.as_str()) {
+                return Err(bad_param("UniExtract", format!("unknown flow field {f:?}")));
+            }
+        }
+        if fields.is_empty() {
+            return Err(bad_param("UniExtract", "fields must be non-empty"));
+        }
+        Ok(Box::new(UniExtract { fields }))
+    }
+}
+
+impl Operation for UniExtract {
+    fn name(&self) -> &'static str {
+        "UniExtract"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::UniFlows]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::UniFlows(ud) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut x = Matrix::zeros(ud.flows.len(), self.fields.len());
+        for (r, flow) in ud.flows.iter().enumerate() {
+            for (c, f) in self.fields.iter().enumerate() {
+                x.set(r, c, uni_field(flow, f));
+            }
+        }
+        Ok(Data::Table(Arc::new(Table::new(
+            self.fields.clone(),
+            x,
+            ud.labels.clone(),
+            ud.tags.clone(),
+        )?)))
+    }
+}
+
+// ---- FirstNStats -------------------------------------------------------------
+
+/// `FirstNStats`: features from the first `n` packets of each connection —
+/// OCSVM's (A07) "inter-arrival times and lengths of the first hundred
+/// packets". Emits summary statistics, and with `include_raw` the padded raw
+/// IAT/length vectors themselves.
+pub struct FirstNStats {
+    n: usize,
+    include_raw: bool,
+}
+
+impl FirstNStats {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let n = param_usize_or(params, "n", 100);
+        if n == 0 {
+            return Err(bad_param("FirstNStats", "n must be positive"));
+        }
+        Ok(Box::new(FirstNStats {
+            n,
+            include_raw: param_bool_or(params, "include_raw", false),
+        }))
+    }
+}
+
+impl Operation for FirstNStats {
+    fn name(&self) -> &'static str {
+        "FirstNStats"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Connections]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Connections(cd) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut names: Vec<String> = [
+            "fn_iat_mean",
+            "fn_iat_std",
+            "fn_iat_min",
+            "fn_iat_max",
+            "fn_len_mean",
+            "fn_len_std",
+            "fn_len_min",
+            "fn_len_max",
+            "fn_count",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        if self.include_raw {
+            for i in 0..self.n.saturating_sub(1) {
+                names.push(format!("fn_iat_{i}"));
+            }
+            for i in 0..self.n {
+                names.push(format!("fn_len_{i}"));
+            }
+        }
+        let width = names.len();
+        let mut x = Matrix::zeros(cd.conns.len(), width);
+        for (r, conn) in cd.conns.iter().enumerate() {
+            let iats = conn.first_n_iats();
+            let lens = conn.first_n_lens();
+            let iat_s = lumen_util::Summary::of(&iats);
+            let len_s = lumen_util::Summary::of(&lens);
+            let row = x.row_mut(r);
+            row[0] = iat_s.mean;
+            row[1] = iat_s.std_dev;
+            row[2] = iat_s.min;
+            row[3] = iat_s.max;
+            row[4] = len_s.mean;
+            row[5] = len_s.std_dev;
+            row[6] = len_s.min;
+            row[7] = len_s.max;
+            row[8] = lens.len() as f64;
+            if self.include_raw {
+                let mut at = 9;
+                for i in 0..self.n.saturating_sub(1) {
+                    row[at] = iats.get(i).copied().unwrap_or(-1.0);
+                    at += 1;
+                }
+                for i in 0..self.n {
+                    row[at] = lens.get(i).copied().unwrap_or(-1.0);
+                    at += 1;
+                }
+            }
+        }
+        Ok(Data::Table(Arc::new(Table::new(
+            names,
+            x,
+            cd.labels.clone(),
+            cd.tags.clone(),
+        )?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PacketData;
+    use lumen_net::builder::{tcp_packet, TcpParams};
+    use lumen_net::wire::tcp::TcpFlags;
+    use lumen_net::{LinkType, MacAddr};
+    use serde_json::json;
+    use std::net::Ipv4Addr;
+
+    fn packets() -> Arc<PacketData> {
+        let mk = |ts: u64, len: usize, dport: u16| {
+            let pkt = tcp_packet(TcpParams {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_port: 40000,
+                dst_port: dport,
+                seq: 7,
+                ack: 0,
+                flags: TcpFlags::PSH_ACK,
+                window: 100,
+                ttl: 64,
+                payload: &vec![0x41; len],
+            });
+            PacketMeta::parse(LinkType::Ethernet, ts, &pkt).unwrap()
+        };
+        let metas = vec![mk(0, 10, 80), mk(1000, 20, 443), mk(2000, 0, 80)];
+        Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels: vec![0, 1, 0],
+            tags: vec![0, 3, 0],
+        })
+    }
+
+    #[test]
+    fn field_extract_produces_expected_values() {
+        let p = packets();
+        let op =
+            FieldExtract::from_params(&json!({"fields": ["payload_len", "dst_port", "tcp_psh"]}))
+                .unwrap();
+        let out = op.execute(&[&Data::Packets(p)]).unwrap();
+        let Data::Table(t) = out else { panic!() };
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.x.row(0), &[10.0, 80.0, 1.0]);
+        assert_eq!(t.x.row(1), &[20.0, 443.0, 1.0]);
+        assert_eq!(t.labels, vec![0, 1, 0]);
+        assert_eq!(t.tags, vec![0, 3, 0]);
+    }
+
+    #[test]
+    fn field_extract_rejects_unknown_field() {
+        assert!(FieldExtract::from_params(&json!({"fields": ["nope"]})).is_err());
+    }
+
+    #[test]
+    fn every_catalog_field_is_finite_on_real_packet() {
+        let p = packets();
+        for f in PACKET_FIELDS {
+            let v = packet_field(&p.metas[0], f);
+            assert!(
+                v.is_finite() || f.starts_with("dot11"),
+                "field {f} produced {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn nprint_bits_match_header_bytes() {
+        let p = packets();
+        let op = NprintEncode::from_params(&json!({"sections": ["ipv4", "tcp"]})).unwrap();
+        let Data::Table(t) = op.execute(&[&Data::Packets(p.clone())]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.cols(), 320);
+        // First 4 bits of IPv4 header = version 4 = 0100.
+        assert_eq!(t.x.row(0)[0], 0.0);
+        assert_eq!(t.x.row(0)[1], 1.0);
+        assert_eq!(t.x.row(0)[2], 0.0);
+        assert_eq!(t.x.row(0)[3], 0.0);
+        // Reconstruct the dst port from tcp bits 16..32.
+        let mut port = 0u16;
+        for b in 16..32 {
+            port = (port << 1) | (t.x.row(0)[160 + b] as u16);
+        }
+        assert_eq!(port, 80);
+    }
+
+    #[test]
+    fn nprint_missing_section_is_minus_one() {
+        let p = packets(); // all TCP
+        let op = NprintEncode::from_params(&json!({"sections": ["udp"]})).unwrap();
+        let Data::Table(t) = op.execute(&[&Data::Packets(p)]).unwrap() else {
+            panic!()
+        };
+        assert!(t.x.row(0).iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn payload_bytes_pads_with_minus_one() {
+        let p = packets();
+        let op = PayloadBytes::from_params(&json!({"n": 16})).unwrap();
+        let Data::Table(t) = op.execute(&[&Data::Packets(p)]).unwrap() else {
+            panic!()
+        };
+        // Row 0 has 10 payload bytes of 0x41 then padding.
+        assert_eq!(t.x.row(0)[0], 65.0);
+        assert_eq!(t.x.row(0)[9], 65.0);
+        assert_eq!(t.x.row(0)[10], -1.0);
+        // Row 2 has no payload at all.
+        assert!(t.x.row(2).iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn pdml_encode_has_fixed_width() {
+        let p = packets();
+        let op = PdmlEncode::from_params(&json!({})).unwrap();
+        let Data::Table(t) = op.execute(&[&Data::Packets(p)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.cols(), PdmlEncode::FIELDS.len());
+        assert!(t.names.iter().all(|n| n.starts_with("pdml_")));
+    }
+}

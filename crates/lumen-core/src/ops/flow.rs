@@ -1,0 +1,205 @@
+//! Flow-assembly operations: packets → connections → unidirectional flows.
+
+use std::sync::Arc;
+
+use lumen_flow::{assemble, FlowConfig};
+use serde_json::Value;
+
+use crate::data::{ConnData, Data, DataKind, UniData};
+use crate::ops::{bad_param, param_f64_or, param_usize_or, Operation};
+use crate::CoreResult;
+
+fn derive_truth(labels: &[u8], tags: &[u32], indices: &[u32]) -> (u8, u32) {
+    let mut label = 0u8;
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &i in indices {
+        let i = i as usize;
+        if labels.get(i).copied() == Some(1) {
+            label = 1;
+            *counts.entry(tags[i]).or_insert(0) += 1;
+        }
+    }
+    let tag = counts
+        .into_iter()
+        .max_by_key(|&(t, c)| (c, t))
+        .map_or(0, |(t, _)| t);
+    (label, tag)
+}
+
+/// `FlowAssemble`: runs the connection tracker over the packet stream and
+/// derives connection-level ground truth by the any-malicious rule.
+pub struct FlowAssemble {
+    cfg: FlowConfig,
+}
+
+impl FlowAssemble {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let tcp_idle_s = param_f64_or(params, "tcp_idle_s", 300.0);
+        let udp_idle_s = param_f64_or(params, "udp_idle_s", 60.0);
+        let first_n = param_usize_or(params, "first_n", 100);
+        if tcp_idle_s <= 0.0 || udp_idle_s <= 0.0 {
+            return Err(bad_param("FlowAssemble", "idle timeouts must be positive"));
+        }
+        if first_n == 0 {
+            return Err(bad_param("FlowAssemble", "first_n must be positive"));
+        }
+        Ok(Box::new(FlowAssemble {
+            cfg: FlowConfig {
+                tcp_idle_us: (tcp_idle_s * 1e6) as u64,
+                udp_idle_us: (udp_idle_s * 1e6) as u64,
+                icmp_idle_us: 30_000_000,
+                first_n,
+            },
+        }))
+    }
+}
+
+impl Operation for FlowAssemble {
+    fn name(&self) -> &'static str {
+        "FlowAssemble"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Connections
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let conns = assemble(&p.metas, self.cfg);
+        let mut labels = Vec::with_capacity(conns.len());
+        let mut tags = Vec::with_capacity(conns.len());
+        for c in &conns {
+            let (l, t) = derive_truth(&p.labels, &p.tags, &c.packet_indices);
+            labels.push(l);
+            tags.push(t);
+        }
+        Ok(Data::Connections(Arc::new(ConnData {
+            parent: Arc::clone(p),
+            conns,
+            labels,
+            tags,
+        })))
+    }
+}
+
+/// `UniFlowSplit`: splits each connection into its per-direction flows
+/// (smartdet's classification granularity). Flow ground truth is inherited
+/// from the parent connection.
+pub struct UniFlowSplit;
+
+impl UniFlowSplit {
+    pub fn from_params(_params: &Value) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(UniFlowSplit))
+    }
+}
+
+impl Operation for UniFlowSplit {
+    fn name(&self) -> &'static str {
+        "UniFlowSplit"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Connections]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::UniFlows
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Connections(cd) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut flows = Vec::new();
+        let mut labels = Vec::new();
+        let mut tags = Vec::new();
+        for (i, c) in cd.conns.iter().enumerate() {
+            for f in c.to_uni_flows() {
+                flows.push(f);
+                labels.push(cd.labels[i]);
+                tags.push(cd.tags[i]);
+            }
+        }
+        Ok(Data::UniFlows(Arc::new(UniData {
+            flows,
+            labels,
+            tags,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PacketData;
+    use lumen_net::builder::{tcp_packet, TcpParams};
+    use lumen_net::wire::tcp::TcpFlags;
+    use lumen_net::{LinkType, MacAddr, PacketMeta};
+    use serde_json::json;
+    use std::net::Ipv4Addr;
+
+    fn two_conn_source() -> Data {
+        let mk = |ts, sp: u16, flags| {
+            let pkt = tcp_packet(TcpParams {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_port: sp,
+                dst_port: 80,
+                seq: 1,
+                ack: 0,
+                flags,
+                window: 10,
+                ttl: 64,
+                payload: b"",
+            });
+            PacketMeta::parse(LinkType::Ethernet, ts, &pkt).unwrap()
+        };
+        let metas = vec![
+            mk(0, 1000, TcpFlags::SYN),
+            mk(10, 2000, TcpFlags::SYN),
+            mk(20, 1000, TcpFlags::ACK),
+        ];
+        Data::Packets(Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels: vec![0, 1, 0],
+            tags: vec![0, 5, 0],
+        }))
+    }
+
+    #[test]
+    fn assemble_derives_connection_truth() {
+        let op = FlowAssemble::from_params(&json!({})).unwrap();
+        let Data::Connections(cd) = op.execute(&[&two_conn_source()]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(cd.conns.len(), 2);
+        // Connection from port 1000 is benign; from 2000 malicious tag 5.
+        let idx_1000 = cd.conns.iter().position(|c| c.orig.1 == 1000).unwrap();
+        let idx_2000 = cd.conns.iter().position(|c| c.orig.1 == 2000).unwrap();
+        assert_eq!(cd.labels[idx_1000], 0);
+        assert_eq!(cd.labels[idx_2000], 1);
+        assert_eq!(cd.tags[idx_2000], 5);
+    }
+
+    #[test]
+    fn uni_split_inherits_labels() {
+        let op = FlowAssemble::from_params(&json!({})).unwrap();
+        let conns = op.execute(&[&two_conn_source()]).unwrap();
+        let split = UniFlowSplit::from_params(&json!({})).unwrap();
+        let Data::UniFlows(ud) = split.execute(&[&conns]).unwrap() else {
+            panic!()
+        };
+        // Both connections are one-directional here.
+        assert_eq!(ud.flows.len(), 2);
+        assert_eq!(ud.labels.iter().filter(|&&l| l == 1).count(), 1);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(FlowAssemble::from_params(&json!({"tcp_idle_s": -1.0})).is_err());
+        assert!(FlowAssemble::from_params(&json!({"first_n": 0})).is_err());
+    }
+}

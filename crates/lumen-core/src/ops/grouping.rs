@@ -1,0 +1,407 @@
+//! Grouping, time slicing, and filtering operations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use crate::data::{Data, DataKind, Grouped};
+use crate::ops::{bad_param, param_f64_or, param_str, Operation};
+use crate::CoreResult;
+
+use lumen_net::PacketMeta;
+
+/// Grouping keys `GroupBy` supports. `channel` is Kitsune's src→dst pair;
+/// `socket` its 5-tuple; `pair` the unordered srcIP/dstIP pair (nokia's
+/// granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKey {
+    SrcIp,
+    DstIp,
+    SrcMac,
+    SrcPort,
+    DstPort,
+    Channel,
+    Socket,
+    Pair,
+}
+
+impl GroupKey {
+    fn parse(s: &str) -> Option<GroupKey> {
+        match s {
+            "srcIp" => Some(GroupKey::SrcIp),
+            "dstIp" => Some(GroupKey::DstIp),
+            "srcMac" => Some(GroupKey::SrcMac),
+            "srcPort" => Some(GroupKey::SrcPort),
+            "dstPort" => Some(GroupKey::DstPort),
+            "channel" => Some(GroupKey::Channel),
+            "socket" => Some(GroupKey::Socket),
+            "pair" => Some(GroupKey::Pair),
+            _ => None,
+        }
+    }
+
+    /// The group key of one packet. Packets lacking the keyed attribute all
+    /// share a sentinel bucket so every packet stays represented (per-packet
+    /// feature tables must align row-for-row with the source).
+    fn key_of(self, meta: &PacketMeta) -> u128 {
+        const MISSING: u128 = u128::MAX;
+        let ip = meta.ipv4.as_ref();
+        match self {
+            GroupKey::SrcIp => ip.map_or(MISSING, |i| u128::from(u32::from(i.src))),
+            GroupKey::DstIp => ip.map_or(MISSING, |i| u128::from(u32::from(i.dst))),
+            GroupKey::SrcMac => u128::from(meta.src_mac.to_u64()),
+            GroupKey::SrcPort => meta.transport.src_port().map_or(MISSING, u128::from),
+            GroupKey::DstPort => meta.transport.dst_port().map_or(MISSING, u128::from),
+            GroupKey::Channel => ip.map_or(MISSING, |i| {
+                (u128::from(u32::from(i.src)) << 32) | u128::from(u32::from(i.dst))
+            }),
+            GroupKey::Socket => match meta.five_tuple() {
+                Some((s, d, sp, dp, proto)) => {
+                    (u128::from(u32::from(s)) << 72)
+                        | (u128::from(u32::from(d)) << 40)
+                        | (u128::from(sp) << 24)
+                        | (u128::from(dp) << 8)
+                        | u128::from(proto)
+                }
+                None => MISSING,
+            },
+            GroupKey::Pair => ip.map_or(MISSING, |i| {
+                let (a, b) = (u32::from(i.src), u32::from(i.dst));
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                (u128::from(lo) << 32) | u128::from(hi)
+            }),
+        }
+    }
+}
+
+/// `GroupBy`: partitions packets by a key attribute. Group order is the
+/// order of first appearance, so results are deterministic.
+pub struct GroupBy {
+    key: GroupKey,
+    desc: String,
+}
+
+impl GroupBy {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let key_s = param_str("GroupBy", params, "key")?;
+        let key = GroupKey::parse(&key_s)
+            .ok_or_else(|| bad_param("GroupBy", format!("unknown key {key_s:?}")))?;
+        Ok(Box::new(GroupBy { key, desc: key_s }))
+    }
+}
+
+impl Operation for GroupBy {
+    fn name(&self) -> &'static str {
+        "GroupBy"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Grouped
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let mut index: HashMap<u128, usize> = HashMap::new();
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for (i, meta) in p.metas.iter().enumerate() {
+            let k = self.key.key_of(meta);
+            let g = *index.entry(k).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i as u32);
+        }
+        Ok(Data::Grouped(Arc::new(Grouped {
+            parent: Arc::clone(p),
+            groups,
+            key_desc: self.desc.clone(),
+        })))
+    }
+}
+
+/// `TimeSlice`: refines a grouping by cutting each group at absolute
+/// `window_s` boundaries — the paper's Figure 3 feeds GroupBy output into a
+/// 10-second TimeSlice before aggregating.
+pub struct TimeSlice {
+    window_us: u64,
+}
+
+impl TimeSlice {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let window_s = param_f64_or(params, "window_s", 10.0);
+        if window_s <= 0.0 {
+            return Err(bad_param("TimeSlice", "window_s must be positive"));
+        }
+        Ok(Box::new(TimeSlice {
+            window_us: (window_s * 1e6) as u64,
+        }))
+    }
+}
+
+impl Operation for TimeSlice {
+    fn name(&self) -> &'static str {
+        "TimeSlice"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Grouped]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Grouped
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Grouped(g) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let metas = &g.parent.metas;
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for group in &g.groups {
+            let mut current: Vec<u32> = Vec::new();
+            let mut window: Option<u64> = None;
+            for &i in group {
+                let w = metas[i as usize].ts_us / self.window_us;
+                match window {
+                    Some(cw) if cw == w => current.push(i),
+                    Some(_) => {
+                        out.push(std::mem::take(&mut current));
+                        current.push(i);
+                        window = Some(w);
+                    }
+                    None => {
+                        current.push(i);
+                        window = Some(w);
+                    }
+                }
+            }
+            if !current.is_empty() {
+                out.push(current);
+            }
+        }
+        Ok(Data::Grouped(Arc::new(Grouped {
+            parent: Arc::clone(&g.parent),
+            groups: out,
+            key_desc: format!("{} / {}s", g.key_desc, self.window_us as f64 / 1e6),
+        })))
+    }
+}
+
+/// `Filter`: keeps packets matching a simple predicate on a catalog field.
+pub struct Filter {
+    field: String,
+    op: String,
+    value: f64,
+}
+
+impl Filter {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let field = param_str("Filter", params, "field")?;
+        if !crate::ops::extract::PACKET_FIELDS.contains(&field.as_str()) {
+            return Err(bad_param("Filter", format!("unknown field {field:?}")));
+        }
+        let op = param_str("Filter", params, "op")?;
+        if !["==", "!=", "<", "<=", ">", ">="].contains(&op.as_str()) {
+            return Err(bad_param("Filter", format!("unknown comparator {op:?}")));
+        }
+        let value = params
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| bad_param("Filter", "missing numeric parameter \"value\""))?;
+        Ok(Box::new(Filter { field, op, value }))
+    }
+}
+
+impl Operation for Filter {
+    fn name(&self) -> &'static str {
+        "Filter"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Packets]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Packets
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Packets(p) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        let keep = |meta: &PacketMeta| {
+            let v = crate::ops::extract::packet_field(meta, &self.field);
+            match self.op.as_str() {
+                "==" => v == self.value,
+                "!=" => v != self.value,
+                "<" => v < self.value,
+                "<=" => v <= self.value,
+                ">" => v > self.value,
+                _ => v >= self.value,
+            }
+        };
+        let mut metas = Vec::new();
+        let mut labels = Vec::new();
+        let mut tags = Vec::new();
+        for (i, m) in p.metas.iter().enumerate() {
+            if keep(m) {
+                metas.push(m.clone());
+                labels.push(p.labels[i]);
+                tags.push(p.tags[i]);
+            }
+        }
+        Ok(Data::Packets(Arc::new(crate::data::PacketData {
+            link: p.link,
+            metas,
+            labels,
+            tags,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PacketData;
+    use lumen_net::builder::{tcp_packet, udp_packet, TcpParams, UdpParams};
+    use lumen_net::wire::tcp::TcpFlags;
+    use lumen_net::{LinkType, MacAddr};
+    use serde_json::json;
+    use std::net::Ipv4Addr;
+
+    fn meta_tcp(ts: u64, src: u8, dport: u16) -> PacketMeta {
+        let pkt = tcp_packet(TcpParams {
+            src_mac: MacAddr::from_id(u64::from(src)),
+            dst_mac: MacAddr::from_id(99),
+            src_ip: Ipv4Addr::new(10, 0, 0, src),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 200),
+            src_port: 1000 + u16::from(src),
+            dst_port: dport,
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 10,
+            ttl: 64,
+            payload: b"x",
+        });
+        PacketMeta::parse(LinkType::Ethernet, ts, &pkt).unwrap()
+    }
+
+    fn meta_udp(ts: u64, src: u8) -> PacketMeta {
+        let pkt = udp_packet(UdpParams {
+            src_mac: MacAddr::from_id(u64::from(src)),
+            dst_mac: MacAddr::from_id(99),
+            src_ip: Ipv4Addr::new(10, 0, 0, src),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 200),
+            src_port: 5000,
+            dst_port: 53,
+            ttl: 64,
+            payload: b"q",
+        });
+        PacketMeta::parse(LinkType::Ethernet, ts, &pkt).unwrap()
+    }
+
+    fn source() -> Data {
+        let metas = vec![
+            meta_tcp(0, 1, 80),
+            meta_tcp(1, 2, 80),
+            meta_tcp(2, 1, 443),
+            meta_udp(3, 1),
+            meta_udp(4, 3),
+        ];
+        let n = metas.len();
+        Data::Packets(Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels: vec![0; n],
+            tags: vec![0; n],
+        }))
+    }
+
+    #[test]
+    fn group_by_src_ip() {
+        let op = GroupBy::from_params(&json!({"key": "srcIp"})).unwrap();
+        let Data::Grouped(g) = op.execute(&[&source()]).unwrap() else {
+            panic!()
+        };
+        // Sources .1, .2, .3 -> 3 groups; .1 has packets 0, 2, 3.
+        assert_eq!(g.groups.len(), 3);
+        assert_eq!(g.groups[0], vec![0, 2, 3]);
+        assert_eq!(g.groups[1], vec![1]);
+        assert_eq!(g.groups[2], vec![4]);
+    }
+
+    #[test]
+    fn group_by_socket_distinguishes_ports() {
+        let op = GroupBy::from_params(&json!({"key": "socket"})).unwrap();
+        let Data::Grouped(g) = op.execute(&[&source()]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(g.groups.len(), 5);
+    }
+
+    #[test]
+    fn groups_cover_every_packet_exactly_once() {
+        for key in [
+            "srcIp", "dstIp", "srcMac", "channel", "socket", "pair", "srcPort", "dstPort",
+        ] {
+            let op = GroupBy::from_params(&json!({ "key": key })).unwrap();
+            let Data::Grouped(g) = op.execute(&[&source()]).unwrap() else {
+                panic!()
+            };
+            let mut all: Vec<u32> = g.groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4], "key {key}");
+        }
+    }
+
+    #[test]
+    fn time_slice_cuts_at_boundaries() {
+        let metas = vec![
+            meta_tcp(0, 1, 80),
+            meta_tcp(5_000_000, 1, 80),
+            meta_tcp(12_000_000, 1, 80),
+            meta_tcp(25_000_000, 1, 80),
+        ];
+        let n = metas.len();
+        let src = Data::Packets(Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels: vec![0; n],
+            tags: vec![0; n],
+        }));
+        let gb = GroupBy::from_params(&json!({"key": "srcIp"})).unwrap();
+        let grouped = gb.execute(&[&src]).unwrap();
+        let ts = TimeSlice::from_params(&json!({"window_s": 10.0})).unwrap();
+        let Data::Grouped(g) = ts.execute(&[&grouped]).unwrap() else {
+            panic!()
+        };
+        // Windows: [0,10s): pkts 0,1; [10,20s): pkt 2; [20,30s): pkt 3.
+        assert_eq!(g.groups.len(), 3);
+        assert_eq!(g.groups[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn filter_keeps_matching_packets() {
+        let op =
+            Filter::from_params(&json!({"field": "is_udp", "op": "==", "value": 1.0})).unwrap();
+        let Data::Packets(p) = op.execute(&[&source()]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(p.len(), 2);
+        assert!(p.metas.iter().all(PacketMeta::is_udp));
+    }
+
+    #[test]
+    fn filter_rejects_bad_comparator() {
+        assert!(Filter::from_params(&json!({"field": "ttl", "op": "~", "value": 1.0})).is_err());
+    }
+
+    #[test]
+    fn bad_group_key_rejected() {
+        assert!(GroupBy::from_params(&json!({"key": "nope"})).is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(TimeSlice::from_params(&json!({"window_s": 0.0})).is_err());
+    }
+}

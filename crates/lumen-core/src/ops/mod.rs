@@ -1,0 +1,242 @@
+//! The configurable operations (§3.2) and the registry that builds them
+//! from template JSON.
+//!
+//! Around 30 operations cover everything the 16 surveyed algorithms need.
+//! Each is configurable (one `ApplyAggregates` implementation serves mean,
+//! std, entropy, rate, ... — "fewer efficient implementations", as the paper
+//! puts it) and declares typed input/output ports that the engine checks
+//! before execution.
+
+mod aggregate;
+mod extract;
+mod flow;
+mod grouping;
+mod model;
+mod source;
+mod tableops;
+
+pub use model::PreprocessedClassifier;
+
+/// The field catalogs (packet / connection / unidirectional-flow), exported
+/// for documentation and validation.
+pub mod extract_catalog {
+    pub use super::extract::{CONN_FIELDS, PACKET_FIELDS, UNI_FIELDS};
+}
+
+use serde_json::Value;
+
+use crate::data::{Data, DataKind};
+use crate::{CoreError, CoreResult};
+
+/// One configurable operation instance.
+pub trait Operation: Send + Sync {
+    /// Registry name ("FieldExtract", "GroupBy", ...).
+    fn name(&self) -> &'static str;
+
+    /// Input port kinds. When [`Operation::variadic`] is true, any number of
+    /// inputs (at least one) of kind `input_kinds()[0]` is accepted.
+    fn input_kinds(&self) -> Vec<DataKind>;
+
+    /// Output port kind.
+    fn output_kind(&self) -> DataKind;
+
+    /// Whether the op accepts a variable number of same-kind inputs.
+    fn variadic(&self) -> bool {
+        false
+    }
+
+    /// Executes on type-checked inputs.
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data>;
+}
+
+/// Instantiates an operation from its template name and parameter object.
+pub fn build_op(func: &str, params: &Value) -> CoreResult<Box<dyn Operation>> {
+    match func {
+        // Sources.
+        "PcapLoad" => source::PcapLoad::from_params(params),
+        // Extraction / encoding.
+        "FieldExtract" => extract::FieldExtract::from_params(params),
+        "NprintEncode" => extract::NprintEncode::from_params(params),
+        "PdmlEncode" => extract::PdmlEncode::from_params(params),
+        "PayloadBytes" => extract::PayloadBytes::from_params(params),
+        "ConnExtract" => extract::ConnExtract::from_params(params),
+        "UniExtract" => extract::UniExtract::from_params(params),
+        "FirstNStats" => extract::FirstNStats::from_params(params),
+        // Grouping / filtering.
+        "GroupBy" => grouping::GroupBy::from_params(params),
+        "TimeSlice" => grouping::TimeSlice::from_params(params),
+        "Filter" => grouping::Filter::from_params(params),
+        // Aggregation / incremental statistics.
+        "ApplyAggregates" => aggregate::ApplyAggregates::from_params(params),
+        "RollingAggregates" => aggregate::RollingAggregates::from_params(params),
+        "InterArrival" => aggregate::InterArrival::from_params(params),
+        "DampedStats" => aggregate::DampedStats::from_params(params),
+        "DampedCov" => aggregate::DampedCov::from_params(params),
+        // Flow assembly.
+        "FlowAssemble" => flow::FlowAssemble::from_params(params),
+        "UniFlowSplit" => flow::UniFlowSplit::from_params(params),
+        // Table transforms.
+        "Normalize" => tableops::Normalize::from_params(params),
+        "CorrelationFilter" => tableops::CorrelationFilterOp::from_params(params),
+        "Pca" => tableops::PcaOp::from_params(params),
+        "Impute" => tableops::ImputeOp::from_params(params),
+        "FeatureSelect" => tableops::FeatureSelect::from_params(params),
+        "Concat" => tableops::Concat::from_params(params),
+        "MergeTables" => tableops::MergeTables::from_params(params),
+        "Sample" => tableops::Sample::from_params(params),
+        "TrainTestSplit" => tableops::TrainTestSplit::from_params(params),
+        "TakeTrain" => tableops::TakePart::from_params(params, true),
+        "TakeTest" => tableops::TakePart::from_params(params, false),
+        // Models.
+        "Model" => model::ModelOp::from_params(params),
+        "Train" => model::TrainOp::from_params(params),
+        "Predict" => model::PredictOp::from_params(params),
+        "Evaluate" => model::EvaluateOp::from_params(params),
+        other => Err(CoreError::BadTemplate(format!(
+            "unknown operation {other:?}"
+        ))),
+    }
+}
+
+/// Names of every registered operation (for docs and error hints).
+pub const OPERATION_NAMES: [&str; 33] = [
+    "PcapLoad",
+    "FieldExtract",
+    "NprintEncode",
+    "PdmlEncode",
+    "PayloadBytes",
+    "ConnExtract",
+    "UniExtract",
+    "FirstNStats",
+    "GroupBy",
+    "TimeSlice",
+    "Filter",
+    "ApplyAggregates",
+    "RollingAggregates",
+    "InterArrival",
+    "DampedStats",
+    "DampedCov",
+    "FlowAssemble",
+    "UniFlowSplit",
+    "Normalize",
+    "CorrelationFilter",
+    "Pca",
+    "Impute",
+    "FeatureSelect",
+    "Concat",
+    "MergeTables",
+    "Sample",
+    "TrainTestSplit",
+    "TakeTrain",
+    "TakeTest",
+    "Model",
+    "Train",
+    "Predict",
+    "Evaluate",
+];
+
+// ---- parameter helpers -----------------------------------------------------
+
+pub(crate) fn bad_param(op: &str, why: impl Into<String>) -> CoreError {
+    CoreError::BadParam {
+        op: op.into(),
+        why: why.into(),
+    }
+}
+
+pub(crate) fn param_str(op: &str, params: &Value, key: &str) -> CoreResult<String> {
+    params
+        .get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad_param(op, format!("missing string parameter {key:?}")))
+}
+
+pub(crate) fn param_str_or(params: &Value, key: &str, default: &str) -> String {
+    params
+        .get(key)
+        .and_then(Value::as_str)
+        .unwrap_or(default)
+        .to_string()
+}
+
+pub(crate) fn param_str_list(op: &str, params: &Value, key: &str) -> CoreResult<Vec<String>> {
+    let arr = params
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad_param(op, format!("missing list parameter {key:?}")))?;
+    arr.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad_param(op, format!("{key:?} entries must be strings")))
+        })
+        .collect()
+}
+
+pub(crate) fn param_f64_or(params: &Value, key: &str, default: f64) -> f64 {
+    params.get(key).and_then(Value::as_f64).unwrap_or(default)
+}
+
+pub(crate) fn param_u64_or(params: &Value, key: &str, default: u64) -> u64 {
+    params.get(key).and_then(Value::as_u64).unwrap_or(default)
+}
+
+pub(crate) fn param_usize_or(params: &Value, key: &str, default: usize) -> usize {
+    params
+        .get(key)
+        .and_then(Value::as_u64)
+        .map(|v| v as usize)
+        .unwrap_or(default)
+}
+
+pub(crate) fn param_bool_or(params: &Value, key: &str, default: bool) -> bool {
+    params.get(key).and_then(Value::as_bool).unwrap_or(default)
+}
+
+pub(crate) fn param_f64_list_or(params: &Value, key: &str, default: &[f64]) -> Vec<f64> {
+    params
+        .get(key)
+        .and_then(Value::as_array)
+        .map(|arr| arr.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn every_registered_name_builds_or_reports_params() {
+        // Each name must at least be recognized (i.e., not "unknown op").
+        for name in OPERATION_NAMES {
+            match build_op(name, &json!({})) {
+                Ok(_) => {}
+                Err(CoreError::BadParam { .. }) => {}
+                Err(other) => panic!("{name}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_op_is_template_error() {
+        assert!(matches!(
+            build_op("Nonsense", &json!({})),
+            Err(CoreError::BadTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn param_helpers() {
+        let p = json!({"s": "x", "list": ["a", "b"], "n": 3, "f": 0.5, "b": true});
+        assert_eq!(param_str("t", &p, "s").unwrap(), "x");
+        assert!(param_str("t", &p, "missing").is_err());
+        assert_eq!(param_str_list("t", &p, "list").unwrap(), vec!["a", "b"]);
+        assert_eq!(param_u64_or(&p, "n", 9), 3);
+        assert_eq!(param_u64_or(&p, "nope", 9), 9);
+        assert_eq!(param_f64_or(&p, "f", 1.0), 0.5);
+        assert!(param_bool_or(&p, "b", false));
+        assert_eq!(param_f64_list_or(&p, "zz", &[1.0]), vec![1.0]);
+    }
+}

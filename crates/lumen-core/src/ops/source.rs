@@ -1,0 +1,129 @@
+//! Source operations: loading packets from capture files.
+
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use crate::data::{Data, DataKind, PacketData};
+use crate::ops::{bad_param, param_str, param_usize_or, Operation};
+use crate::par::parse_capture;
+use crate::{CoreError, CoreResult};
+
+/// `PcapLoad`: reads a libpcap file from disk and parses it into an
+/// (unlabeled) packet source — the entry point for running pipelines on
+/// real captures rather than pre-bound data.
+///
+/// Parameters: `path` (required), `threads` (parse workers, default 4),
+/// `max_packets` (optional deterministic stride subsample).
+pub struct PcapLoad {
+    path: String,
+    threads: usize,
+    max_packets: usize,
+}
+
+impl PcapLoad {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let path = param_str("PcapLoad", params, "path")?;
+        let threads = param_usize_or(params, "threads", 4);
+        if threads == 0 {
+            return Err(bad_param("PcapLoad", "threads must be positive"));
+        }
+        Ok(Box::new(PcapLoad {
+            path,
+            threads,
+            max_packets: param_usize_or(params, "max_packets", usize::MAX),
+        }))
+    }
+}
+
+impl Operation for PcapLoad {
+    fn name(&self) -> &'static str {
+        "PcapLoad"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Packets
+    }
+    fn execute(&self, _inputs: &[&Data]) -> CoreResult<Data> {
+        let bytes = std::fs::read(&self.path).map_err(|e| CoreError::OpFailed {
+            op: "PcapLoad".into(),
+            why: format!("{}: {e}", self.path),
+        })?;
+        let (link, mut packets) = lumen_net::pcap::from_bytes(&bytes)?;
+        if packets.len() > self.max_packets {
+            let step = packets.len().div_ceil(self.max_packets);
+            packets = packets.into_iter().step_by(step).collect();
+        }
+        let (metas, _skipped) = parse_capture(link, &packets, self.threads);
+        Ok(Data::Packets(Arc::new(PacketData::unlabeled(link, metas))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::builder::{udp_packet, UdpParams};
+    use lumen_net::{CapturedPacket, LinkType, MacAddr};
+    use serde_json::json;
+    use std::net::Ipv4Addr;
+
+    fn sample_pcap(n: usize) -> Vec<u8> {
+        let packets: Vec<CapturedPacket> = (0..n)
+            .map(|i| {
+                CapturedPacket::new(
+                    i as u64 * 1000,
+                    udp_packet(UdpParams {
+                        src_mac: MacAddr::from_id(1),
+                        dst_mac: MacAddr::from_id(2),
+                        src_ip: Ipv4Addr::new(10, 9, 8, 7),
+                        dst_ip: Ipv4Addr::new(10, 9, 8, 1),
+                        src_port: 1000,
+                        dst_port: 53,
+                        ttl: 64,
+                        payload: b"x",
+                    }),
+                )
+            })
+            .collect();
+        lumen_net::pcap::to_bytes(LinkType::Ethernet, &packets)
+    }
+
+    #[test]
+    fn loads_and_parses_a_file() {
+        let path = std::env::temp_dir().join("lumen_pcapload_test.pcap");
+        std::fs::write(&path, sample_pcap(25)).unwrap();
+        let op = PcapLoad::from_params(&json!({"path": path.to_str().unwrap()})).unwrap();
+        let Data::Packets(p) = op.execute(&[]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(p.len(), 25);
+        assert!(p.labels.iter().all(|&l| l == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn max_packets_subsamples() {
+        let path = std::env::temp_dir().join("lumen_pcapload_sub.pcap");
+        std::fs::write(&path, sample_pcap(100)).unwrap();
+        let op = PcapLoad::from_params(&json!({"path": path.to_str().unwrap(), "max_packets": 10}))
+            .unwrap();
+        let Data::Packets(p) = op.execute(&[]).unwrap() else {
+            panic!()
+        };
+        assert!(p.len() <= 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_op_failure() {
+        let op = PcapLoad::from_params(&json!({"path": "/nonexistent/x.pcap"})).unwrap();
+        assert!(matches!(op.execute(&[]), Err(CoreError::OpFailed { .. })));
+    }
+
+    #[test]
+    fn missing_path_param_rejected() {
+        assert!(PcapLoad::from_params(&json!({})).is_err());
+    }
+}

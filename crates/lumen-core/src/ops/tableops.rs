@@ -1,0 +1,551 @@
+//! Table-level transforms: normalization, feature selection, concatenation,
+//! sampling, and train/test splitting.
+//!
+//! The data-dependent transforms here (`Normalize`, `CorrelationFilter`,
+//! `Pca`, `Impute`) fit on the table they receive — useful for exploration.
+//! When a transform must be fitted on *training* data only and replayed on
+//! test data, configure it on the `Model` operation instead (see
+//! [`crate::ops::model`]); the benchmark's algorithm pipelines use that form.
+
+use std::sync::Arc;
+
+use lumen_ml::preprocess::{
+    CorrelationFilter, Imputer, MinMaxScaler, Pca, RobustScaler, StandardScaler, Transform,
+};
+use lumen_util::Rng;
+use serde_json::Value;
+
+use crate::data::{Data, DataKind, SplitPair};
+use crate::ops::{
+    bad_param, param_bool_or, param_f64_or, param_str, param_str_list, param_u64_or,
+    param_usize_or, Operation,
+};
+use crate::table::Table;
+use crate::{CoreError, CoreResult};
+
+/// `Normalize`: z-score / min-max / robust column scaling (fit on self).
+pub struct Normalize {
+    method: String,
+}
+
+impl Normalize {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let method = param_str("Normalize", params, "method")?;
+        if !["zscore", "minmax", "robust"].contains(&method.as_str()) {
+            return Err(bad_param("Normalize", format!("unknown method {method:?}")));
+        }
+        Ok(Box::new(Normalize { method }))
+    }
+}
+
+impl Operation for Normalize {
+    fn name(&self) -> &'static str {
+        "Normalize"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        let x = match self.method.as_str() {
+            "zscore" => StandardScaler::default().fit_transform(&t.x),
+            "minmax" => MinMaxScaler::default().fit_transform(&t.x),
+            _ => RobustScaler::default().fit_transform(&t.x),
+        }
+        .map_err(CoreError::from)?;
+        Ok(Data::Table(Arc::new(t.with_matrix(t.names.clone(), x)?)))
+    }
+}
+
+/// `CorrelationFilter`: drops near-duplicate columns (fit on self).
+pub struct CorrelationFilterOp {
+    threshold: f64,
+}
+
+impl CorrelationFilterOp {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let threshold = param_f64_or(params, "threshold", 0.95);
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(bad_param("CorrelationFilter", "threshold must be in [0,1]"));
+        }
+        Ok(Box::new(CorrelationFilterOp { threshold }))
+    }
+}
+
+impl Operation for CorrelationFilterOp {
+    fn name(&self) -> &'static str {
+        "CorrelationFilter"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        let mut filter = CorrelationFilter::new(self.threshold);
+        let x = filter.fit_transform(&t.x).map_err(CoreError::from)?;
+        let names = filter.kept().iter().map(|&i| t.names[i].clone()).collect();
+        Ok(Data::Table(Arc::new(t.with_matrix(names, x)?)))
+    }
+}
+
+/// `Pca`: projects onto the top principal components (fit on self).
+pub struct PcaOp {
+    k: usize,
+}
+
+impl PcaOp {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let k = param_usize_or(params, "components", 8);
+        if k == 0 {
+            return Err(bad_param("Pca", "components must be positive"));
+        }
+        Ok(Box::new(PcaOp { k }))
+    }
+}
+
+impl Operation for PcaOp {
+    fn name(&self) -> &'static str {
+        "Pca"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        let mut pca = Pca::new(self.k);
+        let x = pca.fit_transform(&t.x).map_err(CoreError::from)?;
+        let names = (0..x.cols()).map(|i| format!("pc_{i}")).collect();
+        Ok(Data::Table(Arc::new(t.with_matrix(names, x)?)))
+    }
+}
+
+/// `Impute`: replaces NaN/inf cells with column means.
+pub struct ImputeOp;
+
+impl ImputeOp {
+    pub fn from_params(_params: &Value) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(ImputeOp))
+    }
+}
+
+impl Operation for ImputeOp {
+    fn name(&self) -> &'static str {
+        "Impute"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        let x = Imputer::default()
+            .fit_transform(&t.x)
+            .map_err(CoreError::from)?;
+        Ok(Data::Table(Arc::new(t.with_matrix(t.names.clone(), x)?)))
+    }
+}
+
+/// `FeatureSelect`: keeps the named columns, in order.
+pub struct FeatureSelect {
+    names: Vec<String>,
+}
+
+impl FeatureSelect {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let names = param_str_list("FeatureSelect", params, "columns")?;
+        if names.is_empty() {
+            return Err(bad_param("FeatureSelect", "columns must be non-empty"));
+        }
+        Ok(Box::new(FeatureSelect { names }))
+    }
+}
+
+impl Operation for FeatureSelect {
+    fn name(&self) -> &'static str {
+        "FeatureSelect"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        Ok(Data::Table(Arc::new(t.select_cols(&self.names)?)))
+    }
+}
+
+/// `Concat`: horizontal join of per-instance tables (same rows).
+pub struct Concat;
+
+impl Concat {
+    pub fn from_params(_params: &Value) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(Concat))
+    }
+}
+
+impl Operation for Concat {
+    fn name(&self) -> &'static str {
+        "Concat"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn variadic(&self) -> bool {
+        true
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let mut acc: Option<Table> = None;
+        for d in inputs {
+            let t = d.as_table()?;
+            acc = Some(match acc {
+                None => (**t).clone(),
+                Some(a) => a.hcat(t)?,
+            });
+        }
+        Ok(Data::Table(Arc::new(acc.ok_or_else(|| {
+            CoreError::TypeError("Concat needs at least one input".into())
+        })?)))
+    }
+}
+
+/// `MergeTables`: vertical concatenation of same-schema tables — the
+/// merged-dataset training heuristic of §5.4.
+pub struct MergeTables;
+
+impl MergeTables {
+    pub fn from_params(_params: &Value) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(MergeTables))
+    }
+}
+
+impl Operation for MergeTables {
+    fn name(&self) -> &'static str {
+        "MergeTables"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn variadic(&self) -> bool {
+        true
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let mut acc: Option<Table> = None;
+        for d in inputs {
+            let t = d.as_table()?;
+            acc = Some(match acc {
+                None => (**t).clone(),
+                Some(a) => a.vcat(t)?,
+            });
+        }
+        Ok(Data::Table(Arc::new(acc.ok_or_else(|| {
+            CoreError::TypeError("MergeTables needs at least one input".into())
+        })?)))
+    }
+}
+
+/// `Sample`: random subsample, optionally class-balanced.
+pub struct Sample {
+    frac: f64,
+    max_rows: usize,
+    balance: bool,
+    seed: u64,
+}
+
+impl Sample {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let frac = param_f64_or(params, "frac", 1.0);
+        if !(0.0 < frac && frac <= 1.0) {
+            return Err(bad_param("Sample", "frac must be in (0, 1]"));
+        }
+        Ok(Box::new(Sample {
+            frac,
+            max_rows: param_usize_or(params, "max_rows", usize::MAX),
+            balance: param_bool_or(params, "balance", false),
+            seed: param_u64_or(params, "seed", 0),
+        }))
+    }
+}
+
+impl Operation for Sample {
+    fn name(&self) -> &'static str {
+        "Sample"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        let n = t.rows();
+        let target = ((n as f64 * self.frac) as usize)
+            .min(self.max_rows)
+            .max(1.min(n));
+        let mut rng = Rng::new(self.seed);
+        let idx: Vec<usize> = if self.balance {
+            // Keep all minority-class rows, downsample the majority to match.
+            let pos: Vec<usize> = (0..n).filter(|&i| t.labels[i] == 1).collect();
+            let neg: Vec<usize> = (0..n).filter(|&i| t.labels[i] == 0).collect();
+            let (minor, major) = if pos.len() <= neg.len() {
+                (pos, neg)
+            } else {
+                (neg, pos)
+            };
+            let keep_major = rng.sample_indices(major.len(), minor.len().max(1));
+            let mut idx: Vec<usize> = minor;
+            idx.extend(keep_major.into_iter().map(|i| major[i]));
+            idx.sort_unstable();
+            idx
+        } else {
+            let mut idx = rng.sample_indices(n, target);
+            idx.sort_unstable();
+            idx
+        };
+        Ok(Data::Table(Arc::new(t.select_rows(&idx))))
+    }
+}
+
+/// `TrainTestSplit`: stratified split into a [`SplitPair`].
+pub struct TrainTestSplit {
+    train_frac: f64,
+    seed: u64,
+}
+
+impl TrainTestSplit {
+    pub fn from_params(params: &Value) -> CoreResult<Box<dyn Operation>> {
+        let train_frac = param_f64_or(params, "train_frac", 0.7);
+        if !(0.0 < train_frac && train_frac < 1.0) {
+            return Err(bad_param("TrainTestSplit", "train_frac must be in (0, 1)"));
+        }
+        Ok(Box::new(TrainTestSplit {
+            train_frac,
+            seed: param_u64_or(params, "seed", 0),
+        }))
+    }
+}
+
+impl Operation for TrainTestSplit {
+    fn name(&self) -> &'static str {
+        "TrainTestSplit"
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Table]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Split
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let t = inputs[0].as_table()?;
+        let mut rng = Rng::new(self.seed);
+        // Stratified index split (mirrors lumen_ml::train_test_split but
+        // keeps table metadata).
+        let mut pos: Vec<usize> = (0..t.rows()).filter(|&i| t.labels[i] == 1).collect();
+        let mut neg: Vec<usize> = (0..t.rows()).filter(|&i| t.labels[i] == 0).collect();
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let cut = |v: &[usize]| ((v.len() as f64) * self.train_frac).round() as usize;
+        let (pc, nc) = (cut(&pos), cut(&neg));
+        let train_idx: Vec<usize> = pos[..pc].iter().chain(neg[..nc].iter()).copied().collect();
+        let test_idx: Vec<usize> = pos[pc..].iter().chain(neg[nc..].iter()).copied().collect();
+        Ok(Data::Split(SplitPair {
+            train: Arc::new(t.select_rows(&train_idx)),
+            test: Arc::new(t.select_rows(&test_idx)),
+        }))
+    }
+}
+
+/// `TakeTrain` / `TakeTest`: projects one half of a [`SplitPair`].
+pub struct TakePart {
+    train: bool,
+}
+
+impl TakePart {
+    pub fn from_params(_params: &Value, train: bool) -> CoreResult<Box<dyn Operation>> {
+        Ok(Box::new(TakePart { train }))
+    }
+}
+
+impl Operation for TakePart {
+    fn name(&self) -> &'static str {
+        if self.train {
+            "TakeTrain"
+        } else {
+            "TakeTest"
+        }
+    }
+    fn input_kinds(&self) -> Vec<DataKind> {
+        vec![DataKind::Split]
+    }
+    fn output_kind(&self) -> DataKind {
+        DataKind::Table
+    }
+    fn execute(&self, inputs: &[&Data]) -> CoreResult<Data> {
+        let Data::Split(pair) = inputs[0] else {
+            unreachable!("type-checked")
+        };
+        Ok(Data::Table(if self.train {
+            Arc::clone(&pair.train)
+        } else {
+            Arc::clone(&pair.test)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_ml::matrix::Matrix;
+    use serde_json::json;
+
+    fn table(rows: Vec<Vec<f64>>, labels: Vec<u8>) -> Data {
+        let tags = labels.iter().map(|&l| u32::from(l)).collect();
+        let names = (0..rows[0].len()).map(|i| format!("f{i}")).collect();
+        Data::Table(Arc::new(
+            Table::new(names, Matrix::from_rows(rows).unwrap(), labels, tags).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn normalize_zscore_centers() {
+        let d = table(vec![vec![1.0], vec![3.0]], vec![0, 1]);
+        let op = Normalize::from_params(&json!({"method": "zscore"})).unwrap();
+        let Data::Table(t) = op.execute(&[&d]).unwrap() else {
+            panic!()
+        };
+        assert!((t.x.get(0, 0) + 1.0).abs() < 1e-9);
+        assert!((t.x.get(1, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_filter_drops_copies() {
+        let d = table(
+            vec![
+                vec![1.0, 2.0, 5.0],
+                vec![2.0, 4.0, 1.0],
+                vec![3.0, 6.0, 9.0],
+            ],
+            vec![0, 1, 0],
+        );
+        let op = CorrelationFilterOp::from_params(&json!({"threshold": 0.9})).unwrap();
+        let Data::Table(t) = op.execute(&[&d]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.names, vec!["f0", "f2"]);
+    }
+
+    #[test]
+    fn concat_and_merge() {
+        let a = table(vec![vec![1.0]], vec![1]);
+        let b = table(vec![vec![2.0]], vec![1]);
+        let cat = Concat::from_params(&json!({})).unwrap();
+        let Data::Table(h) = cat.execute(&[&a, &b]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(h.cols(), 2);
+
+        let a2 = table(vec![vec![1.0]], vec![0]);
+        let b2 = table(vec![vec![2.0]], vec![1]);
+        let merge = MergeTables::from_params(&json!({})).unwrap();
+        let Data::Table(v) = merge.execute(&[&a2, &b2]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn split_then_take() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
+        let d = table(rows, labels);
+        let split = TrainTestSplit::from_params(&json!({"train_frac": 0.7, "seed": 1}))
+            .unwrap()
+            .execute(&[&d])
+            .unwrap();
+        let train = TakePart::from_params(&json!({}), true)
+            .unwrap()
+            .execute(&[&split])
+            .unwrap();
+        let test = TakePart::from_params(&json!({}), false)
+            .unwrap()
+            .execute(&[&split])
+            .unwrap();
+        let (Data::Table(tr), Data::Table(te)) = (train, test) else {
+            panic!()
+        };
+        assert_eq!(tr.rows(), 14);
+        assert_eq!(te.rows(), 6);
+        // Stratified: 7 positives in train, 3 in test.
+        assert_eq!(tr.labels.iter().filter(|&&l| l == 1).count(), 7);
+        assert_eq!(te.labels.iter().filter(|&&l| l == 1).count(), 3);
+    }
+
+    #[test]
+    fn sample_balance_equalizes_classes() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let labels: Vec<u8> = (0..100).map(|i| u8::from(i < 10)).collect();
+        let d = table(rows, labels);
+        let op = Sample::from_params(&json!({"balance": true, "seed": 3})).unwrap();
+        let Data::Table(t) = op.execute(&[&d]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.rows(), 20);
+        assert_eq!(t.labels.iter().filter(|&&l| l == 1).count(), 10);
+    }
+
+    #[test]
+    fn sample_frac_downsamples() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let d = table(rows, vec![0; 50]);
+        let op = Sample::from_params(&json!({"frac": 0.2, "seed": 1})).unwrap();
+        let Data::Table(t) = op.execute(&[&d]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.rows(), 10);
+    }
+
+    #[test]
+    fn impute_cleans_nan() {
+        let d = table(vec![vec![1.0], vec![f64::NAN]], vec![0, 0]);
+        let op = ImputeOp::from_params(&json!({})).unwrap();
+        let Data::Table(t) = op.execute(&[&d]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.x.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn feature_select_unknown_column_errors() {
+        let d = table(vec![vec![1.0]], vec![0]);
+        let op = FeatureSelect::from_params(&json!({"columns": ["zzz"]})).unwrap();
+        assert!(op.execute(&[&d]).is_err());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(Normalize::from_params(&json!({"method": "log"})).is_err());
+        assert!(TrainTestSplit::from_params(&json!({"train_frac": 1.5})).is_err());
+        assert!(Sample::from_params(&json!({"frac": 0.0})).is_err());
+        assert!(PcaOp::from_params(&json!({"components": 0})).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Chunked parallelism — Lumen's Ray substitute.
+//!
+//! The paper's scalability fix for 100M-packet captures is to split work
+//! into chunks processed by a distributed Python pool (§4.2). The same
+//! design point on one machine: crossbeam scoped threads over contiguous
+//! chunks, order-preserving. Packet parsing is embarrassingly parallel
+//! (each frame parses independently), so this is where the benchmark's
+//! `scalability` experiment measures its speedup.
+
+use lumen_net::{CapturedPacket, LinkType, PacketMeta};
+
+/// Splits `items` into at most `threads` contiguous chunks and maps each in
+/// its own scoped thread, preserving chunk order in the result.
+pub fn par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || items.len() < 2 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks.iter().map(|c| scope.spawn(|_| f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Parses a capture into packet summaries using `threads` workers. Frames
+/// that fail to parse are dropped; the second return value counts them.
+pub fn parse_capture(
+    link: LinkType,
+    packets: &[CapturedPacket],
+    threads: usize,
+) -> (Vec<PacketMeta>, usize) {
+    let results = par_chunks(packets, threads, |chunk| {
+        let mut metas = Vec::with_capacity(chunk.len());
+        let mut skipped = 0usize;
+        for p in chunk {
+            match PacketMeta::parse(link, p.ts_us, &p.data) {
+                Ok(m) => metas.push(m),
+                Err(_) => skipped += 1,
+            }
+        }
+        (metas, skipped)
+    });
+    let mut metas = Vec::with_capacity(packets.len());
+    let mut skipped = 0;
+    for (m, s) in results {
+        metas.extend(m);
+        skipped += s;
+    }
+    (metas, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::builder::{udp_packet, UdpParams};
+    use lumen_net::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn capture(n: usize) -> Vec<CapturedPacket> {
+        (0..n)
+            .map(|i| {
+                CapturedPacket::new(
+                    i as u64,
+                    udp_packet(UdpParams {
+                        src_mac: MacAddr::from_id(1),
+                        dst_mac: MacAddr::from_id(2),
+                        src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                        dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+                        src_port: 1000,
+                        dst_port: 2000,
+                        ttl: 64,
+                        payload: &[0u8; 8],
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_chunks_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let sums = par_chunks(&items, 4, |c| c.iter().sum::<usize>());
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<usize>(), 499_500);
+        // First chunk holds the smallest values.
+        assert!(sums[0] < sums[3]);
+    }
+
+    #[test]
+    fn par_chunks_single_thread_is_one_call() {
+        let items = [1, 2, 3];
+        let out = par_chunks(&items, 1, |c| c.len());
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn par_chunks_empty_input() {
+        let items: [u8; 0] = [];
+        let out: Vec<usize> = par_chunks(&items, 8, |c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_parse_equals_sequential() {
+        let cap = capture(500);
+        let (seq, s0) = parse_capture(LinkType::Ethernet, &cap, 1);
+        let (par, s1) = parse_capture(LinkType::Ethernet, &cap, 8);
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 0);
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq[123], par[123]);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted() {
+        let mut cap = capture(10);
+        cap.push(CapturedPacket::new(99, vec![1, 2, 3])); // too short
+        let (metas, skipped) = parse_capture(LinkType::Ethernet, &cap, 2);
+        assert_eq!(metas.len(), 10);
+        assert_eq!(skipped, 1);
+    }
+}

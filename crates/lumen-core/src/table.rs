@@ -1,0 +1,250 @@
+//! The feature table: named numeric columns with per-row ground truth.
+
+use lumen_ml::dataset::Dataset;
+use lumen_ml::matrix::Matrix;
+
+use crate::{CoreError, CoreResult};
+
+/// A feature table. Every row carries its ground-truth label (0/1) and an
+/// opaque attack tag (0 = none) so evaluation — including the per-attack
+/// breakdown of Figure 5 — never loses track of provenance.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column names, parallel to the matrix columns.
+    pub names: Vec<String>,
+    /// Feature values, one row per instance.
+    pub x: Matrix,
+    /// Ground-truth labels (0 benign / 1 malicious) per row.
+    pub labels: Vec<u8>,
+    /// Opaque attack tag per row (0 when benign / unknown).
+    pub tags: Vec<u32>,
+}
+
+impl Table {
+    /// Creates a table, validating shapes.
+    pub fn new(
+        names: Vec<String>,
+        x: Matrix,
+        labels: Vec<u8>,
+        tags: Vec<u32>,
+    ) -> CoreResult<Table> {
+        if names.len() != x.cols() {
+            return Err(CoreError::TypeError(format!(
+                "table has {} names for {} columns",
+                names.len(),
+                x.cols()
+            )));
+        }
+        if labels.len() != x.rows() || tags.len() != x.rows() {
+            return Err(CoreError::TypeError(format!(
+                "table has {} rows but {} labels / {} tags",
+                x.rows(),
+                labels.len(),
+                tags.len()
+            )));
+        }
+        Ok(Table {
+            names,
+            x,
+            labels,
+            tags,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Index of a named column.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Horizontal concatenation; rows must align (same instances). Labels
+    /// and tags are taken from `self` and must match `other`'s.
+    pub fn hcat(&self, other: &Table) -> CoreResult<Table> {
+        if self.rows() != other.rows() {
+            return Err(CoreError::TypeError(format!(
+                "hcat row mismatch: {} vs {}",
+                self.rows(),
+                other.rows()
+            )));
+        }
+        if self.labels != other.labels {
+            return Err(CoreError::TypeError(
+                "hcat label mismatch: tables describe different instances".into(),
+            ));
+        }
+        let mut names = self.names.clone();
+        names.extend(other.names.iter().cloned());
+        Ok(Table {
+            names,
+            x: self.x.hcat(&other.x).map_err(CoreError::from)?,
+            labels: self.labels.clone(),
+            tags: self.tags.clone(),
+        })
+    }
+
+    /// Vertical concatenation; schemas must match exactly.
+    pub fn vcat(&self, other: &Table) -> CoreResult<Table> {
+        if self.names != other.names {
+            return Err(CoreError::TypeError(
+                "vcat schema mismatch: column names differ".into(),
+            ));
+        }
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let mut tags = self.tags.clone();
+        tags.extend_from_slice(&other.tags);
+        Ok(Table {
+            names: self.names.clone(),
+            x: self.x.vcat(&other.x).map_err(CoreError::from)?,
+            labels,
+            tags,
+        })
+    }
+
+    /// Selects rows by index (repeats allowed).
+    pub fn select_rows(&self, idx: &[usize]) -> Table {
+        Table {
+            names: self.names.clone(),
+            x: self.x.select_rows(idx),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            tags: idx.iter().map(|&i| self.tags[i]).collect(),
+        }
+    }
+
+    /// Selects columns by name; errors on unknown names.
+    pub fn select_cols(&self, names: &[String]) -> CoreResult<Table> {
+        let mut idx = Vec::with_capacity(names.len());
+        for n in names {
+            idx.push(
+                self.col_index(n)
+                    .ok_or_else(|| CoreError::TypeError(format!("unknown feature column {n:?}")))?,
+            );
+        }
+        Ok(Table {
+            names: names.to_vec(),
+            x: self.x.select_cols(&idx),
+            labels: self.labels.clone(),
+            tags: self.tags.clone(),
+        })
+    }
+
+    /// Replaces the matrix, keeping labels/tags; used by column transforms
+    /// (normalize, PCA) whose output columns get generated names.
+    pub fn with_matrix(&self, names: Vec<String>, x: Matrix) -> CoreResult<Table> {
+        Table::new(names, x, self.labels.clone(), self.tags.clone())
+    }
+
+    /// View as an ML dataset (shares nothing; copies labels).
+    pub fn to_dataset(&self) -> CoreResult<Dataset> {
+        Dataset::new(self.x.clone(), self.labels.clone()).map_err(CoreError::from)
+    }
+
+    /// Approximate in-memory size, for the engine's memory profile.
+    pub fn approx_bytes(&self) -> usize {
+        self.x.rows() * self.x.cols() * 8
+            + self.labels.len()
+            + self.tags.len() * 4
+            + self.names.iter().map(String::len).sum::<usize>()
+    }
+
+    /// Fraction of malicious rows.
+    pub fn malicious_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l == 1).count() as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(names: &[&str], rows: Vec<Vec<f64>>, labels: Vec<u8>) -> Table {
+        let tags = labels.iter().map(|&l| u32::from(l)).collect();
+        Table::new(
+            names.iter().map(|s| s.to_string()).collect(),
+            Matrix::from_rows(rows).unwrap(),
+            labels,
+            tags,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        assert!(Table::new(
+            vec!["a".into()],
+            Matrix::zeros(2, 2),
+            vec![0, 0],
+            vec![0, 0]
+        )
+        .is_err());
+        assert!(Table::new(vec!["a".into()], Matrix::zeros(2, 1), vec![0], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn hcat_joins_features() {
+        let a = table(&["f1"], vec![vec![1.0], vec![2.0]], vec![0, 1]);
+        let b = table(&["f2"], vec![vec![3.0], vec![4.0]], vec![0, 1]);
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.names, vec!["f1", "f2"]);
+        assert_eq!(c.x.row(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn hcat_rejects_label_mismatch() {
+        let a = table(&["f1"], vec![vec![1.0]], vec![0]);
+        let b = table(&["f2"], vec![vec![2.0]], vec![1]);
+        assert!(a.hcat(&b).is_err());
+    }
+
+    #[test]
+    fn vcat_appends_instances() {
+        let a = table(&["f"], vec![vec![1.0]], vec![0]);
+        let b = table(&["f"], vec![vec![2.0], vec![3.0]], vec![1, 1]);
+        let c = a.vcat(&b).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.labels, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn vcat_rejects_schema_mismatch() {
+        let a = table(&["f"], vec![vec![1.0]], vec![0]);
+        let b = table(&["g"], vec![vec![2.0]], vec![0]);
+        assert!(a.vcat(&b).is_err());
+    }
+
+    #[test]
+    fn select_cols_by_name() {
+        let t = table(&["a", "b", "c"], vec![vec![1.0, 2.0, 3.0]], vec![0]);
+        let s = t.select_cols(&["c".into(), "a".into()]).unwrap();
+        assert_eq!(s.x.row(0), &[3.0, 1.0]);
+        assert!(t.select_cols(&["zzz".into()]).is_err());
+    }
+
+    #[test]
+    fn select_rows_carries_ground_truth() {
+        let t = table(&["a"], vec![vec![1.0], vec![2.0], vec![3.0]], vec![0, 1, 0]);
+        let s = t.select_rows(&[1, 1]);
+        assert_eq!(s.labels, vec![1, 1]);
+        assert_eq!(s.tags, vec![1, 1]);
+    }
+
+    #[test]
+    fn to_dataset_roundtrip() {
+        let t = table(&["a"], vec![vec![5.0], vec![6.0]], vec![0, 1]);
+        let d = t.to_dataset().unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.positives(), 1);
+    }
+}

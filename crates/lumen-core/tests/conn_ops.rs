@@ -1,0 +1,269 @@
+//! Connection/flow extraction operations exercised through the public
+//! template API against hand-built conversations with known statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lumen_core::data::{Data, DataKind, PacketData};
+use lumen_core::Pipeline;
+use lumen_net::builder::{tcp_packet, TcpParams};
+use lumen_net::wire::tcp::TcpFlags;
+use lumen_net::{LinkType, MacAddr, PacketMeta};
+use std::net::Ipv4Addr;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn tcp(ts: u64, from_a: bool, flags: TcpFlags, payload: &[u8]) -> PacketMeta {
+    let (s, d, sp, dp) = if from_a {
+        (A, B, 4444, 80)
+    } else {
+        (B, A, 80, 4444)
+    };
+    let frame = tcp_packet(TcpParams {
+        src_mac: MacAddr::from_id(1),
+        dst_mac: MacAddr::from_id(2),
+        src_ip: s,
+        dst_ip: d,
+        src_port: sp,
+        dst_port: dp,
+        seq: 1,
+        ack: 1,
+        flags,
+        window: 100,
+        ttl: 63,
+        payload,
+    });
+    PacketMeta::parse(LinkType::Ethernet, ts, &frame).unwrap()
+}
+
+/// One complete conversation: handshake + 2 data exchanges + FIN teardown,
+/// with labels marking the data packets malicious.
+fn source() -> Data {
+    let metas = vec![
+        tcp(0, true, TcpFlags::SYN, b""),
+        tcp(100_000, false, TcpFlags::SYN_ACK, b""),
+        tcp(200_000, true, TcpFlags::ACK, b""),
+        tcp(300_000, true, TcpFlags::PSH_ACK, b"0123456789"), // 10 B up
+        tcp(400_000, false, TcpFlags::PSH_ACK, &[7u8; 30]),   // 30 B down
+        tcp(500_000, true, TcpFlags::FIN_ACK, b""),
+        tcp(600_000, false, TcpFlags::FIN_ACK, b""),
+        tcp(700_000, true, TcpFlags::ACK, b""),
+    ];
+    let labels = vec![0, 0, 0, 1, 1, 0, 0, 0];
+    let tags = vec![0, 0, 0, 4, 4, 0, 0, 0];
+    Data::Packets(Arc::new(PacketData {
+        link: LinkType::Ethernet,
+        metas,
+        labels,
+        tags,
+    }))
+}
+
+fn run(template: serde_json::Value) -> Arc<lumen_core::Table> {
+    let p = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+    let mut b = HashMap::new();
+    b.insert("source".to_string(), source());
+    let mut out = p.run(b).unwrap();
+    match out.take("features").unwrap() {
+        Data::Table(t) => t,
+        other => panic!("got {:?}", other.kind()),
+    }
+}
+
+#[test]
+fn conn_extract_matches_known_statistics() {
+    let t = run(serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+        {"func": "ConnExtract", "input": ["conns"], "output": "features",
+         "fields": ["duration", "orig_pkts", "resp_pkts", "orig_bytes", "resp_bytes",
+                     "orig_fin", "resp_fin", "orig_syn", "symmetry", "orig_ttl_mean",
+                     "resp_port", "proto", "resp_port_wellknown", "state"]}
+    ]));
+    assert_eq!(t.rows(), 1);
+    let col = |name: &str| t.x.get(0, t.col_index(name).unwrap());
+    assert!((col("duration") - 0.7).abs() < 1e-9);
+    assert_eq!(col("orig_pkts"), 5.0);
+    assert_eq!(col("resp_pkts"), 3.0);
+    assert_eq!(col("orig_bytes"), 10.0);
+    assert_eq!(col("resp_bytes"), 30.0);
+    assert_eq!(col("orig_fin"), 1.0);
+    assert_eq!(col("resp_fin"), 1.0);
+    assert_eq!(col("orig_syn"), 1.0);
+    assert!((col("symmetry") - 0.6).abs() < 1e-9);
+    assert_eq!(col("orig_ttl_mean"), 63.0);
+    assert_eq!(col("resp_port"), 80.0);
+    assert_eq!(col("proto"), 6.0);
+    assert_eq!(col("resp_port_wellknown"), 1.0);
+    // One-hot state: SF (code 2) is hot.
+    assert_eq!(col("state_2"), 1.0);
+    assert_eq!(col("state_0"), 0.0);
+    // Label propagated: any-malicious, majority tag.
+    assert_eq!(t.labels, vec![1]);
+    assert_eq!(t.tags, vec![4]);
+}
+
+#[test]
+fn uni_extract_splits_directions_with_correct_rates() {
+    let t = run(serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+        {"func": "UniFlowSplit", "input": ["conns"], "output": "flows"},
+        {"func": "UniExtract", "input": ["flows"], "output": "features",
+         "fields": ["pkts", "payload_bytes", "syn", "fin", "dst_port", "pkt_rate"]}
+    ]));
+    assert_eq!(t.rows(), 2);
+    let col = t.col_index("pkts").unwrap();
+    let pkts: Vec<f64> = (0..2).map(|r| t.x.get(r, col)).collect();
+    assert_eq!(pkts, vec![5.0, 3.0]);
+    let dport = t.col_index("dst_port").unwrap();
+    assert_eq!(t.x.get(0, dport), 80.0);
+    assert_eq!(t.x.get(1, dport), 4444.0);
+    // Both directions inherit the connection's label.
+    assert_eq!(t.labels, vec![1, 1]);
+}
+
+#[test]
+fn firstn_stats_without_raw_has_nine_columns() {
+    let t = run(serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns", "first_n": 4},
+        {"func": "FirstNStats", "input": ["conns"], "output": "features",
+         "n": 4, "include_raw": false}
+    ]));
+    assert_eq!(t.cols(), 9);
+    let count = t.col_index("fn_count").unwrap();
+    assert_eq!(t.x.get(0, count), 4.0);
+    // IATs of the first 4 sketches are 0.1 s each.
+    let mean = t.col_index("fn_iat_mean").unwrap();
+    assert!((t.x.get(0, mean) - 0.1).abs() < 1e-9);
+}
+
+#[test]
+fn firstn_stats_raw_pads_with_minus_one() {
+    let t = run(serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns", "first_n": 16},
+        {"func": "FirstNStats", "input": ["conns"], "output": "features",
+         "n": 16, "include_raw": true}
+    ]));
+    // 9 stats + 15 raw IATs + 16 raw lengths.
+    assert_eq!(t.cols(), 9 + 15 + 16);
+    // Connection has 8 packets: IAT 8.. and len 8.. are padding.
+    let iat10 = t.col_index("fn_iat_10").unwrap();
+    assert_eq!(t.x.get(0, iat10), -1.0);
+    let len3 = t.col_index("fn_len_3").unwrap();
+    assert!(t.x.get(0, len3) > 0.0);
+    let len12 = t.col_index("fn_len_12").unwrap();
+    assert_eq!(t.x.get(0, len12), -1.0);
+}
+
+#[test]
+fn apply_aggregates_order_statistics() {
+    // Group by srcIp: A sends 5 packets, B sends 3.
+    let t = run(serde_json::json!([
+        {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+        {"func": "ApplyAggregates", "input": ["g"], "output": "features",
+         "aggs": [
+            {"fn": "count"},
+            {"fn": "sum", "field": "payload_len"},
+            {"fn": "median", "field": "payload_len"},
+            {"fn": "min", "field": "payload_len"},
+            {"fn": "max", "field": "payload_len"}
+         ]}
+    ]));
+    assert_eq!(t.rows(), 2);
+    // Group A: payloads [0,0,10,0,0] -> sum 10, median 0, max 10.
+    assert_eq!(t.x.get(0, 0), 5.0);
+    assert_eq!(t.x.get(0, 1), 10.0);
+    assert_eq!(t.x.get(0, 2), 0.0);
+    assert_eq!(t.x.get(0, 3), 0.0);
+    assert_eq!(t.x.get(0, 4), 10.0);
+    // Group B: payloads [0,30,0] -> sum 30.
+    assert_eq!(t.x.get(1, 1), 30.0);
+}
+
+#[test]
+fn pcapload_feeds_a_full_pipeline() {
+    // Write the source conversation to a real pcap, then run a pipeline
+    // that starts from PcapLoad instead of a pre-bound source.
+    let Data::Packets(p) = source() else {
+        unreachable!()
+    };
+    let packets: Vec<lumen_net::CapturedPacket> = p
+        .metas
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            // Rebuild raw frames for the pcap (the metas don't keep bytes).
+            let from_a = m.ipv4.as_ref().unwrap().src == A;
+            let payload = vec![0u8; m.payload_len as usize];
+            lumen_net::CapturedPacket::new(
+                i as u64 * 100_000,
+                tcp_packet(TcpParams {
+                    src_mac: MacAddr::from_id(1),
+                    dst_mac: MacAddr::from_id(2),
+                    src_ip: if from_a { A } else { B },
+                    dst_ip: if from_a { B } else { A },
+                    src_port: if from_a { 4444 } else { 80 },
+                    dst_port: if from_a { 80 } else { 4444 },
+                    seq: 1,
+                    ack: 1,
+                    flags: m.transport.tcp_flags().unwrap(),
+                    window: 100,
+                    ttl: 63,
+                    payload: &payload,
+                }),
+            )
+        })
+        .collect();
+    let path = std::env::temp_dir().join("lumen_conn_ops_pipeline.pcap");
+    std::fs::write(
+        &path,
+        lumen_net::pcap::to_bytes(LinkType::Ethernet, &packets),
+    )
+    .unwrap();
+
+    let template = serde_json::json!([
+        {"func": "PcapLoad", "input": [], "output": "source",
+         "path": path.to_str().unwrap()},
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+        {"func": "ConnExtract", "input": ["conns"], "output": "features",
+         "fields": ["orig_pkts", "resp_pkts"]}
+    ]);
+    let pipeline = Pipeline::parse(&template, &[]).unwrap();
+    let mut out = pipeline.run(HashMap::new()).unwrap();
+    let Data::Table(t) = out.take("features").unwrap() else {
+        panic!()
+    };
+    assert_eq!(t.rows(), 1);
+    assert_eq!(t.x.get(0, 0), 5.0);
+    assert_eq!(t.x.get(0, 1), 3.0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_conn_and_uni_field_is_finite() {
+    use lumen_core::ops::extract_catalog::{CONN_FIELDS, UNI_FIELDS};
+    let conn_fields: Vec<String> = CONN_FIELDS.iter().map(|s| s.to_string()).collect();
+    let t = run(serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+        {"func": "ConnExtract", "input": ["conns"], "output": "features",
+         "fields": conn_fields}
+    ]));
+    for (c, name) in t.names.iter().enumerate() {
+        let v = t.x.get(0, c);
+        assert!(v.is_finite(), "conn field {name} produced {v}");
+    }
+
+    let uni_fields: Vec<String> = UNI_FIELDS.iter().map(|s| s.to_string()).collect();
+    let t = run(serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+        {"func": "UniFlowSplit", "input": ["conns"], "output": "flows"},
+        {"func": "UniExtract", "input": ["flows"], "output": "features",
+         "fields": uni_fields}
+    ]));
+    for r in 0..t.rows() {
+        for (c, name) in t.names.iter().enumerate() {
+            let v = t.x.get(r, c);
+            assert!(v.is_finite(), "uni field {name} produced {v}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Flow assembly for Lumen — the Zeek substitute.
+//!
+//! The connection-granularity algorithms in the benchmark (A07–A15) are
+//! defined over Zeek-`conn.log`-style records. This crate rebuilds those
+//! records from raw packets: a [`tracker::ConnectionTracker`] keys packets by
+//! canonical 5-tuple, follows a simplified TCP state machine with idle
+//! timeouts, and emits [`record::ConnRecord`]s carrying the per-direction
+//! statistics, Zeek connection state, and history string the feature
+//! pipelines consume. Unidirectional flows (A10's granularity) are derived
+//! views over the same records.
+
+pub mod record;
+pub mod tracker;
+
+pub use record::{ConnRecord, ConnState, Direction, PktSketch, UniFlowRecord};
+pub use tracker::{assemble, ConnectionTracker, FlowConfig};
+
+use std::net::Ipv4Addr;
+
+/// Canonical bidirectional flow key: endpoint pairs ordered so that both
+/// directions of a conversation hash identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Lexicographically smaller endpoint.
+    pub lo: (Ipv4Addr, u16),
+    /// Lexicographically larger endpoint.
+    pub hi: (Ipv4Addr, u16),
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// Builds the canonical key from a directed 5-tuple.
+    pub fn canonical(src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16, proto: u8) -> FlowKey {
+        let a = (src, sport);
+        let b = (dst, dport);
+        if a <= b {
+            FlowKey {
+                lo: a,
+                hi: b,
+                proto,
+            }
+        } else {
+            FlowKey {
+                lo: b,
+                hi: a,
+                proto,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_key_is_direction_independent() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let k1 = FlowKey::canonical(a, b, 1234, 80, 6);
+        let k2 = FlowKey::canonical(b, a, 80, 1234, 6);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn different_ports_differ() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        assert_ne!(
+            FlowKey::canonical(a, b, 1234, 80, 6),
+            FlowKey::canonical(a, b, 1235, 80, 6)
+        );
+    }
+
+    #[test]
+    fn protocol_distinguishes() {
+        let a = Ipv4Addr::new(1, 1, 1, 1);
+        let b = Ipv4Addr::new(2, 2, 2, 2);
+        assert_ne!(
+            FlowKey::canonical(a, b, 53, 53, 6),
+            FlowKey::canonical(a, b, 53, 53, 17)
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! Connection and unidirectional-flow records.
+
+use std::net::Ipv4Addr;
+
+use lumen_util::Summary;
+
+/// Which side of a connection sent a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The endpoint that sent the first packet of the connection.
+    Orig,
+    /// The other endpoint.
+    Resp,
+}
+
+/// Zeek-style connection states (subset covering what IoT traffic produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnState {
+    /// SYN seen, no reply.
+    S0,
+    /// Established, not terminated when the capture ended.
+    S1,
+    /// Established and normally terminated.
+    SF,
+    /// Connection attempt rejected (SYN answered by RST).
+    Rej,
+    /// Established, originator aborted with RST.
+    Rsto,
+    /// Established, responder aborted with RST.
+    Rstr,
+    /// Midstream or non-TCP single direction / other.
+    Oth,
+}
+
+impl ConnState {
+    /// Zeek's conn.log label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConnState::S0 => "S0",
+            ConnState::S1 => "S1",
+            ConnState::SF => "SF",
+            ConnState::Rej => "REJ",
+            ConnState::Rsto => "RSTO",
+            ConnState::Rstr => "RSTR",
+            ConnState::Oth => "OTH",
+        }
+    }
+
+    /// Stable small integer for one-hot encoding in feature pipelines.
+    pub fn code(self) -> usize {
+        match self {
+            ConnState::S0 => 0,
+            ConnState::S1 => 1,
+            ConnState::SF => 2,
+            ConnState::Rej => 3,
+            ConnState::Rsto => 4,
+            ConnState::Rstr => 5,
+            ConnState::Oth => 6,
+        }
+    }
+
+    /// Number of distinct states (one-hot width).
+    pub const COUNT: usize = 7;
+}
+
+/// A compact per-packet sketch retained for the first packets of each
+/// connection (A07's "first hundred packets" features, A12's early-detection
+/// window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PktSketch {
+    pub ts_us: u64,
+    pub dir: Direction,
+    pub wire_len: u32,
+    pub payload_len: u32,
+}
+
+/// Per-direction TCP flag counters, indexed `[syn, ack, fin, rst, psh, urg]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlagCounts(pub [u32; 6]);
+
+impl FlagCounts {
+    /// Total flag bits observed.
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+    pub fn syn(&self) -> u32 {
+        self.0[0]
+    }
+    pub fn ack(&self) -> u32 {
+        self.0[1]
+    }
+    pub fn fin(&self) -> u32 {
+        self.0[2]
+    }
+    pub fn rst(&self) -> u32 {
+        self.0[3]
+    }
+    pub fn psh(&self) -> u32 {
+        self.0[4]
+    }
+    pub fn urg(&self) -> u32 {
+        self.0[5]
+    }
+}
+
+/// A completed bidirectional connection with the statistics every
+/// connection-granularity feature pipeline in the benchmark draws on.
+#[derive(Debug, Clone)]
+pub struct ConnRecord {
+    /// Originator address/port (sender of the first packet).
+    pub orig: (Ipv4Addr, u16),
+    /// Responder address/port.
+    pub resp: (Ipv4Addr, u16),
+    /// IP protocol number.
+    pub proto: u8,
+    /// First packet timestamp (µs).
+    pub start_us: u64,
+    /// Last packet timestamp (µs).
+    pub end_us: u64,
+    /// Packets sent by the originator.
+    pub orig_pkts: u32,
+    /// Packets sent by the responder.
+    pub resp_pkts: u32,
+    /// Transport payload bytes from the originator.
+    pub orig_bytes: u64,
+    /// Transport payload bytes from the responder.
+    pub resp_bytes: u64,
+    /// Wire bytes (whole frames) from the originator.
+    pub orig_wire_bytes: u64,
+    /// Wire bytes from the responder.
+    pub resp_wire_bytes: u64,
+    /// Originator TCP flag counters.
+    pub orig_flags: FlagCounts,
+    /// Responder TCP flag counters.
+    pub resp_flags: FlagCounts,
+    /// Summary of all inter-arrival times (µs, both directions interleaved).
+    pub iat: Summary,
+    /// Summary of originator packet wire lengths.
+    pub orig_len: Summary,
+    /// Summary of responder packet wire lengths.
+    pub resp_len: Summary,
+    /// Zeek connection state.
+    pub state: ConnState,
+    /// Zeek-style history string (uppercase = originator, lowercase =
+    /// responder; each letter recorded on first occurrence per direction).
+    pub history: String,
+    /// Sketches of the first packets (bounded by `FlowConfig::first_n`).
+    pub first_n: Vec<PktSketch>,
+    /// Mean TTL observed from the originator.
+    pub orig_ttl_mean: f64,
+    /// Indices into the source packet slice for every packet of this
+    /// connection, in arrival order — used for label propagation between
+    /// classification granularities.
+    pub packet_indices: Vec<u32>,
+}
+
+impl ConnRecord {
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.end_us.saturating_sub(self.start_us)) as f64 / 1e6
+    }
+
+    /// Total packets both directions.
+    pub fn total_pkts(&self) -> u32 {
+        self.orig_pkts + self.resp_pkts
+    }
+
+    /// Total wire bytes both directions.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.orig_wire_bytes + self.resp_wire_bytes
+    }
+
+    /// Mean throughput in bytes/second over the connection lifetime
+    /// (total wire bytes when the duration rounds to zero).
+    pub fn bandwidth(&self) -> f64 {
+        let d = self.duration_secs();
+        if d <= 0.0 {
+            self.total_wire_bytes() as f64
+        } else {
+            self.total_wire_bytes() as f64 / d
+        }
+    }
+
+    /// Inter-arrival times (seconds) of the first-N packet sketches.
+    pub fn first_n_iats(&self) -> Vec<f64> {
+        self.first_n
+            .windows(2)
+            .map(|w| (w[1].ts_us.saturating_sub(w[0].ts_us)) as f64 / 1e6)
+            .collect()
+    }
+
+    /// Wire lengths of the first-N packet sketches.
+    pub fn first_n_lens(&self) -> Vec<f64> {
+        self.first_n.iter().map(|s| s.wire_len as f64).collect()
+    }
+
+    /// Ratio of responder to originator packets (0 when no originator
+    /// packets; a flood with no replies scores 0).
+    pub fn symmetry(&self) -> f64 {
+        if self.orig_pkts == 0 {
+            0.0
+        } else {
+            self.resp_pkts as f64 / self.orig_pkts as f64
+        }
+    }
+
+    /// Splits into per-direction unidirectional flow records.
+    pub fn to_uni_flows(&self) -> Vec<UniFlowRecord> {
+        let mut flows = Vec::with_capacity(2);
+        if self.orig_pkts > 0 {
+            flows.push(UniFlowRecord::from_conn(self, Direction::Orig));
+        }
+        if self.resp_pkts > 0 {
+            flows.push(UniFlowRecord::from_conn(self, Direction::Resp));
+        }
+        flows
+    }
+}
+
+/// A single direction of a connection — the granularity smartdet (A10)
+/// classifies at.
+#[derive(Debug, Clone)]
+pub struct UniFlowRecord {
+    pub src: (Ipv4Addr, u16),
+    pub dst: (Ipv4Addr, u16),
+    pub proto: u8,
+    pub start_us: u64,
+    pub end_us: u64,
+    pub pkts: u32,
+    pub payload_bytes: u64,
+    pub wire_bytes: u64,
+    pub flags: FlagCounts,
+    pub len: Summary,
+    /// Direction this flow had within its parent connection.
+    pub dir: Direction,
+    /// Sketches of this direction's packets within the parent's first-N.
+    pub first_n: Vec<PktSketch>,
+    /// Parent's packet indices (the whole connection) — label propagation
+    /// uses the parent connection's packets.
+    pub packet_indices: Vec<u32>,
+}
+
+impl UniFlowRecord {
+    fn from_conn(c: &ConnRecord, dir: Direction) -> UniFlowRecord {
+        let (src, dst, pkts, payload, wire, flags, len) = match dir {
+            Direction::Orig => (
+                c.orig,
+                c.resp,
+                c.orig_pkts,
+                c.orig_bytes,
+                c.orig_wire_bytes,
+                c.orig_flags,
+                c.orig_len,
+            ),
+            Direction::Resp => (
+                c.resp,
+                c.orig,
+                c.resp_pkts,
+                c.resp_bytes,
+                c.resp_wire_bytes,
+                c.resp_flags,
+                c.resp_len,
+            ),
+        };
+        UniFlowRecord {
+            src,
+            dst,
+            proto: c.proto,
+            start_us: c.start_us,
+            end_us: c.end_us,
+            pkts,
+            payload_bytes: payload,
+            wire_bytes: wire,
+            flags,
+            len,
+            dir,
+            first_n: c.first_n.iter().copied().filter(|s| s.dir == dir).collect(),
+            packet_indices: c.packet_indices.clone(),
+        }
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.end_us.saturating_sub(self.start_us)) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_conn() -> ConnRecord {
+        ConnRecord {
+            orig: (Ipv4Addr::new(10, 0, 0, 1), 40000),
+            resp: (Ipv4Addr::new(10, 0, 0, 2), 80),
+            proto: 6,
+            start_us: 1_000_000,
+            end_us: 3_000_000,
+            orig_pkts: 4,
+            resp_pkts: 3,
+            orig_bytes: 400,
+            resp_bytes: 1200,
+            orig_wire_bytes: 700,
+            resp_wire_bytes: 1500,
+            orig_flags: FlagCounts([1, 4, 1, 0, 2, 0]),
+            resp_flags: FlagCounts([1, 3, 1, 0, 1, 0]),
+            iat: Summary::of(&[0.1, 0.2, 0.3]),
+            orig_len: Summary::of(&[100.0, 200.0]),
+            resp_len: Summary::of(&[500.0]),
+            state: ConnState::SF,
+            history: "ShADadFf".into(),
+            first_n: vec![
+                PktSketch {
+                    ts_us: 1_000_000,
+                    dir: Direction::Orig,
+                    wire_len: 74,
+                    payload_len: 0,
+                },
+                PktSketch {
+                    ts_us: 1_100_000,
+                    dir: Direction::Resp,
+                    wire_len: 74,
+                    payload_len: 0,
+                },
+                PktSketch {
+                    ts_us: 1_150_000,
+                    dir: Direction::Orig,
+                    wire_len: 66,
+                    payload_len: 0,
+                },
+            ],
+            orig_ttl_mean: 64.0,
+            packet_indices: vec![0, 1, 2, 5, 6, 7, 9],
+        }
+    }
+
+    #[test]
+    fn duration_and_bandwidth() {
+        let c = sample_conn();
+        assert!((c.duration_secs() - 2.0).abs() < 1e-9);
+        assert!((c.bandwidth() - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_bandwidth_is_bytes() {
+        let mut c = sample_conn();
+        c.end_us = c.start_us;
+        assert_eq!(c.bandwidth(), 2200.0);
+    }
+
+    #[test]
+    fn first_n_iats_in_seconds() {
+        let c = sample_conn();
+        let iats = c.first_n_iats();
+        assert_eq!(iats.len(), 2);
+        assert!((iats[0] - 0.1).abs() < 1e-9);
+        assert!((iats[1] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uni_flow_split_partitions_packets() {
+        let c = sample_conn();
+        let flows = c.to_uni_flows();
+        assert_eq!(flows.len(), 2);
+        let orig = &flows[0];
+        assert_eq!(orig.dir, Direction::Orig);
+        assert_eq!(orig.src, c.orig);
+        assert_eq!(orig.pkts, 4);
+        assert_eq!(orig.first_n.len(), 2);
+        let resp = &flows[1];
+        assert_eq!(resp.src, c.resp);
+        assert_eq!(resp.first_n.len(), 1);
+    }
+
+    #[test]
+    fn symmetry_ratio() {
+        let c = sample_conn();
+        assert!((c.symmetry() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_codes_are_distinct() {
+        use std::collections::HashSet;
+        let states = [
+            ConnState::S0,
+            ConnState::S1,
+            ConnState::SF,
+            ConnState::Rej,
+            ConnState::Rsto,
+            ConnState::Rstr,
+            ConnState::Oth,
+        ];
+        let codes: HashSet<usize> = states.iter().map(|s| s.code()).collect();
+        assert_eq!(codes.len(), ConnState::COUNT);
+        assert!(codes.iter().all(|&c| c < ConnState::COUNT));
+    }
+}

@@ -1,0 +1,628 @@
+//! The connection tracker: packets in, Zeek-style connection records out.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use lumen_net::{PacketMeta, TransportMeta};
+use lumen_util::Summary;
+
+use crate::record::{ConnRecord, ConnState, Direction, FlagCounts, PktSketch};
+use crate::FlowKey;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Idle gap that splits a TCP conversation into two connections (µs).
+    pub tcp_idle_us: u64,
+    /// Idle gap for UDP (µs).
+    pub udp_idle_us: u64,
+    /// Idle gap for ICMP and other protocols (µs).
+    pub icmp_idle_us: u64,
+    /// How many leading packets to sketch per connection.
+    pub first_n: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        // Zeek's default inactivity timeouts: 5 min TCP, 1 min UDP, ICMP short.
+        FlowConfig {
+            tcp_idle_us: 300_000_000,
+            udp_idle_us: 60_000_000,
+            icmp_idle_us: 30_000_000,
+            first_n: 100,
+        }
+    }
+}
+
+impl FlowConfig {
+    fn idle_for(&self, proto: u8) -> u64 {
+        match proto {
+            6 => self.tcp_idle_us,
+            17 => self.udp_idle_us,
+            _ => self.icmp_idle_us,
+        }
+    }
+}
+
+/// Accumulating state for one active connection.
+struct ActiveConn {
+    orig: (Ipv4Addr, u16),
+    resp: (Ipv4Addr, u16),
+    proto: u8,
+    start_us: u64,
+    last_us: u64,
+    orig_pkts: u32,
+    resp_pkts: u32,
+    orig_bytes: u64,
+    resp_bytes: u64,
+    orig_wire: u64,
+    resp_wire: u64,
+    orig_flags: FlagCounts,
+    resp_flags: FlagCounts,
+    iats: Vec<f64>,
+    orig_lens: Vec<f64>,
+    resp_lens: Vec<f64>,
+    history: String,
+    history_seen: [bool; 12],
+    first_n: Vec<PktSketch>,
+    orig_ttl_sum: f64,
+    packet_indices: Vec<u32>,
+    // TCP progress flags.
+    saw_syn: bool,
+    saw_synack: bool,
+    established: bool,
+    fin_orig: bool,
+    fin_resp: bool,
+    rst_orig: bool,
+    rst_resp: bool,
+    midstream: bool,
+}
+
+/// History letters in a fixed order; index*2 (+1 for responder) into
+/// `history_seen`. Mirrors Zeek's first-occurrence-per-direction rule.
+const HISTORY_LETTERS: [char; 6] = ['s', 'h', 'a', 'd', 'f', 'r'];
+
+impl ActiveConn {
+    fn new(meta: &PacketMeta, index: u32, cfg: &FlowConfig) -> ActiveConn {
+        let (src, dst, sp, dp, proto) = meta
+            .five_tuple()
+            .expect("tracker only sees packets with a five-tuple");
+        let mut conn = ActiveConn {
+            orig: (src, sp),
+            resp: (dst, dp),
+            proto,
+            start_us: meta.ts_us,
+            last_us: meta.ts_us,
+            orig_pkts: 0,
+            resp_pkts: 0,
+            orig_bytes: 0,
+            resp_bytes: 0,
+            orig_wire: 0,
+            resp_wire: 0,
+            orig_flags: FlagCounts::default(),
+            resp_flags: FlagCounts::default(),
+            iats: Vec::new(),
+            orig_lens: Vec::new(),
+            resp_lens: Vec::new(),
+            history: String::new(),
+            history_seen: [false; 12],
+            first_n: Vec::new(),
+            orig_ttl_sum: 0.0,
+            packet_indices: Vec::new(),
+            saw_syn: false,
+            saw_synack: false,
+            established: false,
+            fin_orig: false,
+            fin_resp: false,
+            rst_orig: false,
+            rst_resp: false,
+            midstream: false,
+        };
+        // A TCP connection that starts with a non-SYN packet is midstream.
+        if let TransportMeta::Tcp { flags, .. } = &meta.transport {
+            if !flags.syn() {
+                conn.midstream = true;
+            }
+        }
+        conn.update(meta, index, cfg);
+        conn
+    }
+
+    fn direction_of(&self, meta: &PacketMeta) -> Direction {
+        let (src, _, sp, _, _) = meta.five_tuple().expect("checked by caller");
+        if (src, sp) == self.orig {
+            Direction::Orig
+        } else {
+            Direction::Resp
+        }
+    }
+
+    fn note_history(&mut self, letter_idx: usize, dir: Direction) {
+        let slot = letter_idx * 2 + usize::from(dir == Direction::Resp);
+        if !self.history_seen[slot] {
+            self.history_seen[slot] = true;
+            let c = HISTORY_LETTERS[letter_idx];
+            self.history.push(if dir == Direction::Orig {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            });
+        }
+    }
+
+    fn update(&mut self, meta: &PacketMeta, index: u32, cfg: &FlowConfig) {
+        let dir = self.direction_of(meta);
+        if meta.ts_us > self.last_us {
+            self.iats.push((meta.ts_us - self.last_us) as f64 / 1e6);
+        } else if self.total_pkts() > 0 {
+            self.iats.push(0.0);
+        }
+        self.last_us = self.last_us.max(meta.ts_us);
+        self.packet_indices.push(index);
+
+        let payload = u64::from(meta.payload_len);
+        let wire = u64::from(meta.wire_len);
+        match dir {
+            Direction::Orig => {
+                self.orig_pkts += 1;
+                self.orig_bytes += payload;
+                self.orig_wire += wire;
+                self.orig_lens.push(wire as f64);
+                if let Some(ip) = &meta.ipv4 {
+                    self.orig_ttl_sum += f64::from(ip.ttl);
+                }
+            }
+            Direction::Resp => {
+                self.resp_pkts += 1;
+                self.resp_bytes += payload;
+                self.resp_wire += wire;
+                self.resp_lens.push(wire as f64);
+            }
+        }
+
+        if self.first_n.len() < cfg.first_n {
+            self.first_n.push(PktSketch {
+                ts_us: meta.ts_us,
+                dir,
+                wire_len: meta.wire_len,
+                payload_len: meta.payload_len,
+            });
+        }
+
+        if let TransportMeta::Tcp { flags, .. } = &meta.transport {
+            let counters = match dir {
+                Direction::Orig => &mut self.orig_flags,
+                Direction::Resp => &mut self.resp_flags,
+            };
+            if flags.syn() {
+                counters.0[0] += 1;
+            }
+            if flags.ack() {
+                counters.0[1] += 1;
+            }
+            if flags.fin() {
+                counters.0[2] += 1;
+            }
+            if flags.rst() {
+                counters.0[3] += 1;
+            }
+            if flags.psh() {
+                counters.0[4] += 1;
+            }
+            if flags.urg() {
+                counters.0[5] += 1;
+            }
+
+            // History + state machine.
+            if flags.syn() && !flags.ack() {
+                self.note_history(0, dir);
+                if dir == Direction::Orig {
+                    self.saw_syn = true;
+                }
+            }
+            if flags.syn() && flags.ack() {
+                self.note_history(1, dir);
+                if dir == Direction::Resp {
+                    self.saw_synack = true;
+                }
+            }
+            if flags.ack() && !flags.syn() {
+                self.note_history(2, dir);
+                if dir == Direction::Orig && self.saw_synack {
+                    self.established = true;
+                }
+            }
+            if payload > 0 {
+                self.note_history(3, dir);
+            }
+            if flags.fin() {
+                self.note_history(4, dir);
+                match dir {
+                    Direction::Orig => self.fin_orig = true,
+                    Direction::Resp => self.fin_resp = true,
+                }
+            }
+            if flags.rst() {
+                self.note_history(5, dir);
+                match dir {
+                    Direction::Orig => self.rst_orig = true,
+                    Direction::Resp => self.rst_resp = true,
+                }
+            }
+        } else if payload > 0 {
+            self.note_history(3, dir);
+        }
+    }
+
+    fn total_pkts(&self) -> u32 {
+        self.orig_pkts + self.resp_pkts
+    }
+
+    /// True once TCP teardown means a fresh SYN should open a new record.
+    fn is_closed(&self) -> bool {
+        self.rst_orig || self.rst_resp || (self.fin_orig && self.fin_resp)
+    }
+
+    fn state(&self) -> ConnState {
+        if self.proto == 6 {
+            if self.midstream {
+                ConnState::Oth
+            } else if self.rst_resp && !self.established {
+                ConnState::Rej
+            } else if self.rst_orig {
+                ConnState::Rsto
+            } else if self.rst_resp {
+                ConnState::Rstr
+            } else if self.fin_orig && self.fin_resp {
+                ConnState::SF
+            } else if self.established {
+                ConnState::S1
+            } else if self.saw_syn && self.resp_pkts == 0 {
+                ConnState::S0
+            } else {
+                ConnState::Oth
+            }
+        } else if self.orig_pkts > 0 && self.resp_pkts > 0 {
+            ConnState::SF
+        } else {
+            ConnState::S0
+        }
+    }
+
+    fn finalize(self) -> ConnRecord {
+        let state = self.state();
+        ConnRecord {
+            orig: self.orig,
+            resp: self.resp,
+            proto: self.proto,
+            start_us: self.start_us,
+            end_us: self.last_us,
+            orig_pkts: self.orig_pkts,
+            resp_pkts: self.resp_pkts,
+            orig_bytes: self.orig_bytes,
+            resp_bytes: self.resp_bytes,
+            orig_wire_bytes: self.orig_wire,
+            resp_wire_bytes: self.resp_wire,
+            orig_flags: self.orig_flags,
+            resp_flags: self.resp_flags,
+            iat: Summary::of(&self.iats),
+            orig_len: Summary::of(&self.orig_lens),
+            resp_len: Summary::of(&self.resp_lens),
+            state,
+            history: self.history,
+            first_n: self.first_n,
+            orig_ttl_mean: if self.orig_pkts == 0 {
+                0.0
+            } else {
+                self.orig_ttl_sum / f64::from(self.orig_pkts)
+            },
+            packet_indices: self.packet_indices,
+        }
+    }
+}
+
+/// Streaming connection tracker. Feed packets in timestamp order with
+/// [`ConnectionTracker::push`]; completed connections accumulate internally
+/// and are drained by [`ConnectionTracker::finish`].
+pub struct ConnectionTracker {
+    cfg: FlowConfig,
+    active: HashMap<FlowKey, ActiveConn>,
+    done: Vec<ConnRecord>,
+}
+
+impl ConnectionTracker {
+    /// Creates a tracker with the given configuration.
+    pub fn new(cfg: FlowConfig) -> ConnectionTracker {
+        ConnectionTracker {
+            cfg,
+            active: HashMap::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Processes one packet. `index` is the packet's position in the source
+    /// capture (recorded for label propagation). Non-IP packets are ignored.
+    pub fn push(&mut self, index: u32, meta: &PacketMeta) {
+        let Some((src, dst, sp, dp, proto)) = meta.five_tuple() else {
+            return;
+        };
+        let key = FlowKey::canonical(src, dst, sp, dp, proto);
+        let idle = self.cfg.idle_for(proto);
+
+        if let Some(conn) = self.active.get(&key) {
+            let gap_split = meta.ts_us.saturating_sub(conn.last_us) > idle;
+            let reopen = conn.is_closed()
+                && matches!(&meta.transport, TransportMeta::Tcp { flags, .. } if flags.syn() && !flags.ack());
+            if gap_split || reopen {
+                let finished = self.active.remove(&key).expect("present");
+                self.done.push(finished.finalize());
+            }
+        }
+
+        match self.active.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().update(meta, index, &self.cfg);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(ActiveConn::new(meta, index, &self.cfg));
+            }
+        }
+    }
+
+    /// Flushes all still-active connections and returns every record sorted
+    /// by start time (ties broken by originator endpoint for determinism).
+    pub fn finish(mut self) -> Vec<ConnRecord> {
+        self.done
+            .extend(self.active.into_values().map(ActiveConn::finalize));
+        self.done.sort_by(|a, b| {
+            a.start_us
+                .cmp(&b.start_us)
+                .then_with(|| a.orig.cmp(&b.orig))
+                .then_with(|| a.resp.cmp(&b.resp))
+        });
+        self.done
+    }
+}
+
+/// Convenience: assembles connections from a packet slice (sorted internally
+/// by timestamp if needed).
+pub fn assemble(packets: &[PacketMeta], cfg: FlowConfig) -> Vec<ConnRecord> {
+    let mut tracker = ConnectionTracker::new(cfg);
+    let sorted = packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us);
+    if sorted {
+        for (i, p) in packets.iter().enumerate() {
+            tracker.push(i as u32, p);
+        }
+    } else {
+        let mut order: Vec<usize> = (0..packets.len()).collect();
+        order.sort_by_key(|&i| packets[i].ts_us);
+        for i in order {
+            tracker.push(i as u32, &packets[i]);
+        }
+    }
+    tracker.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::builder::{tcp_packet, udp_packet, TcpParams, UdpParams};
+    use lumen_net::wire::tcp::TcpFlags;
+    use lumen_net::wire::MacAddr;
+    use lumen_net::LinkType;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn tcp(
+        ts_us: u64,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sp: u16,
+        dp: u16,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> PacketMeta {
+        let pkt = tcp_packet(TcpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sp,
+            dst_port: dp,
+            seq: 1,
+            ack: 1,
+            flags,
+            window: 1024,
+            ttl: 64,
+            payload,
+        });
+        PacketMeta::parse(LinkType::Ethernet, ts_us, &pkt).unwrap()
+    }
+
+    fn udp(
+        ts_us: u64,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sp: u16,
+        dp: u16,
+        payload: &[u8],
+    ) -> PacketMeta {
+        let pkt = udp_packet(UdpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sp,
+            dst_port: dp,
+            ttl: 64,
+            payload,
+        });
+        PacketMeta::parse(LinkType::Ethernet, ts_us, &pkt).unwrap()
+    }
+
+    fn full_handshake_conn() -> Vec<PacketMeta> {
+        vec![
+            tcp(0, A, B, 40000, 80, TcpFlags::SYN, b""),
+            tcp(10_000, B, A, 80, 40000, TcpFlags::SYN_ACK, b""),
+            tcp(20_000, A, B, 40000, 80, TcpFlags::ACK, b""),
+            tcp(30_000, A, B, 40000, 80, TcpFlags::PSH_ACK, b"GET /"),
+            tcp(40_000, B, A, 80, 40000, TcpFlags::PSH_ACK, b"200 OK body"),
+            tcp(50_000, A, B, 40000, 80, TcpFlags::FIN_ACK, b""),
+            tcp(60_000, B, A, 80, 40000, TcpFlags::FIN_ACK, b""),
+            tcp(70_000, A, B, 40000, 80, TcpFlags::ACK, b""),
+        ]
+    }
+
+    #[test]
+    fn normal_connection_is_sf() {
+        let conns = assemble(&full_handshake_conn(), FlowConfig::default());
+        assert_eq!(conns.len(), 1);
+        let c = &conns[0];
+        assert_eq!(c.state, ConnState::SF);
+        assert_eq!(c.orig, (A, 40000));
+        assert_eq!(c.resp, (B, 80));
+        assert_eq!(c.orig_pkts, 5);
+        assert_eq!(c.resp_pkts, 3);
+        assert_eq!(c.orig_bytes, 5);
+        assert_eq!(c.resp_bytes, 11);
+        assert_eq!(c.packet_indices, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // S: orig SYN, h: resp SYN-ACK, A: orig ACK, D: orig data,
+        // a/d: responder's first ACK + data, F/f: both FINs.
+        assert_eq!(c.history, "ShADadFf");
+    }
+
+    #[test]
+    fn syn_scan_is_s0() {
+        let pkts = vec![tcp(0, A, B, 40001, 22, TcpFlags::SYN, b"")];
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].state, ConnState::S0);
+    }
+
+    #[test]
+    fn rejected_connection_is_rej() {
+        let pkts = vec![
+            tcp(0, A, B, 40002, 23, TcpFlags::SYN, b""),
+            tcp(5_000, B, A, 23, 40002, TcpFlags::RST | TcpFlags::ACK, b""),
+        ];
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns[0].state, ConnState::Rej);
+    }
+
+    #[test]
+    fn orig_abort_is_rsto() {
+        let mut pkts = full_handshake_conn()[..5].to_vec();
+        pkts.push(tcp(45_000, A, B, 40000, 80, TcpFlags::RST, b""));
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns[0].state, ConnState::Rsto);
+    }
+
+    #[test]
+    fn midstream_is_oth() {
+        let pkts = vec![tcp(0, A, B, 40003, 443, TcpFlags::PSH_ACK, b"data")];
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns[0].state, ConnState::Oth);
+    }
+
+    #[test]
+    fn udp_bidirectional_is_sf() {
+        let pkts = vec![
+            udp(0, A, B, 5353, 53, b"query bytes"),
+            udp(2_000, B, A, 53, 5353, b"answer bytes longer"),
+        ];
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].state, ConnState::SF);
+        assert_eq!(conns[0].orig, (A, 5353));
+    }
+
+    #[test]
+    fn idle_gap_splits_udp_flow() {
+        let cfg = FlowConfig::default();
+        let pkts = vec![
+            udp(0, A, B, 9999, 123, b"x"),
+            udp(cfg.udp_idle_us + 1_000_000, A, B, 9999, 123, b"y"),
+        ];
+        let conns = assemble(&pkts, cfg);
+        assert_eq!(conns.len(), 2);
+    }
+
+    #[test]
+    fn new_syn_after_close_opens_new_connection() {
+        let mut pkts = full_handshake_conn();
+        pkts.push(tcp(80_000, A, B, 40000, 80, TcpFlags::SYN, b""));
+        pkts.push(tcp(90_000, B, A, 80, 40000, TcpFlags::SYN_ACK, b""));
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns.len(), 2);
+        assert_eq!(conns[0].state, ConnState::SF);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let mut pkts = full_handshake_conn();
+        pkts.swap(0, 3);
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].state, ConnState::SF);
+    }
+
+    #[test]
+    fn first_n_is_capped() {
+        let cfg = FlowConfig {
+            first_n: 3,
+            ..FlowConfig::default()
+        };
+        let mut pkts = vec![tcp(0, A, B, 40000, 80, TcpFlags::SYN, b"")];
+        for i in 1..10 {
+            pkts.push(tcp(i * 1000, A, B, 40000, 80, TcpFlags::ACK, b"zz"));
+        }
+        let conns = assemble(&pkts, cfg);
+        assert_eq!(conns[0].first_n.len(), 3);
+        assert_eq!(conns[0].orig_pkts, 10);
+    }
+
+    #[test]
+    fn distinct_five_tuples_distinct_conns() {
+        let pkts = vec![
+            udp(0, A, B, 1000, 53, b"a"),
+            udp(1, A, B, 1001, 53, b"b"),
+            udp(2, A, B, 1000, 123, b"c"),
+        ];
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns.len(), 3);
+    }
+
+    #[test]
+    fn iat_summary_reasonable() {
+        let conns = assemble(&full_handshake_conn(), FlowConfig::default());
+        let c = &conns[0];
+        assert_eq!(c.iat.count, 7);
+        assert!((c.iat.mean - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_ip_packets_ignored() {
+        let arp = lumen_net::builder::arp_packet(
+            MacAddr::from_id(1),
+            A,
+            MacAddr::BROADCAST,
+            B,
+            lumen_net::wire::arp::ArpOperation::Request,
+        );
+        let meta = PacketMeta::parse(LinkType::Ethernet, 0, &arp).unwrap();
+        let conns = assemble(&[meta], FlowConfig::default());
+        assert!(conns.is_empty());
+    }
+
+    #[test]
+    fn flood_of_syns_from_many_ports() {
+        // 100 spoofed-source SYNs: 100 distinct S0 connections.
+        let pkts: Vec<PacketMeta> = (0..100u16)
+            .map(|i| tcp(u64::from(i) * 100, A, B, 10_000 + i, 80, TcpFlags::SYN, b""))
+            .collect();
+        let conns = assemble(&pkts, FlowConfig::default());
+        assert_eq!(conns.len(), 100);
+        assert!(conns.iter().all(|c| c.state == ConnState::S0));
+    }
+}

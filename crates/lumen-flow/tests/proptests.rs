@@ -1,0 +1,144 @@
+//! Property-based tests for the connection tracker.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use lumen_flow::{assemble, FlowConfig, FlowKey};
+use lumen_net::builder::{tcp_packet, udp_packet, TcpParams, UdpParams};
+use lumen_net::wire::tcp::TcpFlags;
+use lumen_net::{LinkType, MacAddr, PacketMeta};
+
+fn udp_meta(ts: u64, src: u8, dst: u8, sp: u16, dp: u16) -> PacketMeta {
+    let frame = udp_packet(UdpParams {
+        src_mac: MacAddr::from_id(u64::from(src)),
+        dst_mac: MacAddr::from_id(u64::from(dst)),
+        src_ip: Ipv4Addr::new(10, 0, 0, src),
+        dst_ip: Ipv4Addr::new(10, 0, 0, dst),
+        src_port: sp,
+        dst_port: dp,
+        ttl: 64,
+        payload: b"pp",
+    });
+    PacketMeta::parse(LinkType::Ethernet, ts, &frame).unwrap()
+}
+
+proptest! {
+    /// The canonical flow key is direction-independent for any endpoints.
+    #[test]
+    fn flow_key_symmetric(
+        a in any::<u32>(), b in any::<u32>(),
+        pa in any::<u16>(), pb in any::<u16>(),
+        proto in 0u8..=255,
+    ) {
+        let (ia, ib) = (Ipv4Addr::from(a), Ipv4Addr::from(b));
+        prop_assert_eq!(
+            FlowKey::canonical(ia, ib, pa, pb, proto),
+            FlowKey::canonical(ib, ia, pb, pa, proto)
+        );
+    }
+
+    /// Assembly conserves packets: every IP packet lands in exactly one
+    /// connection, for any interleaving of up to 5 conversations.
+    #[test]
+    fn assembly_conserves_packets(
+        schedule in proptest::collection::vec((0u8..5, 0u64..10_000_000), 1..60)
+    ) {
+        let metas: Vec<PacketMeta> = schedule
+            .iter()
+            .enumerate()
+            .map(|(i, &(flow, jitter))| {
+                udp_meta(
+                    i as u64 * 1000 + jitter % 997,
+                    1 + flow,
+                    100,
+                    2000 + u16::from(flow),
+                    53,
+                )
+            })
+            .collect();
+        let conns = assemble(&metas, FlowConfig::default());
+        let mut seen: Vec<u32> = conns.iter().flat_map(|c| c.packet_indices.clone()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), metas.len());
+        // Flow count is bounded by distinct sources.
+        let mut flows: Vec<u8> = schedule.iter().map(|&(f, _)| f).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        prop_assert_eq!(conns.len(), flows.len());
+    }
+
+    /// Connection statistics are internally consistent for arbitrary TCP
+    /// conversations: packet counts match indices, durations are
+    /// non-negative, byte totals bound payload totals.
+    #[test]
+    fn connection_stats_consistent(
+        n_data in 0usize..12,
+        gap_us in 1u64..2_000_000,
+        payload_len in 0usize..600,
+    ) {
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(10, 1, 0, 2);
+        let mk = |ts, from_a: bool, flags, pl: &[u8]| {
+            let (s, d, sp, dp) = if from_a { (a, b, 555, 80) } else { (b, a, 80, 555) };
+            let frame = tcp_packet(TcpParams {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: s,
+                dst_ip: d,
+                src_port: sp,
+                dst_port: dp,
+                seq: 1,
+                ack: 1,
+                flags,
+                window: 100,
+                ttl: 64,
+                payload: pl,
+            });
+            PacketMeta::parse(LinkType::Ethernet, ts, &frame).unwrap()
+        };
+        let mut metas = vec![
+            mk(0, true, TcpFlags::SYN, b""),
+            mk(gap_us, false, TcpFlags::SYN_ACK, b""),
+            mk(gap_us * 2, true, TcpFlags::ACK, b""),
+        ];
+        let payload = vec![0x41u8; payload_len];
+        for i in 0..n_data {
+            metas.push(mk(gap_us * (3 + i as u64), i % 2 == 0, TcpFlags::PSH_ACK, &payload));
+        }
+        let conns = assemble(&metas, FlowConfig {
+            tcp_idle_us: u64::MAX / 2,
+            ..FlowConfig::default()
+        });
+        prop_assert_eq!(conns.len(), 1);
+        let c = &conns[0];
+        prop_assert_eq!((c.orig_pkts + c.resp_pkts) as usize, metas.len());
+        prop_assert_eq!(c.packet_indices.len(), metas.len());
+        prop_assert!(c.end_us >= c.start_us);
+        prop_assert!(c.orig_bytes <= c.orig_wire_bytes);
+        prop_assert!(c.resp_bytes <= c.resp_wire_bytes);
+        let expected_payload = (n_data * payload_len) as u64;
+        prop_assert_eq!(c.orig_bytes + c.resp_bytes, expected_payload);
+        // History is bounded and the first packet makes A the originator.
+        prop_assert!(c.history.len() <= 12);
+        prop_assert_eq!(c.orig, (a, 555));
+    }
+
+    /// Uni-flow splitting partitions a connection's packets by direction.
+    #[test]
+    fn uni_flows_partition_directions(n_fwd in 1u32..10, n_rev in 0u32..10) {
+        let mut metas = Vec::new();
+        for i in 0..n_fwd {
+            metas.push(udp_meta(u64::from(i) * 10, 1, 2, 4000, 53));
+        }
+        for i in 0..n_rev {
+            metas.push(udp_meta(u64::from(n_fwd + i) * 10, 2, 1, 53, 4000));
+        }
+        let conns = assemble(&metas, FlowConfig::default());
+        prop_assert_eq!(conns.len(), 1);
+        let flows = conns[0].to_uni_flows();
+        let total: u32 = flows.iter().map(|f| f.pkts).sum();
+        prop_assert_eq!(total, n_fwd + n_rev);
+        prop_assert_eq!(flows.len(), if n_rev == 0 { 1 } else { 2 });
+    }
+}

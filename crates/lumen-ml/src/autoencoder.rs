@@ -1,0 +1,346 @@
+//! MLP autoencoders trained by backpropagation.
+//!
+//! Two published algorithms rest on these: the network-centric detector
+//! (A11) and early detection (A12) train an autoencoder on benign traffic
+//! and alarm on high reconstruction error; KitNET (A06) stacks many small
+//! ones.
+
+use lumen_util::Rng;
+
+use crate::matrix::Matrix;
+use crate::model::AnomalyDetector;
+use crate::preprocess::{MinMaxScaler, Transform};
+use crate::{MlError, MlResult};
+
+/// Autoencoder hyperparameters.
+#[derive(Debug, Clone)]
+pub struct AutoencoderConfig {
+    /// Hidden-layer sizes of the *encoder*; the decoder mirrors them.
+    /// `vec![8]` builds `d → 8 → d`; `vec![16, 4]` builds `d → 16 → 4 → 16 → d`.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Weight-initialization / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for AutoencoderConfig {
+    fn default() -> Self {
+        AutoencoderConfig {
+            hidden: vec![8],
+            epochs: 60,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer with sigmoid activation.
+struct Layer {
+    w: Matrix,
+    b: Vec<f64>,
+    vw: Matrix,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut Rng) -> Layer {
+        // Xavier-style uniform init.
+        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
+        let mut w = Matrix::zeros(inputs, outputs);
+        for r in 0..inputs {
+            for c in 0..outputs {
+                w.set(r, c, rng.f64_range(-bound, bound));
+            }
+        }
+        Layer {
+            vw: Matrix::zeros(inputs, outputs),
+            vb: vec![0.0; outputs],
+            w,
+            b: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let outs = self.b.len();
+        let mut z = self.b.clone();
+        for (i, &x) in input.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            let wrow = self.w.row(i);
+            for c in 0..outs {
+                z[c] += x * wrow[c];
+            }
+        }
+        for v in &mut z {
+            *v = sigmoid(*v);
+        }
+        z
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A fitted autoencoder; anomaly score is reconstruction RMSE over features
+/// scaled to `[0, 1]`.
+pub struct Autoencoder {
+    /// Hyperparameters.
+    pub config: AutoencoderConfig,
+    scaler: MinMaxScaler,
+    layers: Vec<Layer>,
+    fitted: bool,
+}
+
+impl Autoencoder {
+    /// Creates an unfitted autoencoder.
+    pub fn new(config: AutoencoderConfig) -> Autoencoder {
+        Autoencoder {
+            config,
+            scaler: MinMaxScaler::default(),
+            layers: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    fn layer_sizes(&self, d: usize) -> Vec<usize> {
+        let mut sizes = vec![d];
+        for &h in &self.config.hidden {
+            sizes.push(h.max(1));
+        }
+        for &h in self.config.hidden.iter().rev().skip(1) {
+            sizes.push(h.max(1));
+        }
+        sizes.push(d);
+        sizes
+    }
+
+    /// Forward pass returning every layer's activations (first = input).
+    fn forward_all(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("nonempty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// One SGD step on a single (scaled) example; returns squared error.
+    fn train_step(&mut self, input: &[f64]) -> f64 {
+        let acts = self.forward_all(input);
+        let output = acts.last().expect("output layer");
+        // dL/da for MSE loss.
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(input)
+            .map(|(o, t)| (o - t) * o * (1.0 - o)) // include sigmoid'
+            .collect();
+        let sq_err: f64 = output
+            .iter()
+            .zip(input)
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum();
+
+        let lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+        for l in (0..self.layers.len()).rev() {
+            let inputs = &acts[l];
+            // Gradient wrt previous activations (before applying this layer's update).
+            let mut prev_delta = vec![0.0; inputs.len()];
+            {
+                let layer = &self.layers[l];
+                for (i, pd) in prev_delta.iter_mut().enumerate() {
+                    let wrow = layer.w.row(i);
+                    let mut s = 0.0;
+                    for (c, &dc) in delta.iter().enumerate() {
+                        s += wrow[c] * dc;
+                    }
+                    // Multiply by sigmoid' of this activation (skip for raw input layer).
+                    let a = inputs[i];
+                    *pd = if l == 0 { s } else { s * a * (1.0 - a) };
+                }
+            }
+            let layer = &mut self.layers[l];
+            for (i, &a) in inputs.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (c, &dc) in delta.iter().enumerate() {
+                    let v = mu * layer.vw.get(i, c) - lr * a * dc;
+                    layer.vw.set(i, c, v);
+                    layer.w.set(i, c, layer.w.get(i, c) + v);
+                }
+            }
+            for (c, &dc) in delta.iter().enumerate() {
+                let v = mu * layer.vb[c] - lr * dc;
+                layer.vb[c] = v;
+                layer.b[c] += v;
+            }
+            delta = prev_delta;
+        }
+        sq_err
+    }
+
+    /// Reconstruction RMSE of one already-scaled row.
+    fn rmse_scaled(&self, scaled: &[f64]) -> f64 {
+        let acts = self.forward_all(scaled);
+        let out = acts.last().expect("output");
+        let mse: f64 = out
+            .iter()
+            .zip(scaled)
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / scaled.len().max(1) as f64;
+        mse.sqrt()
+    }
+}
+
+impl AnomalyDetector for Autoencoder {
+    fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()> {
+        if benign.rows() == 0 || benign.cols() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let x = self.scaler.fit_transform(benign)?;
+        let d = x.cols();
+        let sizes = self.layer_sizes(d);
+        let mut rng = Rng::new(self.config.seed);
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                self.train_step(x.row(i));
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn anomaly_score(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let probe = Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let scaled = self.scaler.transform(&probe);
+        // Clamp: unseen extremes can exceed [0,1]; sigmoid output can't
+        // follow, so clamp the target for a bounded-but-monotone score.
+        let clamped: Vec<f64> = scaled.row(0).iter().map(|v| v.clamp(-1.0, 2.0)).collect();
+        self.rmse_scaled(&clamped)
+    }
+
+    fn name(&self) -> &'static str {
+        "autoencoder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlated_benign(seed: u64, n: usize) -> Matrix {
+        // Benign manifold: x1 = x0, x2 = 1 - x0 (1-D structure in 3-D).
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let t = rng.f64();
+                vec![
+                    t + rng.normal_with(0.0, 0.01),
+                    t + rng.normal_with(0.0, 0.01),
+                    1.0 - t + rng.normal_with(0.0, 0.01),
+                ]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn reconstructs_manifold_points_better_than_outliers() {
+        let x = correlated_benign(1, 400);
+        let mut ae = Autoencoder::new(AutoencoderConfig {
+            hidden: vec![2],
+            epochs: 80,
+            ..AutoencoderConfig::default()
+        });
+        ae.fit_benign(&x).unwrap();
+        let on_manifold = ae.anomaly_score(&[0.5, 0.5, 0.5]);
+        // Off-manifold: x1 != x0 violates the learned structure.
+        let off_manifold = ae.anomaly_score(&[0.9, 0.1, 0.9]);
+        assert!(
+            off_manifold > on_manifold * 1.5,
+            "off {off_manifold} vs on {on_manifold}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let x = correlated_benign(2, 200);
+        let mut scaler = MinMaxScaler::default();
+        let scaled = scaler.fit_transform(&x).unwrap();
+
+        let mut ae = Autoencoder::new(AutoencoderConfig {
+            hidden: vec![2],
+            epochs: 0,
+            ..AutoencoderConfig::default()
+        });
+        ae.fit_benign(&x).unwrap();
+        let before: f64 = scaled.rows_iter().map(|r| ae.rmse_scaled(r)).sum();
+
+        let mut trained = Autoencoder::new(AutoencoderConfig {
+            hidden: vec![2],
+            epochs: 60,
+            ..AutoencoderConfig::default()
+        });
+        trained.fit_benign(&x).unwrap();
+        let after: f64 = scaled.rows_iter().map(|r| trained.rmse_scaled(r)).sum();
+        assert!(after < before, "after {after} before {before}");
+    }
+
+    #[test]
+    fn deeper_stacks_build_correctly() {
+        let ae = Autoencoder::new(AutoencoderConfig {
+            hidden: vec![16, 4],
+            ..AutoencoderConfig::default()
+        });
+        assert_eq!(ae.layer_sizes(32), vec![32, 16, 4, 16, 32]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = correlated_benign(3, 100);
+        let mut a = Autoencoder::new(AutoencoderConfig::default());
+        let mut b = Autoencoder::new(AutoencoderConfig::default());
+        a.fit_benign(&x).unwrap();
+        b.fit_benign(&x).unwrap();
+        let p = [0.3, 0.7, 0.2];
+        assert_eq!(a.anomaly_score(&p), b.anomaly_score(&p));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut ae = Autoencoder::new(AutoencoderConfig::default());
+        assert!(ae.fit_benign(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let ae = Autoencoder::new(AutoencoderConfig::default());
+        assert_eq!(ae.anomaly_score(&[1.0]), 0.0);
+    }
+}

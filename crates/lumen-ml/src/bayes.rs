@@ -1,0 +1,172 @@
+//! Gaussian naive Bayes — the classifier behind BayesianIDS (A13).
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use crate::{MlError, MlResult};
+
+/// Per-class feature Gaussians with a shared variance floor.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    /// Log prior per class `[benign, malicious]`.
+    log_prior: [f64; 2],
+    /// Per-class per-feature means.
+    means: [Vec<f64>; 2],
+    /// Per-class per-feature variances (floored).
+    vars: [Vec<f64>; 2],
+    fitted: bool,
+}
+
+impl GaussianNb {
+    /// Creates an unfitted model.
+    pub fn new() -> GaussianNb {
+        GaussianNb::default()
+    }
+
+    fn log_likelihood(&self, class: usize, row: &[f64]) -> f64 {
+        let mut ll = self.log_prior[class];
+        for (f, &x) in row.iter().enumerate() {
+            let mean = self.means[class][f];
+            let var = self.vars[class][f];
+            ll += -0.5 * ((x - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let d = data.x.cols();
+        let n = data.len() as f64;
+        // Variance smoothing relative to the largest feature variance
+        // (sklearn's var_smoothing approach).
+        let max_var = data
+            .x
+            .col_stds()
+            .iter()
+            .map(|s| s * s)
+            .fold(0.0f64, f64::max);
+        let floor = (max_var * 1e-9).max(1e-12);
+
+        for class in 0..2 {
+            let rows = data.rows_with_label(class as u8);
+            let count = rows.rows();
+            if count == 0 {
+                // Unseen class: uniform prior, flat Gaussians.
+                self.log_prior[class] = (1.0 / (n + 2.0)).ln();
+                self.means[class] = vec![0.0; d];
+                self.vars[class] = vec![1.0; d];
+                continue;
+            }
+            self.log_prior[class] = ((count as f64 + 1.0) / (n + 2.0)).ln();
+            self.means[class] = rows.col_means();
+            self.vars[class] = rows
+                .col_stds()
+                .into_iter()
+                .map(|s| (s * s).max(floor))
+                .collect();
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.score_row(row) > 0.5)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let l0 = self.log_likelihood(0, row);
+        let l1 = self.log_likelihood(1, row);
+        // Softmax over two log-likelihoods = P(malicious | row).
+        let m = l0.max(l1);
+        let e0 = (l0 - m).exp();
+        let e1 = (l1 - m).exp();
+        e1 / (e0 + e1)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian-nb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use lumen_util::Rng;
+
+    fn gaussians(seed: u64, n: usize, sep: f64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let label = rng.chance(0.5);
+            let c = if label { sep } else { 0.0 };
+            rows.push(vec![rng.normal_with(c, 1.0), rng.normal_with(c, 1.0)]);
+            y.push(u8::from(label));
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let train = gaussians(1, 400, 4.0);
+        let test = gaussians(2, 200, 4.0);
+        let mut nb = GaussianNb::new();
+        nb.fit(&train).unwrap();
+        let preds = nb.predict(&test.x);
+        let acc = preds.iter().zip(&test.y).filter(|(p, t)| p == t).count() as f64 / 200.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let data = gaussians(3, 100, 2.0);
+        let mut nb = GaussianNb::new();
+        nb.fit(&data).unwrap();
+        for row in data.x.rows_iter() {
+            let s = nb.score_row(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn obvious_points_get_confident_scores() {
+        let train = gaussians(4, 400, 6.0);
+        let mut nb = GaussianNb::new();
+        nb.fit(&train).unwrap();
+        assert!(nb.score_row(&[6.0, 6.0]) > 0.99);
+        assert!(nb.score_row(&[0.0, 0.0]) < 0.01);
+    }
+
+    #[test]
+    fn single_class_training_does_not_panic() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        let data = Dataset::new(x, vec![0, 0]).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&data).unwrap();
+        // Everything near the benign cluster stays benign.
+        assert_eq!(nb.predict_row(&[1.5]), 0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let data = Dataset::new(Matrix::zeros(0, 1), vec![]).unwrap();
+        assert!(GaussianNb::new().fit(&data).is_err());
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let x = Matrix::from_rows(vec![vec![1.0, 5.0], vec![1.0, -5.0], vec![1.0, 5.5]]).unwrap();
+        let data = Dataset::new(x, vec![0, 1, 0]).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&data).unwrap();
+        let s = nb.score_row(&[1.0, 0.0]);
+        assert!(s.is_finite());
+    }
+}

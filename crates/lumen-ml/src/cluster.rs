@@ -1,0 +1,136 @@
+//! Agglomerative clustering of *features* by correlation distance.
+//!
+//! KitNET (A06) maps its input features into small groups of correlated
+//! features, one autoencoder per group. This module reproduces that feature
+//! map: average-linkage agglomerative clustering on the distance
+//! `1 − |pearson correlation|`, with a hard cap on cluster size.
+
+use lumen_util::stats::pearson;
+
+use crate::matrix::Matrix;
+use crate::{MlError, MlResult};
+
+/// Clusters the columns of `x` into groups of at most `max_size` correlated
+/// features. Returns the groups as lists of column indices; every column
+/// appears in exactly one group.
+pub fn cluster_features(x: &Matrix, max_size: usize) -> MlResult<Vec<Vec<usize>>> {
+    let d = x.cols();
+    if d == 0 || x.rows() == 0 {
+        return Err(MlError::EmptyInput);
+    }
+    let max_size = max_size.max(1);
+    let cols: Vec<Vec<f64>> = (0..d).map(|c| x.col(c)).collect();
+
+    // Pairwise correlation distances.
+    let mut dist = vec![vec![0.0f64; d]; d];
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let dd = 1.0 - pearson(&cols[i], &cols[j]).abs();
+            dist[i][j] = dd;
+            dist[j][i] = dd;
+        }
+    }
+
+    // Average-linkage agglomeration with a size cap.
+    let mut clusters: Vec<Vec<usize>> = (0..d).map(|i| vec![i]).collect();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                if clusters[a].len() + clusters[b].len() > max_size {
+                    continue;
+                }
+                let mut sum = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        sum += dist[i][j];
+                    }
+                }
+                let avg = sum / (clusters[a].len() * clusters[b].len()) as f64;
+                if best.is_none_or(|(_, _, s)| avg < s) {
+                    best = Some((a, b, avg));
+                }
+            }
+        }
+        match best {
+            // Merge only clearly-correlated groups; 1.0 means uncorrelated.
+            Some((a, b, score)) if score < 0.75 => {
+                let merged = clusters.remove(b);
+                clusters[a].extend(merged);
+            }
+            _ => break,
+        }
+    }
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort_by_key(|c| c[0]);
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_util::Rng;
+
+    /// Features 0,1 correlated; 2,3 correlated; 4 independent.
+    fn grouped_features(seed: u64, n: usize) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let a = rng.normal();
+                let b = rng.normal();
+                let c = rng.normal();
+                vec![
+                    a,
+                    a * 2.0 + rng.normal_with(0.0, 0.05),
+                    b,
+                    -b + rng.normal_with(0.0, 0.05),
+                    c,
+                ]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn groups_correlated_features() {
+        let x = grouped_features(1, 500);
+        let groups = cluster_features(&x, 3).unwrap();
+        let find = |f: usize| groups.iter().position(|g| g.contains(&f)).unwrap();
+        assert_eq!(find(0), find(1), "0 and 1 should cluster: {groups:?}");
+        assert_eq!(find(2), find(3), "2 and 3 should cluster: {groups:?}");
+        assert_ne!(find(0), find(2));
+    }
+
+    #[test]
+    fn every_feature_exactly_once() {
+        let x = grouped_features(2, 300);
+        let groups = cluster_features(&x, 2).unwrap();
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn max_size_respected() {
+        let x = grouped_features(3, 300);
+        for cap in 1..=4 {
+            let groups = cluster_features(&x, cap).unwrap();
+            assert!(groups.iter().all(|g| g.len() <= cap));
+        }
+    }
+
+    #[test]
+    fn cap_one_gives_singletons() {
+        let x = grouped_features(4, 100);
+        let groups = cluster_features(&x, 1).unwrap();
+        assert_eq!(groups.len(), 5);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(cluster_features(&Matrix::zeros(0, 3), 2).is_err());
+        assert!(cluster_features(&Matrix::zeros(3, 0), 2).is_err());
+    }
+}

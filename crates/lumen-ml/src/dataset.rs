@@ -1,0 +1,202 @@
+//! Labeled feature datasets, splits, and cross-validation folds.
+
+use lumen_util::Rng;
+
+use crate::matrix::Matrix;
+use crate::{MlError, MlResult};
+
+/// A feature matrix with parallel binary labels (0 = benign, 1 = malicious).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one row per instance.
+    pub x: Matrix,
+    /// Labels, one per row of `x`.
+    pub y: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking shapes.
+    pub fn new(x: Matrix, y: Vec<u8>) -> MlResult<Dataset> {
+        if x.rows() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: x.rows(),
+                got: y.len(),
+            });
+        }
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of malicious instances.
+    pub fn positives(&self) -> usize {
+        self.y.iter().filter(|&&l| l == 1).count()
+    }
+
+    /// Rows with the given label.
+    pub fn rows_with_label(&self, label: u8) -> Matrix {
+        let idx: Vec<usize> = self
+            .y
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect();
+        self.x.select_rows(&idx)
+    }
+
+    /// Selects instances by index (repeats allowed).
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(idx),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Concatenates two datasets with equal feature width.
+    pub fn concat(&self, other: &Dataset) -> MlResult<Dataset> {
+        Ok(Dataset {
+            x: self.x.vcat(&other.x)?,
+            y: self.y.iter().chain(other.y.iter()).copied().collect(),
+        })
+    }
+}
+
+/// Stratified train/test split: each class is split at `train_frac`
+/// independently, so rare attack classes appear in both halves.
+pub fn train_test_split(data: &Dataset, train_frac: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, &l) in data.y.iter().enumerate() {
+        if l == 1 {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    let cut = |v: &[usize]| ((v.len() as f64) * train_frac).round() as usize;
+    let (pc, nc) = (cut(&pos), cut(&neg));
+    let mut train_idx: Vec<usize> = pos[..pc].iter().chain(neg[..nc].iter()).copied().collect();
+    let mut test_idx: Vec<usize> = pos[pc..].iter().chain(neg[nc..].iter()).copied().collect();
+    rng.shuffle(&mut train_idx);
+    rng.shuffle(&mut test_idx);
+    (data.select(&train_idx), data.select(&test_idx))
+}
+
+/// K-fold indices: returns `k` (train, validation) index pairs covering the
+/// dataset, shuffled.
+pub fn kfold(n: usize, k: usize, rng: &mut Rng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let k = k.max(2).min(n.max(2));
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let val: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == f)
+            .map(|(_, &v)| v)
+            .collect();
+        let train: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != f)
+            .map(|(_, &v)| v)
+            .collect();
+        folds.push((train, val));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_pos {
+            rows.push(vec![i as f64, 1.0]);
+            y.push(1);
+        }
+        for i in 0..n_neg {
+            rows.push(vec![i as f64, 0.0]);
+            y.push(0);
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn new_checks_shapes() {
+        assert!(Dataset::new(Matrix::zeros(3, 2), vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let data = toy(20, 80);
+        let mut rng = Rng::new(1);
+        let (train, test) = train_test_split(&data, 0.7, &mut rng);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        assert_eq!(train.positives(), 14);
+        assert_eq!(test.positives(), 6);
+    }
+
+    #[test]
+    fn split_partitions_instances() {
+        let data = toy(5, 5);
+        let mut rng = Rng::new(2);
+        let (train, test) = train_test_split(&data, 0.5, &mut rng);
+        assert_eq!(train.len() + test.len(), data.len());
+    }
+
+    #[test]
+    fn rows_with_label_filters() {
+        let data = toy(3, 7);
+        assert_eq!(data.rows_with_label(1).rows(), 3);
+        assert_eq!(data.rows_with_label(0).rows(), 7);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = toy(1, 1);
+        let b = toy(2, 2);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.positives(), 3);
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let mut rng = Rng::new(3);
+        let folds = kfold(20, 4, &mut rng);
+        assert_eq!(folds.len(), 4);
+        let mut seen = [0usize; 20];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 20);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let data = toy(10, 10);
+        let (a, _) = train_test_split(&data, 0.5, &mut Rng::new(9));
+        let (b, _) = train_test_split(&data, 0.5, &mut Rng::new(9));
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.x, b.x);
+    }
+}

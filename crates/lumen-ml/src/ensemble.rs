@@ -1,0 +1,148 @@
+//! Majority-vote ensembles of heterogeneous classifiers (ML-DDoS, A00, uses
+//! an RF + DT + KNN + SVM committee).
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use crate::{MlError, MlResult};
+
+/// Majority vote over boxed member classifiers; the continuous score is the
+/// mean of member scores.
+pub struct VotingEnsemble {
+    members: Vec<Box<dyn Classifier>>,
+}
+
+impl VotingEnsemble {
+    /// Creates an ensemble from member classifiers.
+    pub fn new(members: Vec<Box<dyn Classifier>>) -> VotingEnsemble {
+        VotingEnsemble { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Classifier for VotingEnsemble {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if self.members.is_empty() {
+            return Err(MlError::BadConfig("ensemble has no members".into()));
+        }
+        for m in &mut self.members {
+            m.fit(data)?;
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        let votes: usize = self
+            .members
+            .iter()
+            .map(|m| usize::from(m.predict_row(row)))
+            .sum();
+        u8::from(votes * 2 > self.members.len())
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        self.members.iter().map(|m| m.score_row(row)).sum::<f64>() / self.members.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "voting-ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// A stub classifier with a fixed answer.
+    struct Fixed(u8);
+    impl Classifier for Fixed {
+        fn fit(&mut self, _data: &Dataset) -> MlResult<()> {
+            Ok(())
+        }
+        fn predict_row(&self, _row: &[f64]) -> u8 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    fn dummy_data() -> Dataset {
+        Dataset::new(Matrix::from_rows(vec![vec![0.0]]).unwrap(), vec![0]).unwrap()
+    }
+
+    #[test]
+    fn majority_wins() {
+        let mut e = VotingEnsemble::new(vec![
+            Box::new(Fixed(1)),
+            Box::new(Fixed(1)),
+            Box::new(Fixed(0)),
+        ]);
+        e.fit(&dummy_data()).unwrap();
+        assert_eq!(e.predict_row(&[0.0]), 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_benign() {
+        let mut e = VotingEnsemble::new(vec![Box::new(Fixed(1)), Box::new(Fixed(0))]);
+        e.fit(&dummy_data()).unwrap();
+        assert_eq!(e.predict_row(&[0.0]), 0);
+    }
+
+    #[test]
+    fn score_is_mean_of_members() {
+        let e = VotingEnsemble::new(vec![
+            Box::new(Fixed(1)),
+            Box::new(Fixed(0)),
+            Box::new(Fixed(0)),
+            Box::new(Fixed(1)),
+        ]);
+        assert!((e.score_row(&[0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ensemble_rejected_at_fit() {
+        let mut e = VotingEnsemble::new(vec![]);
+        assert!(matches!(e.fit(&dummy_data()), Err(MlError::BadConfig(_))));
+    }
+
+    #[test]
+    fn real_members_train_and_agree_on_easy_data() {
+        use crate::forest::{ForestConfig, RandomForest};
+        use crate::knn::{Knn, KnnConfig};
+        use crate::tree::{DecisionTree, TreeConfig};
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            rows.push(vec![i as f64]);
+            y.push(u8::from(i >= 20));
+        }
+        let data = Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap();
+        let mut e = VotingEnsemble::new(vec![
+            Box::new(DecisionTree::new(TreeConfig::default())),
+            Box::new(RandomForest::new(ForestConfig {
+                n_trees: 5,
+                ..ForestConfig::default()
+            })),
+            Box::new(Knn::new(KnnConfig {
+                k: 3,
+                ..KnnConfig::default()
+            })),
+        ]);
+        e.fit(&data).unwrap();
+        assert_eq!(e.predict_row(&[2.0]), 0);
+        assert_eq!(e.predict_row(&[38.0]), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Random forests: bagged CART trees with per-split feature subsampling.
+
+use lumen_util::Rng;
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{MlError, MlResult};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+    /// Minimum samples to split.
+    pub min_samples_split: usize,
+    /// Features per split; `None` = sqrt(d).
+    pub max_features: Option<usize>,
+    /// Bootstrap sample fraction of the training set per tree.
+    pub sample_frac: f64,
+    /// Seed controlling bootstraps and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 30,
+            max_depth: 12,
+            min_samples_split: 4,
+            max_features: None,
+            sample_frac: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest; scores are the mean of tree leaf probabilities.
+pub struct RandomForest {
+    /// Hyperparameters.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(config: ForestConfig) -> RandomForest {
+        RandomForest {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if self.config.n_trees == 0 {
+            return Err(MlError::BadConfig("n_trees must be positive".into()));
+        }
+        let d = data.x.cols();
+        let max_features = self
+            .config
+            .max_features
+            .unwrap_or_else(|| ((d as f64).sqrt().ceil() as usize).max(1));
+        let n = data.len();
+        let sample_n = ((n as f64) * self.config.sample_frac).round().max(1.0) as usize;
+
+        let mut rng = Rng::new(self.config.seed);
+        self.trees.clear();
+        for t in 0..self.config.n_trees {
+            let mut tree_rng = rng.fork(t as u64);
+            // Bootstrap sample with replacement.
+            let idx: Vec<usize> = (0..sample_n).map(|_| tree_rng.range(0, n)).collect();
+            let sample = data.select(&idx);
+            let mut tree = DecisionTree::new(TreeConfig {
+                max_depth: self.config.max_depth,
+                min_samples_split: self.config.min_samples_split,
+                min_samples_leaf: 1,
+                max_features: Some(max_features),
+                seed: tree_rng.next_u64(),
+            });
+            tree.fit(&sample)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.score_row(row) >= 0.5)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.score_row(row)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// Noisy 2-D two-cluster problem.
+    fn clusters(seed: u64, n: usize) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let label = rng.chance(0.5);
+            let (cx, cy) = if label { (3.0, 3.0) } else { (0.0, 0.0) };
+            rows.push(vec![rng.normal_with(cx, 0.7), rng.normal_with(cy, 0.7)]);
+            y.push(u8::from(label));
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn separates_clusters_well() {
+        let train = clusters(1, 300);
+        let test = clusters(2, 200);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 20,
+            ..ForestConfig::default()
+        });
+        rf.fit(&train).unwrap();
+        let preds = rf.predict(&test.x);
+        let acc =
+            preds.iter().zip(&test.y).filter(|(p, t)| p == t).count() as f64 / test.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let data = clusters(3, 100);
+        let probe = clusters(4, 20);
+        let mut a = RandomForest::new(ForestConfig::default());
+        let mut b = RandomForest::new(ForestConfig::default());
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.scores(&probe.x), b.scores(&probe.x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = clusters(3, 100);
+        let probe = clusters(4, 50);
+        let mut a = RandomForest::new(ForestConfig {
+            seed: 1,
+            ..ForestConfig::default()
+        });
+        let mut b = RandomForest::new(ForestConfig {
+            seed: 2,
+            ..ForestConfig::default()
+        });
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_ne!(a.scores(&probe.x), b.scores(&probe.x));
+    }
+
+    #[test]
+    fn score_is_mean_probability_in_unit_interval() {
+        let data = clusters(5, 100);
+        let mut rf = RandomForest::new(ForestConfig::default());
+        rf.fit(&data).unwrap();
+        for row in data.x.rows_iter() {
+            let s = rf.score_row(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let data = clusters(1, 10);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        });
+        assert!(matches!(rf.fit(&data), Err(MlError::BadConfig(_))));
+    }
+
+    #[test]
+    fn fits_requested_tree_count() {
+        let data = clusters(6, 50);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 7,
+            ..ForestConfig::default()
+        });
+        rf.fit(&data).unwrap();
+        assert_eq!(rf.tree_count(), 7);
+    }
+}

@@ -1,0 +1,267 @@
+//! Diagonal-covariance Gaussian mixture models fitted by EM.
+//!
+//! Used as the density model in the Efficient-One-Class-SVM paper's
+//! Nystroem+GMM variant (A08): fit on benign traffic, score new points by
+//! negative log-likelihood.
+
+use lumen_util::Rng;
+
+use crate::kmeans::kmeans;
+use crate::matrix::Matrix;
+use crate::model::AnomalyDetector;
+use crate::{MlError, MlResult};
+
+/// GMM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GmmConfig {
+    /// Mixture components.
+    pub n_components: usize,
+    /// EM iterations.
+    pub max_iter: usize,
+    /// Variance floor.
+    pub reg_covar: f64,
+    /// Seed for k-means initialization.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            n_components: 4,
+            max_iter: 50,
+            reg_covar: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted diagonal GMM.
+pub struct Gmm {
+    /// Hyperparameters.
+    pub config: GmmConfig,
+    weights: Vec<f64>,
+    means: Matrix,
+    vars: Matrix,
+    fitted: bool,
+}
+
+impl Gmm {
+    /// Creates an unfitted model.
+    pub fn new(config: GmmConfig) -> Gmm {
+        Gmm {
+            config,
+            weights: Vec::new(),
+            means: Matrix::zeros(0, 0),
+            vars: Matrix::zeros(0, 0),
+            fitted: false,
+        }
+    }
+
+    /// Log density of `row` under component `c` (diagonal Gaussian).
+    fn component_log_pdf(&self, c: usize, row: &[f64]) -> f64 {
+        let mean = self.means.row(c);
+        let var = self.vars.row(c);
+        let mut ll = 0.0;
+        for i in 0..row.len() {
+            let v = var[i];
+            ll += -0.5
+                * ((row[i] - mean[i]).powi(2) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+
+    /// Log-likelihood of one row under the mixture.
+    pub fn log_likelihood(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return f64::NEG_INFINITY;
+        }
+        let logs: Vec<f64> = (0..self.weights.len())
+            .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, row))
+            .collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Fits the mixture to unlabeled data.
+    pub fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        let n = x.rows();
+        if n == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let k = self.config.n_components.min(n).max(1);
+        let d = x.cols();
+        let mut rng = Rng::new(self.config.seed);
+
+        // Initialize from k-means.
+        let km = kmeans(x, k, 25, &mut rng)?;
+        self.means = km.centroids;
+        self.weights = vec![1.0 / k as f64; k];
+        self.vars = Matrix::zeros(k, d);
+        // Start every component at the global variance (floored).
+        let global_var: Vec<f64> = x
+            .col_stds()
+            .into_iter()
+            .map(|s| (s * s).max(self.config.reg_covar))
+            .collect();
+        for c in 0..k {
+            self.vars.row_mut(c).copy_from_slice(&global_var);
+        }
+        self.fitted = true;
+
+        let mut resp = Matrix::zeros(n, k);
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..self.config.max_iter {
+            // E step.
+            let mut total_ll = 0.0;
+            for i in 0..n {
+                let row = x.row(i);
+                let logs: Vec<f64> = (0..k)
+                    .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, row))
+                    .collect();
+                let lse = log_sum_exp(&logs);
+                total_ll += lse;
+                for c in 0..k {
+                    resp.set(i, c, (logs[c] - lse).exp());
+                }
+            }
+            // M step.
+            for c in 0..k {
+                let rc: f64 = (0..n).map(|i| resp.get(i, c)).sum();
+                let rc_safe = rc.max(1e-12);
+                self.weights[c] = rc / n as f64;
+                let mut mean = vec![0.0; d];
+                for i in 0..n {
+                    let r = resp.get(i, c);
+                    for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+                        *m += r * v;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= rc_safe;
+                }
+                let mut var = vec![0.0; d];
+                for i in 0..n {
+                    let r = resp.get(i, c);
+                    for j in 0..d {
+                        let dlt = x.get(i, j) - mean[j];
+                        var[j] += r * dlt * dlt;
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / rc_safe).max(self.config.reg_covar);
+                }
+                self.means.row_mut(c).copy_from_slice(&mean);
+                self.vars.row_mut(c).copy_from_slice(&var);
+            }
+            if (total_ll - prev_ll).abs() < 1e-6 * n as f64 {
+                break;
+            }
+            prev_ll = total_ll;
+        }
+        Ok(())
+    }
+}
+
+fn log_sum_exp(logs: &[f64]) -> f64 {
+    let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + logs.iter().map(|l| (l - m).exp()).sum::<f64>().ln()
+}
+
+impl AnomalyDetector for Gmm {
+    fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()> {
+        self.fit(benign)
+    }
+
+    fn anomaly_score(&self, row: &[f64]) -> f64 {
+        // Higher = more anomalous = lower likelihood.
+        -self.log_likelihood(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "gmm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(seed: u64, n: usize) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 8.0 };
+                vec![rng.normal_with(c, 0.6), rng.normal_with(c, 0.6)]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn likelihood_high_inside_low_outside() {
+        let x = two_blobs(1, 400);
+        let mut gmm = Gmm::new(GmmConfig {
+            n_components: 2,
+            ..GmmConfig::default()
+        });
+        gmm.fit(&x).unwrap();
+        let inside = gmm.log_likelihood(&[0.0, 0.0]);
+        let between = gmm.log_likelihood(&[4.0, 4.0]);
+        let outside = gmm.log_likelihood(&[50.0, -50.0]);
+        assert!(inside > between);
+        assert!(between > outside);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let x = two_blobs(2, 200);
+        let mut gmm = Gmm::new(GmmConfig {
+            n_components: 3,
+            ..GmmConfig::default()
+        });
+        gmm.fit(&x).unwrap();
+        let s: f64 = gmm.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anomaly_score_orders_points() {
+        let x = two_blobs(3, 300);
+        let mut gmm = Gmm::new(GmmConfig::default());
+        gmm.fit_benign(&x).unwrap();
+        assert!(gmm.anomaly_score(&[100.0, 100.0]) > gmm.anomaly_score(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn single_component_matches_gaussian_fit() {
+        let mut rng = Rng::new(4);
+        let rows: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.normal_with(5.0, 2.0)]).collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut gmm = Gmm::new(GmmConfig {
+            n_components: 1,
+            ..GmmConfig::default()
+        });
+        gmm.fit(&x).unwrap();
+        assert!((gmm.means.get(0, 0) - 5.0).abs() < 0.3);
+        assert!((gmm.vars.get(0, 0) - 4.0).abs() < 0.8);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut gmm = Gmm::new(GmmConfig::default());
+        assert!(gmm.fit(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn more_components_than_points_is_clamped() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        let mut gmm = Gmm::new(GmmConfig {
+            n_components: 10,
+            ..GmmConfig::default()
+        });
+        gmm.fit(&x).unwrap();
+        assert!(gmm.log_likelihood(&[1.5]).is_finite());
+    }
+}

@@ -1,0 +1,208 @@
+//! KitNET — Kitsune's ensemble of autoencoders (A06).
+//!
+//! Features are grouped into small clusters of correlated dimensions
+//! ([`crate::cluster::cluster_features`]); each cluster gets its own small
+//! autoencoder; the per-cluster reconstruction RMSEs feed one output
+//! autoencoder whose own RMSE is the final anomaly score.
+
+use crate::autoencoder::{Autoencoder, AutoencoderConfig};
+use crate::cluster::cluster_features;
+use crate::matrix::Matrix;
+use crate::model::AnomalyDetector;
+use crate::{MlError, MlResult};
+
+/// KitNET hyperparameters.
+#[derive(Debug, Clone)]
+pub struct KitnetConfig {
+    /// Maximum features per ensemble autoencoder (Kitsune's `m`, default 10).
+    pub max_cluster: usize,
+    /// Hidden-layer compression ratio for each autoencoder (hidden size =
+    /// ceil(ratio × inputs), min 1). Kitsune uses 0.75 by default.
+    pub compression: f64,
+    /// Training epochs for every autoencoder.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for KitnetConfig {
+    fn default() -> Self {
+        KitnetConfig {
+            max_cluster: 10,
+            compression: 0.75,
+            epochs: 40,
+            learning_rate: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted KitNET ensemble.
+pub struct Kitnet {
+    /// Hyperparameters.
+    pub config: KitnetConfig,
+    clusters: Vec<Vec<usize>>,
+    ensemble: Vec<Autoencoder>,
+    output: Option<Autoencoder>,
+}
+
+impl Kitnet {
+    /// Creates an unfitted ensemble.
+    pub fn new(config: KitnetConfig) -> Kitnet {
+        Kitnet {
+            config,
+            clusters: Vec::new(),
+            ensemble: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// Number of ensemble members after fitting.
+    pub fn ensemble_size(&self) -> usize {
+        self.ensemble.len()
+    }
+
+    fn ae_config(&self, inputs: usize, tag: u64) -> AutoencoderConfig {
+        let hidden = ((inputs as f64 * self.config.compression).ceil() as usize).max(1);
+        AutoencoderConfig {
+            hidden: vec![hidden],
+            epochs: self.config.epochs,
+            learning_rate: self.config.learning_rate,
+            momentum: 0.9,
+            seed: self.config.seed.wrapping_add(tag),
+        }
+    }
+
+    /// Per-cluster RMSE vector for one row.
+    fn tail_scores(&self, row: &[f64]) -> Vec<f64> {
+        self.clusters
+            .iter()
+            .zip(&self.ensemble)
+            .map(|(cluster, ae)| {
+                let sub: Vec<f64> = cluster.iter().map(|&c| row[c]).collect();
+                ae.anomaly_score(&sub)
+            })
+            .collect()
+    }
+}
+
+impl AnomalyDetector for Kitnet {
+    fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()> {
+        if benign.rows() == 0 || benign.cols() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        self.clusters = cluster_features(benign, self.config.max_cluster)?;
+
+        // Train one autoencoder per feature cluster.
+        self.ensemble.clear();
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            let sub = benign.select_cols(cluster);
+            let mut ae = Autoencoder::new(self.ae_config(cluster.len(), i as u64 + 1));
+            ae.fit_benign(&sub)?;
+            self.ensemble.push(ae);
+        }
+
+        // Train the output autoencoder on the ensemble's RMSE vectors.
+        let tails: Vec<Vec<f64>> = benign
+            .rows_iter()
+            .map(|row| self.tail_scores(row))
+            .collect();
+        let tail_m = Matrix::from_rows(tails)?;
+        let mut out = Autoencoder::new(self.ae_config(self.clusters.len(), 0));
+        out.fit_benign(&tail_m)?;
+        self.output = Some(out);
+        Ok(())
+    }
+
+    fn anomaly_score(&self, row: &[f64]) -> f64 {
+        let Some(out) = &self.output else {
+            return 0.0;
+        };
+        out.anomaly_score(&self.tail_scores(row))
+    }
+
+    fn name(&self) -> &'static str {
+        "kitnet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_util::Rng;
+
+    /// Benign rows with two correlated feature blocks.
+    fn benign(seed: u64, n: usize) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let a = rng.f64();
+                let b = rng.f64();
+                vec![
+                    a,
+                    a * 0.8 + rng.normal_with(0.0, 0.02),
+                    a * 1.2 + rng.normal_with(0.0, 0.02),
+                    b,
+                    1.0 - b + rng.normal_with(0.0, 0.02),
+                ]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn anomalies_score_above_benign() {
+        let x = benign(1, 300);
+        let mut kit = Kitnet::new(KitnetConfig {
+            max_cluster: 3,
+            epochs: 30,
+            ..KitnetConfig::default()
+        });
+        kit.fit_benign(&x).unwrap();
+        // Benign-like probe follows the learned correlations.
+        let benign_probe = [0.5, 0.4, 0.6, 0.5, 0.5];
+        // Attack probe violates both correlation structures.
+        let attack_probe = [0.9, 0.05, 0.05, 0.9, 0.9];
+        let sb = kit.anomaly_score(&benign_probe);
+        let sa = kit.anomaly_score(&attack_probe);
+        assert!(sa > sb, "attack {sa} should exceed benign {sb}");
+    }
+
+    #[test]
+    fn builds_multiple_ensemble_members() {
+        let x = benign(2, 200);
+        let mut kit = Kitnet::new(KitnetConfig {
+            max_cluster: 3,
+            epochs: 5,
+            ..KitnetConfig::default()
+        });
+        kit.fit_benign(&x).unwrap();
+        assert!(kit.ensemble_size() >= 2, "got {}", kit.ensemble_size());
+    }
+
+    #[test]
+    fn cluster_cap_respected() {
+        let x = benign(3, 200);
+        let mut kit = Kitnet::new(KitnetConfig {
+            max_cluster: 2,
+            epochs: 2,
+            ..KitnetConfig::default()
+        });
+        kit.fit_benign(&x).unwrap();
+        assert!(kit.clusters.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let kit = Kitnet::new(KitnetConfig::default());
+        assert_eq!(kit.anomaly_score(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut kit = Kitnet::new(KitnetConfig::default());
+        assert!(kit.fit_benign(&Matrix::zeros(0, 4)).is_err());
+    }
+}

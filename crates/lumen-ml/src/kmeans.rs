@@ -1,0 +1,178 @@
+//! k-means clustering (k-means++ initialization). Used to initialize GMMs.
+
+use lumen_util::Rng;
+
+use crate::matrix::Matrix;
+use crate::{MlError, MlResult};
+
+/// k-means result: centroids and per-point assignments.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// Cluster centroids, one row per cluster.
+    pub centroids: Matrix,
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means with k-means++ seeding.
+pub fn kmeans(x: &Matrix, k: usize, max_iter: usize, rng: &mut Rng) -> MlResult<KMeansFit> {
+    let n = x.rows();
+    if n == 0 || k == 0 {
+        return Err(MlError::EmptyInput);
+    }
+    let k = k.min(n);
+    let d = x.cols();
+
+    // k-means++ initialization.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.range(0, n);
+    centroids.row_mut(0).copy_from_slice(x.row(first));
+    let mut min_d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(x.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.range(0, n)
+        } else {
+            let mut target = rng.f64() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(x.row(pick));
+        for i in 0..n {
+            let d2 = sq_dist(x.row(i), centroids.row(c));
+            if d2 < min_d2[i] {
+                min_d2[i] = d2;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let row = x.row(i);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d2 = sq_dist(row, centroids.row(c));
+                if d2 < best_d {
+                    best_d = d2;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let row = x.row(i);
+            let srow = sums.row_mut(c);
+            for (s, &v) in srow.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let crow = sums.row(c).to_vec();
+                let dest = centroids.row_mut(c);
+                for (dst, v) in dest.iter_mut().zip(crow) {
+                    *dst = v / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(x.row(i), centroids.row(assignments[i])))
+        .sum();
+    Ok(KMeansFit {
+        centroids,
+        assignments,
+        inertia,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(seed: u64, n: usize) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 10.0 };
+                vec![rng.normal_with(c, 0.5), rng.normal_with(c, 0.5)]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn finds_two_blobs() {
+        let x = two_blobs(1, 200);
+        let mut rng = Rng::new(2);
+        let fit = kmeans(&x, 2, 50, &mut rng).unwrap();
+        // Centroids near (0,0) and (10,10) in some order.
+        let mut cs: Vec<f64> = (0..2).map(|c| fit.centroids.row(c)[0]).collect();
+        cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(cs[0].abs() < 1.0, "centroid {cs:?}");
+        assert!((cs[1] - 10.0).abs() < 1.0, "centroid {cs:?}");
+        // Points split evenly.
+        let c0 = fit.assignments.iter().filter(|&&a| a == 0).count();
+        assert_eq!(c0, 100);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        let mut rng = Rng::new(3);
+        let fit = kmeans(&x, 10, 10, &mut rng).unwrap();
+        assert_eq!(fit.centroids.rows(), 2);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let x = two_blobs(4, 100);
+        let i1 = kmeans(&x, 1, 50, &mut Rng::new(5)).unwrap().inertia;
+        let i2 = kmeans(&x, 2, 50, &mut Rng::new(5)).unwrap().inertia;
+        assert!(i2 < i1);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let x = Matrix::zeros(0, 2);
+        assert!(kmeans(&x, 2, 10, &mut Rng::new(1)).is_err());
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let x = Matrix::from_rows(vec![vec![3.0, 3.0]; 10]).unwrap();
+        let fit = kmeans(&x, 3, 10, &mut Rng::new(7)).unwrap();
+        assert!(fit.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! k-nearest-neighbours classification (part of the ML-DDoS ensemble, A00).
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+use crate::model::Classifier;
+use crate::preprocess::{StandardScaler, Transform};
+use crate::{MlError, MlResult};
+
+/// k-NN hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Neighbours consulted per query.
+    pub k: usize,
+    /// Cap on stored training instances (uniformly strided subsample);
+    /// keeps inference tractable on large captures.
+    pub max_train: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig {
+            k: 5,
+            max_train: 4000,
+        }
+    }
+}
+
+/// Brute-force Euclidean k-NN over standardized features.
+pub struct Knn {
+    /// Hyperparameters.
+    pub config: KnnConfig,
+    scaler: StandardScaler,
+    train_x: Option<Matrix>,
+    train_y: Vec<u8>,
+}
+
+impl Knn {
+    /// Creates an unfitted model.
+    pub fn new(config: KnnConfig) -> Knn {
+        Knn {
+            config,
+            scaler: StandardScaler::default(),
+            train_x: None,
+            train_y: Vec::new(),
+        }
+    }
+
+    /// Stored training instances after fitting.
+    pub fn stored(&self) -> usize {
+        self.train_y.len()
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if self.config.k == 0 {
+            return Err(MlError::BadConfig("k must be positive".into()));
+        }
+        // Deterministic strided subsample when over the cap.
+        let n = data.len();
+        let data = if n > self.config.max_train {
+            let stride = n as f64 / self.config.max_train as f64;
+            let idx: Vec<usize> = (0..self.config.max_train)
+                .map(|i| ((i as f64) * stride) as usize)
+                .collect();
+            data.select(&idx)
+        } else {
+            data.clone()
+        };
+        let x = self.scaler.fit_transform(&data.x)?;
+        self.train_x = Some(x);
+        self.train_y = data.y;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.score_row(row) >= 0.5)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        let Some(train) = &self.train_x else {
+            return 0.0;
+        };
+        let probe_m = Matrix::from_rows(vec![row.to_vec()]).expect("single row");
+        let probe = self.scaler.transform(&probe_m);
+        let q = probe.row(0);
+
+        let k = self.config.k.min(self.train_y.len());
+        // Max-heap of (distance, label) over the k best via simple partial
+        // selection — k is tiny, so an insertion pass is fine.
+        let mut best: Vec<(f64, u8)> = Vec::with_capacity(k + 1);
+        for (i, trow) in train.rows_iter().enumerate() {
+            let d: f64 = trow.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+            if best.len() < k {
+                best.push((d, self.train_y[i]));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            } else if d < best[k - 1].0 {
+                best[k - 1] = (d, self.train_y[i]);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+        let pos = best.iter().filter(|(_, l)| *l == 1).count();
+        pos as f64 / best.len().max(1) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_util::Rng;
+
+    fn blobs(seed: u64, n: usize) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let label = rng.chance(0.5);
+            let c = if label { 5.0 } else { 0.0 };
+            rows.push(vec![rng.normal_with(c, 1.0), rng.normal_with(c, 1.0)]);
+            y.push(u8::from(label));
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let train = blobs(1, 200);
+        let test = blobs(2, 100);
+        let mut knn = Knn::new(KnnConfig::default());
+        knn.fit(&train).unwrap();
+        let preds = knn.predict(&test.x);
+        let acc = preds.iter().zip(&test.y).filter(|(p, t)| p == t).count() as f64 / 100.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_points() {
+        let train = blobs(3, 50);
+        let mut knn = Knn::new(KnnConfig {
+            k: 1,
+            ..KnnConfig::default()
+        });
+        knn.fit(&train).unwrap();
+        assert_eq!(knn.predict(&train.x), train.y);
+    }
+
+    #[test]
+    fn subsampling_caps_memory() {
+        let train = blobs(4, 500);
+        let mut knn = Knn::new(KnnConfig {
+            k: 3,
+            max_train: 100,
+        });
+        knn.fit(&train).unwrap();
+        assert_eq!(knn.stored(), 100);
+        // Still classifies well.
+        let test = blobs(5, 100);
+        let acc = knn
+            .predict(&test.x)
+            .iter()
+            .zip(&test.y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 100.0;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn score_is_neighbour_fraction() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![0.1], vec![0.2], vec![10.0]]).unwrap();
+        let data = Dataset::new(x, vec![1, 1, 0, 0]).unwrap();
+        let mut knn = Knn::new(KnnConfig {
+            k: 3,
+            ..KnnConfig::default()
+        });
+        knn.fit(&data).unwrap();
+        // Neighbours of 0.05: the three points near zero -> 2/3 positive.
+        assert!((knn.score_row(&[0.05]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let data = blobs(6, 10);
+        let mut knn = Knn::new(KnnConfig {
+            k: 0,
+            ..KnnConfig::default()
+        });
+        assert!(matches!(knn.fit(&data), Err(MlError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,82 @@
+//! From-scratch machine learning for Lumen.
+//!
+//! Every model family the surveyed IDS literature uses is implemented here
+//! over a small dense-matrix core — no external ML dependencies:
+//!
+//! * supervised classifiers ([`Classifier`]): decision tree, random forest,
+//!   Gaussian naive Bayes, k-NN, logistic regression, linear SVM, and
+//!   majority-vote ensembles;
+//! * anomaly detectors ([`AnomalyDetector`], trained on benign traffic
+//!   only): one-class SVM, Gaussian mixture models, MLP autoencoders, the
+//!   KitNET ensemble-of-autoencoders, and Nystroem-approximated kernel
+//!   variants;
+//! * preprocessing: standard/min-max/robust scalers, correlation filtering,
+//!   PCA;
+//! * evaluation: precision/recall/F1/accuracy, ROC-AUC, stratified
+//!   train/test splits and k-fold cross-validation;
+//! * model selection: a grid-search "autoML-lite" used by nPrint (A01–A04)
+//!   and by Lumen's algorithm-synthesis search (AM01–AM03).
+
+// Numeric kernels (EM loops, k-means, SGD, covariance accumulation) read
+// better with explicit indices than with iterator chains; silence the
+// style lint for the whole crate.
+#![allow(clippy::needless_range_loop)]
+
+pub mod autoencoder;
+pub mod bayes;
+pub mod cluster;
+pub mod dataset;
+pub mod ensemble;
+pub mod forest;
+pub mod gmm;
+pub mod kitnet;
+pub mod kmeans;
+pub mod knn;
+pub mod linear;
+pub mod matrix;
+pub mod metrics;
+pub mod model;
+pub mod nystroem;
+pub mod ocsvm;
+pub mod preprocess;
+pub mod search;
+pub mod tree;
+
+pub use dataset::{kfold, train_test_split, Dataset};
+pub use matrix::Matrix;
+pub use metrics::{confusion, roc_auc, Confusion};
+pub use model::{AnomalyDetector, AnyModel, Classifier};
+
+/// Errors produced by the ML substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Inputs have incompatible shapes.
+    DimensionMismatch { expected: usize, got: usize },
+    /// Training data is empty or has no usable variation.
+    EmptyInput,
+    /// Model used before `fit`.
+    NotFitted,
+    /// Numerical failure (singular matrix, non-convergence, ...).
+    Degenerate(String),
+    /// Invalid hyperparameter.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            MlError::EmptyInput => write!(f, "empty or degenerate input"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::Degenerate(why) => write!(f, "numerical failure: {why}"),
+            MlError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Result alias for this crate.
+pub type MlResult<T> = std::result::Result<T, MlError>;

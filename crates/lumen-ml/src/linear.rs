@@ -1,0 +1,293 @@
+//! Linear models trained by mini-batch SGD: logistic regression and a
+//! hinge-loss linear SVM (the SVM member of the ML-DDoS ensemble, A00).
+
+use lumen_util::Rng;
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use crate::preprocess::{StandardScaler, Transform};
+use crate::{MlError, MlResult};
+
+/// Shared SGD hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Full passes over the training data.
+    pub epochs: usize,
+    /// Initial learning rate (decays as 1/(1 + t·decay)).
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            epochs: 30,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Logistic regression over standardized features.
+pub struct LogisticRegression {
+    /// Hyperparameters.
+    pub config: SgdConfig,
+    scaler: StandardScaler,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted model.
+    pub fn new(config: SgdConfig) -> LogisticRegression {
+        LogisticRegression {
+            config,
+            scaler: StandardScaler::default(),
+            weights: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let x = self.scaler.fit_transform(&data.x)?;
+        let d = x.cols();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let mut rng = Rng::new(self.config.seed);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut t = 0.0;
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let row = x.row(i);
+                let z = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, w)| a * w)
+                        .sum::<f64>();
+                let err = sigmoid(z) - f64::from(data.y[i]);
+                let lr = self.config.learning_rate / (1.0 + 0.01 * t);
+                for (w, &a) in self.weights.iter_mut().zip(row) {
+                    *w -= lr * (err * a + self.config.l2 * *w);
+                }
+                self.bias -= lr * err;
+                t += 1.0;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.score_row(row) >= 0.5)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let probe = crate::matrix::Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let scaled = self.scaler.transform(&probe);
+        let z = self.bias
+            + scaled
+                .row(0)
+                .iter()
+                .zip(&self.weights)
+                .map(|(a, w)| a * w)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic-regression"
+    }
+}
+
+/// Linear SVM trained with hinge loss; scores are logistic-squashed margins.
+pub struct LinearSvm {
+    /// Hyperparameters.
+    pub config: SgdConfig,
+    scaler: StandardScaler,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LinearSvm {
+    /// Creates an unfitted model.
+    pub fn new(config: SgdConfig) -> LinearSvm {
+        LinearSvm {
+            config,
+            scaler: StandardScaler::default(),
+            weights: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Raw margin for a (scaled) feature row.
+    fn margin(&self, scaled: &[f64]) -> f64 {
+        self.bias
+            + scaled
+                .iter()
+                .zip(&self.weights)
+                .map(|(a, w)| a * w)
+                .sum::<f64>()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let x = self.scaler.fit_transform(&data.x)?;
+        self.weights = vec![0.0; x.cols()];
+        self.bias = 0.0;
+        let mut rng = Rng::new(self.config.seed);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut t = 0.0;
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let row = x.row(i);
+                let y = if data.y[i] == 1 { 1.0 } else { -1.0 };
+                let lr = self.config.learning_rate / (1.0 + 0.01 * t);
+                let m = self.margin(row);
+                if y * m < 1.0 {
+                    for (w, &a) in self.weights.iter_mut().zip(row) {
+                        *w += lr * (y * a - self.config.l2 * *w);
+                    }
+                    self.bias += lr * y;
+                } else {
+                    for w in self.weights.iter_mut() {
+                        *w -= lr * self.config.l2 * *w;
+                    }
+                }
+                t += 1.0;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.score_row(row) >= 0.5)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let probe = crate::matrix::Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let scaled = self.scaler.transform(&probe);
+        sigmoid(self.margin(scaled.row(0)))
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-svm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn linear_problem(seed: u64, n: usize) -> Dataset {
+        // y = 1 iff 2*x0 - x1 > 1, with noise-free margin.
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.f64_range(-3.0, 3.0);
+            let b = rng.f64_range(-3.0, 3.0);
+            let m = 2.0 * a - b - 1.0;
+            if m.abs() < 0.2 {
+                continue; // leave a margin
+            }
+            rows.push(vec![a, b]);
+            y.push(u8::from(m > 0.0));
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    fn accuracy(preds: &[u8], truth: &[u8]) -> f64 {
+        preds.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn logreg_learns_linear_boundary() {
+        let train = linear_problem(1, 400);
+        let test = linear_problem(2, 200);
+        let mut m = LogisticRegression::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+        assert!(accuracy(&m.predict(&test.x), &test.y) > 0.95);
+    }
+
+    #[test]
+    fn svm_learns_linear_boundary() {
+        let train = linear_problem(3, 400);
+        let test = linear_problem(4, 200);
+        let mut m = LinearSvm::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+        assert!(accuracy(&m.predict(&test.x), &test.y) > 0.95);
+    }
+
+    #[test]
+    fn logreg_scores_are_probabilities() {
+        let train = linear_problem(5, 200);
+        let mut m = LogisticRegression::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+        for row in train.x.rows_iter() {
+            let s = m.score_row(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let train = linear_problem(6, 100);
+        let mut a = LogisticRegression::new(SgdConfig::default());
+        let mut b = LogisticRegression::new(SgdConfig::default());
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        assert_eq!(a.scores(&train.x), b.scores(&train.x));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let m = LinearSvm::new(SgdConfig::default());
+        assert_eq!(m.score_row(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let data = Dataset::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        assert!(LogisticRegression::new(SgdConfig::default())
+            .fit(&data)
+            .is_err());
+        assert!(LinearSvm::new(SgdConfig::default()).fit(&data).is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! A small dense row-major matrix — the only linear algebra Lumen needs.
+
+use crate::{MlError, MlResult};
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from nested rows; every row must have the same length.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> MlResult<Matrix> {
+        let n = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols);
+        for r in &rows {
+            if r.len() != cols {
+                return Err(MlError::DimensionMismatch {
+                    expected: cols,
+                    got: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: n,
+            cols,
+            data,
+        })
+    }
+
+    /// Builds from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> MlResult<Matrix> {
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies column `c` out.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Flat data access.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Selects a subset of rows (by index, repeats allowed — bootstrap).
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Selects a subset of columns.
+    pub fn select_cols(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, idx.len());
+        for r in 0..self.rows {
+            for (j, &c) in idx.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates two matrices with equal row counts.
+    pub fn hcat(&self, other: &Matrix) -> MlResult<Matrix> {
+        if self.rows != other.rows {
+            return Err(MlError::DimensionMismatch {
+                expected: self.rows,
+                got: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates two matrices with equal column counts.
+    pub fn vcat(&self, other: &Matrix) -> MlResult<Matrix> {
+        if self.cols != other.cols {
+            return Err(MlError::DimensionMismatch {
+                expected: self.cols,
+                got: other.cols,
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Matrix) -> MlResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(MlError::DimensionMismatch {
+                expected: self.cols,
+                got: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for (c, &b) in orow.iter().enumerate() {
+                    out_row[c] += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return m;
+        }
+        for row in self.rows_iter() {
+            for (c, &v) in row.iter().enumerate() {
+                m[c] += v;
+            }
+        }
+        for v in &mut m {
+            *v /= self.rows as f64;
+        }
+        m
+    }
+
+    /// Per-column population standard deviations.
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut s = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return s;
+        }
+        for row in self.rows_iter() {
+            for (c, &v) in row.iter().enumerate() {
+                let d = v - means[c];
+                s[c] += d * d;
+            }
+        }
+        for v in &mut s {
+            *v = (*v / self.rows as f64).sqrt();
+        }
+        s
+    }
+
+    /// Symmetric eigendecomposition by cyclic Jacobi rotations.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+    /// eigenvector `i` is column `i` of the returned matrix. The input must
+    /// be square and (numerically) symmetric.
+    pub fn eigh_symmetric(&self) -> MlResult<(Vec<f64>, Matrix)> {
+        if self.rows != self.cols {
+            return Err(MlError::DimensionMismatch {
+                expected: self.rows,
+                got: self.cols,
+            });
+        }
+        let n = self.rows;
+        if n == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+
+        for _sweep in 0..100 {
+            // Off-diagonal Frobenius norm.
+            let mut off = 0.0;
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    off += a.get(r, c) * a.get(r, c);
+                }
+            }
+            if off.sqrt() < 1e-12 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < 1e-15 {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Rotate rows/cols p and q of A.
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, c * apk - s * aqk);
+                        a.set(q, k, s * apk + c * aqk);
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+        let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_c, &(_, old_c)) in pairs.iter().enumerate() {
+            for r in 0..n {
+                vectors.set(r, new_c, v.get(r, old_c));
+            }
+        }
+        Ok((eigenvalues, vectors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn select_rows_with_repeats() {
+        let a = Matrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let s = a.select_rows(&[2, 2, 0]);
+        assert_eq!(s.col(0), vec![3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn select_cols_subset() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let s = a.select_cols(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn hcat_vcat() {
+        let a = Matrix::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        let b = Matrix::from_rows(vec![vec![3.0], vec![4.0]]).unwrap();
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.row(0), &[1.0, 3.0]);
+        let v = a.vcat(&b).unwrap();
+        assert_eq!(v.col(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn col_stats() {
+        let a = Matrix::from_rows(vec![vec![1.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        assert_eq!(a.col_means(), vec![2.0, 10.0]);
+        let stds = a.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0);
+    }
+
+    #[test]
+    fn eigh_diagonal() {
+        let m = Matrix::from_rows(vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let (vals, _) = m.eigh_symmetric().unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigh_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(vec![vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let (vals, vecs) = m.eigh_symmetric().unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2): components equal in magnitude.
+        assert!((vecs.get(0, 0).abs() - vecs.get(1, 0).abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigh_reconstructs_matrix() {
+        // A = V diag(L) V^T
+        let m = Matrix::from_rows(vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ])
+        .unwrap();
+        let (vals, vecs) = m.eigh_symmetric().unwrap();
+        let mut l = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            l.set(i, i, vals[i]);
+        }
+        let recon = vecs.matmul(&l).unwrap().matmul(&vecs.transpose()).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((recon.get(r, c) - m.get(r, c)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigh_rejects_nonsquare() {
+        assert!(Matrix::zeros(2, 3).eigh_symmetric().is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Evaluation metrics: confusion counts, precision/recall/F1, ROC-AUC.
+//!
+//! Precision and recall are the paper's primary metrics (§5.1): precision is
+//! the fraction of alarms that were real attacks; recall is the fraction of
+//! attacks that raised alarms. AUC is reported for the OCSVM family (A07),
+//! matching how its original paper evaluates.
+
+/// Binary confusion counts (positive class = malicious = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    pub tp: u64,
+    pub fp: u64,
+    pub tn: u64,
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predicted vs. true labels. Panics on length mismatch.
+    pub fn tally(pred: &[u8], truth: &[u8]) -> Confusion {
+        assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p != 0, t != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when there were no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all instances.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// False-positive rate = FP / (FP + TN).
+    pub fn fpr(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+}
+
+/// Convenience: confusion from predictions and truth.
+pub fn confusion(pred: &[u8], truth: &[u8]) -> Confusion {
+    Confusion::tally(pred, truth)
+}
+
+/// Area under the ROC curve from continuous scores (higher score = more
+/// malicious). Ties are handled by the Mann–Whitney formulation. Returns 0.5
+/// when either class is absent.
+pub fn roc_auc(scores: &[f64], truth: &[u8]) -> f64 {
+    assert_eq!(scores.len(), truth.len());
+    let n_pos = truth.iter().filter(|&&t| t != 0).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores (average rank for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t != 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let c = confusion(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.fpr(), 0.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let c = confusion(&[0, 1], &[1, 0]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.fpr(), 1.0);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // pred: 1 1 1 0 0, truth: 1 0 1 1 0 -> tp=2 fp=1 fn=1 tn=1
+        let c = confusion(&[1, 1, 1, 0, 0], &[1, 0, 1, 1, 0]);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positive_predictions_zero_precision() {
+        let c = confusion(&[0, 0], &[1, 1]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let truth = [0, 0, 1, 1];
+        assert!((roc_auc(&scores, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let truth = [0, 0, 1, 1];
+        assert!(roc_auc(&scores, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_ties_is_half() {
+        let scores = [0.5; 10];
+        let truth = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.2], &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn auc_known_partial() {
+        // scores 1,2,3,4 with labels 0,1,0,1: pairs (pos>neg): (2>1),(4>1),(4>3)=3 of 4 -> 0.75
+        let scores = [1.0, 2.0, 3.0, 4.0];
+        let truth = [0, 1, 0, 1];
+        assert!((roc_auc(&scores, &truth) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Model traits shared by every learning algorithm in the crate.
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+use crate::MlResult;
+
+/// A supervised binary classifier (0 = benign, 1 = malicious).
+pub trait Classifier: Send + Sync {
+    /// Trains on a labeled dataset.
+    fn fit(&mut self, data: &Dataset) -> MlResult<()>;
+
+    /// Predicts the label of one feature row.
+    fn predict_row(&self, row: &[f64]) -> u8;
+
+    /// Continuous maliciousness score for one row (higher = more likely
+    /// malicious); used for ROC-AUC. Defaults to the hard label.
+    fn score_row(&self, row: &[f64]) -> f64 {
+        f64::from(self.predict_row(row))
+    }
+
+    /// Predicts labels for every row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        x.rows_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Scores every row of `x`.
+    fn scores(&self, x: &Matrix) -> Vec<f64> {
+        x.rows_iter().map(|r| self.score_row(r)).collect()
+    }
+
+    /// Short human-readable model name.
+    fn name(&self) -> &'static str;
+}
+
+/// An unsupervised anomaly detector: fit on benign traffic only, score
+/// unseen rows (higher = more anomalous).
+pub trait AnomalyDetector: Send + Sync {
+    /// Trains on benign instances only.
+    fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()>;
+
+    /// Anomaly score for one row.
+    fn anomaly_score(&self, row: &[f64]) -> f64;
+
+    /// Short human-readable model name.
+    fn name(&self) -> &'static str;
+}
+
+/// Adapts an [`AnomalyDetector`] into the [`Classifier`] interface by
+/// fitting on the benign subset of the training data and thresholding the
+/// anomaly score at a quantile of the benign training scores.
+///
+/// This is how the benchmark runs Kitsune/OCSVM/GMM-style detectors
+/// side-by-side with supervised models: the detector never sees attack
+/// labels, but its alarms can still be tallied into precision/recall.
+pub struct Calibrated<D: AnomalyDetector> {
+    detector: D,
+    /// Quantile of benign training scores used as the alarm threshold
+    /// (e.g. 0.98 tolerates a 2% training false-positive rate).
+    pub benign_quantile: f64,
+    threshold: Option<f64>,
+}
+
+impl<D: AnomalyDetector> Calibrated<D> {
+    /// Wraps a detector with the default 0.98 benign-quantile threshold.
+    pub fn new(detector: D) -> Calibrated<D> {
+        Calibrated {
+            detector,
+            benign_quantile: 0.98,
+            threshold: None,
+        }
+    }
+
+    /// Wraps with an explicit benign quantile.
+    pub fn with_quantile(detector: D, q: f64) -> Calibrated<D> {
+        Calibrated {
+            detector,
+            benign_quantile: q,
+            threshold: None,
+        }
+    }
+
+    /// The calibrated threshold, once fitted.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// Access to the wrapped detector.
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+}
+
+impl<D: AnomalyDetector> Classifier for Calibrated<D> {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        let benign = data.rows_with_label(0);
+        if benign.rows() == 0 {
+            return Err(crate::MlError::EmptyInput);
+        }
+        self.detector.fit_benign(&benign)?;
+        let scores: Vec<f64> = benign
+            .rows_iter()
+            .map(|r| self.detector.anomaly_score(r))
+            .collect();
+        self.threshold = Some(lumen_util::stats::quantile(&scores, self.benign_quantile));
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        let t = self.threshold.unwrap_or(f64::INFINITY);
+        u8::from(self.detector.anomaly_score(row) > t)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        self.detector.anomaly_score(row)
+    }
+
+    fn name(&self) -> &'static str {
+        self.detector.name()
+    }
+}
+
+/// A boxed classifier with convenience constructors — what pipeline
+/// operations pass around.
+pub struct AnyModel(pub Box<dyn Classifier>);
+
+impl AnyModel {
+    /// Wraps any classifier.
+    pub fn new<C: Classifier + 'static>(c: C) -> AnyModel {
+        AnyModel(Box::new(c))
+    }
+
+    /// Trains in place.
+    pub fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        self.0.fit(data)
+    }
+
+    /// Predicts labels.
+    pub fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.0.predict(x)
+    }
+
+    /// Continuous scores.
+    pub fn scores(&self, x: &Matrix) -> Vec<f64> {
+        self.0.scores(x)
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MlError;
+
+    /// Scores each row by its first feature; "benign" cluster near 0.
+    struct DistanceDetector {
+        center: f64,
+    }
+
+    impl AnomalyDetector for DistanceDetector {
+        fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()> {
+            self.center = benign.col_means()[0];
+            Ok(())
+        }
+        fn anomaly_score(&self, row: &[f64]) -> f64 {
+            (row[0] - self.center).abs()
+        }
+        fn name(&self) -> &'static str {
+            "distance"
+        }
+    }
+
+    #[test]
+    fn calibrated_flags_outliers_only() {
+        // Benign near 0, one attack instance far away.
+        let x = Matrix::from_rows(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![-0.1],
+            vec![0.05],
+            vec![9.0],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 0, 0, 1];
+        let data = Dataset::new(x.clone(), y).unwrap();
+        // Quantile 1.0: threshold at the max benign training score, so no
+        // benign training point alarms (with only 4 benign rows, 0.98 would
+        // land below the max).
+        let mut model = Calibrated::with_quantile(DistanceDetector { center: f64::NAN }, 1.0);
+        model.fit(&data).unwrap();
+        let preds = model.predict(&x);
+        assert_eq!(preds[4], 1);
+        assert_eq!(&preds[..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn calibrated_requires_benign_rows() {
+        let x = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        let data = Dataset::new(x, vec![1]).unwrap();
+        let mut model = Calibrated::new(DistanceDetector { center: 0.0 });
+        assert_eq!(model.fit(&data).unwrap_err(), MlError::EmptyInput);
+    }
+
+    #[test]
+    fn unfitted_calibrated_never_alarms() {
+        let model = Calibrated::new(DistanceDetector { center: 0.0 });
+        assert_eq!(model.predict_row(&[100.0]), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Nystroem approximation of the RBF kernel feature map.
+//!
+//! The Efficient-One-Class-SVM paper (A08/A09) replaces exact kernel
+//! machines with a Nystroem low-rank map: sample `m` landmarks, compute the
+//! landmark kernel matrix `K_mm`, and map any point `x` to
+//! `k(x, landmarks) · U Λ^{-1/2}` where `K_mm = U Λ Uᵀ`. Downstream linear
+//! models (OCSVM) or density models (GMM) then behave like their kernelized
+//! counterparts at a fraction of the cost.
+
+use lumen_util::Rng;
+
+use crate::gmm::{Gmm, GmmConfig};
+use crate::matrix::Matrix;
+use crate::model::AnomalyDetector;
+use crate::ocsvm::{OcsvmConfig, OneClassSvm};
+use crate::preprocess::Transform;
+use crate::{MlError, MlResult};
+
+/// Nystroem hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NystroemConfig {
+    /// Landmark count (output dimensionality upper bound).
+    pub n_components: usize,
+    /// RBF γ; `None` selects `1 / (d · mean column variance)` ("scale").
+    pub gamma: Option<f64>,
+    /// Landmark sampling seed.
+    pub seed: u64,
+}
+
+impl Default for NystroemConfig {
+    fn default() -> Self {
+        NystroemConfig {
+            n_components: 64,
+            gamma: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted Nystroem feature map.
+pub struct Nystroem {
+    /// Hyperparameters.
+    pub config: NystroemConfig,
+    landmarks: Option<Matrix>,
+    /// Projection `U Λ^{-1/2}` (m × k).
+    projection: Option<Matrix>,
+    gamma: f64,
+}
+
+impl Nystroem {
+    /// Creates an unfitted map.
+    pub fn new(config: NystroemConfig) -> Nystroem {
+        Nystroem {
+            config,
+            landmarks: None,
+            projection: None,
+            gamma: 1.0,
+        }
+    }
+
+    fn rbf(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-self.gamma * d2).exp()
+    }
+
+    /// Output dimensionality after fitting.
+    pub fn out_dim(&self) -> usize {
+        self.projection.as_ref().map_or(0, Matrix::cols)
+    }
+}
+
+impl Transform for Nystroem {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        let n = x.rows();
+        if n == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let m = self.config.n_components.min(n).max(1);
+        let d = x.cols();
+
+        self.gamma = self.config.gamma.unwrap_or_else(|| {
+            let mean_var = x.col_stds().iter().map(|s| s * s).sum::<f64>() / d.max(1) as f64;
+            if mean_var > 1e-12 {
+                1.0 / (d as f64 * mean_var)
+            } else {
+                1.0
+            }
+        });
+
+        let mut rng = Rng::new(self.config.seed);
+        let idx = rng.sample_indices(n, m);
+        let landmarks = x.select_rows(&idx);
+
+        // K_mm and its inverse square root via eigendecomposition.
+        let mut kmm = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                let v = self.rbf(landmarks.row(i), landmarks.row(j));
+                kmm.set(i, j, v);
+                kmm.set(j, i, v);
+            }
+        }
+        let (vals, vecs) = kmm.eigh_symmetric()?;
+        // Keep components with meaningfully positive eigenvalues.
+        let keep: Vec<usize> = (0..m).filter(|&i| vals[i] > 1e-10).collect();
+        if keep.is_empty() {
+            return Err(MlError::Degenerate("kernel matrix numerically zero".into()));
+        }
+        let mut projection = Matrix::zeros(m, keep.len());
+        for (out_c, &c) in keep.iter().enumerate() {
+            let scale = 1.0 / vals[c].sqrt();
+            for r in 0..m {
+                projection.set(r, out_c, vecs.get(r, c) * scale);
+            }
+        }
+        self.landmarks = Some(landmarks);
+        self.projection = Some(projection);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let landmarks = self.landmarks.as_ref().expect("transform before fit");
+        let projection = self.projection.as_ref().expect("transform before fit");
+        let m = landmarks.rows();
+        let mut kx = Matrix::zeros(x.rows(), m);
+        for (r, row) in x.rows_iter().enumerate() {
+            for j in 0..m {
+                kx.set(r, j, self.rbf(row, landmarks.row(j)));
+            }
+        }
+        kx.matmul(projection).expect("shapes agree")
+    }
+}
+
+/// Nystroem feature map followed by an inner anomaly detector — the A08/A09
+/// composition.
+pub struct NystroemDetector<D: AnomalyDetector> {
+    map: Nystroem,
+    inner: D,
+    name: &'static str,
+}
+
+impl NystroemDetector<Gmm> {
+    /// Nystroem → GMM (A08).
+    pub fn gmm(nys: NystroemConfig, gmm: GmmConfig) -> NystroemDetector<Gmm> {
+        NystroemDetector {
+            map: Nystroem::new(nys),
+            inner: Gmm::new(gmm),
+            name: "nystroem-gmm",
+        }
+    }
+}
+
+impl NystroemDetector<OneClassSvm> {
+    /// Nystroem → one-class SVM (A09). The inner SVM is forced to the
+    /// linear kernel: the Nystroem map already supplies the kernel geometry.
+    pub fn ocsvm(nys: NystroemConfig, svm: OcsvmConfig) -> NystroemDetector<OneClassSvm> {
+        let svm = OcsvmConfig {
+            kernel: crate::ocsvm::OcsvmKernel::Linear,
+            ..svm
+        };
+        NystroemDetector {
+            map: Nystroem::new(nys),
+            inner: OneClassSvm::new(svm),
+            name: "nystroem-ocsvm",
+        }
+    }
+}
+
+impl<D: AnomalyDetector> AnomalyDetector for NystroemDetector<D> {
+    fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()> {
+        let mapped = self.map.fit_transform(benign)?;
+        self.inner.fit_benign(&mapped)
+    }
+
+    fn anomaly_score(&self, row: &[f64]) -> f64 {
+        let probe = Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let mapped = self.map.transform(&probe);
+        self.inner.anomaly_score(mapped.row(0))
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(seed: u64, n: usize) -> Matrix {
+        // Benign data on a ring of radius 5 — linearly inseparable from its
+        // center, exactly the case where a kernel map beats a linear model.
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let theta = rng.f64() * std::f64::consts::TAU;
+                let r = 5.0 + rng.normal_with(0.0, 0.2);
+                vec![r * theta.cos(), r * theta.sin()]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn approximates_kernel_inner_products() {
+        // <phi(x), phi(y)> should approximate k(x, y) when landmarks cover
+        // the data.
+        let x = ring(1, 150);
+        let mut nys = Nystroem::new(NystroemConfig {
+            n_components: 150, // all points as landmarks -> near-exact
+            gamma: Some(0.1),
+            seed: 2,
+        });
+        let mapped = nys.fit_transform(&x).unwrap();
+        for (i, j) in [(0, 1), (5, 40), (10, 120)] {
+            let exact = nys.rbf(x.row(i), x.row(j));
+            let approx: f64 = mapped
+                .row(i)
+                .iter()
+                .zip(mapped.row(j))
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "pair ({i},{j}): exact {exact} approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn nystroem_gmm_flags_ring_center() {
+        let x = ring(3, 300);
+        let mut det = NystroemDetector::gmm(
+            NystroemConfig {
+                n_components: 48,
+                ..NystroemConfig::default()
+            },
+            GmmConfig {
+                n_components: 3,
+                ..GmmConfig::default()
+            },
+        );
+        det.fit_benign(&x).unwrap();
+        let on_ring = det.anomaly_score(&[5.0, 0.0]);
+        let center = det.anomaly_score(&[0.0, 0.0]);
+        assert!(
+            center > on_ring,
+            "center {center} should be more anomalous than ring {on_ring}"
+        );
+    }
+
+    #[test]
+    fn nystroem_ocsvm_flags_far_points() {
+        let x = ring(4, 300);
+        let mut det = NystroemDetector::ocsvm(
+            NystroemConfig {
+                n_components: 48,
+                ..NystroemConfig::default()
+            },
+            OcsvmConfig::default(),
+        );
+        det.fit_benign(&x).unwrap();
+        let on_ring = det.anomaly_score(&[0.0, 5.0]);
+        let far = det.anomaly_score(&[30.0, 30.0]);
+        assert!(far > on_ring);
+    }
+
+    #[test]
+    fn out_dim_bounded_by_components() {
+        let x = ring(5, 100);
+        let mut nys = Nystroem::new(NystroemConfig {
+            n_components: 16,
+            ..NystroemConfig::default()
+        });
+        nys.fit(&x).unwrap();
+        assert!(nys.out_dim() <= 16);
+        assert!(nys.out_dim() > 0);
+        assert_eq!(nys.transform(&x).cols(), nys.out_dim());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut nys = Nystroem::new(NystroemConfig::default());
+        assert!(nys.fit(&Matrix::zeros(0, 3)).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! One-class SVM (ν-formulation) trained by SGD.
+//!
+//! This is A07's model. The published algorithm is a *kernel* OCSVM, so the
+//! default configuration approximates the RBF kernel with random Fourier
+//! features (Rahimi–Recht) before fitting the linear ν-SVM; far-away points
+//! decorrelate from every training point, fall toward the origin of the
+//! feature space, and land below the separating hyperplane.
+//!
+//! The `Linear` kernel skips the map entirely — that is the inner model of
+//! the Nystroem composition (A09), where [`crate::nystroem::Nystroem`]
+//! supplies the feature map instead.
+
+use lumen_util::Rng;
+
+use crate::matrix::Matrix;
+use crate::model::AnomalyDetector;
+use crate::preprocess::{StandardScaler, Transform};
+use crate::{MlError, MlResult};
+
+/// Kernel selection for [`OneClassSvm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OcsvmKernel {
+    /// Raw features, no map. Use when composing with an external feature
+    /// map (Nystroem) whose geometry already encodes similarity.
+    Linear,
+    /// RBF kernel approximated by random Fourier features. Input is
+    /// standardized first; `gamma = None` selects `1/d`.
+    Rbf {
+        /// Number of random Fourier features.
+        n_features: usize,
+        /// Kernel width; `None` = `1 / n_input_dims`.
+        gamma: Option<f64>,
+    },
+}
+
+/// One-class SVM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OcsvmConfig {
+    /// Upper bound on the training outlier fraction (ν ∈ (0, 1]).
+    pub nu: f64,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Kernel.
+    pub kernel: OcsvmKernel,
+    /// Shuffle / projection seed.
+    pub seed: u64,
+}
+
+impl Default for OcsvmConfig {
+    fn default() -> Self {
+        OcsvmConfig {
+            nu: 0.05,
+            epochs: 40,
+            learning_rate: 0.05,
+            kernel: OcsvmKernel::Rbf {
+                n_features: 128,
+                gamma: None,
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// The fitted random-Fourier-feature map for the RBF kernel.
+struct RffMap {
+    scaler: StandardScaler,
+    /// d × D projection.
+    w: Matrix,
+    /// D phase offsets.
+    b: Vec<f64>,
+    norm: f64,
+}
+
+impl RffMap {
+    fn fit(x: &Matrix, n_features: usize, gamma: Option<f64>, seed: u64) -> MlResult<RffMap> {
+        let mut scaler = StandardScaler::default();
+        let scaled = scaler.fit_transform(x)?;
+        let d = scaled.cols();
+        let gamma = gamma.unwrap_or(1.0 / d.max(1) as f64);
+        let mut rng = Rng::new(seed ^ 0x5EED_0C5F);
+        let mut w = Matrix::zeros(d, n_features);
+        let sd = (2.0 * gamma).sqrt();
+        for r in 0..d {
+            for c in 0..n_features {
+                w.set(r, c, rng.normal() * sd);
+            }
+        }
+        let b: Vec<f64> = (0..n_features)
+            .map(|_| rng.f64() * std::f64::consts::TAU)
+            .collect();
+        Ok(RffMap {
+            scaler,
+            w,
+            b,
+            norm: (2.0 / n_features as f64).sqrt(),
+        })
+    }
+
+    fn map_row(&self, row: &[f64]) -> Vec<f64> {
+        let probe = Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let scaled = self.scaler.transform(&probe);
+        let s = scaled.row(0);
+        let d_out = self.b.len();
+        let mut out = vec![0.0; d_out];
+        for c in 0..d_out {
+            let mut z = self.b[c];
+            for (i, &v) in s.iter().enumerate() {
+                z += v * self.w.get(i, c);
+            }
+            out[c] = self.norm * z.cos();
+        }
+        out
+    }
+}
+
+/// A fitted one-class SVM.
+pub struct OneClassSvm {
+    /// Hyperparameters.
+    pub config: OcsvmConfig,
+    rff: Option<RffMap>,
+    weights: Vec<f64>,
+    rho: f64,
+    fitted: bool,
+}
+
+impl OneClassSvm {
+    /// Creates an unfitted model.
+    pub fn new(config: OcsvmConfig) -> OneClassSvm {
+        OneClassSvm {
+            config,
+            rff: None,
+            weights: Vec::new(),
+            rho: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Convenience: linear kernel for use behind an external feature map.
+    pub fn linear(nu: f64, seed: u64) -> OneClassSvm {
+        OneClassSvm::new(OcsvmConfig {
+            nu,
+            kernel: OcsvmKernel::Linear,
+            seed,
+            ..OcsvmConfig::default()
+        })
+    }
+
+    /// Decision function `⟨w, φ(x)⟩ − ρ` on mapped features (negative =
+    /// anomalous).
+    fn decision(&self, mapped: &[f64]) -> f64 {
+        mapped
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, w)| a * w)
+            .sum::<f64>()
+            - self.rho
+    }
+
+    fn map_row(&self, row: &[f64]) -> Vec<f64> {
+        match &self.rff {
+            Some(map) => map.map_row(row),
+            None => row.to_vec(),
+        }
+    }
+}
+
+impl AnomalyDetector for OneClassSvm {
+    fn fit_benign(&mut self, benign: &Matrix) -> MlResult<()> {
+        if benign.rows() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        if !(0.0 < self.config.nu && self.config.nu <= 1.0) {
+            return Err(MlError::BadConfig("nu must be in (0, 1]".into()));
+        }
+        self.rff = match self.config.kernel {
+            OcsvmKernel::Linear => None,
+            OcsvmKernel::Rbf { n_features, gamma } => Some(RffMap::fit(
+                benign,
+                n_features.max(4),
+                gamma,
+                self.config.seed,
+            )?),
+        };
+
+        // Pre-map all training rows once.
+        let mapped: Vec<Vec<f64>> = benign.rows_iter().map(|r| self.map_row(r)).collect();
+        let d = mapped[0].len();
+        self.weights = vec![0.0; d];
+        self.rho = 0.0;
+        let inv_nu = 1.0 / self.config.nu;
+
+        let mut rng = Rng::new(self.config.seed);
+        let mut order: Vec<usize> = (0..mapped.len()).collect();
+        let mut t = 1.0;
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let row = &mapped[i];
+                let lr = self.config.learning_rate / (1.0 + 0.005 * t);
+                // Subgradient of (1/2)||w||² − ρ + (1/ν) max(0, ρ − ⟨w,x⟩).
+                if self.decision(row) >= 0.0 {
+                    for w in self.weights.iter_mut() {
+                        *w -= lr * *w;
+                    }
+                    self.rho += lr;
+                } else {
+                    for (w, &a) in self.weights.iter_mut().zip(row) {
+                        *w -= lr * (*w - inv_nu * a);
+                    }
+                    self.rho -= lr * (inv_nu - 1.0);
+                }
+                t += 1.0;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn anomaly_score(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        // Higher = more anomalous.
+        -self.decision(&self.map_row(row))
+    }
+
+    fn name(&self) -> &'static str {
+        "ocsvm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign_blob(seed: u64, n: usize) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.normal_with(5.0, 1.0), rng.normal_with(-2.0, 1.0)])
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn rbf_flags_outliers_in_any_direction() {
+        let x = benign_blob(1, 400);
+        let mut svm = OneClassSvm::new(OcsvmConfig::default());
+        svm.fit_benign(&x).unwrap();
+        let inlier = svm.anomaly_score(&[5.0, -2.0]);
+        for outlier_pt in [[50.0, 40.0], [-40.0, -40.0], [5.0, 30.0]] {
+            let s = svm.anomaly_score(&outlier_pt);
+            assert!(s > inlier, "outlier {outlier_pt:?}: {s} vs inlier {inlier}");
+        }
+    }
+
+    #[test]
+    fn most_training_points_are_inside() {
+        let x = benign_blob(2, 300);
+        let mut svm = OneClassSvm::new(OcsvmConfig::default());
+        svm.fit_benign(&x).unwrap();
+        let inside = x
+            .rows_iter()
+            .filter(|r| svm.anomaly_score(r) <= 0.0)
+            .count();
+        // ν = 0.05 tolerates ~5% outliers; allow slack for SGD noise.
+        assert!(inside as f64 / 300.0 > 0.8, "only {inside}/300 inside");
+    }
+
+    #[test]
+    fn scores_grow_with_distance() {
+        let x = benign_blob(3, 300);
+        let mut svm = OneClassSvm::new(OcsvmConfig::default());
+        svm.fit_benign(&x).unwrap();
+        let near = svm.anomaly_score(&[7.0, 0.0]);
+        let far = svm.anomaly_score(&[20.0, 13.0]);
+        assert!(far > near, "far {far} near {near}");
+    }
+
+    #[test]
+    fn linear_kernel_separates_from_origin() {
+        // Linear OCSVM pushes a hyperplane between the data and the origin —
+        // meaningful when the features live in the positive orthant, as
+        // Nystroem-mapped features do.
+        let mut rng = Rng::new(4);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.f64_range(0.8, 1.2), rng.f64_range(0.8, 1.2)])
+            .collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut svm = OneClassSvm::linear(0.05, 0);
+        svm.fit_benign(&x).unwrap();
+        let inlier = svm.anomaly_score(&[1.0, 1.0]);
+        let toward_origin = svm.anomaly_score(&[0.0, 0.0]);
+        assert!(toward_origin > inlier);
+    }
+
+    #[test]
+    fn bad_nu_rejected() {
+        let x = benign_blob(5, 10);
+        let mut svm = OneClassSvm::new(OcsvmConfig {
+            nu: 0.0,
+            ..OcsvmConfig::default()
+        });
+        assert!(matches!(svm.fit_benign(&x), Err(MlError::BadConfig(_))));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut svm = OneClassSvm::new(OcsvmConfig::default());
+        assert!(svm.fit_benign(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = benign_blob(6, 100);
+        let mut a = OneClassSvm::new(OcsvmConfig::default());
+        let mut b = OneClassSvm::new(OcsvmConfig::default());
+        a.fit_benign(&x).unwrap();
+        b.fit_benign(&x).unwrap();
+        assert_eq!(a.anomaly_score(&[1.0, 1.0]), b.anomaly_score(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let svm = OneClassSvm::new(OcsvmConfig::default());
+        assert_eq!(svm.anomaly_score(&[9.0, 9.0]), 0.0);
+    }
+}

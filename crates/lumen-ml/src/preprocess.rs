@@ -1,0 +1,414 @@
+//! Feature preprocessing: scalers, correlation filtering, PCA, imputation.
+//!
+//! These are the "ML techniques that typically improve the performance of
+//! classifiers" the paper folds into its algorithm-synthesis search (§5.4):
+//! data normalization, removing correlated features, and dimensionality
+//! reduction.
+
+use lumen_util::stats::{pearson, quantile};
+
+use crate::matrix::Matrix;
+use crate::{MlError, MlResult};
+
+/// A fitted column-wise transform.
+pub trait Transform: Send + Sync {
+    /// Learns parameters from training data.
+    fn fit(&mut self, x: &Matrix) -> MlResult<()>;
+    /// Applies the learned transform.
+    fn transform(&self, x: &Matrix) -> Matrix;
+    /// Fits then transforms.
+    fn fit_transform(&mut self, x: &Matrix) -> MlResult<Matrix> {
+        self.fit(x)?;
+        Ok(self.transform(x))
+    }
+}
+
+/// Z-score standardization: `(x - mean) / std` per column.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Transform for StandardScaler {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        self.means = x.col_means();
+        self.stds = x
+            .col_stds()
+            .into_iter()
+            .map(|s| if s < 1e-12 { 1.0 } else { s })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
+            }
+        }
+        out
+    }
+}
+
+/// Min-max scaling to `[0, 1]` per column (constant columns map to 0).
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl Transform for MinMaxScaler {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let cols = x.cols();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for row in x.rows_iter() {
+            for (c, &v) in row.iter().enumerate() {
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+            }
+        }
+        self.ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi - lo < 1e-12 { 1.0 } else { hi - lo })
+            .collect();
+        self.mins = mins;
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mins[c]) / self.ranges[c];
+            }
+        }
+        out
+    }
+}
+
+/// Robust scaling: `(x - median) / IQR` per column — resists the extreme
+/// outliers flood traffic produces.
+#[derive(Debug, Clone, Default)]
+pub struct RobustScaler {
+    medians: Vec<f64>,
+    iqrs: Vec<f64>,
+}
+
+impl Transform for RobustScaler {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        self.medians.clear();
+        self.iqrs.clear();
+        for c in 0..x.cols() {
+            let col = x.col(c);
+            self.medians.push(quantile(&col, 0.5));
+            let iqr = quantile(&col, 0.75) - quantile(&col, 0.25);
+            self.iqrs.push(if iqr < 1e-12 { 1.0 } else { iqr });
+        }
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.medians[c]) / self.iqrs[c];
+            }
+        }
+        out
+    }
+}
+
+/// Drops all but one of each group of features whose pairwise Pearson
+/// correlation exceeds `threshold` (keeping the earliest column).
+#[derive(Debug, Clone)]
+pub struct CorrelationFilter {
+    /// Absolute-correlation threshold above which a column is dropped.
+    pub threshold: f64,
+    keep: Vec<usize>,
+}
+
+impl CorrelationFilter {
+    /// Creates a filter with the given threshold (paper uses ~0.95).
+    pub fn new(threshold: f64) -> CorrelationFilter {
+        CorrelationFilter {
+            threshold,
+            keep: Vec::new(),
+        }
+    }
+
+    /// Indices of retained columns after fitting.
+    pub fn kept(&self) -> &[usize] {
+        &self.keep
+    }
+}
+
+impl Transform for CorrelationFilter {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        let cols: Vec<Vec<f64>> = (0..x.cols()).map(|c| x.col(c)).collect();
+        let mut keep: Vec<usize> = Vec::new();
+        for c in 0..x.cols() {
+            let redundant = keep
+                .iter()
+                .any(|&k| pearson(&cols[k], &cols[c]).abs() > self.threshold);
+            if !redundant {
+                keep.push(c);
+            }
+        }
+        self.keep = keep;
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        x.select_cols(&self.keep)
+    }
+}
+
+/// PCA via eigendecomposition of the covariance matrix. Projects onto the
+/// top `n_components` principal directions (centered).
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Number of output dimensions.
+    pub n_components: usize,
+    means: Vec<f64>,
+    components: Option<Matrix>,
+}
+
+impl Pca {
+    /// Creates a PCA transform with `n_components` outputs.
+    pub fn new(n_components: usize) -> Pca {
+        Pca {
+            n_components,
+            means: Vec::new(),
+            components: None,
+        }
+    }
+}
+
+impl Transform for Pca {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() < 2 {
+            return Err(MlError::EmptyInput);
+        }
+        let d = x.cols();
+        let k = self.n_components.min(d);
+        self.means = x.col_means();
+        // Covariance matrix (d × d).
+        let mut cov = Matrix::zeros(d, d);
+        for row in x.rows_iter() {
+            for i in 0..d {
+                let di = row[i] - self.means[i];
+                for j in i..d {
+                    let dj = row[j] - self.means[j];
+                    cov.set(i, j, cov.get(i, j) + di * dj);
+                }
+            }
+        }
+        let n = x.rows() as f64;
+        for i in 0..d {
+            for j in i..d {
+                let v = cov.get(i, j) / n;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        let (_, vectors) = cov.eigh_symmetric()?;
+        // Keep top-k eigenvector columns as a d × k projection.
+        let idx: Vec<usize> = (0..k).collect();
+        self.components = Some(vectors.select_cols(&idx));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let comp = self.components.as_ref().expect("Pca::transform before fit");
+        let mut centered = x.clone();
+        for r in 0..centered.rows() {
+            let row = centered.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= self.means[c];
+            }
+        }
+        centered.matmul(comp).expect("projection shapes agree")
+    }
+}
+
+/// Replaces non-finite entries (NaN/inf from degenerate aggregates) with the
+/// column's training mean over finite values.
+#[derive(Debug, Clone, Default)]
+pub struct Imputer {
+    fills: Vec<f64>,
+}
+
+impl Transform for Imputer {
+    fn fit(&mut self, x: &Matrix) -> MlResult<()> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        self.fills = (0..x.cols())
+            .map(|c| {
+                let col = x.col(c);
+                let finite: Vec<f64> = col.into_iter().filter(|v| v.is_finite()).collect();
+                if finite.is_empty() {
+                    0.0
+                } else {
+                    finite.iter().sum::<f64>() / finite.len() as f64
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                if !v.is_finite() {
+                    *v = self.fills[c];
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![1.0, 10.0, 1.0],
+            vec![2.0, 20.0, 1.0],
+            vec![3.0, 30.0, 1.0],
+            vec![4.0, 40.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_std() {
+        let x = toy();
+        let mut s = StandardScaler::default();
+        let t = s.fit_transform(&x).unwrap();
+        let means = t.col_means();
+        let stds = t.col_stds();
+        assert!(means[0].abs() < 1e-12);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        // Constant column untouched numerically (std forced to 1).
+        assert!(t.col(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let x = toy();
+        let mut s = MinMaxScaler::default();
+        let t = s.fit_transform(&x).unwrap();
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(3, 0), 1.0);
+        assert!((t.get(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_handles_unseen_extremes() {
+        let x = toy();
+        let mut s = MinMaxScaler::default();
+        s.fit(&x).unwrap();
+        let probe = Matrix::from_rows(vec![vec![10.0, 0.0, 1.0]]).unwrap();
+        let t = s.transform(&probe);
+        assert!(t.get(0, 0) > 1.0); // extrapolates, by design
+    }
+
+    #[test]
+    fn robust_scaler_centers_on_median() {
+        let x = Matrix::from_rows(vec![
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![1000.0], // outlier
+        ])
+        .unwrap();
+        let mut s = RobustScaler::default();
+        let t = s.fit_transform(&x).unwrap();
+        // Median (3.0) maps to 0.
+        assert!(t.get(2, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_filter_drops_duplicate() {
+        // Column 1 = 10 × column 0 (perfectly correlated); column 2 noise.
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 10.0, 5.0],
+            vec![2.0, 20.0, -3.0],
+            vec![3.0, 30.0, 7.0],
+            vec![4.0, 40.0, 0.0],
+        ])
+        .unwrap();
+        let mut f = CorrelationFilter::new(0.95);
+        let t = f.fit_transform(&x).unwrap();
+        assert_eq!(f.kept(), &[0, 2]);
+        assert_eq!(t.cols(), 2);
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        // Points along y = 2x with small noise; first component captures it.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t, 2.0 * t + 0.01 * ((i % 3) as f64)]
+            })
+            .collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut pca = Pca::new(1);
+        let t = pca.fit_transform(&x).unwrap();
+        assert_eq!(t.cols(), 1);
+        // Projected variance should be nearly the total variance.
+        let total_var: f64 = x.col_stds().iter().map(|s| s * s).sum();
+        let proj_var = t.col_stds()[0].powi(2);
+        assert!(proj_var / total_var > 0.99);
+    }
+
+    #[test]
+    fn imputer_fills_nan_with_mean() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![f64::NAN], vec![3.0]]).unwrap();
+        let mut im = Imputer::default();
+        let t = im.fit_transform(&x).unwrap();
+        assert_eq!(t.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn imputer_all_nan_column_becomes_zero() {
+        let x = Matrix::from_rows(vec![vec![f64::NAN], vec![f64::INFINITY]]).unwrap();
+        let mut im = Imputer::default();
+        let t = im.fit_transform(&x).unwrap();
+        assert_eq!(t.col(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scalers_reject_empty() {
+        let empty = Matrix::zeros(0, 3);
+        assert!(StandardScaler::default().fit(&empty).is_err());
+        assert!(MinMaxScaler::default().fit(&empty).is_err());
+        assert!(RobustScaler::default().fit(&empty).is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! Grid-search model selection ("autoML-lite").
+//!
+//! nPrint's published pipeline hands its packet encodings to AutoML; the
+//! paper's algorithm-synthesis experiment (§5.4) does a greedy brute-force
+//! search over feature blocks × models. Both are served by this module: a
+//! declarative [`ModelSpec`] grid evaluated with stratified k-fold
+//! cross-validation on F1, returning the best refitted model.
+
+use lumen_util::Rng;
+
+use crate::bayes::GaussianNb;
+use crate::dataset::{kfold, Dataset};
+use crate::ensemble::VotingEnsemble;
+use crate::forest::{ForestConfig, RandomForest};
+use crate::knn::{Knn, KnnConfig};
+use crate::linear::{LinearSvm, LogisticRegression, SgdConfig};
+use crate::metrics::confusion;
+use crate::model::Classifier;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{MlError, MlResult};
+
+/// A buildable model description — the unit the search iterates over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    DecisionTree {
+        max_depth: usize,
+    },
+    RandomForest {
+        n_trees: usize,
+        max_depth: usize,
+    },
+    GaussianNb,
+    Knn {
+        k: usize,
+    },
+    LogisticRegression {
+        epochs: usize,
+    },
+    LinearSvm {
+        epochs: usize,
+    },
+    /// RF + DT + KNN + SVM committee (the ML-DDoS shape).
+    Committee,
+}
+
+impl ModelSpec {
+    /// Instantiates a fresh unfitted classifier.
+    pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
+        match *self {
+            ModelSpec::DecisionTree { max_depth } => Box::new(DecisionTree::new(TreeConfig {
+                max_depth,
+                seed,
+                ..TreeConfig::default()
+            })),
+            ModelSpec::RandomForest { n_trees, max_depth } => {
+                Box::new(RandomForest::new(ForestConfig {
+                    n_trees,
+                    max_depth,
+                    seed,
+                    ..ForestConfig::default()
+                }))
+            }
+            ModelSpec::GaussianNb => Box::new(GaussianNb::new()),
+            ModelSpec::Knn { k } => Box::new(Knn::new(KnnConfig {
+                k,
+                ..KnnConfig::default()
+            })),
+            ModelSpec::LogisticRegression { epochs } => {
+                Box::new(LogisticRegression::new(SgdConfig {
+                    epochs,
+                    seed,
+                    ..SgdConfig::default()
+                }))
+            }
+            ModelSpec::LinearSvm { epochs } => Box::new(LinearSvm::new(SgdConfig {
+                epochs,
+                seed,
+                ..SgdConfig::default()
+            })),
+            ModelSpec::Committee => Box::new(VotingEnsemble::new(vec![
+                Box::new(RandomForest::new(ForestConfig {
+                    n_trees: 15,
+                    seed,
+                    ..ForestConfig::default()
+                })),
+                Box::new(DecisionTree::new(TreeConfig {
+                    seed: seed.wrapping_add(1),
+                    ..TreeConfig::default()
+                })),
+                Box::new(Knn::new(KnnConfig::default())),
+                Box::new(LinearSvm::new(SgdConfig {
+                    seed: seed.wrapping_add(2),
+                    ..SgdConfig::default()
+                })),
+            ])),
+        }
+    }
+
+    /// Short display name.
+    pub fn label(&self) -> String {
+        match self {
+            ModelSpec::DecisionTree { max_depth } => format!("dt(d={max_depth})"),
+            ModelSpec::RandomForest { n_trees, max_depth } => {
+                format!("rf(t={n_trees},d={max_depth})")
+            }
+            ModelSpec::GaussianNb => "gnb".into(),
+            ModelSpec::Knn { k } => format!("knn(k={k})"),
+            ModelSpec::LogisticRegression { epochs } => format!("logreg(e={epochs})"),
+            ModelSpec::LinearSvm { epochs } => format!("svm(e={epochs})"),
+            ModelSpec::Committee => "committee".into(),
+        }
+    }
+}
+
+/// The default grid nPrint-style autoML sweeps.
+pub fn default_grid() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::DecisionTree { max_depth: 8 },
+        ModelSpec::DecisionTree { max_depth: 14 },
+        ModelSpec::RandomForest {
+            n_trees: 20,
+            max_depth: 10,
+        },
+        ModelSpec::RandomForest {
+            n_trees: 40,
+            max_depth: 14,
+        },
+        ModelSpec::GaussianNb,
+        ModelSpec::Knn { k: 5 },
+        ModelSpec::LogisticRegression { epochs: 30 },
+    ]
+}
+
+/// Result of a grid search.
+pub struct SearchResult {
+    /// Winning spec.
+    pub best_spec: ModelSpec,
+    /// Cross-validated F1 of the winner.
+    pub best_score: f64,
+    /// Winner refitted on the full training data.
+    pub model: Box<dyn Classifier>,
+    /// (spec label, CV F1) for every candidate, in grid order.
+    pub leaderboard: Vec<(String, f64)>,
+}
+
+/// Cross-validated F1 of one spec.
+pub fn cv_f1(spec: &ModelSpec, data: &Dataset, folds: usize, seed: u64) -> MlResult<f64> {
+    let mut rng = Rng::new(seed);
+    let mut total = 0.0;
+    let mut used = 0;
+    for (train_idx, val_idx) in kfold(data.len(), folds, &mut rng) {
+        let train = data.select(&train_idx);
+        let val = data.select(&val_idx);
+        if train.positives() == 0 || train.positives() == train.len() || val.is_empty() {
+            continue;
+        }
+        let mut model = spec.build(seed);
+        model.fit(&train)?;
+        let preds = model.predict(&val.x);
+        total += confusion(&preds, &val.y).f1();
+        used += 1;
+    }
+    if used == 0 {
+        return Err(MlError::Degenerate(
+            "no usable folds (single-class data?)".into(),
+        ));
+    }
+    Ok(total / used as f64)
+}
+
+/// Samples a random hyperparameter configuration for one model family —
+/// the sampling distributions behind [`random_search`].
+pub fn sample_spec(family: &str, rng: &mut Rng) -> ModelSpec {
+    match family {
+        "RandomForest" => ModelSpec::RandomForest {
+            n_trees: 10 + rng.range(0, 60),
+            max_depth: 4 + rng.range(0, 16),
+        },
+        "DecisionTree" => ModelSpec::DecisionTree {
+            max_depth: 3 + rng.range(0, 18),
+        },
+        "KNN" => ModelSpec::Knn {
+            k: 1 + 2 * rng.range(0, 8), // odd k
+        },
+        "LogisticRegression" => ModelSpec::LogisticRegression {
+            epochs: 10 + rng.range(0, 60),
+        },
+        "LinearSVM" => ModelSpec::LinearSvm {
+            epochs: 10 + rng.range(0, 60),
+        },
+        _ => ModelSpec::GaussianNb,
+    }
+}
+
+/// Random hyperparameter search (the paper's §6 "automatic hyper-parameter
+/// tuning with Lumen", grid-search flavour): draws `n_iter` configurations
+/// from `sampler`, scores each by k-fold CV F1, refits the winner.
+pub fn random_search(
+    sampler: impl Fn(&mut Rng) -> ModelSpec,
+    data: &Dataset,
+    n_iter: usize,
+    folds: usize,
+    seed: u64,
+) -> MlResult<SearchResult> {
+    if n_iter == 0 {
+        return Err(MlError::BadConfig("n_iter must be positive".into()));
+    }
+    let mut rng = Rng::new(seed ^ 0x7A2E_5EED);
+    let grid: Vec<ModelSpec> = (0..n_iter).map(|_| sampler(&mut rng)).collect();
+    grid_search(&grid, data, folds, seed)
+}
+
+/// Successive halving (Hyperband's inner loop): starts many configurations
+/// on a small data subsample, keeps the better half at each rung, and
+/// doubles the data until one configuration remains. Much cheaper than full
+/// CV on every candidate when `n_configs` is large.
+pub fn successive_halving(
+    sampler: impl Fn(&mut Rng) -> ModelSpec,
+    data: &Dataset,
+    n_configs: usize,
+    folds: usize,
+    seed: u64,
+) -> MlResult<SearchResult> {
+    if n_configs == 0 {
+        return Err(MlError::BadConfig("n_configs must be positive".into()));
+    }
+    if data.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    let mut rng = Rng::new(seed ^ 0x5A1F_0CAD);
+    let mut alive: Vec<ModelSpec> = (0..n_configs).map(|_| sampler(&mut rng)).collect();
+    // Deduplicate identical draws so rungs don't waste work.
+    alive.dedup_by(|a, b| a == b);
+
+    // Initial rung size: enough data that CV folds see both classes.
+    let n = data.len();
+    let mut rung_n = (n / (1 << alive.len().ilog2().min(4))).max(40).min(n);
+    let mut leaderboard: Vec<(String, f64)> = Vec::new();
+    while alive.len() > 1 && rung_n < n {
+        let idx: Vec<usize> = (0..rung_n).map(|i| i * n / rung_n).collect();
+        let subset = data.select(&idx);
+        let mut scored: Vec<(ModelSpec, f64)> = alive
+            .drain(..)
+            .map(|spec| {
+                let score = cv_f1(&spec, &subset, folds, seed).unwrap_or(0.0);
+                (spec, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (spec, score) in &scored {
+            leaderboard.push((format!("{} @n={rung_n}", spec.label()), *score));
+        }
+        let keep = scored.len().div_ceil(2);
+        alive = scored.into_iter().take(keep).map(|(s, _)| s).collect();
+        rung_n = (rung_n * 2).min(n);
+    }
+    // Final: full-data CV over the survivors (usually 1-2 configs).
+    let mut result = grid_search(&alive, data, folds, seed)?;
+    leaderboard.extend(result.leaderboard.clone());
+    result.leaderboard = leaderboard;
+    Ok(result)
+}
+
+/// Runs the grid search and refits the winner on all data.
+pub fn grid_search(
+    grid: &[ModelSpec],
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+) -> MlResult<SearchResult> {
+    if grid.is_empty() {
+        return Err(MlError::BadConfig("empty model grid".into()));
+    }
+    if data.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    let mut leaderboard = Vec::with_capacity(grid.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (i, spec) in grid.iter().enumerate() {
+        let score = cv_f1(spec, data, folds, seed)?;
+        leaderboard.push((spec.label(), score));
+        if best.is_none_or(|(_, s)| score > s) {
+            best = Some((i, score));
+        }
+    }
+    let (best_i, best_score) = best.expect("non-empty grid");
+    let mut model = grid[best_i].build(seed);
+    model.fit(data)?;
+    Ok(SearchResult {
+        best_spec: grid[best_i].clone(),
+        best_score,
+        model,
+        leaderboard,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn nonlinear(seed: u64, n: usize) -> Dataset {
+        // Label = inside a band — trees handle it, linear models struggle.
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.f64_range(-3.0, 3.0);
+            let b = rng.f64_range(-3.0, 3.0);
+            rows.push(vec![a, b]);
+            y.push(u8::from(a.abs() < 1.0 && b.abs() < 1.0));
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn search_picks_a_capable_model() {
+        let data = nonlinear(1, 300);
+        let result = grid_search(&default_grid(), &data, 3, 7).unwrap();
+        assert!(result.best_score > 0.8, "best {}", result.best_score);
+        // A tree-based model should beat linear ones on this geometry.
+        assert!(matches!(
+            result.best_spec,
+            ModelSpec::DecisionTree { .. } | ModelSpec::RandomForest { .. } | ModelSpec::Knn { .. }
+        ));
+    }
+
+    #[test]
+    fn leaderboard_covers_grid() {
+        let data = nonlinear(2, 200);
+        let result = grid_search(&default_grid(), &data, 3, 1).unwrap();
+        assert_eq!(result.leaderboard.len(), default_grid().len());
+    }
+
+    #[test]
+    fn refit_model_predicts() {
+        let data = nonlinear(3, 200);
+        let result = grid_search(&default_grid(), &data, 3, 1).unwrap();
+        assert_eq!(result.model.predict_row(&[0.0, 0.0]), 1);
+        assert_eq!(result.model.predict_row(&[2.5, 2.5]), 0);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let data = nonlinear(4, 50);
+        assert!(grid_search(&[], &data, 3, 1).is_err());
+    }
+
+    #[test]
+    fn single_class_data_is_degenerate() {
+        let x = Matrix::from_rows(vec![vec![1.0]; 10]).unwrap();
+        let data = Dataset::new(x, vec![0; 10]).unwrap();
+        assert!(cv_f1(&ModelSpec::GaussianNb, &data, 3, 1).is_err());
+    }
+
+    #[test]
+    fn random_search_finds_a_working_forest() {
+        let data = nonlinear(7, 250);
+        let result =
+            random_search(|rng| sample_spec("RandomForest", rng), &data, 6, 3, 11).unwrap();
+        assert!(result.best_score > 0.8, "best {}", result.best_score);
+        assert!(matches!(result.best_spec, ModelSpec::RandomForest { .. }));
+        assert_eq!(result.leaderboard.len(), 6);
+    }
+
+    #[test]
+    fn successive_halving_converges_to_one_winner() {
+        let data = nonlinear(8, 400);
+        let result =
+            successive_halving(|rng| sample_spec("DecisionTree", rng), &data, 8, 3, 13).unwrap();
+        assert!(result.best_score > 0.8, "best {}", result.best_score);
+        // Rungs were recorded.
+        assert!(result.leaderboard.iter().any(|(l, _)| l.contains("@n=")));
+    }
+
+    #[test]
+    fn search_rejects_zero_iterations() {
+        let data = nonlinear(9, 50);
+        assert!(random_search(|rng| sample_spec("KNN", rng), &data, 0, 3, 1).is_err());
+        assert!(successive_halving(|rng| sample_spec("KNN", rng), &data, 0, 3, 1).is_err());
+    }
+
+    #[test]
+    fn sample_spec_is_deterministic_per_seed() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        assert_eq!(
+            sample_spec("RandomForest", &mut a),
+            sample_spec("RandomForest", &mut b)
+        );
+    }
+
+    #[test]
+    fn committee_spec_builds_and_fits() {
+        let data = nonlinear(5, 150);
+        let mut model = ModelSpec::Committee.build(9);
+        model.fit(&data).unwrap();
+        let preds = model.predict(&data.x);
+        let f1 = confusion(&preds, &data.y).f1();
+        assert!(f1 > 0.7, "committee f1 {f1}");
+    }
+}

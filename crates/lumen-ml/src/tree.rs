@@ -1,0 +1,337 @@
+//! CART decision trees (Gini impurity, binary splits on numeric features).
+
+use lumen_util::Rng;
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+use crate::model::Classifier;
+use crate::{MlError, MlResult};
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must receive.
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `None` = all (set by forests).
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// P(label == 1) among training rows that reached this leaf.
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child (`<= threshold`).
+        left: usize,
+        /// Index of the right child (`> threshold`).
+        right: usize,
+    },
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Hyperparameters.
+    pub config: TreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn new(config: TreeConfig) -> DecisionTree {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Gini impurity of a (pos, total) count pair.
+    fn gini(pos: f64, total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p = pos / total;
+        2.0 * p * (1.0 - p)
+    }
+
+    /// Finds the best (feature, threshold, weighted-gini) split for the rows
+    /// in `idx`, or `None` when no valid split exists.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        idx: &[usize],
+        rng: &mut Rng,
+    ) -> Option<(usize, f64, f64)> {
+        let n = idx.len() as f64;
+        let total_pos: f64 = idx.iter().map(|&i| f64::from(y[i])).sum();
+        if total_pos == 0.0 || total_pos == n {
+            return None; // pure node
+        }
+
+        let features: Vec<usize> = match self.config.max_features {
+            Some(k) if k < self.n_features => rng.sample_indices(self.n_features, k),
+            _ => (0..self.n_features).collect(),
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let min_leaf = self.config.min_samples_leaf as f64;
+        // Reusable buffer of (value, label) pairs.
+        let mut pairs: Vec<(f64, u8)> = Vec::with_capacity(idx.len());
+        for &f in &features {
+            pairs.clear();
+            pairs.extend(idx.iter().map(|&i| (x.get(i, f), y[i])));
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut left_n = 0.0;
+            let mut left_pos = 0.0;
+            for w in 0..pairs.len() - 1 {
+                left_n += 1.0;
+                left_pos += f64::from(pairs[w].1);
+                // Only split between distinct values.
+                if pairs[w].0 == pairs[w + 1].0 {
+                    continue;
+                }
+                let right_n = n - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                let right_pos = total_pos - left_pos;
+                let score = (left_n / n) * Self::gini(left_pos, left_n)
+                    + (right_n / n) * Self::gini(right_pos, right_n);
+                if best.is_none_or(|(_, _, b)| score < b - 1e-15) {
+                    let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+                    best = Some((f, threshold, score));
+                }
+            }
+        }
+        // Allow zero-gain splits (CART with min_impurity_decrease = 0):
+        // greedy XOR-style structure only pays off two levels down.
+        // Termination is safe — every split strictly shrinks both children.
+        let parent = Self::gini(total_pos, n);
+        best.filter(|&(_, _, s)| s <= parent + 1e-12)
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
+        let n = idx.len();
+        let pos: usize = idx.iter().filter(|&&i| y[i] == 1).count();
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                prob: pos as f64 / n.max(1) as f64,
+            });
+            nodes.len() - 1
+        };
+
+        if depth >= self.config.max_depth || n < self.config.min_samples_split {
+            return make_leaf(&mut self.nodes);
+        }
+        let Some((feature, threshold, _)) = self.best_split(x, y, &idx, rng) else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| x.get(i, feature) <= threshold);
+
+        // Reserve this node's slot, then build children.
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { prob: 0.0 });
+        let left = self.build(x, y, left_idx, depth + 1, rng);
+        let right = self.build(x, y, right_idx, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        self.nodes.clear();
+        self.n_features = data.x.cols();
+        let mut rng = Rng::new(self.config.seed);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.build(&data.x, &data.y, idx, 0, &mut rng);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.score_row(row) >= 0.5)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Labels are 1 iff feature0 > 5 (with margin).
+    fn separable() -> Dataset {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let v = i as f64;
+            rows.push(vec![v, (i % 3) as f64]);
+            y.push(u8::from(v > 5.0));
+        }
+        Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn learns_threshold_rule() {
+        let data = separable();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&data).unwrap();
+        assert_eq!(t.predict_row(&[0.0, 0.0]), 0);
+        assert_eq!(t.predict_row(&[100.0, 0.0]), 1);
+        assert_eq!(t.predict_row(&[5.4, 1.0]), 0);
+        assert_eq!(t.predict_row(&[5.6, 1.0]), 1);
+    }
+
+    #[test]
+    fn perfect_training_accuracy_on_separable() {
+        let data = separable();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&data).unwrap();
+        let preds = t.predict(&data.x);
+        assert_eq!(preds, data.y);
+    }
+
+    #[test]
+    fn learns_xor_with_depth() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let data = Dataset::new(Matrix::from_rows(rows).unwrap(), y.clone()).unwrap();
+        let mut t = DecisionTree::new(TreeConfig {
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        });
+        t.fit(&data).unwrap();
+        assert_eq!(t.predict(&data.x), y);
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf_majority() {
+        let data = separable();
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
+        t.fit(&data).unwrap();
+        assert_eq!(t.node_count(), 1);
+        // 14 of 20 positive -> predicts 1 everywhere.
+        assert_eq!(t.predict_row(&[0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn pure_node_does_not_split() {
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let data = Dataset::new(Matrix::from_rows(rows).unwrap(), vec![0, 0, 0]).unwrap();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&data).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_row(&[2.0]), 0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let data = Dataset::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        assert_eq!(t.fit(&data).unwrap_err(), MlError::EmptyInput);
+    }
+
+    #[test]
+    fn score_is_leaf_probability() {
+        // Overlapping region: 3 pos, 1 neg at same x -> leaf prob 0.75.
+        let rows = vec![vec![1.0]; 4];
+        let data = Dataset::new(Matrix::from_rows(rows).unwrap(), vec![1, 1, 1, 0]).unwrap();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&data).unwrap();
+        assert!((t.score_row(&[1.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let data = separable();
+        let mut t = DecisionTree::new(TreeConfig {
+            min_samples_leaf: 8,
+            ..TreeConfig::default()
+        });
+        t.fit(&data).unwrap();
+        // With 20 rows and >=8 per leaf, at most one split is possible.
+        assert!(t.node_count() <= 3);
+    }
+}

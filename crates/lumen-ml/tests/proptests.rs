@@ -1,0 +1,151 @@
+//! Property-based tests for the ML substrate's core invariants.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+
+use lumen_ml::dataset::Dataset;
+use lumen_ml::matrix::Matrix;
+use lumen_ml::metrics::{confusion, roc_auc};
+use lumen_ml::model::Classifier;
+use lumen_ml::preprocess::{MinMaxScaler, StandardScaler, Transform};
+use lumen_ml::tree::{DecisionTree, TreeConfig};
+use lumen_util::Rng;
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (2usize..max_rows, 1usize..max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1e4f64..1e4, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    /// Transpose is an involution and matmul with identity is identity.
+    #[test]
+    fn matrix_algebra_identities(m in arb_matrix(12, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let id = Matrix::identity(m.cols());
+        let prod = m.matmul(&id).unwrap();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert!((prod.get(r, c) - m.get(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The symmetric eigensolver reconstructs its input: A = V Λ Vᵀ.
+    #[test]
+    fn eigh_reconstruction(seed in any::<u64>(), n in 2usize..6) {
+        let mut rng = Rng::new(seed);
+        // Build a random symmetric matrix.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = rng.normal_with(0.0, 2.0);
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let (vals, vecs) = a.eigh_symmetric().unwrap();
+        // Eigenvalues descending.
+        for w in vals.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.set(i, i, vals[i]);
+        }
+        let recon = vecs.matmul(&l).unwrap().matmul(&vecs.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-6,
+                    "cell ({i},{j}): {} vs {}", recon.get(i, j), a.get(i, j));
+            }
+        }
+    }
+
+    /// Scalers are shape-preserving and min-max lands training data in
+    /// [0, 1] for any input.
+    #[test]
+    fn scalers_preserve_shape_and_range(m in arb_matrix(20, 6)) {
+        let z = StandardScaler::default().fit_transform(&m).unwrap();
+        prop_assert_eq!(z.rows(), m.rows());
+        prop_assert_eq!(z.cols(), m.cols());
+        let mm = MinMaxScaler::default().fit_transform(&m).unwrap();
+        for r in 0..mm.rows() {
+            for c in 0..mm.cols() {
+                let v = mm.get(r, c);
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "minmax {v}");
+            }
+        }
+    }
+
+    /// A decision tree achieves perfect training accuracy whenever the data
+    /// is consistent (no two identical rows with different labels) — here
+    /// guaranteed by labeling with a function of the features.
+    #[test]
+    fn tree_fits_consistent_data(seed in any::<u64>(), n in 4usize..60) {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.f64_range(-5.0, 5.0), rng.f64_range(-5.0, 5.0)])
+            .collect();
+        let y: Vec<u8> = rows
+            .iter()
+            .map(|r| u8::from(r[0] + r[1] > 0.0))
+            .collect();
+        let data = Dataset::new(Matrix::from_rows(rows).unwrap(), y.clone()).unwrap();
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 64,
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        });
+        tree.fit(&data).unwrap();
+        prop_assert_eq!(tree.predict(&data.x), y);
+    }
+
+    /// AUC is invariant under any strictly monotone transform of scores.
+    #[test]
+    fn auc_monotone_invariance(
+        scores in proptest::collection::vec(-10.0f64..10.0, 4..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let truth: Vec<u8> = scores.iter().map(|_| u8::from(rng.chance(0.4))).collect();
+        let a = roc_auc(&scores, &truth);
+        let transformed: Vec<f64> = scores.iter().map(|s| (s * 0.3).exp() + 5.0).collect();
+        let b = roc_auc(&transformed, &truth);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// Confusion counts always total the instance count, and accuracy is
+    /// consistent with them.
+    #[test]
+    fn confusion_totals(
+        pred in proptest::collection::vec(0u8..=1, 1..80),
+        truth_seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(truth_seed);
+        let truth: Vec<u8> = pred.iter().map(|_| u8::from(rng.chance(0.5))).collect();
+        let c = confusion(&pred, &truth);
+        prop_assert_eq!((c.tp + c.fp + c.tn + c.fn_) as usize, pred.len());
+        let acc = (c.tp + c.tn) as f64 / pred.len() as f64;
+        prop_assert!((c.accuracy() - acc).abs() < 1e-12);
+    }
+
+    /// k-fold CV index sets are a partition for any n, k.
+    #[test]
+    fn kfold_partitions(n in 2usize..200, k in 2usize..8, seed in any::<u64>()) {
+        let folds = lumen_ml::dataset::kfold(n, k, &mut Rng::new(seed));
+        let mut seen = vec![0u32; n];
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), n);
+            for &i in val {
+                seen[i] += 1;
+            }
+            // Train and validation are disjoint.
+            let tset: std::collections::HashSet<_> = train.iter().collect();
+            prop_assert!(val.iter().all(|i| !tset.contains(i)));
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,457 @@
+//! Whole-frame constructors with correct lengths and checksums.
+//!
+//! The traffic synthesizer builds every packet through these helpers, so all
+//! generated captures are byte-valid: parseable by this crate's checked
+//! wrappers and by external tools (tcpdump/Wireshark) alike.
+
+use std::net::Ipv4Addr;
+
+use crate::wire::{
+    arp::{ArpOperation, ArpPacket, PACKET_LEN as ARP_LEN},
+    dot11::{subtype, Dot11Frame, Dot11Type, HEADER_LEN as DOT11_HDR},
+    ethernet::{EtherType, EthernetFrame, HEADER_LEN as ETH_HDR},
+    icmpv4::{icmp_type, Icmpv4Packet, HEADER_LEN as ICMP_HDR},
+    ipv4::{protocol, Ipv4Packet, MIN_HEADER_LEN as IP_HDR},
+    tcp::{TcpFlags, TcpSegment, MIN_HEADER_LEN as TCP_HDR},
+    udp::{UdpDatagram, HEADER_LEN as UDP_HDR},
+    MacAddr,
+};
+
+/// Parameters for [`tcp_packet`].
+#[derive(Debug, Clone, Copy)]
+pub struct TcpParams<'a> {
+    pub src_mac: MacAddr,
+    pub dst_mac: MacAddr,
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: TcpFlags,
+    pub window: u16,
+    pub ttl: u8,
+    pub payload: &'a [u8],
+}
+
+/// Builds a complete Ethernet/IPv4/TCP frame.
+pub fn tcp_packet(p: TcpParams<'_>) -> Vec<u8> {
+    let ip_total = IP_HDR + TCP_HDR + p.payload.len();
+    let mut buf = vec![0u8; ETH_HDR + ip_total];
+
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(p.dst_mac);
+    eth.set_src(p.src_mac);
+    eth.set_ethertype(EtherType::Ipv4);
+
+    let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
+    ip.set_version_and_header_len(IP_HDR);
+    ip.set_dscp(0);
+    ip.set_total_length(ip_total as u16);
+    ip.set_identification((p.seq & 0xFFFF) as u16);
+    ip.set_dont_frag(true);
+    ip.set_ttl(p.ttl);
+    ip.set_protocol(protocol::TCP);
+    ip.set_src(p.src_ip);
+    ip.set_dst(p.dst_ip);
+    ip.fill_checksum();
+
+    let mut tcp = TcpSegment::new_unchecked(ip.payload_mut());
+    tcp.set_src_port(p.src_port);
+    tcp.set_dst_port(p.dst_port);
+    tcp.set_seq(p.seq);
+    tcp.set_ack(p.ack);
+    tcp.set_header_len(TCP_HDR);
+    tcp.set_flags(p.flags);
+    tcp.set_window(p.window);
+    tcp.payload_mut().copy_from_slice(p.payload);
+    tcp.fill_checksum(p.src_ip, p.dst_ip);
+
+    buf
+}
+
+/// Parameters for [`udp_packet`].
+#[derive(Debug, Clone, Copy)]
+pub struct UdpParams<'a> {
+    pub src_mac: MacAddr,
+    pub dst_mac: MacAddr,
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub ttl: u8,
+    pub payload: &'a [u8],
+}
+
+/// Builds a complete Ethernet/IPv4/UDP frame.
+pub fn udp_packet(p: UdpParams<'_>) -> Vec<u8> {
+    let udp_len = UDP_HDR + p.payload.len();
+    let ip_total = IP_HDR + udp_len;
+    let mut buf = vec![0u8; ETH_HDR + ip_total];
+
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(p.dst_mac);
+    eth.set_src(p.src_mac);
+    eth.set_ethertype(EtherType::Ipv4);
+
+    let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
+    ip.set_version_and_header_len(IP_HDR);
+    ip.set_total_length(ip_total as u16);
+    ip.set_identification((p.payload.len() as u16).wrapping_mul(31));
+    ip.set_dont_frag(true);
+    ip.set_ttl(p.ttl);
+    ip.set_protocol(protocol::UDP);
+    ip.set_src(p.src_ip);
+    ip.set_dst(p.dst_ip);
+    ip.fill_checksum();
+
+    let mut udp = UdpDatagram::new_unchecked(ip.payload_mut());
+    udp.set_src_port(p.src_port);
+    udp.set_dst_port(p.dst_port);
+    udp.set_length(udp_len as u16);
+    udp.payload_mut().copy_from_slice(p.payload);
+    udp.fill_checksum(p.src_ip, p.dst_ip);
+
+    buf
+}
+
+/// Builds an Ethernet/IPv4/ICMP echo request or reply.
+#[allow(clippy::too_many_arguments)] // mirrors the wire fields one-to-one
+pub fn icmp_echo(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    reply: bool,
+    id: u16,
+    seq: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let icmp_len = ICMP_HDR + payload.len();
+    let ip_total = IP_HDR + icmp_len;
+    let mut buf = vec![0u8; ETH_HDR + ip_total];
+
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(dst_mac);
+    eth.set_src(src_mac);
+    eth.set_ethertype(EtherType::Ipv4);
+
+    let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
+    ip.set_version_and_header_len(IP_HDR);
+    ip.set_total_length(ip_total as u16);
+    ip.set_identification(id ^ seq);
+    ip.set_dont_frag(false);
+    ip.set_ttl(64);
+    ip.set_protocol(protocol::ICMP);
+    ip.set_src(src_ip);
+    ip.set_dst(dst_ip);
+    ip.fill_checksum();
+
+    let mut icmp = Icmpv4Packet::new_unchecked(ip.payload_mut());
+    icmp.set_msg_type(if reply {
+        icmp_type::ECHO_REPLY
+    } else {
+        icmp_type::ECHO_REQUEST
+    });
+    icmp.set_code(0);
+    icmp.set_echo_id(id);
+    icmp.set_echo_seq(seq);
+    icmp.payload_mut().copy_from_slice(payload);
+    icmp.fill_checksum();
+
+    buf
+}
+
+/// Builds an Ethernet/ARP frame. For requests, `dst_mac` is typically
+/// broadcast and the target MAC is zero; for (spoofed) replies both sides are
+/// unicast.
+pub fn arp_packet(
+    sender_mac: MacAddr,
+    sender_ip: Ipv4Addr,
+    dst_mac: MacAddr,
+    target_ip: Ipv4Addr,
+    op: ArpOperation,
+) -> Vec<u8> {
+    let mut buf = vec![0u8; ETH_HDR + ARP_LEN];
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(dst_mac);
+    eth.set_src(sender_mac);
+    eth.set_ethertype(EtherType::Arp);
+
+    let mut arp = ArpPacket::new_unchecked(eth.payload_mut());
+    arp.fill_preamble();
+    arp.set_operation(op);
+    arp.set_sender_mac(sender_mac);
+    arp.set_sender_ip(sender_ip);
+    arp.set_target_mac(if op == ArpOperation::Request {
+        MacAddr::ZERO
+    } else {
+        dst_mac
+    });
+    arp.set_target_ip(target_ip);
+    buf
+}
+
+/// Builds an 802.11 deauthentication frame.
+pub fn dot11_deauth(victim: MacAddr, bssid: MacAddr, reason: u16, seq: u16) -> Vec<u8> {
+    let mut buf = vec![0u8; DOT11_HDR + 2];
+    let mut f = Dot11Frame::new_unchecked(&mut buf[..]);
+    f.set_frame_control(Dot11Type::Management, subtype::DEAUTHENTICATION);
+    f.set_duration(314);
+    f.set_addr1(victim);
+    f.set_addr2(bssid);
+    f.set_addr3(bssid);
+    f.set_sequence(seq);
+    f.body_mut().copy_from_slice(&reason.to_le_bytes());
+    buf
+}
+
+/// Builds an 802.11 beacon with an SSID information element.
+pub fn dot11_beacon(bssid: MacAddr, ssid: &[u8], seq: u16) -> Vec<u8> {
+    // Fixed params: 8B timestamp, 2B interval, 2B capabilities; then IE 0.
+    let body_len = 12 + 2 + ssid.len();
+    let mut buf = vec![0u8; DOT11_HDR + body_len];
+    let mut f = Dot11Frame::new_unchecked(&mut buf[..]);
+    f.set_frame_control(Dot11Type::Management, subtype::BEACON);
+    f.set_addr1(MacAddr::BROADCAST);
+    f.set_addr2(bssid);
+    f.set_addr3(bssid);
+    f.set_sequence(seq);
+    let body = f.body_mut();
+    body[8..10].copy_from_slice(&100u16.to_le_bytes()); // beacon interval
+    body[10..12].copy_from_slice(&0x0431u16.to_le_bytes()); // capabilities
+    body[12] = 0; // IE: SSID
+    body[13] = ssid.len() as u8;
+    body[14..].copy_from_slice(ssid);
+    buf
+}
+
+/// Builds an 802.11 data frame with an opaque body.
+pub fn dot11_data(src: MacAddr, dst: MacAddr, bssid: MacAddr, seq: u16, body: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; DOT11_HDR + body.len()];
+    let mut f = Dot11Frame::new_unchecked(&mut buf[..]);
+    f.set_frame_control(Dot11Type::Data, subtype::DATA);
+    f.set_addr1(dst);
+    f.set_addr2(src);
+    f.set_addr3(bssid);
+    f.set_sequence(seq);
+    f.body_mut().copy_from_slice(body);
+    buf
+}
+
+/// Application-layer payload builders. These produce plausible bytes for the
+/// protocols the benchmark datasets feature (DNS/HTTP/MQTT/NTP/SSDP), enough
+/// for payload-sensitive features (lengths, byte entropy, leading bytes) to
+/// behave realistically.
+pub mod payloads {
+    /// Encodes a DNS query for `name` (A record, recursion desired).
+    pub fn dns_query(txid: u16, name: &str) -> Vec<u8> {
+        let mut p = Vec::with_capacity(17 + name.len());
+        p.extend_from_slice(&txid.to_be_bytes());
+        p.extend_from_slice(&0x0100u16.to_be_bytes()); // RD
+        p.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+        p.extend_from_slice(&[0; 6]); // AN/NS/AR
+        for label in name.split('.') {
+            p.push(label.len() as u8);
+            p.extend_from_slice(label.as_bytes());
+        }
+        p.push(0);
+        p.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
+        p.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+        p
+    }
+
+    /// Encodes a minimal DNS response mirroring a query's transaction id.
+    pub fn dns_response(txid: u16, name: &str, addr: [u8; 4]) -> Vec<u8> {
+        let mut p = dns_query(txid, name);
+        p[2] = 0x81; // QR + RD
+        p[3] = 0x80; // RA
+        p[7] = 1; // ANCOUNT = 1
+        p.extend_from_slice(&[0xC0, 0x0C]); // name pointer
+        p.extend_from_slice(&1u16.to_be_bytes());
+        p.extend_from_slice(&1u16.to_be_bytes());
+        p.extend_from_slice(&300u32.to_be_bytes());
+        p.extend_from_slice(&4u16.to_be_bytes());
+        p.extend_from_slice(&addr);
+        p
+    }
+
+    /// An HTTP/1.1 GET request line + headers.
+    pub fn http_get(host: &str, path: &str) -> Vec<u8> {
+        format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: lumen-iot/1.0\r\nAccept: */*\r\nConnection: keep-alive\r\n\r\n")
+            .into_bytes()
+    }
+
+    /// An HTTP/1.1 POST (used by web-attack traffic with injected bodies).
+    pub fn http_post(host: &str, path: &str, body: &str) -> Vec<u8> {
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    /// A 200 OK response with `len` body bytes of the given fill.
+    pub fn http_ok(len: usize, fill: u8) -> Vec<u8> {
+        let mut p =
+            format!("HTTP/1.1 200 OK\r\nServer: lumen-httpd\r\nContent-Length: {len}\r\n\r\n")
+                .into_bytes();
+        p.extend(std::iter::repeat_n(fill, len));
+        p
+    }
+
+    /// An MQTT PUBLISH packet (QoS 0) to `topic`.
+    pub fn mqtt_publish(topic: &str, message: &[u8]) -> Vec<u8> {
+        let remaining = 2 + topic.len() + message.len();
+        assert!(remaining < 128, "single-byte remaining-length only");
+        let mut p = Vec::with_capacity(2 + remaining);
+        p.push(0x30); // PUBLISH, QoS 0
+        p.push(remaining as u8);
+        p.extend_from_slice(&(topic.len() as u16).to_be_bytes());
+        p.extend_from_slice(topic.as_bytes());
+        p.extend_from_slice(message);
+        p
+    }
+
+    /// An MQTT CONNECT packet with the given client id.
+    pub fn mqtt_connect(client_id: &str) -> Vec<u8> {
+        let remaining = 10 + 2 + client_id.len();
+        assert!(remaining < 128);
+        let mut p = vec![0x10, remaining as u8];
+        p.extend_from_slice(&4u16.to_be_bytes());
+        p.extend_from_slice(b"MQTT");
+        p.push(4); // protocol level 3.1.1
+        p.push(0x02); // clean session
+        p.extend_from_slice(&60u16.to_be_bytes()); // keepalive
+        p.extend_from_slice(&(client_id.len() as u16).to_be_bytes());
+        p.extend_from_slice(client_id.as_bytes());
+        p
+    }
+
+    /// An NTP v4 client request (48 bytes).
+    pub fn ntp_request() -> Vec<u8> {
+        let mut p = vec![0u8; 48];
+        p[0] = 0x23; // LI=0, VN=4, mode=3 (client)
+        p
+    }
+
+    /// An NTP monlist-style amplification response of `len` bytes.
+    pub fn ntp_monlist_response(len: usize) -> Vec<u8> {
+        let mut p = vec![0u8; len.max(8)];
+        p[0] = 0xD7; // mode 7 (private), response
+        p[3] = 0x2A; // MON_GETLIST_1
+        p
+    }
+
+    /// An SSDP M-SEARCH request.
+    pub fn ssdp_msearch() -> Vec<u8> {
+        b"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nMAN: \"ssdp:discover\"\r\nMX: 1\r\nST: ssdp:all\r\n\r\n"
+            .to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{LinkType, PacketMeta};
+
+    #[test]
+    fn tcp_builder_produces_valid_checksums() {
+        let src_ip = Ipv4Addr::new(10, 1, 1, 1);
+        let dst_ip = Ipv4Addr::new(10, 1, 1, 2);
+        let pkt = tcp_packet(TcpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip,
+            dst_ip,
+            src_port: 1,
+            dst_port: 2,
+            seq: 3,
+            ack: 4,
+            flags: TcpFlags::SYN,
+            window: 512,
+            ttl: 64,
+            payload: b"abc",
+        });
+        let eth = EthernetFrame::new_checked(&pkt[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(src_ip, dst_ip));
+    }
+
+    #[test]
+    fn udp_builder_produces_valid_checksums() {
+        let src_ip = Ipv4Addr::new(10, 1, 1, 1);
+        let dst_ip = Ipv4Addr::new(10, 1, 1, 2);
+        let pkt = udp_packet(UdpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip,
+            dst_ip,
+            src_port: 9,
+            dst_port: 10,
+            ttl: 60,
+            payload: &payloads::dns_query(7, "iot.example.com"),
+        });
+        let eth = EthernetFrame::new_checked(&pkt[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum(src_ip, dst_ip));
+    }
+
+    #[test]
+    fn icmp_builder_verifies() {
+        let pkt = icmp_echo(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            false,
+            42,
+            1,
+            b"pingdata",
+        );
+        let meta = PacketMeta::parse(LinkType::Ethernet, 0, &pkt).unwrap();
+        assert!(meta.is_icmp());
+    }
+
+    #[test]
+    fn beacon_carries_ssid() {
+        let pkt = dot11_beacon(MacAddr::from_id(5), b"SmartHome", 1);
+        let meta = PacketMeta::parse(LinkType::Ieee80211, 0, &pkt).unwrap();
+        let d = meta.dot11.unwrap();
+        assert_eq!(d.subtype, subtype::BEACON);
+        assert!(meta.payload.windows(9).any(|w| w == b"SmartHome"));
+    }
+
+    #[test]
+    fn dns_query_has_question() {
+        let q = payloads::dns_query(1, "a.bc");
+        // header(12) + 1+1 + 1+2 + 1 root + 4 = 22
+        assert_eq!(q.len(), 12 + 2 + 3 + 1 + 4);
+        assert_eq!(q[12], 1);
+        assert_eq!(&q[13..14], b"a");
+    }
+
+    #[test]
+    fn dns_response_longer_than_query() {
+        let q = payloads::dns_query(1, "x.y");
+        let r = payloads::dns_response(1, "x.y", [1, 2, 3, 4]);
+        assert!(r.len() > q.len());
+        assert_eq!(r[0..2], q[0..2]);
+    }
+
+    #[test]
+    fn mqtt_publish_wire_shape() {
+        let p = payloads::mqtt_publish("home/temp", b"21.5");
+        assert_eq!(p[0], 0x30);
+        assert_eq!(p[1] as usize, p.len() - 2);
+    }
+
+    #[test]
+    fn ntp_request_is_48_bytes() {
+        assert_eq!(payloads::ntp_request().len(), 48);
+    }
+}

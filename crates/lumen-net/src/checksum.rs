@@ -1,0 +1,96 @@
+//! RFC 1071 Internet checksum and the TCP/UDP pseudo-header variant.
+
+use std::net::Ipv4Addr;
+
+/// One's-complement sum over `data`, folding carries.
+fn ones_complement_sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc
+}
+
+/// Internet checksum of `data` (e.g. an IPv4 header with its checksum field
+/// zeroed, or an ICMP message).
+pub fn internet(data: &[u8]) -> u16 {
+    !(ones_complement_sum(0, data) as u16)
+}
+
+/// Verifies that `data` (including its embedded checksum field) sums to the
+/// all-ones pattern.
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(0, data) as u16 == 0xFFFF
+}
+
+/// TCP/UDP checksum over the IPv4 pseudo-header plus the segment bytes
+/// (header + payload, with the checksum field zeroed).
+pub fn pseudo_ipv4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&src.octets());
+    pseudo[4..8].copy_from_slice(&dst.octets());
+    pseudo[9] = protocol;
+    pseudo[10..12].copy_from_slice(&(segment.len() as u16).to_be_bytes());
+    let acc = ones_complement_sum(0, &pseudo);
+    let acc = ones_complement_sum(acc, segment);
+    !(acc as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum 2 f2 05 ec f6 ed,
+        // checksum is its complement 0x220d... compute directly instead.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = internet(&data);
+        // Verify by re-summing with the checksum appended.
+        let mut with = data.to_vec();
+        with.extend_from_slice(&sum.to_be_bytes());
+        assert!(verify(&with));
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        let data = [0xAB, 0xCD, 0xEF];
+        let sum = internet(&data);
+        let mut with = data.to_vec();
+        // Pad to even before appending checksum for verification.
+        with.push(0x00);
+        with.extend_from_slice(&sum.to_be_bytes());
+        assert!(verify(&with));
+    }
+
+    #[test]
+    fn known_ipv4_header_checksum() {
+        // Classic example header from Wikipedia's IPv4 checksum article.
+        let header = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(internet(&header), 0xb861);
+    }
+
+    #[test]
+    fn pseudo_header_roundtrip() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut seg = vec![
+            0x04, 0xd2, 0x16, 0x2e, // ports 1234 -> 5678
+            0x00, 0x0c, 0x00, 0x00, // len 12, cksum 0
+            0xde, 0xad, 0xbe, 0xef, // payload
+        ];
+        let ck = pseudo_ipv4(src, dst, 17, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        // Re-sum including pseudo header: must be all ones -> pseudo_ipv4 == 0.
+        assert_eq!(pseudo_ipv4(src, dst, 17, &seg), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Packet substrate for Lumen.
+//!
+//! Provides everything the framework's feature-engineering operations need to
+//! work over *real packet bytes* rather than pre-extracted CSVs:
+//!
+//! * [`wire`] — byte-exact wire formats with checked wrapper types in the
+//!   smoltcp idiom: a `Packet<T: AsRef<[u8]>>` wraps a buffer, `new_checked`
+//!   validates length/version invariants, typed accessors read fields at
+//!   their wire offsets, and `AsMut` impls provide setters. Checksums
+//!   (IPv4/TCP/UDP/ICMP) are computed and verified.
+//! * [`pcap`] — classic libpcap capture-file reader/writer (the benchmark
+//!   suite stores every synthetic dataset as a real `.pcap`).
+//! * [`meta`] — a one-pass parser that summarizes a raw frame into a
+//!   [`meta::PacketMeta`] record consumed by Lumen's `FieldExtract`.
+//! * [`builder`] — convenience constructors that assemble full frames
+//!   (Ethernet/IP/TCP/UDP/ICMP/ARP/802.11) with correct checksums; used by
+//!   the traffic synthesizer.
+
+pub mod builder;
+pub mod checksum;
+pub mod meta;
+pub mod pcap;
+pub mod wire;
+
+pub use meta::{LinkType, PacketMeta, TransportMeta};
+pub use pcap::{CapturedPacket, PcapReader, PcapWriter};
+pub use wire::MacAddr;
+
+/// Errors produced by the packet substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The buffer is too short to contain the claimed structure.
+    Truncated,
+    /// A structural invariant failed (bad version, bad header length, ...).
+    Malformed(&'static str),
+    /// A checksum did not verify.
+    Checksum,
+    /// The pcap file is not in a supported format.
+    BadPcap(String),
+    /// An underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Truncated => write!(f, "buffer truncated"),
+            NetError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            NetError::Checksum => write!(f, "checksum mismatch"),
+            NetError::BadPcap(why) => write!(f, "bad pcap: {why}"),
+            NetError::Io(why) => write!(f, "i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,555 @@
+//! One-pass packet summarization.
+//!
+//! [`PacketMeta`] is the record handed to Lumen's `FieldExtract` operation:
+//! a single parse of the raw frame pulls out every field any of the 16
+//! implemented algorithms might ask for, so the (often shared) extraction
+//! pass over a dataset happens exactly once.
+
+use std::net::Ipv4Addr;
+
+use crate::wire::{
+    arp::{ArpOperation, ArpPacket},
+    dot11::{Dot11Frame, Dot11Type},
+    ethernet::{EtherType, EthernetFrame},
+    icmpv4::Icmpv4Packet,
+    ipv4::{protocol, Ipv4Packet},
+    ipv6::Ipv6Packet,
+    tcp::{TcpFlags, TcpSegment},
+    udp::UdpDatagram,
+    MacAddr,
+};
+use crate::Result;
+
+/// How many leading payload bytes are retained in a [`PacketMeta`].
+///
+/// nPrint-with-payload (A03) uses the first 32 payload bytes; the
+/// early-detection algorithm (A12) uses up to 64. 96 covers both with slack.
+pub const PAYLOAD_SNIPPET: usize = 96;
+
+/// Link-layer types Lumen's pcap files use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkType {
+    /// DLT_EN10MB.
+    Ethernet,
+    /// DLT_IEEE802_11 (no radiotap header).
+    Ieee80211,
+}
+
+impl LinkType {
+    /// The libpcap DLT number.
+    pub fn dlt(self) -> u32 {
+        match self {
+            LinkType::Ethernet => 1,
+            LinkType::Ieee80211 => 105,
+        }
+    }
+
+    /// Maps a DLT number back; `None` for unsupported types.
+    pub fn from_dlt(dlt: u32) -> Option<LinkType> {
+        match dlt {
+            1 => Some(LinkType::Ethernet),
+            105 => Some(LinkType::Ieee80211),
+            _ => None,
+        }
+    }
+}
+
+/// IPv4 header summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Meta {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub ttl: u8,
+    pub dscp: u8,
+    pub total_len: u16,
+    pub ident: u16,
+    pub dont_frag: bool,
+    pub protocol: u8,
+    /// Verbatim copy of the 20-byte fixed header (nPrint bit encoding).
+    pub header: [u8; 20],
+}
+
+/// Transport-layer summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMeta {
+    Tcp {
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+        header_len: u8,
+        payload_len: u16,
+        /// First 20 bytes of the TCP header (options excluded), for nPrint.
+        header: [u8; 20],
+    },
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+        payload_len: u16,
+        /// The 8-byte UDP header, for nPrint.
+        header: [u8; 8],
+    },
+    Icmp {
+        msg_type: u8,
+        code: u8,
+        /// The first 8 bytes of the ICMP message, for nPrint.
+        header: [u8; 8],
+    },
+    /// Transport not parsed (non-IP, unknown protocol, or truncated).
+    None,
+}
+
+impl TransportMeta {
+    /// Source port if the transport has ports.
+    pub fn src_port(&self) -> Option<u16> {
+        match self {
+            TransportMeta::Tcp { src_port, .. } | TransportMeta::Udp { src_port, .. } => {
+                Some(*src_port)
+            }
+            _ => None,
+        }
+    }
+
+    /// Destination port if the transport has ports.
+    pub fn dst_port(&self) -> Option<u16> {
+        match self {
+            TransportMeta::Tcp { dst_port, .. } | TransportMeta::Udp { dst_port, .. } => {
+                Some(*dst_port)
+            }
+            _ => None,
+        }
+    }
+
+    /// TCP flags if this is TCP.
+    pub fn tcp_flags(&self) -> Option<TcpFlags> {
+        match self {
+            TransportMeta::Tcp { flags, .. } => Some(*flags),
+            _ => None,
+        }
+    }
+
+    /// Transport payload length in bytes.
+    pub fn payload_len(&self) -> u16 {
+        match self {
+            TransportMeta::Tcp { payload_len, .. } | TransportMeta::Udp { payload_len, .. } => {
+                *payload_len
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// ARP summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpMeta {
+    pub operation: ArpOperation,
+    pub sender_mac: MacAddr,
+    pub sender_ip: Ipv4Addr,
+    pub target_ip: Ipv4Addr,
+}
+
+/// 802.11 summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dot11Meta {
+    pub frame_type: Dot11Type,
+    pub subtype: u8,
+    pub addr1: MacAddr,
+    pub addr2: MacAddr,
+    pub bssid: MacAddr,
+    pub duration: u16,
+    pub sequence: u16,
+    pub reason_code: Option<u16>,
+    pub body_len: u16,
+}
+
+/// A fully-summarized packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketMeta {
+    /// Capture timestamp, microseconds.
+    pub ts_us: u64,
+    /// Total frame length on the wire.
+    pub wire_len: u32,
+    /// Link type of the capture.
+    pub link: LinkType,
+    /// Link-layer source (Ethernet src or 802.11 transmitter).
+    pub src_mac: MacAddr,
+    /// Link-layer destination (Ethernet dst or 802.11 receiver).
+    pub dst_mac: MacAddr,
+    /// Raw EtherType (0 for non-Ethernet links).
+    pub ethertype: u16,
+    /// IPv4 summary when present.
+    pub ipv4: Option<Ipv4Meta>,
+    /// True when the frame carries IPv6 (summary fields folded into
+    /// transport; Lumen's feature sets only need the transport for v6).
+    pub is_ipv6: bool,
+    /// Transport summary.
+    pub transport: TransportMeta,
+    /// ARP summary when present.
+    pub arp: Option<ArpMeta>,
+    /// 802.11 summary when the link is wireless.
+    pub dot11: Option<Dot11Meta>,
+    /// First [`PAYLOAD_SNIPPET`] bytes of the transport payload.
+    pub payload: Vec<u8>,
+    /// Full transport payload length.
+    pub payload_len: u32,
+}
+
+impl PacketMeta {
+    /// Parses one captured frame into a summary.
+    ///
+    /// Frames whose link-layer header is unparseable are an error; higher
+    /// layers that fail to parse simply leave their summaries empty — an IDS
+    /// must tolerate weird packets, not crash on them.
+    pub fn parse(link: LinkType, ts_us: u64, data: &[u8]) -> Result<PacketMeta> {
+        match link {
+            LinkType::Ethernet => Self::parse_ethernet(ts_us, data),
+            LinkType::Ieee80211 => Self::parse_dot11(ts_us, data),
+        }
+    }
+
+    fn parse_ethernet(ts_us: u64, data: &[u8]) -> Result<PacketMeta> {
+        let frame = EthernetFrame::new_checked(data)?;
+        let mut meta = PacketMeta {
+            ts_us,
+            wire_len: data.len() as u32,
+            link: LinkType::Ethernet,
+            src_mac: frame.src(),
+            dst_mac: frame.dst(),
+            ethertype: u16::from(frame.ethertype()),
+            ipv4: None,
+            is_ipv6: false,
+            transport: TransportMeta::None,
+            arp: None,
+            dot11: None,
+            payload: Vec::new(),
+            payload_len: 0,
+        };
+        match frame.ethertype() {
+            EtherType::Ipv4 => meta.fill_ipv4(frame.payload()),
+            EtherType::Ipv6 => meta.fill_ipv6(frame.payload()),
+            EtherType::Arp => meta.fill_arp(frame.payload()),
+            EtherType::Other(_) => {}
+        }
+        Ok(meta)
+    }
+
+    fn parse_dot11(ts_us: u64, data: &[u8]) -> Result<PacketMeta> {
+        let frame = Dot11Frame::new_checked(data)?;
+        let meta = PacketMeta {
+            ts_us,
+            wire_len: data.len() as u32,
+            link: LinkType::Ieee80211,
+            src_mac: frame.addr2(),
+            dst_mac: frame.addr1(),
+            ethertype: 0,
+            ipv4: None,
+            is_ipv6: false,
+            transport: TransportMeta::None,
+            arp: None,
+            dot11: Some(Dot11Meta {
+                frame_type: frame.frame_type(),
+                subtype: frame.frame_subtype(),
+                addr1: frame.addr1(),
+                addr2: frame.addr2(),
+                bssid: frame.addr3(),
+                duration: frame.duration(),
+                sequence: frame.sequence(),
+                reason_code: frame.reason_code(),
+                body_len: frame.body().len() as u16,
+            }),
+            payload: frame.body().iter().copied().take(PAYLOAD_SNIPPET).collect(),
+            payload_len: frame.body().len() as u32,
+        };
+        Ok(meta)
+    }
+
+    fn fill_ipv4(&mut self, bytes: &[u8]) {
+        let Ok(ip) = Ipv4Packet::new_checked(bytes) else {
+            return;
+        };
+        let mut header = [0u8; 20];
+        header.copy_from_slice(&bytes[..20]);
+        self.ipv4 = Some(Ipv4Meta {
+            src: ip.src(),
+            dst: ip.dst(),
+            ttl: ip.ttl(),
+            dscp: ip.dscp(),
+            total_len: ip.total_length(),
+            ident: ip.identification(),
+            dont_frag: ip.dont_frag(),
+            protocol: ip.protocol(),
+            header,
+        });
+        self.fill_transport(ip.protocol(), ip.payload());
+    }
+
+    fn fill_ipv6(&mut self, bytes: &[u8]) {
+        let Ok(ip) = Ipv6Packet::new_checked(bytes) else {
+            return;
+        };
+        self.is_ipv6 = true;
+        // Copy the payload out: borrow of `bytes` ends here.
+        let next = ip.next_header();
+        let payload = ip.payload().to_vec();
+        self.fill_transport(next, &payload);
+    }
+
+    fn fill_arp(&mut self, bytes: &[u8]) {
+        let Ok(arp) = ArpPacket::new_checked(bytes) else {
+            return;
+        };
+        self.arp = Some(ArpMeta {
+            operation: arp.operation(),
+            sender_mac: arp.sender_mac(),
+            sender_ip: arp.sender_ip(),
+            target_ip: arp.target_ip(),
+        });
+    }
+
+    fn fill_transport(&mut self, proto: u8, bytes: &[u8]) {
+        match proto {
+            protocol::TCP => {
+                let Ok(tcp) = TcpSegment::new_checked(bytes) else {
+                    return;
+                };
+                let mut header = [0u8; 20];
+                header.copy_from_slice(&bytes[..20]);
+                let payload = tcp.payload();
+                self.transport = TransportMeta::Tcp {
+                    src_port: tcp.src_port(),
+                    dst_port: tcp.dst_port(),
+                    seq: tcp.seq(),
+                    ack: tcp.ack(),
+                    flags: tcp.flags(),
+                    window: tcp.window(),
+                    header_len: tcp.header_len() as u8,
+                    payload_len: payload.len() as u16,
+                    header,
+                };
+                self.set_payload(payload);
+            }
+            protocol::UDP => {
+                let Ok(udp) = UdpDatagram::new_checked(bytes) else {
+                    return;
+                };
+                let mut header = [0u8; 8];
+                header.copy_from_slice(&bytes[..8]);
+                let payload = udp.payload();
+                self.transport = TransportMeta::Udp {
+                    src_port: udp.src_port(),
+                    dst_port: udp.dst_port(),
+                    payload_len: payload.len() as u16,
+                    header,
+                };
+                self.set_payload(payload);
+            }
+            protocol::ICMP => {
+                let Ok(icmp) = Icmpv4Packet::new_checked(bytes) else {
+                    return;
+                };
+                let mut header = [0u8; 8];
+                header.copy_from_slice(&bytes[..8]);
+                self.transport = TransportMeta::Icmp {
+                    msg_type: icmp.msg_type(),
+                    code: icmp.code(),
+                    header,
+                };
+                self.set_payload(icmp.payload());
+            }
+            _ => {}
+        }
+    }
+
+    fn set_payload(&mut self, payload: &[u8]) {
+        self.payload_len = payload.len() as u32;
+        self.payload = payload.iter().copied().take(PAYLOAD_SNIPPET).collect();
+    }
+
+    /// The canonical 5-tuple `(srcIP, dstIP, srcPort, dstPort, proto)` if the
+    /// packet is IPv4 with ports; ICMP maps ports to zero.
+    pub fn five_tuple(&self) -> Option<(Ipv4Addr, Ipv4Addr, u16, u16, u8)> {
+        let ip = self.ipv4.as_ref()?;
+        let (sp, dp) = match &self.transport {
+            TransportMeta::Tcp {
+                src_port, dst_port, ..
+            }
+            | TransportMeta::Udp {
+                src_port, dst_port, ..
+            } => (*src_port, *dst_port),
+            TransportMeta::Icmp { .. } => (0, 0),
+            TransportMeta::None => return None,
+        };
+        Some((ip.src, ip.dst, sp, dp, ip.protocol))
+    }
+
+    /// True when this is a TCP packet.
+    pub fn is_tcp(&self) -> bool {
+        matches!(self.transport, TransportMeta::Tcp { .. })
+    }
+
+    /// True when this is a UDP packet.
+    pub fn is_udp(&self) -> bool {
+        matches!(self.transport, TransportMeta::Udp { .. })
+    }
+
+    /// True when this is an ICMP packet.
+    pub fn is_icmp(&self) -> bool {
+        matches!(self.transport, TransportMeta::Icmp { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+
+    #[test]
+    fn parses_tcp_frame() {
+        let pkt = builder::tcp_packet(builder::TcpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 40000,
+            dst_port: 80,
+            seq: 100,
+            ack: 200,
+            flags: TcpFlags::PSH_ACK,
+            window: 1024,
+            ttl: 63,
+            payload: b"GET / HTTP/1.1\r\n",
+        });
+        let meta = PacketMeta::parse(LinkType::Ethernet, 5, &pkt).unwrap();
+        assert_eq!(meta.ts_us, 5);
+        assert_eq!(meta.src_mac, MacAddr::from_id(1));
+        let ip = meta.ipv4.unwrap();
+        assert_eq!(ip.src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(ip.ttl, 63);
+        match meta.transport {
+            TransportMeta::Tcp {
+                src_port,
+                dst_port,
+                flags,
+                payload_len,
+                ..
+            } => {
+                assert_eq!(src_port, 40000);
+                assert_eq!(dst_port, 80);
+                assert!(flags.psh());
+                assert_eq!(payload_len, 16);
+            }
+            other => panic!("wrong transport {other:?}"),
+        }
+        assert_eq!(meta.payload, b"GET / HTTP/1.1\r\n");
+        assert_eq!(
+            meta.five_tuple(),
+            Some((
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                40000,
+                80,
+                6
+            ))
+        );
+    }
+
+    #[test]
+    fn parses_udp_frame() {
+        let pkt = builder::udp_packet(builder::UdpParams {
+            src_mac: MacAddr::from_id(3),
+            dst_mac: MacAddr::from_id(4),
+            src_ip: Ipv4Addr::new(192, 168, 0, 9),
+            dst_ip: Ipv4Addr::new(8, 8, 4, 4),
+            src_port: 5353,
+            dst_port: 53,
+            ttl: 64,
+            payload: &[0xAA; 300],
+        });
+        let meta = PacketMeta::parse(LinkType::Ethernet, 0, &pkt).unwrap();
+        assert!(meta.is_udp());
+        assert_eq!(meta.payload_len, 300);
+        // Snippet is capped.
+        assert_eq!(meta.payload.len(), PAYLOAD_SNIPPET);
+    }
+
+    #[test]
+    fn parses_arp_frame() {
+        let pkt = builder::arp_packet(
+            MacAddr::from_id(9),
+            Ipv4Addr::new(192, 168, 1, 1),
+            MacAddr::BROADCAST,
+            Ipv4Addr::new(192, 168, 1, 77),
+            ArpOperation::Request,
+        );
+        let meta = PacketMeta::parse(LinkType::Ethernet, 0, &pkt).unwrap();
+        let arp = meta.arp.unwrap();
+        assert_eq!(arp.operation, ArpOperation::Request);
+        assert_eq!(arp.target_ip, Ipv4Addr::new(192, 168, 1, 77));
+        assert!(meta.five_tuple().is_none());
+    }
+
+    #[test]
+    fn parses_deauth_frame() {
+        let pkt = builder::dot11_deauth(MacAddr::from_id(1), MacAddr::from_id(2), 7, 3);
+        let meta = PacketMeta::parse(LinkType::Ieee80211, 0, &pkt).unwrap();
+        let d = meta.dot11.unwrap();
+        assert_eq!(d.frame_type, Dot11Type::Management);
+        assert_eq!(d.reason_code, Some(7));
+        assert!(meta.ipv4.is_none());
+    }
+
+    #[test]
+    fn parses_ipv6_udp_frame() {
+        use crate::wire::ethernet::{EtherType, EthernetFrame, HEADER_LEN as ETH_HDR};
+        use crate::wire::ipv6::{Ipv6Packet, HEADER_LEN as V6_HDR};
+        use crate::wire::udp::{UdpDatagram, HEADER_LEN as UDP_HDR};
+        use std::net::Ipv6Addr;
+
+        let payload = b"v6 payload";
+        let udp_len = UDP_HDR + payload.len();
+        let mut buf = vec![0u8; ETH_HDR + V6_HDR + udp_len];
+        let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+        eth.set_src(MacAddr::from_id(7));
+        eth.set_dst(MacAddr::from_id(8));
+        eth.set_ethertype(EtherType::Ipv6);
+        let mut v6 = Ipv6Packet::new_unchecked(eth.payload_mut());
+        v6.set_version();
+        v6.set_payload_length(udp_len as u16);
+        v6.set_next_header(17);
+        v6.set_hop_limit(64);
+        v6.set_src(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 1));
+        v6.set_dst(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 2));
+        let mut udp = UdpDatagram::new_unchecked(v6.payload_mut());
+        udp.set_src_port(546);
+        udp.set_dst_port(547);
+        udp.set_length(udp_len as u16);
+        udp.payload_mut().copy_from_slice(payload);
+
+        let meta = PacketMeta::parse(LinkType::Ethernet, 3, &buf).unwrap();
+        assert!(meta.is_ipv6);
+        assert!(meta.ipv4.is_none());
+        assert!(meta.is_udp());
+        assert_eq!(meta.transport.src_port(), Some(546));
+        assert_eq!(meta.payload, payload);
+        // No IPv4 header means no five-tuple (Lumen groups v6 by MAC).
+        assert!(meta.five_tuple().is_none());
+    }
+
+    #[test]
+    fn garbage_l3_is_tolerated() {
+        // Valid Ethernet header claiming IPv4, but garbage payload.
+        let mut pkt = vec![0u8; 20];
+        pkt[12] = 0x08;
+        pkt[13] = 0x00;
+        let meta = PacketMeta::parse(LinkType::Ethernet, 0, &pkt).unwrap();
+        assert!(meta.ipv4.is_none());
+        assert_eq!(meta.transport, TransportMeta::None);
+    }
+
+    #[test]
+    fn short_frame_is_error() {
+        assert!(PacketMeta::parse(LinkType::Ethernet, 0, &[0u8; 5]).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Classic libpcap capture-file format (the `.pcap` written by tcpdump).
+//!
+//! The benchmarking suite stores every synthetic dataset as a real pcap so
+//! the full production code path — file bytes → link-layer parse → features —
+//! is exercised, exactly as it would be on a public dataset download.
+//!
+//! Both byte orders and both timestamp resolutions (microsecond magic
+//! `0xa1b2c3d4`, nanosecond magic `0xa1b23c4d`) are read; files are written
+//! native-microsecond little-endian, which is what tcpdump produces on x86.
+
+use std::io::{Read, Write};
+
+use crate::meta::LinkType;
+use crate::{NetError, Result};
+
+const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+/// Default snap length: full packets.
+pub const SNAPLEN: u32 = 262_144;
+
+/// One captured packet: a timestamp (microseconds since the epoch of the
+/// capture) and the raw link-layer bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPacket {
+    /// Capture timestamp in microseconds.
+    pub ts_us: u64,
+    /// Raw link-layer frame bytes.
+    pub data: Vec<u8>,
+}
+
+impl CapturedPacket {
+    /// Convenience constructor.
+    pub fn new(ts_us: u64, data: Vec<u8>) -> CapturedPacket {
+        CapturedPacket { ts_us, data }
+    }
+
+    /// Timestamp in seconds as a float.
+    pub fn ts_secs(&self) -> f64 {
+        self.ts_us as f64 / 1e6
+    }
+}
+
+/// Streaming pcap writer.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header and returns the writer.
+    pub fn new(mut sink: W, link: LinkType) -> Result<PcapWriter<W>> {
+        sink.write_all(&MAGIC_MICROS.to_le_bytes())?;
+        sink.write_all(&VERSION_MAJOR.to_le_bytes())?;
+        sink.write_all(&VERSION_MINOR.to_le_bytes())?;
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&SNAPLEN.to_le_bytes())?;
+        sink.write_all(&(link.dlt()).to_le_bytes())?;
+        Ok(PcapWriter { sink })
+    }
+
+    /// Appends one packet record.
+    pub fn write_packet(&mut self, pkt: &CapturedPacket) -> Result<()> {
+        let secs = (pkt.ts_us / 1_000_000) as u32;
+        let micros = (pkt.ts_us % 1_000_000) as u32;
+        let len = pkt.data.len() as u32;
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&micros.to_le_bytes())?;
+        self.sink.write_all(&len.to_le_bytes())?; // incl_len
+        self.sink.write_all(&len.to_le_bytes())?; // orig_len
+        self.sink.write_all(&pkt.data)?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming pcap reader; iterate with [`PcapReader::next_packet`] or the
+/// `Iterator` impl.
+pub struct PcapReader<R: Read> {
+    source: R,
+    swapped: bool,
+    nanos: bool,
+    link: LinkType,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    pub fn new(mut source: R) -> Result<PcapReader<R>> {
+        let mut header = [0u8; 24];
+        source.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let (swapped, nanos) = match magic {
+            MAGIC_MICROS => (false, false),
+            MAGIC_NANOS => (false, true),
+            m if m.swap_bytes() == MAGIC_MICROS => (true, false),
+            m if m.swap_bytes() == MAGIC_NANOS => (true, true),
+            m => return Err(NetError::BadPcap(format!("unknown magic {m:#010x}"))),
+        };
+        let read_u32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let dlt = read_u32(&header[20..24]);
+        let link = LinkType::from_dlt(dlt)
+            .ok_or_else(|| NetError::BadPcap(format!("unsupported link type {dlt}")))?;
+        Ok(PcapReader {
+            source,
+            swapped,
+            nanos,
+            link,
+        })
+    }
+
+    /// The file's link-layer type.
+    pub fn link_type(&self) -> LinkType {
+        self.link
+    }
+
+    /// Reads the next packet record; `Ok(None)` at clean EOF.
+    pub fn next_packet(&mut self) -> Result<Option<CapturedPacket>> {
+        let mut rec = [0u8; 16];
+        // Distinguish clean EOF (no bytes at a record boundary) from a
+        // truncated record header, which is a corrupt file.
+        let mut filled = 0;
+        while filled < rec.len() {
+            let n = self.source.read(&mut rec[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(NetError::BadPcap("truncated record header".into()));
+            }
+            filled += n;
+        }
+        let read_u32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let secs = u64::from(read_u32(&rec[0..4]));
+        let frac = u64::from(read_u32(&rec[4..8]));
+        let incl_len = read_u32(&rec[8..12]) as usize;
+        if incl_len > SNAPLEN as usize * 4 {
+            return Err(NetError::BadPcap(format!(
+                "record length {incl_len} implausible"
+            )));
+        }
+        let mut data = vec![0u8; incl_len];
+        self.source.read_exact(&mut data)?;
+        let micros = if self.nanos { frac / 1000 } else { frac };
+        Ok(Some(CapturedPacket {
+            ts_us: secs * 1_000_000 + micros,
+            data,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<CapturedPacket>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet().transpose()
+    }
+}
+
+/// Writes a full capture to a byte vector.
+pub fn to_bytes(link: LinkType, packets: &[CapturedPacket]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
+    let mut w = PcapWriter::new(&mut out, link).expect("vec write cannot fail");
+    for p in packets {
+        w.write_packet(p).expect("vec write cannot fail");
+    }
+    w.finish().expect("vec flush cannot fail");
+    out
+}
+
+/// Reads a full capture from a byte slice.
+pub fn from_bytes(bytes: &[u8]) -> Result<(LinkType, Vec<CapturedPacket>)> {
+    let mut r = PcapReader::new(bytes)?;
+    let link = r.link_type();
+    let mut packets = Vec::new();
+    while let Some(p) = r.next_packet()? {
+        packets.push(p);
+    }
+    Ok((link, packets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<CapturedPacket> {
+        vec![
+            CapturedPacket::new(1_000_000, vec![1, 2, 3]),
+            CapturedPacket::new(1_000_500, vec![4; 64]),
+            CapturedPacket::new(2_500_123, vec![]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_ethernet() {
+        let pkts = sample();
+        let bytes = to_bytes(LinkType::Ethernet, &pkts);
+        let (link, read) = from_bytes(&bytes).unwrap();
+        assert_eq!(link, LinkType::Ethernet);
+        assert_eq!(read, pkts);
+    }
+
+    #[test]
+    fn roundtrip_dot11() {
+        let bytes = to_bytes(LinkType::Ieee80211, &sample());
+        let (link, read) = from_bytes(&bytes).unwrap();
+        assert_eq!(link, LinkType::Ieee80211);
+        assert_eq!(read.len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage_magic() {
+        let err = from_bytes(&[0u8; 24]).unwrap_err();
+        assert!(matches!(err, NetError::BadPcap(_)));
+    }
+
+    #[test]
+    fn reads_big_endian_header() {
+        // Hand-build a big-endian header with one empty packet at t=1s.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICROS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes()); // Ethernet
+        buf.extend_from_slice(&1u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        let (link, pkts) = from_bytes(&buf).unwrap();
+        assert_eq!(link, LinkType::Ethernet);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].ts_us, 1_000_000);
+    }
+
+    #[test]
+    fn reads_nanosecond_resolution() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NANOS.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes()); // secs
+        buf.extend_from_slice(&500_000_000u32.to_le_bytes()); // 0.5 s in ns
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let (_, pkts) = from_bytes(&buf).unwrap();
+        assert_eq!(pkts[0].ts_us, 3_500_000);
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        bytes.truncate(bytes.len() - 1);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_capture_roundtrip() {
+        let bytes = to_bytes(LinkType::Ethernet, &[]);
+        let (_, pkts) = from_bytes(&bytes).unwrap();
+        assert!(pkts.is_empty());
+    }
+}

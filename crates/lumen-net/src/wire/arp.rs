@@ -1,0 +1,181 @@
+//! ARP packets for Ethernet/IPv4 (RFC 826).
+//!
+//! ARP matters for the benchmark suite because the IEEE IoT dataset's
+//! man-in-the-middle scenario is an ARP-spoofing attack: gratuitous replies
+//! claiming the gateway's IP with the attacker's MAC.
+
+use std::net::Ipv4Addr;
+
+use super::MacAddr;
+use crate::{NetError, Result};
+
+/// ARP packet length for the Ethernet/IPv4 combination.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOperation {
+    Request,
+    Reply,
+    Other(u16),
+}
+
+impl From<u16> for ArpOperation {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            other => ArpOperation::Other(other),
+        }
+    }
+}
+
+impl From<ArpOperation> for u16 {
+    fn from(op: ArpOperation) -> u16 {
+        match op {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+            ArpOperation::Other(v) => v,
+        }
+    }
+}
+
+/// A read/write wrapper over an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> ArpPacket<T> {
+        ArpPacket { buffer }
+    }
+
+    /// Wraps a buffer, verifying length and the Ethernet/IPv4 hardware and
+    /// protocol types.
+    pub fn new_checked(buffer: T) -> Result<ArpPacket<T>> {
+        if buffer.as_ref().len() < PACKET_LEN {
+            return Err(NetError::Truncated);
+        }
+        let p = ArpPacket { buffer };
+        let b = p.buffer.as_ref();
+        if u16::from_be_bytes([b[0], b[1]]) != 1 {
+            return Err(NetError::Malformed("arp hardware type"));
+        }
+        if u16::from_be_bytes([b[2], b[3]]) != 0x0800 {
+            return Err(NetError::Malformed("arp protocol type"));
+        }
+        if b[4] != 6 || b[5] != 4 {
+            return Err(NetError::Malformed("arp address lengths"));
+        }
+        Ok(p)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Operation (request/reply).
+    pub fn operation(&self) -> ArpOperation {
+        ArpOperation::from(u16::from_be_bytes([self.b()[6], self.b()[7]]))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        MacAddr::from_slice(&self.b()[8..14])
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let b = self.b();
+        Ipv4Addr::new(b[14], b[15], b[16], b[17])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        MacAddr::from_slice(&self.b()[18..24])
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let b = self.b();
+        Ipv4Addr::new(b[24], b[25], b[26], b[27])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> ArpPacket<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Writes the fixed Ethernet/IPv4 preamble (htype/ptype/hlen/plen).
+    pub fn fill_preamble(&mut self) {
+        let m = self.m();
+        m[0..2].copy_from_slice(&1u16.to_be_bytes());
+        m[2..4].copy_from_slice(&0x0800u16.to_be_bytes());
+        m[4] = 6;
+        m[5] = 4;
+    }
+
+    /// Sets the operation.
+    pub fn set_operation(&mut self, op: ArpOperation) {
+        self.m()[6..8].copy_from_slice(&u16::from(op).to_be_bytes());
+    }
+
+    /// Sets the sender hardware address.
+    pub fn set_sender_mac(&mut self, mac: MacAddr) {
+        self.m()[8..14].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the sender protocol address.
+    pub fn set_sender_ip(&mut self, ip: Ipv4Addr) {
+        self.m()[14..18].copy_from_slice(&ip.octets());
+    }
+
+    /// Sets the target hardware address.
+    pub fn set_target_mac(&mut self, mac: MacAddr) {
+        self.m()[18..24].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the target protocol address.
+    pub fn set_target_ip(&mut self, ip: Ipv4Addr) {
+        self.m()[24..28].copy_from_slice(&ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_roundtrip() {
+        let mut buf = [0u8; PACKET_LEN];
+        let mut p = ArpPacket::new_unchecked(&mut buf[..]);
+        p.fill_preamble();
+        p.set_operation(ArpOperation::Reply);
+        p.set_sender_mac(MacAddr::from_id(66));
+        p.set_sender_ip(Ipv4Addr::new(192, 168, 1, 1));
+        p.set_target_mac(MacAddr::from_id(5));
+        p.set_target_ip(Ipv4Addr::new(192, 168, 1, 50));
+
+        let p = ArpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.operation(), ArpOperation::Reply);
+        assert_eq!(p.sender_mac(), MacAddr::from_id(66));
+        assert_eq!(p.sender_ip(), Ipv4Addr::new(192, 168, 1, 1));
+        assert_eq!(p.target_ip(), Ipv4Addr::new(192, 168, 1, 50));
+    }
+
+    #[test]
+    fn rejects_wrong_hardware_type() {
+        let mut buf = [0u8; PACKET_LEN];
+        buf[1] = 6; // token ring
+        buf[2] = 0x08;
+        assert!(ArpPacket::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_short() {
+        assert!(ArpPacket::new_checked(&[0u8; 27][..]).is_err());
+    }
+}

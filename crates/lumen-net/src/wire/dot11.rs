@@ -1,0 +1,230 @@
+//! IEEE 802.11 frames (management + data), enough to model the AWID3
+//! wireless-attack traces: deauthentication floods, disassociation,
+//! evil-twin beacons, and ordinary data frames.
+//!
+//! Covers the common 24-byte MAC header (frame control, duration, three
+//! addresses, sequence control). QoS/HT extensions and FCS are out of scope;
+//! the AWID3-like recipes never emit them.
+
+use super::MacAddr;
+use crate::{NetError, Result};
+
+/// Length of the MAC header handled here.
+pub const HEADER_LEN: usize = 24;
+
+/// Frame type from the frame-control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dot11Type {
+    Management,
+    Control,
+    Data,
+    Extension,
+}
+
+impl Dot11Type {
+    fn from_bits(bits: u8) -> Dot11Type {
+        match bits & 0x03 {
+            0 => Dot11Type::Management,
+            1 => Dot11Type::Control,
+            2 => Dot11Type::Data,
+            _ => Dot11Type::Extension,
+        }
+    }
+}
+
+/// Management-frame subtypes Lumen generates and recognizes.
+pub mod subtype {
+    pub const ASSOC_REQUEST: u8 = 0;
+    pub const PROBE_REQUEST: u8 = 4;
+    pub const PROBE_RESPONSE: u8 = 5;
+    pub const BEACON: u8 = 8;
+    pub const DISASSOCIATION: u8 = 10;
+    pub const AUTHENTICATION: u8 = 11;
+    pub const DEAUTHENTICATION: u8 = 12;
+    /// Data-frame subtype "data".
+    pub const DATA: u8 = 0;
+}
+
+/// A read/write wrapper over an 802.11 frame buffer.
+#[derive(Debug, Clone)]
+pub struct Dot11Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Dot11Frame<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Dot11Frame<T> {
+        Dot11Frame { buffer }
+    }
+
+    /// Wraps a buffer, verifying the minimum header length and protocol
+    /// version 0.
+    pub fn new_checked(buffer: T) -> Result<Dot11Frame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        let f = Dot11Frame { buffer };
+        if f.buffer.as_ref()[0] & 0x03 != 0 {
+            return Err(NetError::Malformed("802.11 protocol version"));
+        }
+        Ok(f)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Frame type.
+    pub fn frame_type(&self) -> Dot11Type {
+        Dot11Type::from_bits(self.b()[0] >> 2)
+    }
+
+    /// Frame subtype (meaning depends on type).
+    pub fn frame_subtype(&self) -> u8 {
+        self.b()[0] >> 4
+    }
+
+    /// Duration/ID field.
+    pub fn duration(&self) -> u16 {
+        u16::from_le_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Address 1 (receiver).
+    pub fn addr1(&self) -> MacAddr {
+        MacAddr::from_slice(&self.b()[4..10])
+    }
+
+    /// Address 2 (transmitter).
+    pub fn addr2(&self) -> MacAddr {
+        MacAddr::from_slice(&self.b()[10..16])
+    }
+
+    /// Address 3 (BSSID in infrastructure frames).
+    pub fn addr3(&self) -> MacAddr {
+        MacAddr::from_slice(&self.b()[16..22])
+    }
+
+    /// Sequence number (upper 12 bits of sequence control).
+    pub fn sequence(&self) -> u16 {
+        u16::from_le_bytes([self.b()[22], self.b()[23]]) >> 4
+    }
+
+    /// Frame body after the MAC header.
+    pub fn body(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..]
+    }
+
+    /// Reason code for deauthentication/disassociation frames.
+    pub fn reason_code(&self) -> Option<u16> {
+        if self.frame_type() == Dot11Type::Management
+            && matches!(
+                self.frame_subtype(),
+                subtype::DEAUTHENTICATION | subtype::DISASSOCIATION
+            )
+            && self.body().len() >= 2
+        {
+            let body = self.body();
+            Some(u16::from_le_bytes([body[0], body[1]]))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Dot11Frame<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Sets frame control for the given type/subtype with version 0 and no
+    /// flags.
+    pub fn set_frame_control(&mut self, ty: Dot11Type, sub: u8) {
+        let ty_bits = match ty {
+            Dot11Type::Management => 0u8,
+            Dot11Type::Control => 1,
+            Dot11Type::Data => 2,
+            Dot11Type::Extension => 3,
+        };
+        self.m()[0] = (sub << 4) | (ty_bits << 2);
+        self.m()[1] = 0;
+    }
+
+    /// Sets the duration field.
+    pub fn set_duration(&mut self, v: u16) {
+        self.m()[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Sets address 1 (receiver).
+    pub fn set_addr1(&mut self, mac: MacAddr) {
+        self.m()[4..10].copy_from_slice(&mac.0);
+    }
+
+    /// Sets address 2 (transmitter).
+    pub fn set_addr2(&mut self, mac: MacAddr) {
+        self.m()[10..16].copy_from_slice(&mac.0);
+    }
+
+    /// Sets address 3 (BSSID).
+    pub fn set_addr3(&mut self, mac: MacAddr) {
+        self.m()[16..22].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the sequence number.
+    pub fn set_sequence(&mut self, seq: u16) {
+        self.m()[22..24].copy_from_slice(&(seq << 4).to_le_bytes());
+    }
+
+    /// Mutable frame body.
+    pub fn body_mut(&mut self) -> &mut [u8] {
+        &mut self.m()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deauth_roundtrip() {
+        let mut buf = [0u8; HEADER_LEN + 2];
+        let mut f = Dot11Frame::new_unchecked(&mut buf[..]);
+        f.set_frame_control(Dot11Type::Management, subtype::DEAUTHENTICATION);
+        f.set_duration(314);
+        f.set_addr1(MacAddr::from_id(1));
+        f.set_addr2(MacAddr::from_id(2));
+        f.set_addr3(MacAddr::from_id(2));
+        f.set_sequence(99);
+        f.body_mut().copy_from_slice(&7u16.to_le_bytes());
+
+        let f = Dot11Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.frame_type(), Dot11Type::Management);
+        assert_eq!(f.frame_subtype(), subtype::DEAUTHENTICATION);
+        assert_eq!(f.duration(), 314);
+        assert_eq!(f.addr1(), MacAddr::from_id(1));
+        assert_eq!(f.addr2(), MacAddr::from_id(2));
+        assert_eq!(f.sequence(), 99);
+        assert_eq!(f.reason_code(), Some(7));
+    }
+
+    #[test]
+    fn data_frame_has_no_reason() {
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut f = Dot11Frame::new_unchecked(&mut buf[..]);
+        f.set_frame_control(Dot11Type::Data, subtype::DATA);
+        let f = Dot11Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.frame_type(), Dot11Type::Data);
+        assert_eq!(f.reason_code(), None);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0] = 0x01;
+        assert!(Dot11Frame::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_short() {
+        assert!(Dot11Frame::new_checked(&[0u8; 23][..]).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Ethernet II framing.
+
+use super::MacAddr;
+use crate::{NetError, Result};
+
+/// Ethernet II header length in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType values Lumen understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    Ipv6,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86DD => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// A read/write wrapper over an Ethernet II frame buffer.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> EthernetFrame<T> {
+        EthernetFrame { buffer }
+    }
+
+    /// Wraps a buffer, verifying it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<EthernetFrame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Consumes the wrapper, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[0..6])
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[6..12])
+    }
+
+    /// EtherType of the payload.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// Payload bytes after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Total frame length.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(MacAddr::BROADCAST);
+        f.set_src(MacAddr::from_id(7));
+        f.set_ethertype(EtherType::Ipv4);
+        f.payload_mut().copy_from_slice(&[1, 2, 3, 4]);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = frame();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr::BROADCAST);
+        assert_eq!(f.src(), MacAddr::from_id(7));
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert_eq!(f.payload(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn checked_rejects_short() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            NetError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        for t in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Other(0x88CC),
+        ] {
+            assert_eq!(EtherType::from(u16::from(t)), t);
+        }
+    }
+}

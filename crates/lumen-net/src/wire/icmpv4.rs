@@ -1,0 +1,153 @@
+//! ICMPv4 messages (RFC 792).
+
+use crate::checksum;
+use crate::{NetError, Result};
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// Well-known ICMP types used by the synthesizer.
+pub mod icmp_type {
+    pub const ECHO_REPLY: u8 = 0;
+    pub const DEST_UNREACHABLE: u8 = 3;
+    pub const ECHO_REQUEST: u8 = 8;
+    pub const TIME_EXCEEDED: u8 = 11;
+}
+
+/// A read/write wrapper over an ICMPv4 message buffer.
+#[derive(Debug, Clone)]
+pub struct Icmpv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Icmpv4Packet<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Icmpv4Packet<T> {
+        Icmpv4Packet { buffer }
+    }
+
+    /// Wraps a buffer, verifying the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Icmpv4Packet<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        Ok(Icmpv4Packet { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> u8 {
+        self.b()[0]
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.b()[1]
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Echo identifier (meaningful for echo request/reply).
+    pub fn echo_id(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+
+    /// Echo sequence number.
+    pub fn echo_seq(&self) -> u16 {
+        u16::from_be_bytes([self.b()[6], self.b()[7]])
+    }
+
+    /// Payload after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..]
+    }
+
+    /// Verifies the message checksum (covers the whole message).
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.b())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Icmpv4Packet<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Sets the message type.
+    pub fn set_msg_type(&mut self, v: u8) {
+        self.m()[0] = v;
+    }
+
+    /// Sets the message code.
+    pub fn set_code(&mut self, v: u8) {
+        self.m()[1] = v;
+    }
+
+    /// Sets the echo identifier.
+    pub fn set_echo_id(&mut self, v: u16) {
+        self.m()[4..6].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the echo sequence number.
+    pub fn set_echo_seq(&mut self, v: u16) {
+        self.m()[6..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn fill_checksum(&mut self) {
+        self.m()[2..4].copy_from_slice(&[0, 0]);
+        let ck = checksum::internet(self.b());
+        self.m()[2..4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.m()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut buf = [0u8; HEADER_LEN + 16];
+        let mut p = Icmpv4Packet::new_unchecked(&mut buf[..]);
+        p.set_msg_type(icmp_type::ECHO_REQUEST);
+        p.set_code(0);
+        p.set_echo_id(0x1234);
+        p.set_echo_seq(7);
+        p.payload_mut().copy_from_slice(b"ping-ping-ping!!");
+        p.fill_checksum();
+
+        let p = Icmpv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.msg_type(), icmp_type::ECHO_REQUEST);
+        assert_eq!(p.echo_id(), 0x1234);
+        assert_eq!(p.echo_seq(), 7);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut p = Icmpv4Packet::new_unchecked(&mut buf[..]);
+        p.set_msg_type(icmp_type::ECHO_REPLY);
+        p.fill_checksum();
+        buf[1] ^= 1;
+        assert!(!Icmpv4Packet::new_checked(&buf[..])
+            .unwrap()
+            .verify_checksum());
+    }
+
+    #[test]
+    fn rejects_short() {
+        assert!(Icmpv4Packet::new_checked(&[0u8; 7][..]).is_err());
+    }
+}

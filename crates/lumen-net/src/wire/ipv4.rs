@@ -1,0 +1,284 @@
+//! IPv4 packets (RFC 791).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::{NetError, Result};
+
+/// Minimum (and, in Lumen-generated traffic, the only) IPv4 header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used throughout the workspace.
+pub mod protocol {
+    pub const ICMP: u8 = 1;
+    pub const TCP: u8 = 6;
+    pub const UDP: u8 = 17;
+}
+
+/// A read/write wrapper over an IPv4 packet buffer.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Ipv4Packet<T> {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wraps a buffer, validating version, header length, and total length.
+    pub fn new_checked(buffer: T) -> Result<Ipv4Packet<T>> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        let pkt = Ipv4Packet { buffer };
+        if pkt.version() != 4 {
+            return Err(NetError::Malformed("ipv4 version"));
+        }
+        let ihl = pkt.header_len();
+        if ihl < MIN_HEADER_LEN || ihl > len {
+            return Err(NetError::Malformed("ipv4 header length"));
+        }
+        if (pkt.total_length() as usize) < ihl {
+            return Err(NetError::Malformed("ipv4 total length"));
+        }
+        Ok(pkt)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// IP version field (should be 4).
+    pub fn version(&self) -> u8 {
+        self.b()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.b()[0] & 0x0F) as usize) * 4
+    }
+
+    /// Differentiated services / TOS byte.
+    pub fn dscp(&self) -> u8 {
+        self.b()[1]
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_length(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Identification field.
+    pub fn identification(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.b()[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.b()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn frag_offset(&self) -> u16 {
+        u16::from_be_bytes([self.b()[6] & 0x1F, self.b()[7]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.b()[8]
+    }
+
+    /// Transport protocol number.
+    pub fn protocol(&self) -> u8 {
+        self.b()[9]
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[10], self.b()[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.b();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.b();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// Verifies the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.b()[..self.header_len()])
+    }
+
+    /// Payload bytes, bounded by the total-length field when it is shorter
+    /// than the buffer (trailing capture padding is excluded).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len();
+        let end = (self.total_length() as usize).min(self.b().len());
+        &self.b()[hl..end.max(hl)]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Writes version=4 and the header length (bytes, multiple of 4).
+    pub fn set_version_and_header_len(&mut self, header_len: usize) {
+        debug_assert!(header_len.is_multiple_of(4) && header_len >= MIN_HEADER_LEN);
+        self.m()[0] = 0x40 | ((header_len / 4) as u8);
+    }
+
+    /// Sets the DSCP/TOS byte.
+    pub fn set_dscp(&mut self, v: u8) {
+        self.m()[1] = v;
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_length(&mut self, v: u16) {
+        let bytes = v.to_be_bytes();
+        self.m()[2..4].copy_from_slice(&bytes);
+    }
+
+    /// Sets the identification field.
+    pub fn set_identification(&mut self, v: u16) {
+        let bytes = v.to_be_bytes();
+        self.m()[4..6].copy_from_slice(&bytes);
+    }
+
+    /// Sets the don't-fragment flag (clears fragmentation otherwise).
+    pub fn set_dont_frag(&mut self, df: bool) {
+        self.m()[6] = if df { 0x40 } else { 0x00 };
+        self.m()[7] = 0;
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, v: u8) {
+        self.m()[8] = v;
+    }
+
+    /// Sets the transport protocol number.
+    pub fn set_protocol(&mut self, v: u8) {
+        self.m()[9] = v;
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.m()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.m()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Recomputes and stores the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let hl = self.header_len();
+        self.m()[10..12].copy_from_slice(&[0, 0]);
+        let ck = checksum::internet(&self.b()[..hl]);
+        self.m()[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        &mut self.m()[hl..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + payload.len()];
+        let total = buf.len() as u16;
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_version_and_header_len(MIN_HEADER_LEN);
+        p.set_total_length(total);
+        p.set_identification(0xBEEF);
+        p.set_dont_frag(true);
+        p.set_ttl(64);
+        p.set_protocol(protocol::TCP);
+        p.set_src(Ipv4Addr::new(192, 168, 1, 10));
+        p.set_dst(Ipv4Addr::new(8, 8, 8, 8));
+        p.fill_checksum();
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = packet(b"hello");
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.total_length() as usize, buf.len());
+        assert_eq!(p.identification(), 0xBEEF);
+        assert!(p.dont_frag());
+        assert!(!p.more_frags());
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.protocol(), protocol::TCP);
+        assert_eq!(p.src(), Ipv4Addr::new(192, 168, 1, 10));
+        assert_eq!(p.dst(), Ipv4Addr::new(8, 8, 8, 8));
+        assert_eq!(p.payload(), b"hello");
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let mut buf = packet(b"x");
+        buf[8] ^= 0xFF; // flip TTL
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = packet(b"");
+        buf[0] = 0x60 | 5; // version 6
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(NetError::Malformed("ipv4 version"))
+        ));
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0u8; 19][..]).unwrap_err(),
+            NetError::Truncated
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ihl() {
+        let mut buf = packet(b"");
+        buf[0] = 0x41; // IHL = 4 bytes < 20
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn payload_respects_total_length() {
+        // Buffer longer than total_length (capture padding).
+        let mut buf = packet(b"abcd");
+        buf.extend_from_slice(&[0u8; 6]);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"abcd");
+    }
+}

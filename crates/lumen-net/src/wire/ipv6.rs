@@ -1,0 +1,177 @@
+//! IPv6 packets (RFC 8200) — fixed header only.
+//!
+//! Lumen's synthetic IoT networks are IPv4-first (matching the public
+//! datasets), but the nPrint encoding reserves IPv6 field positions, and
+//! captures may legitimately carry v6 neighbour discovery chatter, so the
+//! parser must handle the fixed header.
+
+use std::net::Ipv6Addr;
+
+use crate::{NetError, Result};
+
+/// IPv6 fixed header length.
+pub const HEADER_LEN: usize = 40;
+
+/// A read/write wrapper over an IPv6 packet buffer.
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Ipv6Packet<T> {
+        Ipv6Packet { buffer }
+    }
+
+    /// Wraps a buffer, validating the version and length.
+    pub fn new_checked(buffer: T) -> Result<Ipv6Packet<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        let p = Ipv6Packet { buffer };
+        if p.version() != 6 {
+            return Err(NetError::Malformed("ipv6 version"));
+        }
+        Ok(p)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// IP version (should be 6).
+    pub fn version(&self) -> u8 {
+        self.b()[0] >> 4
+    }
+
+    /// Traffic class byte.
+    pub fn traffic_class(&self) -> u8 {
+        (self.b()[0] << 4) | (self.b()[1] >> 4)
+    }
+
+    /// Flow label (20 bits).
+    pub fn flow_label(&self) -> u32 {
+        let b = self.b();
+        (u32::from(b[1] & 0x0F) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3])
+    }
+
+    /// Payload length field.
+    pub fn payload_length(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+
+    /// Next-header (transport protocol) number.
+    pub fn next_header(&self) -> u8 {
+        self.b()[6]
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.b()[7]
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.b()[8..24]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.b()[24..40]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Payload after the fixed header, bounded by the payload-length field.
+    pub fn payload(&self) -> &[u8] {
+        let end = (HEADER_LEN + self.payload_length() as usize).min(self.b().len());
+        &self.b()[HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Writes version=6 with zero traffic class and flow label.
+    pub fn set_version(&mut self) {
+        self.m()[0] = 0x60;
+        self.m()[1] = 0;
+        self.m()[2] = 0;
+        self.m()[3] = 0;
+    }
+
+    /// Sets the payload-length field.
+    pub fn set_payload_length(&mut self, v: u16) {
+        self.m()[4..6].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the next-header number.
+    pub fn set_next_header(&mut self, v: u8) {
+        self.m()[6] = v;
+    }
+
+    /// Sets the hop limit.
+    pub fn set_hop_limit(&mut self, v: u8) {
+        self.m()[7] = v;
+    }
+
+    /// Sets the source address.
+    pub fn set_src(&mut self, a: Ipv6Addr) {
+        self.m()[8..24].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst(&mut self, a: Ipv6Addr) {
+        self.m()[24..40].copy_from_slice(&a.octets());
+    }
+
+    /// Mutable payload after the fixed header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.m()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; HEADER_LEN + 3];
+        let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+        p.set_version();
+        p.set_payload_length(3);
+        p.set_next_header(17);
+        p.set_hop_limit(64);
+        p.set_src(Ipv6Addr::LOCALHOST);
+        p.set_dst(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 1));
+        p.payload_mut().copy_from_slice(&[9, 9, 9]);
+
+        let p = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.payload_length(), 3);
+        assert_eq!(p.next_header(), 17);
+        assert_eq!(p.hop_limit(), 64);
+        assert_eq!(p.src(), Ipv6Addr::LOCALHOST);
+        assert_eq!(p.payload(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn rejects_v4_bytes() {
+        let buf = [0x45u8; HEADER_LEN];
+        assert!(matches!(
+            Ipv6Packet::new_checked(&buf[..]),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_short() {
+        assert!(Ipv6Packet::new_checked(&[0x60u8; 39][..]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Byte-exact wire formats.
+//!
+//! Each protocol exposes a wrapper type over a borrowed or owned byte buffer
+//! (the smoltcp idiom): `new_checked` validates structural invariants without
+//! copying, typed getters read fields at their wire offsets, and setters are
+//! available when the underlying buffer is mutable.
+
+pub mod arp;
+pub mod dot11;
+pub mod ethernet;
+pub mod icmpv4;
+pub mod ipv4;
+pub mod ipv6;
+pub mod tcp;
+pub mod udp;
+
+pub use arp::{ArpOperation, ArpPacket};
+pub use dot11::{Dot11Frame, Dot11Type};
+pub use ethernet::{EtherType, EthernetFrame};
+pub use icmpv4::Icmpv4Packet;
+pub use ipv4::Ipv4Packet;
+pub use ipv6::Ipv6Packet;
+pub use tcp::{TcpFlags, TcpSegment};
+pub use udp::UdpDatagram;
+
+/// An IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds an address from a slice; panics if `bytes.len() != 6`.
+    pub fn from_slice(bytes: &[u8]) -> MacAddr {
+        let mut a = [0u8; 6];
+        a.copy_from_slice(bytes);
+        MacAddr(a)
+    }
+
+    /// Deterministically derives a locally-administered unicast address from
+    /// an integer id; used by the traffic synthesizer to give each simulated
+    /// device a stable MAC.
+    pub fn from_id(id: u64) -> MacAddr {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == MacAddr::BROADCAST
+    }
+
+    /// True when the group bit (LSB of first octet) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Returns the raw octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Packs the address into the low 48 bits of a `u64` (hashable group key).
+    pub fn to_u64(&self) -> u64 {
+        let mut v = 0u64;
+        for &b in &self.0 {
+            v = (v << 8) | u64::from(b);
+        }
+        v
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let m = MacAddr([0x02, 0x00, 0x00, 0xab, 0xcd, 0xef]);
+        assert_eq!(m.to_string(), "02:00:00:ab:cd:ef");
+    }
+
+    #[test]
+    fn broadcast_and_multicast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::from_id(1).is_multicast());
+    }
+
+    #[test]
+    fn from_id_stable_and_distinct() {
+        assert_eq!(MacAddr::from_id(42), MacAddr::from_id(42));
+        assert_ne!(MacAddr::from_id(1), MacAddr::from_id(2));
+    }
+
+    #[test]
+    fn u64_roundtrip_low_48_bits() {
+        let m = MacAddr([0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc]);
+        assert_eq!(m.to_u64(), 0x1234_5678_9abc);
+    }
+}

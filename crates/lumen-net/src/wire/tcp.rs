@@ -1,0 +1,289 @@
+//! TCP segments (RFC 793).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::{NetError, Result};
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits as a transparent wrapper over the wire byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// SYN|ACK, the second step of the handshake.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+    /// PSH|ACK, a typical data segment.
+    pub const PSH_ACK: TcpFlags = TcpFlags(0x18);
+    /// FIN|ACK, connection teardown.
+    pub const FIN_ACK: TcpFlags = TcpFlags(0x11);
+
+    pub fn fin(self) -> bool {
+        self.0 & 0x01 != 0
+    }
+    pub fn syn(self) -> bool {
+        self.0 & 0x02 != 0
+    }
+    pub fn rst(self) -> bool {
+        self.0 & 0x04 != 0
+    }
+    pub fn psh(self) -> bool {
+        self.0 & 0x08 != 0
+    }
+    pub fn ack(self) -> bool {
+        self.0 & 0x10 != 0
+    }
+    pub fn urg(self) -> bool {
+        self.0 & 0x20 != 0
+    }
+
+    /// Number of flag bits set.
+    pub fn count(self) -> u32 {
+        (self.0 & 0x3F).count_ones()
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names = [
+            (Self::SYN, 'S'),
+            (Self::ACK, 'A'),
+            (Self::FIN, 'F'),
+            (Self::RST, 'R'),
+            (Self::PSH, 'P'),
+            (Self::URG, 'U'),
+        ];
+        for (flag, c) in names {
+            if self.0 & flag.0 != 0 {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A read/write wrapper over a TCP segment buffer (header + payload).
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> TcpSegment<T> {
+        TcpSegment { buffer }
+    }
+
+    /// Wraps a buffer, validating the data-offset field.
+    pub fn new_checked(buffer: T) -> Result<TcpSegment<T>> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        let seg = TcpSegment { buffer };
+        let off = seg.header_len();
+        if off < MIN_HEADER_LEN || off > len {
+            return Err(NetError::Malformed("tcp data offset"));
+        }
+        Ok(seg)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes([self.b()[4], self.b()[5], self.b()[6], self.b()[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes([self.b()[8], self.b()[9], self.b()[10], self.b()[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.b()[12] >> 4) as usize) * 4
+    }
+
+    /// Flag byte.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.b()[13] & 0x3F)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.b()[14], self.b()[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[16], self.b()[17]])
+    }
+
+    /// Urgent pointer.
+    pub fn urgent_ptr(&self) -> u16 {
+        u16::from_be_bytes([self.b()[18], self.b()[19]])
+    }
+
+    /// Payload bytes after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[self.header_len()..]
+    }
+
+    /// Verifies the checksum against an IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        checksum::pseudo_ipv4(src, dst, super::ipv4::protocol::TCP, self.b()) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        self.m()[0..2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        self.m()[2..4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, v: u32) {
+        self.m()[4..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack(&mut self, v: u32) {
+        self.m()[8..12].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the header length in bytes (multiple of 4).
+    pub fn set_header_len(&mut self, bytes: usize) {
+        debug_assert!(bytes.is_multiple_of(4) && bytes >= MIN_HEADER_LEN);
+        self.m()[12] = ((bytes / 4) as u8) << 4;
+    }
+
+    /// Sets the flag byte.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.m()[13] = f.0 & 0x3F;
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, v: u16) {
+        self.m()[14..16].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum for an IPv4 pseudo-header.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.m()[16..18].copy_from_slice(&[0, 0]);
+        let ck = checksum::pseudo_ipv4(src, dst, super::ipv4::protocol::TCP, self.b());
+        self.m()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        &mut self.m()[hl..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn segment(payload: &[u8], flags: TcpFlags) -> Vec<u8> {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + payload.len()];
+        let mut s = TcpSegment::new_unchecked(&mut buf[..]);
+        s.set_src_port(443);
+        s.set_dst_port(51234);
+        s.set_seq(0x1000_0000);
+        s.set_ack(0x2000_0000);
+        s.set_header_len(MIN_HEADER_LEN);
+        s.set_flags(flags);
+        s.set_window(65535);
+        s.payload_mut().copy_from_slice(payload);
+        s.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = segment(b"data", TcpFlags::PSH_ACK);
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(s.src_port(), 443);
+        assert_eq!(s.dst_port(), 51234);
+        assert_eq!(s.seq(), 0x1000_0000);
+        assert_eq!(s.ack(), 0x2000_0000);
+        assert_eq!(s.header_len(), 20);
+        assert!(s.flags().psh() && s.flags().ack());
+        assert!(!s.flags().syn());
+        assert_eq!(s.window(), 65535);
+        assert_eq!(s.payload(), b"data");
+        assert!(s.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let mut buf = segment(b"data", TcpFlags::ACK);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(!s.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SA");
+        assert_eq!((TcpFlags::FIN | TcpFlags::RST).to_string(), "FR");
+    }
+
+    #[test]
+    fn flag_count() {
+        assert_eq!(TcpFlags::SYN.count(), 1);
+        assert_eq!(TcpFlags::PSH_ACK.count(), 2);
+        assert_eq!(TcpFlags::default().count(), 0);
+    }
+
+    #[test]
+    fn rejects_short_and_bad_offset() {
+        assert!(TcpSegment::new_checked(&[0u8; 10][..]).is_err());
+        let mut buf = segment(b"", TcpFlags::SYN);
+        buf[12] = 0x10; // offset 4 bytes
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+    }
+}

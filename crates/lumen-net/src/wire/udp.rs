@@ -1,0 +1,175 @@
+//! UDP datagrams (RFC 768).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::{NetError, Result};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A read/write wrapper over a UDP datagram buffer (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> UdpDatagram<T> {
+        UdpDatagram { buffer }
+    }
+
+    /// Wraps a buffer, validating the length field.
+    pub fn new_checked(buffer: T) -> Result<UdpDatagram<T>> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(NetError::Truncated);
+        }
+        let dgram = UdpDatagram { buffer };
+        let wire_len = dgram.length() as usize;
+        if wire_len < HEADER_LEN || wire_len > len {
+            return Err(NetError::Malformed("udp length"));
+        }
+        Ok(dgram)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[6], self.b()[7]])
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        let end = (self.length() as usize).min(self.b().len());
+        &self.b()[HEADER_LEN..end.max(HEADER_LEN)]
+    }
+
+    /// Verifies the checksum against an IPv4 pseudo-header. A zero wire
+    /// checksum means "not computed" and verifies trivially (RFC 768).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let wire_len = self.length() as usize;
+        checksum::pseudo_ipv4(src, dst, super::ipv4::protocol::UDP, &self.b()[..wire_len]) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        self.m()[0..2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        self.m()[2..4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_length(&mut self, v: u16) {
+        self.m()[4..6].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Recomputes and stores the checksum (mapping 0 to 0xFFFF per RFC 768).
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.m()[6..8].copy_from_slice(&[0, 0]);
+        let wire_len = self.length() as usize;
+        let ck = checksum::pseudo_ipv4(src, dst, super::ipv4::protocol::UDP, &self.b()[..wire_len]);
+        let ck = if ck == 0 { 0xFFFF } else { ck };
+        self.m()[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.m()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 5);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+
+    fn dgram(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let total = buf.len() as u16;
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(5353);
+        d.set_dst_port(53);
+        d.set_length(total);
+        d.payload_mut().copy_from_slice(payload);
+        d.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = dgram(b"query");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5353);
+        assert_eq!(d.dst_port(), 53);
+        assert_eq!(d.length() as usize, buf.len());
+        assert_eq!(d.payload(), b"query");
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut buf = dgram(b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = dgram(b"abc");
+        buf[9] ^= 0xFF;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = dgram(b"abc");
+        buf[4] = 0xFF;
+        buf[5] = 0xFF;
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            NetError::Truncated
+        );
+    }
+}

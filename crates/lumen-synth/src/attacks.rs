@@ -1,0 +1,1121 @@
+//! Attack traffic generators — one per [`crate::AttackKind`].
+//!
+//! Intensities, timing regimes, and address behaviours follow the published
+//! descriptions of each attack family: floods are high-rate and asymmetric,
+//! scans sweep ports/hosts with rejected handshakes, brute force is a train
+//! of short failed sessions, Mirai mixes telnet scanning with C2 heartbeats,
+//! Torii is deliberately low-and-slow with high-entropy payloads (which is
+//! why the paper's F5/Torii dataset resists cross-dataset generalization).
+
+use lumen_net::builder::{self, payloads, TcpParams, UdpParams};
+use lumen_net::wire::arp::ArpOperation;
+use lumen_net::wire::tcp::TcpFlags;
+use lumen_net::{CapturedPacket, MacAddr};
+use lumen_util::Rng;
+
+use crate::network::{Endpoint, NetworkEnv};
+use crate::session::{tcp_conversation, Exchange, TcpConv, Teardown};
+use crate::{AttackKind, Label, LabeledPacket};
+
+fn random_bytes(rng: &mut Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// TCP SYN flood: `rate_pps` spoofed SYNs per second at `victim:port`.
+/// Sources rotate through spoofed external addresses and ports; the victim
+/// answers only a fraction (backlog exhaustion).
+pub fn syn_flood(
+    env: &NetworkEnv,
+    victim: Endpoint,
+    victim_port: u16,
+    start_us: u64,
+    duration_us: u64,
+    rate_pps: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::SynFlood);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let src = env.external(rng);
+        let sport = 1024 + rng.below(60000) as u16;
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                builder::tcp_packet(TcpParams {
+                    src_mac: env.gateway.mac, // enters via the gateway
+                    dst_mac: victim.mac,
+                    src_ip: src.ip,
+                    dst_ip: victim.ip,
+                    src_port: sport,
+                    dst_port: victim_port,
+                    seq: rng.next_u64() as u32,
+                    ack: 0,
+                    flags: TcpFlags::SYN,
+                    window: 512,
+                    ttl: 40 + rng.below(30) as u8,
+                    payload: &[],
+                }),
+            ),
+            label,
+        });
+        if rng.chance(0.1) {
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t + 200 + rng.below(500),
+                    builder::tcp_packet(TcpParams {
+                        src_mac: victim.mac,
+                        dst_mac: env.gateway.mac,
+                        src_ip: victim.ip,
+                        dst_ip: src.ip,
+                        src_port: victim_port,
+                        dst_port: sport,
+                        seq: rng.next_u64() as u32,
+                        ack: 1,
+                        flags: TcpFlags::SYN_ACK,
+                        window: 29200,
+                        ttl: env.local_ttl,
+                        payload: &[],
+                    }),
+                ),
+                label,
+            });
+        }
+        t += rng.exponential(rate_pps).max(1e-6).mul_add(1e6, 1.0) as u64;
+    }
+    out
+}
+
+/// UDP flood at random high ports with random payload sizes; the victim
+/// occasionally answers with ICMP port-unreachable.
+pub fn udp_flood(
+    env: &NetworkEnv,
+    victim: Endpoint,
+    start_us: u64,
+    duration_us: u64,
+    rate_pps: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::UdpFlood);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let src = env.external(rng);
+        let len = rng.range(64, 1200);
+        let payload = random_bytes(rng, len);
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                builder::udp_packet(UdpParams {
+                    src_mac: env.gateway.mac,
+                    dst_mac: victim.mac,
+                    src_ip: src.ip,
+                    dst_ip: victim.ip,
+                    src_port: 1024 + rng.below(60000) as u16,
+                    dst_port: 1024 + rng.below(60000) as u16,
+                    ttl: 38 + rng.below(30) as u8,
+                    payload: &payload,
+                }),
+            ),
+            label,
+        });
+        if rng.chance(0.05) {
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t + 300,
+                    builder::icmp_echo(
+                        victim.mac,
+                        env.gateway.mac,
+                        victim.ip,
+                        src.ip,
+                        true,
+                        3,
+                        3,
+                        &payload[..payload.len().min(28)],
+                    ),
+                ),
+                label,
+            });
+        }
+        t += rng.exponential(rate_pps).max(1e-6).mul_add(1e6, 1.0) as u64;
+    }
+    out
+}
+
+/// HTTP flood in the Hulk style: rapid short keep-alive GET sessions with
+/// randomized cache-busting paths from a handful of attack hosts.
+pub fn dos_hulk(
+    env: &NetworkEnv,
+    victim: Endpoint,
+    start_us: u64,
+    duration_us: u64,
+    sessions_per_sec: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::DosHulk);
+    let attackers: Vec<Endpoint> = (0..4).map(|_| env.external(rng)).collect();
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let atk = *rng.choose(&attackers);
+        let path = format!(
+            "/?{:08x}={:08x}",
+            rng.next_u64() as u32,
+            rng.next_u64() as u32
+        );
+        let req = payloads::http_get("victim.local", &path);
+        let resp = payloads::http_ok(rng.range(200, 900), b'E');
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: t,
+                client: Endpoint {
+                    mac: env.gateway.mac,
+                    ip: atk.ip,
+                },
+                server: victim,
+                client_port: 1024 + rng.below(60000) as u16,
+                server_port: 80,
+                client_ttl: 44 + rng.below(20) as u8,
+                server_ttl: env.local_ttl,
+                exchanges: &[Exchange::c2s(req, 300), Exchange::s2c(resp, 800)],
+                teardown: Teardown::Fin,
+                rtt_us: 2_000,
+                label,
+            },
+            rng,
+        );
+        out.extend(pkts);
+        t += rng
+            .exponential(sessions_per_sec)
+            .max(1e-6)
+            .mul_add(1e6, 1.0) as u64;
+    }
+    out
+}
+
+/// Slowloris: `n_conns` connections that trickle partial header lines on
+/// long gaps, holding server slots open.
+pub fn dos_slowloris(
+    env: &NetworkEnv,
+    victim: Endpoint,
+    start_us: u64,
+    duration_us: u64,
+    n_conns: usize,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::DosSlowloris);
+    let attacker = env.external(rng);
+    let mut out = Vec::new();
+    for c in 0..n_conns {
+        let mut exchanges = vec![Exchange::c2s(
+            b"GET / HTTP/1.1\r\nHost: victim.local\r\n".to_vec(),
+            1_000,
+        )];
+        let mut elapsed = 0u64;
+        while elapsed < duration_us {
+            let gap = 8_000_000 + rng.below(6_000_000);
+            elapsed += gap;
+            exchanges.push(Exchange::c2s(
+                format!("X-a{}: {}\r\n", rng.below(9999), rng.below(9999)).into_bytes(),
+                gap,
+            ));
+        }
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: start_us + rng.below(2_000_000),
+                client: Endpoint {
+                    mac: env.gateway.mac,
+                    ip: attacker.ip,
+                },
+                server: victim,
+                client_port: 20000 + c as u16,
+                server_port: 80,
+                client_ttl: 50,
+                server_ttl: env.local_ttl,
+                exchanges: &exchanges,
+                teardown: Teardown::None,
+                rtt_us: 40_000,
+                label,
+            },
+            rng,
+        );
+        out.extend(pkts);
+    }
+    out
+}
+
+/// GoldenEye-style HTTP flood: keep-alive POST bursts with random form data.
+pub fn dos_goldeneye(
+    env: &NetworkEnv,
+    victim: Endpoint,
+    start_us: u64,
+    duration_us: u64,
+    sessions_per_sec: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::DosGoldenEye);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let atk = env.external(rng);
+        let mut exchanges = Vec::new();
+        // A burst of POSTs within one keep-alive connection.
+        for _ in 0..rng.range(2, 6) {
+            let body = format!("q={:x}&r={:x}", rng.next_u64(), rng.next_u64());
+            exchanges.push(Exchange::c2s(
+                payloads::http_post("victim.local", "/login", &body),
+                rng.below(3_000) + 200,
+            ));
+            exchanges.push(Exchange::s2c(payloads::http_ok(150, b'G'), 700));
+        }
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: t,
+                client: Endpoint {
+                    mac: env.gateway.mac,
+                    ip: atk.ip,
+                },
+                server: victim,
+                client_port: 1024 + rng.below(60000) as u16,
+                server_port: 80,
+                client_ttl: 47,
+                server_ttl: env.local_ttl,
+                exchanges: &exchanges,
+                teardown: Teardown::ClientRst,
+                rtt_us: 3_000,
+                label,
+            },
+            rng,
+        );
+        out.extend(pkts);
+        t += rng
+            .exponential(sessions_per_sec)
+            .max(1e-6)
+            .mul_add(1e6, 1.0) as u64;
+    }
+    out
+}
+
+/// Reflection/amplification DDoS. Spoofed small requests (src = victim) go
+/// to external reflectors; large responses converge on the victim.
+pub fn amplification(
+    env: &NetworkEnv,
+    kind: AttackKind,
+    victim: Endpoint,
+    start_us: u64,
+    duration_us: u64,
+    rate_pps: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    assert!(matches!(
+        kind,
+        AttackKind::AmplificationNtp | AttackKind::AmplificationSsdp
+    ));
+    let label = Label::attack(kind);
+    let reflectors: Vec<Endpoint> = (0..8).map(|_| env.external(rng)).collect();
+    let (port, req, resp_len_range) = match kind {
+        AttackKind::AmplificationNtp => (123u16, payloads::ntp_monlist_response(8), (440, 482)),
+        _ => (1900u16, payloads::ssdp_msearch(), (300, 1400)),
+    };
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let refl = *rng.choose(&reflectors);
+        // Spoofed request leaving through the gateway (appears src=victim).
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                builder::udp_packet(UdpParams {
+                    src_mac: victim.mac,
+                    dst_mac: env.gateway.mac,
+                    src_ip: victim.ip,
+                    dst_ip: refl.ip,
+                    src_port: env.ephemeral_port(rng),
+                    dst_port: port,
+                    ttl: env.local_ttl,
+                    payload: &req,
+                }),
+            ),
+            label,
+        });
+        // Amplified response back at the victim.
+        let resp = match kind {
+            AttackKind::AmplificationNtp => {
+                payloads::ntp_monlist_response(rng.range(resp_len_range.0, resp_len_range.1))
+            }
+            _ => payloads::http_ok(rng.range(resp_len_range.0, resp_len_range.1), b'S'),
+        };
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t + 400 + rng.below(2_000),
+                builder::udp_packet(UdpParams {
+                    src_mac: env.gateway.mac,
+                    dst_mac: victim.mac,
+                    src_ip: refl.ip,
+                    dst_ip: victim.ip,
+                    src_port: port,
+                    dst_port: env.ephemeral_port(rng),
+                    ttl: 30 + rng.below(30) as u8,
+                    payload: &resp,
+                }),
+            ),
+            label,
+        });
+        t += rng.exponential(rate_pps).max(1e-6).mul_add(1e6, 1.0) as u64;
+    }
+    out
+}
+
+/// SYN port scan: one attacker sweeps `ports_per_host` ports on every LAN
+/// device; open ports (rare) answer SYN-ACK, closed ones RST.
+pub fn port_scan(
+    env: &NetworkEnv,
+    attacker: Endpoint,
+    start_us: u64,
+    ports_per_host: u16,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::PortScan);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    for dev in &env.devices {
+        for p in 0..ports_per_host {
+            let port = 1 + (p * 13) % 10000;
+            let sport = 40000 + rng.below(20000) as u16;
+            let seq = rng.next_u64() as u32;
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t,
+                    builder::tcp_packet(TcpParams {
+                        src_mac: attacker.mac,
+                        dst_mac: dev.mac,
+                        src_ip: attacker.ip,
+                        dst_ip: dev.ip,
+                        src_port: sport,
+                        dst_port: port,
+                        seq,
+                        ack: 0,
+                        flags: TcpFlags::SYN,
+                        window: 1024,
+                        ttl: env.local_ttl,
+                        payload: &[],
+                    }),
+                ),
+                label,
+            });
+            let open = rng.chance(0.03);
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t + 150 + rng.below(400),
+                    builder::tcp_packet(TcpParams {
+                        src_mac: dev.mac,
+                        dst_mac: attacker.mac,
+                        src_ip: dev.ip,
+                        dst_ip: attacker.ip,
+                        src_port: port,
+                        dst_port: sport,
+                        seq: rng.next_u64() as u32,
+                        ack: seq.wrapping_add(1),
+                        flags: if open {
+                            TcpFlags::SYN_ACK
+                        } else {
+                            TcpFlags::RST | TcpFlags::ACK
+                        },
+                        window: 0,
+                        ttl: env.local_ttl,
+                        payload: &[],
+                    }),
+                ),
+                label,
+            });
+            t += 800 + rng.below(2_500);
+        }
+    }
+    out
+}
+
+/// Credential brute force against FTP/SSH/Telnet: a train of short sessions,
+/// each a banner, an attempt, a rejection, and an abort.
+#[allow(clippy::too_many_arguments)] // attack knobs are genuinely independent
+pub fn brute_force(
+    env: &NetworkEnv,
+    kind: AttackKind,
+    attacker: Endpoint,
+    victim: Endpoint,
+    start_us: u64,
+    attempts: usize,
+    period_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let (port, banner): (u16, &[u8]) = match kind {
+        AttackKind::BruteForceFtp => (21, b"220 FTP ready\r\n"),
+        AttackKind::BruteForceSsh => (22, b"SSH-2.0-OpenSSH_7.4\r\n"),
+        _ => (23, b"login: "),
+    };
+    let label = Label::attack(kind);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    for i in 0..attempts {
+        let cred = format!("user{i}:pw{:04}\r\n", rng.below(10000));
+        let exchanges = [
+            Exchange::s2c(banner.to_vec(), 2_000),
+            Exchange::c2s(cred.into_bytes(), rng.below(40_000) + 5_000),
+            Exchange::s2c(b"530 Login incorrect\r\n".to_vec(), 3_000),
+        ];
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: t,
+                client: attacker,
+                server: victim,
+                client_port: env.ephemeral_port(rng),
+                server_port: port,
+                client_ttl: if env.is_local(attacker.ip) {
+                    env.local_ttl
+                } else {
+                    49
+                },
+                server_ttl: env.local_ttl,
+                exchanges: &exchanges,
+                teardown: if rng.chance(0.6) {
+                    Teardown::ClientRst
+                } else {
+                    Teardown::Fin
+                },
+                rtt_us: 6_000,
+                label,
+            },
+            rng,
+        );
+        out.extend(pkts);
+        t += (period_us as f64 * (0.6 + 0.8 * rng.f64())) as u64;
+    }
+    out
+}
+
+/// Mirai: infected LAN devices (a) scan external space on 23/2323, (b) send
+/// periodic C2 heartbeats, (c) occasionally burst a short flood.
+pub fn mirai(
+    env: &NetworkEnv,
+    bot_indices: &[usize],
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::BotnetMirai);
+    let c2 = env.external(rng);
+    let mut out = Vec::new();
+    for &b in bot_indices {
+        let bot = env.device(b);
+        // Telnet scanning.
+        let mut t = start_us + rng.below(500_000);
+        let end = start_us + duration_us;
+        while t < end {
+            let target = env.external(rng);
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t,
+                    builder::tcp_packet(TcpParams {
+                        src_mac: bot.mac,
+                        dst_mac: env.gateway.mac,
+                        src_ip: bot.ip,
+                        dst_ip: target.ip,
+                        src_port: env.ephemeral_port(rng),
+                        dst_port: if rng.chance(0.8) { 23 } else { 2323 },
+                        seq: rng.next_u64() as u32,
+                        ack: 0,
+                        flags: TcpFlags::SYN,
+                        window: 14600,
+                        ttl: env.local_ttl,
+                        payload: &[],
+                    }),
+                ),
+                label,
+            });
+            t += 20_000 + rng.below(120_000);
+        }
+        // C2 heartbeats: small periodic exchanges.
+        let mut t = start_us + rng.below(2_000_000);
+        while t < end {
+            let (pkts, _) = tcp_conversation(
+                TcpConv {
+                    start_us: t,
+                    client: bot,
+                    server: Endpoint {
+                        mac: env.gateway.mac,
+                        ip: c2.ip,
+                    },
+                    client_port: env.ephemeral_port(rng),
+                    server_port: 48101,
+                    client_ttl: env.local_ttl,
+                    server_ttl: 46,
+                    exchanges: &[
+                        Exchange::c2s(random_bytes(rng, 16), 1_000),
+                        Exchange::s2c(random_bytes(rng, 8), 4_000),
+                    ],
+                    teardown: Teardown::Fin,
+                    rtt_us: 60_000,
+                    label,
+                },
+                rng,
+            );
+            out.extend(pkts);
+            t += 10_000_000 + rng.below(10_000_000);
+        }
+    }
+    out
+}
+
+/// Torii: a single compromised device, long-lived encrypted-looking C2 over
+/// an unusual TLS port, tiny volume, very long gaps. Deliberately the
+/// stealthiest generator — the paper's F5 dataset (CTU Torii) behaves unlike
+/// every other dataset, and this is why.
+pub fn torii(
+    env: &NetworkEnv,
+    bot_index: usize,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::BotnetTorii);
+    let bot = env.device(bot_index);
+    let c2 = env.external(rng);
+    let mut exchanges = Vec::new();
+    let mut elapsed = 0u64;
+    // TLS-looking record sizes, long think times.
+    exchanges.push(Exchange::c2s(random_bytes(rng, 517), 1_000)); // client hello
+    let hello_len = rng.range(1200, 1400);
+    exchanges.push(Exchange::s2c(random_bytes(rng, hello_len), 30_000));
+    while elapsed < duration_us {
+        let gap = 20_000_000 + rng.below(40_000_000);
+        elapsed += gap;
+        let up_len = rng.range(80, 200);
+        exchanges.push(Exchange::c2s(random_bytes(rng, up_len), gap));
+        let down_len = rng.range(80, 300);
+        exchanges.push(Exchange::s2c(random_bytes(rng, down_len), 50_000));
+    }
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: bot,
+            server: Endpoint {
+                mac: env.gateway.mac,
+                ip: c2.ip,
+            },
+            client_port: env.ephemeral_port(rng),
+            server_port: 995,
+            client_ttl: env.local_ttl,
+            server_ttl: 44,
+            exchanges: &exchanges,
+            teardown: Teardown::None,
+            rtt_us: 90_000,
+            label,
+        },
+        rng,
+    )
+    .0
+}
+
+/// Web attacks: HTTP requests with injection payloads against a local admin
+/// interface.
+pub fn web_attack(
+    env: &NetworkEnv,
+    victim: Endpoint,
+    start_us: u64,
+    attempts: usize,
+    period_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    const INJECTIONS: [&str; 4] = [
+        "username=admin'--&password=x",
+        "q=%3Cscript%3Ealert(1)%3C/script%3E",
+        "id=1+UNION+SELECT+password+FROM+users",
+        "file=../../../../etc/passwd",
+    ];
+    let label = Label::attack(AttackKind::WebAttack);
+    let attacker = env.external(rng);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    for _ in 0..attempts {
+        let body = *rng.choose(&INJECTIONS);
+        let exchanges = [
+            Exchange::c2s(
+                payloads::http_post("device.local", "/cgi-bin/admin", body),
+                2_000,
+            ),
+            Exchange::s2c(payloads::http_ok(rng.range(100, 400), b'<'), 9_000),
+        ];
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: t,
+                client: Endpoint {
+                    mac: env.gateway.mac,
+                    ip: attacker.ip,
+                },
+                server: victim,
+                client_port: env.ephemeral_port(rng),
+                server_port: 80,
+                client_ttl: 51,
+                server_ttl: env.local_ttl,
+                exchanges: &exchanges,
+                teardown: Teardown::Fin,
+                rtt_us: 35_000,
+                label,
+            },
+            rng,
+        );
+        out.extend(pkts);
+        t += (period_us as f64 * (0.5 + rng.f64())) as u64;
+    }
+    out
+}
+
+/// Infiltration/exfiltration: a compromised device uploads a large volume to
+/// an external drop server over one long session.
+pub fn infiltration(
+    env: &NetworkEnv,
+    device_idx: usize,
+    start_us: u64,
+    total_bytes: usize,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::Infiltration);
+    let drop = env.external(rng);
+    let mut exchanges = Vec::new();
+    let mut sent = 0usize;
+    while sent < total_bytes {
+        let chunk = rng.range(900, 1400);
+        exchanges.push(Exchange::c2s(
+            random_bytes(rng, chunk),
+            5_000 + rng.below(30_000),
+        ));
+        sent += chunk;
+    }
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: env.device(device_idx),
+            server: Endpoint {
+                mac: env.gateway.mac,
+                ip: drop.ip,
+            },
+            client_port: env.ephemeral_port(rng),
+            server_port: 8443,
+            client_ttl: env.local_ttl,
+            server_ttl: 43,
+            exchanges: &exchanges,
+            teardown: Teardown::Fin,
+            rtt_us: 70_000,
+            label,
+        },
+        rng,
+    )
+    .0
+}
+
+/// ARP man-in-the-middle: gratuitous replies claiming the gateway's IP with
+/// the attacker's MAC, refreshed aggressively.
+pub fn arp_mitm(
+    env: &NetworkEnv,
+    attacker_mac: MacAddr,
+    victim_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::ArpMitm);
+    let victim = env.device(victim_idx);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        // Poison the victim's view of the gateway.
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                builder::arp_packet(
+                    attacker_mac,
+                    env.gateway.ip,
+                    victim.mac,
+                    victim.ip,
+                    ArpOperation::Reply,
+                ),
+            ),
+            label,
+        });
+        // And the gateway's view of the victim.
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t + 500 + rng.below(1_000),
+                builder::arp_packet(
+                    attacker_mac,
+                    victim.ip,
+                    env.gateway.mac,
+                    env.gateway.ip,
+                    ArpOperation::Reply,
+                ),
+            ),
+            label,
+        });
+        t += 900_000 + rng.below(400_000);
+    }
+    out
+}
+
+// --- 802.11 wireless (AWID3-style) -----------------------------------------
+
+/// Benign Wi-Fi backdrop: AP beacons plus station data frames.
+pub fn wifi_benign(
+    ap: MacAddr,
+    stations: &[MacAddr],
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut out = Vec::new();
+    let mut seq = 0u16;
+    // Beacons every ~102.4 ms.
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(t, builder::dot11_beacon(ap, b"HomeNet", seq)),
+            label: Label::BENIGN,
+        });
+        seq = seq.wrapping_add(1) & 0x0FFF;
+        t += 102_400;
+    }
+    // Station data.
+    for &sta in stations {
+        let mut t = start_us + rng.below(50_000);
+        let mut sseq = rng.below(4000) as u16;
+        while t < end {
+            let body_len = rng.range(60, 800);
+            let body = random_bytes(rng, body_len);
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(t, builder::dot11_data(sta, ap, ap, sseq, &body)),
+                label: Label::BENIGN,
+            });
+            if rng.chance(0.6) {
+                out.push(LabeledPacket {
+                    packet: CapturedPacket::new(
+                        t + 2_000 + rng.below(3_000),
+                        builder::dot11_data(ap, sta, ap, seq, &{
+                            let l = rng.range(60, 1200);
+                            random_bytes(rng, l)
+                        }),
+                    ),
+                    label: Label::BENIGN,
+                });
+                seq = seq.wrapping_add(1) & 0x0FFF;
+            }
+            sseq = sseq.wrapping_add(1) & 0x0FFF;
+            t += 20_000 + rng.below(150_000);
+        }
+    }
+    out
+}
+
+/// Deauthentication flood: spoofed deauth frames at every station.
+pub fn wifi_deauth(
+    ap: MacAddr,
+    stations: &[MacAddr],
+    start_us: u64,
+    duration_us: u64,
+    rate_pps: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::WifiDeauth);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let mut seq = 0u16;
+    let end = start_us + duration_us;
+    while t < end {
+        let victim = *rng.choose(stations);
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(t, builder::dot11_deauth(victim, ap, 7, seq)),
+            label,
+        });
+        seq = seq.wrapping_add(1) & 0x0FFF;
+        t += rng.exponential(rate_pps).max(1e-6).mul_add(1e6, 1.0) as u64;
+    }
+    out
+}
+
+/// Evil twin: a rogue AP beaconing the same SSID from a different BSSID and
+/// luring station traffic.
+pub fn wifi_eviltwin(
+    rogue: MacAddr,
+    stations: &[MacAddr],
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::WifiEvilTwin);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let mut seq = 0u16;
+    let end = start_us + duration_us;
+    while t < end {
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(t, builder::dot11_beacon(rogue, b"HomeNet", seq)),
+            label,
+        });
+        seq = seq.wrapping_add(1) & 0x0FFF;
+        // Lured station traffic through the rogue AP.
+        if rng.chance(0.5) {
+            let sta = *rng.choose(stations);
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t + 5_000 + rng.below(20_000),
+                    builder::dot11_data(sta, rogue, rogue, seq, &{
+                        let l = rng.range(80, 600);
+                        random_bytes(rng, l)
+                    }),
+                ),
+                label,
+            });
+        }
+        t += 102_400;
+    }
+    out
+}
+
+/// KRACK-style replay: bursts of duplicated data frames (repeated sequence
+/// numbers) from the AP toward one station.
+pub fn wifi_krack(
+    ap: MacAddr,
+    victim: MacAddr,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let label = Label::attack(AttackKind::WifiKrack);
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let seq = rng.below(4096) as u16;
+        let body_len = rng.range(100, 400);
+        let body = random_bytes(rng, body_len);
+        // The same frame replayed several times in quick succession.
+        for r in 0..rng.range(3, 6) {
+            out.push(LabeledPacket {
+                packet: CapturedPacket::new(
+                    t + (r as u64) * 800,
+                    builder::dot11_data(ap, victim, ap, seq, &body),
+                ),
+                label,
+            });
+        }
+        t += 400_000 + rng.below(800_000);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::wire::dot11::{subtype, Dot11Type};
+    use lumen_net::{LinkType, PacketMeta};
+
+    fn env(seed: u64) -> (NetworkEnv, Rng) {
+        let mut rng = Rng::new(seed);
+        let e = NetworkEnv::new([192, 168, 9], 5, 3, &mut rng);
+        (e, rng)
+    }
+
+    fn parse_eth(pkts: &[LabeledPacket]) -> Vec<PacketMeta> {
+        pkts.iter()
+            .map(|lp| {
+                PacketMeta::parse(LinkType::Ethernet, lp.packet.ts_us, &lp.packet.data).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn syn_flood_is_mostly_one_directional_syns() {
+        let (e, mut rng) = env(1);
+        let victim = e.device(0);
+        let pkts = syn_flood(&e, victim, 80, 0, 2_000_000, 500.0, &mut rng);
+        assert!(pkts.len() > 500, "got {}", pkts.len());
+        let metas = parse_eth(&pkts);
+        let syns = metas
+            .iter()
+            .filter(|m| m.transport.tcp_flags().is_some_and(|f| f.syn() && !f.ack()))
+            .count();
+        assert!(syns as f64 / metas.len() as f64 > 0.85);
+        assert!(pkts
+            .iter()
+            .all(|p| p.label.attack == Some(AttackKind::SynFlood)));
+    }
+
+    #[test]
+    fn udp_flood_targets_victim() {
+        let (e, mut rng) = env(2);
+        let victim = e.device(1);
+        let pkts = udp_flood(&e, victim, 0, 1_000_000, 400.0, &mut rng);
+        let metas = parse_eth(&pkts);
+        let at_victim = metas
+            .iter()
+            .filter(|m| m.ipv4.as_ref().is_some_and(|ip| ip.dst == victim.ip))
+            .count();
+        assert!(at_victim as f64 / metas.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn port_scan_sweeps_all_devices() {
+        let (e, mut rng) = env(3);
+        let attacker = Endpoint::new(std::net::Ipv4Addr::new(192, 168, 9, 66));
+        let pkts = port_scan(&e, attacker, 0, 20, &mut rng);
+        let metas = parse_eth(&pkts);
+        let mut dsts: Vec<_> = metas
+            .iter()
+            .filter_map(|m| m.ipv4.as_ref())
+            .filter(|ip| ip.src == attacker.ip)
+            .map(|ip| ip.dst)
+            .collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), e.devices.len());
+    }
+
+    #[test]
+    fn brute_force_hits_service_port() {
+        let (e, mut rng) = env(4);
+        let attacker = e.external(&mut rng);
+        let atk = Endpoint {
+            mac: e.gateway.mac,
+            ip: attacker.ip,
+        };
+        let pkts = brute_force(
+            &e,
+            AttackKind::BruteForceSsh,
+            atk,
+            e.device(0),
+            0,
+            10,
+            500_000,
+            &mut rng,
+        );
+        let metas = parse_eth(&pkts);
+        assert!(metas
+            .iter()
+            .filter_map(|m| m.transport.dst_port())
+            .any(|p| p == 22));
+    }
+
+    #[test]
+    fn torii_is_low_and_slow_with_high_entropy() {
+        let (e, mut rng) = env(5);
+        let pkts = torii(&e, 0, 0, 120_000_000, &mut rng);
+        // Low volume over two minutes.
+        assert!(pkts.len() < 120, "torii too chatty: {}", pkts.len());
+        let metas = parse_eth(&pkts);
+        let payloads: Vec<&PacketMeta> = metas.iter().filter(|m| m.payload_len > 64).collect();
+        assert!(!payloads.is_empty());
+        for m in payloads {
+            assert!(lumen_util::entropy::byte_entropy(&m.payload) > 5.0);
+        }
+    }
+
+    #[test]
+    fn mirai_scans_telnet_ports() {
+        let (e, mut rng) = env(6);
+        let pkts = mirai(&e, &[0, 1], 0, 5_000_000, &mut rng);
+        let metas = parse_eth(&pkts);
+        let telnet = metas
+            .iter()
+            .filter_map(|m| m.transport.dst_port())
+            .filter(|&p| p == 23 || p == 2323)
+            .count();
+        assert!(telnet > 20, "telnet SYNs {telnet}");
+    }
+
+    #[test]
+    fn arp_mitm_claims_gateway_ip_with_wrong_mac() {
+        let (e, mut rng) = env(7);
+        let attacker_mac = MacAddr::from_id(0xBAD);
+        let pkts = arp_mitm(&e, attacker_mac, 0, 0, 5_000_000, &mut rng);
+        let metas = parse_eth(&pkts);
+        let spoofed = metas
+            .iter()
+            .filter_map(|m| m.arp.as_ref())
+            .filter(|a| a.sender_ip == e.gateway.ip && a.sender_mac != e.gateway.mac)
+            .count();
+        assert!(spoofed >= 4);
+    }
+
+    #[test]
+    fn wifi_deauth_parses_on_dot11_link() {
+        let mut rng = Rng::new(8);
+        let ap = MacAddr::from_id(1);
+        let stas = [MacAddr::from_id(2), MacAddr::from_id(3)];
+        let pkts = wifi_deauth(ap, &stas, 0, 1_000_000, 200.0, &mut rng);
+        assert!(pkts.len() > 50);
+        for lp in &pkts {
+            let m = PacketMeta::parse(LinkType::Ieee80211, 0, &lp.packet.data).unwrap();
+            let d = m.dot11.unwrap();
+            assert_eq!(d.subtype, subtype::DEAUTHENTICATION);
+            assert_eq!(d.frame_type, Dot11Type::Management);
+        }
+    }
+
+    #[test]
+    fn krack_replays_sequence_numbers() {
+        let mut rng = Rng::new(9);
+        let pkts = wifi_krack(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            0,
+            2_000_000,
+            &mut rng,
+        );
+        let seqs: Vec<u16> = pkts
+            .iter()
+            .map(|lp| {
+                PacketMeta::parse(LinkType::Ieee80211, 0, &lp.packet.data)
+                    .unwrap()
+                    .dot11
+                    .unwrap()
+                    .sequence
+            })
+            .collect();
+        // Replay means duplicates.
+        let mut uniq = seqs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() < seqs.len());
+    }
+
+    #[test]
+    fn amplification_responses_dwarf_requests() {
+        let (e, mut rng) = env(10);
+        let victim = e.device(2);
+        let pkts = amplification(
+            &e,
+            AttackKind::AmplificationNtp,
+            victim,
+            0,
+            1_000_000,
+            100.0,
+            &mut rng,
+        );
+        let metas = parse_eth(&pkts);
+        let to_victim: u64 = metas
+            .iter()
+            .filter(|m| m.ipv4.as_ref().is_some_and(|ip| ip.dst == victim.ip))
+            .map(|m| u64::from(m.wire_len))
+            .sum();
+        let from_victim: u64 = metas
+            .iter()
+            .filter(|m| m.ipv4.as_ref().is_some_and(|ip| ip.src == victim.ip))
+            .map(|m| u64::from(m.wire_len))
+            .sum();
+        assert!(to_victim > from_victim * 3, "amplification factor too low");
+    }
+}

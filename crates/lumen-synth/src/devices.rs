@@ -1,0 +1,773 @@
+//! Benign IoT device behaviour models.
+//!
+//! Each generator emits the labeled packets one device produces over a time
+//! window. The behaviours mirror what the public datasets' benign portions
+//! contain: camera video streams, MQTT telemetry, HTTP cloud polling, DNS
+//! lookups, NTP sync, and background ARP chatter. IoT traffic is *regular* —
+//! that regularity is exactly what anomaly detectors learn.
+
+use lumen_net::builder::{self, payloads};
+use lumen_net::wire::arp::ArpOperation;
+use lumen_net::CapturedPacket;
+use lumen_util::Rng;
+
+use crate::network::NetworkEnv;
+use crate::session::{tcp_conversation, udp_exchange, Exchange, TcpConv, Teardown};
+use crate::{Label, LabeledPacket};
+
+/// A security camera streaming video to a cloud relay over one long-lived
+/// TCP connection: server-bound frames every ~33 ms with size jitter, plus
+/// sparse keepalives from the relay.
+pub fn camera_stream(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut exchanges = Vec::new();
+    let mut elapsed = 0u64;
+    let frame_gap = 33_000u64;
+    while elapsed < duration_us {
+        let gap = (frame_gap as f64 * (0.8 + 0.4 * rng.f64())) as u64;
+        elapsed += gap;
+        // I-frames are large, P-frames small.
+        let size = if rng.chance(0.1) {
+            rng.range(900, 1400)
+        } else {
+            rng.range(300, 700)
+        };
+        exchanges.push(Exchange::c2s(vec![0xA5; size], gap));
+        if rng.chance(0.02) {
+            exchanges.push(Exchange::s2c(b"KA".to_vec(), 500));
+        }
+    }
+    let port = env.ephemeral_port(rng);
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: env.device(device_idx),
+            server: env.cloud_server(cloud_idx),
+            client_port: port,
+            server_port: 8554,
+            client_ttl: env.local_ttl,
+            server_ttl: env.remote_ttl,
+            exchanges: &exchanges,
+            teardown: Teardown::None,
+            rtt_us: 24_000,
+            label: Label::BENIGN,
+        },
+        rng,
+    )
+    .0
+}
+
+/// An MQTT telemetry sensor: one long-lived broker connection with CONNECT
+/// then periodic small PUBLISHes (temperature-style payloads).
+pub fn mqtt_sensor(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    period_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut exchanges = vec![Exchange::c2s(
+        payloads::mqtt_connect(&format!("sensor-{device_idx}")),
+        1_000,
+    )];
+    let mut elapsed = 0u64;
+    while elapsed < duration_us {
+        let gap = (period_us as f64 * (0.9 + 0.2 * rng.f64())) as u64;
+        elapsed += gap;
+        let reading = format!("{:.1}", 18.0 + 6.0 * rng.f64());
+        exchanges.push(Exchange::c2s(
+            payloads::mqtt_publish("home/telemetry", reading.as_bytes()),
+            gap,
+        ));
+    }
+    let port = env.ephemeral_port(rng);
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: env.device(device_idx),
+            server: env.cloud_server(cloud_idx),
+            client_port: port,
+            server_port: 1883,
+            client_ttl: env.local_ttl,
+            server_ttl: env.remote_ttl,
+            exchanges: &exchanges,
+            teardown: Teardown::None,
+            rtt_us: 30_000,
+            label: Label::BENIGN,
+        },
+        rng,
+    )
+    .0
+}
+
+/// A smart plug polling its cloud API: short HTTP GET sessions on a period.
+pub fn http_poller(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    period_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let req = payloads::http_get("api.plug.example", "/v1/state");
+        let resp = payloads::http_ok(rng.range(120, 600), b'{');
+        let port = env.ephemeral_port(rng);
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: t,
+                client: env.device(device_idx),
+                server: env.cloud_server(cloud_idx),
+                client_port: port,
+                server_port: 80,
+                client_ttl: env.local_ttl,
+                server_ttl: env.remote_ttl,
+                exchanges: &[Exchange::c2s(req, 2_000), Exchange::s2c(resp, 8_000)],
+                teardown: Teardown::Fin,
+                rtt_us: 28_000,
+                label: Label::BENIGN,
+            },
+            rng,
+        );
+        out.extend(pkts);
+        t += (period_us as f64 * (0.8 + 0.4 * rng.f64())) as u64;
+    }
+    out
+}
+
+/// Periodic DNS lookups to the LAN gateway (forwarding resolver).
+pub fn dns_chatter(
+    env: &NetworkEnv,
+    device_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    period_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    const NAMES: [&str; 5] = [
+        "cloud.vendor.example",
+        "time.vendor.example",
+        "fw.vendor.example",
+        "api.plug.example",
+        "relay.cam.example",
+    ];
+    let mut out = Vec::new();
+    let mut t = start_us;
+    let end = start_us + duration_us;
+    while t < end {
+        let txid = rng.next_u64() as u16;
+        let name = *rng.choose(&NAMES);
+        let addr = [34, rng.below(200) as u8, rng.below(200) as u8, 9];
+        let q = payloads::dns_query(txid, name);
+        let r = payloads::dns_response(txid, name, addr);
+        let (pkts, _) = udp_exchange(
+            t,
+            env.device(device_idx),
+            env.gateway,
+            env.ephemeral_port(rng),
+            53,
+            &q,
+            Some(&r),
+            3_000,
+            (env.local_ttl, env.local_ttl),
+            Label::BENIGN,
+            rng,
+        );
+        out.extend(pkts);
+        t += (period_us as f64 * (0.7 + 0.6 * rng.f64())) as u64;
+    }
+    out
+}
+
+/// NTP time sync: request/48-byte response on a long period.
+pub fn ntp_sync(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut out = Vec::new();
+    let mut t = start_us + rng.below(5_000_000);
+    let end = start_us + duration_us;
+    while t < end {
+        let (pkts, _) = udp_exchange(
+            t,
+            env.device(device_idx),
+            env.cloud_server(cloud_idx),
+            env.ephemeral_port(rng),
+            123,
+            &payloads::ntp_request(),
+            Some(&{
+                let mut r = payloads::ntp_request();
+                r[0] = 0x24; // server mode
+                r
+            }),
+            35_000,
+            (env.local_ttl, env.remote_ttl),
+            Label::BENIGN,
+            rng,
+        );
+        out.extend(pkts);
+        t += 64_000_000 + rng.below(8_000_000);
+    }
+    out
+}
+
+/// Background ARP: devices refreshing the gateway mapping.
+pub fn arp_background(
+    env: &NetworkEnv,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut out = Vec::new();
+    let mut t = start_us + rng.below(2_000_000);
+    let end = start_us + duration_us;
+    while t < end {
+        let dev = env.device(rng.range(0, env.devices.len()));
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                builder::arp_packet(
+                    dev.mac,
+                    dev.ip,
+                    lumen_net::MacAddr::BROADCAST,
+                    env.gateway.ip,
+                    ArpOperation::Request,
+                ),
+            ),
+            label: Label::BENIGN,
+        });
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t + 400 + rng.below(600),
+                builder::arp_packet(
+                    env.gateway.mac,
+                    env.gateway.ip,
+                    dev.mac,
+                    dev.ip,
+                    ArpOperation::Reply,
+                ),
+            ),
+            label: Label::BENIGN,
+        });
+        t += 10_000_000 + rng.below(20_000_000);
+    }
+    out
+}
+
+/// A smart TV streaming video: DASH-style segment fetches — a large
+/// downstream burst every few seconds over a keep-alive HTTPS connection.
+/// The on/off burst pattern sits between a camera's steady stream and a
+/// flood's spike.
+pub fn smart_tv(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut exchanges = vec![Exchange::c2s(
+        payloads::http_get("cdn.tv.example", "/manifest.mpd"),
+        2_000,
+    )];
+    let mut elapsed = 0u64;
+    let mut segment = 0u32;
+    while elapsed < duration_us {
+        let gap = 2_000_000 + rng.below(2_000_000); // ~2-4 s segments
+        elapsed += gap;
+        segment += 1;
+        exchanges.push(Exchange::c2s(
+            payloads::http_get("cdn.tv.example", &format!("/seg/{segment}.m4s")),
+            gap,
+        ));
+        // One segment = several MSS-sized chunks.
+        let seg_bytes = rng.range(8_000, 40_000);
+        exchanges.push(Exchange::s2c(vec![0x3C; seg_bytes], 15_000));
+    }
+    let port = env.ephemeral_port(rng);
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: env.device(device_idx),
+            server: env.cloud_server(cloud_idx),
+            client_port: port,
+            server_port: 443,
+            client_ttl: env.local_ttl,
+            server_ttl: env.remote_ttl,
+            exchanges: &exchanges,
+            teardown: Teardown::None,
+            rtt_us: 26_000,
+            label: Label::BENIGN,
+        },
+        rng,
+    )
+    .0
+}
+
+/// A voice assistant: long idle keep-alives punctuated by short bursts of
+/// bidirectional audio-sized traffic when a query fires.
+pub fn voice_assistant(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    duration_us: u64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut exchanges = Vec::new();
+    let mut elapsed = 0u64;
+    while elapsed < duration_us {
+        if rng.chance(0.2) {
+            // A voice query: ~1-3 s of upstream audio then a reply.
+            let chunks = rng.range(8, 24);
+            for c in 0..chunks {
+                exchanges.push(Exchange::c2s(
+                    vec![0x9B; rng.range(300, 640)],
+                    if c == 0 { 1_000 } else { 120_000 },
+                ));
+            }
+            exchanges.push(Exchange::s2c(vec![0x5D; rng.range(2_000, 9_000)], 300_000));
+            elapsed += chunks as u64 * 120_000 + 300_000;
+        } else {
+            // Idle keep-alive.
+            let gap = 20_000_000 + rng.below(10_000_000);
+            elapsed += gap;
+            exchanges.push(Exchange::c2s(b"ping".to_vec(), gap));
+            exchanges.push(Exchange::s2c(b"pong".to_vec(), 40_000));
+        }
+    }
+    let port = env.ephemeral_port(rng);
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: env.device(device_idx),
+            server: env.cloud_server(cloud_idx),
+            client_port: port,
+            server_port: 443,
+            client_ttl: env.local_ttl,
+            server_ttl: env.remote_ttl,
+            exchanges: &exchanges,
+            teardown: Teardown::None,
+            rtt_us: 32_000,
+            label: Label::BENIGN,
+        },
+        rng,
+    )
+    .0
+}
+
+/// A benign firmware download: a short, intense burst of large downstream
+/// transfers — volumetrically similar to a flood's aftermath and a common
+/// source of false positives for volumetric detectors.
+pub fn firmware_download(
+    env: &NetworkEnv,
+    device_idx: usize,
+    cloud_idx: usize,
+    start_us: u64,
+    total_bytes: usize,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut exchanges = vec![Exchange::c2s(
+        payloads::http_get("fw.vendor.example", "/firmware/v2.bin"),
+        2_000,
+    )];
+    let mut sent = 0usize;
+    while sent < total_bytes {
+        let chunk = rng.range(1200, 1400);
+        exchanges.push(Exchange::s2c(vec![0x7F; chunk], 400 + rng.below(2_000)));
+        sent += chunk;
+    }
+    let port = env.ephemeral_port(rng);
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: env.device(device_idx),
+            server: env.cloud_server(cloud_idx),
+            client_port: port,
+            server_port: 443,
+            client_ttl: env.local_ttl,
+            server_ttl: env.remote_ttl,
+            exchanges: &exchanges,
+            teardown: Teardown::Fin,
+            rtt_us: 20_000,
+            label: Label::BENIGN,
+        },
+        rng,
+    )
+    .0
+}
+
+/// Benign diagnostics: an operator's legitimate telnet session to a device
+/// console — the same port and payload shape brute-force attacks target.
+pub fn benign_telnet(
+    env: &NetworkEnv,
+    device_idx: usize,
+    start_us: u64,
+    commands: usize,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let operator = env.device(device_idx + 1);
+    let mut exchanges = vec![
+        Exchange::s2c(b"login: ".to_vec(), 3_000),
+        Exchange::c2s(b"admin\r\n".to_vec(), 900_000 + rng.below(1_500_000)),
+        Exchange::s2c(b"# ".to_vec(), 50_000),
+    ];
+    for _ in 0..commands {
+        exchanges.push(Exchange::c2s(
+            b"show status\r\n".to_vec(),
+            1_500_000 + rng.below(4_000_000),
+        ));
+        let out_len = rng.range(120, 900);
+        exchanges.push(Exchange::s2c(vec![b'.'; out_len], 60_000));
+    }
+    let port = env.ephemeral_port(rng);
+    tcp_conversation(
+        TcpConv {
+            start_us,
+            client: operator,
+            server: env.device(device_idx),
+            client_port: port,
+            server_port: 23,
+            client_ttl: env.local_ttl,
+            server_ttl: env.local_ttl,
+            exchanges: &exchanges,
+            teardown: Teardown::Fin,
+            rtt_us: 4_000,
+            label: Label::BENIGN,
+        },
+        rng,
+    )
+    .0
+}
+
+/// A benign connectivity check: a rapid train of short HTTP probes to
+/// several cloud endpoints (captive-portal / reachability logic many IoT
+/// stacks run after joining the network). Rate-wise it resembles a small
+/// HTTP flood.
+pub fn connectivity_check(
+    env: &NetworkEnv,
+    device_idx: usize,
+    start_us: u64,
+    probes: usize,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut out = Vec::new();
+    let mut t = start_us;
+    for p in 0..probes {
+        let (pkts, end) = tcp_conversation(
+            TcpConv {
+                start_us: t,
+                client: env.device(device_idx),
+                server: env.cloud_server(p),
+                client_port: env.ephemeral_port(rng),
+                server_port: 80,
+                client_ttl: env.local_ttl,
+                server_ttl: env.remote_ttl,
+                exchanges: &[
+                    Exchange::c2s(payloads::http_get("connectivity.example", "/gen_204"), 500),
+                    Exchange::s2c(payloads::http_ok(0, b' '), 2_000),
+                ],
+                teardown: Teardown::Fin,
+                rtt_us: 12_000,
+                label: Label::BENIGN,
+            },
+            rng,
+        );
+        out.extend(pkts);
+        t = end + 30_000 + rng.below(120_000);
+    }
+    out
+}
+
+/// A standard benign mix for one LAN: cameras, sensors, pollers, DNS, NTP,
+/// ARP. `density` scales how many of each run concurrently.
+pub fn benign_mix(
+    env: &NetworkEnv,
+    start_us: u64,
+    duration_us: u64,
+    density: usize,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    let mut out = Vec::new();
+    let n = env.devices.len();
+    for i in 0..density.max(1) {
+        let dev = i % n;
+        match i % 6 {
+            0 => out.extend(camera_stream(
+                env,
+                dev,
+                i,
+                start_us + rng.below(1_000_000),
+                duration_us,
+                rng,
+            )),
+            1 => out.extend(mqtt_sensor(
+                env,
+                dev,
+                i,
+                start_us + rng.below(1_000_000),
+                duration_us,
+                2_000_000 + rng.below(4_000_000),
+                rng,
+            )),
+            2 => out.extend(http_poller(
+                env,
+                dev,
+                i,
+                start_us + rng.below(1_000_000),
+                duration_us,
+                4_000_000 + rng.below(6_000_000),
+                rng,
+            )),
+            3 => out.extend(smart_tv(
+                env,
+                dev,
+                i,
+                start_us + rng.below(1_000_000),
+                duration_us,
+                rng,
+            )),
+            4 => out.extend(voice_assistant(
+                env,
+                dev,
+                i,
+                start_us + rng.below(1_000_000),
+                duration_us,
+                rng,
+            )),
+            _ => out.extend(dns_chatter(
+                env,
+                dev,
+                start_us + rng.below(1_000_000),
+                duration_us,
+                3_000_000 + rng.below(3_000_000),
+                rng,
+            )),
+        }
+    }
+    for i in 0..n.min(3) {
+        out.extend(ntp_sync(env, i, i, start_us, duration_us, rng));
+    }
+    out.extend(arp_background(env, start_us, duration_us, rng));
+    // Confusable-but-benign behaviours: a firmware download burst, an
+    // operator telnet session, and connectivity probes. These are exactly
+    // the traffic shapes volumetric/port-based detectors confuse with
+    // attacks, and they keep the benchmark from being trivially separable.
+    if duration_us > 4_000_000 {
+        out.extend(firmware_download(
+            env,
+            0,
+            1,
+            start_us + duration_us / 2 + rng.below(duration_us / 4),
+            rng.range(120_000, 320_000),
+            rng,
+        ));
+        out.extend(benign_telnet(
+            env,
+            2 % n,
+            start_us + rng.below(duration_us / 2),
+            3 + rng.range(0, 4),
+            rng,
+        ));
+        out.extend(connectivity_check(
+            env,
+            1 % n,
+            start_us + rng.below(duration_us / 3),
+            4 + rng.range(0, 4),
+            rng,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::{LinkType, PacketMeta};
+
+    fn env(seed: u64) -> (NetworkEnv, Rng) {
+        let mut rng = Rng::new(seed);
+        let e = NetworkEnv::new([192, 168, 50], 6, 4, &mut rng);
+        (e, rng)
+    }
+
+    fn all_parse(pkts: &[LabeledPacket]) {
+        for lp in pkts {
+            PacketMeta::parse(LinkType::Ethernet, lp.packet.ts_us, &lp.packet.data)
+                .expect("benign packet must parse");
+        }
+    }
+
+    #[test]
+    fn camera_emits_many_large_upstream_packets() {
+        let (e, mut rng) = env(1);
+        let pkts = camera_stream(&e, 0, 0, 0, 3_000_000, &mut rng);
+        assert!(pkts.len() > 100, "got {}", pkts.len());
+        all_parse(&pkts);
+        // All labeled benign.
+        assert!(pkts.iter().all(|p| !p.label.malicious));
+    }
+
+    #[test]
+    fn mqtt_publishes_on_schedule() {
+        let (e, mut rng) = env(2);
+        let pkts = mqtt_sensor(&e, 1, 0, 0, 20_000_000, 2_000_000, &mut rng);
+        // ~10 publishes + connect + handshake + acks.
+        let data = pkts
+            .iter()
+            .filter(|lp| {
+                PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data)
+                    .unwrap()
+                    .payload_len
+                    > 0
+            })
+            .count();
+        assert!((8..=16).contains(&data), "data packets {data}");
+    }
+
+    #[test]
+    fn http_poller_produces_complete_sessions() {
+        let (e, mut rng) = env(3);
+        let pkts = http_poller(&e, 2, 1, 0, 30_000_000, 10_000_000, &mut rng);
+        all_parse(&pkts);
+        // Each session starts with a SYN; expect ~3 sessions.
+        let syns = pkts
+            .iter()
+            .filter(|lp| {
+                let m = PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data).unwrap();
+                m.transport.tcp_flags().is_some_and(|f| f.syn() && !f.ack())
+            })
+            .count();
+        assert!((2..=5).contains(&syns), "sessions {syns}");
+    }
+
+    #[test]
+    fn dns_chatter_is_udp_port_53() {
+        let (e, mut rng) = env(4);
+        let pkts = dns_chatter(&e, 0, 0, 10_000_000, 2_000_000, &mut rng);
+        assert!(!pkts.is_empty());
+        for lp in &pkts {
+            let m = PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data).unwrap();
+            assert!(m.is_udp());
+            let (sp, dp) = (
+                m.transport.src_port().unwrap(),
+                m.transport.dst_port().unwrap(),
+            );
+            assert!(sp == 53 || dp == 53);
+        }
+    }
+
+    #[test]
+    fn benign_mix_is_all_benign_and_sorted_after_capture() {
+        let (e, mut rng) = env(5);
+        let pkts = benign_mix(&e, 0, 5_000_000, 6, &mut rng);
+        assert!(pkts.len() > 200);
+        assert!(pkts.iter().all(|p| !p.label.malicious));
+        let cap = crate::LabeledCapture::from_streams(
+            LinkType::Ethernet,
+            crate::LabelGranularity::Packet,
+            pkts,
+        );
+        assert!(cap.packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert_eq!(cap.malicious_fraction(), 0.0);
+    }
+
+    #[test]
+    fn smart_tv_bursts_downstream_segments() {
+        let (e, mut rng) = env(11);
+        let pkts = smart_tv(&e, 0, 0, 0, 10_000_000, &mut rng);
+        all_parse(&pkts);
+        let mut down = 0u64;
+        for lp in &pkts {
+            let m = PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data).unwrap();
+            if m.ipv4.as_ref().is_some_and(|ip| e.is_local(ip.dst)) {
+                down += u64::from(m.payload_len);
+            }
+        }
+        // ~3-5 segments of 8-40 kB.
+        assert!(down > 20_000, "downstream {down}");
+        assert!(pkts.iter().all(|p| !p.label.malicious));
+    }
+
+    #[test]
+    fn voice_assistant_is_mostly_idle() {
+        let (e, mut rng) = env(12);
+        let pkts = voice_assistant(&e, 0, 0, 0, 60_000_000, &mut rng);
+        all_parse(&pkts);
+        // Idle keep-alives dominate: average packet rate well under
+        // streaming rates.
+        let dur_s = (pkts.last().unwrap().packet.ts_us - pkts[0].packet.ts_us) as f64 / 1e6;
+        let rate = pkts.len() as f64 / dur_s.max(1.0);
+        assert!(rate < 50.0, "rate {rate} pkts/s");
+    }
+
+    #[test]
+    fn firmware_download_is_downstream_heavy() {
+        let (e, mut rng) = env(8);
+        let pkts = firmware_download(&e, 0, 0, 0, 100_000, &mut rng);
+        all_parse(&pkts);
+        let mut down = 0u64;
+        let mut up = 0u64;
+        for lp in &pkts {
+            let m = PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data).unwrap();
+            if m.ipv4.as_ref().is_some_and(|ip| e.is_local(ip.dst)) {
+                down += u64::from(m.payload_len);
+            } else {
+                up += u64::from(m.payload_len);
+            }
+        }
+        assert!(down > 100_000 && down > up * 10, "down {down} up {up}");
+        assert!(pkts.iter().all(|p| !p.label.malicious));
+    }
+
+    #[test]
+    fn benign_telnet_uses_port_23_and_stays_benign() {
+        let (e, mut rng) = env(9);
+        let pkts = benign_telnet(&e, 0, 0, 4, &mut rng);
+        all_parse(&pkts);
+        let m = PacketMeta::parse(LinkType::Ethernet, 0, &pkts[0].packet.data).unwrap();
+        assert_eq!(m.transport.dst_port(), Some(23));
+        assert!(pkts.iter().all(|p| !p.label.malicious));
+    }
+
+    #[test]
+    fn connectivity_check_is_short_sessions() {
+        let (e, mut rng) = env(10);
+        let pkts = connectivity_check(&e, 0, 0, 5, &mut rng);
+        all_parse(&pkts);
+        let syns = pkts
+            .iter()
+            .filter(|lp| {
+                let m = PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data).unwrap();
+                m.transport.tcp_flags().is_some_and(|f| f.syn() && !f.ack())
+            })
+            .count();
+        assert_eq!(syns, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (e1, mut r1) = env(7);
+        let (e2, mut r2) = env(7);
+        let a = camera_stream(&e1, 0, 0, 0, 1_000_000, &mut r1);
+        let b = camera_stream(&e2, 0, 0, 0, 1_000_000, &mut r2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[5].packet.data, b[5].packet.data);
+    }
+}

@@ -1,0 +1,109 @@
+//! Label propagation between classification granularities (§2.1 of the
+//! paper: a flow label can propagate down to packets; packet labels
+//! aggregate up to a connection by the any-malicious rule).
+
+use lumen_flow::{ConnRecord, UniFlowRecord};
+
+use crate::{AttackKind, Label};
+
+/// Derives a connection label from the per-packet ground truth: malicious if
+/// any member packet is malicious; the attack kind is the most frequent
+/// malicious kind among member packets.
+pub fn connection_labels(packet_labels: &[Label], conns: &[ConnRecord]) -> Vec<Label> {
+    conns
+        .iter()
+        .map(|c| aggregate(packet_labels, &c.packet_indices))
+        .collect()
+}
+
+/// Same aggregation for unidirectional flow records.
+pub fn uni_flow_labels(packet_labels: &[Label], flows: &[UniFlowRecord]) -> Vec<Label> {
+    flows
+        .iter()
+        .map(|f| aggregate(packet_labels, &f.packet_indices))
+        .collect()
+}
+
+fn aggregate(packet_labels: &[Label], indices: &[u32]) -> Label {
+    let mut counts: std::collections::HashMap<AttackKind, usize> = std::collections::HashMap::new();
+    for &i in indices {
+        if let Some(l) = packet_labels.get(i as usize) {
+            if let Some(kind) = l.attack {
+                *counts.entry(kind).or_insert(0) += 1;
+            }
+        }
+    }
+    match counts.into_iter().max_by_key(|&(k, c)| (c, k)) {
+        Some((kind, _)) => Label::attack(kind),
+        None => Label::BENIGN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_util::Summary;
+    use std::net::Ipv4Addr;
+
+    fn conn_with_indices(idx: Vec<u32>) -> ConnRecord {
+        ConnRecord {
+            orig: (Ipv4Addr::new(1, 1, 1, 1), 1),
+            resp: (Ipv4Addr::new(2, 2, 2, 2), 2),
+            proto: 6,
+            start_us: 0,
+            end_us: 1,
+            orig_pkts: idx.len() as u32,
+            resp_pkts: 0,
+            orig_bytes: 0,
+            resp_bytes: 0,
+            orig_wire_bytes: 0,
+            resp_wire_bytes: 0,
+            orig_flags: Default::default(),
+            resp_flags: Default::default(),
+            iat: Summary::of(&[]),
+            orig_len: Summary::of(&[]),
+            resp_len: Summary::of(&[]),
+            state: lumen_flow::ConnState::Oth,
+            history: String::new(),
+            first_n: vec![],
+            orig_ttl_mean: 64.0,
+            packet_indices: idx,
+        }
+    }
+
+    #[test]
+    fn all_benign_stays_benign() {
+        let labels = vec![Label::BENIGN; 5];
+        let conns = vec![conn_with_indices(vec![0, 1, 2])];
+        assert_eq!(connection_labels(&labels, &conns), vec![Label::BENIGN]);
+    }
+
+    #[test]
+    fn any_malicious_packet_taints_connection() {
+        let mut labels = vec![Label::BENIGN; 5];
+        labels[3] = Label::attack(AttackKind::SynFlood);
+        let conns = vec![conn_with_indices(vec![2, 3, 4])];
+        let out = connection_labels(&labels, &conns);
+        assert!(out[0].malicious);
+        assert_eq!(out[0].attack, Some(AttackKind::SynFlood));
+    }
+
+    #[test]
+    fn majority_attack_kind_wins() {
+        let labels = vec![
+            Label::attack(AttackKind::PortScan),
+            Label::attack(AttackKind::PortScan),
+            Label::attack(AttackKind::UdpFlood),
+        ];
+        let conns = vec![conn_with_indices(vec![0, 1, 2])];
+        let out = connection_labels(&labels, &conns);
+        assert_eq!(out[0].attack, Some(AttackKind::PortScan));
+    }
+
+    #[test]
+    fn out_of_range_indices_ignored() {
+        let labels = vec![Label::BENIGN];
+        let conns = vec![conn_with_indices(vec![0, 99])];
+        assert_eq!(connection_labels(&labels, &conns)[0], Label::BENIGN);
+    }
+}

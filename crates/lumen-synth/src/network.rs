@@ -1,0 +1,157 @@
+//! Network environments: address plans and device rosters.
+
+use std::net::Ipv4Addr;
+
+use lumen_net::MacAddr;
+use lumen_util::Rng;
+
+/// One addressable host (local device, gateway, or remote server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    pub mac: MacAddr,
+    pub ip: Ipv4Addr,
+}
+
+impl Endpoint {
+    /// Builds an endpoint with a MAC derived from the IP (stable, unique).
+    pub fn new(ip: Ipv4Addr) -> Endpoint {
+        Endpoint {
+            mac: MacAddr::from_id(u64::from(u32::from(ip))),
+            ip,
+        }
+    }
+}
+
+/// A simulated LAN: subnet, gateway, device roster, and the cloud servers
+/// devices talk to. Each dataset recipe instantiates a different environment
+/// — that heterogeneity is what makes cross-dataset transfer hard, matching
+/// the public datasets' very different collection networks.
+#[derive(Debug, Clone)]
+pub struct NetworkEnv {
+    /// First three octets of the LAN subnet (a /24).
+    pub subnet: [u8; 3],
+    /// The LAN gateway (also the NAT hop for traffic leaving the LAN).
+    pub gateway: Endpoint,
+    /// Local IoT devices.
+    pub devices: Vec<Endpoint>,
+    /// Remote cloud endpoints (camera relay, MQTT broker, NTP, DNS, web).
+    pub cloud: Vec<Endpoint>,
+    /// Base TTL remote servers use (varies per environment).
+    pub remote_ttl: u8,
+    /// Base TTL local devices use.
+    pub local_ttl: u8,
+}
+
+impl NetworkEnv {
+    /// Builds an environment with `n_devices` hosts on `subnet`.x and
+    /// `n_cloud` remote servers drawn deterministically from `rng`.
+    pub fn new(subnet: [u8; 3], n_devices: usize, n_cloud: usize, rng: &mut Rng) -> NetworkEnv {
+        let gateway = Endpoint::new(Ipv4Addr::new(subnet[0], subnet[1], subnet[2], 1));
+        let devices = (0..n_devices)
+            .map(|i| Endpoint::new(Ipv4Addr::new(subnet[0], subnet[1], subnet[2], 10 + i as u8)))
+            .collect();
+        let cloud = (0..n_cloud.max(1))
+            .map(|_| {
+                // Public-looking addresses outside RFC1918.
+                let a = *rng.choose(&[13u8, 34, 52, 104, 142, 172, 203]);
+                Endpoint::new(Ipv4Addr::new(
+                    a,
+                    rng.below(224) as u8,
+                    rng.below(256) as u8,
+                    1 + rng.below(254) as u8,
+                ))
+            })
+            .collect();
+        NetworkEnv {
+            subnet,
+            gateway,
+            devices,
+            cloud,
+            remote_ttl: 48 + (rng.below(16) as u8),
+            local_ttl: 64,
+        }
+    }
+
+    /// A device by index (wrapping).
+    pub fn device(&self, i: usize) -> Endpoint {
+        self.devices[i % self.devices.len()]
+    }
+
+    /// A cloud server by index (wrapping).
+    pub fn cloud_server(&self, i: usize) -> Endpoint {
+        self.cloud[i % self.cloud.len()]
+    }
+
+    /// True when `ip` is on this LAN.
+    pub fn is_local(&self, ip: Ipv4Addr) -> bool {
+        let o = ip.octets();
+        o[0] == self.subnet[0] && o[1] == self.subnet[1] && o[2] == self.subnet[2]
+    }
+
+    /// A fresh external (attacker/spoofed) endpoint.
+    pub fn external(&self, rng: &mut Rng) -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(
+            *rng.choose(&[45u8, 91, 146, 185, 193, 198]),
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            1 + rng.below(254) as u8,
+        ))
+    }
+
+    /// An ephemeral client port.
+    pub fn ephemeral_port(&self, rng: &mut Rng) -> u16 {
+        32768 + rng.below(28000) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_get_distinct_stable_addresses() {
+        let mut rng = Rng::new(1);
+        let env = NetworkEnv::new([192, 168, 7], 5, 3, &mut rng);
+        assert_eq!(env.devices.len(), 5);
+        assert_eq!(env.device(0).ip, Ipv4Addr::new(192, 168, 7, 10));
+        assert_eq!(env.device(4).ip, Ipv4Addr::new(192, 168, 7, 14));
+        let macs: std::collections::HashSet<_> = env.devices.iter().map(|d| d.mac).collect();
+        assert_eq!(macs.len(), 5);
+    }
+
+    #[test]
+    fn local_detection() {
+        let mut rng = Rng::new(2);
+        let env = NetworkEnv::new([10, 0, 5], 2, 1, &mut rng);
+        assert!(env.is_local(Ipv4Addr::new(10, 0, 5, 200)));
+        assert!(!env.is_local(Ipv4Addr::new(10, 0, 6, 200)));
+        assert!(!env.is_local(env.cloud_server(0).ip));
+    }
+
+    #[test]
+    fn external_addresses_are_not_local() {
+        let mut rng = Rng::new(3);
+        let env = NetworkEnv::new([192, 168, 1], 3, 2, &mut rng);
+        for _ in 0..50 {
+            assert!(!env.is_local(env.external(&mut rng).ip));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NetworkEnv::new([192, 168, 1], 4, 3, &mut Rng::new(9));
+        let b = NetworkEnv::new([192, 168, 1], 4, 3, &mut Rng::new(9));
+        assert_eq!(a.cloud, b.cloud);
+        assert_eq!(a.remote_ttl, b.remote_ttl);
+    }
+
+    #[test]
+    fn ephemeral_ports_in_range() {
+        let mut rng = Rng::new(4);
+        let env = NetworkEnv::new([192, 168, 1], 1, 1, &mut rng);
+        for _ in 0..100 {
+            let p = env.ephemeral_port(&mut rng);
+            assert!(p >= 32768);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The 15 benchmark dataset recipes (Table 3 of the paper).
+//!
+//! F0–F9 are connection-level-labeled captures mirroring CICIDS 2017 (per
+//! day), CICIDS 2019, and six CTU IoT scenarios; P0–P4 are packet-level
+//! captures mirroring the IEEE IoT intrusion dataset, Kitsune traces, and
+//! AWID3. Each family gets its own network environment (subnet, device mix,
+//! timing) so that cross-family transfer is genuinely hard, as it is for the
+//! real datasets.
+
+use lumen_net::{LinkType, MacAddr};
+use lumen_util::Rng;
+
+use crate::attacks;
+use crate::devices;
+use crate::network::{Endpoint, NetworkEnv};
+use crate::{AttackKind, LabelGranularity, LabeledCapture, LabeledPacket};
+
+/// Identifier of one benchmark dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    F0,
+    F1,
+    F2,
+    F3,
+    F4,
+    F5,
+    F6,
+    F7,
+    F8,
+    F9,
+    P0,
+    P1,
+    P2,
+    P3,
+    P4,
+}
+
+impl DatasetId {
+    /// All datasets in table order.
+    pub const ALL: [DatasetId; 15] = [
+        DatasetId::F0,
+        DatasetId::F1,
+        DatasetId::F2,
+        DatasetId::F3,
+        DatasetId::F4,
+        DatasetId::F5,
+        DatasetId::F6,
+        DatasetId::F7,
+        DatasetId::F8,
+        DatasetId::F9,
+        DatasetId::P0,
+        DatasetId::P1,
+        DatasetId::P2,
+        DatasetId::P3,
+        DatasetId::P4,
+    ];
+
+    /// The ten connection-level datasets.
+    pub const CONNECTION: [DatasetId; 10] = [
+        DatasetId::F0,
+        DatasetId::F1,
+        DatasetId::F2,
+        DatasetId::F3,
+        DatasetId::F4,
+        DatasetId::F5,
+        DatasetId::F6,
+        DatasetId::F7,
+        DatasetId::F8,
+        DatasetId::F9,
+    ];
+
+    /// The five packet-level datasets.
+    pub const PACKET: [DatasetId; 5] = [
+        DatasetId::P0,
+        DatasetId::P1,
+        DatasetId::P2,
+        DatasetId::P3,
+        DatasetId::P4,
+    ];
+
+    /// Short identifier ("F0", "P3", ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            DatasetId::F0 => "F0",
+            DatasetId::F1 => "F1",
+            DatasetId::F2 => "F2",
+            DatasetId::F3 => "F3",
+            DatasetId::F4 => "F4",
+            DatasetId::F5 => "F5",
+            DatasetId::F6 => "F6",
+            DatasetId::F7 => "F7",
+            DatasetId::F8 => "F8",
+            DatasetId::F9 => "F9",
+            DatasetId::P0 => "P0",
+            DatasetId::P1 => "P1",
+            DatasetId::P2 => "P2",
+            DatasetId::P3 => "P3",
+            DatasetId::P4 => "P4",
+        }
+    }
+
+    /// Metadata for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        use AttackKind::*;
+        let (name, source, granularity, link, attacks): (
+            &str,
+            &str,
+            LabelGranularity,
+            LinkType,
+            Vec<AttackKind>,
+        ) = match self {
+            DatasetId::F0 => (
+                "CICIDS 2017, Tuesday",
+                "cicids2017",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![BruteForceFtp, BruteForceSsh],
+            ),
+            DatasetId::F1 => (
+                "CICIDS 2017, Wednesday",
+                "cicids2017",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![DosHulk, DosSlowloris, DosGoldenEye],
+            ),
+            DatasetId::F2 => (
+                "CICIDS 2017, Thursday",
+                "cicids2017",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![WebAttack, Infiltration],
+            ),
+            DatasetId::F3 => (
+                "CICIDS 2019, 01-11",
+                "cicids2019",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![AmplificationNtp, AmplificationSsdp, UdpFlood, SynFlood],
+            ),
+            DatasetId::F4 => (
+                "CTU IoT, 1-1 (Mirai)",
+                "ctu",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![BotnetMirai],
+            ),
+            DatasetId::F5 => (
+                "CTU IoT, 20-1 (Torii)",
+                "ctu",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![BotnetTorii],
+            ),
+            DatasetId::F6 => (
+                "CTU IoT, 3-1",
+                "ctu",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![UdpFlood, BotnetMirai],
+            ),
+            DatasetId::F7 => (
+                "CTU IoT, 7-1",
+                "ctu",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![BotnetMirai, BruteForceTelnet],
+            ),
+            DatasetId::F8 => (
+                "CTU IoT, 34-1",
+                "ctu",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![PortScan, BotnetMirai],
+            ),
+            DatasetId::F9 => (
+                "CTU IoT, 8-1",
+                "ctu",
+                LabelGranularity::Connection,
+                LinkType::Ethernet,
+                vec![BruteForceTelnet, SynFlood],
+            ),
+            DatasetId::P0 => (
+                "IEEE IoT network intrusion",
+                "ieee-iot",
+                LabelGranularity::Packet,
+                LinkType::Ethernet,
+                vec![PortScan, ArpMitm, SynFlood],
+            ),
+            DatasetId::P1 => (
+                "Kitsune, Mirai",
+                "kitsune",
+                LabelGranularity::Packet,
+                LinkType::Ethernet,
+                vec![BotnetMirai, SynFlood],
+            ),
+            DatasetId::P2 => (
+                "Kitsune, SYN DoS",
+                "kitsune",
+                LabelGranularity::Packet,
+                LinkType::Ethernet,
+                vec![SynFlood],
+            ),
+            DatasetId::P3 => (
+                "AWID3 (802.11)",
+                "awid3",
+                LabelGranularity::Packet,
+                LinkType::Ieee80211,
+                vec![WifiDeauth, WifiEvilTwin, WifiKrack],
+            ),
+            DatasetId::P4 => (
+                "IEEE IoT, flood day",
+                "ieee-iot",
+                LabelGranularity::Packet,
+                LinkType::Ethernet,
+                vec![UdpFlood, BruteForceTelnet],
+            ),
+        };
+        DatasetSpec {
+            id: self,
+            name,
+            source,
+            granularity,
+            link,
+            attacks,
+        }
+    }
+}
+
+/// Static metadata of one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    pub id: DatasetId,
+    /// Human-readable name (the public dataset it mirrors).
+    pub name: &'static str,
+    /// Source family ("cicids2017", "ctu", ...): datasets from the same
+    /// family share a network environment style.
+    pub source: &'static str,
+    /// Label granularity.
+    pub granularity: LabelGranularity,
+    /// Link type of the capture.
+    pub link: LinkType,
+    /// Attacks present.
+    pub attacks: Vec<AttackKind>,
+}
+
+/// Size knobs for dataset generation.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthScale {
+    /// Capture duration in seconds.
+    pub duration_s: f64,
+    /// How many concurrent benign device behaviours to run.
+    pub benign_density: usize,
+    /// Multiplier on attack rates/counts.
+    pub intensity: f64,
+}
+
+impl Default for SynthScale {
+    fn default() -> Self {
+        SynthScale {
+            duration_s: 30.0,
+            benign_density: 8,
+            intensity: 1.0,
+        }
+    }
+}
+
+impl SynthScale {
+    /// A smaller scale for fast tests.
+    pub fn small() -> SynthScale {
+        SynthScale {
+            duration_s: 10.0,
+            benign_density: 4,
+            intensity: 0.5,
+        }
+    }
+
+    fn dur_us(&self) -> u64 {
+        (self.duration_s * 1e6) as u64
+    }
+}
+
+/// Builds one benchmark dataset. The same `(id, scale, seed)` triple always
+/// produces the identical capture.
+pub fn build_dataset(id: DatasetId, scale: SynthScale, seed: u64) -> LabeledCapture {
+    let spec = id.spec();
+    // Different dataset families live in different environments; different
+    // days of the same family share the environment but differ in seed.
+    let mut rng = Rng::new(seed ^ (id as u64).wrapping_mul(0x9E37_79B9));
+    let dur = scale.dur_us();
+    let t0 = 1_000_000u64;
+    let intensity = scale.intensity;
+
+    if spec.link == LinkType::Ieee80211 {
+        return build_wifi(spec, scale, &mut rng);
+    }
+
+    let env = match spec.source {
+        "cicids2017" => NetworkEnv::new([192, 168, 10], 12, 6, &mut rng.fork(1)),
+        "cicids2019" => NetworkEnv::new([172, 16, 0], 10, 5, &mut rng.fork(1)),
+        "ctu" => NetworkEnv::new([192, 168, 100], 4, 2, &mut rng.fork(1)),
+        "kitsune" => NetworkEnv::new([10, 0, 2], 9, 3, &mut rng.fork(1)),
+        _ => NetworkEnv::new([192, 168, 0], 8, 4, &mut rng.fork(1)),
+    };
+
+    let mut stream = Vec::new();
+
+    // Benign backdrop. Kitsune's testbed is camera-dominated.
+    let mut benign_rng = rng.fork(2);
+    if spec.source == "kitsune" {
+        for i in 0..scale.benign_density.max(2) {
+            stream.extend(devices::camera_stream(
+                &env,
+                i,
+                i,
+                t0 + benign_rng.below(1_000_000),
+                dur,
+                &mut benign_rng,
+            ));
+        }
+        stream.extend(devices::arp_background(&env, t0, dur, &mut benign_rng));
+        stream.extend(devices::dns_chatter(
+            &env,
+            0,
+            t0,
+            dur,
+            4_000_000,
+            &mut benign_rng,
+        ));
+    } else {
+        stream.extend(devices::benign_mix(
+            &env,
+            t0,
+            dur,
+            scale.benign_density,
+            &mut benign_rng,
+        ));
+    }
+
+    // Attacks start after a benign-only warmup third.
+    let atk_start = t0 + dur / 3;
+    let atk_dur = dur - dur / 3;
+    let mut atk_rng = rng.fork(3);
+    for kind in &spec.attacks {
+        stream.extend(generate_attack(
+            *kind,
+            &env,
+            atk_start,
+            atk_dur,
+            intensity,
+            &mut atk_rng,
+        ));
+    }
+
+    LabeledCapture::from_streams(spec.link, spec.granularity, stream)
+}
+
+fn generate_attack(
+    kind: AttackKind,
+    env: &NetworkEnv,
+    start: u64,
+    dur: u64,
+    intensity: f64,
+    rng: &mut Rng,
+) -> Vec<LabeledPacket> {
+    use AttackKind::*;
+    match kind {
+        SynFlood => attacks::syn_flood(env, env.device(0), 80, start, dur, 400.0 * intensity, rng),
+        UdpFlood => attacks::udp_flood(env, env.device(1), start, dur, 350.0 * intensity, rng),
+        DosHulk => attacks::dos_hulk(env, env.device(0), start, dur, 14.0 * intensity, rng),
+        DosSlowloris => attacks::dos_slowloris(
+            env,
+            env.device(0),
+            start,
+            dur,
+            (24.0 * intensity) as usize + 2,
+            rng,
+        ),
+        DosGoldenEye => {
+            attacks::dos_goldeneye(env, env.device(0), start, dur, 7.0 * intensity, rng)
+        }
+        AmplificationNtp => attacks::amplification(
+            env,
+            AmplificationNtp,
+            env.device(2),
+            start,
+            dur,
+            220.0 * intensity,
+            rng,
+        ),
+        AmplificationSsdp => attacks::amplification(
+            env,
+            AmplificationSsdp,
+            env.device(3),
+            start,
+            dur,
+            180.0 * intensity,
+            rng,
+        ),
+        PortScan => {
+            let attacker = Endpoint::new(std::net::Ipv4Addr::new(
+                env.subnet[0],
+                env.subnet[1],
+                env.subnet[2],
+                250,
+            ));
+            attacks::port_scan(env, attacker, start, (60.0 * intensity) as u16 + 10, rng)
+        }
+        BruteForceFtp | BruteForceSsh | BruteForceTelnet => {
+            let ext = env.external(rng);
+            let attacker = Endpoint {
+                mac: env.gateway.mac,
+                ip: ext.ip,
+            };
+            attacks::brute_force(
+                env,
+                kind,
+                attacker,
+                env.device(0),
+                start,
+                (40.0 * intensity) as usize + 8,
+                300_000,
+                rng,
+            )
+        }
+        BotnetMirai => attacks::mirai(env, &[0, 1], start, dur, rng),
+        BotnetTorii => attacks::torii(env, 0, start, dur.max(60_000_000), rng),
+        WebAttack => attacks::web_attack(
+            env,
+            env.device(0),
+            start,
+            (30.0 * intensity) as usize + 6,
+            400_000,
+            rng,
+        ),
+        Infiltration => attacks::infiltration(
+            env,
+            1,
+            start,
+            (200_000.0 * intensity) as usize + 50_000,
+            rng,
+        ),
+        ArpMitm => attacks::arp_mitm(env, MacAddr::from_id(0xA77AC), 0, start, dur, rng),
+        WifiDeauth | WifiEvilTwin | WifiKrack => {
+            unreachable!("wifi attacks are generated by build_wifi")
+        }
+    }
+}
+
+fn build_wifi(spec: DatasetSpec, scale: SynthScale, rng: &mut Rng) -> LabeledCapture {
+    let dur = scale.dur_us();
+    let t0 = 1_000_000u64;
+    let ap = MacAddr::from_id(0xAA01);
+    let rogue = MacAddr::from_id(0xEE99);
+    let stations: Vec<MacAddr> = (0..scale.benign_density.max(3))
+        .map(|i| MacAddr::from_id(0x5710 + i as u64))
+        .collect();
+
+    let mut stream = attacks::wifi_benign(ap, &stations, t0, dur, rng);
+    let atk_start = t0 + dur / 3;
+    let atk_dur = dur - dur / 3;
+    for kind in &spec.attacks {
+        match kind {
+            AttackKind::WifiDeauth => stream.extend(attacks::wifi_deauth(
+                ap,
+                &stations,
+                atk_start,
+                atk_dur,
+                120.0 * scale.intensity,
+                rng,
+            )),
+            AttackKind::WifiEvilTwin => stream.extend(attacks::wifi_eviltwin(
+                rogue, &stations, atk_start, atk_dur, rng,
+            )),
+            AttackKind::WifiKrack => stream.extend(attacks::wifi_krack(
+                ap,
+                stations[0],
+                atk_start,
+                atk_dur,
+                rng,
+            )),
+            other => {
+                debug_assert!(false, "non-wifi attack {other:?} in wifi recipe");
+            }
+        }
+    }
+    LabeledCapture::from_streams(spec.link, spec.granularity, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_builds_nonempty() {
+        for id in DatasetId::ALL {
+            let cap = build_dataset(id, SynthScale::small(), 42);
+            assert!(!cap.is_empty(), "{} empty", id.code());
+            assert!(
+                cap.malicious_fraction() > 0.0,
+                "{} has no attack packets",
+                id.code()
+            );
+            assert!(
+                cap.malicious_fraction() < 0.99,
+                "{} has no benign packets",
+                id.code()
+            );
+        }
+    }
+
+    #[test]
+    fn attacks_present_match_spec() {
+        for id in [DatasetId::F1, DatasetId::F4, DatasetId::P0, DatasetId::P3] {
+            let cap = build_dataset(id, SynthScale::small(), 7);
+            let present = cap.attacks_present();
+            for kind in id.spec().attacks {
+                assert!(
+                    present.contains(&kind),
+                    "{}: missing {kind:?}, present {present:?}",
+                    id.code()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build_dataset(DatasetId::F0, SynthScale::small(), 5);
+        let b = build_dataset(DatasetId::F0, SynthScale::small(), 5);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.packets[10].data, b.packets[10].data);
+        let c = build_dataset(DatasetId::F0, SynthScale::small(), 6);
+        assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn wifi_dataset_has_no_ethernet_frames() {
+        let cap = build_dataset(DatasetId::P3, SynthScale::small(), 3);
+        assert_eq!(cap.link, LinkType::Ieee80211);
+        for p in cap.packets.iter().take(200) {
+            lumen_net::PacketMeta::parse(LinkType::Ieee80211, p.ts_us, &p.data)
+                .expect("wifi frame parses");
+        }
+    }
+
+    #[test]
+    fn packets_sorted_by_time() {
+        let cap = build_dataset(DatasetId::F3, SynthScale::small(), 9);
+        assert!(cap.packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn granularities_match_table() {
+        for id in DatasetId::CONNECTION {
+            assert_eq!(id.spec().granularity, LabelGranularity::Connection);
+        }
+        for id in DatasetId::PACKET {
+            assert_eq!(id.spec().granularity, LabelGranularity::Packet);
+        }
+    }
+
+    #[test]
+    fn pcap_roundtrip_preserves_packets() {
+        let cap = build_dataset(DatasetId::F4, SynthScale::small(), 11);
+        let bytes = cap.to_pcap_bytes();
+        let (link, packets) = lumen_net::pcap::from_bytes(&bytes).unwrap();
+        assert_eq!(link, cap.link);
+        assert_eq!(packets.len(), cap.len());
+        assert_eq!(packets[0], cap.packets[0]);
+    }
+}

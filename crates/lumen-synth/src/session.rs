@@ -1,0 +1,486 @@
+//! TCP/UDP conversation builders with sequence-number and timing realism.
+
+use lumen_net::builder::{tcp_packet, udp_packet, TcpParams, UdpParams};
+use lumen_net::wire::tcp::TcpFlags;
+use lumen_net::CapturedPacket;
+use lumen_util::Rng;
+
+use crate::network::Endpoint;
+use crate::{Label, LabeledPacket};
+
+/// One application-layer exchange within a TCP conversation.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// True when the client sends this payload.
+    pub from_client: bool,
+    /// Application bytes.
+    pub payload: Vec<u8>,
+    /// Gap before this exchange (µs).
+    pub gap_us: u64,
+}
+
+impl Exchange {
+    /// Client-to-server exchange.
+    pub fn c2s(payload: Vec<u8>, gap_us: u64) -> Exchange {
+        Exchange {
+            from_client: true,
+            payload,
+            gap_us,
+        }
+    }
+
+    /// Server-to-client exchange.
+    pub fn s2c(payload: Vec<u8>, gap_us: u64) -> Exchange {
+        Exchange {
+            from_client: false,
+            payload,
+            gap_us,
+        }
+    }
+}
+
+/// How a TCP conversation ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Teardown {
+    /// Graceful FIN/FIN-ACK/ACK.
+    Fin,
+    /// Client aborts with RST.
+    ClientRst,
+    /// Server rejects/aborts with RST.
+    ServerRst,
+    /// Capture ends mid-connection.
+    None,
+}
+
+/// Parameters for [`tcp_conversation`].
+pub struct TcpConv<'a> {
+    pub start_us: u64,
+    pub client: Endpoint,
+    pub server: Endpoint,
+    pub client_port: u16,
+    pub server_port: u16,
+    pub client_ttl: u8,
+    pub server_ttl: u8,
+    pub exchanges: &'a [Exchange],
+    pub teardown: Teardown,
+    /// Base round-trip time (µs); ACK delays and handshake pacing derive
+    /// from it with jitter.
+    pub rtt_us: u64,
+    pub label: Label,
+}
+
+/// Builds a full TCP conversation: handshake, data exchanges with ACKs,
+/// and teardown. Payloads longer than the MSS are segmented. Returns the
+/// labeled packets in time order and the end timestamp.
+pub fn tcp_conversation(p: TcpConv<'_>, rng: &mut Rng) -> (Vec<LabeledPacket>, u64) {
+    const MSS: usize = 1400;
+    let mut out = Vec::new();
+    let mut t = p.start_us;
+    let mut client_seq: u32 = rng.next_u64() as u32;
+    let mut server_seq: u32 = rng.next_u64() as u32;
+    let half_rtt = (p.rtt_us / 2).max(1);
+    let jitter = |rng: &mut Rng, base: u64| -> u64 {
+        let j = 0.7 + 0.6 * rng.f64();
+        ((base as f64) * j) as u64 + 1
+    };
+
+    let push = |out: &mut Vec<LabeledPacket>,
+                ts: u64,
+                from_client: bool,
+                flags: TcpFlags,
+                seq: u32,
+                ack: u32,
+                payload: &[u8]| {
+        let (src, dst, sp, dp, ttl) = if from_client {
+            (
+                p.client,
+                p.server,
+                p.client_port,
+                p.server_port,
+                p.client_ttl,
+            )
+        } else {
+            (
+                p.server,
+                p.client,
+                p.server_port,
+                p.client_port,
+                p.server_ttl,
+            )
+        };
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                ts,
+                tcp_packet(TcpParams {
+                    src_mac: src.mac,
+                    dst_mac: dst.mac,
+                    src_ip: src.ip,
+                    dst_ip: dst.ip,
+                    src_port: sp,
+                    dst_port: dp,
+                    seq,
+                    ack,
+                    flags,
+                    window: 29200,
+                    ttl,
+                    payload,
+                }),
+            ),
+            label: p.label,
+        });
+    };
+
+    // Handshake.
+    push(&mut out, t, true, TcpFlags::SYN, client_seq, 0, b"");
+    client_seq = client_seq.wrapping_add(1);
+    t += jitter(rng, half_rtt);
+    push(
+        &mut out,
+        t,
+        false,
+        TcpFlags::SYN_ACK,
+        server_seq,
+        client_seq,
+        b"",
+    );
+    server_seq = server_seq.wrapping_add(1);
+    t += jitter(rng, half_rtt);
+    push(
+        &mut out,
+        t,
+        true,
+        TcpFlags::ACK,
+        client_seq,
+        server_seq,
+        b"",
+    );
+
+    // Data exchanges.
+    for ex in p.exchanges {
+        t += ex.gap_us.max(1);
+        for chunk in ex.payload.chunks(MSS.max(1)) {
+            if ex.from_client {
+                push(
+                    &mut out,
+                    t,
+                    true,
+                    TcpFlags::PSH_ACK,
+                    client_seq,
+                    server_seq,
+                    chunk,
+                );
+                client_seq = client_seq.wrapping_add(chunk.len() as u32);
+                t += jitter(rng, half_rtt);
+                push(
+                    &mut out,
+                    t,
+                    false,
+                    TcpFlags::ACK,
+                    server_seq,
+                    client_seq,
+                    b"",
+                );
+            } else {
+                push(
+                    &mut out,
+                    t,
+                    false,
+                    TcpFlags::PSH_ACK,
+                    server_seq,
+                    client_seq,
+                    chunk,
+                );
+                server_seq = server_seq.wrapping_add(chunk.len() as u32);
+                t += jitter(rng, half_rtt);
+                push(
+                    &mut out,
+                    t,
+                    true,
+                    TcpFlags::ACK,
+                    client_seq,
+                    server_seq,
+                    b"",
+                );
+            }
+            t += jitter(rng, half_rtt / 4);
+        }
+    }
+
+    // Teardown.
+    match p.teardown {
+        Teardown::Fin => {
+            t += jitter(rng, half_rtt);
+            push(
+                &mut out,
+                t,
+                true,
+                TcpFlags::FIN_ACK,
+                client_seq,
+                server_seq,
+                b"",
+            );
+            client_seq = client_seq.wrapping_add(1);
+            t += jitter(rng, half_rtt);
+            push(
+                &mut out,
+                t,
+                false,
+                TcpFlags::FIN_ACK,
+                server_seq,
+                client_seq,
+                b"",
+            );
+            server_seq = server_seq.wrapping_add(1);
+            t += jitter(rng, half_rtt);
+            push(
+                &mut out,
+                t,
+                true,
+                TcpFlags::ACK,
+                client_seq,
+                server_seq,
+                b"",
+            );
+        }
+        Teardown::ClientRst => {
+            t += jitter(rng, half_rtt);
+            push(&mut out, t, true, TcpFlags::RST, client_seq, 0, b"");
+        }
+        Teardown::ServerRst => {
+            t += jitter(rng, half_rtt);
+            push(
+                &mut out,
+                t,
+                false,
+                TcpFlags::RST | TcpFlags::ACK,
+                server_seq,
+                client_seq,
+                b"",
+            );
+        }
+        Teardown::None => {}
+    }
+
+    (out, t)
+}
+
+/// A request/response UDP exchange (DNS, NTP, SSDP). `response` may be
+/// `None` for one-way traffic (floods, spoofed requests).
+#[allow(clippy::too_many_arguments)]
+pub fn udp_exchange(
+    start_us: u64,
+    client: Endpoint,
+    server: Endpoint,
+    client_port: u16,
+    server_port: u16,
+    request: &[u8],
+    response: Option<&[u8]>,
+    rtt_us: u64,
+    ttl: (u8, u8),
+    label: Label,
+    rng: &mut Rng,
+) -> (Vec<LabeledPacket>, u64) {
+    let mut out = Vec::new();
+    let mut t = start_us;
+    out.push(LabeledPacket {
+        packet: CapturedPacket::new(
+            t,
+            udp_packet(UdpParams {
+                src_mac: client.mac,
+                dst_mac: server.mac,
+                src_ip: client.ip,
+                dst_ip: server.ip,
+                src_port: client_port,
+                dst_port: server_port,
+                ttl: ttl.0,
+                payload: request,
+            }),
+        ),
+        label,
+    });
+    if let Some(resp) = response {
+        t += (rtt_us as f64 * (0.8 + 0.4 * rng.f64())) as u64 + 1;
+        out.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                udp_packet(UdpParams {
+                    src_mac: server.mac,
+                    dst_mac: client.mac,
+                    src_ip: server.ip,
+                    dst_ip: client.ip,
+                    src_port: server_port,
+                    dst_port: client_port,
+                    ttl: ttl.1,
+                    payload: resp,
+                }),
+            ),
+            label,
+        });
+    }
+    (out, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_flow::{assemble, ConnState, FlowConfig};
+    use lumen_net::{LinkType, PacketMeta};
+    use std::net::Ipv4Addr;
+
+    fn endpoints() -> (Endpoint, Endpoint) {
+        (
+            Endpoint::new(Ipv4Addr::new(192, 168, 1, 10)),
+            Endpoint::new(Ipv4Addr::new(34, 1, 2, 3)),
+        )
+    }
+
+    fn parse_all(pkts: &[LabeledPacket]) -> Vec<PacketMeta> {
+        pkts.iter()
+            .map(|lp| {
+                PacketMeta::parse(LinkType::Ethernet, lp.packet.ts_us, &lp.packet.data).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conversation_assembles_to_sf_connection() {
+        let (client, server) = endpoints();
+        let mut rng = Rng::new(1);
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: 1_000_000,
+                client,
+                server,
+                client_port: 44000,
+                server_port: 443,
+                client_ttl: 64,
+                server_ttl: 52,
+                exchanges: &[
+                    Exchange::c2s(b"GET / HTTP/1.1\r\n\r\n".to_vec(), 2_000),
+                    Exchange::s2c(vec![0xAB; 3000], 5_000),
+                ],
+                teardown: Teardown::Fin,
+                rtt_us: 20_000,
+                label: Label::BENIGN,
+            },
+            &mut rng,
+        );
+        let metas = parse_all(&pkts);
+        let conns = assemble(&metas, FlowConfig::default());
+        assert_eq!(conns.len(), 1);
+        let c = &conns[0];
+        assert_eq!(c.state, ConnState::SF);
+        assert_eq!(c.orig, (client.ip, 44000));
+        assert_eq!(c.orig_bytes, 18);
+        assert_eq!(c.resp_bytes, 3000); // segmented into 1400+1400+200
+        assert!(c.resp_pkts >= 4);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let (client, server) = endpoints();
+        let mut rng = Rng::new(2);
+        let (pkts, end) = tcp_conversation(
+            TcpConv {
+                start_us: 0,
+                client,
+                server,
+                client_port: 50000,
+                server_port: 80,
+                client_ttl: 64,
+                server_ttl: 60,
+                exchanges: &[Exchange::c2s(vec![1; 100], 1000)],
+                teardown: Teardown::Fin,
+                rtt_us: 10_000,
+                label: Label::BENIGN,
+            },
+            &mut rng,
+        );
+        for w in pkts.windows(2) {
+            assert!(w[0].packet.ts_us < w[1].packet.ts_us);
+        }
+        assert_eq!(end, pkts.last().unwrap().packet.ts_us);
+    }
+
+    #[test]
+    fn server_rst_yields_rej_for_syn_only() {
+        let (client, server) = endpoints();
+        let mut rng = Rng::new(3);
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: 0,
+                client,
+                server,
+                client_port: 50001,
+                server_port: 23,
+                client_ttl: 64,
+                server_ttl: 60,
+                exchanges: &[],
+                teardown: Teardown::ServerRst,
+                rtt_us: 5_000,
+                label: Label::attack(crate::AttackKind::PortScan),
+            },
+            &mut rng,
+        );
+        // SYN, SYNACK, ACK, RST — a rejected-after-handshake shape; the
+        // tracker classifies responder RSTs without establishment as REJ or
+        // RSTR depending on ACK progress. Either way it's an abort state.
+        let metas = parse_all(&pkts);
+        let conns = assemble(&metas, FlowConfig::default());
+        assert!(matches!(conns[0].state, ConnState::Rej | ConnState::Rstr));
+    }
+
+    #[test]
+    fn udp_exchange_roundtrip() {
+        let (client, server) = endpoints();
+        let mut rng = Rng::new(4);
+        let (pkts, _) = udp_exchange(
+            500,
+            client,
+            server,
+            5353,
+            53,
+            b"query",
+            Some(b"answer-bytes"),
+            8_000,
+            (64, 55),
+            Label::BENIGN,
+            &mut rng,
+        );
+        assert_eq!(pkts.len(), 2);
+        let metas = parse_all(&pkts);
+        assert!(metas[0].is_udp());
+        assert_eq!(metas[1].payload, b"answer-bytes");
+    }
+
+    #[test]
+    fn large_payload_is_segmented() {
+        let (client, server) = endpoints();
+        let mut rng = Rng::new(5);
+        let (pkts, _) = tcp_conversation(
+            TcpConv {
+                start_us: 0,
+                client,
+                server,
+                client_port: 50002,
+                server_port: 8080,
+                client_ttl: 64,
+                server_ttl: 64,
+                exchanges: &[Exchange::c2s(vec![7; 4200], 100)],
+                teardown: Teardown::None,
+                rtt_us: 1_000,
+                label: Label::BENIGN,
+            },
+            &mut rng,
+        );
+        // 3 handshake + 3 data segments (1400×3) + 3 acks.
+        let data_pkts = pkts
+            .iter()
+            .filter(|lp| {
+                let m = PacketMeta::parse(LinkType::Ethernet, 0, &lp.packet.data).unwrap();
+                m.payload_len > 0
+            })
+            .count();
+        assert_eq!(data_pkts, 3);
+    }
+}

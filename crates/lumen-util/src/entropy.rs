@@ -1,0 +1,108 @@
+//! Entropy measures over discrete observations.
+//!
+//! Several published IDS feature sets (e.g. smartdet's "entropy of source
+//! ports") use Shannon entropy of a categorical stream as a DoS/scan signal:
+//! floods concentrate mass on one value (low entropy) while spoofed-source
+//! attacks spread it (high entropy).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy (bits) of the empirical distribution over `items`.
+pub fn shannon<T: Eq + Hash>(items: impl IntoIterator<Item = T>) -> f64 {
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    let mut total = 0u64;
+    for it in items {
+        *counts.entry(it).or_insert(0) += 1;
+        total += 1;
+    }
+    entropy_of_counts(counts.values().copied(), total)
+}
+
+/// Shannon entropy from pre-aggregated counts.
+pub fn entropy_of_counts(counts: impl IntoIterator<Item = u64>, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for c in counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / total;
+        h -= p * p.log2();
+    }
+    h
+}
+
+/// Normalized entropy in `[0, 1]`: Shannon entropy divided by `log2(k)` where
+/// `k` is the number of distinct values; 0 for degenerate streams.
+pub fn normalized<T: Eq + Hash>(items: impl IntoIterator<Item = T>) -> f64 {
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    let mut total = 0u64;
+    for it in items {
+        *counts.entry(it).or_insert(0) += 1;
+        total += 1;
+    }
+    let k = counts.len();
+    if k <= 1 {
+        return 0.0;
+    }
+    entropy_of_counts(counts.values().copied(), total) / (k as f64).log2()
+}
+
+/// Byte entropy of a buffer (bits per byte); used by payload features to
+/// distinguish encrypted/compressed C2 payloads from plaintext telemetry.
+pub fn byte_entropy(bytes: &[u8]) -> f64 {
+    let mut counts = [0u64; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    entropy_of_counts(counts.iter().copied(), bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_two_values_is_one_bit() {
+        let h = shannon([0u8, 1, 0, 1]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stream_is_zero() {
+        assert_eq!(shannon([7u8; 100]), 0.0);
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        assert_eq!(shannon(Vec::<u8>::new()), 0.0);
+    }
+
+    #[test]
+    fn uniform_256_bytes_is_eight_bits() {
+        let buf: Vec<u8> = (0..=255).collect();
+        assert!((byte_entropy(&buf) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_is_unit_for_uniform() {
+        let h = normalized([1u8, 2, 3, 4, 1, 2, 3, 4]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_single_value_is_zero() {
+        assert_eq!(normalized([9u8; 5]), 0.0);
+    }
+
+    #[test]
+    fn skew_reduces_entropy() {
+        let skewed = shannon([0u8, 0, 0, 0, 0, 0, 0, 1]);
+        let uniform = shannon([0u8, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(skewed < uniform);
+    }
+}

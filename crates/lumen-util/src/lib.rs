@@ -1,0 +1,13 @@
+//! Shared utilities for the Lumen workspace.
+//!
+//! This crate deliberately has no dependencies: every stochastic component in
+//! Lumen (dataset synthesis, model initialization, sampling) draws from the
+//! deterministic [`rng::Rng`] defined here so that experiments are
+//! reproducible bit-for-bit from a single `u64` seed.
+
+pub mod entropy;
+pub mod rng;
+pub mod stats;
+
+pub use rng::Rng;
+pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,95 @@
+//! The paper's §6 generality claim, demonstrated: "if we were to extend our
+//! framework to do ML-based device classification, we would only need to add
+//! a new dataset ... the rest of the functions/modules would be used
+//! directly."
+//!
+//! Here the *same* operations that power anomaly detection — GroupBy,
+//! TimeSlice, ApplyAggregates, Model, Train — classify which traffic comes
+//! from cameras (vs. other IoT devices). Only the labels changed.
+//!
+//! Run with: `cargo run --release --example device_classification`
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lumen::prelude::*;
+
+fn main() {
+    // Purely benign traffic: a Kitsune-style camera LAN (P-family recipe
+    // before any attack window) is closest, but any dataset works — we use
+    // F0 and relabel by device behaviour instead of maliciousness.
+    let capture = build_dataset(DatasetId::F0, SynthScale::default(), 77);
+    let (metas, _) = parse_capture(capture.link, &capture.packets, 4);
+
+    // New task = new labels: 1 if the packet belongs to a camera stream
+    // (long-lived RTSP-style sessions to port 8554), else 0. Everything
+    // downstream is the unmodified framework.
+    let labels: Vec<u8> = metas
+        .iter()
+        .map(|m| {
+            let is_cam =
+                m.transport.dst_port() == Some(8554) || m.transport.src_port() == Some(8554);
+            u8::from(is_cam)
+        })
+        .collect();
+    let cam_pkts = labels.iter().filter(|&&l| l == 1).count();
+    println!(
+        "{} packets, {} from cameras ({:.1}%)",
+        metas.len(),
+        cam_pkts,
+        100.0 * cam_pkts as f64 / metas.len() as f64
+    );
+    let n = labels.len();
+    let source = Data::Packets(Arc::new(PacketData {
+        link: capture.link,
+        metas,
+        labels,
+        tags: vec![0; n],
+    }));
+
+    // Classify per source device over 5-second windows, using only
+    // *behavioural* features (sizes, timing, volume) — no ports, so the
+    // model has to learn the traffic shape, not the label definition.
+    let template = serde_json::json!([
+        {"func": "GroupBy", "input": ["source"], "output": "by_src", "key": "srcIp"},
+        {"func": "TimeSlice", "input": ["by_src"], "output": "windows", "window_s": 5.0},
+        {"func": "ApplyAggregates", "input": ["windows"], "output": "features",
+         "aggs": [
+            {"fn": "count"},
+            {"fn": "rate"},
+            {"fn": "bandwidth"},
+            {"fn": "mean", "field": "wire_len"},
+            {"fn": "std", "field": "wire_len"},
+            {"fn": "median", "field": "wire_len"},
+            {"fn": "mean", "field": "payload_len"},
+            {"fn": "distinct", "field": "dst_ip_u32"}
+         ]},
+        {"func": "TrainTestSplit", "input": ["features"], "output": "split",
+         "train_frac": 0.7, "seed": 4},
+        {"func": "TakeTrain", "input": ["split"], "output": "train"},
+        {"func": "TakeTest", "input": ["split"], "output": "test"},
+        {"func": "Model", "input": [], "output": "clf",
+         "model_type": "RandomForest", "n_trees": 25},
+        {"func": "Train", "input": ["clf", "train"], "output": "trained"},
+        {"func": "Predict", "input": ["trained", "test"], "output": "preds"},
+        {"func": "Evaluate", "input": ["preds"], "output": "report"}
+    ]);
+
+    let pipeline =
+        Pipeline::parse(&template, &[("source", DataKind::Packets)]).expect("type-checks");
+    let mut bindings = HashMap::new();
+    bindings.insert("source".to_string(), source);
+    let mut out = pipeline.run(bindings).expect("runs");
+    let Data::Report(report) = out.take("report").unwrap() else {
+        unreachable!()
+    };
+    println!(
+        "\ndevice classification (is-it-a-camera?) on held-out windows:\n\
+         precision {:.3}, recall {:.3}, F1 {:.3}, AUC {:.3}",
+        report.precision, report.recall, report.f1, report.auc
+    );
+    println!(
+        "\nzero framework changes were needed — the task swap is exactly the\n\
+         paper's §6 argument for Lumen's generality."
+    );
+}

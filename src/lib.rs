@@ -1,0 +1,77 @@
+//! # Lumen
+//!
+//! A Rust implementation of **Lumen: A Framework for Developing and
+//! Evaluating ML-Based IoT Network Anomaly Detection** (CoNEXT 2022) —
+//! a modular development framework plus a benchmarking suite for ML-based
+//! IoT network-layer intrusion detection.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`net`] — wire formats, pcap I/O, packet summaries;
+//! * [`flow`] — Zeek-style connection tracking;
+//! * [`synth`] — synthetic IoT traffic, attacks, and the 15 dataset recipes;
+//! * [`ml`] — from-scratch ML (trees, forests, SVMs, GMMs, autoencoders,
+//!   KitNET, metrics);
+//! * [`core`] — the framework itself: data model, ~30 configurable
+//!   operations, the JSON template language, and the type-checking,
+//!   profiling execution engine;
+//! * [`algorithms`] — the 16 published algorithms (A00–A15) + synthesized
+//!   variants as Lumen pipelines;
+//! * `bench` (re-export of `lumen_bench_suite`) — the benchmarking suite: registries, faithful runner,
+//!   result store, figure renderers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lumen::prelude::*;
+//! use std::collections::HashMap;
+//! use std::sync::Arc;
+//!
+//! // 1. A labeled capture (here: synthetic CTU-like Mirai traffic).
+//! let capture = build_dataset(DatasetId::F4, SynthScale::small(), 42);
+//!
+//! // 2. Parse it into the framework's packet source.
+//! let (metas, _skipped) = parse_capture(capture.link, &capture.packets, 4);
+//! let labels: Vec<u8> = capture.labels.iter().map(|l| u8::from(l.malicious)).collect();
+//! let tags = vec![0u32; labels.len()];
+//! let source = Data::Packets(Arc::new(PacketData {
+//!     link: capture.link, metas, labels, tags,
+//! }));
+//!
+//! // 3. Describe an anomaly detector as a template pipeline (Figure 4).
+//! let template = serde_json::json!([
+//!     {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+//!     {"func": "ConnExtract", "input": ["conns"], "output": "features",
+//!      "fields": ["duration", "orig_pkts", "resp_pkts", "bandwidth", "state"]},
+//!     {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+//!     {"func": "Train", "input": ["clf", "features"], "output": "trained"}
+//! ]);
+//! let pipeline = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+//!
+//! // 4. Run it.
+//! let mut bindings = HashMap::new();
+//! bindings.insert("source".to_string(), source);
+//! let mut out = pipeline.run(bindings).unwrap();
+//! let trained = out.take("trained").unwrap();
+//! assert_eq!(trained.kind(), DataKind::Trained);
+//! ```
+
+pub use lumen_algorithms as algorithms;
+pub use lumen_bench_suite as bench;
+pub use lumen_core as core;
+pub use lumen_flow as flow;
+pub use lumen_ml as ml;
+pub use lumen_net as net;
+pub use lumen_synth as synth;
+pub use lumen_util as util;
+
+/// Common imports for applications built on Lumen.
+pub mod prelude {
+    pub use lumen_algorithms::{algorithm, all_algorithms, Algorithm, AlgorithmId, Granularity};
+    pub use lumen_bench_suite::{DatasetRegistry, ResultStore, RunConfig, Runner};
+    pub use lumen_core::data::{Data, DataKind, PacketData};
+    pub use lumen_core::par::parse_capture;
+    pub use lumen_core::{Pipeline, Table};
+    pub use lumen_net::{CapturedPacket, LinkType, PacketMeta};
+    pub use lumen_synth::{build_dataset, AttackKind, DatasetId, LabeledCapture, SynthScale};
+}

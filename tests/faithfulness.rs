@@ -1,0 +1,111 @@
+//! The benchmark's faithfulness rules (§3.3), checked as invariants over
+//! the real runner.
+
+use std::sync::Arc;
+
+use lumen::bench::{DatasetRegistry, RunConfig, Runner};
+use lumen::prelude::*;
+
+fn runner() -> Runner {
+    let registry = Arc::new(DatasetRegistry::new(SynthScale::small(), 5).with_max_packets(1000));
+    Runner::new(
+        registry,
+        RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        },
+    )
+}
+
+#[test]
+fn matrix_never_pairs_across_granularities() {
+    let r = runner();
+    let store = r.run_matrix(
+        &[AlgorithmId::A06, AlgorithmId::A14],
+        &[DatasetId::F4, DatasetId::P2],
+        true,
+    );
+    for row in store.rows() {
+        match row.algo.as_str() {
+            "A06" => {
+                assert!(row.train.starts_with('P'), "A06 trained on {}", row.train);
+                assert!(row.test.starts_with('P'));
+            }
+            "A14" => {
+                assert!(row.train.starts_with('F'), "A14 trained on {}", row.train);
+                assert!(row.test.starts_with('F'));
+            }
+            other => panic!("unexpected algo {other}"),
+        }
+    }
+}
+
+#[test]
+fn restricted_algorithm_only_runs_on_its_dataset() {
+    let r = runner();
+    let store = r.run_matrix(&[AlgorithmId::A05], &DatasetId::ALL, false);
+    for row in store.rows() {
+        assert_eq!(row.train, "P0");
+    }
+}
+
+#[test]
+fn wifi_dataset_only_hosts_kitsune() {
+    let r = runner();
+    let store = r.run_matrix(&AlgorithmId::PUBLISHED, &[DatasetId::P3], false);
+    let algos: std::collections::HashSet<&str> =
+        store.rows().iter().map(|r| r.algo.as_str()).collect();
+    assert_eq!(algos, std::collections::HashSet::from(["A06"]));
+}
+
+#[test]
+fn metrics_are_bounded_and_consistent() {
+    let r = runner();
+    let store = r.run_matrix(
+        &[AlgorithmId::A13, AlgorithmId::A15],
+        &[DatasetId::F4, DatasetId::F9],
+        true,
+    );
+    assert!(!store.is_empty());
+    for row in store.rows() {
+        for v in [row.precision, row.recall, row.f1, row.accuracy, row.auc] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {row:?}");
+        }
+        assert!(row.n_test > 0);
+        if row.attack.is_none() {
+            assert!(row.n_train > 0);
+        }
+    }
+}
+
+#[test]
+fn per_attack_rows_only_name_attacks_in_the_dataset() {
+    let r = runner();
+    let mut cfg = r.config;
+    cfg.per_attack = true;
+    let r = Runner::new(Arc::clone(&r.registry), cfg);
+    let rows = r.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+    let spec_attacks: Vec<&str> = DatasetId::F4
+        .spec()
+        .attacks
+        .iter()
+        .map(|a| a.name())
+        .collect();
+    for row in rows.iter().filter(|r| r.attack.is_some()) {
+        let name = row.attack.as_deref().unwrap();
+        assert!(
+            spec_attacks.contains(&name),
+            "unexpected attack {name} in F4 rows"
+        );
+    }
+}
+
+#[test]
+fn same_dataset_split_is_seed_stable() {
+    let r1 = runner();
+    let r2 = runner();
+    let a = r1.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+    let b = r2.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+    assert_eq!(a[0].precision, b[0].precision);
+    assert_eq!(a[0].n_train, b[0].n_train);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the paper's Figure 4 template, end to end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lumen::prelude::*;
+
+fn source(id: DatasetId, seed: u64) -> (Data, LabeledCapture) {
+    let capture = build_dataset(id, SynthScale::small(), seed);
+    let (metas, skipped) = parse_capture(capture.link, &capture.packets, 2);
+    assert_eq!(skipped, 0);
+    let labels: Vec<u8> = capture
+        .labels
+        .iter()
+        .map(|l| u8::from(l.malicious))
+        .collect();
+    let n = labels.len();
+    let data = Data::Packets(Arc::new(PacketData {
+        link: capture.link,
+        metas,
+        labels,
+        tags: vec![0; n],
+    }));
+    (data, capture)
+}
+
+#[test]
+fn figure4_template_end_to_end() {
+    let (src, _) = source(DatasetId::F1, 1);
+    // The paper's Figure 4: Field Extract -> Groupby -> TimeSlice ->
+    // ApplyAggregates -> model -> train (adapted to named params).
+    let template = serde_json::json!([
+        {"func": "FieldExtract", "input": ["source"], "output": "packets_t",
+         "fields": ["src_ip_u32", "dst_ip_u32", "tcp_flags_bits", "wire_len"]},
+        {"func": "GroupBy", "input": ["source"], "output": "grouped_packets", "key": "srcIp"},
+        {"func": "TimeSlice", "input": ["grouped_packets"], "output": "sliced_packets",
+         "window_s": 10.0},
+        {"func": "ApplyAggregates", "input": ["sliced_packets"], "output": "features",
+         "aggs": [
+            {"fn": "count"},
+            {"fn": "mean", "field": "wire_len"},
+            {"fn": "bandwidth"},
+            {"fn": "entropy", "field": "dst_port"}
+         ]},
+        {"func": "Model", "input": [], "output": "clf1",
+         "model_type": "RandomForest", "n_trees": 10},
+        {"func": "Train", "input": ["clf1", "features"], "output": "trained"}
+    ]);
+    let pipeline = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+    let mut bindings = HashMap::new();
+    bindings.insert("source".to_string(), src);
+    let mut out = pipeline.run(bindings).unwrap();
+    assert_eq!(out.take("trained").unwrap().kind(), DataKind::Trained);
+    // The unused per-packet table is still live (never consumed).
+    assert!(out.outputs.contains_key("packets_t"));
+    // Consumed intermediates are freed.
+    assert!(!out.outputs.contains_key("grouped_packets"));
+}
+
+#[test]
+fn profile_accounts_for_every_operation() {
+    let (src, _) = source(DatasetId::F4, 2);
+    let template = serde_json::json!([
+        {"func": "FlowAssemble", "input": ["source"], "output": "conns"},
+        {"func": "ConnExtract", "input": ["conns"], "output": "features",
+         "fields": ["duration", "bandwidth"]}
+    ]);
+    let p = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+    let mut b = HashMap::new();
+    b.insert("source".to_string(), src);
+    let out = p.run(b).unwrap();
+    assert_eq!(out.profile.len(), 2);
+    assert_eq!(out.profile[0].op, "FlowAssemble");
+    assert!(out.profile[0].output_bytes > 0);
+}
+
+#[test]
+fn algorithms_compose_with_template_splits() {
+    let (src, _) = source(DatasetId::F6, 3);
+    let a15 = algorithm(AlgorithmId::A15);
+    let features = a15.extract_features(&src).unwrap();
+    let trained = a15.train(&features, 1).unwrap();
+    let (report, preds) = a15.evaluate(&trained, &features).unwrap();
+    assert_eq!(preds.preds.len(), features.rows());
+    assert!(report.precision > 0.5);
+}
+
+#[test]
+fn wifi_capture_only_supports_kitsune() {
+    let (src, capture) = source(DatasetId::P3, 4);
+    assert_eq!(capture.link, LinkType::Ieee80211);
+    // Kitsune extracts fine.
+    let a06 = algorithm(AlgorithmId::A06);
+    let f = a06.extract_features(&src).unwrap();
+    assert!(f.rows() > 100);
+    // nPrint on dot11 frames produces all-missing IP sections.
+    let a02 = algorithm(AlgorithmId::A02);
+    assert!(!a02.supports_link(LinkType::Ieee80211));
+}
+
+#[test]
+fn merged_dataset_tables_align_across_datasets() {
+    // The §5.4 merged-training heuristic requires identical schemas across
+    // datasets for the same algorithm.
+    let (a, _) = source(DatasetId::F4, 5);
+    let (b, _) = source(DatasetId::F8, 6);
+    let a14 = algorithm(AlgorithmId::A14);
+    let fa = a14.extract_features(&a).unwrap();
+    let fb = a14.extract_features(&b).unwrap();
+    assert_eq!(fa.names, fb.names);
+    let merged = fa.vcat(&fb).unwrap();
+    assert_eq!(merged.rows(), fa.rows() + fb.rows());
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use lumen::core::data::{Data, DataKind, PacketData};
+use lumen::core::Pipeline;
+use lumen::flow::{assemble, FlowConfig};
+use lumen::ml::metrics::{confusion, roc_auc};
+use lumen::net::builder::{tcp_packet, udp_packet, TcpParams, UdpParams};
+use lumen::net::wire::tcp::TcpFlags;
+use lumen::net::{LinkType, MacAddr, PacketMeta};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (1u8..=250, 0u8..=255, 0u8..=255, 1u8..=254).prop_map(|(a, b, c, d)| Ipv4Addr::new(a, b, c, d))
+}
+
+proptest! {
+    /// Any TCP frame the builder produces parses back to the same fields
+    /// with valid checksums.
+    #[test]
+    fn tcp_build_parse_roundtrip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in 1u16..65535,
+        dport in 1u16..65535,
+        seq in any::<u32>(),
+        flags_bits in 0u8..0x40,
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let frame = tcp_packet(TcpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sport,
+            dst_port: dport,
+            seq,
+            ack: 0,
+            flags: TcpFlags(flags_bits),
+            window: 1024,
+            ttl,
+            payload: &payload,
+        });
+        let meta = PacketMeta::parse(LinkType::Ethernet, 0, &frame).unwrap();
+        let ip = meta.ipv4.as_ref().unwrap();
+        prop_assert_eq!(ip.src, src);
+        prop_assert_eq!(ip.dst, dst);
+        prop_assert_eq!(ip.ttl, ttl);
+        prop_assert_eq!(meta.transport.src_port(), Some(sport));
+        prop_assert_eq!(meta.transport.dst_port(), Some(dport));
+        prop_assert_eq!(meta.payload_len as usize, payload.len());
+        prop_assert_eq!(meta.transport.tcp_flags().unwrap().0, flags_bits);
+        // Checksums embedded by the builder verify.
+        let eth = lumen::net::wire::EthernetFrame::new_checked(&frame[..]).unwrap();
+        let ipp = lumen::net::wire::Ipv4Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ipp.verify_checksum());
+    }
+
+    /// Flow assembly partitions IP packets: every parsed packet index shows
+    /// up in exactly one connection.
+    #[test]
+    fn flow_assembly_partitions_packets(
+        n_flows in 1usize..6,
+        pkts_per_flow in 1usize..8,
+    ) {
+        let mut metas = Vec::new();
+        let mut ts = 0u64;
+        for f in 0..n_flows {
+            for _ in 0..pkts_per_flow {
+                let frame = udp_packet(UdpParams {
+                    src_mac: MacAddr::from_id(1),
+                    dst_mac: MacAddr::from_id(2),
+                    src_ip: Ipv4Addr::new(10, 0, 0, 1 + f as u8),
+                    dst_ip: Ipv4Addr::new(10, 0, 1, 1),
+                    src_port: 10_000 + f as u16,
+                    dst_port: 53,
+                    ttl: 64,
+                    payload: b"q",
+                });
+                metas.push(PacketMeta::parse(LinkType::Ethernet, ts, &frame).unwrap());
+                ts += 1000;
+            }
+        }
+        let conns = assemble(&metas, FlowConfig::default());
+        prop_assert_eq!(conns.len(), n_flows);
+        let mut all: Vec<u32> = conns.iter().flat_map(|c| c.packet_indices.clone()).collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..(n_flows * pkts_per_flow) as u32).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Precision/recall/F1/accuracy stay in [0, 1] and AUC in [0, 1] for
+    /// arbitrary prediction vectors.
+    #[test]
+    fn metric_bounds(
+        preds in proptest::collection::vec(0u8..=1, 1..100),
+        scores in proptest::collection::vec(0.0f64..1.0, 1..100),
+    ) {
+        let n = preds.len().min(scores.len());
+        let truth: Vec<u8> = (0..n).map(|i| (i % 3 == 0) as u8).collect();
+        let c = confusion(&preds[..n], &truth);
+        for v in [c.precision(), c.recall(), c.f1(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let auc = roc_auc(&scores[..n], &truth);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    /// Damped-statistics invariants: weights positive and bounded by the
+    /// packet count; sigma never negative; per-packet tables always align
+    /// with the source length.
+    #[test]
+    fn damped_stats_invariants(
+        lens in proptest::collection::vec(0usize..800, 2..40),
+        gap_ms in 1u64..5_000,
+    ) {
+        let metas: Vec<PacketMeta> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let frame = udp_packet(UdpParams {
+                    src_mac: MacAddr::from_id(3),
+                    dst_mac: MacAddr::from_id(4),
+                    src_ip: Ipv4Addr::new(10, 1, 0, 1),
+                    dst_ip: Ipv4Addr::new(10, 1, 0, 2),
+                    src_port: 1111,
+                    dst_port: 2222,
+                    ttl: 64,
+                    payload: &vec![0u8; l],
+                });
+                PacketMeta::parse(LinkType::Ethernet, i as u64 * gap_ms * 1000, &frame).unwrap()
+            })
+            .collect();
+        let n = metas.len();
+        let source = Data::Packets(Arc::new(PacketData {
+            link: LinkType::Ethernet,
+            metas,
+            labels: vec![0; n],
+            tags: vec![0; n],
+        }));
+        let template = serde_json::json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "DampedStats", "input": ["g"], "output": "features",
+             "field": "wire_len", "lambdas": [1.0, 0.01]}
+        ]);
+        let p = Pipeline::parse(&template, &[("source", DataKind::Packets)]).unwrap();
+        let mut b = std::collections::HashMap::new();
+        b.insert("source".to_string(), source);
+        let mut out = p.run(b).unwrap();
+        let Data::Table(t) = out.take("features").unwrap() else { unreachable!() };
+        prop_assert_eq!(t.rows(), n);
+        for r in 0..t.rows() {
+            for li in 0..2 {
+                let w = t.x.get(r, li * 3);
+                let sigma = t.x.get(r, li * 3 + 2);
+                prop_assert!(w > 0.0 && w <= n as f64 + 1e-9, "weight {w}");
+                prop_assert!(sigma >= 0.0);
+            }
+        }
+    }
+
+    /// The stratified splitter preserves instance counts and class totals.
+    #[test]
+    fn split_preserves_class_totals(
+        n_pos in 1usize..40,
+        n_neg in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use lumen::ml::dataset::{train_test_split, Dataset};
+        use lumen::ml::matrix::Matrix;
+        use lumen::util::Rng;
+        let rows: Vec<Vec<f64>> = (0..n_pos + n_neg).map(|i| vec![i as f64]).collect();
+        let y: Vec<u8> = (0..n_pos).map(|_| 1).chain((0..n_neg).map(|_| 0)).collect();
+        let data = Dataset::new(Matrix::from_rows(rows).unwrap(), y).unwrap();
+        let (train, test) = train_test_split(&data, 0.7, &mut Rng::new(seed));
+        prop_assert_eq!(train.len() + test.len(), n_pos + n_neg);
+        prop_assert_eq!(train.positives() + test.positives(), n_pos);
+    }
+}
