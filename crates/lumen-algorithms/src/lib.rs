@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lumen_core::data::{Data, DataKind, PredOutput, Report, Trained};
-use lumen_core::{CoreError, CoreResult, Pipeline, Table};
+use lumen_core::{lint_template, CoreError, CoreResult, Diagnostic, Pipeline, Table};
 use lumen_net::LinkType;
 use serde_json::{json, Value};
 
@@ -127,9 +127,11 @@ impl Algorithm {
         }
     }
 
-    /// Trains the algorithm's model on a feature table (via the framework's
-    /// `Model`/`Train` operations).
-    pub fn train(&self, features: &Arc<Table>, seed: u64) -> CoreResult<Trained> {
+    /// The `[Model, Train]` template that [`Algorithm::train`] executes,
+    /// with `model_params` folded into the `Model` node. Public so the
+    /// static-analysis audit can check every algorithm's model parameters
+    /// against the `Model` operation's schema.
+    pub fn train_template(&self, seed: u64) -> Value {
         let mut model_params = self.model_params.clone();
         if let Some(obj) = model_params.as_object_mut() {
             obj.insert("func".into(), json!("Model"));
@@ -137,10 +139,25 @@ impl Algorithm {
             obj.insert("output".into(), json!("clf"));
             obj.entry("seed").or_insert(json!(seed));
         }
-        let template = json!([
+        json!([
             model_params,
             {"func": "Train", "input": ["clf", "features"], "output": "trained"}
-        ]);
+        ])
+    }
+
+    /// Runs the template linter over this algorithm's feature pipeline and
+    /// its model/train template; an empty result means the catalog entry is
+    /// clean under every rule (the CI audit enforces exactly this).
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        let mut diags = lint_template(&self.feature_template, &["source"]);
+        diags.extend(lint_template(&self.train_template(0), &["features"]));
+        diags
+    }
+
+    /// Trains the algorithm's model on a feature table (via the framework's
+    /// `Model`/`Train` operations).
+    pub fn train(&self, features: &Arc<Table>, seed: u64) -> CoreResult<Trained> {
+        let template = self.train_template(seed);
         let pipeline = Pipeline::parse(&template, &[("features", DataKind::Table)])?;
         let mut bindings = HashMap::new();
         bindings.insert("features".to_string(), Data::Table(Arc::clone(features)));
@@ -255,6 +272,51 @@ mod tests {
         assert!(!a05.allowed_on("P1"));
         let a06 = algorithm(AlgorithmId::A06);
         assert!(a06.allowed_on("P1"));
+    }
+
+    #[test]
+    fn whole_catalog_lints_clean() {
+        // Every rule family over every algorithm's feature pipeline AND its
+        // model/train template: no unknown parameter keys, no dead outputs,
+        // no faithfulness violations anywhere in the shipped catalog.
+        for a in all_algorithms() {
+            let diags = a.lint();
+            assert!(
+                diags.is_empty(),
+                "{} has lint findings:\n  {}",
+                a.name,
+                diags
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n  ")
+            );
+        }
+    }
+
+    #[test]
+    fn lint_catches_injected_catalog_typo() {
+        // Sanity-check the audit has teeth: misspell one parameter key in a
+        // real catalog template and the linter must flag it as an error.
+        let a = algorithm(AlgorithmId::A00);
+        let mut template = a.feature_template.clone();
+        let nodes = template.as_array_mut().expect("feature template array");
+        let obj = nodes[0].as_object_mut().expect("node object");
+        let keys: Vec<String> = obj
+            .keys()
+            .filter(|k| !["func", "input", "output", "params"].contains(&k.as_str()))
+            .cloned()
+            .collect();
+        let key = keys.first().expect("A00 node 0 has a parameter");
+        let v = obj.remove(key).unwrap();
+        obj.insert(format!("{key}x"), v);
+        let diags = lint_template(&template, &["source"]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule_id == "L001" && d.severity == lumen_core::Severity::Error),
+            "typo not caught: {diags:?}"
+        );
     }
 
     #[test]

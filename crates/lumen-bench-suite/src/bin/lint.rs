@@ -1,0 +1,123 @@
+//! `lint` — the catalog's static-analysis audit (CI gate).
+//!
+//! Runs the template linter (`lumen_core::lint`) over every catalog
+//! algorithm's feature pipeline and its model/train template, prints every
+//! diagnostic with its rule id / severity / node, and exits nonzero when
+//! any Error-severity rule fires — so a silently-ignored parameter key or
+//! an unfaithful evaluation structure can never ship in the catalog.
+//!
+//! ```text
+//! lint                  audit all catalog algorithms
+//! lint --rules          print the rule catalog and exit
+//! lint --template FILE  lint a template JSON file (declared input "source",
+//!                       kind Packets) instead of the catalog
+//! ```
+
+use std::process::ExitCode;
+
+use lumen_algorithms::all_algorithms;
+use lumen_core::lint::{has_errors, lint_template, rule_catalog, Diagnostic, Severity};
+
+fn print_diags(context: &str, diags: &[Diagnostic]) -> (usize, usize) {
+    let mut errors = 0;
+    let mut warns = 0;
+    for d in diags {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warn => warns += 1,
+            Severity::Info => {}
+        }
+        println!("  {context}: {d}");
+    }
+    (errors, warns)
+}
+
+fn lint_file(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let template = match serde_json::from_str(&src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = lint_template(&template, &["source"]);
+    if diags.is_empty() {
+        println!("{path}: clean");
+        return ExitCode::SUCCESS;
+    }
+    let (errors, warns) = print_diags(path, &diags);
+    println!(
+        "{path}: {} diagnostic(s) — {errors} error(s), {warns} warning(s)",
+        diags.len()
+    );
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn audit_catalog() -> ExitCode {
+    let algos = all_algorithms();
+    let mut total_errors = 0;
+    let mut total_warns = 0;
+    let mut dirty = 0;
+    for a in &algos {
+        let feature = lint_template(&a.feature_template, &["source"]);
+        let train = lint_template(&a.train_template(0), &["features"]);
+        if feature.is_empty() && train.is_empty() {
+            println!("{:>5} {:<12} clean", format!("{:?}", a.id), a.name);
+            continue;
+        }
+        dirty += 1;
+        println!("{:>5} {:<12}", format!("{:?}", a.id), a.name);
+        let (fe, fw) = print_diags("feature-template", &feature);
+        let (te, tw) = print_diags("train-template", &train);
+        total_errors += fe + te;
+        total_warns += fw + tw;
+    }
+    println!(
+        "audited {} algorithms: {} clean, {} with findings — {} error(s), {} warning(s)",
+        algos.len(),
+        algos.len() - dirty,
+        dirty,
+        total_errors,
+        total_warns
+    );
+    if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--rules") => {
+            for (id, severity, summary) in rule_catalog() {
+                println!("{id}  {:<5} {summary}", severity.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--template") => match args.get(1) {
+            Some(path) => lint_file(path),
+            None => {
+                eprintln!("lint: --template requires a file path");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("lint: unknown argument {other:?} (try --rules or --template FILE)");
+            ExitCode::FAILURE
+        }
+        None => audit_catalog(),
+    }
+}

@@ -26,8 +26,65 @@ use std::time::Instant;
 use serde_json::Value;
 
 use crate::data::{Data, DataKind};
+use crate::lint::{self, Diagnostic};
 use crate::ops::{build_op, Operation};
 use crate::{CoreError, CoreResult};
+
+/// Serializes a JSON value with object keys sorted at every level, so the
+/// representation — and anything fingerprinted from it — is independent of
+/// the key order the template author happened to write.
+pub(crate) fn canonical_json(v: &Value) -> String {
+    fn escape(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    fn write(out: &mut String, v: &Value) {
+        match v {
+            Value::Null | Value::Bool(_) | Value::Number(_) => out.push_str(&v.to_string()),
+            Value::String(s) => escape(out, s),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, e) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write(out, e);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                let mut entries: Vec<(&String, &Value)> = m.iter().collect();
+                entries.sort_by_key(|&(k, _)| k);
+                out.push('{');
+                for (i, (k, e)) in entries.into_iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape(out, k);
+                    out.push(':');
+                    write(out, e);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write(&mut out, v);
+    out
+}
 
 /// One parsed template node.
 struct Node {
@@ -181,7 +238,7 @@ impl Pipeline {
                     }
                 }
             }
-            let params_repr = Value::Object(params.clone()).to_string();
+            let params_repr = canonical_json(&Value::Object(params.clone()));
             let op = build_op(&func, &Value::Object(params))?;
 
             // Type check.
@@ -251,11 +308,15 @@ impl Pipeline {
         }
         let frees: Vec<Vec<String>> = (0..nodes.len())
             .map(|i| {
-                last_use
+                let mut freed: Vec<String> = last_use
                     .iter()
                     .filter(|&(_, &li)| li == i)
                     .map(|(name, _)| name.to_string())
-                    .collect()
+                    .collect();
+                // HashMap iteration order is arbitrary; sort so profiles and
+                // profile_table() are identical run to run.
+                freed.sort_unstable();
+                freed
             })
             .collect();
 
@@ -264,6 +325,43 @@ impl Pipeline {
             inputs: inputs.iter().map(|(n, k)| (n.to_string(), *k)).collect(),
             frees,
         })
+    }
+
+    /// Parses and type-checks like [`Pipeline::parse`], and additionally
+    /// runs the full static-analysis pass ([`crate::lint`]) over the raw
+    /// template, returning the pipeline together with every diagnostic.
+    /// Diagnostics do not fail the parse — use [`Pipeline::parse_strict`]
+    /// to promote Error-severity findings to hard failures.
+    pub fn parse_linted(
+        template: &Value,
+        inputs: &[(&str, DataKind)],
+    ) -> CoreResult<(Pipeline, Vec<Diagnostic>)> {
+        let names: Vec<&str> = inputs.iter().map(|&(n, _)| n).collect();
+        let diags = lint::lint_template(template, &names);
+        let pipeline = Pipeline::parse(template, inputs)?;
+        Ok((pipeline, diags))
+    }
+
+    /// Parses with the linter's Error-severity rules enforced: a template
+    /// with an unknown operation, a silently-ignored parameter key, or an
+    /// unfaithful evaluation structure is rejected with every finding
+    /// listed, instead of compiling to a pipeline that runs the wrong
+    /// experiment.
+    pub fn parse_strict(template: &Value, inputs: &[(&str, DataKind)]) -> CoreResult<Pipeline> {
+        let names: Vec<&str> = inputs.iter().map(|&(n, _)| n).collect();
+        let errors: Vec<String> = lint::lint_template(template, &names)
+            .iter()
+            .filter(|d| d.severity == lint::Severity::Error)
+            .map(Diagnostic::to_string)
+            .collect();
+        if errors.is_empty() {
+            Pipeline::parse(template, inputs)
+        } else {
+            Err(CoreError::BadTemplate(format!(
+                "lint failed:\n  {}",
+                errors.join("\n  ")
+            )))
+        }
     }
 
     /// Parses from a JSON source string.
@@ -499,6 +597,120 @@ mod tests {
         ]);
         let c = Pipeline::parse(&other, &[("source", DataKind::Packets)]).unwrap();
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_insensitive_to_param_key_order() {
+        // Same node, parameter keys written in different orders. `json!`
+        // preserves insertion order, so without canonicalization the two
+        // params_reprs — and the fingerprints — would differ.
+        let a = Pipeline::parse_str(
+            r#"[{"func": "Sample", "input": ["t"], "output": "s",
+                 "frac": 0.5, "seed": 7, "balance": true}]"#,
+            &[("t", DataKind::Table)],
+        )
+        .unwrap();
+        let b = Pipeline::parse_str(
+            r#"[{"func": "Sample", "input": ["t"], "output": "s",
+                 "seed": 7, "balance": true, "frac": 0.5}]"#,
+            &[("t", DataKind::Table)],
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different parameter *values* must still change the fingerprint.
+        let c = Pipeline::parse_str(
+            r#"[{"func": "Sample", "input": ["t"], "output": "s",
+                 "frac": 0.5, "seed": 8, "balance": true}]"#,
+            &[("t", DataKind::Table)],
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_at_every_level() {
+        let a: Value = serde_json::from_str(r#"{"b": {"y": 1, "x": [2, {"q": 3, "p": 4}]}, "a": 0}"#)
+            .unwrap();
+        let b: Value = serde_json::from_str(r#"{"a": 0, "b": {"x": [2, {"p": 4, "q": 3}], "y": 1}}"#)
+            .unwrap();
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(
+            canonical_json(&a),
+            r#"{"a":0,"b":{"x":[2,{"p":4,"q":3}],"y":1}}"#
+        );
+    }
+
+    #[test]
+    fn freed_lists_are_sorted_and_deterministic() {
+        // MergeTables is variadic: all eight tables die at the same node,
+        // which exercises multi-variable free lists.
+        let names: Vec<String> = (0..8).map(|i| format!("t{i}")).collect();
+        let template = json!([
+            {"func": "MergeTables", "input": names.clone(), "output": "merged"}
+        ]);
+        let decls: Vec<(&str, DataKind)> =
+            names.iter().map(|n| (n.as_str(), DataKind::Table)).collect();
+        for _ in 0..10 {
+            let p = Pipeline::parse(&template, &decls).unwrap();
+            let freed = &p.frees[0];
+            assert_eq!(freed.len(), 8);
+            let mut sorted = freed.clone();
+            sorted.sort_unstable();
+            assert_eq!(freed, &sorted, "freed list must be sorted");
+        }
+    }
+
+    #[test]
+    fn parse_linted_reports_without_failing() {
+        // A dead GroupBy output: parses fine, lints as L101.
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "dead", "key": "srcIp"},
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "dstIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "window_s": 5.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+             "aggs": [{"fn": "count"}]}
+        ]);
+        let (p, diags) =
+            Pipeline::parse_linted(&t, &[("source", DataKind::Packets)]).unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(diags.iter().any(|d| d.rule_id == "L101"));
+    }
+
+    #[test]
+    fn parse_strict_rejects_misspelled_param_key() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "windows_s": 5.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+             "aggs": [{"fn": "count"}]}
+        ]);
+        // Plain parse silently defaults the window; strict parse refuses.
+        assert!(Pipeline::parse(&t, &[("source", DataKind::Packets)]).is_ok());
+        let err = Pipeline::parse_strict(&t, &[("source", DataKind::Packets)]).unwrap_err();
+        let CoreError::BadTemplate(msg) = err else {
+            panic!("wrong error kind")
+        };
+        assert!(msg.contains("windows_s"), "{msg}");
+        assert!(msg.contains("window_s"), "{msg}");
+    }
+
+    #[test]
+    fn parse_strict_accepts_clean_template() {
+        assert!(
+            Pipeline::parse_strict(&figure3_template(), &[("source", DataKind::Packets)]).is_ok()
+        );
+    }
+
+    #[test]
+    fn unknown_op_error_has_nearest_match_hint() {
+        let t = json!([
+            {"func": "TimeSlyce", "input": ["source"], "output": "s", "window_s": 5.0}
+        ]);
+        let err = Pipeline::parse(&t, &[("source", DataKind::Packets)]).unwrap_err();
+        let CoreError::BadTemplate(msg) = err else {
+            panic!("wrong error kind")
+        };
+        assert!(msg.contains("did you mean \"TimeSlice\""), "{msg}");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`ops`] — the ~30 operation implementations plus the registry that
 //!   instantiates them from template JSON.
 //! * [`engine`] — template parsing, type checking, execution, profiling.
+//! * [`lint`] — static analysis over raw templates: parameter-schema
+//!   strictness, dataflow checks, and the §4 evaluation-faithfulness rules.
 //! * [`cache`] — a feature cache so the benchmark can share extraction work
 //!   across algorithms (§3.2 "intermediate results are shared").
 //! * [`par`] — crossbeam-based chunked parallelism (the Ray substitute).
@@ -25,12 +27,14 @@
 pub mod cache;
 pub mod data;
 pub mod engine;
+pub mod lint;
 pub mod ops;
 pub mod par;
 pub mod table;
 
 pub use data::{Data, DataKind, PacketData, PredOutput, Report};
 pub use engine::{OpProfile, Pipeline, RunOutput};
+pub use lint::{lint_template, Diagnostic, Severity};
 pub use table::Table;
 
 /// Errors from the framework core.

@@ -1,0 +1,925 @@
+//! Static analysis for pipeline templates (`lumen-lint`).
+//!
+//! The engine's type checker (see [`crate::engine`]) verifies port kinds and
+//! arity, but nothing else: op builders silently default misspelled
+//! parameter keys, dead outputs pass unnoticed, and none of the
+//! evaluation-faithfulness pitfalls the paper's §4 warns about (leaky
+//! normalization, testing on training data) are caught before a run. This
+//! module closes that gap with a multi-rule lint over the *raw* template
+//! JSON, so it can diagnose templates the parser would reject and templates
+//! the parser would happily — and wrongly — accept.
+//!
+//! Three rule families:
+//!
+//! | family | rules | checks |
+//! |--------|-------|--------|
+//! | schema    | L001, L002, L005 | unknown parameter keys / `func` names, with did-you-mean suggestions |
+//! | dataflow  | L101–L104 | dead outputs, unread inputs, untrained models, single-input variadics |
+//! | faithfulness | L201–L205 | pre-split fitted preprocessing, asymmetric sampling, evaluating on the training table, degenerate windows, duplicate aggregates |
+//!
+//! Entry points: [`lint_template`] (raw JSON), plus
+//! [`crate::Pipeline::parse_linted`] / [`crate::Pipeline::parse_strict`]
+//! on the engine.
+
+use std::collections::HashSet;
+
+use serde_json::Value;
+
+use crate::ops::{param_schema, OPERATION_NAMES};
+
+/// Reserved node keys that are never operation parameters.
+pub const RESERVED_NODE_KEYS: [&str; 4] = ["func", "input", "output", "params"];
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory; the template is well-formed but could be simplified.
+    Info,
+    /// Probably a mistake; the run proceeds but results may not mean what
+    /// the author thinks.
+    Warn,
+    /// A defect: silent misconfiguration or an unfaithful evaluation.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One structured lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier ("L001", ...).
+    pub rule_id: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Index of the offending node in the template array; `None` for
+    /// template-level findings (e.g. an unread declared input).
+    pub node: Option<usize>,
+    /// `func` of the offending node, when known.
+    pub func: Option<String>,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// A proposed fix ("did you mean ...").
+    pub suggestion: Option<String>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity.name(), self.rule_id)?;
+        match (self.node, &self.func) {
+            (Some(i), Some(func)) => write!(f, " node {i} ({func})")?,
+            (Some(i), None) => write!(f, " node {i}")?,
+            _ => write!(f, " template")?,
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " — {s}")?;
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------- edit distance
+
+/// Edit distance with unit-cost insert/delete/substitute plus adjacent
+/// transposition (optimal string alignment), shared by the linter and the
+/// op registry's unknown-operation error. Transpositions count as one edit
+/// because they are the most common typo ("feild" → "field").
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev2: Vec<usize> = vec![0; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            let mut best = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                best = best.min(prev2[j - 1] + 1);
+            }
+            cur[j + 1] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within a length-scaled distance budget, used for
+/// did-you-mean suggestions. Comparison is case-insensitive so `"timeslice"`
+/// still suggests `"TimeSlice"`.
+pub fn nearest<'a>(needle: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let lowered = needle.to_ascii_lowercase();
+    candidates
+        .iter()
+        .map(|&c| (edit_distance(&lowered, &c.to_ascii_lowercase()), c))
+        .min_by_key(|&(d, c)| (d, c))
+        .filter(|&(d, c)| d <= budget(needle, c))
+        .map(|(_, c)| c)
+}
+
+fn budget(a: &str, b: &str) -> usize {
+    (a.chars().count().min(b.chars().count()) / 3).max(1)
+}
+
+// ------------------------------------------------------------------ lint IR
+
+/// A tolerantly-extracted template node: whatever could be read out of the
+/// raw JSON, with malformed pieces already reported.
+struct LintNode {
+    idx: usize,
+    func: Option<String>,
+    inputs: Vec<String>,
+    output: Option<String>,
+    /// Merged top-level + nested `"params"` parameter entries.
+    params: Vec<(String, Value)>,
+}
+
+fn extract_nodes(arr: &[Value], diags: &mut Vec<Diagnostic>) -> Vec<LintNode> {
+    let mut nodes = Vec::with_capacity(arr.len());
+    for (idx, raw) in arr.iter().enumerate() {
+        let Some(obj) = raw.as_object() else {
+            diags.push(Diagnostic {
+                rule_id: "L000",
+                severity: Severity::Error,
+                node: Some(idx),
+                func: None,
+                message: "node is not a JSON object".into(),
+                suggestion: None,
+            });
+            continue;
+        };
+        let func = obj.get("func").and_then(Value::as_str).map(str::to_string);
+        if func.is_none() {
+            diags.push(Diagnostic {
+                rule_id: "L000",
+                severity: Severity::Error,
+                node: Some(idx),
+                func: None,
+                message: "node is missing a string \"func\"".into(),
+                suggestion: None,
+            });
+        }
+        let inputs = match obj.get("input") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::String(s)) => vec![s.clone()],
+            Some(Value::Array(a)) => a
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            Some(_) => Vec::new(),
+        };
+        let output = obj
+            .get("output")
+            .and_then(Value::as_str)
+            .map(str::to_string);
+        let mut params = Vec::new();
+        for (k, v) in obj {
+            match k.as_str() {
+                "func" | "input" | "output" => {}
+                "params" => {
+                    if let Some(nested) = v.as_object() {
+                        for (nk, nv) in nested {
+                            params.push((nk.clone(), nv.clone()));
+                        }
+                    }
+                }
+                _ => params.push((k.clone(), v.clone())),
+            }
+        }
+        nodes.push(LintNode {
+            idx,
+            func,
+            inputs,
+            output,
+            params,
+        });
+    }
+    nodes
+}
+
+// ------------------------------------------------------------------- rules
+
+/// Ops whose fitted statistics leak test-set information when computed
+/// upstream of a `TrainTestSplit` (§4 faithfulness).
+const LEAKY_FITTED_OPS: [&str; 3] = ["Normalize", "Pca", "CorrelationFilter"];
+
+/// Variadic ops for which a single input is an identity.
+const VARIADIC_OPS: [&str; 2] = ["Concat", "MergeTables"];
+
+fn diag(
+    rule_id: &'static str,
+    severity: Severity,
+    node: &LintNode,
+    message: String,
+    suggestion: Option<String>,
+) -> Diagnostic {
+    Diagnostic {
+        rule_id,
+        severity,
+        node: Some(node.idx),
+        func: node.func.clone(),
+        message,
+        suggestion,
+    }
+}
+
+/// Family 1: parameter-schema strictness (L001/L002/L005).
+fn check_schemas(nodes: &[LintNode], diags: &mut Vec<Diagnostic>) {
+    for node in nodes {
+        let Some(func) = node.func.as_deref() else {
+            continue;
+        };
+        let Some(schema) = param_schema(func) else {
+            let suggestion = nearest(func, &OPERATION_NAMES)
+                .map(|n| format!("did you mean {n:?}?"));
+            diags.push(diag(
+                "L002",
+                Severity::Error,
+                node,
+                format!("unknown operation {func:?}"),
+                suggestion,
+            ));
+            continue;
+        };
+        for (key, _) in &node.params {
+            if !schema.contains(&key.as_str()) {
+                let suggestion = nearest(key, schema)
+                    .map(|k| format!("did you mean {k:?}?"))
+                    .or_else(|| {
+                        if schema.is_empty() {
+                            Some(format!("{func} takes no parameters"))
+                        } else {
+                            Some(format!("accepted: {}", schema.join(", ")))
+                        }
+                    });
+                diags.push(diag(
+                    "L001",
+                    Severity::Error,
+                    node,
+                    format!(
+                        "unknown parameter {key:?} for {func} (it would be silently ignored)"
+                    ),
+                    suggestion,
+                ));
+            }
+        }
+        // Aggregate specs are nested one level deeper; check their keys too.
+        if func == "ApplyAggregates" {
+            check_agg_specs(node, diags);
+        }
+    }
+}
+
+/// L005/L205: `ApplyAggregates` spec hygiene (unknown spec keys, duplicates).
+fn check_agg_specs(node: &LintNode, diags: &mut Vec<Diagnostic>) {
+    let Some(aggs) = node
+        .params
+        .iter()
+        .find(|(k, _)| k == "aggs")
+        .and_then(|(_, v)| v.as_array())
+    else {
+        return;
+    };
+    let spec_keys = ["fn", "field"];
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    for (j, spec) in aggs.iter().enumerate() {
+        let Some(obj) = spec.as_object() else {
+            continue;
+        };
+        for (k, _) in obj {
+            if !spec_keys.contains(&k.as_str()) {
+                let suggestion = nearest(k, &spec_keys).map(|s| format!("did you mean {s:?}?"));
+                diags.push(diag(
+                    "L005",
+                    Severity::Error,
+                    node,
+                    format!("unknown key {k:?} in aggregate spec #{j}"),
+                    suggestion,
+                ));
+            }
+        }
+        let func = obj.get("fn").and_then(Value::as_str).unwrap_or_default();
+        let field = obj.get("field").and_then(Value::as_str).unwrap_or_default();
+        if !func.is_empty() && !seen.insert((func.to_string(), field.to_string())) {
+            let col = if field.is_empty() {
+                func.to_string()
+            } else {
+                format!("{func}({field})")
+            };
+            diags.push(diag(
+                "L205",
+                Severity::Warn,
+                node,
+                format!("duplicate aggregate {col} computes the same column twice"),
+                Some("remove the repeated spec".into()),
+            ));
+        }
+    }
+}
+
+/// Family 2: dataflow (L101–L104).
+fn check_dataflow(
+    nodes: &[LintNode],
+    declared_inputs: &[&str],
+    consumed: &HashSet<&str>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let terminal = nodes.iter().rev().find_map(|n| n.output.as_deref());
+    for node in nodes {
+        if let Some(out) = node.output.as_deref() {
+            if !consumed.contains(out) && Some(out) != terminal {
+                diags.push(diag(
+                    "L101",
+                    Severity::Warn,
+                    node,
+                    format!(
+                        "output {out:?} is never consumed and is not the pipeline result"
+                    ),
+                    Some("remove the dead operation or consume its output".into()),
+                ));
+            }
+        }
+    }
+    for name in declared_inputs {
+        if !consumed.contains(name) {
+            diags.push(Diagnostic {
+                rule_id: "L102",
+                severity: Severity::Warn,
+                node: None,
+                func: None,
+                message: format!("declared input {name:?} is never read"),
+                suggestion: Some("drop the declaration or wire it into a node".into()),
+            });
+        }
+    }
+    for node in nodes {
+        if node.func.as_deref() == Some("Model") {
+            let trained = node.output.as_deref().is_some_and(|out| {
+                nodes.iter().any(|m| {
+                    m.func.as_deref() == Some("Train") && m.inputs.first().map(String::as_str) == Some(out)
+                })
+            });
+            if !trained {
+                diags.push(diag(
+                    "L103",
+                    Severity::Warn,
+                    node,
+                    "model is never trained (no Train consumes it)".into(),
+                    Some("add a Train node or remove the Model".into()),
+                ));
+            }
+        }
+        if node
+            .func
+            .as_deref()
+            .is_some_and(|f| VARIADIC_OPS.contains(&f))
+            && node.inputs.len() == 1
+        {
+            diags.push(diag(
+                "L104",
+                Severity::Info,
+                node,
+                format!(
+                    "{} with a single input is an identity",
+                    node.func.as_deref().unwrap_or("variadic op")
+                ),
+                Some("drop the node or feed it multiple tables".into()),
+            ));
+        }
+    }
+}
+
+/// Variables (transitively) derived from `start`, by walking producer →
+/// consumer edges.
+fn downstream_vars<'a>(nodes: &'a [LintNode], start: &'a str) -> HashSet<&'a str> {
+    let mut reach: HashSet<&str> = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(var) = stack.pop() {
+        if !reach.insert(var) {
+            continue;
+        }
+        for n in nodes {
+            if n.inputs.iter().any(|i| i == var) {
+                if let Some(out) = n.output.as_deref() {
+                    stack.push(out);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Family 3: evaluation faithfulness (L201–L204; L205 lives with the
+/// aggregate-spec checks).
+fn check_faithfulness(nodes: &[LintNode], diags: &mut Vec<Diagnostic>) {
+    // L201: data-dependent preprocessing fitted upstream of the split sees
+    // the test rows — the classic leaky-normalization mistake from §4.
+    for node in nodes {
+        let Some(func) = node.func.as_deref() else {
+            continue;
+        };
+        let fitted = LEAKY_FITTED_OPS.contains(&func);
+        if !(fitted || func == "FeatureSelect") {
+            continue;
+        }
+        let Some(out) = node.output.as_deref() else {
+            continue;
+        };
+        let reach = downstream_vars(nodes, out);
+        let feeds_split = nodes.iter().any(|m| {
+            m.func.as_deref() == Some("TrainTestSplit")
+                && m.inputs.iter().any(|i| reach.contains(i.as_str()))
+        });
+        if feeds_split {
+            let (severity, why) = if fitted {
+                (
+                    Severity::Error,
+                    "is fitted on the full table, leaking test-set statistics across the split",
+                )
+            } else {
+                // Column projection is deterministic — no statistics leak —
+                // but pre-split feature selection still deserves a look.
+                (
+                    Severity::Warn,
+                    "selects columns before the split; keep selection decisions on training data only",
+                )
+            };
+            diags.push(diag(
+                "L201",
+                severity,
+                node,
+                format!("{func} upstream of TrainTestSplit {why}"),
+                Some(format!("move {func} after TakeTrain/TakeTest, or fit it at train time via Model params")),
+            ));
+        }
+    }
+
+    // L202: sampling only one side of the split skews the evaluated
+    // class balance relative to the trained one.
+    let take_out = |which: &str| -> Option<&str> {
+        nodes
+            .iter()
+            .find(|n| n.func.as_deref() == Some(which))
+            .and_then(|n| n.output.as_deref())
+    };
+    if let (Some(train_out), Some(test_out)) = (take_out("TakeTrain"), take_out("TakeTest")) {
+        let train_side = downstream_vars(nodes, train_out);
+        let test_side = downstream_vars(nodes, test_out);
+        let sampled = |side: &HashSet<&str>| {
+            nodes.iter().find(|n| {
+                n.func.as_deref() == Some("Sample")
+                    && n.inputs.iter().any(|i| side.contains(i.as_str()))
+            })
+        };
+        match (sampled(&train_side), sampled(&test_side)) {
+            (Some(node), None) => diags.push(diag(
+                "L202",
+                Severity::Warn,
+                node,
+                "Sample applied to the train side of the split but not the test side".into(),
+                Some("sample both sides identically, or sample before the split".into()),
+            )),
+            (None, Some(node)) => diags.push(diag(
+                "L202",
+                Severity::Warn,
+                node,
+                "Sample applied to the test side of the split but not the train side".into(),
+                Some("sample both sides identically, or sample before the split".into()),
+            )),
+            _ => {}
+        }
+    }
+
+    // L203: Predict on the very table the model was trained on — the
+    // "evaluating on training data" pitfall.
+    let train_tables: Vec<(&str, usize)> = nodes
+        .iter()
+        .filter(|n| n.func.as_deref() == Some("Train"))
+        .filter_map(|n| n.inputs.get(1).map(|t| (t.as_str(), n.idx)))
+        .collect();
+    for node in nodes {
+        if node.func.as_deref() != Some("Predict") {
+            continue;
+        }
+        if let Some(table) = node.inputs.get(1) {
+            if let Some((_, tn)) = train_tables.iter().find(|(t, _)| t == table) {
+                diags.push(diag(
+                    "L203",
+                    Severity::Error,
+                    node,
+                    format!(
+                        "predicting on {table:?}, the same table Train (node {tn}) fitted on — \
+                         the evaluation would report training accuracy"
+                    ),
+                    Some("split first and predict on the held-out part".into()),
+                ));
+            }
+        }
+    }
+
+    // L204: degenerate time windows. `from_params` rejects these too, but
+    // the linter reports them without needing to build the op.
+    for node in nodes {
+        if node.func.as_deref() != Some("TimeSlice") {
+            continue;
+        }
+        if let Some((_, v)) = node.params.iter().find(|(k, _)| k == "window_s") {
+            if v.as_f64().is_some_and(|w| w <= 0.0) {
+                diags.push(diag(
+                    "L204",
+                    Severity::Error,
+                    node,
+                    format!("window_s = {v} slices time into empty or inverted windows"),
+                    Some("use a positive window length in seconds".into()),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- entry
+
+/// Lints a raw template against the declared external input names.
+///
+/// Works on arbitrary JSON: templates the parser rejects still produce
+/// useful diagnostics, and templates the parser accepts may still be
+/// flagged (that is the point). Diagnostics are ordered by node index,
+/// then rule id.
+pub fn lint_template(template: &Value, declared_inputs: &[&str]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(arr) = template.as_array() else {
+        diags.push(Diagnostic {
+            rule_id: "L000",
+            severity: Severity::Error,
+            node: None,
+            func: None,
+            message: "template must be a JSON array of operation nodes".into(),
+            suggestion: None,
+        });
+        return diags;
+    };
+    let nodes = extract_nodes(arr, &mut diags);
+
+    let mut consumed: HashSet<&str> = HashSet::new();
+    for n in &nodes {
+        for i in &n.inputs {
+            consumed.insert(i.as_str());
+        }
+    }
+
+    check_schemas(&nodes, &mut diags);
+    check_dataflow(&nodes, declared_inputs, &consumed, &mut diags);
+    check_faithfulness(&nodes, &mut diags);
+
+    diags.sort_by_key(|d| (d.node.map_or(usize::MAX, |i| i), d.rule_id));
+    diags
+}
+
+/// True when any diagnostic is [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// The rule catalog as (id, severity, summary) rows, for docs and the
+/// `lint` binary's `--rules` listing.
+pub fn rule_catalog() -> Vec<(&'static str, Severity, &'static str)> {
+    vec![
+        ("L000", Severity::Error, "template/node is structurally malformed"),
+        ("L001", Severity::Error, "unknown parameter key (silently ignored by the op builder)"),
+        ("L002", Severity::Error, "unknown operation name"),
+        ("L005", Severity::Error, "unknown key inside an ApplyAggregates spec"),
+        ("L101", Severity::Warn, "output never consumed and not the pipeline result"),
+        ("L102", Severity::Warn, "declared external input never read"),
+        ("L103", Severity::Warn, "Model output never reaches a Train"),
+        ("L104", Severity::Info, "variadic op fed a single input"),
+        ("L201", Severity::Error, "fitted preprocessing upstream of TrainTestSplit (leakage)"),
+        ("L202", Severity::Warn, "Sample applied to only one side of the split"),
+        ("L203", Severity::Error, "Predict on the table Train fitted on"),
+        ("L204", Severity::Error, "TimeSlice window not positive"),
+        ("L205", Severity::Warn, "duplicate aggregate within one ApplyAggregates"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn ids(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule_id).collect()
+    }
+
+    // ---------------------------------------------- family 1: schemas
+
+    #[test]
+    fn misspelled_param_key_is_an_error_with_suggestion() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "windows_s": 5.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+             "aggs": [{"fn": "count"}]}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        let d = diags.iter().find(|d| d.rule_id == "L001").expect("L001");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.node, Some(1));
+        assert!(d.message.contains("windows_s"), "{}", d.message);
+        assert!(
+            d.suggestion.as_deref().unwrap().contains("window_s"),
+            "{:?}",
+            d.suggestion
+        );
+    }
+
+    #[test]
+    fn nested_params_object_keys_are_checked_too() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g",
+             "params": {"keey": "srcIp"}}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        assert!(ids(&diags).contains(&"L001"), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_func_suggests_nearest_operation() {
+        let t = json!([
+            {"func": "TimeSlyce", "input": ["source"], "output": "s", "window_s": 5.0}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        let d = diags.iter().find(|d| d.rule_id == "L002").expect("L002");
+        assert!(
+            d.suggestion.as_deref().unwrap().contains("TimeSlice"),
+            "{:?}",
+            d.suggestion
+        );
+    }
+
+    #[test]
+    fn clean_schema_use_produces_no_schema_diags() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "window_s": 5.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+             "aggs": [{"fn": "mean", "field": "wire_len"}]}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn agg_spec_unknown_key_flagged() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "ApplyAggregates", "input": ["g"], "output": "features",
+             "aggs": [{"fn": "mean", "feild": "wire_len"}]}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        let d = diags.iter().find(|d| d.rule_id == "L005").expect("L005");
+        assert!(d.suggestion.as_deref().unwrap().contains("field"));
+    }
+
+    // --------------------------------------------- family 2: dataflow
+
+    #[test]
+    fn dead_output_and_unread_input_flagged() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "dead", "key": "srcIp"},
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "dstIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "window_s": 5.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+             "aggs": [{"fn": "count"}]}
+        ]);
+        let diags = lint_template(&t, &["source", "spare"]);
+        let l101 = diags.iter().find(|d| d.rule_id == "L101").expect("L101");
+        assert_eq!(l101.node, Some(0));
+        assert!(l101.message.contains("dead"));
+        let l102 = diags.iter().find(|d| d.rule_id == "L102").expect("L102");
+        assert!(l102.message.contains("spare"));
+        assert_eq!(l102.node, None);
+    }
+
+    #[test]
+    fn untrained_model_flagged() {
+        let t = json!([
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"}
+        ]);
+        let diags = lint_template(&t, &[]);
+        assert!(ids(&diags).contains(&"L103"), "{diags:?}");
+    }
+
+    #[test]
+    fn single_input_variadic_is_info() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "window_s": 5.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "t1",
+             "aggs": [{"fn": "count"}]},
+            {"func": "Concat", "input": ["t1"], "output": "features"}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        let d = diags.iter().find(|d| d.rule_id == "L104").expect("L104");
+        assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn consumed_everything_no_dataflow_diags() {
+        let t = json!([
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "features"], "output": "trained"}
+        ]);
+        let diags = lint_template(&t, &["features"]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // ----------------------------------------- family 3: faithfulness
+
+    #[test]
+    fn normalize_before_split_is_leakage_error() {
+        let t = json!([
+            {"func": "Normalize", "input": ["features"], "output": "normed", "method": "zscore"},
+            {"func": "TrainTestSplit", "input": ["normed"], "output": "split", "train_frac": 0.7},
+            {"func": "TakeTrain", "input": ["split"], "output": "tr"},
+            {"func": "TakeTest", "input": ["split"], "output": "te"},
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "tr"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "te"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let diags = lint_template(&t, &["features"]);
+        let d = diags.iter().find(|d| d.rule_id == "L201").expect("L201");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("Normalize"));
+    }
+
+    #[test]
+    fn normalize_after_split_is_clean() {
+        let t = json!([
+            {"func": "TrainTestSplit", "input": ["features"], "output": "split", "train_frac": 0.7},
+            {"func": "TakeTrain", "input": ["split"], "output": "tr"},
+            {"func": "TakeTest", "input": ["split"], "output": "te"},
+            {"func": "Normalize", "input": ["tr"], "output": "trn", "method": "zscore"},
+            {"func": "Normalize", "input": ["te"], "output": "ten", "method": "zscore"},
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "trn"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "ten"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let diags = lint_template(&t, &["features"]);
+        assert!(!ids(&diags).contains(&"L201"), "{diags:?}");
+    }
+
+    #[test]
+    fn asymmetric_sample_after_split_warned() {
+        let t = json!([
+            {"func": "TrainTestSplit", "input": ["features"], "output": "split", "train_frac": 0.7},
+            {"func": "TakeTrain", "input": ["split"], "output": "tr"},
+            {"func": "TakeTest", "input": ["split"], "output": "te"},
+            {"func": "Sample", "input": ["tr"], "output": "trs", "frac": 0.5},
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "trs"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "te"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let diags = lint_template(&t, &["features"]);
+        let d = diags.iter().find(|d| d.rule_id == "L202").expect("L202");
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn symmetric_sampling_is_clean() {
+        let t = json!([
+            {"func": "TrainTestSplit", "input": ["features"], "output": "split", "train_frac": 0.7},
+            {"func": "TakeTrain", "input": ["split"], "output": "tr"},
+            {"func": "TakeTest", "input": ["split"], "output": "te"},
+            {"func": "Sample", "input": ["tr"], "output": "trs", "frac": 0.5, "seed": 1},
+            {"func": "Sample", "input": ["te"], "output": "tes", "frac": 0.5, "seed": 2},
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "trs"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "tes"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let diags = lint_template(&t, &["features"]);
+        assert!(!ids(&diags).contains(&"L202"), "{diags:?}");
+    }
+
+    #[test]
+    fn predict_on_training_table_is_error() {
+        let t = json!([
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "features"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "features"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let diags = lint_template(&t, &["features"]);
+        let d = diags.iter().find(|d| d.rule_id == "L203").expect("L203");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("training accuracy"));
+    }
+
+    #[test]
+    fn predict_on_heldout_table_is_clean() {
+        let t = json!([
+            {"func": "Model", "input": [], "output": "clf", "model_type": "RandomForest"},
+            {"func": "Train", "input": ["clf", "train_t"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "test_t"], "output": "preds"},
+            {"func": "Evaluate", "input": ["preds"], "output": "report"}
+        ]);
+        let diags = lint_template(&t, &["train_t", "test_t"]);
+        assert!(!ids(&diags).contains(&"L203"), "{diags:?}");
+    }
+
+    #[test]
+    fn nonpositive_window_is_error() {
+        let t = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "window_s": -2.0},
+            {"func": "ApplyAggregates", "input": ["s"], "output": "features",
+             "aggs": [{"fn": "count"}]}
+        ]);
+        let diags = lint_template(&t, &["source"]);
+        assert!(ids(&diags).contains(&"L204"), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_aggregate_warned_distinct_fields_not() {
+        let dup = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "ApplyAggregates", "input": ["g"], "output": "features",
+             "aggs": [{"fn": "mean", "field": "wire_len"},
+                      {"fn": "mean", "field": "wire_len"}]}
+        ]);
+        let diags = lint_template(&dup, &["source"]);
+        assert!(ids(&diags).contains(&"L205"), "{diags:?}");
+        let ok = json!([
+            {"func": "GroupBy", "input": ["source"], "output": "g", "key": "srcIp"},
+            {"func": "ApplyAggregates", "input": ["g"], "output": "features",
+             "aggs": [{"fn": "mean", "field": "wire_len"},
+                      {"fn": "mean", "field": "ttl"}]}
+        ]);
+        assert!(lint_template(&ok, &["source"]).is_empty());
+    }
+
+    // ------------------------------------------------------- plumbing
+
+    #[test]
+    fn non_array_template_is_l000() {
+        let diags = lint_template(&json!({"func": "GroupBy"}), &[]);
+        assert_eq!(ids(&diags), vec!["L000"]);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("windows_s", "window_s"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("feild", "field"), 1, "transposition is one edit");
+    }
+
+    #[test]
+    fn nearest_respects_budget() {
+        assert_eq!(nearest("TimeSlyce", &OPERATION_NAMES), Some("TimeSlice"));
+        assert_eq!(nearest("windows_s", &["window_s"]), Some("window_s"));
+        assert_eq!(nearest("zzzzzz", &["window_s"]), None);
+    }
+
+    #[test]
+    fn diagnostic_display_is_structured() {
+        let t = json!([
+            {"func": "TimeSlice", "input": ["g"], "output": "s", "windows_s": 5.0}
+        ]);
+        let diags = lint_template(&t, &["g"]);
+        let line = diags
+            .iter()
+            .find(|d| d.rule_id == "L001")
+            .unwrap()
+            .to_string();
+        assert!(line.starts_with("error[L001] node 0 (TimeSlice):"), "{line}");
+        assert!(line.contains("did you mean"), "{line}");
+    }
+
+    #[test]
+    fn rule_catalog_ids_are_unique_and_sorted() {
+        let cat = rule_catalog();
+        let ids: Vec<_> = cat.iter().map(|(id, _, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids.len(), sorted.len());
+    }
+}

@@ -23,6 +23,14 @@ use crate::CoreResult;
 /// Kitsune's default decay constants.
 pub const KITSUNE_LAMBDAS: [f64; 5] = [5.0, 3.0, 1.0, 0.1, 0.01];
 
+// ---- accepted parameter keys (the linter's L001 schemas) -------------------
+
+pub(crate) const APPLY_AGGREGATES_PARAMS: &[&str] = &["aggs"];
+pub(crate) const ROLLING_AGGREGATES_PARAMS: &[&str] = &["field", "fns", "window_pkts"];
+pub(crate) const INTER_ARRIVAL_PARAMS: &[&str] = &[];
+pub(crate) const DAMPED_STATS_PARAMS: &[&str] = &["field", "lambdas", "prefix"];
+pub(crate) const DAMPED_COV_PARAMS: &[&str] = &["lambdas", "prefix"];
+
 fn group_truth(g: &Grouped, group: &[u32]) -> (u8, u32) {
     let mut label = 0u8;
     let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();

@@ -14,6 +14,16 @@ use crate::ops::{bad_param, param_bool_or, param_str_list, param_usize_or, Opera
 use crate::table::Table;
 use crate::CoreResult;
 
+// ---- accepted parameter keys (the linter's L001 schemas) -------------------
+
+pub(crate) const FIELD_EXTRACT_PARAMS: &[&str] = &["fields"];
+pub(crate) const NPRINT_ENCODE_PARAMS: &[&str] = &["sections", "payload_bytes"];
+pub(crate) const PDML_ENCODE_PARAMS: &[&str] = &[];
+pub(crate) const PAYLOAD_BYTES_PARAMS: &[&str] = &["n"];
+pub(crate) const CONN_EXTRACT_PARAMS: &[&str] = &["fields"];
+pub(crate) const UNI_EXTRACT_PARAMS: &[&str] = &["fields"];
+pub(crate) const FIRST_N_STATS_PARAMS: &[&str] = &["n", "include_raw"];
+
 // ---- per-packet field catalog ----------------------------------------------
 
 /// Every per-packet field `FieldExtract` understands.

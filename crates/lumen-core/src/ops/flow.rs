@@ -9,6 +9,11 @@ use crate::data::{ConnData, Data, DataKind, UniData};
 use crate::ops::{bad_param, param_f64_or, param_usize_or, Operation};
 use crate::CoreResult;
 
+// ---- accepted parameter keys (the linter's L001 schemas) -------------------
+
+pub(crate) const FLOW_ASSEMBLE_PARAMS: &[&str] = &["tcp_idle_s", "udp_idle_s", "first_n"];
+pub(crate) const UNI_FLOW_SPLIT_PARAMS: &[&str] = &[];
+
 fn derive_truth(labels: &[u8], tags: &[u32], indices: &[u32]) -> (u8, u32) {
     let mut label = 0u8;
     let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();

@@ -11,6 +11,12 @@ use crate::CoreResult;
 
 use lumen_net::PacketMeta;
 
+// ---- accepted parameter keys (the linter's L001 schemas) -------------------
+
+pub(crate) const GROUP_BY_PARAMS: &[&str] = &["key"];
+pub(crate) const TIME_SLICE_PARAMS: &[&str] = &["window_s"];
+pub(crate) const FILTER_PARAMS: &[&str] = &["field", "op", "value"];
+
 /// Grouping keys `GroupBy` supports. `channel` is Kitsune's src→dst pair;
 /// `socket` its 5-tuple; `pair` the unordered srcIP/dstIP pair (nokia's
 /// granularity).

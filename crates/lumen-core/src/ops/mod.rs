@@ -92,10 +92,58 @@ pub fn build_op(func: &str, params: &Value) -> CoreResult<Box<dyn Operation>> {
         "Train" => model::TrainOp::from_params(params),
         "Predict" => model::PredictOp::from_params(params),
         "Evaluate" => model::EvaluateOp::from_params(params),
-        other => Err(CoreError::BadTemplate(format!(
-            "unknown operation {other:?}"
-        ))),
+        other => {
+            let hint = crate::lint::nearest(other, &OPERATION_NAMES)
+                .map(|n| format!("; did you mean {n:?}?"))
+                .unwrap_or_default();
+            Err(CoreError::BadTemplate(format!(
+                "unknown operation {other:?}{hint}"
+            )))
+        }
     }
+}
+
+/// Accepted parameter keys for a registered operation, or `None` when the
+/// operation is unknown. This is the schema the linter's strictness rule
+/// (L001) enforces: the `param_*_or` helpers below silently default on a
+/// missing key, so a misspelled key would otherwise vanish without a trace.
+/// Each schema lives next to its op's `from_params` implementation.
+pub fn param_schema(func: &str) -> Option<&'static [&'static str]> {
+    Some(match func {
+        "PcapLoad" => source::PCAP_LOAD_PARAMS,
+        "FieldExtract" => extract::FIELD_EXTRACT_PARAMS,
+        "NprintEncode" => extract::NPRINT_ENCODE_PARAMS,
+        "PdmlEncode" => extract::PDML_ENCODE_PARAMS,
+        "PayloadBytes" => extract::PAYLOAD_BYTES_PARAMS,
+        "ConnExtract" => extract::CONN_EXTRACT_PARAMS,
+        "UniExtract" => extract::UNI_EXTRACT_PARAMS,
+        "FirstNStats" => extract::FIRST_N_STATS_PARAMS,
+        "GroupBy" => grouping::GROUP_BY_PARAMS,
+        "TimeSlice" => grouping::TIME_SLICE_PARAMS,
+        "Filter" => grouping::FILTER_PARAMS,
+        "ApplyAggregates" => aggregate::APPLY_AGGREGATES_PARAMS,
+        "RollingAggregates" => aggregate::ROLLING_AGGREGATES_PARAMS,
+        "InterArrival" => aggregate::INTER_ARRIVAL_PARAMS,
+        "DampedStats" => aggregate::DAMPED_STATS_PARAMS,
+        "DampedCov" => aggregate::DAMPED_COV_PARAMS,
+        "FlowAssemble" => flow::FLOW_ASSEMBLE_PARAMS,
+        "UniFlowSplit" => flow::UNI_FLOW_SPLIT_PARAMS,
+        "Normalize" => tableops::NORMALIZE_PARAMS,
+        "CorrelationFilter" => tableops::CORRELATION_FILTER_PARAMS,
+        "Pca" => tableops::PCA_PARAMS,
+        "Impute" => tableops::IMPUTE_PARAMS,
+        "FeatureSelect" => tableops::FEATURE_SELECT_PARAMS,
+        "Concat" => tableops::CONCAT_PARAMS,
+        "MergeTables" => tableops::MERGE_TABLES_PARAMS,
+        "Sample" => tableops::SAMPLE_PARAMS,
+        "TrainTestSplit" => tableops::TRAIN_TEST_SPLIT_PARAMS,
+        "TakeTrain" | "TakeTest" => tableops::TAKE_PART_PARAMS,
+        "Model" => model::MODEL_PARAMS,
+        "Train" => model::TRAIN_PARAMS,
+        "Predict" => model::PREDICT_PARAMS,
+        "Evaluate" => model::EVALUATE_PARAMS,
+        _ => return None,
+    })
 }
 
 /// Names of every registered operation (for docs and error hints).

@@ -39,6 +39,34 @@ use crate::data::{Data, DataKind, ModelDef, PredOutput, Report, Trained};
 use crate::ops::{bad_param, param_f64_or, param_u64_or, param_usize_or, Operation};
 use crate::{CoreError, CoreResult};
 
+// ---- accepted parameter keys (the linter's L001 schemas) -------------------
+//
+// `Model` accepts the union over every model kind's hyperparameters plus
+// the training-time preprocessing switches read at `Train` time.
+pub(crate) const MODEL_PARAMS: &[&str] = &[
+    "model_type",
+    "seed",
+    "benign_quantile",
+    "normalize",
+    "corr_filter",
+    "pca",
+    "n_trees",
+    "max_depth",
+    "min_samples_split",
+    "k",
+    "max_train",
+    "epochs",
+    "folds",
+    "nu",
+    "landmarks",
+    "mixture",
+    "hidden",
+    "max_cluster",
+];
+pub(crate) const TRAIN_PARAMS: &[&str] = &[];
+pub(crate) const PREDICT_PARAMS: &[&str] = &[];
+pub(crate) const EVALUATE_PARAMS: &[&str] = &[];
+
 /// Model kinds the `Model` operation recognizes.
 pub const MODEL_KINDS: [&str; 14] = [
     "DecisionTree",

@@ -9,6 +9,9 @@ use crate::ops::{bad_param, param_str, param_usize_or, Operation};
 use crate::par::parse_capture;
 use crate::{CoreError, CoreResult};
 
+/// Accepted parameter keys (the linter's L001 schema).
+pub(crate) const PCAP_LOAD_PARAMS: &[&str] = &["path", "threads", "max_packets"];
+
 /// `PcapLoad`: reads a libpcap file from disk and parses it into an
 /// (unlabeled) packet source — the entry point for running pipelines on
 /// real captures rather than pre-bound data.

@@ -23,6 +23,19 @@ use crate::ops::{
 use crate::table::Table;
 use crate::{CoreError, CoreResult};
 
+// ---- accepted parameter keys (the linter's L001 schemas) -------------------
+
+pub(crate) const NORMALIZE_PARAMS: &[&str] = &["method"];
+pub(crate) const CORRELATION_FILTER_PARAMS: &[&str] = &["threshold"];
+pub(crate) const PCA_PARAMS: &[&str] = &["components"];
+pub(crate) const IMPUTE_PARAMS: &[&str] = &[];
+pub(crate) const FEATURE_SELECT_PARAMS: &[&str] = &["columns"];
+pub(crate) const CONCAT_PARAMS: &[&str] = &[];
+pub(crate) const MERGE_TABLES_PARAMS: &[&str] = &[];
+pub(crate) const SAMPLE_PARAMS: &[&str] = &["frac", "max_rows", "balance", "seed"];
+pub(crate) const TRAIN_TEST_SPLIT_PARAMS: &[&str] = &["train_frac", "seed"];
+pub(crate) const TAKE_PART_PARAMS: &[&str] = &[];
+
 /// `Normalize`: z-score / min-max / robust column scaling (fit on self).
 pub struct Normalize {
     method: String,
