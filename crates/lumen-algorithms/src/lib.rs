@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lumen_core::data::{Data, DataKind, PredOutput, Report, Trained};
-use lumen_core::{lint_template, CoreError, CoreResult, Diagnostic, Pipeline, Table};
+use lumen_core::{lint_template, CoreError, CoreResult, Diagnostic, OpProfile, Pipeline, Table};
 use lumen_net::LinkType;
 use serde_json::{json, Value};
 
@@ -113,12 +113,22 @@ impl Algorithm {
 
     /// Runs the feature pipeline over a packet source.
     pub fn extract_features(&self, source: &Data) -> CoreResult<Arc<Table>> {
+        self.extract_features_profiled(source).map(|(t, _)| t)
+    }
+
+    /// Runs the feature pipeline and also returns the engine's per-op
+    /// profile, so callers (e.g. the benchmark runner) can aggregate an
+    /// ops-level timing profile across extractions.
+    pub fn extract_features_profiled(
+        &self,
+        source: &Data,
+    ) -> CoreResult<(Arc<Table>, Vec<OpProfile>)> {
         let pipeline = self.feature_pipeline()?;
         let mut bindings = HashMap::new();
         bindings.insert("source".to_string(), source.clone());
         let mut out = pipeline.run(bindings)?;
         match out.take("features")? {
-            Data::Table(t) => Ok(t),
+            Data::Table(t) => Ok((t, out.profile)),
             other => Err(CoreError::TypeError(format!(
                 "feature pipeline of {} produced {}",
                 self.name,

@@ -10,8 +10,8 @@ use lumen_synth::DatasetId;
 fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig10");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    let store = &run.store;
 
     let labels: Vec<String> = DatasetId::ALL
         .iter()
@@ -64,4 +64,5 @@ fn main() {
              (paper reports the same asymmetry: Torii-trained models transfer, Torii resists)."
         );
     }
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, store, &run.journal, "fig10");
 }

@@ -9,15 +9,14 @@ fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
     println!("Figure 1b: same-dataset precision per algorithm (train/test split of one dataset)\n");
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), false);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig1b");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), false);
     for id in published_algos() {
-        let values: Vec<f64> = store
+        let values: Vec<f64> = run
+            .store
             .for_algo(id.code(), "same")
             .map(|r| r.precision)
             .collect();
         println!("{}", distribution_line(id.code(), &values));
     }
-    let (hits, misses) = runner.cache.stats();
-    eprintln!("\n[feature cache: {hits} hits / {misses} misses]");
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, &run.store, &run.journal, "fig1b");
 }

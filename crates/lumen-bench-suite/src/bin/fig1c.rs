@@ -8,13 +8,14 @@ fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
     println!("Figure 1c: cross-dataset precision per algorithm (train on A, test on B)\n");
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig1c");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
     for id in published_algos() {
-        let values: Vec<f64> = store
+        let values: Vec<f64> = run
+            .store
             .for_algo(id.code(), "cross")
             .map(|r| r.precision)
             .collect();
         println!("{}", distribution_line(id.code(), &values));
     }
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, &run.store, &run.journal, "fig1c");
 }

@@ -10,8 +10,8 @@ use lumen_synth::AttackKind;
 fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), false);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig5");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), false);
+    let store = &run.store;
 
     let attacks: Vec<AttackKind> = AttackKind::ALL
         .into_iter()
@@ -59,4 +59,5 @@ fn main() {
         }
         lumen_bench_suite::render::csv_series("algo,attack,precision", &rows)
     });
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, store, &run.journal, "fig5");
 }

@@ -38,7 +38,7 @@ fn main() {
     ];
 
     // Baseline: ordinary same-dataset training for the published four.
-    let baseline = runner.run_matrix(
+    let baseline_run = runner.run_matrix(
         &[
             AlgorithmId::A08,
             AlgorithmId::A09,
@@ -48,11 +48,15 @@ fn main() {
         &conn_sets,
         false,
     );
+    let baseline = &baseline_run.store;
+    let mut journal = baseline_run.journal.clone();
 
     // Improved: merged-dataset training (10% of each dataset, §5.4).
     let mut merged = ResultStore::new();
     for id in improved {
-        match runner.run_merged(id, &conn_sets, 0.10, 1.0) {
+        let result = runner.run_merged(id, &conn_sets, 0.10, 1.0);
+        journal.record_result(id.code(), "MIX", "MIX", "merged", &result);
+        match result {
             Ok(rows) => {
                 for r in rows {
                     merged.push(r);
@@ -131,8 +135,15 @@ fn main() {
         // AM02's pipeline with preprocessing stripped is approximated by
         // A13's feature family with a plain RF — report both for contrast.
         let plain = runner.run_matrix(&[AlgorithmId::A14], &conn_sets, false);
-        let vals: Vec<f64> = plain.for_algo("A14", "same").map(|r| r.precision).collect();
+        let vals: Vec<f64> = plain
+            .store
+            .for_algo("A14", "same")
+            .map(|r| r.precision)
+            .collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         println!("  plain RF features (A14, per-dataset): mean precision {mean:.3}");
+        journal.extend(plain.journal);
     }
+
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, &merged, &journal, "fig6");
 }

@@ -25,8 +25,8 @@ fn diffs(
 fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig7");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    let store = &run.store;
 
     println!("Figure 7a: precision difference from the best algorithm per (train, test) pair\n");
     for id in published_algos() {
@@ -68,4 +68,5 @@ fn main() {
             "does not exist"
         }
     );
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, store, &run.journal, "fig7");
 }

@@ -7,8 +7,8 @@ use lumen_bench_suite::render::csv_series;
 fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), false);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig8");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), false);
+    let store = &run.store;
 
     println!("Figure 8: same-dataset precision and recall per algorithm\n");
     println!(
@@ -60,4 +60,6 @@ fn main() {
         "\nCSV:\n{}",
         csv_series("algo,dataset,precision,recall", &rows)
     );
+
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, store, &run.journal, "fig8");
 }

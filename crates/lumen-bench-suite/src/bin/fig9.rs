@@ -8,8 +8,8 @@ use lumen_bench_suite::render::distribution_line;
 fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
-    lumen_bench_suite::exp::maybe_persist(&store, "fig9");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    let store = &run.store;
 
     println!("Figure 9a: cross-dataset precision per algorithm\n");
     for id in published_algos() {
@@ -47,4 +47,5 @@ fn main() {
         "\n{collapse}/{ran} cross-capable algorithms drop below 20% precision or recall on\n\
          at least one train/test pair (paper's Observation 2: 16/16)."
     );
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, store, &run.journal, "fig9");
 }

@@ -10,8 +10,9 @@ fn main() {
     let cfg = ExpConfig::from_args();
     let runner = cfg.runner();
     println!("Running the full faithful matrix (same + cross)...\n");
-    let store = runner.run_matrix(&published_algos(), &all_datasets(), true);
-    lumen_bench_suite::exp::maybe_persist(&store, "observations");
+    let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
+    let store = &run.store;
+    let mut journal = run.journal.clone();
 
     // --- Observation 1: no single best algorithm ---------------------------
     let mut best_count: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
@@ -124,7 +125,9 @@ fn main() {
         AlgorithmId::AM02,
         AlgorithmId::AM03,
     ] {
-        if let Ok(rows) = runner.run_merged(id, &DatasetId::CONNECTION, 0.10, 1.0) {
+        let result = runner.run_merged(id, &DatasetId::CONNECTION, 0.10, 1.0);
+        journal.record_result(id.code(), "MIX", "MIX", "merged", &result);
+        if let Ok(rows) = result {
             for r in rows {
                 merged.push(r);
             }
@@ -156,6 +159,5 @@ fn main() {
         }
     }
 
-    let (hits, misses) = runner.cache.stats();
-    println!("\n[feature cache: {hits} hits / {misses} misses across the whole run]");
+    lumen_bench_suite::exp::finish_run(&cfg, &runner, store, &journal, "observations");
 }

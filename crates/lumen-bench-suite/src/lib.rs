@@ -13,13 +13,15 @@
 
 pub mod datasets;
 pub mod exp;
+pub mod journal;
 pub mod literature;
 pub mod render;
 pub mod runner;
 pub mod store;
 
 pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
-pub use runner::{EvalMode, RunConfig, Runner};
+pub use journal::{JournalEntry, RunJournal, TaskOutcome};
+pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunConfig, Runner};
 pub use store::{ResultRow, ResultStore};
 
 /// Errors surfaced by the suite.

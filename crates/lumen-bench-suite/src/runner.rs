@@ -7,6 +7,7 @@
 //! (§5.4) evaluations. Feature extraction is shared across algorithms and
 //! runs through the framework's [`lumen_core::cache::FeatureCache`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -14,13 +15,15 @@ use std::time::Instant;
 use lumen_algorithms::{algorithm, Algorithm, AlgorithmId};
 use lumen_core::cache::FeatureCache;
 use lumen_core::data::PredOutput;
-use lumen_core::{CoreError, Table};
+use lumen_core::par::panic_message;
+use lumen_core::{CoreError, OpsProfile, Table};
 use lumen_ml::metrics::{confusion, roc_auc};
 use lumen_synth::{AttackKind, DatasetId};
 use lumen_util::Rng;
 use parking_lot::Mutex;
 
 use crate::datasets::{attack_tag, BenchDataset, DatasetRegistry};
+use crate::journal::{JournalEntry, RunJournal, TaskOutcome};
 use crate::store::{ResultRow, ResultStore};
 use crate::{BenchError, BenchResult};
 
@@ -31,6 +34,29 @@ pub enum EvalMode {
     Same,
     /// Train on one dataset, test on another.
     Cross,
+}
+
+/// Which way an injected fault fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The task returns an error.
+    Error,
+    /// The task panics in its worker thread.
+    Panic,
+}
+
+/// Fault-injection point: every matrix task that trains `algo` on `dataset`
+/// fails with the given kind. Exists to validate the failure accounting
+/// end to end (journal entries, panic containment, `--strict` exit codes) —
+/// the observability equivalent of a failpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Algorithm whose tasks fail.
+    pub algo: AlgorithmId,
+    /// Training dataset whose tasks fail.
+    pub dataset: DatasetId,
+    /// How the task fails.
+    pub kind: FaultKind,
 }
 
 /// Runner configuration.
@@ -44,6 +70,8 @@ pub struct RunConfig {
     pub threads: usize,
     /// Whether to also emit per-attack rows.
     pub per_attack: bool,
+    /// Optional injected fault (test/chaos instrumentation).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for RunConfig {
@@ -53,8 +81,33 @@ impl Default for RunConfig {
             seed: 7,
             threads: 4,
             per_attack: false,
+            fault: None,
         }
     }
+}
+
+/// Wall time of each pipeline stage, milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTimes {
+    extract_ms: u64,
+    train_ms: u64,
+    test_ms: u64,
+}
+
+impl StageTimes {
+    fn wall_ms(self) -> u64 {
+        self.extract_ms + self.train_ms + self.test_ms
+    }
+}
+
+/// Everything a matrix run produces: the successful rows *and* the journal
+/// accounting for every task (ok / skipped / failed).
+#[derive(Debug, Default)]
+pub struct MatrixRun {
+    /// Result rows from completed tasks.
+    pub store: ResultStore,
+    /// Per-task outcomes, including skips and failures.
+    pub journal: RunJournal,
 }
 
 /// The evaluation runner.
@@ -63,6 +116,9 @@ pub struct Runner {
     pub registry: Arc<DatasetRegistry>,
     /// Shared feature cache.
     pub cache: FeatureCache,
+    /// Aggregated per-operation profile across every feature extraction
+    /// this runner performed (cache hits add nothing — no work ran).
+    pub ops_profile: Mutex<OpsProfile>,
     /// Configuration.
     pub config: RunConfig,
 }
@@ -73,6 +129,7 @@ impl Runner {
         Runner {
             registry,
             cache: FeatureCache::new(),
+            ops_profile: Mutex::new(OpsProfile::new()),
             config,
         }
     }
@@ -99,11 +156,17 @@ impl Runner {
         Ok(())
     }
 
-    /// Extracts (or fetches cached) features of an algorithm on a dataset.
+    /// Extracts (or fetches cached) features of an algorithm on a dataset,
+    /// folding the engine's per-op profile of any cold extraction into
+    /// [`Runner::ops_profile`].
     pub fn features(&self, algo: &Algorithm, ds: &BenchDataset) -> BenchResult<Arc<Table>> {
         let fp = algo.feature_fingerprint();
         self.cache
-            .get_or_compute(ds.code(), fp, || algo.extract_features(&ds.source))
+            .get_or_compute(ds.code(), fp, || {
+                let (table, profile) = algo.extract_features_profiled(&ds.source)?;
+                self.ops_profile.lock().record(&profile);
+                Ok(table)
+            })
             .map_err(BenchError::from)
     }
 
@@ -117,7 +180,19 @@ impl Runner {
             .collect();
         rng.shuffle(&mut pos);
         rng.shuffle(&mut neg);
-        let cut = |v: &[usize]| ((v.len() as f64) * frac).round() as usize;
+        // Clamp the cut so each side keeps ≥1 sample of the class whenever
+        // the class has ≥2 members: a bare `.round()` can place *all* of a
+        // rare class on the training side, yielding a positive-free test
+        // set and meaningless precision/recall.
+        let cut = |v: &[usize]| -> usize {
+            let n = v.len();
+            let c = ((n as f64) * frac).round() as usize;
+            if n >= 2 {
+                c.clamp(1, n - 1)
+            } else {
+                c.min(n)
+            }
+        };
         let (pc, nc) = (cut(&pos), cut(&neg));
         let train: Vec<usize> = pos[..pc].iter().chain(neg[..nc].iter()).copied().collect();
         let test: Vec<usize> = pos[pc..].iter().chain(neg[nc..].iter()).copied().collect();
@@ -139,7 +214,7 @@ impl Runner {
         mode: &str,
         preds: &PredOutput,
         n_train: usize,
-        wall_ms: u64,
+        stages: StageTimes,
     ) -> ResultRow {
         let c = confusion(&preds.preds, &preds.labels);
         ResultRow {
@@ -155,7 +230,10 @@ impl Runner {
             auc: roc_auc(&preds.scores, &preds.labels),
             n_train,
             n_test: preds.labels.len(),
-            wall_ms,
+            extract_ms: stages.extract_ms,
+            train_ms: stages.train_ms,
+            test_ms: stages.test_ms,
+            wall_ms: stages.wall_ms(),
         }
     }
 
@@ -199,6 +277,9 @@ impl Runner {
                 auc: roc_auc(&sub_scores, &sub_truth),
                 n_train,
                 n_test: idx.len(),
+                extract_ms: 0,
+                train_ms: 0,
+                test_ms: 0,
                 wall_ms: 0,
             });
         }
@@ -212,6 +293,8 @@ impl Runner {
         Self::compatible(&algo, &ds).map_err(|why| Self::incompatible(&algo, &ds, why))?;
         let start = Instant::now();
         let features = self.features(&algo, &ds)?;
+        let extract_ms = start.elapsed().as_millis() as u64;
+        let start = Instant::now();
         let (train, test) = Self::split(&features, self.config.train_frac, self.config.seed);
         if train.labels.iter().all(|&l| l == 1) || train.labels.iter().all(|&l| l == 0) {
             return Err(Self::incompatible(
@@ -225,8 +308,15 @@ impl Runner {
         let trained = algo
             .train(&train, self.config.seed)
             .map_err(BenchError::from)?;
+        let train_ms = start.elapsed().as_millis() as u64;
+        let start = Instant::now();
         let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
-        let wall_ms = start.elapsed().as_millis() as u64;
+        let test_ms = start.elapsed().as_millis() as u64;
+        let stages = StageTimes {
+            extract_ms,
+            train_ms,
+            test_ms,
+        };
         let mut rows = vec![Self::make_row(
             &algo,
             ds.code(),
@@ -234,7 +324,7 @@ impl Runner {
             "same",
             &preds,
             train.rows(),
-            wall_ms,
+            stages,
         )];
         if self.config.per_attack {
             rows.extend(Self::per_attack_rows(
@@ -267,6 +357,7 @@ impl Runner {
         let start = Instant::now();
         let train = self.features(&algo, &train_ds)?;
         let test = self.features(&algo, &test_ds)?;
+        let extract_ms = start.elapsed().as_millis() as u64;
         if train.labels.iter().all(|&l| l == 1) || train.labels.iter().all(|&l| l == 0) {
             return Err(Self::incompatible(
                 &algo,
@@ -274,11 +365,19 @@ impl Runner {
                 "training data is single-class".into(),
             ));
         }
+        let start = Instant::now();
         let trained = algo
             .train(&train, self.config.seed)
             .map_err(BenchError::from)?;
+        let train_ms = start.elapsed().as_millis() as u64;
+        let start = Instant::now();
         let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
-        let wall_ms = start.elapsed().as_millis() as u64;
+        let test_ms = start.elapsed().as_millis() as u64;
+        let stages = StageTimes {
+            extract_ms,
+            train_ms,
+            test_ms,
+        };
         let mut rows = vec![Self::make_row(
             &algo,
             train_ds.code(),
@@ -286,7 +385,7 @@ impl Runner {
             "cross",
             &preds,
             train.rows(),
-            wall_ms,
+            stages,
         )];
         if self.config.per_attack {
             rows.extend(Self::per_attack_rows(
@@ -357,13 +456,22 @@ impl Runner {
                 algo.id.code()
             ))));
         };
+        let extract_ms = start.elapsed().as_millis() as u64;
+        let start = Instant::now();
         let train = Arc::new(train);
         let test = Arc::new(test);
         let trained = algo
             .train(&train, self.config.seed)
             .map_err(BenchError::from)?;
+        let train_ms = start.elapsed().as_millis() as u64;
+        let start = Instant::now();
         let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
-        let wall_ms = start.elapsed().as_millis() as u64;
+        let test_ms = start.elapsed().as_millis() as u64;
+        let stages = StageTimes {
+            extract_ms,
+            train_ms,
+            test_ms,
+        };
         let mut rows = vec![Self::make_row(
             &algo,
             "MIX",
@@ -371,7 +479,7 @@ impl Runner {
             "merged",
             &preds,
             train.rows(),
-            wall_ms,
+            stages,
         )];
         // Per-attack breakdown with the paper's restriction: algorithm Y ×
         // attack X is computed over the datasets that contain X, so benign
@@ -416,48 +524,90 @@ impl Runner {
                 auc: roc_auc(&sub_scores, &sub_truth),
                 n_train: train.rows(),
                 n_test: idx.len(),
+                extract_ms: 0,
+                train_ms: 0,
+                test_ms: 0,
                 wall_ms: 0,
             });
         }
         Ok(rows)
     }
 
-    /// Runs the full faithful matrix: every compatible (algorithm, train,
-    /// test) combination. `include_cross = false` restricts to the diagonal.
-    /// Incompatible pairings are silently skipped (they are not failures —
-    /// they are the faithfulness rule working).
+    /// Executes one matrix task, honoring the fault-injection hook.
+    fn exec_task(
+        &self,
+        a: AlgorithmId,
+        train: DatasetId,
+        test: DatasetId,
+    ) -> BenchResult<Vec<ResultRow>> {
+        if let Some(fault) = self.config.fault {
+            if fault.algo == a && fault.dataset == train {
+                match fault.kind {
+                    FaultKind::Error => {
+                        return Err(BenchError::Core(CoreError::OpFailed {
+                            op: "fault-injection".into(),
+                            why: "injected failure".into(),
+                        }))
+                    }
+                    FaultKind::Panic => panic!("injected fault panic"),
+                }
+            }
+        }
+        if train == test {
+            self.run_same(a, train)
+        } else {
+            self.run_cross(a, train, test)
+        }
+    }
+
+    /// Runs the full faithful matrix: every (algorithm, train, test)
+    /// combination. `include_cross = false` restricts to the diagonal.
+    ///
+    /// Every task is accounted for in the returned [`RunJournal`]:
+    /// incompatible pairings become `SkippedIncompatible` entries (they are
+    /// not failures — they are the faithfulness rule working), completed
+    /// tasks become `Ok` entries with stage timings, and a task that errors
+    /// or panics becomes a `Failed` entry **without** aborting the rest of
+    /// the matrix.
     pub fn run_matrix(
         &self,
         algos: &[AlgorithmId],
         datasets: &[DatasetId],
         include_cross: bool,
-    ) -> ResultStore {
-        // Build the task list.
+    ) -> MatrixRun {
+        // Build the task list; unfaithful pairings go straight to the
+        // journal as skips.
         let mut tasks: Vec<(AlgorithmId, DatasetId, DatasetId)> = Vec::new();
+        let mut journal = RunJournal::new();
         for &a in algos {
             let algo = algorithm(a);
             for &train in datasets {
                 let train_ds = self.registry.get(train);
-                if Self::compatible(&algo, &train_ds).is_err() {
-                    continue;
-                }
                 for &test in datasets {
                     if !include_cross && train != test {
                         continue;
                     }
                     let test_ds = self.registry.get(test);
-                    if Self::compatible(&algo, &test_ds).is_err() {
-                        continue;
+                    let mode = if train == test { "same" } else { "cross" };
+                    let why = Self::compatible(&algo, &train_ds)
+                        .err()
+                        .or_else(|| Self::compatible(&algo, &test_ds).err());
+                    match why {
+                        Some(why) => journal.push(JournalEntry::untimed(
+                            a.code(),
+                            train_ds.code(),
+                            test_ds.code(),
+                            mode,
+                            TaskOutcome::SkippedIncompatible { why },
+                        )),
+                        None => tasks.push((a, train, test)),
                     }
-                    tasks.push((a, train, test));
                 }
             }
         }
 
-        // Pre-warm feature extraction sequentially per dataset so the cache
-        // is shared rather than raced (extraction dominates; models are the
-        // parallel part).
         let store = Mutex::new(ResultStore::new());
+        let journal = Mutex::new(journal);
         let next = AtomicUsize::new(0);
         let threads = self.config.threads.max(1);
         crossbeam::thread::scope(|scope| {
@@ -468,11 +618,23 @@ impl Runner {
                         break;
                     }
                     let (a, train, test) = tasks[i];
-                    let result = if train == test {
-                        self.run_same(a, train)
-                    } else {
-                        self.run_cross(a, train, test)
-                    };
+                    let mode = if train == test { "same" } else { "cross" };
+                    // A panic in one task must not take down the matrix:
+                    // catch it and journal it as a failure.
+                    let result = catch_unwind(AssertUnwindSafe(|| self.exec_task(a, train, test)))
+                        .unwrap_or_else(|payload| {
+                            Err(BenchError::Core(CoreError::OpFailed {
+                                op: "matrix task".into(),
+                                why: format!("panic: {}", panic_message(payload.as_ref())),
+                            }))
+                        });
+                    journal.lock().record_result(
+                        a.code(),
+                        train.code(),
+                        test.code(),
+                        mode,
+                        &result,
+                    );
                     if let Ok(rows) = result {
                         let mut s = store.lock();
                         for r in rows {
@@ -485,7 +647,9 @@ impl Runner {
         .expect("runner scope");
         let mut store = store.into_inner();
         sort_store(&mut store);
-        store
+        let mut journal = journal.into_inner();
+        journal.sort();
+        MatrixRun { store, journal }
     }
 }
 
@@ -573,23 +737,173 @@ mod tests {
     #[test]
     fn small_matrix_runs_in_parallel() {
         let r = runner();
-        let store = r.run_matrix(
+        let run = r.run_matrix(
             &[AlgorithmId::A14, AlgorithmId::A15],
             &[DatasetId::F4, DatasetId::F6],
             true,
         );
         // 2 algos × 2×2 pairs, all compatible.
-        let whole: Vec<_> = store.rows().iter().filter(|r| r.attack.is_none()).collect();
+        let whole: Vec<_> = run
+            .store
+            .rows()
+            .iter()
+            .filter(|r| r.attack.is_none())
+            .collect();
         assert_eq!(whole.len(), 8);
+        // Every task is accounted for in the journal.
+        assert_eq!(run.journal.ok_count(), 8);
+        assert_eq!(run.journal.skipped_count(), 0);
+        assert!(!run.journal.has_failures());
         // Deterministic order.
-        let store2 = r.run_matrix(
+        let run2 = r.run_matrix(
             &[AlgorithmId::A14, AlgorithmId::A15],
             &[DatasetId::F4, DatasetId::F6],
             true,
         );
-        let p1: Vec<&String> = store.rows().iter().map(|r| &r.algo).collect();
-        let p2: Vec<&String> = store2.rows().iter().map(|r| &r.algo).collect();
+        let p1: Vec<&String> = run.store.rows().iter().map(|r| &r.algo).collect();
+        let p2: Vec<&String> = run2.store.rows().iter().map(|r| &r.algo).collect();
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn incompatible_pairs_are_journaled_as_skips() {
+        let r = runner();
+        // A06 (Kitsune, packet granularity) over connection datasets: every
+        // pairing is an expected faithfulness skip, not a failure.
+        let run = r.run_matrix(&[AlgorithmId::A06], &[DatasetId::F4, DatasetId::F6], true);
+        assert!(run.store.is_empty());
+        assert_eq!(run.journal.ok_count(), 0);
+        assert_eq!(run.journal.skipped_count(), 4);
+        assert!(!run.journal.has_failures());
+        assert!(run.journal.entries().iter().all(|e| matches!(
+            &e.outcome,
+            TaskOutcome::SkippedIncompatible { why } if why.contains("granularity")
+        )));
+    }
+
+    #[test]
+    fn failing_task_lands_in_journal_not_silence() {
+        let registry =
+            Arc::new(DatasetRegistry::new(SynthScale::small(), 3).with_max_packets(1500));
+        let r = Runner::new(
+            registry,
+            RunConfig {
+                threads: 2,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Error,
+                }),
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4, DatasetId::F6], false);
+        // The healthy task completed; the faulted one is journaled Failed
+        // with its error text — not silently absent.
+        assert_eq!(run.journal.ok_count(), 1);
+        assert_eq!(run.journal.failed_count(), 1);
+        let failed = run.journal.failures().next().unwrap();
+        assert_eq!((failed.algo.as_str(), failed.train.as_str()), ("A14", "F4"));
+        assert!(matches!(
+            &failed.outcome,
+            TaskOutcome::Failed { error } if error.contains("injected failure")
+        ));
+        assert!(run.store.rows().iter().all(|row| row.train != "F4"));
+        assert!(run.store.rows().iter().any(|row| row.train == "F6"));
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_journaled() {
+        let registry =
+            Arc::new(DatasetRegistry::new(SynthScale::small(), 3).with_max_packets(1500));
+        let r = Runner::new(
+            registry,
+            RunConfig {
+                threads: 2,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Panic,
+                }),
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4, DatasetId::F6], false);
+        // The panic neither aborted the matrix nor poisoned the other task.
+        assert_eq!(run.journal.ok_count(), 1);
+        assert_eq!(run.journal.failed_count(), 1);
+        let failed = run.journal.failures().next().unwrap();
+        assert!(matches!(
+            &failed.outcome,
+            TaskOutcome::Failed { error } if error.contains("panic") && error.contains("injected")
+        ));
+        assert!(run.store.rows().iter().any(|row| row.train == "F6"));
+    }
+
+    #[test]
+    fn stage_timings_populated_and_sum_to_wall() {
+        let r = runner();
+        let rows = r.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+        let cold = &rows[0];
+        assert_eq!(
+            cold.wall_ms,
+            cold.extract_ms + cold.train_ms + cold.test_ms,
+            "wall_ms must equal the stage sum"
+        );
+        // Second run hits the feature cache: extraction is a map lookup, so
+        // extract_ms collapses to ~0 and no longer distorts the wall clock.
+        let rows = r.run_same(AlgorithmId::A14, DatasetId::F4).unwrap();
+        let warm = &rows[0];
+        assert_eq!(warm.extract_ms, 0, "cache hit should cost ~0 extract time");
+        assert_eq!(warm.wall_ms, warm.train_ms + warm.test_ms);
+        let (hits, _misses) = r.cache.stats();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn matrix_feeds_ops_level_profile() {
+        let r = runner();
+        assert!(r.ops_profile.lock().is_empty());
+        r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        let profile = r.ops_profile.lock();
+        assert!(!profile.is_empty());
+        // Cold extraction ran the feature pipeline exactly once per dataset;
+        // every recorded op therefore has at least one call.
+        assert!(profile.stats().values().all(|s| s.calls >= 1));
+    }
+
+    #[test]
+    fn split_keeps_minority_class_on_both_sides() {
+        use lumen_ml::matrix::Matrix;
+        // 3 positives among 8 rows: round(3 * 0.9) = 3 would put every
+        // positive in training, leaving a positive-free test set.
+        let n = 8;
+        let labels: Vec<u8> = (0..n).map(|i| u8::from(i < 3)).collect();
+        let tags: Vec<u32> = labels.iter().map(|&l| u32::from(l)).collect();
+        let x = Matrix::from_rows((0..n).map(|i| vec![i as f64]).collect()).unwrap();
+        let table = Table::new(vec!["x".into()], x, labels, tags).unwrap();
+        let (train, test) = Runner::split(&table, 0.9, 1);
+        for (name, side) in [("train", &train), ("test", &test)] {
+            assert!(
+                side.labels.iter().any(|&l| l == 1),
+                "{name} side lost every positive"
+            );
+            assert!(
+                side.labels.iter().any(|&l| l == 0),
+                "{name} side lost every negative"
+            );
+        }
+        // A single-member class still goes wholly to one side.
+        let labels1: Vec<u8> = (0..n).map(|i| u8::from(i == 0)).collect();
+        let tags1: Vec<u32> = labels1.iter().map(|&l| u32::from(l)).collect();
+        let x1 = Matrix::from_rows((0..n).map(|i| vec![i as f64]).collect()).unwrap();
+        let t1 = Table::new(vec!["x".into()], x1, labels1, tags1).unwrap();
+        let (tr1, te1) = Runner::split(&t1, 0.7, 1);
+        assert_eq!(
+            tr1.labels.iter().filter(|&&l| l == 1).count()
+                + te1.labels.iter().filter(|&&l| l == 1).count(),
+            1
+        );
     }
 
     #[test]

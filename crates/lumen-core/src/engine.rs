@@ -138,6 +138,91 @@ pub struct OpProfile {
     pub freed: Vec<String>,
 }
 
+/// Aggregated per-operation statistics across many pipeline executions —
+/// the ops-level profile behind the paper's "plots of memory and time spent
+/// in each operation", accumulated run over run (e.g. by the benchmark
+/// runner across a whole evaluation matrix).
+#[derive(Debug, Default, Clone)]
+pub struct OpsProfile {
+    stats: std::collections::BTreeMap<String, OpStat>,
+}
+
+/// Accumulated statistics for one operation name.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStat {
+    /// Number of executions.
+    pub calls: u64,
+    /// Total wall time, microseconds.
+    pub micros: u128,
+    /// Total bytes produced.
+    pub output_bytes: u128,
+}
+
+impl OpsProfile {
+    /// Empty profile.
+    pub fn new() -> OpsProfile {
+        OpsProfile::default()
+    }
+
+    /// Folds one run's per-op entries into the aggregate.
+    pub fn record(&mut self, profile: &[OpProfile]) {
+        for p in profile {
+            self.add(p);
+        }
+    }
+
+    /// Folds a single op execution into the aggregate.
+    pub fn add(&mut self, p: &OpProfile) {
+        let s = self.stats.entry(p.op.clone()).or_default();
+        s.calls += 1;
+        s.micros += p.micros;
+        s.output_bytes += p.output_bytes as u128;
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &OpsProfile) {
+        for (op, o) in &other.stats {
+            let s = self.stats.entry(op.clone()).or_default();
+            s.calls += o.calls;
+            s.micros += o.micros;
+            s.output_bytes += o.output_bytes;
+        }
+    }
+
+    /// Per-op aggregates, keyed by operation name (sorted).
+    pub fn stats(&self) -> &std::collections::BTreeMap<String, OpStat> {
+        &self.stats
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// The `n` most expensive operations by total wall time, descending.
+    pub fn top_by_time(&self, n: usize) -> Vec<(&str, OpStat)> {
+        let mut v: Vec<(&str, OpStat)> = self.stats.iter().map(|(k, s)| (k.as_str(), *s)).collect();
+        v.sort_by(|a, b| b.1.micros.cmp(&a.1.micros).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Renders the aggregate as an aligned text table, most expensive first.
+    pub fn table(&self) -> String {
+        let mut s = format!(
+            "{:<18} {:>8} {:>14} {:>14}\n",
+            "operation", "calls", "total_time(us)", "total_bytes"
+        );
+        for (op, st) in self.top_by_time(usize::MAX) {
+            s.push_str(&format!(
+                "{:<18} {:>8} {:>14} {:>14}\n",
+                op, st.calls, st.micros, st.output_bytes
+            ));
+        }
+        s
+    }
+}
+
 /// Result of running a pipeline.
 pub struct RunOutput {
     /// Variables still live at the end (terminal results).
@@ -397,6 +482,22 @@ impl Pipeline {
 
     /// Executes with the given input bindings.
     pub fn run(&self, bindings: HashMap<String, Data>) -> CoreResult<RunOutput> {
+        self.run_with_hook(bindings, |_| {})
+    }
+
+    /// Executes like [`Pipeline::run`], additionally invoking `hook` with
+    /// each operation's profile entry the moment the op completes — the
+    /// timing hook that feeds live ops-level telemetry (an [`OpsProfile`]
+    /// aggregate, a progress bar, a tracing span) without waiting for the
+    /// whole pipeline to finish.
+    pub fn run_with_hook<H>(
+        &self,
+        bindings: HashMap<String, Data>,
+        mut hook: H,
+    ) -> CoreResult<RunOutput>
+    where
+        H: FnMut(&OpProfile),
+    {
         // Validate bindings against declared inputs.
         for (name, kind) in &self.inputs {
             match bindings.get(name) {
@@ -428,13 +529,15 @@ impl Pipeline {
             for dead in &self.frees[i] {
                 env.remove(dead);
             }
-            profile.push(OpProfile {
+            let entry = OpProfile {
                 op: node.func.clone(),
                 output: node.output.clone(),
                 micros,
                 output_bytes,
                 freed: self.frees[i].clone(),
-            });
+            };
+            hook(&entry);
+            profile.push(entry);
         }
         Ok(RunOutput {
             outputs: env,
@@ -629,10 +732,10 @@ mod tests {
 
     #[test]
     fn canonical_json_sorts_keys_at_every_level() {
-        let a: Value = serde_json::from_str(r#"{"b": {"y": 1, "x": [2, {"q": 3, "p": 4}]}, "a": 0}"#)
-            .unwrap();
-        let b: Value = serde_json::from_str(r#"{"a": 0, "b": {"x": [2, {"p": 4, "q": 3}], "y": 1}}"#)
-            .unwrap();
+        let a: Value =
+            serde_json::from_str(r#"{"b": {"y": 1, "x": [2, {"q": 3, "p": 4}]}, "a": 0}"#).unwrap();
+        let b: Value =
+            serde_json::from_str(r#"{"a": 0, "b": {"x": [2, {"p": 4, "q": 3}], "y": 1}}"#).unwrap();
         assert_eq!(canonical_json(&a), canonical_json(&b));
         assert_eq!(
             canonical_json(&a),
@@ -648,8 +751,10 @@ mod tests {
         let template = json!([
             {"func": "MergeTables", "input": names.clone(), "output": "merged"}
         ]);
-        let decls: Vec<(&str, DataKind)> =
-            names.iter().map(|n| (n.as_str(), DataKind::Table)).collect();
+        let decls: Vec<(&str, DataKind)> = names
+            .iter()
+            .map(|n| (n.as_str(), DataKind::Table))
+            .collect();
         for _ in 0..10 {
             let p = Pipeline::parse(&template, &decls).unwrap();
             let freed = &p.frees[0];
@@ -670,8 +775,7 @@ mod tests {
             {"func": "ApplyAggregates", "input": ["s"], "output": "features",
              "aggs": [{"fn": "count"}]}
         ]);
-        let (p, diags) =
-            Pipeline::parse_linted(&t, &[("source", DataKind::Packets)]).unwrap();
+        let (p, diags) = Pipeline::parse_linted(&t, &[("source", DataKind::Packets)]).unwrap();
         assert_eq!(p.len(), 4);
         assert!(diags.iter().any(|d| d.rule_id == "L101"));
     }
@@ -722,6 +826,43 @@ mod tests {
         let table = out.profile_table();
         assert!(table.contains("GroupBy"));
         assert!(table.contains("Train"));
+    }
+
+    #[test]
+    fn run_with_hook_sees_every_op() {
+        let p = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        let mut b = HashMap::new();
+        b.insert("source".to_string(), source(50));
+        let mut seen = Vec::new();
+        let out = p
+            .run_with_hook(b, |entry| seen.push(entry.op.clone()))
+            .unwrap();
+        assert_eq!(seen.len(), out.profile.len());
+        assert_eq!(seen[0], "GroupBy");
+        assert_eq!(seen.last().map(String::as_str), Some("Train"));
+    }
+
+    #[test]
+    fn ops_profile_aggregates_across_runs() {
+        let p = Pipeline::parse(&figure3_template(), &[("source", DataKind::Packets)]).unwrap();
+        let mut agg = OpsProfile::new();
+        for _ in 0..2 {
+            let mut b = HashMap::new();
+            b.insert("source".to_string(), source(50));
+            let out = p.run(b).unwrap();
+            agg.record(&out.profile);
+        }
+        assert_eq!(agg.stats()["GroupBy"].calls, 2);
+        assert_eq!(agg.stats()["Train"].calls, 2);
+        assert!(agg.stats()["ApplyAggregates"].output_bytes > 0);
+        let table = agg.table();
+        assert!(table.contains("GroupBy"), "{table}");
+        // merge() doubles the counts.
+        let mut other = OpsProfile::new();
+        other.merge(&agg);
+        other.merge(&agg);
+        assert_eq!(other.stats()["Train"].calls, 4);
+        assert!(!other.is_empty());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod par;
 pub mod table;
 
 pub use data::{Data, DataKind, PacketData, PredOutput, Report};
-pub use engine::{OpProfile, Pipeline, RunOutput};
+pub use engine::{OpProfile, OpStat, OpsProfile, Pipeline, RunOutput};
 pub use lint::{lint_template, Diagnostic, Severity};
 pub use table::Table;
 

@@ -7,11 +7,30 @@
 //! (each frame parses independently), so this is where the benchmark's
 //! `scalability` experiment measures its speedup.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use lumen_net::{CapturedPacket, LinkType, PacketMeta};
+
+/// Renders a panic payload (from `catch_unwind` or a thread join) as a
+/// human-readable message, so workers can turn panics into structured
+/// failures instead of aborting a whole run.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Splits `items` into at most `threads` contiguous chunks and maps each in
 /// its own scoped thread, preserving chunk order in the result.
-pub fn par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+///
+/// A panic inside `f` is caught in its worker: the remaining chunks still
+/// complete, and the first panic is returned as `Err` with its message.
+pub fn try_par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, String>
 where
     T: Sync,
     R: Send,
@@ -19,21 +38,48 @@ where
 {
     let threads = threads.max(1);
     if items.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if threads == 1 || items.len() < 2 {
-        return vec![f(items)];
+        return catch_unwind(AssertUnwindSafe(|| f(items)))
+            .map(|r| vec![r])
+            .map_err(|p| panic_message(p.as_ref()));
     }
     let chunk = items.len().div_ceil(threads);
     let chunks: Vec<&[T]> = items.chunks(chunk).collect();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks.iter().map(|c| scope.spawn(|_| f(c))).collect();
+    let f = &f;
+    let results: Vec<Result<R, String>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                scope.spawn(move |_| {
+                    catch_unwind(AssertUnwindSafe(|| f(c))).map_err(|p| panic_message(p.as_ref()))
+                })
+            })
+            .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| h.join().expect("worker catches its own panics"))
             .collect()
     })
-    .expect("crossbeam scope")
+    .expect("crossbeam scope");
+    results.into_iter().collect()
+}
+
+/// Infallible wrapper over [`try_par_chunks`]: a worker panic is re-raised
+/// on the calling thread — but only after every other chunk has finished,
+/// and with the original message preserved, rather than aborting mid-run
+/// through a failed join.
+pub fn par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    match try_par_chunks(items, threads, f) {
+        Ok(v) => v,
+        Err(msg) => panic!("par_chunks worker panicked: {msg}"),
+    }
 }
 
 /// Parses a capture into packet summaries using `threads` workers. Frames
@@ -123,6 +169,29 @@ mod tests {
         assert_eq!(s1, 0);
         assert_eq!(seq.len(), par.len());
         assert_eq!(seq[123], par[123]);
+    }
+
+    #[test]
+    fn try_par_chunks_catches_worker_panic() {
+        let items: Vec<usize> = (0..100).collect();
+        let err = try_par_chunks(&items, 4, |c| {
+            if c.contains(&13) {
+                panic!("chunk with 13 exploded");
+            }
+            c.len()
+        })
+        .unwrap_err();
+        assert!(err.contains("exploded"), "{err}");
+        // The ok path matches the infallible wrapper.
+        let ok = try_par_chunks(&items, 4, |c| c.len()).unwrap();
+        assert_eq!(ok, par_chunks(&items, 4, |c| c.len()));
+    }
+
+    #[test]
+    fn try_par_chunks_single_thread_catches_panic() {
+        let items = [1, 2, 3];
+        let err = try_par_chunks(&items, 1, |_| -> usize { panic!("boom") }).unwrap_err();
+        assert!(err.contains("boom"));
     }
 
     #[test]

@@ -26,7 +26,8 @@ fn main() {
     );
 
     println!("operator question: which algorithm best detects brute force and DoS?\n");
-    let store = runner.run_matrix(&conn_algos(), &[DatasetId::F0, DatasetId::F1], false);
+    let run = runner.run_matrix(&conn_algos(), &[DatasetId::F0, DatasetId::F1], false);
+    let store = &run.store;
 
     let attacks = [
         AttackKind::BruteForceFtp,

@@ -20,11 +20,16 @@ fn runner() -> Runner {
 #[test]
 fn matrix_never_pairs_across_granularities() {
     let r = runner();
-    let store = r.run_matrix(
+    let run = r.run_matrix(
         &[AlgorithmId::A06, AlgorithmId::A14],
         &[DatasetId::F4, DatasetId::P2],
         true,
     );
+    let store = &run.store;
+    // Every cross-granularity pair must be accounted for as a skip, not
+    // silently absent.
+    assert!(run.journal.skipped_count() > 0);
+    assert_eq!(run.journal.failed_count(), 0);
     for row in store.rows() {
         match row.algo.as_str() {
             "A06" => {
@@ -43,7 +48,9 @@ fn matrix_never_pairs_across_granularities() {
 #[test]
 fn restricted_algorithm_only_runs_on_its_dataset() {
     let r = runner();
-    let store = r.run_matrix(&[AlgorithmId::A05], &DatasetId::ALL, false);
+    let store = r
+        .run_matrix(&[AlgorithmId::A05], &DatasetId::ALL, false)
+        .store;
     for row in store.rows() {
         assert_eq!(row.train, "P0");
     }
@@ -52,7 +59,9 @@ fn restricted_algorithm_only_runs_on_its_dataset() {
 #[test]
 fn wifi_dataset_only_hosts_kitsune() {
     let r = runner();
-    let store = r.run_matrix(&AlgorithmId::PUBLISHED, &[DatasetId::P3], false);
+    let store = r
+        .run_matrix(&AlgorithmId::PUBLISHED, &[DatasetId::P3], false)
+        .store;
     let algos: std::collections::HashSet<&str> =
         store.rows().iter().map(|r| r.algo.as_str()).collect();
     assert_eq!(algos, std::collections::HashSet::from(["A06"]));
@@ -61,11 +70,13 @@ fn wifi_dataset_only_hosts_kitsune() {
 #[test]
 fn metrics_are_bounded_and_consistent() {
     let r = runner();
-    let store = r.run_matrix(
-        &[AlgorithmId::A13, AlgorithmId::A15],
-        &[DatasetId::F4, DatasetId::F9],
-        true,
-    );
+    let store = r
+        .run_matrix(
+            &[AlgorithmId::A13, AlgorithmId::A15],
+            &[DatasetId::F4, DatasetId::F9],
+            true,
+        )
+        .store;
     assert!(!store.is_empty());
     for row in store.rows() {
         for v in [row.precision, row.recall, row.f1, row.accuracy, row.auc] {
@@ -74,6 +85,11 @@ fn metrics_are_bounded_and_consistent() {
         assert!(row.n_test > 0);
         if row.attack.is_none() {
             assert!(row.n_train > 0);
+            assert_eq!(
+                row.wall_ms,
+                row.extract_ms + row.train_ms + row.test_ms,
+                "wall_ms must equal the stage sum: {row:?}"
+            );
         }
     }
 }
