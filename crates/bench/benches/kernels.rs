@@ -1,0 +1,97 @@
+//! Compute-kernel benchmarks: the shared matmul / pairwise-distance layer
+//! against its scalar references, plus the model hot paths built on it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumen_ml::dataset::Dataset;
+use lumen_ml::kernels::{self, reference};
+use lumen_ml::kmeans::kmeans_t;
+use lumen_ml::knn::{Knn, KnnConfig};
+use lumen_ml::matrix::Matrix;
+use lumen_ml::model::Classifier;
+use lumen_util::Rng;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.f64_range(-2.0, 2.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = random_matrix(256, 96, 1);
+    let b = random_matrix(96, 256, 2);
+    let mut g = c.benchmark_group("matmul_256x96");
+    g.sample_size(20);
+    g.bench_function("reference", |bch| {
+        bch.iter(|| reference::matmul(&a, &b).unwrap().rows())
+    });
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("kernel", threads), &threads, |bch, &t| {
+            bch.iter(|| kernels::matmul(&a, &b, t).unwrap().rows())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let a = random_matrix(2000, 32, 3);
+    let b = random_matrix(2000, 32, 4);
+    let mut g = c.benchmark_group("pairwise_2000x32");
+    g.sample_size(10);
+    g.bench_function("reference", |bch| {
+        bch.iter(|| reference::pairwise_sq_dists(&a, &b).unwrap().rows())
+    });
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("kernel", threads), &threads, |bch, &t| {
+            bch.iter(|| kernels::pairwise_sq_dists(&a, &b, t).unwrap().rows())
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn_predict(c: &mut Criterion) {
+    let train_x = random_matrix(2000, 24, 5);
+    let mut rng = Rng::new(6);
+    let labels: Vec<u8> = (0..2000).map(|_| u8::from(rng.chance(0.5))).collect();
+    let queries = random_matrix(500, 24, 7);
+    let mut g = c.benchmark_group("knn_predict_500q_2000t");
+    g.sample_size(20);
+    for threads in [1usize, 4] {
+        let mut knn = Knn::new(KnnConfig {
+            k: 5,
+            max_train: 2000,
+            threads,
+        });
+        knn.fit(&Dataset::new(train_x.clone(), labels.clone()).unwrap())
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, _| {
+            bch.iter(|| knn.scores(&queries).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_kmeans_fit(c: &mut Criterion) {
+    let x = random_matrix(3000, 16, 8);
+    let mut g = c.benchmark_group("kmeans_fit_3000x16_k8");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, &t| {
+            bch.iter(|| {
+                let mut rng = Rng::new(9);
+                kmeans_t(&x, 8, 10, &mut rng, t).unwrap().inertia
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_pairwise,
+    bench_knn_predict,
+    bench_kmeans_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! Kernel-layer smoke benchmark: times the shared ML compute kernels
+//! against their scalar references across a thread sweep and emits
+//! `BENCH_kernels.json` (to `$LUMEN_RESULTS_DIR` when set, else the
+//! working directory).
+//!
+//! Baselines: `matmul`, `pairwise_sq_dists` and `knn_predict` are measured
+//! against naive scalar implementations (the loops the model zoo used to
+//! hand-roll); `kmeans_fit` runs the same fused routine at one thread, so
+//! its speedup column reads as parallel scaling.
+//!
+//! `--fast` shrinks every workload *except* the pairwise case, which stays
+//! at n=4000, d=32 — the acceptance-criterion configuration.
+
+use std::time::Instant;
+
+use lumen_ml::kernels::{self, reference};
+use lumen_ml::kmeans::kmeans_t;
+use lumen_ml::knn::{Knn, KnnConfig};
+use lumen_ml::matrix::Matrix;
+use lumen_ml::model::Classifier;
+use lumen_ml::Dataset;
+use lumen_util::par::available_threads;
+use lumen_util::Rng;
+
+/// One measured configuration.
+struct Record {
+    op: &'static str,
+    n: usize,
+    d: usize,
+    threads: usize,
+    ns_per_iter: f64,
+    speedup: f64,
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.f64_range(-2.0, 2.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// Best-of-`reps` wall time of `f`, in ns per call.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Naive scalar k-NN batch scoring: per-query distance loop + full sort —
+/// the pre-kernel baseline.
+fn naive_knn_scores(train: &Matrix, labels: &[u8], q: &Matrix, k: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(q.rows());
+    for qi in 0..q.rows() {
+        let qr = q.row(qi);
+        let mut pairs: Vec<(f64, u8)> = (0..train.rows())
+            .map(|ti| {
+                let tr = train.row(ti);
+                let mut s = 0.0;
+                for j in 0..qr.len() {
+                    let d = qr[j] - tr[j];
+                    s += d * d;
+                }
+                (s, labels[ti])
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let pos = pairs[..k].iter().filter(|(_, l)| *l == 1).count();
+        out.push(pos as f64 / k as f64);
+    }
+    out
+}
+
+fn thread_sweep() -> Vec<usize> {
+    let mut sweep = vec![1, 2, 4, available_threads()];
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let reps = if fast { 2 } else { 3 };
+    let sweep = thread_sweep();
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- matmul ------------------------------------------------------------
+    let (mm_n, mm_d) = if fast { (128, 48) } else { (320, 128) };
+    let a = random_matrix(mm_n, mm_d, 1);
+    let b = random_matrix(mm_d, mm_n, 2);
+    let ref_ns = time_ns(reps, || {
+        std::hint::black_box(reference::matmul(&a, &b).unwrap());
+    });
+    for &t in &sweep {
+        let ns = time_ns(reps, || {
+            std::hint::black_box(kernels::matmul(&a, &b, t).unwrap());
+        });
+        records.push(Record {
+            op: "matmul",
+            n: mm_n,
+            d: mm_d,
+            threads: t,
+            ns_per_iter: ns,
+            speedup: ref_ns / ns,
+        });
+    }
+
+    // --- pairwise_sq_dists (acceptance config, never shrunk) ---------------
+    // Both sides write into a preallocated buffer so the measurement is
+    // compute vs compute, not dominated by page-faulting a fresh 128 MB
+    // output per call.
+    let (pw_n, pw_d) = (4000, 32);
+    let a = random_matrix(pw_n, pw_d, 3);
+    let b = random_matrix(pw_n, pw_d, 4);
+    let mut out = Matrix::zeros(pw_n, pw_n);
+    let ref_ns = time_ns(reps, || {
+        reference::pairwise_sq_dists_into(&a, &b, &mut out);
+        std::hint::black_box(out.get(0, 0));
+    });
+    for &t in &sweep {
+        let ns = time_ns(reps, || {
+            kernels::pairwise_sq_dists_into(&a, &b, &mut out, t).unwrap();
+            std::hint::black_box(out.get(0, 0));
+        });
+        records.push(Record {
+            op: "pairwise_sq_dists",
+            n: pw_n,
+            d: pw_d,
+            threads: t,
+            ns_per_iter: ns,
+            speedup: ref_ns / ns,
+        });
+    }
+
+    // --- knn_predict -------------------------------------------------------
+    let (kn_train, kn_q, kn_d, k) = if fast {
+        (1500, 600, 16, 5)
+    } else {
+        (4000, 2000, 32, 5)
+    };
+    let train_x = random_matrix(kn_train, kn_d, 5);
+    let mut rng = Rng::new(6);
+    let labels: Vec<u8> = (0..kn_train).map(|_| u8::from(rng.chance(0.5))).collect();
+    let queries = random_matrix(kn_q, kn_d, 7);
+    let ref_ns = time_ns(reps, || {
+        std::hint::black_box(naive_knn_scores(&train_x, &labels, &queries, k));
+    });
+    for &t in &sweep {
+        let mut knn = Knn::new(KnnConfig {
+            k,
+            max_train: kn_train,
+            threads: t,
+        });
+        knn.fit(&Dataset::new(train_x.clone(), labels.clone()).unwrap())
+            .unwrap();
+        let ns = time_ns(reps, || {
+            std::hint::black_box(knn.scores(&queries));
+        });
+        records.push(Record {
+            op: "knn_predict",
+            n: kn_q,
+            d: kn_d,
+            threads: t,
+            ns_per_iter: ns,
+            speedup: ref_ns / ns,
+        });
+    }
+
+    // --- kmeans_fit (speedup = parallel scaling vs one thread) -------------
+    let (km_n, km_d, km_k) = if fast { (1500, 16, 8) } else { (6000, 16, 8) };
+    let x = random_matrix(km_n, km_d, 8);
+    let ref_ns = time_ns(reps, || {
+        let mut rng = Rng::new(9);
+        std::hint::black_box(kmeans_t(&x, km_k, 10, &mut rng, 1).unwrap());
+    });
+    for &t in &sweep {
+        let ns = time_ns(reps, || {
+            let mut rng = Rng::new(9);
+            std::hint::black_box(kmeans_t(&x, km_k, 10, &mut rng, t).unwrap());
+        });
+        records.push(Record {
+            op: "kmeans_fit",
+            n: km_n,
+            d: km_d,
+            threads: t,
+            ns_per_iter: ns,
+            speedup: ref_ns / ns,
+        });
+    }
+
+    // --- report ------------------------------------------------------------
+    println!(
+        "{:<18} {:>6} {:>4} {:>8} {:>14} {:>9}",
+        "op", "n", "d", "threads", "ns/iter", "speedup"
+    );
+    for r in &records {
+        println!(
+            "{:<18} {:>6} {:>4} {:>8} {:>14.0} {:>8.2}x",
+            r.op, r.n, r.d, r.threads, r.ns_per_iter, r.speedup
+        );
+    }
+
+    let json: Vec<serde_json::Value> = records
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "op": r.op,
+                "n": r.n,
+                "d": r.d,
+                "threads": r.threads,
+                "ns_per_iter": r.ns_per_iter,
+                "speedup": r.speedup,
+            })
+        })
+        .collect();
+    let dir = std::env::var("LUMEN_RESULTS_DIR").unwrap_or_else(|_| ".".into());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join("BENCH_kernels.json");
+    let body = serde_json::to_string_pretty(&serde_json::Value::Array(json)).unwrap();
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("\n[kernel benchmarks persisted to {}]", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}

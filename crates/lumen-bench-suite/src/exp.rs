@@ -12,12 +12,15 @@ use crate::runner::{RunConfig, Runner};
 ///
 /// Flags: `--fast` (small datasets for smoke runs), `--strict` (exit
 /// nonzero when any journaled task genuinely failed), `--seed N`,
-/// `--threads N`, `--duration SECONDS`, `--max-packets N`.
+/// `--threads N`, `--kernel-threads N`, `--duration SECONDS`,
+/// `--max-packets N`.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpConfig {
     pub scale: SynthScale,
     pub seed: u64,
     pub threads: usize,
+    /// ML compute-kernel threads per matrix task (0 = auto share).
+    pub kernel_threads: usize,
     pub max_packets: usize,
     /// When true, a non-skip failure in the run journal flips the process
     /// exit code (faithfulness skips stay non-fatal).
@@ -34,6 +37,7 @@ impl ExpConfig {
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(8),
+            kernel_threads: 0,
             max_packets: 4000,
             strict: false,
         }
@@ -46,7 +50,7 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --strict --seed N --threads N --duration S --max-packets N"
+                    "{why}; known flags: --fast --strict --seed N --threads N --kernel-threads N --duration S --max-packets N"
                 );
                 std::process::exit(2);
             }
@@ -80,6 +84,11 @@ impl ExpConfig {
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?;
                 }
+                "--kernel-threads" => {
+                    cfg.kernel_threads = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--kernel-threads: {e}"))?;
+                }
                 "--duration" => {
                     cfg.scale.duration_s = value(&mut i)?
                         .parse()
@@ -108,6 +117,7 @@ impl ExpConfig {
                 train_frac: 0.7,
                 seed: self.seed,
                 threads: self.threads,
+                kernel_threads: self.kernel_threads,
                 per_attack: true,
                 fault: None,
             },
@@ -263,6 +273,14 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.threads, 2);
         assert!((cfg.scale.duration_s - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_threads_flag_is_parsed() {
+        assert_eq!(parse(&[]).unwrap().kernel_threads, 0);
+        let cfg = parse(&["--kernel-threads", "3"]).unwrap();
+        assert_eq!(cfg.kernel_threads, 3);
+        assert!(parse(&["--kernel-threads", "x"]).is_err());
     }
 
     #[test]

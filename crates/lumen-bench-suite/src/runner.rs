@@ -68,6 +68,11 @@ pub struct RunConfig {
     pub seed: u64,
     /// Worker threads for matrix runs.
     pub threads: usize,
+    /// Worker threads for ML compute kernels *inside* each matrix task
+    /// (0 = auto: available parallelism divided by the matrix thread
+    /// count, so matrix- and kernel-level parallelism don't oversubscribe
+    /// the machine).
+    pub kernel_threads: usize,
     /// Whether to also emit per-attack rows.
     pub per_attack: bool,
     /// Optional injected fault (test/chaos instrumentation).
@@ -80,6 +85,7 @@ impl Default for RunConfig {
             train_frac: 0.7,
             seed: 7,
             threads: 4,
+            kernel_threads: 0,
             per_attack: false,
             fault: None,
         }
@@ -124,8 +130,17 @@ pub struct Runner {
 }
 
 impl Runner {
-    /// Creates a runner over a registry.
+    /// Creates a runner over a registry. Also sets the process-wide ML
+    /// kernel thread default from [`RunConfig::kernel_threads`]: with the
+    /// auto value (`0`), each matrix worker gets an equal share of the
+    /// machine so nested parallelism never oversubscribes it.
     pub fn new(registry: Arc<DatasetRegistry>, config: RunConfig) -> Runner {
+        let kernel_threads = if config.kernel_threads > 0 {
+            config.kernel_threads
+        } else {
+            (lumen_util::par::available_threads() / config.threads.max(1)).max(1)
+        };
+        lumen_ml::kernels::set_default_threads(kernel_threads);
         Runner {
             registry,
             cache: FeatureCache::new(),
@@ -575,6 +590,9 @@ impl Runner {
         datasets: &[DatasetId],
         include_cross: bool,
     ) -> MatrixRun {
+        // Kernel counters are process-global; the snapshot delta across the
+        // matrix attributes ML compute time to this run.
+        let kernels_before = lumen_ml::kernels::profile_snapshot();
         // Build the task list; unfaithful pairings go straight to the
         // journal as skips.
         let mut tasks: Vec<(AlgorithmId, DatasetId, DatasetId)> = Vec::new();
@@ -645,6 +663,15 @@ impl Runner {
             }
         })
         .expect("runner scope");
+        // Fold the per-op kernel timings accumulated during this matrix
+        // into the ops profile, next to the feature-extraction ops.
+        let delta = lumen_ml::kernels::profile_snapshot().delta_since(&kernels_before);
+        if delta.total_calls() > 0 {
+            let mut ops = self.ops_profile.lock();
+            for (name, calls, nanos) in delta.entries() {
+                ops.add_timing(&format!("Kernel::{name}"), calls, u128::from(nanos) / 1_000);
+            }
+        }
         let mut store = store.into_inner();
         sort_store(&mut store);
         let mut journal = journal.into_inner();
@@ -870,6 +897,30 @@ mod tests {
         // Cold extraction ran the feature pipeline exactly once per dataset;
         // every recorded op therefore has at least one call.
         assert!(profile.stats().values().all(|s| s.calls >= 1));
+    }
+
+    #[test]
+    fn matrix_folds_kernel_timings_into_profile() {
+        let r = runner();
+        // A07 (OCSVM) trains through the RFF-map kernel path.
+        let run = r.run_matrix(&[AlgorithmId::A07], &[DatasetId::F4], false);
+        assert_eq!(run.journal.ok_count(), 1);
+        let profile = r.ops_profile.lock();
+        let kernel_ops: Vec<&String> = profile
+            .stats()
+            .keys()
+            .filter(|k| k.starts_with("Kernel::"))
+            .collect();
+        assert!(
+            !kernel_ops.is_empty(),
+            "expected Kernel::* rows in the ops profile, got {:?}",
+            profile.stats().keys().collect::<Vec<_>>()
+        );
+        assert!(profile
+            .stats()
+            .iter()
+            .filter(|(k, _)| k.starts_with("Kernel::"))
+            .all(|(_, s)| s.calls >= 1 && s.output_bytes == 0));
     }
 
     #[test]

@@ -179,6 +179,18 @@ impl OpsProfile {
         s.output_bytes += p.output_bytes as u128;
     }
 
+    /// Folds a raw timing aggregate (e.g. compute-kernel counters from
+    /// `lumen_ml::kernels`) into the profile under the given name, so
+    /// kernel time shows up in the same slowest-op report as pipeline ops.
+    pub fn add_timing(&mut self, op: &str, calls: u64, micros: u128) {
+        if calls == 0 {
+            return;
+        }
+        let s = self.stats.entry(op.to_string()).or_default();
+        s.calls += calls;
+        s.micros += micros;
+    }
+
     /// Merges another aggregate into this one.
     pub fn merge(&mut self, other: &OpsProfile) {
         for (op, o) in &other.stats {

@@ -62,6 +62,7 @@ pub(crate) const MODEL_PARAMS: &[&str] = &[
     "mixture",
     "hidden",
     "max_cluster",
+    "threads",
 ];
 pub(crate) const TRAIN_PARAMS: &[&str] = &[];
 pub(crate) const PREDICT_PARAMS: &[&str] = &[];
@@ -156,6 +157,9 @@ impl Classifier for AutoMl {
 pub(crate) fn build_classifier(def: &ModelDef) -> CoreResult<Box<dyn Classifier>> {
     let p = &def.params;
     let seed = def.seed;
+    // Kernel worker count for the models with parallel hot paths
+    // (0 = process default, i.e. whatever the runner or the machine says).
+    let threads = param_usize_or(p, "threads", 0);
     let quantile = param_f64_or(p, "benign_quantile", 0.98);
     if !(0.0..=1.0).contains(&quantile) {
         return Err(bad_param("Model", "benign_quantile must be in [0,1]"));
@@ -177,6 +181,7 @@ pub(crate) fn build_classifier(def: &ModelDef) -> CoreResult<Box<dyn Classifier>
         "KNN" => Box::new(Knn::new(KnnConfig {
             k: param_usize_or(p, "k", 5),
             max_train: param_usize_or(p, "max_train", 4000),
+            threads,
         })),
         "LogisticRegression" => Box::new(LogisticRegression::new(SgdConfig {
             epochs: param_usize_or(p, "epochs", 30),
@@ -198,6 +203,7 @@ pub(crate) fn build_classifier(def: &ModelDef) -> CoreResult<Box<dyn Classifier>
             OneClassSvm::new(OcsvmConfig {
                 nu: param_f64_or(p, "nu", 0.05),
                 seed,
+                threads,
                 ..OcsvmConfig::default()
             }),
             quantile,
@@ -207,11 +213,13 @@ pub(crate) fn build_classifier(def: &ModelDef) -> CoreResult<Box<dyn Classifier>
                 NystroemConfig {
                     n_components: param_usize_or(p, "landmarks", 64),
                     seed,
+                    threads,
                     ..NystroemConfig::default()
                 },
                 GmmConfig {
                     n_components: param_usize_or(p, "mixture", 4),
                     seed,
+                    threads,
                     ..GmmConfig::default()
                 },
             ),
@@ -222,11 +230,13 @@ pub(crate) fn build_classifier(def: &ModelDef) -> CoreResult<Box<dyn Classifier>
                 NystroemConfig {
                     n_components: param_usize_or(p, "landmarks", 64),
                     seed,
+                    threads,
                     ..NystroemConfig::default()
                 },
                 OcsvmConfig {
                     nu: param_f64_or(p, "nu", 0.05),
                     seed,
+                    threads,
                     ..OcsvmConfig::default()
                 },
             ),
@@ -236,6 +246,7 @@ pub(crate) fn build_classifier(def: &ModelDef) -> CoreResult<Box<dyn Classifier>
             Gmm::new(GmmConfig {
                 n_components: param_usize_or(p, "mixture", 4),
                 seed,
+                threads,
                 ..GmmConfig::default()
             }),
             quantile,

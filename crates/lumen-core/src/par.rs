@@ -2,85 +2,15 @@
 //!
 //! The paper's scalability fix for 100M-packet captures is to split work
 //! into chunks processed by a distributed Python pool (§4.2). The same
-//! design point on one machine: crossbeam scoped threads over contiguous
-//! chunks, order-preserving. Packet parsing is embarrassingly parallel
-//! (each frame parses independently), so this is where the benchmark's
-//! `scalability` experiment measures its speedup.
+//! design point on one machine: scoped threads over contiguous chunks,
+//! order-preserving. The generic machinery lives in [`lumen_util::par`] so
+//! that `lumen-ml`'s compute kernels can share it without depending on the
+//! packet types; this module re-exports it and keeps the packet-specific
+//! entry point.
 
-use std::any::Any;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+pub use lumen_util::par::{panic_message, par_chunks, try_par_chunks};
 
 use lumen_net::{CapturedPacket, LinkType, PacketMeta};
-
-/// Renders a panic payload (from `catch_unwind` or a thread join) as a
-/// human-readable message, so workers can turn panics into structured
-/// failures instead of aborting a whole run.
-pub fn panic_message(payload: &(dyn Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Splits `items` into at most `threads` contiguous chunks and maps each in
-/// its own scoped thread, preserving chunk order in the result.
-///
-/// A panic inside `f` is caught in its worker: the remaining chunks still
-/// complete, and the first panic is returned as `Err` with its message.
-pub fn try_par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, String>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
-{
-    let threads = threads.max(1);
-    if items.is_empty() {
-        return Ok(Vec::new());
-    }
-    if threads == 1 || items.len() < 2 {
-        return catch_unwind(AssertUnwindSafe(|| f(items)))
-            .map(|r| vec![r])
-            .map_err(|p| panic_message(p.as_ref()));
-    }
-    let chunk = items.len().div_ceil(threads);
-    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
-    let f = &f;
-    let results: Vec<Result<R, String>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|c| {
-                scope.spawn(move |_| {
-                    catch_unwind(AssertUnwindSafe(|| f(c))).map_err(|p| panic_message(p.as_ref()))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker catches its own panics"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    results.into_iter().collect()
-}
-
-/// Infallible wrapper over [`try_par_chunks`]: a worker panic is re-raised
-/// on the calling thread — but only after every other chunk has finished,
-/// and with the original message preserved, rather than aborting mid-run
-/// through a failed join.
-pub fn par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
-{
-    match try_par_chunks(items, threads, f) {
-        Ok(v) => v,
-        Err(msg) => panic!("par_chunks worker panicked: {msg}"),
-    }
-}
 
 /// Parses a capture into packet summaries using `threads` workers. Frames
 /// that fail to parse are dropped; the second return value counts them.

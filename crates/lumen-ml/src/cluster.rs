@@ -5,8 +5,7 @@
 //! map: average-linkage agglomerative clustering on the distance
 //! `1 − |pearson correlation|`, with a hard cap on cluster size.
 
-use lumen_util::stats::pearson;
-
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::{MlError, MlResult};
 
@@ -19,13 +18,45 @@ pub fn cluster_features(x: &Matrix, max_size: usize) -> MlResult<Vec<Vec<usize>>
         return Err(MlError::EmptyInput);
     }
     let max_size = max_size.max(1);
-    let cols: Vec<Vec<f64>> = (0..d).map(|c| x.col(c)).collect();
+    let n = x.rows();
 
-    // Pairwise correlation distances.
+    // All d² correlations in one Gram product instead of d²/2 pearson
+    // passes: center each column, scale it to unit norm, and lay the
+    // columns out as rows of `u`; then corr(i, j) = dot(u_i, u_j).
+    // Degenerate columns (zero variance, or n < 2 — where `pearson`
+    // reports 0) are zeroed, so their correlation with everything is 0
+    // and their distance 1.
+    let mut u = x.transpose();
+    for r in 0..d {
+        let row = u.row_mut(r);
+        let degenerate = if n < 2 {
+            true
+        } else {
+            let mean = row.iter().sum::<f64>() / n as f64;
+            for v in row.iter_mut() {
+                *v -= mean;
+            }
+            let sxx = kernels::dot(row, row);
+            if sxx > 0.0 {
+                let inv = 1.0 / sxx.sqrt();
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+            sxx <= 0.0
+        };
+        if degenerate {
+            row.fill(0.0);
+        }
+    }
+    let corr = kernels::matmul_bt(&u, &u, kernels::resolve_threads(0))?;
+
+    // Pairwise correlation distances (rounding can push |corr| a hair
+    // past 1; clamp so distances stay non-negative).
     let mut dist = vec![vec![0.0f64; d]; d];
     for i in 0..d {
         for j in (i + 1)..d {
-            let dd = 1.0 - pearson(&cols[i], &cols[j]).abs();
+            let dd = (1.0 - corr.get(i, j).abs()).max(0.0);
             dist[i][j] = dd;
             dist[j][i] = dd;
         }

@@ -4,9 +4,10 @@
 //! Nystroem+GMM variant (A08): fit on benign traffic, score new points by
 //! negative log-likelihood.
 
-use lumen_util::Rng;
+use lumen_util::{par, Rng};
 
-use crate::kmeans::kmeans;
+use crate::kernels::{self, KernelOp};
+use crate::kmeans::kmeans_t;
 use crate::matrix::Matrix;
 use crate::model::AnomalyDetector;
 use crate::{MlError, MlResult};
@@ -22,6 +23,8 @@ pub struct GmmConfig {
     pub reg_covar: f64,
     /// Seed for k-means initialization.
     pub seed: u64,
+    /// Worker threads for EM sweeps and batch scoring (0 = process default).
+    pub threads: usize,
 }
 
 impl Default for GmmConfig {
@@ -31,9 +34,14 @@ impl Default for GmmConfig {
             max_iter: 50,
             reg_covar: 1e-6,
             seed: 0,
+            threads: 0,
         }
     }
 }
+
+/// Rows per parallel work unit; fixed so the EM reduction order (and the
+/// fitted parameters) are bit-identical at any thread count.
+const BLOCK: usize = 512;
 
 /// A fitted diagonal GMM.
 pub struct Gmm {
@@ -89,10 +97,11 @@ impl Gmm {
         }
         let k = self.config.n_components.min(n).max(1);
         let d = x.cols();
+        let threads = kernels::resolve_threads(self.config.threads);
         let mut rng = Rng::new(self.config.seed);
 
         // Initialize from k-means.
-        let km = kmeans(x, k, 25, &mut rng)?;
+        let km = kmeans_t(x, k, 25, &mut rng, threads)?;
         self.means = km.centroids;
         self.weights = vec![1.0 / k as f64; k];
         self.vars = Matrix::zeros(k, d);
@@ -110,47 +119,85 @@ impl Gmm {
         let mut resp = Matrix::zeros(n, k);
         let mut prev_ll = f64::NEG_INFINITY;
         for _ in 0..self.config.max_iter {
-            // E step.
+            // E step + first M-step accumulation, one fixed-size row block
+            // per work unit: each block returns its responsibilities, its
+            // log-likelihood contribution, and partial sums Σr and Σr·x per
+            // component. All block results fold in block order, so the
+            // fitted parameters never depend on the thread count.
+            let sweep = kernels::timed(KernelOp::Gmm, || {
+                par::par_blocks(n, BLOCK, threads, |s, e| {
+                    let mut block_resp = vec![0.0; (e - s) * k];
+                    let mut block_ll = 0.0;
+                    let mut rc = vec![0.0; k];
+                    let mut rx = Matrix::zeros(k, d);
+                    for i in s..e {
+                        let row = x.row(i);
+                        let logs: Vec<f64> = (0..k)
+                            .map(|c| {
+                                self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, row)
+                            })
+                            .collect();
+                        let lse = log_sum_exp(&logs);
+                        block_ll += lse;
+                        for c in 0..k {
+                            let r = (logs[c] - lse).exp();
+                            block_resp[(i - s) * k + c] = r;
+                            rc[c] += r;
+                            kernels::axpy(r, row, rx.row_mut(c));
+                        }
+                    }
+                    (block_resp, block_ll, rc, rx)
+                })
+            });
             let mut total_ll = 0.0;
-            for i in 0..n {
-                let row = x.row(i);
-                let logs: Vec<f64> = (0..k)
-                    .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, row))
-                    .collect();
-                let lse = log_sum_exp(&logs);
-                total_ll += lse;
+            let mut rc = vec![0.0; k];
+            let mut rx = Matrix::zeros(k, d);
+            for (bi, (block_resp, block_ll, brc, brx)) in sweep.into_iter().enumerate() {
+                let s = bi * BLOCK;
+                resp.as_mut_slice()[s * k..s * k + block_resp.len()].copy_from_slice(&block_resp);
+                total_ll += block_ll;
                 for c in 0..k {
-                    resp.set(i, c, (logs[c] - lse).exp());
+                    rc[c] += brc[c];
+                    kernels::axpy(1.0, brx.row(c), rx.row_mut(c));
                 }
             }
-            // M step.
+            let rc_safe: Vec<f64> = rc.iter().map(|&r| r.max(1e-12)).collect();
             for c in 0..k {
-                let rc: f64 = (0..n).map(|i| resp.get(i, c)).sum();
-                let rc_safe = rc.max(1e-12);
-                self.weights[c] = rc / n as f64;
-                let mut mean = vec![0.0; d];
-                for i in 0..n {
-                    let r = resp.get(i, c);
-                    for (m, &v) in mean.iter_mut().zip(x.row(i)) {
-                        *m += r * v;
+                self.weights[c] = rc[c] / n as f64;
+                for (m, &s) in self.means.row_mut(c).iter_mut().zip(rx.row(c)) {
+                    *m = s / rc_safe[c];
+                }
+            }
+            // Second sweep for the variances (two-pass: they need the new
+            // means), same fixed-block fold.
+            let var_sweep = kernels::timed(KernelOp::Gmm, || {
+                par::par_blocks(n, BLOCK, threads, |s, e| {
+                    let mut var = Matrix::zeros(k, d);
+                    for i in s..e {
+                        let row = x.row(i);
+                        for c in 0..k {
+                            let r = resp.get(i, c);
+                            let mean = self.means.row(c);
+                            let vrow = var.row_mut(c);
+                            for j in 0..d {
+                                let dlt = row[j] - mean[j];
+                                vrow[j] += r * dlt * dlt;
+                            }
+                        }
                     }
+                    var
+                })
+            });
+            let mut var = Matrix::zeros(k, d);
+            for bvar in var_sweep {
+                for c in 0..k {
+                    kernels::axpy(1.0, bvar.row(c), var.row_mut(c));
                 }
-                for m in &mut mean {
-                    *m /= rc_safe;
+            }
+            for c in 0..k {
+                for (dst, &s) in self.vars.row_mut(c).iter_mut().zip(var.row(c)) {
+                    *dst = (s / rc_safe[c]).max(self.config.reg_covar);
                 }
-                let mut var = vec![0.0; d];
-                for i in 0..n {
-                    let r = resp.get(i, c);
-                    for j in 0..d {
-                        let dlt = x.get(i, j) - mean[j];
-                        var[j] += r * dlt * dlt;
-                    }
-                }
-                for v in &mut var {
-                    *v = (*v / rc_safe).max(self.config.reg_covar);
-                }
-                self.means.row_mut(c).copy_from_slice(&mean);
-                self.vars.row_mut(c).copy_from_slice(&var);
             }
             if (total_ll - prev_ll).abs() < 1e-6 * n as f64 {
                 break;
@@ -177,6 +224,20 @@ impl AnomalyDetector for Gmm {
     fn anomaly_score(&self, row: &[f64]) -> f64 {
         // Higher = more anomalous = lower likelihood.
         -self.log_likelihood(row)
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        let threads = kernels::resolve_threads(self.config.threads);
+        kernels::timed(KernelOp::Gmm, || {
+            par::par_blocks(x.rows(), BLOCK, threads, |s, e| {
+                (s..e)
+                    .map(|i| -self.log_likelihood(x.row(i)))
+                    .collect::<Vec<f64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,567 @@
+//! Shared compute kernels for the ML hot paths.
+//!
+//! Every model in the zoo used to carry its own bounds-checked scalar
+//! loops for matrix products and pairwise distances; this module is the
+//! single home for those inner loops so they can be written once, written
+//! well (row-slice access, unrolled accumulators, cache-blocked layout),
+//! and parallelized once.
+//!
+//! Design points:
+//!
+//! - **Transpose-packed matmul** ([`matmul`], [`matmul_bt`]): `A × B` is
+//!   computed as row-against-row dot products of `A` and `Bᵀ`, so both
+//!   inner-loop operands are contiguous. Packing `Bᵀ` is `O(k·m)` against
+//!   the product's `O(n·k·m)` — it pays for itself immediately.
+//! - **Gram-expansion distances** ([`pairwise_sq_dists`]):
+//!   `‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b` turns five hand-rolled distance loops
+//!   across the model zoo into one kernel built on the same dot-product
+//!   inner loop. Catastrophic cancellation can produce tiny negative
+//!   results for near-identical points; those are clamped to `0.0` (the
+//!   mathematically exact value is never negative).
+//! - **Deterministic parallelism**: every parallel kernel maps *rows* of
+//!   the output, each computed independently with a fixed accumulation
+//!   order, so results are bit-identical at any thread count. Reductions
+//!   elsewhere in the zoo use `lumen_util::par::par_blocks` (fixed block
+//!   size, fold in block order) for the same guarantee.
+//! - **Profiling**: each kernel bumps a process-global `(calls, nanos)`
+//!   counter per op ([`profile_snapshot`]) so the benchmark runner can
+//!   attribute train/predict time to kernels in its `OpsProfile`. Model
+//!   code can wrap coarser phases in [`timed`]; nested timings overlap by
+//!   design (a `KnnPredict` span contains a `PairwiseSqDists` span).
+//!
+//! Thread counts resolve in three steps: an explicit per-call count wins;
+//! a model config of `0` falls back to the process default
+//! ([`set_default_threads`]), which the benchmark runner plumbs from its
+//! `RunConfig`; a default of `0` means the machine's available
+//! parallelism.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lumen_util::par;
+
+use crate::matrix::Matrix;
+use crate::{MlError, MlResult};
+
+// ---------------------------------------------------------------------------
+// Thread plumbing
+// ---------------------------------------------------------------------------
+
+/// Process-wide default worker count for kernels (0 = available parallelism).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default kernel thread count. `0` restores the
+/// "use available parallelism" default.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide default kernel thread count (never 0).
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => par::available_threads(),
+        n => n,
+    }
+}
+
+/// Resolves a model-config thread count: `0` means "use the process
+/// default", anything else is taken literally.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        default_threads()
+    } else {
+        configured
+    }
+}
+
+/// Caps the worker count so each worker has a meaningful amount of work
+/// (`work` is an element/flop estimate). Results never depend on the
+/// worker count, so this is purely a scheduling heuristic.
+fn clamp_threads(threads: usize, work: usize) -> usize {
+    const MIN_WORK_PER_THREAD: usize = 16_384;
+    threads.clamp(1, work / MIN_WORK_PER_THREAD + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Profiling
+// ---------------------------------------------------------------------------
+
+/// The profiled kernel/phase identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum KernelOp {
+    /// Dense matrix product (either entry point).
+    Matmul,
+    /// Pairwise squared Euclidean distances.
+    PairwiseSqDists,
+    /// Blocked transpose.
+    Transpose,
+    /// kNN batch scoring (contains a `PairwiseSqDists` span).
+    KnnPredict,
+    /// One k-means assign+accumulate sweep.
+    KmeansStep,
+    /// A GMM mixture sweep (E-step responsibilities or batch scoring).
+    Gmm,
+    /// Random-Fourier-feature map of a sample batch.
+    RffMap,
+    /// Nystroem kernel-matrix construction / projection.
+    Nystroem,
+}
+
+const OP_COUNT: usize = 8;
+const OP_NAMES: [&str; OP_COUNT] = [
+    "matmul",
+    "pairwise_sq_dists",
+    "transpose",
+    "knn_predict",
+    "kmeans_step",
+    "gmm",
+    "rff_map",
+    "nystroem",
+];
+
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static CALLS: [AtomicU64; OP_COUNT] = [ZERO; OP_COUNT];
+static NANOS: [AtomicU64; OP_COUNT] = [ZERO; OP_COUNT];
+
+#[inline]
+fn record(op: KernelOp, start: Instant) {
+    let i = op as usize;
+    CALLS[i].fetch_add(1, Ordering::Relaxed);
+    NANOS[i].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Runs `f` inside a profiled span for `op`. Use for model-level phases
+/// (train sweeps, batch predicts) that are built from finer kernels;
+/// nested spans overlap by design.
+pub fn timed<R>(op: KernelOp, f: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let r = f();
+    record(op, t);
+    r
+}
+
+/// A point-in-time copy of the per-op kernel counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    calls: [u64; OP_COUNT],
+    nanos: [u64; OP_COUNT],
+}
+
+impl KernelProfile {
+    /// Counters accumulated since `earlier` (which must be an older
+    /// snapshot from the same process).
+    pub fn delta_since(&self, earlier: &KernelProfile) -> KernelProfile {
+        let mut d = KernelProfile::default();
+        for i in 0..OP_COUNT {
+            d.calls[i] = self.calls[i].saturating_sub(earlier.calls[i]);
+            d.nanos[i] = self.nanos[i].saturating_sub(earlier.nanos[i]);
+        }
+        d
+    }
+
+    /// `(op name, calls, nanos)` for every op with at least one call.
+    pub fn entries(&self) -> Vec<(&'static str, u64, u64)> {
+        (0..OP_COUNT)
+            .filter(|&i| self.calls[i] > 0)
+            .map(|i| (OP_NAMES[i], self.calls[i], self.nanos[i]))
+            .collect()
+    }
+
+    /// Total profiled calls across all ops.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+}
+
+/// Snapshots the process-global kernel counters.
+pub fn profile_snapshot() -> KernelProfile {
+    let mut p = KernelProfile::default();
+    for i in 0..OP_COUNT {
+        p.calls[i] = CALLS[i].load(Ordering::Relaxed);
+        p.nanos[i] = NANOS[i].load(Ordering::Relaxed);
+    }
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Fused vector helpers
+// ---------------------------------------------------------------------------
+
+/// Dot product with four independent accumulators (breaks the FP-add
+/// dependency chain; fixed summation order, so the result is reproducible).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// `y ← y + alpha·x`, element-wise.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Squared Euclidean norm of each row.
+pub fn sq_norms(m: &Matrix) -> Vec<f64> {
+    if m.cols() == 0 {
+        return vec![0.0; m.rows()];
+    }
+    m.rows_iter().map(|r| dot(r, r)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Matrix kernels
+// ---------------------------------------------------------------------------
+
+/// Blocked transpose: walks the input in square tiles so reads and writes
+/// both stay within a cache-resident working set, using flat-slice
+/// indexing instead of per-element `get`/`set`.
+pub fn transpose(m: &Matrix) -> Matrix {
+    let t = Instant::now();
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut out = Matrix::zeros(cols, rows);
+    const TILE: usize = 32;
+    let src = m.as_slice();
+    let dst = out.as_mut_slice();
+    for rb in (0..rows).step_by(TILE) {
+        let rend = (rb + TILE).min(rows);
+        for cb in (0..cols).step_by(TILE) {
+            let cend = (cb + TILE).min(cols);
+            for r in rb..rend {
+                let src_row = &src[r * cols..r * cols + cols];
+                for c in cb..cend {
+                    dst[c * rows + r] = src_row[c];
+                }
+            }
+        }
+    }
+    record(KernelOp::Transpose, t);
+    out
+}
+
+/// `A × B` via transpose packing: `B` is repacked as `Bᵀ` so the inner
+/// loop is a contiguous row-row dot product, then [`matmul_bt`] does the
+/// work across `threads` workers.
+pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(MlError::DimensionMismatch {
+            expected: a.cols(),
+            got: b.rows(),
+        });
+    }
+    let bt = transpose(b);
+    matmul_bt(a, &bt, threads)
+}
+
+/// `A × Bᵀᵀ` for a pre-packed `Bᵀ` (`bt.row(j)` holds column `j` of the
+/// logical right-hand side): `out[i][j] = dot(a.row(i), bt.row(j))`.
+///
+/// Output rows are computed independently on up to `threads` workers, so
+/// the result is bit-identical at any thread count.
+pub fn matmul_bt(a: &Matrix, bt: &Matrix, threads: usize) -> MlResult<Matrix> {
+    if a.cols() != bt.cols() {
+        return Err(MlError::DimensionMismatch {
+            expected: a.cols(),
+            got: bt.cols(),
+        });
+    }
+    let t = Instant::now();
+    let (n, m, k) = (a.rows(), bt.rows(), a.cols());
+    let mut out = Matrix::zeros(n, m);
+    if n > 0 && m > 0 {
+        let threads = clamp_threads(threads, n * m * k.max(1));
+        par::par_rows_mut(out.as_mut_slice(), m, threads, |i, out_row| {
+            let arow = a.row(i);
+            for (j, brow) in bt.rows_iter().enumerate() {
+                out_row[j] = dot(arow, brow);
+            }
+        });
+    }
+    record(KernelOp::Matmul, t);
+    Ok(out)
+}
+
+/// Pairwise squared Euclidean distances between the rows of `a` and the
+/// rows of `b`: `out[i][j] = ‖a.row(i) − b.row(j)‖²`, computed by the Gram
+/// expansion `‖a‖² + ‖b‖² − 2·a·b` with one fused pass per output row.
+///
+/// Cancellation can make near-zero results slightly negative; they are
+/// clamped to `0.0`. Rows are computed independently on up to `threads`
+/// workers (bit-identical at any thread count).
+pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(MlError::DimensionMismatch {
+            expected: a.cols(),
+            got: b.cols(),
+        });
+    }
+    let (n, m) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(n, m);
+    pairwise_sq_dists_into(a, b, &mut out, threads)?;
+    Ok(out)
+}
+
+/// [`pairwise_sq_dists`] into a caller-provided output matrix (shape
+/// `a.rows() × b.rows()`), so repeated batch scoring can reuse one buffer
+/// instead of re-faulting a fresh allocation per call.
+pub fn pairwise_sq_dists_into(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    threads: usize,
+) -> MlResult<()> {
+    if out.rows() != a.rows() || out.cols() != b.rows() {
+        return Err(MlError::DimensionMismatch {
+            expected: a.rows() * b.rows(),
+            got: out.rows() * out.cols(),
+        });
+    }
+    let t = Instant::now();
+    let (n, m, d) = (a.rows(), b.rows(), a.cols());
+    if n > 0 && m > 0 && d > 0 {
+        let bn = sq_norms(b);
+        let threads = clamp_threads(threads, n * m * d);
+        let bsrc = b.as_slice();
+        par::par_rows_mut(out.as_mut_slice(), m, threads, |i, out_row| {
+            let arow = a.row(i);
+            let an = dot(arow, arow);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let brow = &bsrc[j * d..j * d + d];
+                *o = (an + bn[j] - 2.0 * dot(arow, brow)).max(0.0);
+            }
+        });
+    } else {
+        out.as_mut_slice().fill(0.0);
+    }
+    record(KernelOp::PairwiseSqDists, t);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Naive references (oracles for tests and the benchmark baseline)
+// ---------------------------------------------------------------------------
+
+/// Scalar reference implementations the optimized kernels are measured and
+/// property-tested against.
+pub mod reference {
+    use super::*;
+
+    /// Textbook triple-loop matrix product.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> MlResult<Matrix> {
+        if a.cols() != b.rows() {
+            return Err(MlError::DimensionMismatch {
+                expected: a.cols(),
+                got: b.rows(),
+            });
+        }
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-element squared-difference distance loop (what the model zoo
+    /// used to hand-roll five times).
+    pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> MlResult<Matrix> {
+        if a.cols() != b.cols() {
+            return Err(MlError::DimensionMismatch {
+                expected: a.cols(),
+                got: b.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        pairwise_sq_dists_into(a, b, &mut out);
+        Ok(out)
+    }
+
+    /// [`pairwise_sq_dists`] into a caller-provided buffer — the
+    /// allocation-free counterpart of the optimized `_into` kernel, so
+    /// benchmarks compare compute against compute.
+    pub fn pairwise_sq_dists_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    let d = a.get(i, k) - b.get(j, k);
+                    s += d * d;
+                }
+                out.set(i, j, s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = lumen_util::Rng::new(seed);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| rng.f64_range(-2.0, 2.0))
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..13).map(|i| (13 - i) as f64).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-9);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(2.0, &[10.0, 20.0, 30.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0, 63.0]);
+    }
+
+    #[test]
+    fn sq_norms_handles_zero_cols() {
+        let m = Matrix::zeros(3, 0);
+        assert_eq!(sq_norms(&m), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        for (r, c) in [(1, 1), (3, 7), (40, 33), (65, 2)] {
+            let m = toy(r, c, 1);
+            let t = transpose(&m);
+            assert_eq!(t.rows(), c);
+            assert_eq!(t.cols(), r);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), m.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = toy(17, 9, 2);
+        let b = toy(9, 23, 3);
+        let fast = matmul(&a, &b, 4).unwrap();
+        let slow = reference::matmul(&a, &b).unwrap();
+        for i in 0..17 {
+            for j in 0..23 {
+                assert!((fast.get(i, j) - slow.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        assert!(matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3), 1).is_err());
+        assert!(matmul_bt(&Matrix::zeros(2, 3), &Matrix::zeros(5, 4), 1).is_err());
+    }
+
+    #[test]
+    fn matmul_empty_shapes() {
+        let c = matmul(&Matrix::zeros(0, 5), &Matrix::zeros(5, 4), 4).unwrap();
+        assert_eq!((c.rows(), c.cols()), (0, 4));
+        let c = matmul(&Matrix::zeros(3, 0), &Matrix::zeros(0, 2), 4).unwrap();
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pairwise_matches_reference_and_is_nonnegative() {
+        let a = toy(11, 6, 4);
+        let b = toy(7, 6, 5);
+        let fast = pairwise_sq_dists(&a, &b, 4).unwrap();
+        let slow = reference::pairwise_sq_dists(&a, &b).unwrap();
+        for i in 0..11 {
+            for j in 0..7 {
+                assert!((fast.get(i, j) - slow.get(i, j)).abs() < 1e-9);
+                assert!(fast.get(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_identical_points_clamp_to_zero() {
+        // Large-magnitude nearly-equal rows provoke cancellation; the Gram
+        // form must clamp, never go negative.
+        let a = Matrix::from_rows(vec![vec![1e8, -1e8, 3.0]]).unwrap();
+        let d = pairwise_sq_dists(&a, &a, 1).unwrap();
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn pairwise_rejects_dim_mismatch() {
+        assert!(pairwise_sq_dists(&Matrix::zeros(2, 3), &Matrix::zeros(2, 4), 1).is_err());
+    }
+
+    #[test]
+    fn pairwise_into_reuses_buffer_and_checks_shape() {
+        let a = toy(5, 4, 9);
+        let b = toy(3, 4, 10);
+        let fresh = pairwise_sq_dists(&a, &b, 1).unwrap();
+        let mut out = Matrix::zeros(5, 3);
+        out.as_mut_slice().fill(f64::NAN); // stale contents must be overwritten
+        pairwise_sq_dists_into(&a, &b, &mut out, 1).unwrap();
+        assert_eq!(out, fresh);
+        let mut wrong = Matrix::zeros(4, 3);
+        assert!(pairwise_sq_dists_into(&a, &b, &mut wrong, 1).is_err());
+    }
+
+    #[test]
+    fn kernels_bit_identical_across_threads() {
+        let a = toy(37, 12, 6);
+        let b = toy(29, 12, 7);
+        let m1 = pairwise_sq_dists(&a, &b, 1).unwrap();
+        let g1 = matmul_bt(&a, &b, 1).unwrap();
+        for threads in [2, 3, 8] {
+            assert_eq!(pairwise_sq_dists(&a, &b, threads).unwrap(), m1);
+            assert_eq!(matmul_bt(&a, &b, threads).unwrap(), g1);
+        }
+    }
+
+    #[test]
+    fn thread_resolution_chain() {
+        assert!(default_threads() >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn profile_counts_kernel_calls() {
+        let before = profile_snapshot();
+        let a = toy(8, 4, 8);
+        let _ = pairwise_sq_dists(&a, &a, 1).unwrap();
+        let _ = timed(KernelOp::KnnPredict, || 42);
+        let delta = profile_snapshot().delta_since(&before);
+        let names: Vec<&str> = delta.entries().iter().map(|e| e.0).collect();
+        assert!(names.contains(&"pairwise_sq_dists"), "{names:?}");
+        assert!(names.contains(&"knn_predict"), "{names:?}");
+        assert!(delta.total_calls() >= 2);
+    }
+}

@@ -1,7 +1,8 @@
 //! k-means clustering (k-means++ initialization). Used to initialize GMMs.
 
-use lumen_util::Rng;
+use lumen_util::{par, Rng};
 
+use crate::kernels::{self, KernelOp};
 use crate::matrix::Matrix;
 use crate::{MlError, MlResult};
 
@@ -20,8 +21,27 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Runs k-means with k-means++ seeding.
+/// Rows processed per parallel work unit. Fixed (never derived from the
+/// thread count) so the floating-point fold order — and hence the result —
+/// is bit-identical at any thread count.
+const BLOCK: usize = 512;
+
+/// Runs k-means with k-means++ seeding at the process-default kernel
+/// thread count.
 pub fn kmeans(x: &Matrix, k: usize, max_iter: usize, rng: &mut Rng) -> MlResult<KMeansFit> {
+    kmeans_t(x, k, max_iter, rng, 0)
+}
+
+/// Runs k-means with k-means++ seeding on an explicit worker count
+/// (0 = process default).
+pub fn kmeans_t(
+    x: &Matrix,
+    k: usize,
+    max_iter: usize,
+    rng: &mut Rng,
+    threads: usize,
+) -> MlResult<KMeansFit> {
+    let threads = kernels::resolve_threads(threads);
     let n = x.rows();
     if n == 0 || k == 0 {
         return Err(MlError::EmptyInput);
@@ -63,34 +83,48 @@ pub fn kmeans(x: &Matrix, k: usize, max_iter: usize, rng: &mut Rng) -> MlResult<
 
     let mut assignments = vec![0usize; n];
     for _ in 0..max_iter {
-        // Assign.
-        let mut changed = false;
-        for i in 0..n {
-            let row = x.row(i);
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let d2 = sq_dist(row, centroids.row(c));
-                if d2 < best_d {
-                    best_d = d2;
-                    best = c;
+        // Fused assign + accumulate, one fixed-size row block per work
+        // unit. Each block computes its distances through the Gram kernel
+        // and returns block-local assignments, centroid partial sums, and
+        // member counts; the fold below runs in block order, so the
+        // summation tree never depends on the thread count.
+        let sweep = kernels::timed(KernelOp::KmeansStep, || {
+            par::par_blocks(n, BLOCK, threads, |s, e| {
+                let idx: Vec<usize> = (s..e).collect();
+                let rows = x.select_rows(&idx);
+                // Kernel parallelism off: the block sweep is the parallel axis.
+                let dists = kernels::pairwise_sq_dists(&rows, &centroids, 1).expect("dims match");
+                let mut asn = Vec::with_capacity(e - s);
+                let mut sums = Matrix::zeros(k, d);
+                let mut counts = vec![0usize; k];
+                let mut changed = false;
+                for (j, drow) in dists.rows_iter().enumerate() {
+                    let mut best = 0;
+                    let mut best_d = f64::INFINITY;
+                    for (c, &d2) in drow.iter().enumerate() {
+                        if d2 < best_d {
+                            best_d = d2;
+                            best = c;
+                        }
+                    }
+                    changed |= assignments[s + j] != best;
+                    asn.push(best);
+                    counts[best] += 1;
+                    kernels::axpy(1.0, rows.row(j), sums.row_mut(best));
                 }
-            }
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
-            }
-        }
-        // Update.
+                (asn, changed, sums, counts)
+            })
+        });
+        let mut changed = false;
         let mut sums = Matrix::zeros(k, d);
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
-            counts[c] += 1;
-            let row = x.row(i);
-            let srow = sums.row_mut(c);
-            for (s, &v) in srow.iter_mut().zip(row) {
-                *s += v;
+        for (bi, (asn, ch, bsums, bcounts)) in sweep.into_iter().enumerate() {
+            let s = bi * BLOCK;
+            assignments[s..s + asn.len()].copy_from_slice(&asn);
+            changed |= ch;
+            for c in 0..k {
+                kernels::axpy(1.0, bsums.row(c), sums.row_mut(c));
+                counts[c] += bcounts[c];
             }
         }
         for c in 0..k {
@@ -107,9 +141,15 @@ pub fn kmeans(x: &Matrix, k: usize, max_iter: usize, rng: &mut Rng) -> MlResult<
         }
     }
 
-    let inertia = (0..n)
-        .map(|i| sq_dist(x.row(i), centroids.row(assignments[i])))
-        .sum();
+    // Exact (non-Gram) distances for the reported inertia: identical
+    // points must yield an inertia of exactly zero.
+    let inertia = par::par_blocks(n, BLOCK, threads, |s, e| {
+        (s..e)
+            .map(|i| sq_dist(x.row(i), centroids.row(assignments[i])))
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum();
     Ok(KMeansFit {
         centroids,
         assignments,
@@ -167,6 +207,18 @@ mod tests {
     fn rejects_empty() {
         let x = Matrix::zeros(0, 2);
         assert!(kmeans(&x, 2, 10, &mut Rng::new(1)).is_err());
+    }
+
+    #[test]
+    fn results_bit_identical_across_threads() {
+        let x = two_blobs(8, 1100); // > 2 blocks
+        let f1 = kmeans_t(&x, 4, 30, &mut Rng::new(9), 1).unwrap();
+        for t in [2, 8] {
+            let ft = kmeans_t(&x, 4, 30, &mut Rng::new(9), t).unwrap();
+            assert_eq!(ft.assignments, f1.assignments);
+            assert_eq!(ft.centroids, f1.centroids);
+            assert_eq!(ft.inertia.to_bits(), f1.inertia.to_bits());
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! k-nearest-neighbours classification (part of the ML-DDoS ensemble, A00).
 
 use crate::dataset::Dataset;
+use crate::kernels::{self, KernelOp};
 use crate::matrix::Matrix;
 use crate::model::Classifier;
 use crate::preprocess::{StandardScaler, Transform};
 use crate::{MlError, MlResult};
+
+use lumen_util::par;
 
 /// k-NN hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -14,6 +17,8 @@ pub struct KnnConfig {
     /// Cap on stored training instances (uniformly strided subsample);
     /// keeps inference tractable on large captures.
     pub max_train: usize,
+    /// Worker threads for batch scoring (0 = process default).
+    pub threads: usize,
 }
 
 impl Default for KnnConfig {
@@ -21,6 +26,7 @@ impl Default for KnnConfig {
         KnnConfig {
             k: 5,
             max_train: 4000,
+            threads: 0,
         }
     }
 }
@@ -48,6 +54,46 @@ impl Knn {
     /// Stored training instances after fitting.
     pub fn stored(&self) -> usize {
         self.train_y.len()
+    }
+
+    /// Scores a batch of *already standardized* query rows: pairwise
+    /// squared distances to the training set via the Gram kernel, then
+    /// `select_nth_unstable_by` picks the k nearest of each row in O(n)
+    /// instead of a full sort.
+    ///
+    /// Queries are processed in fixed-size row blocks on up to the
+    /// configured worker count — each row is scored independently, so the
+    /// result is bit-identical at any thread count, and the distance
+    /// buffer stays bounded at `block × stored` instead of
+    /// `queries × stored`.
+    fn scores_scaled(&self, q: &Matrix) -> Vec<f64> {
+        let Some(train) = &self.train_x else {
+            return vec![0.0; q.rows()];
+        };
+        let k = self.config.k.min(self.train_y.len());
+        if k == 0 {
+            return vec![0.0; q.rows()];
+        }
+        const BLOCK: usize = 256;
+        let threads = kernels::resolve_threads(self.config.threads);
+        let blocks = par::par_blocks(q.rows(), BLOCK, threads, |start, end| {
+            let probe = q.select_rows(&(start..end).collect::<Vec<_>>());
+            // Kernel parallelism off: the block sweep is the parallel axis.
+            let dists = kernels::pairwise_sq_dists(&probe, train, 1).expect("cols match train");
+            let mut scores = Vec::with_capacity(end - start);
+            let mut pairs: Vec<(f64, u8)> = Vec::with_capacity(self.train_y.len());
+            for row in dists.rows_iter() {
+                pairs.clear();
+                pairs.extend(row.iter().copied().zip(self.train_y.iter().copied()));
+                if k < pairs.len() {
+                    pairs.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+                }
+                let pos = pairs[..k].iter().filter(|(_, l)| *l == 1).count();
+                scores.push(pos as f64 / k as f64);
+            }
+            scores
+        });
+        blocks.into_iter().flatten().collect()
     }
 }
 
@@ -81,29 +127,22 @@ impl Classifier for Knn {
     }
 
     fn score_row(&self, row: &[f64]) -> f64 {
-        let Some(train) = &self.train_x else {
-            return 0.0;
-        };
-        let probe_m = Matrix::from_rows(vec![row.to_vec()]).expect("single row");
-        let probe = self.scaler.transform(&probe_m);
-        let q = probe.row(0);
+        let probe = Matrix::from_rows(vec![row.to_vec()]).expect("single row");
+        self.scores(&probe)[0]
+    }
 
-        let k = self.config.k.min(self.train_y.len());
-        // Max-heap of (distance, label) over the k best via simple partial
-        // selection — k is tiny, so an insertion pass is fine.
-        let mut best: Vec<(f64, u8)> = Vec::with_capacity(k + 1);
-        for (i, trow) in train.rows_iter().enumerate() {
-            let d: f64 = trow.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
-            if best.len() < k {
-                best.push((d, self.train_y[i]));
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            } else if d < best[k - 1].0 {
-                best[k - 1] = (d, self.train_y[i]);
-                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            }
-        }
-        let pos = best.iter().filter(|(_, l)| *l == 1).count();
-        pos as f64 / best.len().max(1) as f64
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.scores(x)
+            .into_iter()
+            .map(|s| u8::from(s >= 0.5))
+            .collect()
+    }
+
+    fn scores(&self, x: &Matrix) -> Vec<f64> {
+        kernels::timed(KernelOp::KnnPredict, || {
+            let q = self.scaler.transform(x);
+            self.scores_scaled(&q)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -157,6 +196,7 @@ mod tests {
         let mut knn = Knn::new(KnnConfig {
             k: 3,
             max_train: 100,
+            ..KnnConfig::default()
         });
         knn.fit(&train).unwrap();
         assert_eq!(knn.stored(), 100);

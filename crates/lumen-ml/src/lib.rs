@@ -29,6 +29,7 @@ pub mod dataset;
 pub mod ensemble;
 pub mod forest;
 pub mod gmm;
+pub mod kernels;
 pub mod kitnet;
 pub mod kmeans;
 pub mod knn;

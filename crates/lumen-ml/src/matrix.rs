@@ -110,6 +110,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable flat data access (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Selects a subset of rows (by index, repeats allowed — bootstrap).
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
@@ -163,40 +168,16 @@ impl Matrix {
         })
     }
 
-    /// Transpose.
+    /// Transpose (cache-blocked, via [`crate::kernels::transpose`]).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
-        out
+        crate::kernels::transpose(self)
     }
 
-    /// Matrix product `self × other`.
+    /// Matrix product `self × other`, delegated to the transpose-packed
+    /// kernel ([`crate::kernels::matmul`]) at the process-default thread
+    /// count. Results are bit-identical at any thread count.
     pub fn matmul(&self, other: &Matrix) -> MlResult<Matrix> {
-        if self.cols != other.rows {
-            return Err(MlError::DimensionMismatch {
-                expected: self.cols,
-                got: other.rows,
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(r);
-                for (c, &b) in orow.iter().enumerate() {
-                    out_row[c] += a * b;
-                }
-            }
-        }
-        Ok(out)
+        crate::kernels::matmul(self, other, crate::kernels::resolve_threads(0))
     }
 
     /// Per-column means.

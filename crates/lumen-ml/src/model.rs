@@ -41,6 +41,13 @@ pub trait AnomalyDetector: Send + Sync {
     /// Anomaly score for one row.
     fn anomaly_score(&self, row: &[f64]) -> f64;
 
+    /// Anomaly scores for every row of `x`. Detectors with a batch hot
+    /// path (kernelized or parallel scoring) override this; the default
+    /// maps [`AnomalyDetector::anomaly_score`] row by row.
+    fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        x.rows_iter().map(|r| self.anomaly_score(r)).collect()
+    }
+
     /// Short human-readable model name.
     fn name(&self) -> &'static str;
 }
@@ -97,10 +104,7 @@ impl<D: AnomalyDetector> Classifier for Calibrated<D> {
             return Err(crate::MlError::EmptyInput);
         }
         self.detector.fit_benign(&benign)?;
-        let scores: Vec<f64> = benign
-            .rows_iter()
-            .map(|r| self.detector.anomaly_score(r))
-            .collect();
+        let scores = self.detector.anomaly_scores(&benign);
         self.threshold = Some(lumen_util::stats::quantile(&scores, self.benign_quantile));
         Ok(())
     }
@@ -112,6 +116,19 @@ impl<D: AnomalyDetector> Classifier for Calibrated<D> {
 
     fn score_row(&self, row: &[f64]) -> f64 {
         self.detector.anomaly_score(row)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        let t = self.threshold.unwrap_or(f64::INFINITY);
+        self.detector
+            .anomaly_scores(x)
+            .into_iter()
+            .map(|s| u8::from(s > t))
+            .collect()
+    }
+
+    fn scores(&self, x: &Matrix) -> Vec<f64> {
+        self.detector.anomaly_scores(x)
     }
 
     fn name(&self) -> &'static str {

@@ -7,9 +7,10 @@
 //! models (OCSVM) or density models (GMM) then behave like their kernelized
 //! counterparts at a fraction of the cost.
 
-use lumen_util::Rng;
+use lumen_util::{par, Rng};
 
 use crate::gmm::{Gmm, GmmConfig};
+use crate::kernels::{self, KernelOp};
 use crate::matrix::Matrix;
 use crate::model::AnomalyDetector;
 use crate::ocsvm::{OcsvmConfig, OneClassSvm};
@@ -25,6 +26,8 @@ pub struct NystroemConfig {
     pub gamma: Option<f64>,
     /// Landmark sampling seed.
     pub seed: u64,
+    /// Worker threads for kernel-matrix work (0 = process default).
+    pub threads: usize,
 }
 
 impl Default for NystroemConfig {
@@ -33,6 +36,7 @@ impl Default for NystroemConfig {
             n_components: 64,
             gamma: None,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -63,6 +67,20 @@ impl Nystroem {
         (-self.gamma * d2).exp()
     }
 
+    /// RBF kernel matrix between the rows of `a` and the rows of `b`,
+    /// built from one Gram-expansion distance pass.
+    fn rbf_matrix(&self, a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
+        let mut k = kernels::pairwise_sq_dists(a, b, threads)?;
+        let gamma = self.gamma;
+        let cols = k.cols();
+        par::par_rows_mut(k.as_mut_slice(), cols, threads, |_, row| {
+            for v in row {
+                *v = (-gamma * *v).exp();
+            }
+        });
+        Ok(k)
+    }
+
     /// Output dimensionality after fitting.
     pub fn out_dim(&self) -> usize {
         self.projection.as_ref().map_or(0, Matrix::cols)
@@ -91,15 +109,13 @@ impl Transform for Nystroem {
         let idx = rng.sample_indices(n, m);
         let landmarks = x.select_rows(&idx);
 
-        // K_mm and its inverse square root via eigendecomposition.
-        let mut kmm = Matrix::zeros(m, m);
-        for i in 0..m {
-            for j in i..m {
-                let v = self.rbf(landmarks.row(i), landmarks.row(j));
-                kmm.set(i, j, v);
-                kmm.set(j, i, v);
-            }
-        }
+        // K_mm and its inverse square root via eigendecomposition. The
+        // Gram-expansion distance kernel keeps K_mm exactly symmetric:
+        // both the norms sum and the dot product commute bitwise.
+        let threads = kernels::resolve_threads(self.config.threads);
+        let kmm = kernels::timed(KernelOp::Nystroem, || {
+            self.rbf_matrix(&landmarks, &landmarks, threads)
+        })?;
         let (vals, vecs) = kmm.eigh_symmetric()?;
         // Keep components with meaningfully positive eigenvalues.
         let keep: Vec<usize> = (0..m).filter(|&i| vals[i] > 1e-10).collect();
@@ -121,14 +137,11 @@ impl Transform for Nystroem {
     fn transform(&self, x: &Matrix) -> Matrix {
         let landmarks = self.landmarks.as_ref().expect("transform before fit");
         let projection = self.projection.as_ref().expect("transform before fit");
-        let m = landmarks.rows();
-        let mut kx = Matrix::zeros(x.rows(), m);
-        for (r, row) in x.rows_iter().enumerate() {
-            for j in 0..m {
-                kx.set(r, j, self.rbf(row, landmarks.row(j)));
-            }
-        }
-        kx.matmul(projection).expect("shapes agree")
+        let threads = kernels::resolve_threads(self.config.threads);
+        kernels::timed(KernelOp::Nystroem, || {
+            let kx = self.rbf_matrix(x, landmarks, threads).expect("shapes agree");
+            kernels::matmul(&kx, projection, threads).expect("shapes agree")
+        })
     }
 }
 
@@ -179,6 +192,12 @@ impl<D: AnomalyDetector> AnomalyDetector for NystroemDetector<D> {
         self.inner.anomaly_score(mapped.row(0))
     }
 
+    fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        // One batched map + the inner detector's own batch path.
+        let mapped = self.map.transform(x);
+        self.inner.anomaly_scores(&mapped)
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -211,6 +230,7 @@ mod tests {
             n_components: 150, // all points as landmarks -> near-exact
             gamma: Some(0.1),
             seed: 2,
+            ..NystroemConfig::default()
         });
         let mapped = nys.fit_transform(&x).unwrap();
         for (i, j) in [(0, 1), (5, 40), (10, 120)] {

@@ -10,8 +10,9 @@
 //! the Nystroem composition (A09), where [`crate::nystroem::Nystroem`]
 //! supplies the feature map instead.
 
-use lumen_util::Rng;
+use lumen_util::{par, Rng};
 
+use crate::kernels::{self, KernelOp};
 use crate::matrix::Matrix;
 use crate::model::AnomalyDetector;
 use crate::preprocess::{StandardScaler, Transform};
@@ -46,6 +47,9 @@ pub struct OcsvmConfig {
     pub kernel: OcsvmKernel,
     /// Shuffle / projection seed.
     pub seed: u64,
+    /// Worker threads for feature mapping and batch scoring (0 = process
+    /// default). Training SGD itself stays sequential.
+    pub threads: usize,
 }
 
 impl Default for OcsvmConfig {
@@ -59,6 +63,7 @@ impl Default for OcsvmConfig {
                 gamma: None,
             },
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -66,8 +71,10 @@ impl Default for OcsvmConfig {
 /// The fitted random-Fourier-feature map for the RBF kernel.
 struct RffMap {
     scaler: StandardScaler,
-    /// d × D projection.
-    w: Matrix,
+    /// Transpose-packed D × d projection: row `c` holds the frequency
+    /// vector of output feature `c`, so mapping a batch is one
+    /// [`kernels::matmul_bt`] with contiguous inner loops.
+    wt: Matrix,
     /// D phase offsets.
     b: Vec<f64>,
     norm: f64,
@@ -80,11 +87,12 @@ impl RffMap {
         let d = scaled.cols();
         let gamma = gamma.unwrap_or(1.0 / d.max(1) as f64);
         let mut rng = Rng::new(seed ^ 0x5EED_0C5F);
-        let mut w = Matrix::zeros(d, n_features);
+        let mut wt = Matrix::zeros(n_features, d);
         let sd = (2.0 * gamma).sqrt();
-        for r in 0..d {
-            for c in 0..n_features {
-                w.set(r, c, rng.normal() * sd);
+        for c in 0..n_features {
+            let row = wt.row_mut(c);
+            for v in row.iter_mut() {
+                *v = rng.normal() * sd;
             }
         }
         let b: Vec<f64> = (0..n_features)
@@ -92,26 +100,34 @@ impl RffMap {
             .collect();
         Ok(RffMap {
             scaler,
-            w,
+            wt,
             b,
             norm: (2.0 / n_features as f64).sqrt(),
         })
     }
 
+    /// Maps a whole batch: `cos(x·Wᵀ + b)·norm`, one matmul plus an
+    /// element-wise pass (both row-parallel, bit-identical at any thread
+    /// count).
+    fn map_matrix(&self, x: &Matrix, threads: usize) -> Matrix {
+        kernels::timed(KernelOp::RffMap, || {
+            let scaled = self.scaler.transform(x);
+            let mut z = kernels::matmul_bt(&scaled, &self.wt, threads).expect("shapes agree");
+            let d_out = self.b.len();
+            let b = &self.b;
+            let norm = self.norm;
+            par::par_rows_mut(z.as_mut_slice(), d_out, threads, |_, row| {
+                for (v, &bc) in row.iter_mut().zip(b) {
+                    *v = norm * (*v + bc).cos();
+                }
+            });
+            z
+        })
+    }
+
     fn map_row(&self, row: &[f64]) -> Vec<f64> {
         let probe = Matrix::from_rows(vec![row.to_vec()]).expect("row");
-        let scaled = self.scaler.transform(&probe);
-        let s = scaled.row(0);
-        let d_out = self.b.len();
-        let mut out = vec![0.0; d_out];
-        for c in 0..d_out {
-            let mut z = self.b[c];
-            for (i, &v) in s.iter().enumerate() {
-                z += v * self.w.get(i, c);
-            }
-            out[c] = self.norm * z.cos();
-        }
-        out
+        self.map_matrix(&probe, 1).row(0).to_vec()
     }
 }
 
@@ -150,18 +166,21 @@ impl OneClassSvm {
     /// Decision function `⟨w, φ(x)⟩ − ρ` on mapped features (negative =
     /// anomalous).
     fn decision(&self, mapped: &[f64]) -> f64 {
-        mapped
-            .iter()
-            .zip(&self.weights)
-            .map(|(a, w)| a * w)
-            .sum::<f64>()
-            - self.rho
+        kernels::dot(mapped, &self.weights) - self.rho
     }
 
     fn map_row(&self, row: &[f64]) -> Vec<f64> {
         match &self.rff {
             Some(map) => map.map_row(row),
             None => row.to_vec(),
+        }
+    }
+
+    /// Maps a whole batch through the configured kernel.
+    fn map_matrix(&self, x: &Matrix, threads: usize) -> Matrix {
+        match &self.rff {
+            Some(map) => map.map_matrix(x, threads),
+            None => x.clone(),
         }
     }
 }
@@ -184,20 +203,21 @@ impl AnomalyDetector for OneClassSvm {
             )?),
         };
 
-        // Pre-map all training rows once.
-        let mapped: Vec<Vec<f64>> = benign.rows_iter().map(|r| self.map_row(r)).collect();
-        let d = mapped[0].len();
+        // Pre-map all training rows once (batched, row-parallel).
+        let threads = kernels::resolve_threads(self.config.threads);
+        let mapped = self.map_matrix(benign, threads);
+        let d = mapped.cols();
         self.weights = vec![0.0; d];
         self.rho = 0.0;
         let inv_nu = 1.0 / self.config.nu;
 
         let mut rng = Rng::new(self.config.seed);
-        let mut order: Vec<usize> = (0..mapped.len()).collect();
+        let mut order: Vec<usize> = (0..mapped.rows()).collect();
         let mut t = 1.0;
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut order);
             for &i in &order {
-                let row = &mapped[i];
+                let row = mapped.row(i);
                 let lr = self.config.learning_rate / (1.0 + 0.005 * t);
                 // Subgradient of (1/2)||w||² − ρ + (1/ν) max(0, ρ − ⟨w,x⟩).
                 if self.decision(row) >= 0.0 {
@@ -224,6 +244,15 @@ impl AnomalyDetector for OneClassSvm {
         }
         // Higher = more anomalous.
         -self.decision(&self.map_row(row))
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        if !self.fitted {
+            return vec![0.0; x.rows()];
+        }
+        let threads = kernels::resolve_threads(self.config.threads);
+        let mapped = self.map_matrix(x, threads);
+        mapped.rows_iter().map(|r| -self.decision(r)).collect()
     }
 
     fn name(&self) -> &'static str {

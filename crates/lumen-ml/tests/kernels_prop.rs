@@ -1,0 +1,187 @@
+//! Property-based tests for the shared compute-kernel layer: the blocked
+//! kernels must agree with the naive scalar references on arbitrary shapes
+//! (including empty, 1×1, non-square, and k > n), and every parallel model
+//! must produce bit-identical predictions at any thread count.
+
+use proptest::prelude::*;
+
+use lumen_ml::dataset::Dataset;
+use lumen_ml::gmm::{Gmm, GmmConfig};
+use lumen_ml::kernels::{self, reference};
+use lumen_ml::knn::{Knn, KnnConfig};
+use lumen_ml::matrix::Matrix;
+use lumen_ml::model::{AnomalyDetector, Classifier};
+use lumen_ml::nystroem::{Nystroem, NystroemConfig};
+use lumen_ml::ocsvm::{OcsvmConfig, OneClassSvm};
+use lumen_ml::preprocess::Transform;
+use lumen_util::Rng;
+
+/// Arbitrary matrix of any shape from 0×0 up — empty and degenerate
+/// shapes included on purpose.
+fn arb_any_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (0..=max_rows, 0..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1e3f64..1e3, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.f64_range(-3.0, 3.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+proptest! {
+    /// Blocked, transpose-packed matmul agrees with the triple loop on any
+    /// conformable shapes at any thread count.
+    #[test]
+    fn matmul_matches_reference(
+        (a, b) in (0usize..14, 0usize..10, 0usize..12).prop_flat_map(|(n, k, m)| {
+            (
+                proptest::collection::vec(-1e3f64..1e3, n * k)
+                    .prop_map(move |d| Matrix::from_vec(n, k, d).unwrap()),
+                proptest::collection::vec(-1e3f64..1e3, k * m)
+                    .prop_map(move |d| Matrix::from_vec(k, m, d).unwrap()),
+            )
+        }),
+        threads in 1usize..9,
+    ) {
+        let fast = kernels::matmul(&a, &b, threads).unwrap();
+        let slow = reference::matmul(&a, &b).unwrap();
+        prop_assert_eq!((fast.rows(), fast.cols()), (slow.rows(), slow.cols()));
+        for i in 0..fast.rows() {
+            for j in 0..fast.cols() {
+                prop_assert!(
+                    (fast.get(i, j) - slow.get(i, j)).abs() <= 1e-9,
+                    "cell ({i},{j}): {} vs {}", fast.get(i, j), slow.get(i, j)
+                );
+            }
+        }
+    }
+
+    /// The Gram-expansion distance kernel agrees with the per-element
+    /// difference loop and never returns a negative value.
+    #[test]
+    fn pairwise_matches_reference(
+        a in arb_any_matrix(12, 8),
+        b_rows in 0usize..10,
+        seed in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        let b = {
+            let mut rng = Rng::new(seed);
+            let data: Vec<f64> = (0..b_rows * a.cols())
+                .map(|_| rng.f64_range(-1e3, 1e3))
+                .collect();
+            Matrix::from_vec(b_rows, a.cols(), data).unwrap()
+        };
+        let fast = kernels::pairwise_sq_dists(&a, &b, threads).unwrap();
+        let slow = reference::pairwise_sq_dists(&a, &b).unwrap();
+        prop_assert_eq!((fast.rows(), fast.cols()), (a.rows(), b.rows()));
+        let norm = |m: &Matrix, i: usize| m.row(i).iter().map(|v| v * v).sum::<f64>();
+        for i in 0..fast.rows() {
+            for j in 0..fast.cols() {
+                prop_assert!(fast.get(i, j) >= 0.0);
+                // The expansion's absolute error scales with the Gram
+                // terms' magnitude (the row norms), not the distance.
+                let scale = 1.0 + norm(&a, i) + norm(&b, j);
+                prop_assert!(
+                    (fast.get(i, j) - slow.get(i, j)).abs() <= 1e-9 * scale,
+                    "cell ({i},{j}): {} vs {}", fast.get(i, j), slow.get(i, j)
+                );
+            }
+        }
+    }
+
+    /// Blocked transpose round-trips and matches per-element access.
+    #[test]
+    fn transpose_matches_naive(m in arb_any_matrix(40, 40)) {
+        let t = kernels::transpose(&m);
+        prop_assert_eq!((t.rows(), t.cols()), (m.cols(), m.rows()));
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert_eq!(t.get(j, i), m.get(i, j));
+            }
+        }
+        prop_assert_eq!(kernels::transpose(&t), m);
+    }
+
+    /// kNN scoring survives k larger than the stored training set (k is
+    /// clamped) and stays bit-identical across thread counts.
+    #[test]
+    fn knn_k_exceeding_n_is_clamped(
+        n in 1usize..8,
+        k in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let x = random_matrix(n, 3, seed);
+        let y: Vec<u8> = (0..n).map(|_| u8::from(rng.chance(0.5))).collect();
+        let mut knn = Knn::new(KnnConfig { k, max_train: 64, threads: 1 });
+        knn.fit(&Dataset::new(x.clone(), y).unwrap()).unwrap();
+        let s1 = knn.scores(&x);
+        prop_assert_eq!(s1.len(), n);
+        prop_assert!(s1.iter().all(|s| (0.0..=1.0).contains(s)));
+        for threads in [2usize, 8] {
+            let mut knn_t = Knn::new(KnnConfig { k, max_train: 64, threads });
+            knn_t.fit(&Dataset::new(x.clone(), {
+                let mut rng = Rng::new(seed);
+                (0..n).map(|_| u8::from(rng.chance(0.5))).collect()
+            }).unwrap()).unwrap();
+            let st = knn_t.scores(&x);
+            prop_assert_eq!(&st, &s1);
+        }
+    }
+}
+
+/// Fits each model at the given worker count and returns its scores on a
+/// held-out batch. Seeds are fixed so any score difference can only come
+/// from the thread count.
+fn model_scores(threads: usize) -> Vec<Vec<f64>> {
+    let train = random_matrix(300, 6, 11);
+    let test = random_matrix(80, 6, 12);
+    let mut out = Vec::new();
+
+    let mut rng = Rng::new(13);
+    let labels: Vec<u8> = (0..train.rows()).map(|_| u8::from(rng.chance(0.5))).collect();
+    let mut knn = Knn::new(KnnConfig { k: 5, max_train: 1000, threads });
+    knn.fit(&Dataset::new(train.clone(), labels).unwrap()).unwrap();
+    out.push(knn.scores(&test));
+
+    let mut gmm = Gmm::new(GmmConfig { n_components: 3, threads, ..GmmConfig::default() });
+    gmm.fit_benign(&train).unwrap();
+    out.push(gmm.anomaly_scores(&test));
+
+    let mut svm = OneClassSvm::new(OcsvmConfig { epochs: 10, threads, ..OcsvmConfig::default() });
+    svm.fit_benign(&train).unwrap();
+    out.push(svm.anomaly_scores(&test));
+
+    let mut nys = Nystroem::new(NystroemConfig { n_components: 24, threads, ..NystroemConfig::default() });
+    let mapped = nys.fit_transform(&train).unwrap();
+    out.push(mapped.as_slice().to_vec());
+    out.push(nys.transform(&test).as_slice().to_vec());
+    out
+}
+
+/// The headline determinism guarantee: model predictions are bit-identical
+/// for 1, 2 and 8 worker threads.
+#[test]
+fn model_scores_bit_identical_across_threads() {
+    let base = model_scores(1);
+    for threads in [2usize, 8] {
+        let other = model_scores(threads);
+        assert_eq!(base.len(), other.len());
+        for (mi, (a, b)) in base.iter().zip(&other).enumerate() {
+            assert_eq!(a.len(), b.len(), "model {mi} length");
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "model {mi} score {i}: {x} vs {y} at {threads} threads"
+                );
+            }
+        }
+    }
+}

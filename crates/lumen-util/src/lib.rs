@@ -6,6 +6,7 @@
 //! reproducible bit-for-bit from a single `u64` seed.
 
 pub mod entropy;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

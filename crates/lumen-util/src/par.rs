@@ -1,0 +1,339 @@
+//! Generic chunked parallelism on `std::thread::scope`.
+//!
+//! The paper's scalability fix for 100M-packet captures is chunked work
+//! over a worker pool (§4.2). This module is the dependency-free core of
+//! that design, shared by packet parsing (`lumen_core::par`) and the ML
+//! compute kernels (`lumen_ml::kernels`): contiguous chunks, scoped
+//! threads, order-preserving results, and panics contained per worker.
+//!
+//! Determinism contract: [`try_par_chunks`] splits by thread count, so it
+//! is only bit-deterministic for element-wise independent maps. For
+//! floating-point *reductions*, use [`try_par_blocks`]: the block size is
+//! fixed by the caller (never derived from the thread count), and block
+//! results are returned in block order, so the fold tree — and therefore
+//! the rounded result — is identical at any thread count.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Renders a panic payload (from `catch_unwind` or a thread join) as a
+/// human-readable message, so workers can turn panics into structured
+/// failures instead of aborting a whole run.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The machine's available parallelism, defaulting to 1 when unknown.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `items` into at most `threads` contiguous chunks and maps each in
+/// its own scoped thread, preserving chunk order in the result.
+///
+/// A panic inside `f` is caught in its worker: the remaining chunks still
+/// complete, and the first panic is returned as `Err` with its message.
+pub fn try_par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, String>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    if threads == 1 || items.len() < 2 {
+        return catch_unwind(AssertUnwindSafe(|| f(items)))
+            .map(|r| vec![r])
+            .map_err(|p| panic_message(p.as_ref()));
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let results: Vec<Result<R, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| f(c))).map_err(|p| panic_message(p.as_ref()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker catches its own panics"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Infallible wrapper over [`try_par_chunks`]: a worker panic is re-raised
+/// on the calling thread — but only after every other chunk has finished,
+/// and with the original message preserved.
+pub fn par_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    match try_par_chunks(items, threads, f) {
+        Ok(v) => v,
+        Err(msg) => panic!("par_chunks worker panicked: {msg}"),
+    }
+}
+
+/// Maps `f` over fixed-size index blocks `[start, end)` of `0..len` and
+/// returns the per-block results **in block order**, computing blocks on up
+/// to `threads` scoped workers.
+///
+/// Unlike [`try_par_chunks`], the partition depends only on `block`, never
+/// on `threads`: a caller that folds the returned vector front to back gets
+/// the same floating-point reduction tree at every thread count.
+pub fn try_par_blocks<R, F>(
+    len: usize,
+    block: usize,
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>, String>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let block = block.max(1);
+    let threads = threads.max(1);
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let nblocks = len.div_ceil(block);
+    let run = |b0: usize, b1: usize| -> Result<Vec<R>, String> {
+        let mut out = Vec::with_capacity(b1 - b0);
+        for bi in b0..b1 {
+            let start = bi * block;
+            let end = (start + block).min(len);
+            match catch_unwind(AssertUnwindSafe(|| f(start, end))) {
+                Ok(r) => out.push(r),
+                Err(p) => return Err(panic_message(p.as_ref())),
+            }
+        }
+        Ok(out)
+    };
+    if threads == 1 || nblocks == 1 {
+        return run(0, nblocks);
+    }
+    // Contiguous block ranges per worker: joining in worker order yields
+    // the results in block order.
+    let per = nblocks.div_ceil(threads);
+    let run = &run;
+    let results: Vec<Result<Vec<R>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nblocks.div_ceil(per))
+            .map(|w| {
+                let b0 = w * per;
+                let b1 = (b0 + per).min(nblocks);
+                scope.spawn(move || run(b0, b1))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker catches its own panics"))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(nblocks);
+    for r in results {
+        flat.extend(r?);
+    }
+    Ok(flat)
+}
+
+/// Infallible wrapper over [`try_par_blocks`].
+pub fn par_blocks<R, F>(len: usize, block: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    match try_par_blocks(len, block, threads, f) {
+        Ok(v) => v,
+        Err(msg) => panic!("par_blocks worker panicked: {msg}"),
+    }
+}
+
+/// Splits `out` into rows of `row_len` and calls `f(row_index, row)` for
+/// each, processing contiguous row ranges on up to `threads` scoped
+/// workers. The writes are disjoint by construction, so no locking is
+/// involved; because every row is computed independently, the result is
+/// bit-identical at any thread count.
+///
+/// Panics in `f` are contained per worker and surfaced as `Err` after all
+/// other workers finish.
+pub fn try_par_rows_mut<F>(
+    out: &mut [f64],
+    row_len: usize,
+    threads: usize,
+    f: F,
+) -> Result<(), String>
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let threads = threads.max(1);
+    if out.is_empty() || row_len == 0 {
+        return Ok(());
+    }
+    debug_assert_eq!(out.len() % row_len, 0, "out must be whole rows");
+    let rows = out.len() / row_len;
+    let run = |start_row: usize, chunk: &mut [f64]| -> Result<(), String> {
+        for (j, row) in chunk.chunks_mut(row_len).enumerate() {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(start_row + j, row))) {
+                return Err(panic_message(p.as_ref()));
+            }
+        }
+        Ok(())
+    };
+    if threads == 1 || rows == 1 {
+        return run(0, out);
+    }
+    let per = rows.div_ceil(threads);
+    let run = &run;
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(per * row_len)
+            .enumerate()
+            .map(|(w, chunk)| scope.spawn(move || run(w * per, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker catches its own panics"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Infallible wrapper over [`try_par_rows_mut`].
+pub fn par_rows_mut<F>(out: &mut [f64], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if let Err(msg) = try_par_rows_mut(out, row_len, threads, f) {
+        panic!("par_rows_mut worker panicked: {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let sums = par_chunks(&items, 4, |c| c.iter().sum::<usize>());
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<usize>(), 499_500);
+        assert!(sums[0] < sums[3]);
+    }
+
+    #[test]
+    fn par_chunks_empty_and_single() {
+        let items: [u8; 0] = [];
+        let out: Vec<usize> = par_chunks(&items, 8, |c| c.len());
+        assert!(out.is_empty());
+        let out = par_chunks(&[1, 2, 3], 1, |c| c.len());
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn try_par_chunks_catches_worker_panic() {
+        let items: Vec<usize> = (0..100).collect();
+        let err = try_par_chunks(&items, 4, |c| {
+            if c.contains(&13) {
+                panic!("chunk with 13 exploded");
+            }
+            c.len()
+        })
+        .unwrap_err();
+        assert!(err.contains("exploded"), "{err}");
+    }
+
+    #[test]
+    fn par_blocks_partition_is_thread_independent() {
+        // The block partition (and hence a front-to-back fold) must not
+        // change with the worker count.
+        for threads in [1, 2, 3, 8] {
+            let spans = par_blocks(103, 16, threads, |s, e| (s, e));
+            assert_eq!(spans.len(), 7);
+            assert_eq!(spans[0], (0, 16));
+            assert_eq!(spans[6], (96, 103));
+        }
+    }
+
+    #[test]
+    fn par_blocks_float_fold_is_bit_identical() {
+        let xs: Vec<f64> = (0..997).map(|i| (i as f64).sin() * 1e3).collect();
+        let fold = |threads: usize| -> f64 {
+            par_blocks(xs.len(), 64, threads, |s, e| {
+                xs[s..e].iter().sum::<f64>()
+            })
+            .into_iter()
+            .sum()
+        };
+        let s1 = fold(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(s1.to_bits(), fold(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn try_par_blocks_catches_worker_panic() {
+        let err = try_par_blocks(100, 10, 4, |s, _| {
+            if s == 50 {
+                panic!("block at 50 exploded");
+            }
+            s
+        })
+        .unwrap_err();
+        assert!(err.contains("exploded"), "{err}");
+    }
+
+    #[test]
+    fn par_rows_mut_writes_every_row() {
+        for threads in [1, 2, 5] {
+            let mut out = vec![0.0; 7 * 3];
+            par_rows_mut(&mut out, 3, threads, |i, row| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (i * 10 + j) as f64;
+                }
+            });
+            assert_eq!(out[0], 0.0);
+            assert_eq!(out[3], 10.0);
+            assert_eq!(out[20], 62.0);
+        }
+    }
+
+    #[test]
+    fn par_rows_mut_empty_is_noop() {
+        let mut out: Vec<f64> = Vec::new();
+        par_rows_mut(&mut out, 4, 8, |_, _| panic!("never called"));
+    }
+
+    #[test]
+    fn try_par_rows_mut_catches_worker_panic() {
+        let mut out = vec![0.0; 100];
+        let err = try_par_rows_mut(&mut out, 10, 4, |i, _| {
+            if i == 7 {
+                panic!("row 7 exploded");
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("exploded"), "{err}");
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}
