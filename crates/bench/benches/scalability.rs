@@ -15,8 +15,8 @@ fn bench_scalability(c: &mut Criterion) {
             &threads,
             |b, &t| {
                 b.iter(|| {
-                    let (metas, skipped) = parse_capture(cap.link, &cap.packets, t);
-                    assert_eq!(skipped, 0);
+                    let (metas, stats) = parse_capture(cap.link, &cap.packets, t);
+                    assert_eq!(stats.total_errors(), 0);
                     metas.len()
                 })
             },

@@ -10,8 +10,8 @@ use lumen_synth::{build_dataset, DatasetId, SynthScale};
 /// Converts a labeled capture into the framework's packet source, mapping
 /// attack kinds to opaque tags.
 fn to_source(cap: &lumen_synth::LabeledCapture) -> Data {
-    let (metas, skipped) = parse_capture(cap.link, &cap.packets, 4);
-    assert_eq!(skipped, 0, "synthetic packets must all parse");
+    let (metas, stats) = parse_capture(cap.link, &cap.packets, 4);
+    assert_eq!(stats.total_errors(), 0, "synthetic packets must all parse");
     let labels: Vec<u8> = cap.labels.iter().map(|l| u8::from(l.malicious)).collect();
     let tags: Vec<u32> = cap
         .labels

@@ -29,8 +29,8 @@ fn main() {
         let mut best = f64::INFINITY;
         for _ in 0..3 {
             let t0 = Instant::now();
-            let (metas, skipped) = parse_capture(cap.link, &cap.packets, threads);
-            assert_eq!(skipped, 0);
+            let (metas, stats) = parse_capture(cap.link, &cap.packets, threads);
+            assert_eq!(stats.total_errors(), 0);
             assert_eq!(metas.len(), cap.len());
             best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         }

@@ -1,14 +1,18 @@
 //! Dataset registry: builds, parses, and caches the 15 benchmark datasets.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use lumen_core::data::{Data, PacketData};
-use lumen_core::par::parse_capture;
+use lumen_core::par::parse_capture_indexed;
+use lumen_net::pcap::{from_bytes_recovering, to_bytes, CaptureStats, PcapLimits};
 use lumen_synth::{
-    build_dataset, AttackKind, DatasetId, DatasetSpec, LabelGranularity, LabeledCapture, SynthScale,
+    build_dataset, AttackKind, ChaosConfig, ChaosPcap, DatasetId, DatasetSpec, Label,
+    LabelGranularity, LabeledCapture, SynthScale,
 };
 use parking_lot::Mutex;
+
+use crate::journal::IngestEntry;
 
 /// Maps an attack kind to the opaque row tag used inside the framework
 /// (0 is reserved for "benign / none").
@@ -32,6 +36,9 @@ pub struct BenchDataset {
     pub capture: LabeledCapture,
     /// The framework packet source (parsed, labeled, tagged).
     pub source: Data,
+    /// What ingestion quarantined between raw bytes and `source` (all-zero
+    /// counters for clean captures).
+    pub ingest: IngestEntry,
 }
 
 impl BenchDataset {
@@ -41,6 +48,22 @@ impl BenchDataset {
     /// hundreds of features per packet, and the paper itself notes that
     /// per-packet pipelines are the scalability pain point (§4.2).
     pub fn build(id: DatasetId, scale: SynthScale, seed: u64, max_packets: usize) -> BenchDataset {
+        Self::build_with_chaos(id, scale, seed, max_packets, None)
+    }
+
+    /// Like [`BenchDataset::build`], optionally round-tripping the capture
+    /// through the seeded [`ChaosPcap`] corruption engine and the
+    /// recovering pcap reader first. Labels are realigned to the surviving
+    /// records by timestamp; records whose timestamp was damaged (or that
+    /// duplicate one already matched) fall back to benign and are counted
+    /// as `label_misses` in the ingest ledger.
+    pub fn build_with_chaos(
+        id: DatasetId,
+        scale: SynthScale,
+        seed: u64,
+        max_packets: usize,
+        chaos: Option<ChaosConfig>,
+    ) -> BenchDataset {
         let capture = build_dataset(id, scale, seed);
         let spec = id.spec();
         let capture = if spec.granularity == LabelGranularity::Packet && capture.len() > max_packets
@@ -55,16 +78,32 @@ impl BenchDataset {
         } else {
             capture
         };
-        let (metas, _skipped) = parse_capture(capture.link, &capture.packets, 4);
-        let labels: Vec<u8> = capture
-            .labels
+
+        let mut ingest = IngestEntry {
+            dataset: spec.id.code().to_string(),
+            ..IngestEntry::default()
+        };
+        let capture = match chaos {
+            Some(cfg) => corrupt_and_recover(capture, seed, cfg, &mut ingest),
+            None => capture,
+        };
+
+        // Indexed parse: quarantined frames drop out of `metas`, and `kept`
+        // tells us which labels survive with them, so labels stay aligned
+        // even when the decoder rejects frames mid-capture.
+        let (metas, kept, stats) = parse_capture_indexed(capture.link, &capture.packets, 4);
+        ingest.frames = capture.packets.len();
+        ingest.parsed = metas.len();
+        ingest.link_errors = stats.link_errors;
+        ingest.net_errors = stats.net_errors;
+        ingest.transport_errors = stats.transport_errors;
+        let labels: Vec<u8> = kept
             .iter()
-            .map(|l| u8::from(l.malicious))
+            .map(|&i| u8::from(capture.labels[i as usize].malicious))
             .collect();
-        let tags: Vec<u32> = capture
-            .labels
+        let tags: Vec<u32> = kept
             .iter()
-            .map(|l| l.attack.map_or(0, attack_tag))
+            .map(|&i| capture.labels[i as usize].attack.map_or(0, attack_tag))
             .collect();
         let source = Data::Packets(Arc::new(PacketData {
             link: capture.link,
@@ -76,6 +115,7 @@ impl BenchDataset {
             spec,
             capture,
             source,
+            ingest,
         }
     }
 
@@ -84,10 +124,69 @@ impl BenchDataset {
         self.spec.id.code()
     }
 
+    /// True when ingestion dropped or flagged anything for this dataset.
+    pub fn ingest_was_noisy(&self) -> bool {
+        self.ingest.total_quarantined() > 0
+            || self.ingest.label_misses > 0
+            || self.ingest.truncated_tail
+    }
+
     /// True when labels are per-packet.
     pub fn is_packet_level(&self) -> bool {
         self.spec.granularity == LabelGranularity::Packet
     }
+}
+
+/// Serializes a capture, damages it with [`ChaosPcap`], and re-reads it with
+/// the recovering pcap reader, realigning labels to the surviving records by
+/// timestamp. Capture-level stats and label misses land in `ingest`.
+fn corrupt_and_recover(
+    capture: LabeledCapture,
+    seed: u64,
+    cfg: ChaosConfig,
+    ingest: &mut IngestEntry,
+) -> LabeledCapture {
+    let bytes = to_bytes(capture.link, &capture.packets);
+    let (dirty, _report) = ChaosPcap::new(seed, cfg).corrupt(&bytes);
+    let Ok(rec) = from_bytes_recovering(&dirty, PcapLimits::default()) else {
+        // Chaos never touches the global header, so this is unreachable in
+        // practice; keep the clean capture rather than panic if it happens.
+        return capture;
+    };
+    record_capture_stats(&rec.stats, ingest);
+
+    // Timestamp multimap: generated captures may hold equal timestamps, so
+    // each match consumes one slot. Damaged timestamps (and any surplus
+    // duplicates) miss and fall back to benign.
+    let mut by_ts: HashMap<u64, VecDeque<usize>> = HashMap::new();
+    for (i, p) in capture.packets.iter().enumerate() {
+        by_ts.entry(p.ts_us).or_default().push_back(i);
+    }
+    let mut labels = Vec::with_capacity(rec.packets.len());
+    for p in &rec.packets {
+        match by_ts.get_mut(&p.ts_us).and_then(VecDeque::pop_front) {
+            Some(i) => labels.push(capture.labels[i]),
+            None => {
+                ingest.label_misses += 1;
+                labels.push(Label::BENIGN);
+            }
+        }
+    }
+    LabeledCapture {
+        link: rec.link,
+        packets: rec.packets,
+        labels,
+        granularity: capture.granularity,
+    }
+}
+
+/// Copies the recovering reader's capture-level counters into the ledger.
+fn record_capture_stats(stats: &CaptureStats, ingest: &mut IngestEntry) {
+    ingest.records_dropped = stats.dropped_records;
+    ingest.resyncs = stats.resyncs;
+    ingest.bytes_skipped = stats.bytes_skipped;
+    ingest.ts_regressions = stats.ts_regressions;
+    ingest.truncated_tail = stats.truncated_tail;
 }
 
 /// Lazily-built, thread-safe registry of the benchmark datasets.
@@ -95,6 +194,7 @@ pub struct DatasetRegistry {
     scale: SynthScale,
     seed: u64,
     max_packets: usize,
+    chaos: Option<ChaosConfig>,
     cache: Mutex<HashMap<DatasetId, Arc<BenchDataset>>>,
 }
 
@@ -107,6 +207,7 @@ impl DatasetRegistry {
             scale,
             seed,
             max_packets: 4000,
+            chaos: None,
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -117,18 +218,39 @@ impl DatasetRegistry {
         self
     }
 
+    /// Corrupts every dataset's capture with the seeded chaos engine before
+    /// ingestion (the `--chaos` robustness mode).
+    pub fn with_chaos(mut self, cfg: ChaosConfig) -> DatasetRegistry {
+        self.chaos = Some(cfg);
+        self
+    }
+
     /// Gets (building on first use) a dataset.
     pub fn get(&self, id: DatasetId) -> Arc<BenchDataset> {
         if let Some(d) = self.cache.lock().get(&id) {
             return Arc::clone(d);
         }
-        let built = Arc::new(BenchDataset::build(
+        let built = Arc::new(BenchDataset::build_with_chaos(
             id,
             self.scale,
             self.seed ^ ((0xD5 + id as u64) * 0x9E37_79B9),
             self.max_packets,
+            self.chaos,
         ));
         self.cache.lock().entry(id).or_insert(built).clone()
+    }
+
+    /// Ingestion ledgers of every dataset built so far, in dataset-code
+    /// order — what the run journal records for the whole matrix.
+    pub fn ingest_entries(&self) -> Vec<IngestEntry> {
+        let mut entries: Vec<IngestEntry> = self
+            .cache
+            .lock()
+            .values()
+            .map(|d| d.ingest.clone())
+            .collect();
+        entries.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        entries
     }
 
     /// All connection-level datasets.
@@ -197,5 +319,49 @@ mod tests {
         };
         assert_eq!(p.len(), d.capture.len());
         assert!(p.labels.contains(&1));
+    }
+
+    #[test]
+    fn clean_build_has_silent_ingest_ledger() {
+        let reg = DatasetRegistry::new(SynthScale::small(), 5);
+        let d = reg.get(DatasetId::F1);
+        assert!(!d.ingest_was_noisy(), "{:?}", d.ingest);
+        assert_eq!(d.ingest.frames, d.ingest.parsed);
+        assert_eq!(d.ingest.dataset, "F1");
+    }
+
+    #[test]
+    fn chaos_build_survives_and_accounts() {
+        let cfg = ChaosConfig {
+            fault_rate: 0.2,
+            truncate_tail: true,
+        };
+        let reg = DatasetRegistry::new(SynthScale::small(), 6).with_chaos(cfg);
+        let d = reg.get(DatasetId::F0);
+        // A heavily damaged capture must still yield a usable source...
+        let Data::Packets(p) = &d.source else {
+            panic!()
+        };
+        assert!(p.len() > 0, "chaos must not destroy the whole dataset");
+        assert_eq!(p.len(), p.labels.len());
+        assert_eq!(p.len(), p.tags.len());
+        // ...and the damage must be visible in the ledger.
+        assert!(d.ingest_was_noisy(), "{:?}", d.ingest);
+        assert!(d.ingest.frames >= d.ingest.parsed);
+        let entries = reg.ingest_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0], d.ingest);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let cfg = ChaosConfig {
+            fault_rate: 0.15,
+            truncate_tail: true,
+        };
+        let a = BenchDataset::build_with_chaos(DatasetId::F2, SynthScale::small(), 9, 4000, Some(cfg));
+        let b = BenchDataset::build_with_chaos(DatasetId::F2, SynthScale::small(), 9, 4000, Some(cfg));
+        assert_eq!(a.ingest, b.ingest);
+        assert_eq!(a.capture.len(), b.capture.len());
     }
 }

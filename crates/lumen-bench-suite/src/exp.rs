@@ -11,8 +11,9 @@ use crate::runner::{RunConfig, Runner};
 /// Command-line configuration shared by every experiment binary.
 ///
 /// Flags: `--fast` (small datasets for smoke runs), `--strict` (exit
-/// nonzero when any journaled task genuinely failed), `--seed N`,
-/// `--threads N`, `--kernel-threads N`, `--duration SECONDS`,
+/// nonzero when any journaled task genuinely failed), `--chaos` (corrupt
+/// every capture with the seeded fault-injection engine before ingestion),
+/// `--seed N`, `--threads N`, `--kernel-threads N`, `--duration SECONDS`,
 /// `--max-packets N`.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpConfig {
@@ -25,6 +26,9 @@ pub struct ExpConfig {
     /// When true, a non-skip failure in the run journal flips the process
     /// exit code (faithfulness skips stay non-fatal).
     pub strict: bool,
+    /// When true, captures are chaos-corrupted before ingestion and the
+    /// journal records what the hardened decode path quarantined.
+    pub chaos: bool,
 }
 
 impl ExpConfig {
@@ -40,6 +44,7 @@ impl ExpConfig {
             kernel_threads: 0,
             max_packets: 4000,
             strict: false,
+            chaos: false,
         }
     }
 
@@ -50,7 +55,7 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --strict --seed N --threads N --kernel-threads N --duration S --max-packets N"
+                    "{why}; known flags: --fast --strict --chaos --seed N --threads N --kernel-threads N --duration S --max-packets N"
                 );
                 std::process::exit(2);
             }
@@ -75,6 +80,9 @@ impl ExpConfig {
                 }
                 "--strict" => {
                     cfg.strict = true;
+                }
+                "--chaos" => {
+                    cfg.chaos = true;
                 }
                 "--seed" => {
                     cfg.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -108,9 +116,12 @@ impl ExpConfig {
 
     /// Builds the standard runner (per-attack rows enabled).
     pub fn runner(&self) -> Runner {
-        let registry = Arc::new(
-            DatasetRegistry::new(self.scale, self.seed).with_max_packets(self.max_packets),
-        );
+        let mut registry =
+            DatasetRegistry::new(self.scale, self.seed).with_max_packets(self.max_packets);
+        if self.chaos {
+            registry = registry.with_chaos(lumen_synth::ChaosConfig::default());
+        }
+        let registry = Arc::new(registry);
         Runner::new(
             registry,
             RunConfig {
@@ -295,6 +306,13 @@ mod tests {
         assert!(!parse(&[]).unwrap().strict);
         assert!(parse(&["--strict"]).unwrap().strict);
         assert!(parse(&["--fast", "--strict"]).unwrap().strict);
+    }
+
+    #[test]
+    fn chaos_flag_is_parsed() {
+        assert!(!parse(&[]).unwrap().chaos);
+        assert!(parse(&["--chaos"]).unwrap().chaos);
+        assert!(parse(&["--fast", "--chaos", "--strict"]).unwrap().chaos);
     }
 
     #[test]

@@ -77,10 +77,66 @@ impl JournalEntry {
     }
 }
 
+/// Per-dataset ingestion accounting: what the hardened decode path
+/// quarantined between raw capture bytes and the packet source. All-zero
+/// (and absent from older journals, hence `serde(default)`) for clean
+/// synthetic captures; populated when `--chaos` corrupts them first.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct IngestEntry {
+    /// Dataset code ("F0").
+    pub dataset: String,
+    /// Frames that survived capture-level recovery.
+    #[serde(default)]
+    pub frames: usize,
+    /// Frames that parsed into packet metadata.
+    #[serde(default)]
+    pub parsed: usize,
+    /// Link-layer decode errors (quarantined frames).
+    #[serde(default)]
+    pub link_errors: u64,
+    /// Network-layer decode errors.
+    #[serde(default)]
+    pub net_errors: u64,
+    /// Transport-layer decode errors.
+    #[serde(default)]
+    pub transport_errors: u64,
+    /// Capture records dropped by the recovering pcap reader.
+    #[serde(default)]
+    pub records_dropped: u64,
+    /// Resync scans the recovering reader performed.
+    #[serde(default)]
+    pub resyncs: u64,
+    /// Capture bytes skipped while resyncing.
+    #[serde(default)]
+    pub bytes_skipped: u64,
+    /// Records whose timestamp ran backwards.
+    #[serde(default)]
+    pub ts_regressions: u64,
+    /// Labels that could not be realigned to a surviving record.
+    #[serde(default)]
+    pub label_misses: u64,
+    /// True when the capture ended mid-record.
+    #[serde(default)]
+    pub truncated_tail: bool,
+}
+
+impl IngestEntry {
+    /// Total quarantined items across capture and decode layers.
+    pub fn total_quarantined(&self) -> u64 {
+        self.link_errors + self.net_errors + self.transport_errors + self.records_dropped
+    }
+}
+
 /// Append-only journal over a whole experiment run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunJournal {
     entries: Vec<JournalEntry>,
+    /// Per-dataset ingestion/quarantine accounting (absent pre-PR-4).
+    #[serde(default)]
+    ingest: Vec<IngestEntry>,
+    /// Flow-table LRU evictions observed over the whole run.
+    #[serde(default)]
+    flow_evictions: u64,
 }
 
 impl RunJournal {
@@ -94,9 +150,37 @@ impl RunJournal {
         self.entries.push(entry);
     }
 
-    /// Appends every entry of another journal.
+    /// Appends every entry of another journal, merging its ingestion
+    /// accounting and eviction counts.
     pub fn extend(&mut self, other: RunJournal) {
         self.entries.extend(other.entries);
+        self.ingest.extend(other.ingest);
+        self.flow_evictions += other.flow_evictions;
+    }
+
+    /// Replaces the per-dataset ingestion accounting.
+    pub fn set_ingest(&mut self, ingest: Vec<IngestEntry>) {
+        self.ingest = ingest;
+    }
+
+    /// Per-dataset ingestion accounting, in dataset-code order.
+    pub fn ingest(&self) -> &[IngestEntry] {
+        &self.ingest
+    }
+
+    /// Records the run's flow-table eviction count.
+    pub fn set_flow_evictions(&mut self, n: u64) {
+        self.flow_evictions = n;
+    }
+
+    /// Flow-table LRU evictions over the run.
+    pub fn flow_evictions(&self) -> u64 {
+        self.flow_evictions
+    }
+
+    /// Total quarantined items across all datasets.
+    pub fn total_quarantined(&self) -> u64 {
+        self.ingest.iter().map(IngestEntry::total_quarantined).sum()
     }
 
     /// Classifies a runner result into an entry and appends it: `Ok` rows
@@ -212,6 +296,7 @@ impl RunJournal {
         self.entries.sort_by(|a, b| {
             (&a.algo, &a.train, &a.test, &a.mode).cmp(&(&b.algo, &b.train, &b.test, &b.mode))
         });
+        self.ingest.sort_by(|a, b| a.dataset.cmp(&b.dataset));
     }
 
     /// Multi-line human summary: counts, failures (with error text), the
@@ -247,6 +332,39 @@ impl RunJournal {
             s.push_str(&format!(
                 "feature cache: {cache_hits} hits / {cache_misses} misses ({:.0}% hit ratio)\n",
                 100.0 * cache_hits as f64 / total as f64
+            ));
+        }
+        if self.total_quarantined() > 0 {
+            s.push_str(&format!(
+                "ingestion quarantine: {} item(s) dropped across {} dataset(s)\n",
+                self.total_quarantined(),
+                self.ingest
+                    .iter()
+                    .filter(|e| e.total_quarantined() > 0)
+                    .count()
+            ));
+            for e in self.ingest.iter().filter(|e| e.total_quarantined() > 0) {
+                s.push_str(&format!(
+                    "  {}: {}/{} frames parsed, {} record(s) dropped ({} resync(s), {} bytes skipped), \
+                     decode errors link {} / net {} / transport {}, {} label miss(es){}\n",
+                    e.dataset,
+                    e.parsed,
+                    e.frames,
+                    e.records_dropped,
+                    e.resyncs,
+                    e.bytes_skipped,
+                    e.link_errors,
+                    e.net_errors,
+                    e.transport_errors,
+                    e.label_misses,
+                    if e.truncated_tail { ", truncated tail" } else { "" }
+                ));
+            }
+        }
+        if self.flow_evictions > 0 {
+            s.push_str(&format!(
+                "flow table: {} LRU eviction(s) under the active-connection cap\n",
+                self.flow_evictions
             ));
         }
         s
@@ -364,6 +482,64 @@ mod tests {
         assert_eq!(back.entries(), j.entries());
         // The serialized form is explicit about status.
         assert!(j.to_json().contains("\"status\": \"failed\""));
+    }
+
+    #[test]
+    fn ingest_and_evictions_surface_in_summary() {
+        let mut j = RunJournal::new();
+        j.set_ingest(vec![
+            IngestEntry {
+                dataset: "F0".into(),
+                frames: 100,
+                parsed: 97,
+                link_errors: 2,
+                net_errors: 1,
+                records_dropped: 3,
+                resyncs: 2,
+                bytes_skipped: 640,
+                label_misses: 1,
+                truncated_tail: true,
+                ..IngestEntry::default()
+            },
+            IngestEntry {
+                dataset: "F1".into(),
+                frames: 50,
+                parsed: 50,
+                ..IngestEntry::default()
+            },
+        ]);
+        j.set_flow_evictions(12);
+        assert_eq!(j.total_quarantined(), 6);
+        let s = j.summary(0, 0);
+        assert!(s.contains("6 item(s) dropped across 1 dataset(s)"), "{s}");
+        assert!(s.contains("97/100 frames parsed"), "{s}");
+        assert!(s.contains("truncated tail"), "{s}");
+        assert!(s.contains("12 LRU eviction(s)"), "{s}");
+        assert!(!s.contains("F1:"), "clean datasets stay out of the summary");
+    }
+
+    #[test]
+    fn clean_run_summary_has_no_quarantine_noise() {
+        let mut j = RunJournal::new();
+        j.push(entry("A1", TaskOutcome::Ok, 10));
+        let s = j.summary(0, 0);
+        assert!(!s.contains("quarantine"), "{s}");
+        assert!(!s.contains("eviction"), "{s}");
+    }
+
+    #[test]
+    fn extend_merges_ingest_and_evictions() {
+        let mut a = RunJournal::new();
+        a.set_flow_evictions(3);
+        a.set_ingest(vec![IngestEntry {
+            dataset: "P2".into(),
+            ..IngestEntry::default()
+        }]);
+        let mut b = RunJournal::new();
+        b.set_flow_evictions(4);
+        a.extend(b);
+        assert_eq!(a.flow_evictions(), 7);
+        assert_eq!(a.ingest().len(), 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod runner;
 pub mod store;
 
 pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
-pub use journal::{JournalEntry, RunJournal, TaskOutcome};
+pub use journal::{IngestEntry, JournalEntry, RunJournal, TaskOutcome};
 pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunConfig, Runner};
 pub use store::{ResultRow, ResultStore};
 

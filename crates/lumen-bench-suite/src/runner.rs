@@ -591,8 +591,10 @@ impl Runner {
         include_cross: bool,
     ) -> MatrixRun {
         // Kernel counters are process-global; the snapshot delta across the
-        // matrix attributes ML compute time to this run.
+        // matrix attributes ML compute time to this run. Same idiom for the
+        // flow tracker's eviction counter.
         let kernels_before = lumen_ml::kernels::profile_snapshot();
+        let evictions_before = lumen_flow::counters::evictions();
         // Build the task list; unfaithful pairings go straight to the
         // journal as skips.
         let mut tasks: Vec<(AlgorithmId, DatasetId, DatasetId)> = Vec::new();
@@ -675,6 +677,16 @@ impl Runner {
         let mut store = store.into_inner();
         sort_store(&mut store);
         let mut journal = journal.into_inner();
+        // Ingestion quarantine + flow-table eviction accounting: what the
+        // hardened decode path dropped while this matrix ran, per dataset.
+        journal.set_ingest(self.registry.ingest_entries());
+        let evictions = lumen_flow::counters::evictions() - evictions_before;
+        journal.set_flow_evictions(evictions);
+        if evictions > 0 {
+            self.ops_profile
+                .lock()
+                .add_timing("Flow::lru_evictions", evictions, 0);
+        }
         journal.sort();
         MatrixRun { store, journal }
     }
@@ -790,6 +802,48 @@ mod tests {
         let p1: Vec<&String> = run.store.rows().iter().map(|r| &r.algo).collect();
         let p2: Vec<&String> = run2.store.rows().iter().map(|r| &r.algo).collect();
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn chaos_corrupted_matrix_completes_and_accounts() {
+        use lumen_synth::ChaosConfig;
+        // Every capture is damaged before ingestion: lying lengths, bit
+        // flips, truncated tails. The matrix must still run end to end and
+        // the journal must say what was dropped.
+        let registry = Arc::new(
+            DatasetRegistry::new(SynthScale::small(), 11)
+                .with_max_packets(1500)
+                .with_chaos(ChaosConfig {
+                    fault_rate: 0.1,
+                    truncate_tail: true,
+                }),
+        );
+        let r = Runner::new(
+            registry,
+            RunConfig {
+                threads: 2,
+                per_attack: false,
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4, DatasetId::F6], false);
+        assert_eq!(run.journal.ok_count(), 2, "corrupted captures must still run");
+        assert!(!run.journal.has_failures());
+        // Both datasets carry an ingest ledger, and the damage is visible.
+        let ingest = run.journal.ingest();
+        assert_eq!(ingest.len(), 2);
+        assert_eq!(ingest[0].dataset, "F4");
+        assert_eq!(ingest[1].dataset, "F6");
+        assert!(
+            ingest.iter().any(|e| e.total_quarantined() > 0
+                || e.label_misses > 0
+                || e.truncated_tail),
+            "chaos damage must show up in the journal: {ingest:?}"
+        );
+        // The human summary surfaces the quarantine when anything dropped.
+        if run.journal.total_quarantined() > 0 {
+            assert!(run.journal.summary(0, 0).contains("ingestion quarantine"));
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::CoreResult;
 
 // ---- accepted parameter keys (the linter's L001 schemas) -------------------
 
-pub(crate) const FLOW_ASSEMBLE_PARAMS: &[&str] = &["tcp_idle_s", "udp_idle_s", "first_n"];
+pub(crate) const FLOW_ASSEMBLE_PARAMS: &[&str] =
+    &["tcp_idle_s", "udp_idle_s", "first_n", "max_active"];
 pub(crate) const UNI_FLOW_SPLIT_PARAMS: &[&str] = &[];
 
 fn derive_truth(labels: &[u8], tags: &[u32], indices: &[u32]) -> (u8, u32) {
@@ -42,11 +43,15 @@ impl FlowAssemble {
         let tcp_idle_s = param_f64_or(params, "tcp_idle_s", 300.0);
         let udp_idle_s = param_f64_or(params, "udp_idle_s", 60.0);
         let first_n = param_usize_or(params, "first_n", 100);
+        let max_active = param_usize_or(params, "max_active", FlowConfig::default().max_active);
         if tcp_idle_s <= 0.0 || udp_idle_s <= 0.0 {
             return Err(bad_param("FlowAssemble", "idle timeouts must be positive"));
         }
         if first_n == 0 {
             return Err(bad_param("FlowAssemble", "first_n must be positive"));
+        }
+        if max_active == 0 {
+            return Err(bad_param("FlowAssemble", "max_active must be positive"));
         }
         Ok(Box::new(FlowAssemble {
             cfg: FlowConfig {
@@ -54,6 +59,7 @@ impl FlowAssemble {
                 udp_idle_us: (udp_idle_s * 1e6) as u64,
                 icmp_idle_us: 30_000_000,
                 first_n,
+                max_active,
             },
         }))
     }
@@ -206,5 +212,17 @@ mod tests {
     fn bad_params_rejected() {
         assert!(FlowAssemble::from_params(&json!({"tcp_idle_s": -1.0})).is_err());
         assert!(FlowAssemble::from_params(&json!({"first_n": 0})).is_err());
+        assert!(FlowAssemble::from_params(&json!({"max_active": 0})).is_err());
+    }
+
+    #[test]
+    fn max_active_bounds_the_tracker() {
+        // Two interleaved flows with a table of one: the first flow is
+        // evicted, but both records still come out.
+        let op = FlowAssemble::from_params(&json!({"max_active": 1})).unwrap();
+        let Data::Connections(cd) = op.execute(&[&two_conn_source()]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(cd.conns.len(), 3, "evictions split the port-1000 flow");
     }
 }

@@ -5,23 +5,26 @@ use std::sync::Arc;
 use serde_json::Value;
 
 use crate::data::{Data, DataKind, PacketData};
-use crate::ops::{bad_param, param_str, param_usize_or, Operation};
+use crate::ops::{bad_param, param_bool_or, param_str, param_usize_or, Operation};
 use crate::par::parse_capture;
 use crate::{CoreError, CoreResult};
 
 /// Accepted parameter keys (the linter's L001 schema).
-pub(crate) const PCAP_LOAD_PARAMS: &[&str] = &["path", "threads", "max_packets"];
+pub(crate) const PCAP_LOAD_PARAMS: &[&str] = &["path", "threads", "max_packets", "strict"];
 
 /// `PcapLoad`: reads a libpcap file from disk and parses it into an
 /// (unlabeled) packet source — the entry point for running pipelines on
 /// real captures rather than pre-bound data.
 ///
 /// Parameters: `path` (required), `threads` (parse workers, default 4),
-/// `max_packets` (optional deterministic stride subsample).
+/// `max_packets` (optional deterministic stride subsample), `strict`
+/// (default false: corrupt records are skipped with resync; true: the
+/// first corrupt record aborts the load).
 pub struct PcapLoad {
     path: String,
     threads: usize,
     max_packets: usize,
+    strict: bool,
 }
 
 impl PcapLoad {
@@ -35,6 +38,7 @@ impl PcapLoad {
             path,
             threads,
             max_packets: param_usize_or(params, "max_packets", usize::MAX),
+            strict: param_bool_or(params, "strict", false),
         }))
     }
 }
@@ -54,12 +58,20 @@ impl Operation for PcapLoad {
             op: "PcapLoad".into(),
             why: format!("{}: {e}", self.path),
         })?;
-        let (link, mut packets) = lumen_net::pcap::from_bytes(&bytes)?;
+        let (link, mut packets) = if self.strict {
+            lumen_net::pcap::from_bytes(&bytes)?
+        } else {
+            let rec = lumen_net::pcap::from_bytes_recovering(
+                &bytes,
+                lumen_net::pcap::PcapLimits::default(),
+            )?;
+            (rec.link, rec.packets)
+        };
         if packets.len() > self.max_packets {
             let step = packets.len().div_ceil(self.max_packets);
             packets = packets.into_iter().step_by(step).collect();
         }
-        let (metas, _skipped) = parse_capture(link, &packets, self.threads);
+        let (metas, _stats) = parse_capture(link, &packets, self.threads);
         Ok(Data::Packets(Arc::new(PacketData::unlabeled(link, metas))))
     }
 }
@@ -128,5 +140,26 @@ mod tests {
     #[test]
     fn missing_path_param_rejected() {
         assert!(PcapLoad::from_params(&json!({})).is_err());
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_unless_strict() {
+        let mut bytes = sample_pcap(20);
+        // Lie about the first record's length: strict load fails, the
+        // default recovering load skips that record and keeps going.
+        bytes[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        let path = std::env::temp_dir().join("lumen_pcapload_chaos.pcap");
+        std::fs::write(&path, &bytes).unwrap();
+        let p = path.to_str().unwrap();
+
+        let op = PcapLoad::from_params(&json!({"path": p})).unwrap();
+        let Data::Packets(d) = op.execute(&[]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.len(), 19);
+
+        let op = PcapLoad::from_params(&json!({"path": p, "strict": true})).unwrap();
+        assert!(op.execute(&[]).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

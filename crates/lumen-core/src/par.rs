@@ -10,33 +10,54 @@
 
 pub use lumen_util::par::{panic_message, par_chunks, try_par_chunks};
 
-use lumen_net::{CapturedPacket, LinkType, PacketMeta};
+use lumen_net::{CapturedPacket, DecodeStats, LinkType, PacketMeta};
 
-/// Parses a capture into packet summaries using `threads` workers. Frames
-/// that fail to parse are dropped; the second return value counts them.
+/// Parses a capture into packet summaries using `threads` workers.
+/// Malformed frames are quarantined, never fatal: the returned
+/// [`DecodeStats`] carries per-layer error counts and a small ring of
+/// offending byte prefixes.
 pub fn parse_capture(
     link: LinkType,
     packets: &[CapturedPacket],
     threads: usize,
-) -> (Vec<PacketMeta>, usize) {
+) -> (Vec<PacketMeta>, DecodeStats) {
+    let (metas, _indices, stats) = parse_capture_indexed(link, packets, threads);
+    (metas, stats)
+}
+
+/// Like [`parse_capture`], also returning each surviving packet's index in
+/// the input capture, so per-packet side data (labels, attack tags) can be
+/// realigned after quarantine drops frames.
+pub fn parse_capture_indexed(
+    link: LinkType,
+    packets: &[CapturedPacket],
+    threads: usize,
+) -> (Vec<PacketMeta>, Vec<u32>, DecodeStats) {
     let results = par_chunks(packets, threads, |chunk| {
+        // Chunks are contiguous subslices of `packets`, so the pointer
+        // offset recovers each chunk's base index without threading it in.
+        let base = (chunk.as_ptr() as usize - packets.as_ptr() as usize)
+            / std::mem::size_of::<CapturedPacket>();
         let mut metas = Vec::with_capacity(chunk.len());
-        let mut skipped = 0usize;
-        for p in chunk {
-            match PacketMeta::parse(link, p.ts_us, &p.data) {
-                Ok(m) => metas.push(m),
-                Err(_) => skipped += 1,
+        let mut indices = Vec::with_capacity(chunk.len());
+        let mut stats = DecodeStats::default();
+        for (i, p) in chunk.iter().enumerate() {
+            if let Ok(m) = PacketMeta::parse_recorded(link, p.ts_us, &p.data, &mut stats) {
+                metas.push(m);
+                indices.push((base + i) as u32);
             }
         }
-        (metas, skipped)
+        (metas, indices, stats)
     });
     let mut metas = Vec::with_capacity(packets.len());
-    let mut skipped = 0;
-    for (m, s) in results {
+    let mut indices = Vec::with_capacity(packets.len());
+    let mut stats = DecodeStats::default();
+    for (m, i, s) in results {
         metas.extend(m);
-        skipped += s;
+        indices.extend(i);
+        stats.merge(&s);
     }
-    (metas, skipped)
+    (metas, indices, stats)
 }
 
 #[cfg(test)]
@@ -95,8 +116,10 @@ mod tests {
         let cap = capture(500);
         let (seq, s0) = parse_capture(LinkType::Ethernet, &cap, 1);
         let (par, s1) = parse_capture(LinkType::Ethernet, &cap, 8);
-        assert_eq!(s0, 0);
-        assert_eq!(s1, 0);
+        assert_eq!(s0.total_errors(), 0);
+        assert_eq!(s1.total_errors(), 0);
+        assert_eq!(s1.frames, 500);
+        assert_eq!(s1.parsed, 500);
         assert_eq!(seq.len(), par.len());
         assert_eq!(seq[123], par[123]);
     }
@@ -125,11 +148,26 @@ mod tests {
     }
 
     #[test]
-    fn malformed_frames_are_counted() {
+    fn malformed_frames_are_quarantined_with_stats() {
         let mut cap = capture(10);
         cap.push(CapturedPacket::new(99, vec![1, 2, 3])); // too short
-        let (metas, skipped) = parse_capture(LinkType::Ethernet, &cap, 2);
+        let (metas, stats) = parse_capture(LinkType::Ethernet, &cap, 2);
         assert_eq!(metas.len(), 10);
-        assert_eq!(skipped, 1);
+        assert_eq!(stats.frames, 11);
+        assert_eq!(stats.parsed, 10);
+        assert_eq!(stats.dropped(), 1);
+        assert_eq!(stats.link_errors, 1);
+        assert_eq!(stats.quarantine.len(), 1);
+        assert_eq!(stats.quarantine[0].prefix, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn indexed_parse_reports_surviving_positions() {
+        let mut cap = capture(4);
+        cap.insert(2, CapturedPacket::new(55, vec![0xFF; 4])); // malformed at 2
+        let (metas, indices, stats) = parse_capture_indexed(LinkType::Ethernet, &cap, 2);
+        assert_eq!(metas.len(), 4);
+        assert_eq!(indices, vec![0, 1, 3, 4]);
+        assert_eq!(stats.dropped(), 1);
     }
 }

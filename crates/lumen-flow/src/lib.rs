@@ -13,7 +13,7 @@ pub mod record;
 pub mod tracker;
 
 pub use record::{ConnRecord, ConnState, Direction, PktSketch, UniFlowRecord};
-pub use tracker::{assemble, ConnectionTracker, FlowConfig};
+pub use tracker::{assemble, assemble_with_stats, counters, ConnectionTracker, FlowConfig, FlowStats};
 
 use std::net::Ipv4Addr;
 

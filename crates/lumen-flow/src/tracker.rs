@@ -1,6 +1,6 @@
 //! The connection tracker: packets in, Zeek-style connection records out.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use lumen_net::{PacketMeta, TransportMeta};
@@ -20,6 +20,11 @@ pub struct FlowConfig {
     pub icmp_idle_us: u64,
     /// How many leading packets to sketch per connection.
     pub first_n: usize,
+    /// Hard cap on concurrently-tracked connections. When a new flow would
+    /// exceed it, the least-recently-touched active connection is finalized
+    /// early (LRU eviction) so memory stays bounded under SYN floods and
+    /// address-spoofing chaff.
+    pub max_active: usize,
 }
 
 impl Default for FlowConfig {
@@ -30,6 +35,7 @@ impl Default for FlowConfig {
             udp_idle_us: 60_000_000,
             icmp_idle_us: 30_000_000,
             first_n: 100,
+            max_active: 65_536,
         }
     }
 }
@@ -41,6 +47,37 @@ impl FlowConfig {
             17 => self.udp_idle_us,
             _ => self.icmp_idle_us,
         }
+    }
+}
+
+/// Per-run flow accounting, returned by
+/// [`ConnectionTracker::finish_with_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Connections finalized early because the active table hit
+    /// [`FlowConfig::max_active`].
+    pub evictions: u64,
+    /// High-water mark of concurrently-tracked connections.
+    pub peak_active: usize,
+}
+
+/// Process-global eviction counter, mirroring the compute-kernel profile
+/// counters: cheap relaxed atomics that callers snapshot before a run and
+/// diff after, so eviction pressure shows up in the ops profile without
+/// threading state through every pipeline layer.
+pub mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn note_eviction() {
+        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative LRU evictions across all trackers in this process.
+    /// Snapshot before a run and subtract to get the run's delta.
+    pub fn evictions() -> u64 {
+        EVICTIONS.load(Ordering::Relaxed)
     }
 }
 
@@ -76,6 +113,8 @@ struct ActiveConn {
     rst_orig: bool,
     rst_resp: bool,
     midstream: bool,
+    /// LRU stamp: the tracker's logical clock at the last packet.
+    touched: u64,
 }
 
 /// History letters in a fixed order; index*2 (+1 for responder) into
@@ -83,10 +122,13 @@ struct ActiveConn {
 const HISTORY_LETTERS: [char; 6] = ['s', 'h', 'a', 'd', 'f', 'r'];
 
 impl ActiveConn {
-    fn new(meta: &PacketMeta, index: u32, cfg: &FlowConfig) -> ActiveConn {
-        let (src, dst, sp, dp, proto) = meta
-            .five_tuple()
-            .expect("tracker only sees packets with a five-tuple");
+    fn new(
+        meta: &PacketMeta,
+        tuple: (Ipv4Addr, Ipv4Addr, u16, u16, u8),
+        index: u32,
+        cfg: &FlowConfig,
+    ) -> ActiveConn {
+        let (src, dst, sp, dp, proto) = tuple;
         let mut conn = ActiveConn {
             orig: (src, sp),
             resp: (dst, dp),
@@ -117,6 +159,7 @@ impl ActiveConn {
             rst_orig: false,
             rst_resp: false,
             midstream: false,
+            touched: 0,
         };
         // A TCP connection that starts with a non-SYN packet is midstream.
         if let TransportMeta::Tcp { flags, .. } = &meta.transport {
@@ -124,13 +167,12 @@ impl ActiveConn {
                 conn.midstream = true;
             }
         }
-        conn.update(meta, index, cfg);
+        conn.update(meta, (src, sp), index, cfg);
         conn
     }
 
-    fn direction_of(&self, meta: &PacketMeta) -> Direction {
-        let (src, _, sp, _, _) = meta.five_tuple().expect("checked by caller");
-        if (src, sp) == self.orig {
+    fn direction_of(&self, src: (Ipv4Addr, u16)) -> Direction {
+        if src == self.orig {
             Direction::Orig
         } else {
             Direction::Resp
@@ -150,8 +192,8 @@ impl ActiveConn {
         }
     }
 
-    fn update(&mut self, meta: &PacketMeta, index: u32, cfg: &FlowConfig) {
-        let dir = self.direction_of(meta);
+    fn update(&mut self, meta: &PacketMeta, src: (Ipv4Addr, u16), index: u32, cfg: &FlowConfig) {
+        let dir = self.direction_of(src);
         if meta.ts_us > self.last_us {
             self.iats.push((meta.ts_us - self.last_us) as f64 / 1e6);
         } else if self.total_pkts() > 0 {
@@ -327,6 +369,12 @@ impl ActiveConn {
 pub struct ConnectionTracker {
     cfg: FlowConfig,
     active: HashMap<FlowKey, ActiveConn>,
+    /// Recency order: stamp -> key. Stamps are unique (one per push), so the
+    /// first entry is always the least-recently-touched connection.
+    lru: BTreeMap<u64, FlowKey>,
+    /// Logical clock driving the LRU stamps.
+    stamp: u64,
+    stats: FlowStats,
     done: Vec<ConnRecord>,
 }
 
@@ -336,16 +384,27 @@ impl ConnectionTracker {
         ConnectionTracker {
             cfg,
             active: HashMap::new(),
+            lru: BTreeMap::new(),
+            stamp: 0,
+            stats: FlowStats::default(),
             done: Vec::new(),
+        }
+    }
+
+    fn retire(&mut self, key: &FlowKey) {
+        if let Some(conn) = self.active.remove(key) {
+            self.lru.remove(&conn.touched);
+            self.done.push(conn.finalize());
         }
     }
 
     /// Processes one packet. `index` is the packet's position in the source
     /// capture (recorded for label propagation). Non-IP packets are ignored.
     pub fn push(&mut self, index: u32, meta: &PacketMeta) {
-        let Some((src, dst, sp, dp, proto)) = meta.five_tuple() else {
+        let Some(tuple) = meta.five_tuple() else {
             return;
         };
+        let (src, dst, sp, dp, proto) = tuple;
         let key = FlowKey::canonical(src, dst, sp, dp, proto);
         let idle = self.cfg.idle_for(proto);
 
@@ -354,24 +413,54 @@ impl ConnectionTracker {
             let reopen = conn.is_closed()
                 && matches!(&meta.transport, TransportMeta::Tcp { flags, .. } if flags.syn() && !flags.ack());
             if gap_split || reopen {
-                let finished = self.active.remove(&key).expect("present");
-                self.done.push(finished.finalize());
+                self.retire(&key);
             }
         }
 
-        match self.active.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().update(meta, index, &self.cfg);
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(ActiveConn::new(meta, index, &self.cfg));
+        // Bound the table before admitting a new flow: evict the
+        // least-recently-touched connection (finalized, not dropped — its
+        // record still reaches the consumer, just split early).
+        if !self.active.contains_key(&key) {
+            while self.active.len() >= self.cfg.max_active.max(1) {
+                let Some((_, victim)) = self.lru.pop_first() else {
+                    break;
+                };
+                if let Some(conn) = self.active.remove(&victim) {
+                    self.done.push(conn.finalize());
+                    self.stats.evictions += 1;
+                    counters::note_eviction();
+                }
             }
         }
+
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.active.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let conn = e.get_mut();
+                self.lru.remove(&conn.touched);
+                conn.touched = stamp;
+                conn.update(meta, (src, sp), index, &self.cfg);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut conn = ActiveConn::new(meta, tuple, index, &self.cfg);
+                conn.touched = stamp;
+                e.insert(conn);
+            }
+        }
+        self.lru.insert(stamp, key);
+        self.stats.peak_active = self.stats.peak_active.max(self.active.len());
     }
 
     /// Flushes all still-active connections and returns every record sorted
     /// by start time (ties broken by originator endpoint for determinism).
-    pub fn finish(mut self) -> Vec<ConnRecord> {
+    pub fn finish(self) -> Vec<ConnRecord> {
+        self.finish_with_stats().0
+    }
+
+    /// Like [`ConnectionTracker::finish`], also returning the flow-table
+    /// accounting (LRU evictions, peak active connections).
+    pub fn finish_with_stats(mut self) -> (Vec<ConnRecord>, FlowStats) {
         self.done
             .extend(self.active.into_values().map(ActiveConn::finalize));
         self.done.sort_by(|a, b| {
@@ -380,13 +469,18 @@ impl ConnectionTracker {
                 .then_with(|| a.orig.cmp(&b.orig))
                 .then_with(|| a.resp.cmp(&b.resp))
         });
-        self.done
+        (self.done, self.stats)
     }
 }
 
 /// Convenience: assembles connections from a packet slice (sorted internally
 /// by timestamp if needed).
 pub fn assemble(packets: &[PacketMeta], cfg: FlowConfig) -> Vec<ConnRecord> {
+    assemble_with_stats(packets, cfg).0
+}
+
+/// Like [`assemble`], also returning the flow-table accounting.
+pub fn assemble_with_stats(packets: &[PacketMeta], cfg: FlowConfig) -> (Vec<ConnRecord>, FlowStats) {
     let mut tracker = ConnectionTracker::new(cfg);
     let sorted = packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us);
     if sorted {
@@ -400,7 +494,7 @@ pub fn assemble(packets: &[PacketMeta], cfg: FlowConfig) -> Vec<ConnRecord> {
             tracker.push(i as u32, &packets[i]);
         }
     }
-    tracker.finish()
+    tracker.finish_with_stats()
 }
 
 #[cfg(test)]
@@ -624,5 +718,67 @@ mod tests {
         let conns = assemble(&pkts, FlowConfig::default());
         assert_eq!(conns.len(), 100);
         assert!(conns.iter().all(|c| c.state == ConnState::S0));
+    }
+
+    #[test]
+    fn flow_table_is_bounded_with_lru_eviction() {
+        let cfg = FlowConfig {
+            max_active: 10,
+            ..FlowConfig::default()
+        };
+        let pkts: Vec<PacketMeta> = (0..100u16)
+            .map(|i| udp(u64::from(i) * 100, A, B, 20_000 + i, 53, b"q"))
+            .collect();
+        let (conns, stats) = assemble_with_stats(&pkts, cfg);
+        assert_eq!(conns.len(), 100, "evicted flows are finalized, not lost");
+        assert_eq!(stats.evictions, 90);
+        assert_eq!(stats.peak_active, 10);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let cfg = FlowConfig {
+            max_active: 2,
+            ..FlowConfig::default()
+        };
+        let pkts = vec![
+            udp(0, A, B, 1000, 53, b"x"), // flow X
+            udp(1, A, B, 1001, 53, b"y"), // flow Y
+            udp(2, A, B, 1000, 53, b"x"), // touch X: Y is now oldest
+            udp(3, A, B, 1002, 53, b"z"), // flow Z evicts Y (not X)
+            udp(4, A, B, 1001, 53, b"y"), // Y returns as a NEW connection
+        ];
+        let (conns, stats) = assemble_with_stats(&pkts, cfg);
+        assert_eq!(stats.evictions, 2); // Y at the Z push, X at Y's return
+        // Two records for Y proves the Z push evicted Y, the least
+        // recently touched, and not X, which had just been refreshed.
+        let y_records = conns.iter().filter(|c| c.orig.1 == 1001).count();
+        assert_eq!(y_records, 2, "evicted flow re-opens as a new record");
+        assert_eq!(conns.iter().filter(|c| c.orig.1 == 1000).count(), 1);
+    }
+
+    #[test]
+    fn eviction_counter_is_globally_visible() {
+        let before = counters::evictions();
+        let cfg = FlowConfig {
+            max_active: 1,
+            ..FlowConfig::default()
+        };
+        let pkts = vec![
+            udp(0, A, B, 1000, 53, b"x"),
+            udp(1, A, B, 1001, 53, b"y"),
+            udp(2, A, B, 1002, 53, b"z"),
+        ];
+        let (_, stats) = assemble_with_stats(&pkts, cfg);
+        assert_eq!(stats.evictions, 2);
+        assert!(counters::evictions() >= before + 2);
+    }
+
+    #[test]
+    fn default_cap_does_not_disturb_small_traces() {
+        let (conns, stats) = assemble_with_stats(&full_handshake_conn(), FlowConfig::default());
+        assert_eq!(conns.len(), 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.peak_active, 1);
     }
 }

@@ -45,7 +45,8 @@ pub fn tcp_packet(p: TcpParams<'_>) -> Vec<u8> {
     eth.set_ethertype(EtherType::Ipv4);
 
     let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
-    ip.set_version_and_header_len(IP_HDR);
+    ip.set_version_and_header_len(IP_HDR)
+        .expect("IP_HDR is a valid header length");
     ip.set_dscp(0);
     ip.set_total_length(ip_total as u16);
     ip.set_identification((p.seq & 0xFFFF) as u16);
@@ -61,7 +62,8 @@ pub fn tcp_packet(p: TcpParams<'_>) -> Vec<u8> {
     tcp.set_dst_port(p.dst_port);
     tcp.set_seq(p.seq);
     tcp.set_ack(p.ack);
-    tcp.set_header_len(TCP_HDR);
+    tcp.set_header_len(TCP_HDR)
+        .expect("TCP_HDR is a valid header length");
     tcp.set_flags(p.flags);
     tcp.set_window(p.window);
     tcp.payload_mut().copy_from_slice(p.payload);
@@ -95,7 +97,8 @@ pub fn udp_packet(p: UdpParams<'_>) -> Vec<u8> {
     eth.set_ethertype(EtherType::Ipv4);
 
     let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
-    ip.set_version_and_header_len(IP_HDR);
+    ip.set_version_and_header_len(IP_HDR)
+        .expect("IP_HDR is a valid header length");
     ip.set_total_length(ip_total as u16);
     ip.set_identification((p.payload.len() as u16).wrapping_mul(31));
     ip.set_dont_frag(true);
@@ -137,7 +140,8 @@ pub fn icmp_echo(
     eth.set_ethertype(EtherType::Ipv4);
 
     let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
-    ip.set_version_and_header_len(IP_HDR);
+    ip.set_version_and_header_len(IP_HDR)
+        .expect("IP_HDR is a valid header length");
     ip.set_total_length(ip_total as u16);
     ip.set_identification(id ^ seq);
     ip.set_dont_frag(false);

@@ -1,0 +1,302 @@
+//! Structured decode-error taxonomy and quarantine accounting.
+//!
+//! Every `new_checked` constructor in [`crate::wire`] reports failures as a
+//! [`DecodeError`]: which protocol layer refused the bytes, which wire
+//! format it was speaking, the byte offset of the offending field, and a
+//! structured [`DecodeReason`]. The taxonomy backs the no-panic guarantee —
+//! arbitrary bytes fed to any checked constructor or to
+//! [`crate::PacketMeta::parse`] produce an `Err`, never a panic — and feeds
+//! [`DecodeStats`], the quarantine ledger the ingestion path uses to *count
+//! and keep going* instead of aborting on hostile captures.
+
+use std::fmt;
+
+/// The protocol layer at which a decode failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// The capture container itself (pcap record framing).
+    Capture,
+    /// Link layer: Ethernet, 802.11.
+    Link,
+    /// Network layer: IPv4, IPv6, ARP.
+    Net,
+    /// Transport layer: TCP, UDP, ICMP.
+    Transport,
+    /// Application payload interpretation.
+    App,
+}
+
+impl Layer {
+    /// Stable lowercase name, used in journals and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Capture => "capture",
+            Layer::Link => "link",
+            Layer::Net => "net",
+            Layer::Transport => "transport",
+            Layer::App => "app",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a buffer was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeReason {
+    /// Fewer bytes than the format's minimum (or declared) length.
+    Truncated { needed: usize, have: usize },
+    /// A version field did not match the format.
+    BadVersion { expected: u8, got: u8 },
+    /// A header-length field (IHL, TCP data offset) below the format
+    /// minimum or pointing past the end of the buffer.
+    BadHeaderLen { len: usize, min: usize, max: usize },
+    /// A total/payload-length field outside its allowed range.
+    BadLength { len: usize, min: usize, max: usize },
+    /// Any other field holding a value the format does not allow.
+    BadField { field: &'static str, value: u64 },
+}
+
+impl fmt::Display for DecodeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeReason::Truncated { needed, have } => {
+                write!(f, "truncated: need {needed} bytes, have {have}")
+            }
+            DecodeReason::BadVersion { expected, got } => {
+                write!(f, "bad version: expected {expected}, got {got}")
+            }
+            DecodeReason::BadHeaderLen { len, min, max } => {
+                write!(f, "bad header length {len} (allowed {min}..={max})")
+            }
+            DecodeReason::BadLength { len, min, max } => {
+                write!(f, "bad length {len} (allowed {min}..={max})")
+            }
+            DecodeReason::BadField { field, value } => {
+                write!(f, "bad {field} ({value})")
+            }
+        }
+    }
+}
+
+/// A structured decode failure: layer + wire format + byte offset + reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Layer that refused the bytes.
+    pub layer: Layer,
+    /// Wire-format name (`"ipv4"`, `"tcp"`, ...).
+    pub proto: &'static str,
+    /// Byte offset of the offending field within the parsed buffer.
+    pub offset: usize,
+    /// Structured reason.
+    pub reason: DecodeReason,
+}
+
+impl DecodeError {
+    /// A truncation error (offset 0: the buffer as a whole is short).
+    pub fn truncated(layer: Layer, proto: &'static str, needed: usize, have: usize) -> DecodeError {
+        DecodeError {
+            layer,
+            proto,
+            offset: 0,
+            reason: DecodeReason::Truncated { needed, have },
+        }
+    }
+
+    /// An arbitrary structured error at a field offset.
+    pub fn new(
+        layer: Layer,
+        proto: &'static str,
+        offset: usize,
+        reason: DecodeReason,
+    ) -> DecodeError {
+        DecodeError {
+            layer,
+            proto,
+            offset,
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} @+{}: {}",
+            self.layer, self.proto, self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bytes of the offending buffer kept per quarantine sample.
+pub const QUARANTINE_PREFIX: usize = 16;
+
+/// Quarantine ring-buffer capacity (newest samples win).
+pub const QUARANTINE_CAP: usize = 8;
+
+/// One quarantined frame: the structured error plus a short byte prefix of
+/// the buffer that triggered it, for postmortems without storing payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineSample {
+    pub error: DecodeError,
+    /// First [`QUARANTINE_PREFIX`] bytes of the offending buffer.
+    pub prefix: Vec<u8>,
+}
+
+impl QuarantineSample {
+    /// Lowercase hex rendering of the byte prefix.
+    pub fn prefix_hex(&self) -> String {
+        let mut s = String::with_capacity(self.prefix.len() * 2);
+        for b in &self.prefix {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+/// Quarantine ledger accumulated while ingesting a capture: per-layer error
+/// counts plus a small ring buffer of offending byte prefixes.
+///
+/// A frame whose *link* header cannot be parsed is dropped (`link_errors`);
+/// frames with unparseable inner layers are kept with partial metadata and
+/// counted under `net_errors` / `transport_errors`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Frames offered to the parser.
+    pub frames: u64,
+    /// Frames kept (possibly with partial inner-layer metadata).
+    pub parsed: u64,
+    /// Frames dropped: link header unparseable.
+    pub link_errors: u64,
+    /// Kept frames whose network-layer header was refused.
+    pub net_errors: u64,
+    /// Kept frames whose transport-layer header was refused.
+    pub transport_errors: u64,
+    /// Ring buffer (capacity [`QUARANTINE_CAP`]) of recent offenders.
+    pub quarantine: Vec<QuarantineSample>,
+}
+
+impl DecodeStats {
+    /// Records one decode failure and quarantines a prefix of `bytes`.
+    pub fn record(&mut self, error: DecodeError, bytes: &[u8]) {
+        match error.layer {
+            Layer::Link | Layer::Capture => self.link_errors += 1,
+            Layer::Net => self.net_errors += 1,
+            Layer::Transport | Layer::App => self.transport_errors += 1,
+        }
+        if self.quarantine.len() == QUARANTINE_CAP {
+            self.quarantine.remove(0);
+        }
+        self.quarantine.push(QuarantineSample {
+            error,
+            prefix: bytes[..bytes.len().min(QUARANTINE_PREFIX)].to_vec(),
+        });
+    }
+
+    /// Total decode errors at any layer.
+    pub fn total_errors(&self) -> u64 {
+        self.link_errors + self.net_errors + self.transport_errors
+    }
+
+    /// Frames dropped outright (link layer refused them).
+    pub fn dropped(&self) -> u64 {
+        self.link_errors
+    }
+
+    /// True when every offered frame parsed cleanly at every layer.
+    pub fn is_clean(&self) -> bool {
+        self.total_errors() == 0
+    }
+
+    /// Folds another ledger into this one (chunk-parallel ingestion).
+    /// Quarantine samples concatenate in argument order, keeping the
+    /// newest [`QUARANTINE_CAP`].
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.frames += other.frames;
+        self.parsed += other.parsed;
+        self.link_errors += other.link_errors;
+        self.net_errors += other.net_errors;
+        self.transport_errors += other.transport_errors;
+        self.quarantine.extend(other.quarantine.iter().cloned());
+        let excess = self.quarantine.len().saturating_sub(QUARANTINE_CAP);
+        if excess > 0 {
+            self.quarantine.drain(..excess);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_structured() {
+        let e = DecodeError::new(
+            Layer::Net,
+            "ipv4",
+            0,
+            DecodeReason::BadHeaderLen {
+                len: 8,
+                min: 20,
+                max: 60,
+            },
+        );
+        assert_eq!(e.to_string(), "net/ipv4 @+0: bad header length 8 (allowed 20..=60)");
+        let t = DecodeError::truncated(Layer::Transport, "tcp", 20, 3);
+        assert_eq!(t.to_string(), "transport/tcp @+0: truncated: need 20 bytes, have 3");
+    }
+
+    #[test]
+    fn stats_count_per_layer_and_ring_caps() {
+        let mut s = DecodeStats::default();
+        for i in 0..(QUARANTINE_CAP as u64 + 4) {
+            s.record(
+                DecodeError::truncated(Layer::Net, "ipv4", 20, i as usize),
+                &[i as u8; 32],
+            );
+        }
+        s.record(DecodeError::truncated(Layer::Link, "ethernet", 14, 0), &[]);
+        s.record(DecodeError::truncated(Layer::Transport, "udp", 8, 1), &[0xAB]);
+        assert_eq!(s.net_errors, QUARANTINE_CAP as u64 + 4);
+        assert_eq!(s.link_errors, 1);
+        assert_eq!(s.transport_errors, 1);
+        assert_eq!(s.quarantine.len(), QUARANTINE_CAP);
+        // Newest samples win; prefixes are clipped.
+        let last = s.quarantine.last().unwrap();
+        assert_eq!(last.prefix, vec![0xAB]);
+        assert_eq!(last.prefix_hex(), "ab");
+        assert!(s.quarantine[0].prefix.len() <= QUARANTINE_PREFIX);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_newest_samples() {
+        let mut a = DecodeStats::default();
+        let mut b = DecodeStats::default();
+        for i in 0..6u8 {
+            a.record(DecodeError::truncated(Layer::Net, "ipv4", 20, 0), &[i]);
+            b.record(DecodeError::truncated(Layer::Transport, "tcp", 20, 0), &[0x10 + i]);
+        }
+        a.frames = 10;
+        a.parsed = 9;
+        b.frames = 4;
+        b.parsed = 4;
+        a.merge(&b);
+        assert_eq!(a.frames, 14);
+        assert_eq!(a.parsed, 13);
+        assert_eq!(a.net_errors, 6);
+        assert_eq!(a.transport_errors, 6);
+        assert_eq!(a.quarantine.len(), QUARANTINE_CAP);
+        // The newest of the merged stream are b's samples.
+        assert_eq!(a.quarantine.last().unwrap().prefix, vec![0x15]);
+        assert!(!a.is_clean());
+        assert_eq!(a.total_errors(), 12);
+        assert_eq!(a.dropped(), 0);
+    }
+}

@@ -18,21 +18,22 @@
 
 pub mod builder;
 pub mod checksum;
+pub mod decode;
 pub mod meta;
 pub mod pcap;
 pub mod wire;
 
+pub use decode::{DecodeError, DecodeReason, DecodeStats, Layer, QuarantineSample};
 pub use meta::{LinkType, PacketMeta, TransportMeta};
-pub use pcap::{CapturedPacket, PcapReader, PcapWriter};
+pub use pcap::{CaptureStats, CapturedPacket, PcapLimits, PcapReader, PcapWriter};
 pub use wire::MacAddr;
 
 /// Errors produced by the packet substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
-    /// The buffer is too short to contain the claimed structure.
-    Truncated,
-    /// A structural invariant failed (bad version, bad header length, ...).
-    Malformed(&'static str),
+    /// A wire format refused the bytes (structured: layer, protocol, byte
+    /// offset, reason). Replaces the old bare `Truncated`/`Malformed`.
+    Decode(DecodeError),
     /// A checksum did not verify.
     Checksum,
     /// The pcap file is not in a supported format.
@@ -41,11 +42,20 @@ pub enum NetError {
     Io(String),
 }
 
+impl NetError {
+    /// The structured decode error, when this is a decode failure.
+    pub fn decode(&self) -> Option<&DecodeError> {
+        match self {
+            NetError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NetError::Truncated => write!(f, "buffer truncated"),
-            NetError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            NetError::Decode(e) => write!(f, "decode error: {e}"),
             NetError::Checksum => write!(f, "checksum mismatch"),
             NetError::BadPcap(why) => write!(f, "bad pcap: {why}"),
             NetError::Io(why) => write!(f, "i/o error: {why}"),
@@ -58,6 +68,12 @@ impl std::error::Error for NetError {}
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
         NetError::Io(e.to_string())
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> Self {
+        NetError::Decode(e)
     }
 }
 

@@ -18,7 +18,8 @@ use crate::wire::{
     udp::UdpDatagram,
     MacAddr,
 };
-use crate::Result;
+use crate::decode::DecodeStats;
+use crate::{NetError, Result};
 
 /// How many leading payload bytes are retained in a [`PacketMeta`].
 ///
@@ -203,13 +204,34 @@ impl PacketMeta {
     /// layers that fail to parse simply leave their summaries empty — an IDS
     /// must tolerate weird packets, not crash on them.
     pub fn parse(link: LinkType, ts_us: u64, data: &[u8]) -> Result<PacketMeta> {
-        match link {
-            LinkType::Ethernet => Self::parse_ethernet(ts_us, data),
-            LinkType::Ieee80211 => Self::parse_dot11(ts_us, data),
-        }
+        let mut stats = DecodeStats::default();
+        Self::parse_recorded(link, ts_us, data, &mut stats)
     }
 
-    fn parse_ethernet(ts_us: u64, data: &[u8]) -> Result<PacketMeta> {
+    /// [`PacketMeta::parse`] with quarantine accounting: every frame
+    /// offered bumps `stats.frames`; link failures (the `Err` path) and
+    /// tolerated inner-layer failures (empty summaries on the `Ok` path)
+    /// are counted per layer, with a byte-prefix sample quarantined.
+    pub fn parse_recorded(
+        link: LinkType,
+        ts_us: u64,
+        data: &[u8],
+        stats: &mut DecodeStats,
+    ) -> Result<PacketMeta> {
+        stats.frames += 1;
+        let result = match link {
+            LinkType::Ethernet => Self::parse_ethernet(ts_us, data, stats),
+            LinkType::Ieee80211 => Self::parse_dot11(ts_us, data),
+        };
+        match &result {
+            Ok(_) => stats.parsed += 1,
+            Err(NetError::Decode(d)) => stats.record(*d, data),
+            Err(_) => stats.link_errors += 1,
+        }
+        result
+    }
+
+    fn parse_ethernet(ts_us: u64, data: &[u8], stats: &mut DecodeStats) -> Result<PacketMeta> {
         let frame = EthernetFrame::new_checked(data)?;
         let mut meta = PacketMeta {
             ts_us,
@@ -227,9 +249,9 @@ impl PacketMeta {
             payload_len: 0,
         };
         match frame.ethertype() {
-            EtherType::Ipv4 => meta.fill_ipv4(frame.payload()),
-            EtherType::Ipv6 => meta.fill_ipv6(frame.payload()),
-            EtherType::Arp => meta.fill_arp(frame.payload()),
+            EtherType::Ipv4 => meta.fill_ipv4(frame.payload(), stats),
+            EtherType::Ipv6 => meta.fill_ipv6(frame.payload(), stats),
+            EtherType::Arp => meta.fill_arp(frame.payload(), stats),
             EtherType::Other(_) => {}
         }
         Ok(meta)
@@ -265,9 +287,15 @@ impl PacketMeta {
         Ok(meta)
     }
 
-    fn fill_ipv4(&mut self, bytes: &[u8]) {
-        let Ok(ip) = Ipv4Packet::new_checked(bytes) else {
-            return;
+    fn fill_ipv4(&mut self, bytes: &[u8], stats: &mut DecodeStats) {
+        let ip = match Ipv4Packet::new_checked(bytes) {
+            Ok(ip) => ip,
+            Err(e) => {
+                if let Some(d) = e.decode() {
+                    stats.record(*d, bytes);
+                }
+                return;
+            }
         };
         let mut header = [0u8; 20];
         header.copy_from_slice(&bytes[..20]);
@@ -282,23 +310,35 @@ impl PacketMeta {
             protocol: ip.protocol(),
             header,
         });
-        self.fill_transport(ip.protocol(), ip.payload());
+        self.fill_transport(ip.protocol(), ip.payload(), stats);
     }
 
-    fn fill_ipv6(&mut self, bytes: &[u8]) {
-        let Ok(ip) = Ipv6Packet::new_checked(bytes) else {
-            return;
+    fn fill_ipv6(&mut self, bytes: &[u8], stats: &mut DecodeStats) {
+        let ip = match Ipv6Packet::new_checked(bytes) {
+            Ok(ip) => ip,
+            Err(e) => {
+                if let Some(d) = e.decode() {
+                    stats.record(*d, bytes);
+                }
+                return;
+            }
         };
         self.is_ipv6 = true;
         // Copy the payload out: borrow of `bytes` ends here.
         let next = ip.next_header();
         let payload = ip.payload().to_vec();
-        self.fill_transport(next, &payload);
+        self.fill_transport(next, &payload, stats);
     }
 
-    fn fill_arp(&mut self, bytes: &[u8]) {
-        let Ok(arp) = ArpPacket::new_checked(bytes) else {
-            return;
+    fn fill_arp(&mut self, bytes: &[u8], stats: &mut DecodeStats) {
+        let arp = match ArpPacket::new_checked(bytes) {
+            Ok(arp) => arp,
+            Err(e) => {
+                if let Some(d) = e.decode() {
+                    stats.record(*d, bytes);
+                }
+                return;
+            }
         };
         self.arp = Some(ArpMeta {
             operation: arp.operation(),
@@ -308,11 +348,17 @@ impl PacketMeta {
         });
     }
 
-    fn fill_transport(&mut self, proto: u8, bytes: &[u8]) {
+    fn fill_transport(&mut self, proto: u8, bytes: &[u8], stats: &mut DecodeStats) {
         match proto {
             protocol::TCP => {
-                let Ok(tcp) = TcpSegment::new_checked(bytes) else {
-                    return;
+                let tcp = match TcpSegment::new_checked(bytes) {
+                    Ok(tcp) => tcp,
+                    Err(e) => {
+                        if let Some(d) = e.decode() {
+                            stats.record(*d, bytes);
+                        }
+                        return;
+                    }
                 };
                 let mut header = [0u8; 20];
                 header.copy_from_slice(&bytes[..20]);
@@ -331,8 +377,14 @@ impl PacketMeta {
                 self.set_payload(payload);
             }
             protocol::UDP => {
-                let Ok(udp) = UdpDatagram::new_checked(bytes) else {
-                    return;
+                let udp = match UdpDatagram::new_checked(bytes) {
+                    Ok(udp) => udp,
+                    Err(e) => {
+                        if let Some(d) = e.decode() {
+                            stats.record(*d, bytes);
+                        }
+                        return;
+                    }
                 };
                 let mut header = [0u8; 8];
                 header.copy_from_slice(&bytes[..8]);
@@ -346,8 +398,14 @@ impl PacketMeta {
                 self.set_payload(payload);
             }
             protocol::ICMP => {
-                let Ok(icmp) = Icmpv4Packet::new_checked(bytes) else {
-                    return;
+                let icmp = match Icmpv4Packet::new_checked(bytes) {
+                    Ok(icmp) => icmp,
+                    Err(e) => {
+                        if let Some(d) = e.decode() {
+                            stats.record(*d, bytes);
+                        }
+                        return;
+                    }
                 };
                 let mut header = [0u8; 8];
                 header.copy_from_slice(&bytes[..8]);
@@ -551,5 +609,52 @@ mod tests {
     #[test]
     fn short_frame_is_error() {
         assert!(PacketMeta::parse(LinkType::Ethernet, 0, &[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn parse_recorded_accounts_per_layer() {
+        let mut stats = DecodeStats::default();
+
+        // Clean frame: counted as parsed, no errors.
+        let good = builder::udp_packet(builder::UdpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 1,
+            dst_port: 2,
+            ttl: 64,
+            payload: b"ok",
+        });
+        assert!(PacketMeta::parse_recorded(LinkType::Ethernet, 0, &good, &mut stats).is_ok());
+
+        // Garbage L3 behind a valid Ethernet header: frame kept, net error.
+        let mut bad_l3 = vec![0u8; 20];
+        bad_l3[12] = 0x08;
+        assert!(PacketMeta::parse_recorded(LinkType::Ethernet, 1, &bad_l3, &mut stats).is_ok());
+
+        // Truncated TCP behind a valid IPv4 header: transport error.
+        let mut bad_l4 = good.clone();
+        bad_l4.truncate(14 + 20 + 5);
+        // Re-stamp the IPv4 total length so only the TCP layer is short.
+        {
+            use crate::wire::ipv4::Ipv4Packet;
+            let mut ip = Ipv4Packet::new_unchecked(&mut bad_l4[14..]);
+            ip.set_total_length(25);
+            ip.set_protocol(protocol::TCP);
+            ip.fill_checksum();
+        }
+        assert!(PacketMeta::parse_recorded(LinkType::Ethernet, 2, &bad_l4, &mut stats).is_ok());
+
+        // Short frame: dropped, link error.
+        assert!(PacketMeta::parse_recorded(LinkType::Ethernet, 3, &[0u8; 5], &mut stats).is_err());
+
+        assert_eq!(stats.frames, 4);
+        assert_eq!(stats.parsed, 3);
+        assert_eq!(stats.net_errors, 1);
+        assert_eq!(stats.transport_errors, 1);
+        assert_eq!(stats.link_errors, 1);
+        assert_eq!(stats.dropped(), 1);
+        assert_eq!(stats.quarantine.len(), 3);
     }
 }

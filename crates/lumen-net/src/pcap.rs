@@ -19,6 +19,73 @@ const VERSION_MAJOR: u16 = 2;
 const VERSION_MINOR: u16 = 4;
 /// Default snap length: full packets.
 pub const SNAPLEN: u32 = 262_144;
+/// Absolute per-record size bound, whatever the header's snaplen claims.
+/// A record length above this is treated as corruption, never allocated.
+pub const MAX_RECORD_BYTES: usize = SNAPLEN as usize * 4;
+/// Allocation granted up-front per record; anything longer grows the vector
+/// incrementally, so a lying length field cannot trigger a huge allocation.
+const RECORD_PREALLOC: usize = 65_536;
+
+/// Resource limits for capture ingestion (strict or recovering).
+#[derive(Debug, Clone, Copy)]
+pub struct PcapLimits {
+    /// Stop after this many decoded records.
+    pub max_packets: usize,
+    /// Stop once this many packet-data bytes have been retained.
+    pub max_total_bytes: u64,
+}
+
+impl Default for PcapLimits {
+    fn default() -> PcapLimits {
+        PcapLimits {
+            max_packets: usize::MAX,
+            max_total_bytes: u64::MAX,
+        }
+    }
+}
+
+/// Accounting from a recovering capture read: what was decoded, what was
+/// skipped, and how the reader got back in sync after corruption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Records decoded and kept.
+    pub records: u64,
+    /// Corrupt records dropped (implausible header or lying length).
+    pub dropped_records: u64,
+    /// Times the reader re-synchronized by scanning for a plausible
+    /// record header.
+    pub resyncs: u64,
+    /// Bytes skipped over while out of sync.
+    pub bytes_skipped: u64,
+    /// Timestamps that went backwards between consecutive records
+    /// (records are kept; the regression is only counted).
+    pub ts_regressions: u64,
+    /// The file ended mid-record.
+    pub truncated_tail: bool,
+    /// A [`PcapLimits`] bound stopped the read early.
+    pub limit_hit: bool,
+}
+
+impl CaptureStats {
+    /// True when the whole capture decoded without incident.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_records == 0
+            && self.resyncs == 0
+            && self.bytes_skipped == 0
+            && self.ts_regressions == 0
+            && !self.truncated_tail
+            && !self.limit_hit
+    }
+}
+
+/// Result of [`from_bytes_recovering`]: whatever could be decoded, plus the
+/// accounting of everything that could not.
+#[derive(Debug, Clone)]
+pub struct RecoveredCapture {
+    pub link: LinkType,
+    pub packets: Vec<CapturedPacket>,
+    pub stats: CaptureStats,
+}
 
 /// One captured packet: a timestamp (microseconds since the epoch of the
 /// capture) and the raw link-layer bytes.
@@ -80,6 +147,49 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// The decoded 24-byte global header.
+struct GlobalHeader {
+    swapped: bool,
+    nanos: bool,
+    link: LinkType,
+    /// The header's snaplen as written (before clamping).
+    snaplen: usize,
+    /// Effective per-record bound: the header's snaplen, clamped into
+    /// `[RECORD_PREALLOC, MAX_RECORD_BYTES]` so a zero or garbage snaplen
+    /// neither rejects ordinary packets nor authorizes huge records.
+    record_bound: usize,
+}
+
+fn parse_global_header(header: &[u8; 24]) -> Result<GlobalHeader> {
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let (swapped, nanos) = match magic {
+        MAGIC_MICROS => (false, false),
+        MAGIC_NANOS => (false, true),
+        m if m.swap_bytes() == MAGIC_MICROS => (true, false),
+        m if m.swap_bytes() == MAGIC_NANOS => (true, true),
+        m => return Err(NetError::BadPcap(format!("unknown magic {m:#010x}"))),
+    };
+    let read_u32 = |b: &[u8]| {
+        let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        if swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+    let snaplen = read_u32(&header[16..20]) as usize;
+    let dlt = read_u32(&header[20..24]);
+    let link = LinkType::from_dlt(dlt)
+        .ok_or_else(|| NetError::BadPcap(format!("unsupported link type {dlt}")))?;
+    Ok(GlobalHeader {
+        swapped,
+        nanos,
+        link,
+        snaplen,
+        record_bound: snaplen.clamp(RECORD_PREALLOC, MAX_RECORD_BYTES),
+    })
+}
+
 /// Streaming pcap reader; iterate with [`PcapReader::next_packet`] or the
 /// `Iterator` impl.
 pub struct PcapReader<R: Read> {
@@ -87,6 +197,7 @@ pub struct PcapReader<R: Read> {
     swapped: bool,
     nanos: bool,
     link: LinkType,
+    record_bound: usize,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -94,30 +205,13 @@ impl<R: Read> PcapReader<R> {
     pub fn new(mut source: R) -> Result<PcapReader<R>> {
         let mut header = [0u8; 24];
         source.read_exact(&mut header)?;
-        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-        let (swapped, nanos) = match magic {
-            MAGIC_MICROS => (false, false),
-            MAGIC_NANOS => (false, true),
-            m if m.swap_bytes() == MAGIC_MICROS => (true, false),
-            m if m.swap_bytes() == MAGIC_NANOS => (true, true),
-            m => return Err(NetError::BadPcap(format!("unknown magic {m:#010x}"))),
-        };
-        let read_u32 = |b: &[u8]| {
-            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
-            if swapped {
-                v.swap_bytes()
-            } else {
-                v
-            }
-        };
-        let dlt = read_u32(&header[20..24]);
-        let link = LinkType::from_dlt(dlt)
-            .ok_or_else(|| NetError::BadPcap(format!("unsupported link type {dlt}")))?;
+        let gh = parse_global_header(&header)?;
         Ok(PcapReader {
             source,
-            swapped,
-            nanos,
-            link,
+            swapped: gh.swapped,
+            nanos: gh.nanos,
+            link: gh.link,
+            record_bound: gh.record_bound,
         })
     }
 
@@ -153,13 +247,26 @@ impl<R: Read> PcapReader<R> {
         let secs = u64::from(read_u32(&rec[0..4]));
         let frac = u64::from(read_u32(&rec[4..8]));
         let incl_len = read_u32(&rec[8..12]) as usize;
-        if incl_len > SNAPLEN as usize * 4 {
+        if incl_len > self.record_bound {
             return Err(NetError::BadPcap(format!(
-                "record length {incl_len} implausible"
+                "record length {incl_len} exceeds snap bound {}",
+                self.record_bound
             )));
         }
-        let mut data = vec![0u8; incl_len];
-        self.source.read_exact(&mut data)?;
+        // Validate before allocating, and never grant more than
+        // RECORD_PREALLOC up front: a hostile caplen (e.g. 0xFFFF_FFFF)
+        // cannot trigger a huge allocation.
+        let mut data = Vec::with_capacity(incl_len.min(RECORD_PREALLOC));
+        let got = self
+            .source
+            .by_ref()
+            .take(incl_len as u64)
+            .read_to_end(&mut data)?;
+        if got < incl_len {
+            return Err(NetError::BadPcap(format!(
+                "truncated record: header claims {incl_len} bytes, file has {got}"
+            )));
+        }
         let micros = if self.nanos { frac / 1000 } else { frac };
         Ok(Some(CapturedPacket {
             ts_us: secs * 1_000_000 + micros,
@@ -175,18 +282,32 @@ impl<R: Read> Iterator for PcapReader<R> {
     }
 }
 
-/// Writes a full capture to a byte vector.
+/// Writes a full capture to a byte vector (infallible: no I/O involved).
 pub fn to_bytes(link: LinkType, packets: &[CapturedPacket]) -> Vec<u8> {
     let mut out = Vec::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
-    let mut w = PcapWriter::new(&mut out, link).expect("vec write cannot fail");
+    out.extend_from_slice(&MAGIC_MICROS.to_le_bytes());
+    out.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+    out.extend_from_slice(&VERSION_MINOR.to_le_bytes());
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&SNAPLEN.to_le_bytes());
+    out.extend_from_slice(&link.dlt().to_le_bytes());
     for p in packets {
-        w.write_packet(p).expect("vec write cannot fail");
+        let secs = (p.ts_us / 1_000_000) as u32;
+        let micros = (p.ts_us % 1_000_000) as u32;
+        let len = p.data.len() as u32;
+        out.extend_from_slice(&secs.to_le_bytes());
+        out.extend_from_slice(&micros.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes()); // incl_len
+        out.extend_from_slice(&len.to_le_bytes()); // orig_len
+        out.extend_from_slice(&p.data);
     }
-    w.finish().expect("vec flush cannot fail");
     out
 }
 
-/// Reads a full capture from a byte slice.
+/// Reads a full capture from a byte slice, strictly: the first corrupt
+/// record aborts the read. Use [`from_bytes_recovering`] to quarantine
+/// corruption instead.
 pub fn from_bytes(bytes: &[u8]) -> Result<(LinkType, Vec<CapturedPacket>)> {
     let mut r = PcapReader::new(bytes)?;
     let link = r.link_type();
@@ -195,6 +316,135 @@ pub fn from_bytes(bytes: &[u8]) -> Result<(LinkType, Vec<CapturedPacket>)> {
         packets.push(p);
     }
     Ok((link, packets))
+}
+
+/// Is there a plausible record header at `o`? Plausible means: 16 header
+/// bytes fit, the included length is within the snap bound, the
+/// incl/orig pair satisfies the capture invariant
+/// `incl_len == min(orig_len, snaplen)` every real writer obeys, and the
+/// data fits the remaining bytes. The invariant is what keeps packet
+/// payload bytes from masquerading as record boundaries: a false header
+/// would need two equal (or snaplen-pinned) 32-bit fields in exactly the
+/// right spot.
+fn plausible_record(bytes: &[u8], o: usize, gh: &GlobalHeader) -> Option<usize> {
+    if o + 16 > bytes.len() {
+        return None;
+    }
+    let read_u32 = |at: usize| {
+        let v = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        if gh.swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+    let incl = read_u32(o + 8) as usize;
+    let orig = read_u32(o + 12) as usize;
+    if incl > gh.record_bound || orig > gh.record_bound || incl > orig {
+        return None;
+    }
+    if incl != orig && incl != gh.snaplen {
+        return None;
+    }
+    if o + 16 + incl > bytes.len() {
+        return None;
+    }
+    Some(incl)
+}
+
+/// Reads a capture from a byte slice, skipping corruption instead of
+/// aborting: implausible or lying record headers are dropped and the reader
+/// re-synchronizes by scanning forward for the next offset that looks like
+/// a record header *and* chains to another plausible record (or ends the
+/// file exactly). Only the 24-byte global header must be intact — without a
+/// readable magic/linktype there is nothing to recover.
+pub fn from_bytes_recovering(bytes: &[u8], limits: PcapLimits) -> Result<RecoveredCapture> {
+    if bytes.len() < 24 {
+        return Err(NetError::BadPcap(format!(
+            "global header needs 24 bytes, file has {}",
+            bytes.len()
+        )));
+    }
+    let mut header = [0u8; 24];
+    header.copy_from_slice(&bytes[..24]);
+    let gh = parse_global_header(&header)?;
+    let read_u32 = |at: usize| {
+        let v = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        if gh.swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+
+    let mut packets = Vec::new();
+    let mut stats = CaptureStats::default();
+    let mut total_bytes = 0u64;
+    let mut prev_ts = 0u64;
+    let mut o = 24usize;
+    while o < bytes.len() {
+        let remaining = bytes.len() - o;
+        if remaining < 16 {
+            stats.truncated_tail = true;
+            stats.bytes_skipped += remaining as u64;
+            break;
+        }
+        match plausible_record(bytes, o, &gh) {
+            Some(incl) => {
+                if packets.len() >= limits.max_packets
+                    || total_bytes + incl as u64 > limits.max_total_bytes
+                {
+                    stats.limit_hit = true;
+                    break;
+                }
+                let secs = u64::from(read_u32(o));
+                let frac = u64::from(read_u32(o + 4));
+                let micros = if gh.nanos { frac / 1000 } else { frac };
+                let ts_us = secs * 1_000_000 + micros;
+                if ts_us < prev_ts {
+                    stats.ts_regressions += 1;
+                }
+                prev_ts = prev_ts.max(ts_us);
+                packets.push(CapturedPacket {
+                    ts_us,
+                    data: bytes[o + 16..o + 16 + incl].to_vec(),
+                });
+                stats.records += 1;
+                total_bytes += incl as u64;
+                o += 16 + incl;
+            }
+            None => {
+                stats.dropped_records += 1;
+                // Resync: the next offset that both looks like a record
+                // header and chains (its successor is plausible too, or it
+                // ends the file exactly). Chaining keeps random payload
+                // bytes from masquerading as a record boundary.
+                let mut resumed = false;
+                for q in o + 1..bytes.len().saturating_sub(15) {
+                    if let Some(incl) = plausible_record(bytes, q, &gh) {
+                        let next = q + 16 + incl;
+                        if next == bytes.len() || plausible_record(bytes, next, &gh).is_some() {
+                            stats.resyncs += 1;
+                            stats.bytes_skipped += (q - o) as u64;
+                            o = q;
+                            resumed = true;
+                            break;
+                        }
+                    }
+                }
+                if !resumed {
+                    stats.bytes_skipped += remaining as u64;
+                    stats.truncated_tail = true;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(RecoveredCapture {
+        link: gh.link,
+        packets,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -283,5 +533,149 @@ mod tests {
         let bytes = to_bytes(LinkType::Ethernet, &[]);
         let (_, pkts) = from_bytes(&bytes).unwrap();
         assert!(pkts.is_empty());
+    }
+
+    fn corrupt_record_at(bytes: &mut [u8], record_index: usize, f: impl FnOnce(&mut [u8])) {
+        // Walks well-formed records to find the header of `record_index`.
+        let mut o = 24;
+        for _ in 0..record_index {
+            let incl =
+                u32::from_le_bytes([bytes[o + 8], bytes[o + 9], bytes[o + 10], bytes[o + 11]])
+                    as usize;
+            o += 16 + incl;
+        }
+        f(&mut bytes[o..o + 16]);
+    }
+
+    #[test]
+    fn hostile_caplen_is_rejected_without_allocation() {
+        // caplen = 0xFFFF_FFFF: the strict reader must error on the length
+        // field itself, never attempt a 4 GiB allocation.
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        corrupt_record_at(&mut bytes, 0, |rec| {
+            rec[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        });
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("snap bound"), "{err}");
+    }
+
+    #[test]
+    fn recovering_reader_skips_hostile_caplen() {
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        corrupt_record_at(&mut bytes, 0, |rec| {
+            rec[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        });
+        let rec = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(rec.packets.len(), sample().len() - 1);
+        assert_eq!(rec.stats.dropped_records, 1);
+        assert_eq!(rec.stats.resyncs, 1);
+        assert!(rec.stats.bytes_skipped > 0);
+        assert!(!rec.stats.is_clean());
+    }
+
+    #[test]
+    fn recovering_reader_resyncs_after_bitflipped_length() {
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        // Lie modestly: claim more bytes than the record has, so the reader
+        // mis-frames and must resync on the following record header.
+        corrupt_record_at(&mut bytes, 1, |rec| {
+            rec[8..12].copy_from_slice(&9_000u32.to_le_bytes());
+        });
+        let rec = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(rec.packets.len(), sample().len() - 1);
+        assert_eq!(rec.stats.records, (sample().len() - 1) as u64);
+        assert_eq!(rec.stats.dropped_records, 1);
+        assert_eq!(rec.stats.resyncs, 1);
+    }
+
+    #[test]
+    fn recovering_reader_handles_clean_capture() {
+        let bytes = to_bytes(LinkType::Ethernet, &sample());
+        let rec = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(rec.link, LinkType::Ethernet);
+        assert_eq!(rec.packets.len(), sample().len());
+        assert!(rec.stats.is_clean());
+        let strict = from_bytes(&bytes).unwrap().1;
+        assert_eq!(rec.packets, strict);
+    }
+
+    #[test]
+    fn zero_length_records_are_legal() {
+        let pkts = vec![
+            CapturedPacket::new(1, vec![]),
+            CapturedPacket::new(2, vec![0xAA; 40]),
+            CapturedPacket::new(3, vec![]),
+        ];
+        let bytes = to_bytes(LinkType::Ethernet, &pkts);
+        let (_, strict) = from_bytes(&bytes).unwrap();
+        assert_eq!(strict, pkts);
+        let rec = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(rec.packets, pkts);
+        assert!(rec.stats.is_clean());
+    }
+
+    #[test]
+    fn recovering_reader_counts_timestamp_regressions() {
+        let pkts = vec![
+            CapturedPacket::new(5_000_000, vec![1; 10]),
+            CapturedPacket::new(2_000_000, vec![2; 10]),
+            CapturedPacket::new(6_000_000, vec![3; 10]),
+        ];
+        let bytes = to_bytes(LinkType::Ethernet, &pkts);
+        let rec = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(rec.packets.len(), 3);
+        assert_eq!(rec.stats.ts_regressions, 1);
+    }
+
+    #[test]
+    fn recovering_reader_flags_truncated_tail() {
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        bytes.truncate(bytes.len() - 3);
+        let rec = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(rec.packets.len(), sample().len() - 1);
+        assert!(rec.stats.truncated_tail);
+        assert!(rec.stats.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn limits_stop_the_read_early() {
+        let bytes = to_bytes(LinkType::Ethernet, &sample());
+        let rec = from_bytes_recovering(
+            &bytes,
+            PcapLimits {
+                max_packets: 1,
+                ..PcapLimits::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rec.packets.len(), 1);
+        assert!(rec.stats.limit_hit);
+
+        let rec = from_bytes_recovering(
+            &bytes,
+            PcapLimits {
+                max_total_bytes: 1,
+                ..PcapLimits::default()
+            },
+        )
+        .unwrap();
+        assert!(rec.packets.is_empty());
+        assert!(rec.stats.limit_hit);
+    }
+
+    #[test]
+    fn recovering_reader_rejects_garbage_header() {
+        assert!(from_bytes_recovering(&[0u8; 10], PcapLimits::default()).is_err());
+        assert!(from_bytes_recovering(&[0xAB; 64], PcapLimits::default()).is_err());
+    }
+
+    #[test]
+    fn snaplen_bound_is_clamped() {
+        // A capture whose header advertises snaplen = 16 must still accept
+        // ordinary packets: the effective bound never drops below 64 KiB.
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        bytes[16..20].copy_from_slice(&16u32.to_le_bytes());
+        let (_, pkts) = from_bytes(&bytes).unwrap();
+        assert_eq!(pkts.len(), sample().len());
     }
 }

@@ -7,7 +7,8 @@
 use std::net::Ipv4Addr;
 
 use super::MacAddr;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, DecodeReason, Layer};
+use crate::Result;
 
 /// ARP packet length for the Ethernet/IPv4 combination.
 pub const PACKET_LEN: usize = 28;
@@ -55,19 +56,49 @@ impl<T: AsRef<[u8]>> ArpPacket<T> {
     /// Wraps a buffer, verifying length and the Ethernet/IPv4 hardware and
     /// protocol types.
     pub fn new_checked(buffer: T) -> Result<ArpPacket<T>> {
-        if buffer.as_ref().len() < PACKET_LEN {
-            return Err(NetError::Truncated);
+        let len = buffer.as_ref().len();
+        if len < PACKET_LEN {
+            return Err(DecodeError::truncated(Layer::Net, "arp", PACKET_LEN, len).into());
         }
         let p = ArpPacket { buffer };
         let b = p.buffer.as_ref();
-        if u16::from_be_bytes([b[0], b[1]]) != 1 {
-            return Err(NetError::Malformed("arp hardware type"));
+        let htype = u16::from_be_bytes([b[0], b[1]]);
+        if htype != 1 {
+            return Err(DecodeError::new(
+                Layer::Net,
+                "arp",
+                0,
+                DecodeReason::BadField {
+                    field: "hardware type",
+                    value: u64::from(htype),
+                },
+            )
+            .into());
         }
-        if u16::from_be_bytes([b[2], b[3]]) != 0x0800 {
-            return Err(NetError::Malformed("arp protocol type"));
+        let ptype = u16::from_be_bytes([b[2], b[3]]);
+        if ptype != 0x0800 {
+            return Err(DecodeError::new(
+                Layer::Net,
+                "arp",
+                2,
+                DecodeReason::BadField {
+                    field: "protocol type",
+                    value: u64::from(ptype),
+                },
+            )
+            .into());
         }
         if b[4] != 6 || b[5] != 4 {
-            return Err(NetError::Malformed("arp address lengths"));
+            return Err(DecodeError::new(
+                Layer::Net,
+                "arp",
+                4,
+                DecodeReason::BadField {
+                    field: "address lengths",
+                    value: (u64::from(b[4]) << 8) | u64::from(b[5]),
+                },
+            )
+            .into());
         }
         Ok(p)
     }
@@ -171,7 +202,11 @@ mod tests {
         let mut buf = [0u8; PACKET_LEN];
         buf[1] = 6; // token ring
         buf[2] = 0x08;
-        assert!(ArpPacket::new_checked(&buf[..]).is_err());
+        let err = ArpPacket::new_checked(&buf[..]).unwrap_err();
+        assert_eq!(
+            err.decode().unwrap().reason,
+            DecodeReason::BadField { field: "hardware type", value: 6 }
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! the AWID3-like recipes never emit them.
 
 use super::MacAddr;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, DecodeReason, Layer};
+use crate::Result;
 
 /// Length of the MAC header handled here.
 pub const HEADER_LEN: usize = 24;
@@ -60,12 +61,23 @@ impl<T: AsRef<[u8]>> Dot11Frame<T> {
     /// Wraps a buffer, verifying the minimum header length and protocol
     /// version 0.
     pub fn new_checked(buffer: T) -> Result<Dot11Frame<T>> {
-        if buffer.as_ref().len() < HEADER_LEN {
-            return Err(NetError::Truncated);
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(DecodeError::truncated(Layer::Link, "802.11", HEADER_LEN, len).into());
         }
         let f = Dot11Frame { buffer };
-        if f.buffer.as_ref()[0] & 0x03 != 0 {
-            return Err(NetError::Malformed("802.11 protocol version"));
+        let version = f.buffer.as_ref()[0] & 0x03;
+        if version != 0 {
+            return Err(DecodeError::new(
+                Layer::Link,
+                "802.11",
+                0,
+                DecodeReason::BadVersion {
+                    expected: 0,
+                    got: version,
+                },
+            )
+            .into());
         }
         Ok(f)
     }
@@ -109,9 +121,10 @@ impl<T: AsRef<[u8]>> Dot11Frame<T> {
         u16::from_le_bytes([self.b()[22], self.b()[23]]) >> 4
     }
 
-    /// Frame body after the MAC header.
+    /// Frame body after the MAC header (clamped to the buffer: never
+    /// panics, even over unchecked short frames).
     pub fn body(&self) -> &[u8] {
-        &self.b()[HEADER_LEN..]
+        &self.b()[HEADER_LEN.min(self.b().len())..]
     }
 
     /// Reason code for deauthentication/disassociation frames.

@@ -1,7 +1,8 @@
 //! Ethernet II framing.
 
 use super::MacAddr;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, Layer};
+use crate::Result;
 
 /// Ethernet II header length in bytes.
 pub const HEADER_LEN: usize = 14;
@@ -52,8 +53,9 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
 
     /// Wraps a buffer, verifying it is long enough for the header.
     pub fn new_checked(buffer: T) -> Result<EthernetFrame<T>> {
-        if buffer.as_ref().len() < HEADER_LEN {
-            return Err(NetError::Truncated);
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(DecodeError::truncated(Layer::Link, "ethernet", HEADER_LEN, len).into());
         }
         Ok(EthernetFrame { buffer })
     }
@@ -79,9 +81,11 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
         EtherType::from(u16::from_be_bytes([b[12], b[13]]))
     }
 
-    /// Payload bytes after the header.
+    /// Payload bytes after the header (clamped to the buffer: never
+    /// panics, even over unchecked short frames).
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..]
+        let b = self.buffer.as_ref();
+        &b[HEADER_LEN.min(b.len())..]
     }
 
     /// Total frame length.
@@ -138,10 +142,12 @@ mod tests {
 
     #[test]
     fn checked_rejects_short() {
-        assert_eq!(
-            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
-            NetError::Truncated
-        );
+        let err = EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err();
+        let d = err.decode().unwrap();
+        assert_eq!(d.layer, Layer::Link);
+        assert_eq!(d.proto, "ethernet");
+        // Unchecked misuse over the same short buffer must not panic.
+        assert_eq!(EthernetFrame::new_unchecked(&[0u8; 13][..]).payload(), b"");
     }
 
     #[test]

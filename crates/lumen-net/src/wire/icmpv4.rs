@@ -1,7 +1,8 @@
 //! ICMPv4 messages (RFC 792).
 
 use crate::checksum;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, Layer};
+use crate::Result;
 
 /// ICMP header length (type, code, checksum, rest-of-header).
 pub const HEADER_LEN: usize = 8;
@@ -28,8 +29,9 @@ impl<T: AsRef<[u8]>> Icmpv4Packet<T> {
 
     /// Wraps a buffer, verifying the minimum length.
     pub fn new_checked(buffer: T) -> Result<Icmpv4Packet<T>> {
-        if buffer.as_ref().len() < HEADER_LEN {
-            return Err(NetError::Truncated);
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(DecodeError::truncated(Layer::Transport, "icmpv4", HEADER_LEN, len).into());
         }
         Ok(Icmpv4Packet { buffer })
     }
@@ -63,9 +65,10 @@ impl<T: AsRef<[u8]>> Icmpv4Packet<T> {
         u16::from_be_bytes([self.b()[6], self.b()[7]])
     }
 
-    /// Payload after the 8-byte header.
+    /// Payload after the 8-byte header (clamped to the buffer: never
+    /// panics, even over unchecked short messages).
     pub fn payload(&self) -> &[u8] {
-        &self.b()[HEADER_LEN..]
+        &self.b()[HEADER_LEN.min(self.b().len())..]
     }
 
     /// Verifies the message checksum (covers the whole message).

@@ -3,7 +3,8 @@
 use std::net::Ipv4Addr;
 
 use crate::checksum;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, DecodeReason, Layer};
+use crate::Result;
 
 /// Minimum (and, in Lumen-generated traffic, the only) IPv4 header length.
 pub const MIN_HEADER_LEN: usize = 20;
@@ -31,18 +32,49 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
     pub fn new_checked(buffer: T) -> Result<Ipv4Packet<T>> {
         let len = buffer.as_ref().len();
         if len < MIN_HEADER_LEN {
-            return Err(NetError::Truncated);
+            return Err(DecodeError::truncated(Layer::Net, "ipv4", MIN_HEADER_LEN, len).into());
         }
         let pkt = Ipv4Packet { buffer };
         if pkt.version() != 4 {
-            return Err(NetError::Malformed("ipv4 version"));
+            return Err(DecodeError::new(
+                Layer::Net,
+                "ipv4",
+                0,
+                DecodeReason::BadVersion {
+                    expected: 4,
+                    got: pkt.version(),
+                },
+            )
+            .into());
         }
         let ihl = pkt.header_len();
         if ihl < MIN_HEADER_LEN || ihl > len {
-            return Err(NetError::Malformed("ipv4 header length"));
+            // Checked in every build profile — a lying IHL must never slip
+            // through release binaries (it used to be a `debug_assert!`).
+            return Err(DecodeError::new(
+                Layer::Net,
+                "ipv4",
+                0,
+                DecodeReason::BadHeaderLen {
+                    len: ihl,
+                    min: MIN_HEADER_LEN,
+                    max: len,
+                },
+            )
+            .into());
         }
         if (pkt.total_length() as usize) < ihl {
-            return Err(NetError::Malformed("ipv4 total length"));
+            return Err(DecodeError::new(
+                Layer::Net,
+                "ipv4",
+                2,
+                DecodeReason::BadLength {
+                    len: pkt.total_length() as usize,
+                    min: ihl,
+                    max: u16::MAX as usize,
+                },
+            )
+            .into());
         }
         Ok(pkt)
     }
@@ -118,15 +150,19 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
         Ipv4Addr::new(b[16], b[17], b[18], b[19])
     }
 
-    /// Verifies the header checksum.
+    /// Verifies the header checksum. The header length is clamped to the
+    /// buffer so even `new_unchecked` misuse over hostile bytes cannot
+    /// panic (a lying IHL simply fails verification).
     pub fn verify_checksum(&self) -> bool {
-        checksum::verify(&self.b()[..self.header_len()])
+        let hl = self.header_len().min(self.b().len());
+        checksum::verify(&self.b()[..hl])
     }
 
     /// Payload bytes, bounded by the total-length field when it is shorter
-    /// than the buffer (trailing capture padding is excluded).
+    /// than the buffer (trailing capture padding is excluded). Clamped to
+    /// the buffer: never panics, even over unchecked hostile bytes.
     pub fn payload(&self) -> &[u8] {
-        let hl = self.header_len();
+        let hl = self.header_len().min(self.b().len());
         let end = (self.total_length() as usize).min(self.b().len());
         &self.b()[hl..end.max(hl)]
     }
@@ -137,10 +173,27 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
         self.buffer.as_mut()
     }
 
-    /// Writes version=4 and the header length (bytes, multiple of 4).
-    pub fn set_version_and_header_len(&mut self, header_len: usize) {
-        debug_assert!(header_len.is_multiple_of(4) && header_len >= MIN_HEADER_LEN);
+    /// Writes version=4 and the header length (bytes, multiple of 4,
+    /// 20..=60, within the buffer). Checked in every build profile — this
+    /// used to be a `debug_assert!`, which let release builds write a
+    /// silently-wrong IHL.
+    pub fn set_version_and_header_len(&mut self, header_len: usize) -> Result<()> {
+        let max = 60.min(self.b().len());
+        if !header_len.is_multiple_of(4) || header_len < MIN_HEADER_LEN || header_len > max {
+            return Err(DecodeError::new(
+                Layer::Net,
+                "ipv4",
+                0,
+                DecodeReason::BadHeaderLen {
+                    len: header_len,
+                    min: MIN_HEADER_LEN,
+                    max,
+                },
+            )
+            .into());
+        }
         self.m()[0] = 0x40 | ((header_len / 4) as u8);
+        Ok(())
     }
 
     /// Sets the DSCP/TOS byte.
@@ -188,15 +241,15 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
 
     /// Recomputes and stores the header checksum.
     pub fn fill_checksum(&mut self) {
-        let hl = self.header_len();
+        let hl = self.header_len().min(self.b().len());
         self.m()[10..12].copy_from_slice(&[0, 0]);
         let ck = checksum::internet(&self.b()[..hl]);
         self.m()[10..12].copy_from_slice(&ck.to_be_bytes());
     }
 
-    /// Mutable payload after the header.
+    /// Mutable payload after the header (clamped to the buffer).
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        let hl = self.header_len();
+        let hl = self.header_len().min(self.b().len());
         &mut self.m()[hl..]
     }
 }
@@ -209,7 +262,7 @@ mod tests {
         let mut buf = vec![0u8; MIN_HEADER_LEN + payload.len()];
         let total = buf.len() as u16;
         let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
-        p.set_version_and_header_len(MIN_HEADER_LEN);
+        p.set_version_and_header_len(MIN_HEADER_LEN).unwrap();
         p.set_total_length(total);
         p.set_identification(0xBEEF);
         p.set_dont_frag(true);
@@ -252,25 +305,66 @@ mod tests {
     fn rejects_wrong_version() {
         let mut buf = packet(b"");
         buf[0] = 0x60 | 5; // version 6
-        assert!(matches!(
-            Ipv4Packet::new_checked(&buf[..]),
-            Err(NetError::Malformed("ipv4 version"))
-        ));
+        let err = Ipv4Packet::new_checked(&buf[..]).unwrap_err();
+        let d = err.decode().expect("structured decode error");
+        assert_eq!(d.proto, "ipv4");
+        assert_eq!(d.reason, DecodeReason::BadVersion { expected: 4, got: 6 });
     }
 
     #[test]
     fn rejects_short_buffer() {
-        assert_eq!(
-            Ipv4Packet::new_checked(&[0u8; 19][..]).unwrap_err(),
-            NetError::Truncated
-        );
+        let err = Ipv4Packet::new_checked(&[0u8; 19][..]).unwrap_err();
+        let d = err.decode().expect("structured decode error");
+        assert_eq!(d.layer, Layer::Net);
+        assert_eq!(d.reason, DecodeReason::Truncated { needed: 20, have: 19 });
     }
 
     #[test]
-    fn rejects_bad_ihl() {
+    fn rejects_bad_ihl_with_structured_reason() {
+        // Regression: a lying IHL used to be guarded only by a
+        // `debug_assert!` on the write path; the checked decoder must
+        // refuse it in release builds too, with a BadHeaderLen reason.
         let mut buf = packet(b"");
         buf[0] = 0x41; // IHL = 4 bytes < 20
-        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+        let err = Ipv4Packet::new_checked(&buf[..]).unwrap_err();
+        let d = err.decode().expect("structured decode error");
+        assert_eq!(
+            d.reason,
+            DecodeReason::BadHeaderLen { len: 4, min: 20, max: 20 }
+        );
+
+        let mut long = packet(b"0123456789");
+        long[0] = 0x4F; // IHL = 60 bytes > 30-byte buffer
+        let err = Ipv4Packet::new_checked(&long[..]).unwrap_err();
+        assert!(matches!(
+            err.decode().unwrap().reason,
+            DecodeReason::BadHeaderLen { len: 60, .. }
+        ));
+    }
+
+    #[test]
+    fn header_len_setter_is_checked_in_release() {
+        let mut buf = vec![0u8; 40];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        assert!(p.set_version_and_header_len(8).is_err()); // < 20
+        assert!(p.set_version_and_header_len(22).is_err()); // not ×4
+        assert!(p.set_version_and_header_len(64).is_err()); // > 60
+        assert!(p.set_version_and_header_len(20).is_ok());
+        let mut short = vec![0u8; 24];
+        let mut p = Ipv4Packet::new_unchecked(&mut short[..]);
+        assert!(p.set_version_and_header_len(28).is_err()); // beyond buffer
+    }
+
+    #[test]
+    fn hostile_unchecked_accessors_never_panic() {
+        // IHL claims 60 bytes on a 20-byte buffer: clamped, not a panic.
+        let mut buf = packet(b"");
+        buf[0] = 0x4F;
+        let p = Ipv4Packet::new_unchecked(&buf[..]);
+        assert_eq!(p.payload(), b"");
+        assert!(!p.verify_checksum());
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        assert!(p.payload_mut().is_empty());
     }
 
     #[test]

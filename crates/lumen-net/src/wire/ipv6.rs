@@ -7,7 +7,8 @@
 
 use std::net::Ipv6Addr;
 
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, DecodeReason, Layer};
+use crate::Result;
 
 /// IPv6 fixed header length.
 pub const HEADER_LEN: usize = 40;
@@ -26,12 +27,22 @@ impl<T: AsRef<[u8]>> Ipv6Packet<T> {
 
     /// Wraps a buffer, validating the version and length.
     pub fn new_checked(buffer: T) -> Result<Ipv6Packet<T>> {
-        if buffer.as_ref().len() < HEADER_LEN {
-            return Err(NetError::Truncated);
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(DecodeError::truncated(Layer::Net, "ipv6", HEADER_LEN, len).into());
         }
         let p = Ipv6Packet { buffer };
         if p.version() != 6 {
-            return Err(NetError::Malformed("ipv6 version"));
+            return Err(DecodeError::new(
+                Layer::Net,
+                "ipv6",
+                0,
+                DecodeReason::BadVersion {
+                    expected: 6,
+                    got: p.version(),
+                },
+            )
+            .into());
         }
         Ok(p)
     }
@@ -85,10 +96,12 @@ impl<T: AsRef<[u8]>> Ipv6Packet<T> {
         Ipv6Addr::from(o)
     }
 
-    /// Payload after the fixed header, bounded by the payload-length field.
+    /// Payload after the fixed header, bounded by the payload-length
+    /// field. Clamped to the buffer: never panics over unchecked bytes.
     pub fn payload(&self) -> &[u8] {
+        let start = HEADER_LEN.min(self.b().len());
         let end = (HEADER_LEN + self.payload_length() as usize).min(self.b().len());
-        &self.b()[HEADER_LEN..end]
+        &self.b()[start..end.max(start)]
     }
 }
 
@@ -164,10 +177,11 @@ mod tests {
     #[test]
     fn rejects_v4_bytes() {
         let buf = [0x45u8; HEADER_LEN];
-        assert!(matches!(
-            Ipv6Packet::new_checked(&buf[..]),
-            Err(NetError::Malformed(_))
-        ));
+        let err = Ipv6Packet::new_checked(&buf[..]).unwrap_err();
+        assert_eq!(
+            err.decode().unwrap().reason,
+            DecodeReason::BadVersion { expected: 6, got: 4 }
+        );
     }
 
     #[test]

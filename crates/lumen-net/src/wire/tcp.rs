@@ -3,7 +3,8 @@
 use std::net::Ipv4Addr;
 
 use crate::checksum;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, DecodeReason, Layer};
+use crate::Result;
 
 /// Minimum TCP header length (no options).
 pub const MIN_HEADER_LEN: usize = 20;
@@ -94,12 +95,22 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
     pub fn new_checked(buffer: T) -> Result<TcpSegment<T>> {
         let len = buffer.as_ref().len();
         if len < MIN_HEADER_LEN {
-            return Err(NetError::Truncated);
+            return Err(DecodeError::truncated(Layer::Transport, "tcp", MIN_HEADER_LEN, len).into());
         }
         let seg = TcpSegment { buffer };
         let off = seg.header_len();
         if off < MIN_HEADER_LEN || off > len {
-            return Err(NetError::Malformed("tcp data offset"));
+            return Err(DecodeError::new(
+                Layer::Transport,
+                "tcp",
+                12,
+                DecodeReason::BadHeaderLen {
+                    len: off,
+                    min: MIN_HEADER_LEN,
+                    max: len,
+                },
+            )
+            .into());
         }
         Ok(seg)
     }
@@ -153,9 +164,10 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
         u16::from_be_bytes([self.b()[18], self.b()[19]])
     }
 
-    /// Payload bytes after the header.
+    /// Payload bytes after the header (clamped to the buffer: never
+    /// panics, even over unchecked hostile bytes).
     pub fn payload(&self) -> &[u8] {
-        &self.b()[self.header_len()..]
+        &self.b()[self.header_len().min(self.b().len())..]
     }
 
     /// Verifies the checksum against an IPv4 pseudo-header.
@@ -189,10 +201,24 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
         self.m()[8..12].copy_from_slice(&v.to_be_bytes());
     }
 
-    /// Sets the header length in bytes (multiple of 4).
-    pub fn set_header_len(&mut self, bytes: usize) {
-        debug_assert!(bytes.is_multiple_of(4) && bytes >= MIN_HEADER_LEN);
+    /// Sets the header length in bytes (multiple of 4, 20..=60). Checked
+    /// in every build profile, like the IPv4 IHL setter.
+    pub fn set_header_len(&mut self, bytes: usize) -> Result<()> {
+        if !bytes.is_multiple_of(4) || !(MIN_HEADER_LEN..=60).contains(&bytes) {
+            return Err(DecodeError::new(
+                Layer::Transport,
+                "tcp",
+                12,
+                DecodeReason::BadHeaderLen {
+                    len: bytes,
+                    min: MIN_HEADER_LEN,
+                    max: 60,
+                },
+            )
+            .into());
+        }
         self.m()[12] = ((bytes / 4) as u8) << 4;
+        Ok(())
     }
 
     /// Sets the flag byte.
@@ -212,9 +238,9 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
         self.m()[16..18].copy_from_slice(&ck.to_be_bytes());
     }
 
-    /// Mutable payload after the header.
+    /// Mutable payload after the header (clamped to the buffer).
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        let hl = self.header_len();
+        let hl = self.header_len().min(self.b().len());
         &mut self.m()[hl..]
     }
 }
@@ -233,7 +259,7 @@ mod tests {
         s.set_dst_port(51234);
         s.set_seq(0x1000_0000);
         s.set_ack(0x2000_0000);
-        s.set_header_len(MIN_HEADER_LEN);
+        s.set_header_len(MIN_HEADER_LEN).unwrap();
         s.set_flags(flags);
         s.set_window(65535);
         s.payload_mut().copy_from_slice(payload);
@@ -281,9 +307,28 @@ mod tests {
 
     #[test]
     fn rejects_short_and_bad_offset() {
-        assert!(TcpSegment::new_checked(&[0u8; 10][..]).is_err());
+        let err = TcpSegment::new_checked(&[0u8; 10][..]).unwrap_err();
+        assert!(matches!(
+            err.decode().unwrap().reason,
+            DecodeReason::Truncated { needed: 20, have: 10 }
+        ));
         let mut buf = segment(b"", TcpFlags::SYN);
         buf[12] = 0x10; // offset 4 bytes
-        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+        let err = TcpSegment::new_checked(&buf[..]).unwrap_err();
+        let d = err.decode().unwrap();
+        assert_eq!(d.offset, 12);
+        assert!(matches!(d.reason, DecodeReason::BadHeaderLen { len: 4, .. }));
+    }
+
+    #[test]
+    fn hostile_unchecked_payload_never_panics() {
+        let mut buf = segment(b"", TcpFlags::SYN);
+        buf[12] = 0xF0; // offset claims 60 bytes on a 20-byte buffer
+        let s = TcpSegment::new_unchecked(&buf[..]);
+        assert_eq!(s.payload(), b"");
+        let mut s = TcpSegment::new_unchecked(&mut buf[..]);
+        assert!(s.payload_mut().is_empty());
+        assert!(s.set_header_len(64).is_err());
+        assert!(s.set_header_len(30).is_err());
     }
 }

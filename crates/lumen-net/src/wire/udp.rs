@@ -3,7 +3,8 @@
 use std::net::Ipv4Addr;
 
 use crate::checksum;
-use crate::{NetError, Result};
+use crate::decode::{DecodeError, DecodeReason, Layer};
+use crate::Result;
 
 /// UDP header length.
 pub const HEADER_LEN: usize = 8;
@@ -24,12 +25,22 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
     pub fn new_checked(buffer: T) -> Result<UdpDatagram<T>> {
         let len = buffer.as_ref().len();
         if len < HEADER_LEN {
-            return Err(NetError::Truncated);
+            return Err(DecodeError::truncated(Layer::Transport, "udp", HEADER_LEN, len).into());
         }
         let dgram = UdpDatagram { buffer };
         let wire_len = dgram.length() as usize;
         if wire_len < HEADER_LEN || wire_len > len {
-            return Err(NetError::Malformed("udp length"));
+            return Err(DecodeError::new(
+                Layer::Transport,
+                "udp",
+                4,
+                DecodeReason::BadLength {
+                    len: wire_len,
+                    min: HEADER_LEN,
+                    max: len,
+                },
+            )
+            .into());
         }
         Ok(dgram)
     }
@@ -58,19 +69,29 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
         u16::from_be_bytes([self.b()[6], self.b()[7]])
     }
 
-    /// Payload bytes, bounded by the length field.
+    /// Payload bytes, bounded by the length field. Clamped to the buffer:
+    /// never panics, even over unchecked hostile bytes.
     pub fn payload(&self) -> &[u8] {
-        let end = (self.length() as usize).min(self.b().len());
-        &self.b()[HEADER_LEN..end.max(HEADER_LEN)]
+        let b = self.b();
+        if b.len() < HEADER_LEN {
+            return &[];
+        }
+        let end = (self.length() as usize).min(b.len());
+        &b[HEADER_LEN..end.max(HEADER_LEN)]
     }
 
     /// Verifies the checksum against an IPv4 pseudo-header. A zero wire
     /// checksum means "not computed" and verifies trivially (RFC 768).
+    /// The wire length is clamped to the buffer (a lying length fails
+    /// verification instead of panicking).
     pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.b().len() < HEADER_LEN {
+            return false;
+        }
         if self.checksum() == 0 {
             return true;
         }
-        let wire_len = self.length() as usize;
+        let wire_len = (self.length() as usize).min(self.b().len());
         checksum::pseudo_ipv4(src, dst, super::ipv4::protocol::UDP, &self.b()[..wire_len]) == 0
     }
 }
@@ -98,15 +119,16 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
     /// Recomputes and stores the checksum (mapping 0 to 0xFFFF per RFC 768).
     pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
         self.m()[6..8].copy_from_slice(&[0, 0]);
-        let wire_len = self.length() as usize;
+        let wire_len = (self.length() as usize).min(self.b().len());
         let ck = checksum::pseudo_ipv4(src, dst, super::ipv4::protocol::UDP, &self.b()[..wire_len]);
         let ck = if ck == 0 { 0xFFFF } else { ck };
         self.m()[6..8].copy_from_slice(&ck.to_be_bytes());
     }
 
-    /// Mutable payload after the header.
+    /// Mutable payload after the header (clamped to the buffer).
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        &mut self.m()[HEADER_LEN..]
+        let start = HEADER_LEN.min(self.b().len());
+        &mut self.m()[start..]
     }
 }
 
@@ -167,9 +189,22 @@ mod tests {
 
     #[test]
     fn rejects_short_buffer() {
-        assert_eq!(
-            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
-            NetError::Truncated
-        );
+        let err = UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err();
+        assert!(matches!(
+            err.decode().unwrap().reason,
+            DecodeReason::Truncated { needed: 8, have: 7 }
+        ));
+    }
+
+    #[test]
+    fn hostile_unchecked_accessors_never_panic() {
+        let d = UdpDatagram::new_unchecked(&[0u8; 3][..]);
+        assert_eq!(d.payload(), b"");
+        let mut buf = dgram(b"x");
+        buf[4] = 0xFF; // length lies far past the buffer
+        buf[5] = 0xFF;
+        let d = UdpDatagram::new_unchecked(&buf[..]);
+        assert_eq!(d.payload(), b"x");
+        assert!(!d.verify_checksum(SRC, DST));
     }
 }

@@ -148,3 +148,86 @@ proptest! {
         prop_assert_eq!(q[12] as usize, name_parts[0].len());
     }
 }
+
+// The no-panic guarantee, per wire format, at fuzzing depth: any byte
+// buffer through every checked constructor (and every accessor on
+// success) must return, never panic. 10k cases per format; the
+// deterministic seeded twin lives in `fuzz_decode.rs` for offline runs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    #[test]
+    fn ethernet_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(f) = lumen_net::wire::EthernetFrame::new_checked(&data[..]) {
+            let _ = (f.dst(), f.src(), f.ethertype(), f.total_len(), f.payload().len());
+        }
+    }
+
+    #[test]
+    fn ipv4_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(p) = lumen_net::wire::Ipv4Packet::new_checked(&data[..]) {
+            let _ = (p.header_len(), p.total_length(), p.frag_offset(), p.protocol());
+            let _ = (p.src(), p.dst(), p.verify_checksum(), p.payload().len());
+        }
+    }
+
+    #[test]
+    fn ipv6_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(p) = lumen_net::wire::Ipv6Packet::new_checked(&data[..]) {
+            let _ = (p.payload_length(), p.next_header(), p.hop_limit());
+            let _ = (p.src(), p.dst(), p.payload().len());
+        }
+    }
+
+    #[test]
+    fn arp_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(p) = lumen_net::wire::ArpPacket::new_checked(&data[..]) {
+            let _ = (p.operation(), p.sender_mac(), p.sender_ip(), p.target_mac(), p.target_ip());
+        }
+    }
+
+    #[test]
+    fn tcp_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        if let Ok(s) = lumen_net::wire::TcpSegment::new_checked(&data[..]) {
+            let _ = (s.src_port(), s.dst_port(), s.seq(), s.ack(), s.header_len());
+            let _ = (s.flags(), s.window(), s.verify_checksum(src, dst), s.payload().len());
+        }
+    }
+
+    #[test]
+    fn udp_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        if let Ok(d) = lumen_net::wire::UdpDatagram::new_checked(&data[..]) {
+            let _ = (d.src_port(), d.dst_port(), d.length());
+            let _ = (d.verify_checksum(src, dst), d.payload().len());
+        }
+    }
+
+    #[test]
+    fn icmpv4_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(p) = lumen_net::wire::Icmpv4Packet::new_checked(&data[..]) {
+            let _ = (p.msg_type(), p.code(), p.echo_id(), p.echo_seq());
+            let _ = (p.verify_checksum(), p.payload().len());
+        }
+    }
+
+    #[test]
+    fn dot11_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(f) = lumen_net::wire::Dot11Frame::new_checked(&data[..]) {
+            let _ = (f.frame_type(), f.frame_subtype(), f.addr1(), f.addr2(), f.addr3());
+            let _ = (f.sequence(), f.body().len(), f.reason_code());
+        }
+    }
+
+    /// The recovering pcap reader over arbitrary bytes: Err or a capture,
+    /// never a panic, and the stats always account for the kept packets.
+    #[test]
+    fn recovering_reader_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(rec) = pcap::from_bytes_recovering(&data, pcap::PcapLimits::default()) {
+            prop_assert_eq!(rec.packets.len() as u64, rec.stats.records);
+        }
+    }
+}

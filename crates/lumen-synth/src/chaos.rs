@@ -1,0 +1,325 @@
+//! Seeded capture corruption — the chaos half of the robustness story.
+//!
+//! Real IoT captures arrive damaged: interrupted tcpdump runs truncate the
+//! tail, flaky storage flips bits, buggy exporters write lying length
+//! fields, and clock steps make timestamps run backwards. The benchmark's
+//! ingestion path claims to survive all of that, so this module
+//! manufactures exactly those faults, deterministically, over the pcap
+//! *bytes* produced by [`lumen_net::pcap::to_bytes`].
+//!
+//! Faults operate on the serialized record framing (the writer emits
+//! little-endian microsecond captures, so field offsets are known), never
+//! on the 24-byte global header: a capture whose magic is gone is not
+//! recoverable by design, and corrupting it would just test an early
+//! `Err`, not the quarantine machinery.
+
+use lumen_util::Rng;
+
+/// How aggressively [`ChaosPcap`] corrupts a capture.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Fraction of records hit by a fault, in `[0, 1]`.
+    pub fault_rate: f64,
+    /// Cut the capture off mid-record at a random point (at most once).
+    pub truncate_tail: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            fault_rate: 0.05,
+            truncate_tail: true,
+        }
+    }
+}
+
+/// The fault kinds the engine injects. One is chosen per hit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosFault {
+    /// Record data cut short while the header still claims the full length.
+    TruncateRecord,
+    /// A single bit flipped somewhere in the record's packet data.
+    BitFlip,
+    /// caplen replaced by garbage: `0xFFFF_FFFF`, zero, or a giant value.
+    GarbageCaplen,
+    /// IPv4 IHL nibble replaced by a lying value.
+    GarbageIhl,
+    /// IPv4 total-length field replaced by a lying value.
+    GarbageTotalLen,
+    /// Transport checksum bytes flipped.
+    BadChecksum,
+    /// Record timestamp rewound so capture time runs backwards.
+    TimestampRegression,
+}
+
+const ALL_FAULTS: [ChaosFault; 7] = [
+    ChaosFault::TruncateRecord,
+    ChaosFault::BitFlip,
+    ChaosFault::GarbageCaplen,
+    ChaosFault::GarbageIhl,
+    ChaosFault::GarbageTotalLen,
+    ChaosFault::BadChecksum,
+    ChaosFault::TimestampRegression,
+];
+
+/// What a chaos pass actually did, for test assertions and run logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Records present in the input capture.
+    pub records: usize,
+    /// (fault, times injected), in [`ALL_FAULTS`] order, zero counts kept.
+    pub injected: Vec<(ChaosFault, usize)>,
+    /// Bytes cut from the end of the capture, 0 when not truncated.
+    pub tail_cut: usize,
+}
+
+impl ChaosReport {
+    /// Total faults injected (excluding the tail cut).
+    pub fn total(&self) -> usize {
+        self.injected.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Deterministic pcap corruption engine. The same seed over the same bytes
+/// produces the same damage, so chaos corpora are reproducible in CI.
+#[derive(Debug)]
+pub struct ChaosPcap {
+    rng: Rng,
+    cfg: ChaosConfig,
+}
+
+/// Byte offsets of one record within the capture.
+struct RecordSpan {
+    /// Offset of the 16-byte record header.
+    header: usize,
+    /// Length of the packet data following the header.
+    incl: usize,
+}
+
+impl ChaosPcap {
+    /// Creates an engine; equal seeds corrupt identically.
+    pub fn new(seed: u64, cfg: ChaosConfig) -> ChaosPcap {
+        ChaosPcap {
+            rng: Rng::new(seed).fork(0xC4A0_5C4A),
+            cfg,
+        }
+    }
+
+    /// Corrupts a serialized capture, returning the damaged bytes and a
+    /// report of the injected faults. The input must be a well-formed
+    /// little-endian capture (what [`lumen_net::pcap::to_bytes`] emits);
+    /// anything else is returned unchanged with an empty report.
+    pub fn corrupt(&mut self, bytes: &[u8]) -> (Vec<u8>, ChaosReport) {
+        let mut out = bytes.to_vec();
+        let mut report = ChaosReport {
+            injected: ALL_FAULTS.iter().map(|&f| (f, 0)).collect(),
+            ..ChaosReport::default()
+        };
+        let spans = scan_records(bytes);
+        report.records = spans.len();
+        if spans.is_empty() {
+            return (out, report);
+        }
+
+        for span in &spans {
+            if !self.rng.chance(self.cfg.fault_rate) {
+                continue;
+            }
+            let fault = *self.rng.choose(&ALL_FAULTS);
+            if self.apply(&mut out, span, fault) {
+                if let Some(slot) = ALL_FAULTS.iter().position(|&f| f == fault) {
+                    report.injected[slot].1 += 1;
+                }
+            }
+        }
+
+        if self.cfg.truncate_tail && !spans.is_empty() {
+            // Cut inside the last record so its header survives but its
+            // data (or trailing header bytes) do not.
+            let last = &spans[spans.len() - 1];
+            let keep = last.header + self.rng.below(15 + last.incl as u64) as usize;
+            report.tail_cut = out.len() - keep.min(out.len());
+            out.truncate(keep);
+        }
+        (out, report)
+    }
+
+    /// Applies one fault in place; false when the record is too small for
+    /// that fault kind (nothing was changed).
+    fn apply(&mut self, out: &mut [u8], span: &RecordSpan, fault: ChaosFault) -> bool {
+        let h = span.header;
+        let data = h + 16;
+        match fault {
+            ChaosFault::TruncateRecord => {
+                if span.incl < 2 {
+                    return false;
+                }
+                // Keep the claimed length, zero the data tail: the record
+                // "body" is now wrong-length framing for whatever follows.
+                // (In-place variant of a short write: we cannot remove
+                // bytes mid-buffer per record without reframing the rest,
+                // so instead lie upward about the length.)
+                let lie = span.incl as u32 + 1 + self.rng.below(64) as u32;
+                out[h + 8..h + 12].copy_from_slice(&lie.to_le_bytes());
+                true
+            }
+            ChaosFault::BitFlip => {
+                if span.incl == 0 {
+                    return false;
+                }
+                let at = data + self.rng.below(span.incl as u64) as usize;
+                let bit = self.rng.below(8) as u8;
+                out[at] ^= 1 << bit;
+                true
+            }
+            ChaosFault::GarbageCaplen => {
+                let garbage: u32 = match self.rng.below(3) {
+                    0 => u32::MAX,
+                    1 => 0x7FFF_FFFF,
+                    _ => 50_000_000,
+                };
+                out[h + 8..h + 12].copy_from_slice(&garbage.to_le_bytes());
+                true
+            }
+            ChaosFault::GarbageIhl => {
+                // Ethernet + IPv4: version/IHL byte sits at data+14.
+                let at = data + 14;
+                if span.incl < 15 || out[at] >> 4 != 4 {
+                    return false;
+                }
+                let ihl = if self.rng.chance(0.5) { 0x0 } else { 0xF };
+                out[at] = 0x40 | ihl;
+                true
+            }
+            ChaosFault::GarbageTotalLen => {
+                let at = data + 14;
+                if span.incl < 19 || out[at] >> 4 != 4 {
+                    return false;
+                }
+                let lie = 40_000 + self.rng.below(25_000) as u16;
+                out[at + 2..at + 4].copy_from_slice(&lie.to_be_bytes());
+                true
+            }
+            ChaosFault::BadChecksum => {
+                if span.incl < 4 {
+                    return false;
+                }
+                // Flip the last two data bytes: for TCP/UDP tails this
+                // lands in payload/checksum territory; either way the
+                // packet no longer checks out.
+                out[data + span.incl - 1] ^= 0xFF;
+                out[data + span.incl - 2] ^= 0xFF;
+                true
+            }
+            ChaosFault::TimestampRegression => {
+                // Rewind far enough that even micros-granular captures
+                // notice: subtract up to an hour from the seconds field.
+                let secs = u32::from_le_bytes([out[h], out[h + 1], out[h + 2], out[h + 3]]);
+                let back = 1 + self.rng.below(3_600) as u32;
+                out[h..h + 4].copy_from_slice(&secs.saturating_sub(back).to_le_bytes());
+                true
+            }
+        }
+    }
+}
+
+/// Walks the well-formed input's record framing. Returns an empty list for
+/// anything that is not a little-endian micros capture.
+fn scan_records(bytes: &[u8]) -> Vec<RecordSpan> {
+    let mut spans = Vec::new();
+    if bytes.len() < 24 || bytes[0..4] != 0xa1b2_c3d4u32.to_le_bytes() {
+        return spans;
+    }
+    let mut o = 24;
+    while o + 16 <= bytes.len() {
+        let incl =
+            u32::from_le_bytes([bytes[o + 8], bytes[o + 9], bytes[o + 10], bytes[o + 11]]) as usize;
+        if o + 16 + incl > bytes.len() {
+            break;
+        }
+        spans.push(RecordSpan { header: o, incl });
+        o += 16 + incl;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::pcap::{from_bytes_recovering, to_bytes, PcapLimits};
+    use lumen_net::{CapturedPacket, LinkType};
+
+    fn capture(n: usize) -> Vec<u8> {
+        let packets: Vec<CapturedPacket> = (0..n)
+            .map(|i| {
+                let mut data = vec![i as u8; 60];
+                data[14] = 0x45; // Ethernet + IPv4 shape for the L3-aware faults
+                CapturedPacket::new(1_000_000 * (i as u64 + 1), data)
+            })
+            .collect();
+        to_bytes(LinkType::Ethernet, &packets)
+    }
+
+    #[test]
+    fn same_seed_same_damage() {
+        let clean = capture(50);
+        let (a, ra) = ChaosPcap::new(7, ChaosConfig::default()).corrupt(&clean);
+        let (b, rb) = ChaosPcap::new(7, ChaosConfig::default()).corrupt(&clean);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        let (c, _) = ChaosPcap::new(8, ChaosConfig::default()).corrupt(&clean);
+        assert_ne!(a, c, "different seeds damage differently");
+    }
+
+    #[test]
+    fn fault_rate_one_hits_every_eligible_record() {
+        let clean = capture(40);
+        let cfg = ChaosConfig {
+            fault_rate: 1.0,
+            truncate_tail: false,
+        };
+        let (_, report) = ChaosPcap::new(3, cfg).corrupt(&clean);
+        assert_eq!(report.records, 40);
+        assert!(report.total() > 30, "most records damaged: {report:?}");
+    }
+
+    #[test]
+    fn zero_rate_without_truncation_is_identity() {
+        let clean = capture(10);
+        let cfg = ChaosConfig {
+            fault_rate: 0.0,
+            truncate_tail: false,
+        };
+        let (out, report) = ChaosPcap::new(1, cfg).corrupt(&clean);
+        assert_eq!(out, clean);
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.tail_cut, 0);
+    }
+
+    #[test]
+    fn recovering_reader_survives_heavy_chaos() {
+        let clean = capture(200);
+        let cfg = ChaosConfig {
+            fault_rate: 0.3,
+            truncate_tail: true,
+        };
+        let (dirty, report) = ChaosPcap::new(99, cfg).corrupt(&clean);
+        assert!(report.total() > 0);
+        let rec = from_bytes_recovering(&dirty, PcapLimits::default()).unwrap();
+        assert!(!rec.packets.is_empty(), "most records still decodable");
+        assert!(
+            !rec.stats.is_clean(),
+            "corruption must be visible in stats: {:?}",
+            rec.stats
+        );
+    }
+
+    #[test]
+    fn non_pcap_input_is_untouched() {
+        let junk = vec![0xEE; 100];
+        let (out, report) = ChaosPcap::new(5, ChaosConfig::default()).corrupt(&junk);
+        assert_eq!(out, junk);
+        assert_eq!(report.records, 0);
+        assert_eq!(report.total(), 0);
+    }
+}

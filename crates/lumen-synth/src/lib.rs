@@ -16,12 +16,14 @@
 //! across datasets, and that phenomenon needs real heterogeneity to appear.
 
 pub mod attacks;
+pub mod chaos;
 pub mod devices;
 pub mod labels;
 pub mod network;
 pub mod recipes;
 pub mod session;
 
+pub use chaos::{ChaosConfig, ChaosFault, ChaosPcap, ChaosReport};
 pub use labels::{connection_labels, uni_flow_labels};
 pub use network::{Endpoint, NetworkEnv};
 pub use recipes::{build_dataset, DatasetId, DatasetSpec, SynthScale};

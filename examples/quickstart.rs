@@ -33,8 +33,8 @@ fn main() {
     );
 
     // --- 3. Parse into the framework's packet source -------------------------
-    let (metas, skipped) = parse_capture(link, &packets, 4);
-    assert_eq!(skipped, 0);
+    let (metas, stats) = parse_capture(link, &packets, 4);
+    assert!(stats.is_clean(), "clean capture should decode fully");
     let labels: Vec<u8> = capture
         .labels
         .iter()

@@ -31,7 +31,7 @@
 //! let capture = build_dataset(DatasetId::F4, SynthScale::small(), 42);
 //!
 //! // 2. Parse it into the framework's packet source.
-//! let (metas, _skipped) = parse_capture(capture.link, &capture.packets, 4);
+//! let (metas, _stats) = parse_capture(capture.link, &capture.packets, 4);
 //! let labels: Vec<u8> = capture.labels.iter().map(|l| u8::from(l.malicious)).collect();
 //! let tags = vec![0u32; labels.len()];
 //! let source = Data::Packets(Arc::new(PacketData {

@@ -7,8 +7,8 @@ use lumen::prelude::*;
 
 fn source(id: DatasetId, seed: u64) -> (Data, LabeledCapture) {
     let capture = build_dataset(id, SynthScale::small(), seed);
-    let (metas, skipped) = parse_capture(capture.link, &capture.packets, 2);
-    assert_eq!(skipped, 0);
+    let (metas, stats) = parse_capture(capture.link, &capture.packets, 2);
+    assert!(stats.is_clean(), "clean capture should decode fully");
     let labels: Vec<u8> = capture
         .labels
         .iter()
