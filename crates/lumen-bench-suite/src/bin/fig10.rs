@@ -9,7 +9,7 @@ use lumen_synth::DatasetId;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig10");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
     let store = &run.store;
 

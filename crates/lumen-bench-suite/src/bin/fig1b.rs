@@ -7,7 +7,7 @@ use lumen_bench_suite::render::distribution_line;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig1b");
     println!("Figure 1b: same-dataset precision per algorithm (train/test split of one dataset)\n");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), false);
     for id in published_algos() {

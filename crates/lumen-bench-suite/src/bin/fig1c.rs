@@ -6,7 +6,7 @@ use lumen_bench_suite::render::distribution_line;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig1c");
     println!("Figure 1c: cross-dataset precision per algorithm (train on A, test on B)\n");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
     for id in published_algos() {

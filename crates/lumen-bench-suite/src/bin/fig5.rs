@@ -9,7 +9,7 @@ use lumen_synth::AttackKind;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig5");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), false);
     let store = &run.store;
 

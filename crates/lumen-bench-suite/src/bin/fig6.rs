@@ -24,7 +24,7 @@ fn main() {
         eprintln!("{why}");
         std::process::exit(2);
     });
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig6");
     let conn_sets = DatasetId::CONNECTION.to_vec();
 
     let improved = [

@@ -24,7 +24,7 @@ fn diffs(
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig7");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
     let store = &run.store;
 

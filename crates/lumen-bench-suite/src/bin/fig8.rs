@@ -6,7 +6,7 @@ use lumen_bench_suite::render::csv_series;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig8");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), false);
     let store = &run.store;
 

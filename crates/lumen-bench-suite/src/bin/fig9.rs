@@ -7,7 +7,7 @@ use lumen_bench_suite::render::distribution_line;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("fig9");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
     let store = &run.store;
 

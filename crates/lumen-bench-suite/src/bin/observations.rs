@@ -8,7 +8,7 @@ use lumen_synth::DatasetId;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let runner = cfg.runner();
+    let runner = cfg.matrix_runner("observations");
     println!("Running the full faithful matrix (same + cross)...\n");
     let run = runner.run_matrix(&published_algos(), &all_datasets(), true);
     let store = &run.store;

@@ -6,7 +6,7 @@ use lumen_algorithms::AlgorithmId;
 use lumen_synth::{DatasetId, SynthScale};
 
 use crate::datasets::DatasetRegistry;
-use crate::runner::{RunConfig, Runner};
+use crate::runner::{FaultKind, FaultSpec, RunBudget, RunConfig, Runner};
 
 /// Command-line configuration shared by every experiment binary.
 ///
@@ -14,8 +14,11 @@ use crate::runner::{RunConfig, Runner};
 /// nonzero when any journaled task genuinely failed), `--chaos` (corrupt
 /// every capture with the seeded fault-injection engine before ingestion),
 /// `--seed N`, `--threads N`, `--kernel-threads N`, `--duration SECONDS`,
-/// `--max-packets N`.
-#[derive(Debug, Clone, Copy)]
+/// `--max-packets N`; supervision flags `--task-deadline-ms N`,
+/// `--max-attempts N`, `--backoff-ms N`, `--resume JOURNAL.jsonl`, and
+/// `--fault ALGO:DATASET:KIND[:N]` (kinds: error, panic, hang:MS, slow:MS,
+/// transient:N).
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     pub scale: SynthScale,
     pub seed: u64,
@@ -29,6 +32,17 @@ pub struct ExpConfig {
     /// When true, captures are chaos-corrupted before ingestion and the
     /// journal records what the hardened decode path quarantined.
     pub chaos: bool,
+    /// Per-attempt task deadline, ms (0 = unlimited).
+    pub task_deadline_ms: u64,
+    /// Maximum attempts per task (transient failures/timeouts retry).
+    pub max_attempts: u32,
+    /// Base retry backoff, ms (doubles per attempt, capped).
+    pub backoff_ms: u64,
+    /// Path of a prior run's `{name}_journal.jsonl` write-ahead log to
+    /// resume from: completed tasks are replayed, the rest re-run.
+    pub resume: Option<String>,
+    /// Injected fault (`--fault`), for supervision testing end to end.
+    pub fault: Option<FaultSpec>,
 }
 
 impl ExpConfig {
@@ -45,6 +59,11 @@ impl ExpConfig {
             max_packets: 4000,
             strict: false,
             chaos: false,
+            task_deadline_ms: 0,
+            max_attempts: 1,
+            backoff_ms: 100,
+            resume: None,
+            fault: None,
         }
     }
 
@@ -55,7 +74,8 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --strict --chaos --seed N --threads N --kernel-threads N --duration S --max-packets N"
+                    "{why}; known flags: --fast --strict --chaos --seed N --threads N --kernel-threads N --duration S --max-packets N \
+                     --task-deadline-ms N --max-attempts N --backoff-ms N --resume JOURNAL.jsonl --fault ALGO:DATASET:KIND[:N]"
                 );
                 std::process::exit(2);
             }
@@ -107,6 +127,30 @@ impl ExpConfig {
                         .parse()
                         .map_err(|e| format!("--max-packets: {e}"))?;
                 }
+                "--task-deadline-ms" => {
+                    cfg.task_deadline_ms = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--task-deadline-ms: {e}"))?;
+                }
+                "--max-attempts" => {
+                    cfg.max_attempts = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--max-attempts: {e}"))?;
+                    if cfg.max_attempts == 0 {
+                        return Err("--max-attempts must be >= 1".into());
+                    }
+                }
+                "--backoff-ms" => {
+                    cfg.backoff_ms = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--backoff-ms: {e}"))?;
+                }
+                "--resume" => {
+                    cfg.resume = Some(value(&mut i)?.to_string());
+                }
+                "--fault" => {
+                    cfg.fault = Some(parse_fault(value(&mut i)?)?);
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
@@ -130,10 +174,107 @@ impl ExpConfig {
                 threads: self.threads,
                 kernel_threads: self.kernel_threads,
                 per_attack: true,
-                fault: None,
+                fault: self.fault,
+                budget: RunBudget {
+                    task_deadline_ms: self.task_deadline_ms,
+                    max_attempts: self.max_attempts,
+                    backoff_ms: self.backoff_ms,
+                },
             },
         )
     }
+
+    /// Builds the supervised runner for the matrix binary `name`: the
+    /// standard runner plus crash-safe checkpointing. The write-ahead log
+    /// lands at `$LUMEN_RESULTS_DIR/{name}_journal.jsonl` (or appends to
+    /// the `--resume` journal when no results dir is set); `--resume`
+    /// replays completed tasks from a prior run's log.
+    pub fn matrix_runner(&self, name: &str) -> Runner {
+        let mut runner = self.runner();
+        if let Some(path) = &self.resume {
+            runner = runner
+                .with_resume_from(std::path::Path::new(path))
+                .unwrap_or_else(|e| {
+                    eprintln!("--resume {path}: {e}");
+                    std::process::exit(2);
+                });
+        }
+        let wal_path = std::env::var("LUMEN_RESULTS_DIR")
+            .ok()
+            .map(|dir| std::path::PathBuf::from(dir).join(format!("{name}_journal.jsonl")))
+            .or_else(|| self.resume.as_ref().map(std::path::PathBuf::from));
+        if let Some(path) = wal_path {
+            // A fresh (non-resume) run starts a fresh log: stale records
+            // from an earlier run must not leak into a later `--resume`.
+            let resuming_same_file = self
+                .resume
+                .as_ref()
+                .is_some_and(|r| std::path::Path::new(r) == path.as_path());
+            if !resuming_same_file {
+                std::fs::remove_file(&path).ok();
+            }
+            runner = runner.with_wal_path(&path).unwrap_or_else(|e| {
+                eprintln!("cannot open write-ahead log {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        }
+        runner
+    }
+}
+
+fn algo_by_code(code: &str) -> Result<AlgorithmId, String> {
+    AlgorithmId::ALL
+        .iter()
+        .copied()
+        .find(|a| a.code() == code)
+        .ok_or_else(|| format!("unknown algorithm code {code:?}"))
+}
+
+fn dataset_by_code(code: &str) -> Result<DatasetId, String> {
+    DatasetId::ALL
+        .iter()
+        .copied()
+        .find(|d| d.code() == code)
+        .ok_or_else(|| format!("unknown dataset code {code:?}"))
+}
+
+/// Parses a `--fault` spec: `ALGO:DATASET:KIND[:N]`, e.g. `A14:F4:error`,
+/// `A14:F4:hang:60000`, `A14:F4:transient:2`.
+pub fn parse_fault(spec: &str) -> Result<FaultSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 3 {
+        return Err(format!(
+            "--fault needs ALGO:DATASET:KIND[:N], got {spec:?}"
+        ));
+    }
+    let algo = algo_by_code(parts[0])?;
+    let dataset = dataset_by_code(parts[1])?;
+    let num = |what: &str| -> Result<u64, String> {
+        parts
+            .get(3)
+            .ok_or_else(|| format!("--fault kind {what} needs a value, e.g. {what}:500"))?
+            .parse()
+            .map_err(|e| format!("--fault {what} value: {e}"))
+    };
+    let kind = match parts[2] {
+        "error" => FaultKind::Error,
+        "panic" => FaultKind::Panic,
+        "hang" => FaultKind::Hang { ms: num("hang")? },
+        "slow" => FaultKind::Slow { ms: num("slow")? },
+        "transient" => FaultKind::Transient {
+            fail_first_n: num("transient")? as u32,
+        },
+        other => {
+            return Err(format!(
+                "unknown fault kind {other:?} (error, panic, hang:MS, slow:MS, transient:N)"
+            ))
+        }
+    };
+    Ok(FaultSpec {
+        algo,
+        dataset,
+        kind,
+    })
 }
 
 /// The packet-granularity published algorithms (A00–A06).
@@ -313,6 +454,62 @@ mod tests {
         assert!(!parse(&[]).unwrap().chaos);
         assert!(parse(&["--chaos"]).unwrap().chaos);
         assert!(parse(&["--fast", "--chaos", "--strict"]).unwrap().chaos);
+    }
+
+    #[test]
+    fn supervision_flags_are_parsed() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.task_deadline_ms, 0);
+        assert_eq!(cfg.max_attempts, 1);
+        assert!(cfg.resume.is_none());
+        let cfg = parse(&[
+            "--task-deadline-ms",
+            "5000",
+            "--max-attempts",
+            "3",
+            "--backoff-ms",
+            "50",
+            "--resume",
+            "results/fig8_journal.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(cfg.task_deadline_ms, 5000);
+        assert_eq!(cfg.max_attempts, 3);
+        assert_eq!(cfg.backoff_ms, 50);
+        assert_eq!(cfg.resume.as_deref(), Some("results/fig8_journal.jsonl"));
+        assert!(parse(&["--max-attempts", "0"]).is_err());
+        assert!(parse(&["--task-deadline-ms", "x"]).is_err());
+        assert!(parse(&["--resume"]).is_err());
+    }
+
+    #[test]
+    fn fault_specs_parse_every_kind() {
+        use crate::runner::FaultKind;
+        let f = parse_fault("A14:F4:error").unwrap();
+        assert_eq!(f.algo, AlgorithmId::A14);
+        assert_eq!(f.dataset, DatasetId::F4);
+        assert_eq!(f.kind, FaultKind::Error);
+        assert_eq!(parse_fault("A14:F4:panic").unwrap().kind, FaultKind::Panic);
+        assert_eq!(
+            parse_fault("A14:F4:hang:60000").unwrap().kind,
+            FaultKind::Hang { ms: 60000 }
+        );
+        assert_eq!(
+            parse_fault("A14:F4:slow:250").unwrap().kind,
+            FaultKind::Slow { ms: 250 }
+        );
+        assert_eq!(
+            parse_fault("A14:F4:transient:2").unwrap().kind,
+            FaultKind::Transient { fail_first_n: 2 }
+        );
+        assert!(parse_fault("A99:F4:error").is_err());
+        assert!(parse_fault("A14:F99:error").is_err());
+        assert!(parse_fault("A14:F4:wat").is_err());
+        assert!(parse_fault("A14:F4:hang").is_err(), "hang needs ms");
+        assert!(parse_fault("A14").is_err());
+        let cfg = parse(&["--fault", "A14:F4:transient:1"]).unwrap();
+        assert!(cfg.fault.is_some());
+        assert!(parse(&["--fault", "nope"]).is_err());
     }
 
     #[test]

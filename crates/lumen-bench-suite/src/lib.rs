@@ -20,8 +20,8 @@ pub mod runner;
 pub mod store;
 
 pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
-pub use journal::{IngestEntry, JournalEntry, RunJournal, TaskOutcome};
-pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunConfig, Runner};
+pub use journal::{AttemptRecord, IngestEntry, JournalEntry, RunJournal, TaskOutcome, WalRecord};
+pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunBudget, RunConfig, Runner};
 pub use store::{ResultRow, ResultStore};
 
 /// Errors surfaced by the suite.
@@ -39,6 +39,13 @@ pub enum BenchError {
     Io(std::io::Error),
     /// Serialization failure.
     Serde(String),
+    /// A failure worth retrying (injected transient faults, resource
+    /// contention); the supervised runner re-runs these with backoff up to
+    /// `RunBudget::max_attempts`.
+    Transient {
+        /// What went wrong.
+        why: String,
+    },
 }
 
 impl std::fmt::Display for BenchError {
@@ -50,7 +57,29 @@ impl std::fmt::Display for BenchError {
             BenchError::Core(e) => write!(f, "core: {e}"),
             BenchError::Io(e) => write!(f, "io: {e}"),
             BenchError::Serde(e) => write!(f, "serde: {e}"),
+            BenchError::Transient { why } => write!(f, "transient: {why}"),
         }
+    }
+}
+
+impl BenchError {
+    /// Transient vs. permanent classification for the retry loop.
+    ///
+    /// | variant                      | class      | runner behavior        |
+    /// |------------------------------|------------|------------------------|
+    /// | `Incompatible`               | skip       | journal skip, no retry |
+    /// | `Core(CoreError::Cancelled)` | timeout    | retryable, `TimedOut`  |
+    /// | `Transient`                  | transient  | retry with backoff     |
+    /// | `Io`                         | transient  | retry with backoff     |
+    /// | everything else              | permanent  | journal `Failed`       |
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BenchError::Transient { .. } | BenchError::Io(_))
+    }
+
+    /// True when the error is the cooperative-cancellation signal (the
+    /// per-task deadline fired and unwound the work).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, BenchError::Core(lumen_core::CoreError::Cancelled))
     }
 }
 

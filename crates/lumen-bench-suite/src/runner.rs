@@ -7,10 +7,14 @@
 //! (§5.4) evaluations. Feature extraction is shared across algorithms and
 //! runs through the framework's [`lumen_core::cache::FeatureCache`].
 
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lumen_algorithms::{algorithm, Algorithm, AlgorithmId};
 use lumen_core::cache::FeatureCache;
@@ -19,11 +23,12 @@ use lumen_core::par::panic_message;
 use lumen_core::{CoreError, OpsProfile, Table};
 use lumen_ml::metrics::{confusion, roc_auc};
 use lumen_synth::{AttackKind, DatasetId};
+use lumen_util::cancel::CancelToken;
 use lumen_util::Rng;
 use parking_lot::Mutex;
 
 use crate::datasets::{attack_tag, BenchDataset, DatasetRegistry};
-use crate::journal::{JournalEntry, RunJournal, TaskOutcome};
+use crate::journal::{load_wal, AttemptRecord, JournalEntry, RunJournal, TaskOutcome, WalRecord};
 use crate::store::{ResultRow, ResultStore};
 use crate::{BenchError, BenchResult};
 
@@ -43,6 +48,24 @@ pub enum FaultKind {
     Error,
     /// The task panics in its worker thread.
     Panic,
+    /// The task hangs for `ms` before proceeding — stands in for a wedged
+    /// trainer. Polls the thread's [`CancelToken`] every few ms, so under a
+    /// deadline it unwinds as `Cancelled` well within 2x the budget.
+    Hang {
+        /// How long the hang lasts if never cancelled, ms.
+        ms: u64,
+    },
+    /// The task is delayed by `ms` (cancellable) and then runs normally.
+    Slow {
+        /// Added latency, ms.
+        ms: u64,
+    },
+    /// The task fails transiently on its first `fail_first_n` attempts and
+    /// succeeds afterwards — exercises the retry-with-backoff path.
+    Transient {
+        /// Number of leading attempts that fail.
+        fail_first_n: u32,
+    },
 }
 
 /// Fault-injection point: every matrix task that trains `algo` on `dataset`
@@ -57,6 +80,38 @@ pub struct FaultSpec {
     pub dataset: DatasetId,
     /// How the task fails.
     pub kind: FaultKind,
+}
+
+/// Per-task execution budget for supervised matrix runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Per-*attempt* deadline enforced by a cooperative [`CancelToken`]
+    /// (0 = unlimited). A task that exceeds it unwinds as `Cancelled` and
+    /// is journaled `TimedOut` once its attempts are exhausted.
+    pub task_deadline_ms: u64,
+    /// Maximum attempts per task (>= 1). Transient failures and timeouts
+    /// are retried up to this bound; permanent failures never retry.
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles per retry, capped at 10 s.
+    pub backoff_ms: u64,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            task_deadline_ms: 0,
+            max_attempts: 1,
+            backoff_ms: 100,
+        }
+    }
+}
+
+impl RunBudget {
+    /// Bounded exponential backoff before attempt `attempt + 1`.
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(6);
+        Duration::from_millis(self.backoff_ms.saturating_mul(1 << shift).min(10_000))
+    }
 }
 
 /// Runner configuration.
@@ -77,6 +132,8 @@ pub struct RunConfig {
     pub per_attack: bool,
     /// Optional injected fault (test/chaos instrumentation).
     pub fault: Option<FaultSpec>,
+    /// Per-task deadline/retry budget.
+    pub budget: RunBudget,
 }
 
 impl Default for RunConfig {
@@ -88,6 +145,7 @@ impl Default for RunConfig {
             kernel_threads: 0,
             per_attack: false,
             fault: None,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -116,6 +174,9 @@ pub struct MatrixRun {
     pub journal: RunJournal,
 }
 
+/// A task's identity key in the write-ahead log: (algo, train, test, mode).
+type TaskKey = (String, String, String, String);
+
 /// The evaluation runner.
 pub struct Runner {
     /// Dataset registry (shared, lazily built).
@@ -127,6 +188,11 @@ pub struct Runner {
     pub ops_profile: Mutex<OpsProfile>,
     /// Configuration.
     pub config: RunConfig,
+    /// Write-ahead log: one fsync'd [`WalRecord`] line per finished task.
+    wal: Option<Mutex<File>>,
+    /// Completed-task records loaded from a prior run's WAL (last record
+    /// per task key wins); `Ok` tasks are replayed instead of re-run.
+    resume: HashMap<TaskKey, WalRecord>,
 }
 
 impl Runner {
@@ -146,6 +212,63 @@ impl Runner {
             cache: FeatureCache::new(),
             ops_profile: Mutex::new(OpsProfile::new()),
             config,
+            wal: None,
+            resume: HashMap::new(),
+        }
+    }
+
+    /// Enables the crash-safe write-ahead log: every finished matrix task
+    /// is appended to `path` as one JSON line (entry + rows) and fsync'd,
+    /// so a killed run loses at most the line being written.
+    pub fn with_wal_path(mut self, path: &Path) -> BenchResult<Runner> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        self.wal = Some(Mutex::new(file));
+        Ok(self)
+    }
+
+    /// Loads a prior run's write-ahead log for resume: tasks recorded `Ok`
+    /// are replayed (entry + rows) without re-executing; failed/timed-out
+    /// tasks re-run. Torn trailing lines (SIGKILL mid-append) are skipped.
+    pub fn with_resume_from(mut self, path: &Path) -> BenchResult<Runner> {
+        for rec in load_wal(path)? {
+            let key = (
+                rec.entry.algo.clone(),
+                rec.entry.train.clone(),
+                rec.entry.test.clone(),
+                rec.entry.mode.clone(),
+            );
+            self.resume.insert(key, rec);
+        }
+        Ok(self)
+    }
+
+    /// Appends one finished task to the WAL (no-op without a WAL). WAL
+    /// write errors are reported but never abort the matrix — the journal
+    /// in memory stays authoritative.
+    fn wal_append(&self, entry: &JournalEntry, rows: &[ResultRow]) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        let rec = WalRecord {
+            entry: entry.clone(),
+            rows: rows.to_vec(),
+        };
+        let line = rec.to_wal_line();
+        let mut f = wal.lock();
+        if let Err(e) = f
+            .write_all(line.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .and_then(|()| f.sync_data())
+        {
+            eprintln!("wal append failed (continuing without checkpoint): {e}");
         }
     }
 
@@ -301,6 +424,43 @@ impl Runner {
         rows
     }
 
+    /// The shared train -> evaluate -> stage-timing block of every
+    /// evaluation mode. Polls `token` between stages so a supervised task
+    /// stops at the next stage boundary once its deadline fires (the
+    /// trainers and the pipeline engine poll the same thread-current token
+    /// at finer grain).
+    fn train_and_eval(
+        &self,
+        algo: &Algorithm,
+        token: &CancelToken,
+        train: &Arc<Table>,
+        test: &Arc<Table>,
+        extract_ms: u64,
+    ) -> BenchResult<(Arc<PredOutput>, StageTimes)> {
+        if token.is_cancelled() {
+            return Err(BenchError::Core(CoreError::Cancelled));
+        }
+        let start = Instant::now();
+        let trained = algo
+            .train(train, self.config.seed)
+            .map_err(BenchError::from)?;
+        let train_ms = start.elapsed().as_millis() as u64;
+        if token.is_cancelled() {
+            return Err(BenchError::Core(CoreError::Cancelled));
+        }
+        let start = Instant::now();
+        let (_report, preds) = algo.evaluate(&trained, test).map_err(BenchError::from)?;
+        let test_ms = start.elapsed().as_millis() as u64;
+        Ok((
+            preds,
+            StageTimes {
+                extract_ms,
+                train_ms,
+                test_ms,
+            },
+        ))
+    }
+
     /// Same-dataset evaluation: stratified split, train, test.
     pub fn run_same(&self, id: AlgorithmId, ds_id: DatasetId) -> BenchResult<Vec<ResultRow>> {
         let algo = algorithm(id);
@@ -309,7 +469,6 @@ impl Runner {
         let start = Instant::now();
         let features = self.features(&algo, &ds)?;
         let extract_ms = start.elapsed().as_millis() as u64;
-        let start = Instant::now();
         let (train, test) = Self::split(&features, self.config.train_frac, self.config.seed);
         if train.labels.iter().all(|&l| l == 1) || train.labels.iter().all(|&l| l == 0) {
             return Err(Self::incompatible(
@@ -320,18 +479,8 @@ impl Runner {
         }
         let train = Arc::new(train);
         let test = Arc::new(test);
-        let trained = algo
-            .train(&train, self.config.seed)
-            .map_err(BenchError::from)?;
-        let train_ms = start.elapsed().as_millis() as u64;
-        let start = Instant::now();
-        let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
-        let test_ms = start.elapsed().as_millis() as u64;
-        let stages = StageTimes {
-            extract_ms,
-            train_ms,
-            test_ms,
-        };
+        let (preds, stages) =
+            self.train_and_eval(&algo, &CancelToken::current(), &train, &test, extract_ms)?;
         let mut rows = vec![Self::make_row(
             &algo,
             ds.code(),
@@ -380,19 +529,8 @@ impl Runner {
                 "training data is single-class".into(),
             ));
         }
-        let start = Instant::now();
-        let trained = algo
-            .train(&train, self.config.seed)
-            .map_err(BenchError::from)?;
-        let train_ms = start.elapsed().as_millis() as u64;
-        let start = Instant::now();
-        let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
-        let test_ms = start.elapsed().as_millis() as u64;
-        let stages = StageTimes {
-            extract_ms,
-            train_ms,
-            test_ms,
-        };
+        let (preds, stages) =
+            self.train_and_eval(&algo, &CancelToken::current(), &train, &test, extract_ms)?;
         let mut rows = vec![Self::make_row(
             &algo,
             train_ds.code(),
@@ -472,21 +610,10 @@ impl Runner {
             ))));
         };
         let extract_ms = start.elapsed().as_millis() as u64;
-        let start = Instant::now();
         let train = Arc::new(train);
         let test = Arc::new(test);
-        let trained = algo
-            .train(&train, self.config.seed)
-            .map_err(BenchError::from)?;
-        let train_ms = start.elapsed().as_millis() as u64;
-        let start = Instant::now();
-        let (_report, preds) = algo.evaluate(&trained, &test).map_err(BenchError::from)?;
-        let test_ms = start.elapsed().as_millis() as u64;
-        let stages = StageTimes {
-            extract_ms,
-            train_ms,
-            test_ms,
-        };
+        let (preds, stages) =
+            self.train_and_eval(&algo, &CancelToken::current(), &train, &test, extract_ms)?;
         let mut rows = vec![Self::make_row(
             &algo,
             "MIX",
@@ -548,12 +675,29 @@ impl Runner {
         Ok(rows)
     }
 
+    /// Sleeps for `total_ms`, polling the thread's [`CancelToken`] every
+    /// few ms; unwinds as `Cancelled` once a deadline fires, so an injected
+    /// hang under a deadline resolves well within 2x the budget.
+    fn cooperative_sleep(total_ms: u64) -> BenchResult<()> {
+        let until = Instant::now() + Duration::from_millis(total_ms);
+        while Instant::now() < until {
+            if CancelToken::current_cancelled() {
+                return Err(BenchError::Core(CoreError::Cancelled));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
     /// Executes one matrix task, honoring the fault-injection hook.
+    /// `attempt` is 1-based — the `Transient` fault kind fails while
+    /// `attempt <= fail_first_n` and succeeds afterwards.
     fn exec_task(
         &self,
         a: AlgorithmId,
         train: DatasetId,
         test: DatasetId,
+        attempt: u32,
     ) -> BenchResult<Vec<ResultRow>> {
         if let Some(fault) = self.config.fault {
             if fault.algo == a && fault.dataset == train {
@@ -565,6 +709,16 @@ impl Runner {
                         }))
                     }
                     FaultKind::Panic => panic!("injected fault panic"),
+                    FaultKind::Hang { ms } | FaultKind::Slow { ms } => {
+                        Self::cooperative_sleep(ms)?;
+                    }
+                    FaultKind::Transient { fail_first_n } => {
+                        if attempt <= fail_first_n {
+                            return Err(BenchError::Transient {
+                                why: format!("injected transient failure (attempt {attempt})"),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -573,6 +727,95 @@ impl Runner {
         } else {
             self.run_cross(a, train, test)
         }
+    }
+
+    /// Runs one task under supervision: a per-attempt deadline token,
+    /// bounded-exponential-backoff retries for transient failures and
+    /// timeouts, panic containment, and a full attempt ledger. Returns the
+    /// final journal entry plus any result rows.
+    fn run_supervised(
+        &self,
+        a: AlgorithmId,
+        train: DatasetId,
+        test: DatasetId,
+        mode: &str,
+    ) -> (JournalEntry, Vec<ResultRow>) {
+        let budget = self.config.budget;
+        let max_attempts = budget.max_attempts.max(1);
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let (outcome, rows) = loop {
+            let attempt = attempts.len() as u32 + 1;
+            let token = CancelToken::with_deadline_ms(budget.task_deadline_ms);
+            let guard = token.set_current();
+            let started = Instant::now();
+            // A panic in one task must not take down the matrix: catch it
+            // and classify it as a permanent failure.
+            let result =
+                catch_unwind(AssertUnwindSafe(|| self.exec_task(a, train, test, attempt)))
+                    .unwrap_or_else(|payload| {
+                        Err(BenchError::Core(CoreError::OpFailed {
+                            op: "matrix task".into(),
+                            why: format!("panic: {}", panic_message(payload.as_ref())),
+                        }))
+                    });
+            drop(guard);
+            let wall_ms = started.elapsed().as_millis() as u64;
+            match result {
+                Ok(rows) => {
+                    attempts.push(AttemptRecord {
+                        attempt,
+                        status: "ok".into(),
+                        error: String::new(),
+                        wall_ms,
+                    });
+                    break (TaskOutcome::Ok, rows);
+                }
+                Err(BenchError::Incompatible { why, .. }) => {
+                    // Late incompatibility (e.g. single-class split) is the
+                    // faithfulness rule working, not a failure — no retry.
+                    break (TaskOutcome::SkippedIncompatible { why }, Vec::new());
+                }
+                Err(e) => {
+                    let timed_out = token.deadline_expired() || e.is_cancelled();
+                    let retryable = timed_out || e.is_transient();
+                    attempts.push(AttemptRecord {
+                        attempt,
+                        status: if timed_out { "timed_out" } else { "failed" }.into(),
+                        error: e.to_string(),
+                        wall_ms,
+                    });
+                    if !retryable || attempt >= max_attempts {
+                        break if timed_out {
+                            (
+                                TaskOutcome::TimedOut {
+                                    attempt,
+                                    deadline_ms: budget.task_deadline_ms,
+                                },
+                                Vec::new(),
+                            )
+                        } else {
+                            (
+                                TaskOutcome::Failed {
+                                    error: e.to_string(),
+                                },
+                                Vec::new(),
+                            )
+                        };
+                    }
+                    std::thread::sleep(budget.backoff_for(attempt));
+                }
+            }
+        };
+        let mut entry = JournalEntry::untimed(a.code(), train.code(), test.code(), mode, outcome);
+        // The whole-test row (attack == None) carries the stage timings.
+        if let Some(r) = rows.iter().find(|r| r.attack.is_none()) {
+            entry.extract_ms = r.extract_ms;
+            entry.train_ms = r.train_ms;
+            entry.test_ms = r.test_ms;
+            entry.wall_ms = r.wall_ms;
+        }
+        entry.attempts = attempts;
+        (entry, rows)
     }
 
     /// Runs the full faithful matrix: every (algorithm, train, test)
@@ -629,6 +872,7 @@ impl Runner {
         let store = Mutex::new(ResultStore::new());
         let journal = Mutex::new(journal);
         let next = AtomicUsize::new(0);
+        let reused = AtomicUsize::new(0);
         let threads = self.config.threads.max(1);
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
@@ -639,32 +883,44 @@ impl Runner {
                     }
                     let (a, train, test) = tasks[i];
                     let mode = if train == test { "same" } else { "cross" };
-                    // A panic in one task must not take down the matrix:
-                    // catch it and journal it as a failure.
-                    let result = catch_unwind(AssertUnwindSafe(|| self.exec_task(a, train, test)))
-                        .unwrap_or_else(|payload| {
-                            Err(BenchError::Core(CoreError::OpFailed {
-                                op: "matrix task".into(),
-                                why: format!("panic: {}", panic_message(payload.as_ref())),
-                            }))
-                        });
-                    journal.lock().record_result(
-                        a.code(),
-                        train.code(),
-                        test.code(),
-                        mode,
-                        &result,
+                    // Resume: a task the prior run completed is replayed
+                    // from its WAL record — entry and rows, no re-execution.
+                    // Failed/timed-out records fall through and re-run.
+                    let key = (
+                        a.code().to_string(),
+                        train.code().to_string(),
+                        test.code().to_string(),
+                        mode.to_string(),
                     );
-                    if let Ok(rows) = result {
-                        let mut s = store.lock();
-                        for r in rows {
-                            s.push(r);
+                    if let Some(rec) = self.resume.get(&key) {
+                        if rec.entry.outcome == TaskOutcome::Ok {
+                            reused.fetch_add(1, Ordering::Relaxed);
+                            self.wal_append(&rec.entry, &rec.rows);
+                            journal.lock().push(rec.entry.clone());
+                            let mut s = store.lock();
+                            for r in rec.rows.iter().cloned() {
+                                s.push(r);
+                            }
+                            continue;
                         }
+                    }
+                    let (entry, rows) = self.run_supervised(a, train, test, mode);
+                    // Checkpoint before publishing: once the line is
+                    // fsync'd, a crash cannot lose this task.
+                    self.wal_append(&entry, &rows);
+                    journal.lock().push(entry);
+                    let mut s = store.lock();
+                    for r in rows {
+                        s.push(r);
                     }
                 });
             }
         })
         .expect("runner scope");
+        let reused = reused.into_inner();
+        if reused > 0 {
+            eprintln!("resume: replayed {reused} completed task(s) from the write-ahead log");
+        }
         // Fold the per-op kernel timings accumulated during this matrix
         // into the ops profile, next to the feature-extraction ops.
         let delta = lumen_ml::kernels::profile_snapshot().delta_since(&kernels_before);
@@ -675,6 +931,10 @@ impl Runner {
             }
         }
         let mut store = store.into_inner();
+        // Resume merges WAL-replayed rows with freshly computed ones; if a
+        // WAL ever carries both a stale and a fresh record for one task,
+        // the newest row per (algo, train, test, mode, attack) wins.
+        store.dedup_by_task();
         sort_store(&mut store);
         let mut journal = journal.into_inner();
         // Ingestion quarantine + flow-table eviction accounting: what the
@@ -1009,6 +1269,317 @@ mod tests {
                 + te1.labels.iter().filter(|&&l| l == 1).count(),
             1
         );
+    }
+
+    fn small_registry(seed: u64) -> Arc<DatasetRegistry> {
+        Arc::new(DatasetRegistry::new(SynthScale::small(), seed).with_max_packets(1500))
+    }
+
+    #[test]
+    fn expired_token_cancels_a_direct_run() {
+        let r = runner();
+        let token = CancelToken::with_deadline_ms(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let _g = token.set_current();
+        let err = r.run_same(AlgorithmId::A14, DatasetId::F4).unwrap_err();
+        assert!(err.is_cancelled(), "got: {err}");
+    }
+
+    #[test]
+    fn hang_fault_times_out_and_matrix_completes() {
+        let r = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 2,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Hang { ms: 60_000 },
+                }),
+                budget: RunBudget {
+                    task_deadline_ms: 200,
+                    max_attempts: 1,
+                    backoff_ms: 1,
+                },
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4, DatasetId::F6], false);
+        // The hung task became a journaled timeout; the rest completed.
+        assert_eq!(run.journal.ok_count(), 1);
+        assert_eq!(run.journal.timed_out_count(), 1);
+        assert!(run.journal.has_failures(), "--strict must flag the timeout");
+        let t = run.journal.timeouts().next().unwrap();
+        assert_eq!((t.algo.as_str(), t.train.as_str()), ("A14", "F4"));
+        assert!(matches!(
+            t.outcome,
+            TaskOutcome::TimedOut {
+                attempt: 1,
+                deadline_ms: 200
+            }
+        ));
+        // The cooperative unwind resolved within ~2x the deadline.
+        assert_eq!(t.attempts.len(), 1);
+        assert_eq!(t.attempts[0].status, "timed_out");
+        assert!(
+            t.attempts[0].wall_ms < 400,
+            "attempt took {} ms under a 200 ms deadline",
+            t.attempts[0].wall_ms
+        );
+        assert!(run.store.rows().iter().any(|row| row.train == "F6"));
+    }
+
+    #[test]
+    fn slow_fault_without_deadline_just_delays() {
+        let r = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 1,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Slow { ms: 30 },
+                }),
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        assert_eq!(run.journal.ok_count(), 1);
+        assert!(!run.journal.has_failures());
+    }
+
+    #[test]
+    fn transient_fault_succeeds_on_retry_with_attempt_history() {
+        let r = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 2,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Transient { fail_first_n: 2 },
+                }),
+                budget: RunBudget {
+                    task_deadline_ms: 0,
+                    max_attempts: 3,
+                    backoff_ms: 1,
+                },
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        assert_eq!(run.journal.ok_count(), 1);
+        assert!(!run.journal.has_failures());
+        assert_eq!(run.journal.retried_count(), 1);
+        let e = &run.journal.entries()[0];
+        assert_eq!(e.attempts.len(), 3, "every attempt must be recorded");
+        assert_eq!(e.attempts[0].status, "failed");
+        assert!(e.attempts[0].error.contains("transient"));
+        assert_eq!(e.attempts[1].status, "failed");
+        assert_eq!(e.attempts[2].status, "ok");
+        assert_eq!(e.attempts[2].attempt, 3);
+    }
+
+    #[test]
+    fn transient_fault_exhausts_bounded_attempts() {
+        let r = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 1,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Transient { fail_first_n: 99 },
+                }),
+                budget: RunBudget {
+                    task_deadline_ms: 0,
+                    max_attempts: 2,
+                    backoff_ms: 1,
+                },
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        assert_eq!(run.journal.failed_count(), 1);
+        let e = run.journal.failures().next().unwrap();
+        assert_eq!(e.attempts.len(), 2, "retries stop at max_attempts");
+    }
+
+    #[test]
+    fn permanent_failure_never_retries() {
+        let r = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 1,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Error,
+                }),
+                budget: RunBudget {
+                    task_deadline_ms: 0,
+                    max_attempts: 5,
+                    backoff_ms: 1,
+                },
+                ..RunConfig::default()
+            },
+        );
+        let run = r.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        let e = run.journal.failures().next().unwrap();
+        assert_eq!(e.attempts.len(), 1, "permanent errors must not retry");
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("lumen_resume_merge_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("matrix_journal.jsonl");
+        let algos = [AlgorithmId::A14, AlgorithmId::A15];
+        let sets = [DatasetId::F4, DatasetId::F6];
+
+        // "Crashed" run: one task fails (stands in for work lost to a
+        // SIGKILL — its WAL record is non-Ok, so resume re-runs it).
+        let r1 = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 2,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Error,
+                }),
+                ..RunConfig::default()
+            },
+        )
+        .with_wal_path(&wal)
+        .unwrap();
+        let run1 = r1.run_matrix(&algos, &sets, true);
+        assert!(run1.journal.has_failures());
+        assert!(wal.exists());
+
+        // Resume run: fault gone, same WAL for both replay and append.
+        let r2 = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 2,
+                ..RunConfig::default()
+            },
+        )
+        .with_resume_from(&wal)
+        .unwrap()
+        .with_wal_path(&wal)
+        .unwrap();
+        let run2 = r2.run_matrix(&algos, &sets, true);
+        assert_eq!(run2.journal.ok_count(), 8);
+        assert!(!run2.journal.has_failures());
+
+        // Journal accounts for every task exactly once.
+        let mut keys: Vec<_> = run2
+            .journal
+            .entries()
+            .iter()
+            .map(|e| (e.algo.clone(), e.train.clone(), e.test.clone(), e.mode.clone()))
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate journal entries after resume");
+
+        // Store has exactly one row per (algo, train, test, mode, attack).
+        let mut row_keys: Vec<_> = run2
+            .store
+            .rows()
+            .iter()
+            .map(|r| {
+                (
+                    r.algo.clone(),
+                    r.train.clone(),
+                    r.test.clone(),
+                    r.mode.clone(),
+                    r.attack.clone(),
+                )
+            })
+            .collect();
+        let n = row_keys.len();
+        row_keys.sort();
+        row_keys.dedup();
+        assert_eq!(row_keys.len(), n, "duplicate result rows after resume");
+
+        // The merged store matches an uninterrupted run row for row
+        // (metrics; timings legitimately differ between runs).
+        let clean = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 2,
+                ..RunConfig::default()
+            },
+        )
+        .run_matrix(&algos, &sets, true);
+        let metric_view = |s: &ResultStore| -> Vec<(String, String, String, String, String, String, String)> {
+            s.rows()
+                .iter()
+                .map(|r| {
+                    (
+                        r.algo.clone(),
+                        r.train.clone(),
+                        r.test.clone(),
+                        r.mode.clone(),
+                        format!("{:?}", r.attack),
+                        format!("{:.12}/{:.12}/{:.12}", r.precision, r.recall, r.f1),
+                        format!("{}/{}", r.n_train, r.n_test),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            metric_view(&run2.store),
+            metric_view(&clean.store),
+            "resumed store must equal an uninterrupted run's store"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_replays_without_reexecuting_ok_tasks() {
+        let dir = std::env::temp_dir().join("lumen_resume_replay_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("m_journal.jsonl");
+        let r1 = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 1,
+                ..RunConfig::default()
+            },
+        )
+        .with_wal_path(&wal)
+        .unwrap();
+        let run1 = r1.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        assert_eq!(run1.journal.ok_count(), 1);
+
+        // Resume with a fault armed on the same task: if resume *replays*
+        // instead of re-running, the fault is never reached.
+        let r2 = Runner::new(
+            small_registry(3),
+            RunConfig {
+                threads: 1,
+                fault: Some(FaultSpec {
+                    algo: AlgorithmId::A14,
+                    dataset: DatasetId::F4,
+                    kind: FaultKind::Panic,
+                }),
+                ..RunConfig::default()
+            },
+        )
+        .with_resume_from(&wal)
+        .unwrap();
+        let run2 = r2.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        assert_eq!(run2.journal.ok_count(), 1);
+        assert!(!run2.journal.has_failures(), "task must be replayed, not re-run");
+        // Replayed rows carry the original run's numbers.
+        assert_eq!(run2.store.rows().len(), run1.store.rows().len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

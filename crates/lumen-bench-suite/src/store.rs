@@ -63,6 +63,30 @@ impl ResultStore {
         self.rows.extend(other.rows);
     }
 
+    /// Drops duplicate rows per task key (algo, train, test, mode, attack),
+    /// keeping the *latest* push. Resume merges rely on this: rows replayed
+    /// from a write-ahead log and rows recomputed in the resumed run must
+    /// collapse to exactly one row per task.
+    pub fn dedup_by_task(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        // Iterate from the back so the newest row per key wins.
+        let mut keep: Vec<ResultRow> = Vec::with_capacity(self.rows.len());
+        for row in self.rows.drain(..).rev() {
+            let key = (
+                row.algo.clone(),
+                row.train.clone(),
+                row.test.clone(),
+                row.mode.clone(),
+                row.attack.clone(),
+            );
+            if seen.insert(key) {
+                keep.push(row);
+            }
+        }
+        keep.reverse();
+        self.rows = keep;
+    }
+
     /// All rows.
     pub fn rows(&self) -> &[ResultRow] {
         &self.rows
@@ -217,6 +241,29 @@ mod tests {
             test_ms: 0,
             wall_ms: 1,
         }
+    }
+
+    #[test]
+    fn dedup_by_task_keeps_latest_row_per_key() {
+        let mut s = ResultStore::new();
+        // A WAL-replayed row followed by a recomputed one for the same task.
+        s.push(row("A1", "F0", "F0", "same", 0.5, 0.5));
+        s.push(row("A1", "F0", "F0", "same", 0.9, 0.6));
+        // Distinct keys survive: different mode, and a per-attack row.
+        s.push(row("A1", "F0", "F1", "cross", 0.3, 0.2));
+        let mut attack = row("A1", "F0", "F0", "same", 0.7, 0.7);
+        attack.attack = Some("scan".into());
+        s.push(attack);
+        s.dedup_by_task();
+        assert_eq!(s.len(), 3);
+        let whole: Vec<&ResultRow> = s
+            .rows()
+            .iter()
+            .filter(|r| r.mode == "same" && r.attack.is_none())
+            .collect();
+        assert_eq!(whole.len(), 1, "one row per (algo,train,test,mode,attack)");
+        assert_eq!(whole[0].precision, 0.9, "latest row wins");
+        assert!(s.rows().iter().any(|r| r.attack.is_some()));
     }
 
     #[test]

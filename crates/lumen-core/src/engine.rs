@@ -527,6 +527,12 @@ impl Pipeline {
         let mut env = bindings;
         let mut profile = Vec::with_capacity(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
+            // Cooperative cancellation: a supervised runner installs a
+            // thread-current token with a per-task deadline; checking it
+            // between ops turns a hung pipeline into an ordinary error.
+            if lumen_util::cancel::CancelToken::current_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
             let inputs: Vec<&Data> = node
                 .inputs
                 .iter()

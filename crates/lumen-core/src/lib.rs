@@ -54,6 +54,9 @@ pub enum CoreError {
     Ml(String),
     /// A packet-layer error surfaced through an operation.
     Net(String),
+    /// Execution was cancelled by a cooperative cancellation token
+    /// (per-task deadline in the benchmark runner, or an explicit cancel).
+    Cancelled,
 }
 
 impl std::fmt::Display for CoreError {
@@ -66,6 +69,7 @@ impl std::fmt::Display for CoreError {
             CoreError::OpFailed { op, why } => write!(f, "operation {op} failed: {why}"),
             CoreError::Ml(why) => write!(f, "ml error: {why}"),
             CoreError::Net(why) => write!(f, "net error: {why}"),
+            CoreError::Cancelled => write!(f, "cancelled (task deadline or explicit cancel)"),
         }
     }
 }
@@ -74,7 +78,13 @@ impl std::error::Error for CoreError {}
 
 impl From<lumen_ml::MlError> for CoreError {
     fn from(e: lumen_ml::MlError) -> Self {
-        CoreError::Ml(e.to_string())
+        // Cancellation must stay structurally recognizable across the
+        // layer boundary — the runner classifies it as a timeout, not an
+        // ML failure.
+        match e {
+            lumen_ml::MlError::Cancelled => CoreError::Cancelled,
+            e => CoreError::Ml(e.to_string()),
+        }
     }
 }
 

@@ -404,12 +404,14 @@ impl Operation for TrainOp {
         };
         let table = inputs[1].as_table()?;
         let mut model = PreprocessedClassifier::from_def(def)?;
-        model
-            .fit(&table.to_dataset()?)
-            .map_err(|e| CoreError::OpFailed {
+        model.fit(&table.to_dataset()?).map_err(|e| match e {
+            // Cancellation is a supervision outcome, not an op failure.
+            lumen_ml::MlError::Cancelled => CoreError::Cancelled,
+            e => CoreError::OpFailed {
                 op: "Train".into(),
                 why: e.to_string(),
-            })?;
+            },
+        })?;
         Ok(Data::Trained(Trained {
             model: Arc::new(model),
             def: def.clone(),

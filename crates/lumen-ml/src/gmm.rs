@@ -119,6 +119,10 @@ impl Gmm {
         let mut resp = Matrix::zeros(n, k);
         let mut prev_ll = f64::NEG_INFINITY;
         for _ in 0..self.config.max_iter {
+            // Cooperative deadline check, once per EM sweep.
+            if lumen_util::cancel::CancelToken::current_cancelled() {
+                return Err(MlError::Cancelled);
+            }
             // E step + first M-step accumulation, one fixed-size row block
             // per work unit: each block returns its responsibilities, its
             // log-likelihood contribution, and partial sums Σr and Σr·x per

@@ -83,6 +83,11 @@ pub fn kmeans_t(
 
     let mut assignments = vec![0usize; n];
     for _ in 0..max_iter {
+        // Cooperative deadline check: a supervised matrix task installs a
+        // thread-current CancelToken; one relaxed load per sweep.
+        if lumen_util::cancel::CancelToken::current_cancelled() {
+            return Err(MlError::Cancelled);
+        }
         // Fused assign + accumulate, one fixed-size row block per work
         // unit. Each block computes its distances through the Gram kernel
         // and returns block-local assignments, centroid partial sums, and

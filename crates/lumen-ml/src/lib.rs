@@ -61,6 +61,9 @@ pub enum MlError {
     Degenerate(String),
     /// Invalid hyperparameter.
     BadConfig(String),
+    /// Training was cancelled by a cooperative [`lumen_util::cancel::CancelToken`]
+    /// (deadline expired or explicit cancel) before it converged.
+    Cancelled,
 }
 
 impl std::fmt::Display for MlError {
@@ -73,6 +76,7 @@ impl std::fmt::Display for MlError {
             MlError::NotFitted => write!(f, "model has not been fitted"),
             MlError::Degenerate(why) => write!(f, "numerical failure: {why}"),
             MlError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+            MlError::Cancelled => write!(f, "training cancelled (deadline or explicit cancel)"),
         }
     }
 }

@@ -215,6 +215,10 @@ impl AnomalyDetector for OneClassSvm {
         let mut order: Vec<usize> = (0..mapped.rows()).collect();
         let mut t = 1.0;
         for _ in 0..self.config.epochs {
+            // Cooperative deadline check, once per SGD epoch.
+            if lumen_util::cancel::CancelToken::current_cancelled() {
+                return Err(MlError::Cancelled);
+            }
             rng.shuffle(&mut order);
             for &i in &order {
                 let row = mapped.row(i);

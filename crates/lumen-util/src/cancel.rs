@@ -1,0 +1,227 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! The benchmark runner supervises long matrix tasks with a per-attempt
+//! budget; the trainers and the pipeline engine poll the thread's current
+//! [`CancelToken`] at loop boundaries, so a hung or slow task unwinds into
+//! an ordinary `Cancelled` error instead of wedging its worker thread.
+//! Polling is a relaxed atomic load plus (at most) one `Instant` read —
+//! cheap enough for per-iteration checks in EM/SGD loops.
+//!
+//! The token is *cooperative*: nothing is preempted. Work that never polls
+//! (a single huge matmul call) runs to completion; everything structured as
+//! an iteration loop stops within one iteration of the deadline.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The unit "work was cancelled" error; callers map it into their own
+/// error enums (`MlError::Cancelled`, `CoreError::Cancelled`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Once the deadline has been observed as expired the flag above is
+    /// set, so later polls skip the clock read.
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+}
+
+/// A shareable cancellation token with an optional wall-clock deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::unbounded()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn unbounded() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                deadline_ms: 0,
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `ms` milliseconds from now. `ms == 0`
+    /// means unbounded (the runner's "no deadline" configuration).
+    pub fn with_deadline_ms(ms: u64) -> CancelToken {
+        if ms == 0 {
+            return CancelToken::unbounded();
+        }
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + std::time::Duration::from_millis(ms)),
+                deadline_ms: ms,
+            }),
+        }
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// The configured deadline in ms (0 when unbounded).
+    pub fn deadline_ms(&self) -> u64 {
+        self.inner.deadline_ms
+    }
+
+    /// True once cancelled — explicitly or because the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when this token had a deadline and it has passed — the signal
+    /// the runner uses to classify an error as a timeout rather than an
+    /// ordinary failure.
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.deadline.is_some() && self.is_cancelled()
+    }
+
+    /// `Err(Cancelled)` once cancelled; the poll call for `?`-style use.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Installs this token as the calling thread's current token and
+    /// returns a guard that restores the previous one on drop. Work running
+    /// on this thread (trainers, the pipeline engine) polls it via
+    /// [`CancelToken::current`] without any plumbing through call
+    /// signatures.
+    pub fn set_current(&self) -> CurrentGuard {
+        let prev = CURRENT.with(|c| c.replace(Some(self.clone())));
+        CurrentGuard { prev }
+    }
+
+    /// The calling thread's current token; unbounded when none installed,
+    /// so library code can poll unconditionally.
+    pub fn current() -> CancelToken {
+        CURRENT
+            .with(|c| c.borrow().clone())
+            .unwrap_or_else(CancelToken::unbounded)
+    }
+
+    /// Polls the calling thread's current token without cloning it.
+    pub fn current_cancelled() -> bool {
+        CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the thread's previous current token when dropped.
+#[derive(Debug)]
+pub struct CurrentGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let t = CancelToken::unbounded();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        assert_eq!(t.deadline_ms(), 0);
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_fires() {
+        let t = CancelToken::unbounded();
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(Cancelled));
+        // Explicit cancel on an unbounded token is not a deadline expiry.
+        assert!(!t.deadline_expired());
+    }
+
+    #[test]
+    fn zero_deadline_means_unbounded() {
+        let t = CancelToken::with_deadline_ms(0);
+        assert_eq!(t.deadline_ms(), 0);
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline_ms(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_expired());
+    }
+
+    #[test]
+    fn current_token_scoping_restores_previous() {
+        assert!(!CancelToken::current_cancelled());
+        let outer = CancelToken::unbounded();
+        let _g1 = outer.set_current();
+        {
+            let inner = CancelToken::unbounded();
+            let g2 = inner.set_current();
+            inner.cancel();
+            assert!(CancelToken::current_cancelled());
+            drop(g2);
+        }
+        // Back to the (uncancelled) outer token.
+        assert!(!CancelToken::current_cancelled());
+        outer.cancel();
+        assert!(CancelToken::current_cancelled());
+    }
+
+    #[test]
+    fn current_is_per_thread() {
+        let t = CancelToken::unbounded();
+        let _g = t.set_current();
+        t.cancel();
+        let other = std::thread::spawn(CancelToken::current_cancelled)
+            .join()
+            .unwrap();
+        assert!(!other, "tokens must not leak across threads");
+    }
+}

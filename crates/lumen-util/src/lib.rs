@@ -5,10 +5,12 @@
 //! deterministic [`rng::Rng`] defined here so that experiments are
 //! reproducible bit-for-bit from a single `u64` seed.
 
+pub mod cancel;
 pub mod entropy;
 pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use rng::Rng;
 pub use stats::{OnlineStats, Summary};
