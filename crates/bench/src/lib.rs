@@ -1,5 +1,7 @@
 //! Shared fixtures for the Criterion benchmarks.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use lumen_core::data::{Data, PacketData};

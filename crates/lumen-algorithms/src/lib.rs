@@ -8,6 +8,8 @@
 //! regenerate Table 1 and Figure 1a, and its classification granularity so
 //! the runner can enforce faithful algorithm/dataset pairing (§3.3).
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 
 pub use catalog::{algorithm, all_algorithms, AlgorithmId};

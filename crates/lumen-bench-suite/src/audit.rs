@@ -1,0 +1,604 @@
+//! Level-2 experiment audit: matrix-level integrity analysis
+//! (DESIGN.md §4h).
+//!
+//! [`lumen_core::audit`] checks one template at a time; this module checks
+//! the *experiment* — the full (algorithm, train dataset, test dataset)
+//! matrix a run is about to execute — against the dataset registry:
+//!
+//! * **A200** — a cross-evaluation whose train and test captures are the
+//!   same draw (identical recipe family and generation seed): the
+//!   "generalization" number would be measured on the training
+//!   distribution itself.
+//! * **A201** — temporal bias: the test capture's time window ends before
+//!   the train window begins, so the model is trained on traffic from the
+//!   future of its test set.
+//! * **A202** — feature-cache key collision: the cache is keyed by
+//!   (dataset code, template fingerprint); two different feature templates
+//!   mapping to one key would silently share extracted features. (The
+//!   fingerprint of an unparseable template is 0, so two broken templates
+//!   collide there — this rule catches that too.)
+//! * **A203** — generation-seed reuse: two supposedly independent datasets
+//!   deriving the same RNG seed would be correlated draws.
+//!
+//! Level-2 findings reuse the [`Diagnostic`]/[`Severity`] machinery with
+//! stable `A2xx` rule IDs and are journaled per run as
+//! [`AuditFinding`]s; [`AuditReport::to_json`] is the machine-readable
+//! `AUDIT_report.json` the `--audit` flag and the `audit` binary emit. The
+//! plan-level entry point is [`audit_plan`], which mirrors
+//! `Runner::run_matrix`'s task enumeration exactly (same compatibility
+//! skips, same diagonal restriction) so what is audited is what would run.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lumen_algorithms::{algorithm, Algorithm, AlgorithmId};
+use lumen_core::audit::audit_template;
+use lumen_core::data::DataKind;
+use lumen_core::{Diagnostic, Severity};
+use lumen_synth::DatasetId;
+use serde_json::{json, Value};
+
+use crate::journal::AuditFinding;
+use crate::runner::Runner;
+
+// ------------------------------------------------------------ plain data
+
+/// What the matrix audit needs to know about one dataset. Plain data so
+/// violation fixtures can fabricate registries that the shipped catalog
+/// (by design) cannot produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetAuditInfo {
+    /// Dataset code ("F0").
+    pub code: String,
+    /// Recipe family the capture is generated from.
+    pub family: String,
+    /// Derived generation seed.
+    pub seed: u64,
+    /// Capture time window `(first_ts_us, last_ts_us)`, when known.
+    pub window_us: Option<(u64, u64)>,
+}
+
+/// One planned matrix task, as the audit sees it.
+#[derive(Debug, Clone)]
+pub struct TaskAuditInfo {
+    /// Algorithm code ("A06").
+    pub algo: String,
+    /// "same" or "cross".
+    pub mode: String,
+    /// The algorithm's feature-template fingerprint (the cache-key half).
+    pub fingerprint: u64,
+    /// The feature template itself, for collision discrimination.
+    pub template: Value,
+    /// Training dataset.
+    pub train: DatasetAuditInfo,
+    /// Test dataset.
+    pub test: DatasetAuditInfo,
+}
+
+fn task_scope(t: &TaskAuditInfo) -> String {
+    format!("{} {}->{} [{}]", t.algo, t.train.code, t.test.code, t.mode)
+}
+
+fn mdiag(rule_id: &'static str, severity: Severity, message: String) -> Diagnostic {
+    Diagnostic {
+        rule_id,
+        severity,
+        node: None,
+        func: None,
+        message,
+        suggestion: None,
+    }
+}
+
+// ------------------------------------------------------------ the rules
+
+/// Audits a planned task matrix. Returns `(scope, diagnostic)` pairs,
+/// deterministically ordered by (scope, rule id, message); pairwise rules
+/// report each colliding pair once.
+pub fn audit_matrix(tasks: &[TaskAuditInfo]) -> Vec<(String, Diagnostic)> {
+    let mut out: Vec<(String, Diagnostic)> = Vec::new();
+
+    for t in tasks {
+        if t.train.code != t.test.code {
+            // A200: distinct dataset codes, same underlying draw.
+            if t.train.family == t.test.family && t.train.seed == t.test.seed {
+                out.push((
+                    task_scope(t),
+                    mdiag(
+                        "A200",
+                        Severity::Error,
+                        format!(
+                            "cross-evaluation on one capture draw: {} and {} share recipe \
+                             family {:?} and generation seed {:#x}",
+                            t.train.code, t.test.code, t.train.family, t.train.seed
+                        ),
+                    ),
+                ));
+            }
+            // A201: testing strictly in the training data's past.
+            if let (Some((train_start, _)), Some((_, test_end))) =
+                (t.train.window_us, t.test.window_us)
+            {
+                if test_end < train_start {
+                    out.push((
+                        task_scope(t),
+                        mdiag(
+                            "A201",
+                            Severity::Error,
+                            format!(
+                                "temporal bias: test window of {} ends at {}us, before the \
+                                 train window of {} begins at {}us",
+                                t.test.code, test_end, t.train.code, train_start
+                            ),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // A202: one feature-cache key, two templates. Both the train and the
+    // test side of every task read through the cache.
+    let mut by_key: BTreeMap<(String, u64), (String, &Value)> = BTreeMap::new();
+    let mut reported: BTreeSet<(String, u64, String, String)> = BTreeSet::new();
+    for t in tasks {
+        for code in [&t.train.code, &t.test.code] {
+            let key = (code.clone(), t.fingerprint);
+            match by_key.get(&key) {
+                None => {
+                    by_key.insert(key, (t.algo.clone(), &t.template));
+                }
+                Some((other_algo, other_template)) => {
+                    if *other_template != &t.template {
+                        let (a, b) = if other_algo <= &t.algo {
+                            (other_algo.clone(), t.algo.clone())
+                        } else {
+                            (t.algo.clone(), other_algo.clone())
+                        };
+                        if reported.insert((code.clone(), t.fingerprint, a.clone(), b.clone())) {
+                            out.push((
+                                format!("cache {}#{:016x}", code, t.fingerprint),
+                                mdiag(
+                                    "A202",
+                                    Severity::Error,
+                                    format!(
+                                        "feature-cache key collision on dataset {}: algorithms \
+                                         {a} and {b} share fingerprint {:#x} with different \
+                                         feature templates",
+                                        code, t.fingerprint
+                                    ),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // A203: distinct datasets, one generation seed.
+    let mut by_code: BTreeMap<String, u64> = BTreeMap::new();
+    for t in tasks {
+        for d in [&t.train, &t.test] {
+            by_code.entry(d.code.clone()).or_insert(d.seed);
+        }
+    }
+    let mut by_seed: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (code, seed) in &by_code {
+        by_seed.entry(*seed).or_default().push(code);
+    }
+    for (seed, codes) in &by_seed {
+        if codes.len() > 1 {
+            out.push((
+                format!("datasets {}", codes.join(",")),
+                mdiag(
+                    "A203",
+                    Severity::Error,
+                    format!(
+                        "supposedly independent datasets {codes:?} derive the same \
+                         generation seed {seed:#x}"
+                    ),
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (&a.0, a.1.rule_id, &a.1.message).cmp(&(&b.0, b.1.rule_id, &b.1.message))
+    });
+    out
+}
+
+/// Level-1 audit of one algorithm: its feature template (fed packets) and
+/// its train template (fed the extracted feature table).
+pub fn audit_algorithm(algo: &Algorithm, seed: u64) -> Vec<Diagnostic> {
+    let mut diags = audit_template(&algo.feature_template, &[("source", DataKind::Packets)]);
+    diags.extend(audit_template(
+        &algo.train_template(seed),
+        &[("features", DataKind::Table)],
+    ));
+    diags
+}
+
+/// The Level-2 (matrix) audit rule catalog: (rule id, severity, summary).
+/// DESIGN.md §4h's table is generated from this list (a unit test keeps
+/// them in lockstep).
+pub fn matrix_rule_catalog() -> Vec<(&'static str, Severity, &'static str)> {
+    vec![
+        (
+            "A200",
+            Severity::Error,
+            "cross-evaluation trains and tests on the same capture draw (one recipe family and seed)",
+        ),
+        (
+            "A201",
+            Severity::Error,
+            "temporal bias: the test capture's time window ends before the train window begins",
+        ),
+        (
+            "A202",
+            Severity::Error,
+            "feature-cache key collision: one (dataset, fingerprint) key, two feature templates",
+        ),
+        (
+            "A203",
+            Severity::Error,
+            "generation-seed reuse across supposedly independent datasets",
+        ),
+    ]
+}
+
+// ----------------------------------------------------------- the report
+
+/// A whole run's audit findings, in journal form.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Flattened findings (Level 1 scoped by algorithm code, Level 2 by
+    /// task / cache key / dataset set), deterministically ordered.
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == "error").count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == "warn").count()
+    }
+
+    /// True when any finding is an error (the `--audit` deny condition).
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One line per finding plus a count header — the human rendering.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "experiment audit: {} finding(s), {} error(s), {} warning(s)\n",
+            self.findings.len(),
+            self.error_count(),
+            self.warn_count()
+        );
+        for f in &self.findings {
+            s.push_str(&format!(
+                "  {} [{}] {}: {}\n",
+                f.severity.to_uppercase(),
+                f.rule_id,
+                f.scope,
+                f.message
+            ));
+        }
+        s
+    }
+
+    /// The machine-readable `AUDIT_report.json` payload. Built over
+    /// `serde_json::Value` (not the derive) so the format is explicit and
+    /// identical everywhere.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                json!({
+                    "scope": f.scope.clone(),
+                    "rule_id": f.rule_id.clone(),
+                    "severity": f.severity.clone(),
+                    "message": f.message.clone(),
+                })
+            })
+            .collect();
+        let report = json!({
+            "schema_version": 1u64,
+            "errors": self.error_count() as u64,
+            "warnings": self.warn_count() as u64,
+            "findings": findings,
+        });
+        serde_json::to_string_pretty(&report).unwrap_or_default()
+    }
+}
+
+fn finding(scope: &str, d: &Diagnostic) -> AuditFinding {
+    let mut message = d.message.clone();
+    if let Some(s) = &d.suggestion {
+        message.push_str(&format!(" ({s})"));
+    }
+    AuditFinding {
+        scope: scope.to_string(),
+        rule_id: d.rule_id.to_string(),
+        severity: d.severity.name().to_string(),
+        message,
+    }
+}
+
+// ------------------------------------------------------------ the plan
+
+fn dataset_info(runner: &Runner, id: DatasetId) -> DatasetAuditInfo {
+    DatasetAuditInfo {
+        code: id.code().to_string(),
+        family: id.spec().source.to_string(),
+        seed: runner.registry.dataset_seed(id),
+        window_us: runner.registry.time_window_us(id),
+    }
+}
+
+/// Enumerates the matrix exactly as `Runner::run_matrix` would: same
+/// compatibility skips, same diagonal restriction under
+/// `include_cross = false`.
+pub fn plan_tasks(
+    runner: &Runner,
+    algos: &[AlgorithmId],
+    datasets: &[DatasetId],
+    include_cross: bool,
+) -> Vec<TaskAuditInfo> {
+    let mut tasks = Vec::new();
+    for &a in algos {
+        let algo = algorithm(a);
+        for &train in datasets {
+            let train_ds = runner.registry.get(train);
+            if Runner::compatible(&algo, &train_ds).is_err() {
+                continue;
+            }
+            for &test in datasets {
+                if !include_cross && train != test {
+                    continue;
+                }
+                let test_ds = runner.registry.get(test);
+                if Runner::compatible(&algo, &test_ds).is_err() {
+                    continue;
+                }
+                let mode = if train == test { "same" } else { "cross" };
+                tasks.push(TaskAuditInfo {
+                    algo: a.code().to_string(),
+                    mode: mode.to_string(),
+                    fingerprint: algo.feature_fingerprint(),
+                    template: algo.feature_template.clone(),
+                    train: dataset_info(runner, train),
+                    test: dataset_info(runner, test),
+                });
+            }
+        }
+    }
+    tasks
+}
+
+/// Audits everything a matrix run would execute: Level 1 over each
+/// distinct algorithm's templates, Level 2 over the planned task matrix.
+/// This is what `--audit` runs before the first task starts.
+pub fn audit_plan(
+    runner: &Runner,
+    algos: &[AlgorithmId],
+    datasets: &[DatasetId],
+    include_cross: bool,
+) -> AuditReport {
+    let mut findings = Vec::new();
+    let mut seen = BTreeSet::new();
+    for &a in algos {
+        if !seen.insert(a.code()) {
+            continue;
+        }
+        let algo = algorithm(a);
+        for d in audit_algorithm(&algo, runner.config.seed) {
+            findings.push(finding(a.code(), &d));
+        }
+    }
+    for (scope, d) in audit_matrix(&plan_tasks(runner, algos, datasets, include_cross)) {
+        findings.push(finding(&scope, &d));
+    }
+    findings.sort_by(|a, b| {
+        (&a.scope, &a.rule_id, &a.message).cmp(&(&b.scope, &b.rule_id, &b.message))
+    });
+    AuditReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{all_datasets, published_algos};
+    use crate::runner::RunConfig;
+    use lumen_synth::SynthScale;
+    use std::sync::Arc;
+
+    fn ds(code: &str, family: &str, seed: u64, window: Option<(u64, u64)>) -> DatasetAuditInfo {
+        DatasetAuditInfo {
+            code: code.into(),
+            family: family.into(),
+            seed,
+            window_us: window,
+        }
+    }
+
+    fn task(algo: &str, fp: u64, train: DatasetAuditInfo, test: DatasetAuditInfo) -> TaskAuditInfo {
+        let mode = if train.code == test.code { "same" } else { "cross" };
+        TaskAuditInfo {
+            algo: algo.into(),
+            mode: mode.into(),
+            fingerprint: fp,
+            template: json!([{"func": "ConnExtract", "fields": [algo]}]),
+            train,
+            test,
+        }
+    }
+
+    fn rule_ids(found: &[(String, Diagnostic)]) -> Vec<&'static str> {
+        found.iter().map(|(_, d)| d.rule_id).collect()
+    }
+
+    #[test]
+    fn clean_fabricated_matrix_is_clean() {
+        let tasks = vec![
+            task("A07", 1, ds("F0", "famA", 10, Some((0, 50))), ds("F0", "famA", 10, Some((0, 50)))),
+            task("A07", 1, ds("F0", "famA", 10, Some((0, 50))), ds("F1", "famB", 11, Some((5, 60)))),
+        ];
+        assert!(audit_matrix(&tasks).is_empty());
+    }
+
+    #[test]
+    fn a200_overlapping_train_test_recipe() {
+        // ISSUE-6 fixture: the same recipe family + seed on both sides of
+        // a cross-evaluation.
+        let tasks = vec![task(
+            "A07",
+            1,
+            ds("F0", "famA", 10, None),
+            ds("F9", "famA", 10, None),
+        )];
+        let found = audit_matrix(&tasks);
+        assert_eq!(rule_ids(&found), vec!["A200", "A203"]);
+        assert!(found[0].1.message.contains("famA"));
+        // Same-mode diagonal tasks never fire A200: the runner splits them.
+        let same = vec![task("A07", 1, ds("F0", "famA", 10, None), ds("F0", "famA", 10, None))];
+        assert!(audit_matrix(&same).is_empty());
+    }
+
+    #[test]
+    fn a201_temporal_bias() {
+        // Test window [0, 40] ends before train window [100, 200] begins.
+        let tasks = vec![task(
+            "A07",
+            1,
+            ds("F0", "famA", 10, Some((100, 200))),
+            ds("F1", "famB", 11, Some((0, 40))),
+        )];
+        let found = audit_matrix(&tasks);
+        assert_eq!(rule_ids(&found), vec!["A201"]);
+        // Overlapping windows are fine either way round.
+        let ok = vec![task(
+            "A07",
+            1,
+            ds("F0", "famA", 10, Some((0, 150))),
+            ds("F1", "famB", 11, Some((100, 200))),
+        )];
+        assert!(audit_matrix(&ok).is_empty());
+    }
+
+    #[test]
+    fn a202_cache_key_collision() {
+        // ISSUE-6 fixture: two algorithms, one fingerprint, different
+        // templates — their features would silently alias in the cache.
+        let tasks = vec![
+            task("A07", 42, ds("F0", "famA", 10, None), ds("F0", "famA", 10, None)),
+            task("A08", 42, ds("F0", "famA", 10, None), ds("F0", "famA", 10, None)),
+        ];
+        let found = audit_matrix(&tasks);
+        assert_eq!(rule_ids(&found), vec!["A202"]);
+        assert!(found[0].1.message.contains("A07"));
+        assert!(found[0].1.message.contains("A08"));
+        // The pair is reported once, not once per side.
+        assert_eq!(found.len(), 1);
+        // Same fingerprint + same template is the cache working as designed.
+        let mut shared = vec![
+            task("A07", 42, ds("F0", "famA", 10, None), ds("F0", "famA", 10, None)),
+            task("A08", 42, ds("F0", "famA", 10, None), ds("F0", "famA", 10, None)),
+        ];
+        shared[1].template = shared[0].template.clone();
+        assert!(audit_matrix(&shared).is_empty());
+    }
+
+    #[test]
+    fn a203_duplicated_dataset_seed() {
+        // ISSUE-6 fixture: two "independent" datasets, one derived seed.
+        let tasks = vec![
+            task("A07", 1, ds("F0", "famA", 99, None), ds("F0", "famA", 99, None)),
+            task("A07", 2, ds("F1", "famB", 99, None), ds("F1", "famB", 99, None)),
+        ];
+        let found = audit_matrix(&tasks);
+        assert_eq!(rule_ids(&found), vec!["A203"]);
+        assert!(found[0].1.message.contains("F0"));
+        assert!(found[0].1.message.contains("F1"));
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let report = AuditReport {
+            findings: vec![
+                AuditFinding {
+                    scope: "A06".into(),
+                    rule_id: "A110".into(),
+                    severity: "error".into(),
+                    message: "label leak".into(),
+                },
+                AuditFinding {
+                    scope: "A06".into(),
+                    rule_id: "A121".into(),
+                    severity: "warn".into(),
+                    message: "train-half fit".into(),
+                },
+            ],
+        };
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        assert!(report.has_errors());
+        assert!(!report.is_clean());
+        let js = report.to_json();
+        assert!(js.contains("\"A110\""));
+        assert!(js.contains("\"schema_version\""));
+        let s = report.summary();
+        assert!(s.contains("ERROR [A110] A06"));
+    }
+
+    #[test]
+    fn matrix_catalog_ids_unique_sorted_and_prefixed() {
+        let cat = matrix_rule_catalog();
+        let ids: Vec<_> = cat.iter().map(|(id, _, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+        assert!(ids.iter().all(|id| id.starts_with("A2")));
+    }
+
+    // The catalog-wide clean run: everything the benchmark ships must
+    // audit clean at both levels (the acceptance bar for `--audit` deny
+    // mode on the real matrix).
+    #[test]
+    fn shipped_catalog_audits_clean() {
+        let registry = Arc::new(
+            crate::datasets::DatasetRegistry::new(SynthScale::small(), 7).with_max_packets(500),
+        );
+        let runner = Runner::new(registry, RunConfig::default());
+        let report = audit_plan(&runner, &published_algos(), &all_datasets(), true);
+        assert!(
+            report.is_clean(),
+            "shipped catalog must audit clean:\n{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn design_and_readme_tables_track_matrix_catalog() {
+        let design = include_str!("../../../DESIGN.md");
+        let readme = include_str!("../../../README.md");
+        for (id, sev, summary) in matrix_rule_catalog() {
+            let row = format!("| {id} | {sev:?} | {summary} |");
+            assert!(design.contains(&row), "DESIGN.md §4h missing row: {row}");
+            assert!(readme.contains(&row), "README.md audit table missing row: {row}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! `audit` — the whole-experiment integrity audit (CI gate).
+//!
+//! Two levels (DESIGN.md §4h), both static — nothing is trained:
+//!
+//! * **Level 1** runs the abstract interpreter (`lumen_core::audit`) over
+//!   every catalog algorithm's feature and train templates, inferring
+//!   shapes and column provenance to catch dimension mismatches, label
+//!   leakage, and fit-on-test preprocessing.
+//! * **Level 2** audits the full planned evaluation matrix against the
+//!   dataset registry (`lumen_bench_suite::audit`): train/test capture
+//!   overlap, temporal bias, feature-cache key collisions, and
+//!   generation-seed reuse.
+//!
+//! Exits nonzero when any Error-severity rule fires (deny-by-severity;
+//! warnings are reported but never fatal). With `LUMEN_RESULTS_DIR` set,
+//! the machine-readable report lands at `audit_AUDIT_report.json`.
+//!
+//! ```text
+//! audit                  audit the full catalog + evaluation matrix
+//! audit --rules          print all audit rule catalogs (A1xx + A2xx) and exit
+//! audit --template FILE  Level-1 audit of a template JSON file (declared
+//!                        input "source", kind Packets) instead of the catalog
+//! ```
+//!
+//! The full sweep also accepts the standard experiment flags (`--fast`,
+//! `--seed N`, `--threads N`, ...); the audit itself only loads datasets,
+//! so `--fast` keeps it cheap.
+
+use std::process::ExitCode;
+
+use lumen_algorithms::AlgorithmId;
+use lumen_bench_suite::audit::{audit_plan, matrix_rule_catalog};
+use lumen_bench_suite::exp::{all_datasets, maybe_persist_audit, ExpConfig};
+use lumen_core::audit::{audit_rule_catalog, audit_template};
+use lumen_core::data::DataKind;
+use lumen_core::lint::has_errors;
+
+fn print_rules() {
+    println!("Level 1 — template audit (shape / provenance inference):");
+    for (id, severity, summary) in audit_rule_catalog() {
+        println!("  {id}  {:<5} {summary}", severity.name());
+    }
+    println!("Level 2 — matrix audit (plan vs. dataset registry):");
+    for (id, severity, summary) in matrix_rule_catalog() {
+        println!("  {id}  {:<5} {summary}", severity.name());
+    }
+}
+
+fn audit_file(path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("audit: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let template = match serde_json::from_str(&src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("audit: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = audit_template(&template, &[("source", DataKind::Packets)]);
+    if diags.is_empty() {
+        println!("{path}: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("  {path}: {d}");
+    }
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn audit_everything(args: &[String]) -> ExitCode {
+    let cfg = match ExpConfig::parse_args(args) {
+        Ok(cfg) => cfg,
+        Err(why) => {
+            eprintln!("audit: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runner = cfg.runner();
+    // The whole catalog, published or not: an integrity bug in an
+    // experimental algorithm is still a bug.
+    let algos: Vec<AlgorithmId> = AlgorithmId::ALL.to_vec();
+    let report = audit_plan(&runner, &algos, &all_datasets(), true);
+    print!("{}", report.summary());
+    maybe_persist_audit(&report, "audit");
+    println!(
+        "audited {} algorithms x {} datasets: {}",
+        algos.len(),
+        all_datasets().len(),
+        if report.has_errors() {
+            "DENY (integrity errors)"
+        } else {
+            "pass"
+        }
+    );
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some("--template") => match args.get(1) {
+            Some(path) => audit_file(path),
+            None => {
+                eprintln!("audit: --template requires a file path");
+                ExitCode::FAILURE
+            }
+        },
+        _ => audit_everything(&args),
+    }
+}

@@ -225,6 +225,13 @@ impl DatasetRegistry {
         self
     }
 
+    /// The generation seed a dataset derives from the registry's base seed.
+    /// Exposed so the matrix audit (rule A203) can verify that supposedly
+    /// independent datasets really draw from distinct streams.
+    pub fn dataset_seed(&self, id: DatasetId) -> u64 {
+        self.seed ^ ((0xD5 + id as u64) * 0x9E37_79B9)
+    }
+
     /// Gets (building on first use) a dataset.
     pub fn get(&self, id: DatasetId) -> Arc<BenchDataset> {
         if let Some(d) = self.cache.lock().get(&id) {
@@ -233,11 +240,21 @@ impl DatasetRegistry {
         let built = Arc::new(BenchDataset::build_with_chaos(
             id,
             self.scale,
-            self.seed ^ ((0xD5 + id as u64) * 0x9E37_79B9),
+            self.dataset_seed(id),
             self.max_packets,
             self.chaos,
         ));
         self.cache.lock().entry(id).or_insert(built).clone()
+    }
+
+    /// Capture time window `(first_ts_us, last_ts_us)`, building the
+    /// dataset if needed. Captures are emitted time-sorted, so the ends are
+    /// the extremes; `None` for an empty capture.
+    pub fn time_window_us(&self, id: DatasetId) -> Option<(u64, u64)> {
+        let d = self.get(id);
+        let first = d.capture.packets.first()?.ts_us;
+        let last = d.capture.packets.last()?.ts_us;
+        Some((first, last))
     }
 
     /// Ingestion ledgers of every dataset built so far, in dataset-code

@@ -43,6 +43,11 @@ pub struct ExpConfig {
     pub resume: Option<String>,
     /// Injected fault (`--fault`), for supervision testing end to end.
     pub fault: Option<FaultSpec>,
+    /// When true (`--audit`), the experiment-integrity audit (DESIGN.md
+    /// §4h) runs over the planned matrix before execution; findings are
+    /// journaled, written to `AUDIT_report.json`, and any error-severity
+    /// finding flips the process exit code (deny-by-severity).
+    pub audit: bool,
 }
 
 impl ExpConfig {
@@ -64,6 +69,7 @@ impl ExpConfig {
             backoff_ms: 100,
             resume: None,
             fault: None,
+            audit: false,
         }
     }
 
@@ -74,7 +80,7 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --strict --chaos --seed N --threads N --kernel-threads N --duration S --max-packets N \
+                    "{why}; known flags: --fast --strict --chaos --audit --seed N --threads N --kernel-threads N --duration S --max-packets N \
                      --task-deadline-ms N --max-attempts N --backoff-ms N --resume JOURNAL.jsonl --fault ALGO:DATASET:KIND[:N]"
                 );
                 std::process::exit(2);
@@ -103,6 +109,9 @@ impl ExpConfig {
                 }
                 "--chaos" => {
                     cfg.chaos = true;
+                }
+                "--audit" => {
+                    cfg.audit = true;
                 }
                 "--seed" => {
                     cfg.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -180,6 +189,7 @@ impl ExpConfig {
                     max_attempts: self.max_attempts,
                     backoff_ms: self.backoff_ms,
                 },
+                audit: self.audit,
             },
         )
     }
@@ -362,10 +372,32 @@ pub fn maybe_persist_journal(journal: &crate::journal::RunJournal, name: &str) {
     }
 }
 
+/// Persists the machine-readable audit report as
+/// `{name}_AUDIT_report.json` when `LUMEN_RESULTS_DIR` is set.
+pub fn maybe_persist_audit(report: &crate::audit::AuditReport, name: &str) {
+    let Ok(dir) = std::env::var("LUMEN_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}_AUDIT_report.json"));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[audit report persisted to {}]", path.display());
+    }
+}
+
 /// Standard end-of-experiment accounting: persists the store and journal
 /// (when `LUMEN_RESULTS_DIR` is set), prints the journal summary with the
 /// runner's cache hit ratio, and — under `--strict` — exits nonzero when
 /// any task genuinely failed. Faithfulness skips never flip the exit code.
+/// Under `--audit`, the journaled audit findings are also written out as
+/// `{name}_AUDIT_report.json` and any error-severity finding is fatal
+/// (deny-by-severity; warnings never flip the exit code).
 pub fn finish_run(
     cfg: &ExpConfig,
     runner: &Runner,
@@ -385,6 +417,19 @@ pub fn finish_run(
                 "  {:<18} {:>6} calls {:>12} us {:>14} bytes",
                 op, st.calls, st.micros, st.output_bytes
             );
+        }
+    }
+    if cfg.audit {
+        let report = crate::audit::AuditReport {
+            findings: journal.audit().to_vec(),
+        };
+        maybe_persist_audit(&report, name);
+        if report.has_errors() {
+            eprintln!(
+                "--audit: {} integrity error(s) in the experiment plan; exiting nonzero",
+                report.error_count()
+            );
+            std::process::exit(1);
         }
     }
     if cfg.strict && journal.has_failures() {
@@ -447,6 +492,14 @@ mod tests {
         assert!(!parse(&[]).unwrap().strict);
         assert!(parse(&["--strict"]).unwrap().strict);
         assert!(parse(&["--fast", "--strict"]).unwrap().strict);
+    }
+
+    #[test]
+    fn audit_flag_is_parsed() {
+        assert!(!parse(&[]).unwrap().audit);
+        assert!(parse(&["--audit"]).unwrap().audit);
+        let cfg = parse(&["--fast", "--strict", "--audit"]).unwrap();
+        assert!(cfg.audit && cfg.strict);
     }
 
     #[test]

@@ -403,10 +403,28 @@ impl IngestEntry {
     }
 }
 
+/// One experiment-audit finding (DESIGN.md §4h), journaled with the run it
+/// was raised against. A flattened, string-typed mirror of
+/// `lumen_core::Diagnostic` plus the scope it applies to, so journals stay
+/// readable without the core crate's types.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// What was audited: an algorithm code ("A06") for Level-1 template
+    /// findings, or "`algo train->test [mode]`" for Level-2 matrix
+    /// findings.
+    pub scope: String,
+    /// Stable rule id ("A110", "A200", ...).
+    pub rule_id: String,
+    /// Severity name ("error" / "warn" / "info").
+    pub severity: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
 /// Current journal schema version. v1 (implicit) predates supervision;
 /// v2 adds `schema_version` itself, `TimedOut` outcomes, and per-task
-/// attempt history.
-pub const SCHEMA_VERSION: u32 = 2;
+/// attempt history; v3 adds experiment-audit findings.
+pub const SCHEMA_VERSION: u32 = 3;
 
 fn v1_schema_version() -> u32 {
     1
@@ -425,6 +443,10 @@ pub struct RunJournal {
     /// Flow-table LRU evictions observed over the whole run.
     #[serde(default)]
     flow_evictions: u64,
+    /// Experiment-audit findings for this run (absent pre-v3 and when the
+    /// run did not audit).
+    #[serde(default)]
+    audit: Vec<AuditFinding>,
 }
 
 impl Default for RunJournal {
@@ -441,6 +463,7 @@ impl RunJournal {
             entries: Vec::new(),
             ingest: Vec::new(),
             flow_evictions: 0,
+            audit: Vec::new(),
         }
     }
 
@@ -470,6 +493,21 @@ impl RunJournal {
     /// Per-dataset ingestion accounting, in dataset-code order.
     pub fn ingest(&self) -> &[IngestEntry] {
         &self.ingest
+    }
+
+    /// Replaces the run's experiment-audit findings.
+    pub fn set_audit(&mut self, findings: Vec<AuditFinding>) {
+        self.audit = findings;
+    }
+
+    /// Experiment-audit findings journaled with this run.
+    pub fn audit(&self) -> &[AuditFinding] {
+        &self.audit
+    }
+
+    /// Number of error-severity audit findings.
+    pub fn audit_error_count(&self) -> usize {
+        self.audit.iter().filter(|f| f.severity == "error").count()
     }
 
     /// Records the run's flow-table eviction count.
@@ -619,6 +657,8 @@ impl RunJournal {
             (&a.algo, &a.train, &a.test, &a.mode).cmp(&(&b.algo, &b.train, &b.test, &b.mode))
         });
         self.ingest.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        self.audit
+            .sort_by(|a, b| (&a.scope, &a.rule_id).cmp(&(&b.scope, &b.rule_id)));
     }
 
     /// Multi-line human summary: counts, failures (with error text), the
@@ -674,6 +714,23 @@ impl RunJournal {
                 "feature cache: {cache_hits} hits / {cache_misses} misses ({:.0}% hit ratio)\n",
                 100.0 * cache_hits as f64 / total as f64
             ));
+        }
+        if !self.audit.is_empty() {
+            let errors = self.audit_error_count();
+            s.push_str(&format!(
+                "experiment audit: {} finding(s), {} error(s)\n",
+                self.audit.len(),
+                errors
+            ));
+            for f in &self.audit {
+                s.push_str(&format!(
+                    "  {} [{}] {}: {}\n",
+                    f.severity.to_uppercase(),
+                    f.rule_id,
+                    f.scope,
+                    f.message
+                ));
+            }
         }
         if self.total_quarantined() > 0 {
             s.push_str(&format!(

@@ -11,6 +11,9 @@
 //! `table1`, `validation`, `scalability`, `observations`); each prints the
 //! rows/series of the corresponding table or figure.
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod datasets;
 pub mod exp;
 pub mod journal;
@@ -19,8 +22,13 @@ pub mod render;
 pub mod runner;
 pub mod store;
 
+pub use audit::{
+    audit_matrix, audit_plan, matrix_rule_catalog, AuditReport, DatasetAuditInfo, TaskAuditInfo,
+};
 pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
-pub use journal::{AttemptRecord, IngestEntry, JournalEntry, RunJournal, TaskOutcome, WalRecord};
+pub use journal::{
+    AttemptRecord, AuditFinding, IngestEntry, JournalEntry, RunJournal, TaskOutcome, WalRecord,
+};
 pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunBudget, RunConfig, Runner};
 pub use store::{ResultRow, ResultStore};
 

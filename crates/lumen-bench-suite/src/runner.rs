@@ -134,6 +134,10 @@ pub struct RunConfig {
     pub fault: Option<FaultSpec>,
     /// Per-task deadline/retry budget.
     pub budget: RunBudget,
+    /// Run the experiment-integrity audit (DESIGN.md §4h) over the planned
+    /// matrix and journal its findings; `finish_run` then denies (exit 1)
+    /// on any error-severity finding.
+    pub audit: bool,
 }
 
 impl Default for RunConfig {
@@ -146,6 +150,7 @@ impl Default for RunConfig {
             per_attack: false,
             fault: None,
             budget: RunBudget::default(),
+            audit: false,
         }
     }
 }
@@ -867,6 +872,18 @@ impl Runner {
                     }
                 }
             }
+        }
+
+        // Static integrity audit of the plan we are about to execute —
+        // before any task runs, so a doomed experiment is cheap to reject.
+        // Findings travel in the journal; `finish_run` applies the deny
+        // policy and emits AUDIT_report.json.
+        if self.config.audit {
+            let report = crate::audit::audit_plan(self, algos, datasets, include_cross);
+            if !report.findings.is_empty() {
+                eprint!("{}", report.summary());
+            }
+            journal.set_audit(report.findings);
         }
 
         let store = Mutex::new(ResultStore::new());

@@ -1,0 +1,995 @@
+//! Level-1 experiment audit: an abstract interpreter over pipeline
+//! templates (DESIGN.md §4h).
+//!
+//! Where [`crate::lint`] checks each node's parameters and the dataflow
+//! graph's wiring, this module *executes the template abstractly*: it
+//! pushes an approximation of every value — which columns a feature table
+//! has, which of them are tainted by label-like provenance, and which half
+//! of a train/test split the rows came from — through each operation's
+//! transfer function ([`crate::ops::audit_meta`]). That catches a class of
+//! experiment-invalidating bugs no per-node check can see:
+//!
+//! * **feature-dimension mismatches** — a `Pca` wider than its input, a
+//!   `FeatureSelect` naming a column that does not exist, a model trained
+//!   on zero features (via [`lumen_ml::contracts`]);
+//! * **label leakage** — a label-suspect column surviving into the table a
+//!   model is trained on;
+//! * **fit-on-test preprocessing** — a fitted op (`Normalize`, `Pca`,
+//!   `CorrelationFilter`) applied to the test half of a split, baking
+//!   test-set statistics into the features.
+//!
+//! The abstraction is a lattice: column knowledge degrades from
+//! `Cols(names…)` to `Unknown` whenever an op's output schema is data
+//! dependent, and every rule fires only on *definite* knowledge — `Unknown`
+//! never produces a diagnostic. A clean audit therefore does not prove the
+//! experiment sound, but every finding is real.
+//!
+//! Diagnostics reuse the lint machinery ([`Diagnostic`]/[`Severity`]) with
+//! stable `A1xx` rule IDs, deterministically ordered by (node, rule id).
+//! Matrix-level `A2xx` rules live in the benchmark suite, which sees run
+//! configurations and the dataset registry.
+
+use std::collections::HashMap;
+
+use serde_json::Value;
+
+use crate::data::DataKind;
+use crate::lint::{extract_nodes, nearest, Diagnostic, LintNode, Severity};
+use crate::ops::{audit_meta, ColsTransfer};
+
+// ------------------------------------------------------------ the lattice
+
+/// One abstract column: a name plus label-taint provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsCol {
+    /// Column name.
+    pub name: String,
+    /// True when the column's value is (transitively) derived from a
+    /// label-suspect source column.
+    pub tainted: bool,
+}
+
+/// What is known about a table's column set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsShape {
+    /// The exact ordered column list is known.
+    Cols(Vec<AbsCol>),
+    /// The schema is data- or config-dependent; nothing is claimed.
+    Unknown,
+}
+
+impl AbsShape {
+    /// Number of columns, when known.
+    pub fn width(&self) -> Option<usize> {
+        match self {
+            AbsShape::Cols(c) => Some(c.len()),
+            AbsShape::Unknown => None,
+        }
+    }
+
+    fn tainted_names(&self) -> Vec<&str> {
+        match self {
+            AbsShape::Cols(c) => c
+                .iter()
+                .filter(|c| c.tainted)
+                .map(|c| c.name.as_str())
+                .collect(),
+            AbsShape::Unknown => Vec::new(),
+        }
+    }
+}
+
+/// Which half of a `TrainTestSplit` a table's rows came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitHalf {
+    /// Rows from `TakeTrain`.
+    Train,
+    /// Rows from `TakeTest` — the held-out side.
+    Test,
+}
+
+/// Abstract feature table: shape plus split provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsTable {
+    /// Column knowledge.
+    pub shape: AbsShape,
+    /// `Some` once the rows passed through `TakeTrain`/`TakeTest`.
+    pub half: Option<SplitHalf>,
+}
+
+impl AbsTable {
+    fn unknown() -> Self {
+        AbsTable {
+            shape: AbsShape::Unknown,
+            half: None,
+        }
+    }
+}
+
+/// Abstract value for one pipeline variable.
+#[derive(Debug, Clone)]
+enum AbsValue {
+    Table(AbsTable),
+    /// A `TrainTestSplit` result; both halves share the pre-split shape.
+    Split(AbsTable),
+    /// A `Model` definition with its raw parameters.
+    Model(Value),
+    /// A trained model: kind (when known) plus the table it was fit on.
+    Trained {
+        kind: Option<String>,
+        table: AbsTable,
+    },
+    /// Packets, groupings, predictions, reports — nothing tracked.
+    Opaque,
+}
+
+// ---------------------------------------------------------- label taint
+
+/// Column names that, by convention, carry ground-truth rather than
+/// observable features. The synthetic field catalogs contain none of
+/// these, so taint can only enter through explicitly authored templates —
+/// exactly the case the rule exists for.
+const LABEL_SUSPECT: [&str; 8] = [
+    "label",
+    "labels",
+    "class",
+    "is_attack",
+    "malicious",
+    "attack_tag",
+    "target",
+    "ground_truth",
+];
+
+/// Whether a column name is label-suspect (case-insensitive; `label*`
+/// prefixes count).
+pub fn label_suspect(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.starts_with("label") || LABEL_SUSPECT.contains(&lower.as_str())
+}
+
+fn named_cols(names: &[String]) -> AbsShape {
+    AbsShape::Cols(
+        names
+            .iter()
+            .map(|n| AbsCol {
+                name: n.clone(),
+                tainted: label_suspect(n),
+            })
+            .collect(),
+    )
+}
+
+// ------------------------------------------------------------- reporting
+
+fn adiag(
+    rule_id: &'static str,
+    severity: Severity,
+    node: &LintNode,
+    message: String,
+    suggestion: Option<String>,
+) -> Diagnostic {
+    Diagnostic {
+        rule_id,
+        severity,
+        node: Some(node.idx),
+        func: node.func.clone(),
+        message,
+        suggestion,
+    }
+}
+
+// ----------------------------------------------------------- interpreter
+
+struct Interp<'a> {
+    env: HashMap<String, AbsValue>,
+    diags: &'a mut Vec<Diagnostic>,
+    saw_train: bool,
+}
+
+impl Interp<'_> {
+    fn input(&self, node: &LintNode, i: usize) -> AbsValue {
+        node.inputs
+            .get(i)
+            .and_then(|name| self.env.get(name))
+            .cloned()
+            .unwrap_or(AbsValue::Opaque)
+    }
+
+    fn input_table(&self, node: &LintNode, i: usize) -> AbsTable {
+        match self.input(node, i) {
+            AbsValue::Table(t) => t,
+            _ => AbsTable::unknown(),
+        }
+    }
+
+    /// A120/A121: a fitted op learns its parameters from the one half it
+    /// sees. On the test half that bakes held-out statistics into the
+    /// features; on the train half the statistics cannot be replayed on
+    /// the test side (the op has no fit/transform split — use the model's
+    /// attached preprocessing instead).
+    fn check_fitted_on_half(&mut self, node: &LintNode, table: &AbsTable) {
+        let Some(func) = node.func.as_deref() else {
+            return;
+        };
+        match table.half {
+            Some(SplitHalf::Test) => self.diags.push(adiag(
+                "A120",
+                Severity::Error,
+                node,
+                format!("{func} fits its statistics on the test half of a split"),
+                Some(
+                    "fit preprocessing on training data only — use the Model op's \
+                     normalize/pca/corr_filter parameters, which fit at Train time"
+                        .into(),
+                ),
+            )),
+            Some(SplitHalf::Train) => self.diags.push(adiag(
+                "A121",
+                Severity::Warn,
+                node,
+                format!(
+                    "{func} fits on the train half only; its statistics cannot be \
+                     replayed on the test half"
+                ),
+                Some(
+                    "use the Model op's normalize/pca/corr_filter parameters so the \
+                     fitted transform is part of the model"
+                        .into(),
+                ),
+            )),
+            None => {}
+        }
+    }
+
+    /// Transfer function for ops described fully by [`audit_meta`].
+    fn transfer_meta(&mut self, node: &LintNode, cols: ColsTransfer, fitted: bool) -> AbsValue {
+        let inp = self.input_table(node, 0);
+        if fitted {
+            self.check_fitted_on_half(node, &inp);
+        }
+        let shape = match cols {
+            ColsTransfer::Preserve => inp.shape.clone(),
+            ColsTransfer::FieldsParam(key) => self.fields_shape(node, key),
+            ColsTransfer::PcaComponents => self.pca_shape(node, &inp),
+            ColsTransfer::SelectParam(key) => self.select_shape(node, key, &inp),
+            ColsTransfer::Subset | ColsTransfer::Fresh => AbsShape::Unknown,
+            ColsTransfer::NotTable => return AbsValue::Opaque,
+        };
+        AbsValue::Table(AbsTable {
+            shape,
+            half: inp.half,
+        })
+    }
+
+    fn fields_shape(&mut self, node: &LintNode, key: &str) -> AbsShape {
+        let Some(fields) = node.param(key).and_then(Value::as_array) else {
+            return AbsShape::Unknown;
+        };
+        let names: Vec<String> = fields
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        if names.len() != fields.len() {
+            return AbsShape::Unknown;
+        }
+        // ConnExtract's "state" pseudo-field expands to a one-hot block
+        // whose width depends on the connection states present in the
+        // data; degrade rather than claim a wrong schema.
+        if node.func.as_deref() == Some("ConnExtract") && names.iter().any(|n| n == "state") {
+            return AbsShape::Unknown;
+        }
+        named_cols(&names)
+    }
+
+    fn pca_shape(&mut self, node: &LintNode, inp: &AbsTable) -> AbsShape {
+        let k = node
+            .param("components")
+            .and_then(Value::as_u64)
+            .unwrap_or(8) as usize;
+        if let Some(width) = inp.shape.width() {
+            if k > width {
+                self.diags.push(adiag(
+                    "A100",
+                    Severity::Error,
+                    node,
+                    format!("Pca projects {width} input columns onto {k} components"),
+                    Some(format!("components must be at most {width} here")),
+                ));
+            }
+        }
+        // Any tainted input taints every principal component: each is a
+        // linear combination of all inputs.
+        let tainted = !inp.shape.tainted_names().is_empty();
+        AbsShape::Cols(
+            (0..k)
+                .map(|i| AbsCol {
+                    name: format!("pc_{i}"),
+                    tainted,
+                })
+                .collect(),
+        )
+    }
+
+    fn select_shape(&mut self, node: &LintNode, key: &str, inp: &AbsTable) -> AbsShape {
+        let Some(cols) = node.param(key).and_then(Value::as_array) else {
+            return AbsShape::Unknown;
+        };
+        let wanted: Vec<String> = cols
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        match &inp.shape {
+            AbsShape::Cols(have) => {
+                let mut out = Vec::with_capacity(wanted.len());
+                for w in &wanted {
+                    match have.iter().find(|c| &c.name == w) {
+                        Some(c) => out.push(c.clone()),
+                        None => {
+                            let names: Vec<&str> = have.iter().map(|c| c.name.as_str()).collect();
+                            let hint = nearest(w, &names).map(|n| format!("did you mean {n:?}?"));
+                            self.diags.push(adiag(
+                                "A101",
+                                Severity::Error,
+                                node,
+                                format!("column {w:?} is not in the input schema"),
+                                hint,
+                            ));
+                            // Keep the requested column so downstream width
+                            // reasoning matches the author's intent.
+                            out.push(AbsCol {
+                                name: w.clone(),
+                                tainted: label_suspect(w),
+                            });
+                        }
+                    }
+                }
+                AbsShape::Cols(out)
+            }
+            // Unknown input: trust the requested names, applying the
+            // label-name convention fresh.
+            AbsShape::Unknown => named_cols(&wanted),
+        }
+    }
+
+    fn eval_concat(&mut self, node: &LintNode) -> AbsValue {
+        let mut cols = Vec::new();
+        let mut half = None;
+        for i in 0..node.inputs.len() {
+            let t = self.input_table(node, i);
+            half = half.or(t.half);
+            match t.shape {
+                AbsShape::Cols(mut c) => cols.append(&mut c),
+                AbsShape::Unknown => {
+                    return AbsValue::Table(AbsTable {
+                        shape: AbsShape::Unknown,
+                        half,
+                    })
+                }
+            }
+        }
+        AbsValue::Table(AbsTable {
+            shape: AbsShape::Cols(cols),
+            half,
+        })
+    }
+
+    fn eval_merge(&mut self, node: &LintNode) -> AbsValue {
+        // Row-wise union: every input must share one schema.
+        let mut known: Option<(usize, Vec<AbsCol>)> = None;
+        for i in 0..node.inputs.len() {
+            let t = self.input_table(node, i);
+            let AbsShape::Cols(c) = t.shape else { continue };
+            match &known {
+                None => known = Some((i, c)),
+                Some((first, have)) => {
+                    let names = |cs: &[AbsCol]| {
+                        cs.iter().map(|c| c.name.clone()).collect::<Vec<_>>()
+                    };
+                    if names(have) != names(&c) {
+                        self.diags.push(adiag(
+                            "A102",
+                            Severity::Error,
+                            node,
+                            format!(
+                                "inputs {} and {i} have different schemas ({} vs {} columns)",
+                                first,
+                                have.len(),
+                                c.len()
+                            ),
+                            Some("MergeTables unions rows; all inputs need one schema".into()),
+                        ));
+                        return AbsValue::Table(AbsTable::unknown());
+                    }
+                }
+            }
+        }
+        let shape = match known {
+            Some((_, c)) => AbsShape::Cols(c),
+            None => AbsShape::Unknown,
+        };
+        AbsValue::Table(AbsTable { shape, half: None })
+    }
+
+    fn eval_train(&mut self, node: &LintNode) -> AbsValue {
+        let model = self.input(node, 0);
+        let table = self.input_table(node, 1);
+        self.saw_train = true;
+
+        // A110: definite label leakage into the training features.
+        let tainted = table.shape.tainted_names();
+        if !tainted.is_empty() {
+            self.diags.push(adiag(
+                "A110",
+                Severity::Error,
+                node,
+                format!(
+                    "label-tainted column(s) {tainted:?} flow into the training features"
+                ),
+                Some("drop ground-truth columns before Train; labels reach models only \
+                      through the evaluation harness"
+                    .into()),
+            ));
+        }
+
+        // A112: the held-out half is being learned from.
+        if table.half == Some(SplitHalf::Test) {
+            self.diags.push(adiag(
+                "A112",
+                Severity::Warn,
+                node,
+                "model is trained on the test half of a split".into(),
+                Some("train on TakeTrain output and hold TakeTest out for Predict".into()),
+            ));
+        }
+
+        let kind = match &model {
+            AbsValue::Model(params) => {
+                self.check_model_contract(node, params, &table);
+                params
+                    .get("model_type")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+            }
+            _ => None,
+        };
+        AbsValue::Trained { kind, table }
+    }
+
+    /// A103/A104/A105: joins the abstract table width against the model's
+    /// static shape contract and compressive hyper-parameters.
+    fn check_model_contract(&mut self, node: &LintNode, params: &Value, table: &AbsTable) {
+        let Some(width) = table.shape.width() else {
+            return;
+        };
+        // Model-attached PCA projects the (imputed/filtered) features; it
+        // can never exceed the incoming width.
+        if let Some(pca) = params.get("pca").and_then(Value::as_u64) {
+            if pca as usize > width {
+                self.diags.push(adiag(
+                    "A103",
+                    Severity::Error,
+                    node,
+                    format!("model pca={pca} exceeds the {width}-column feature width"),
+                    Some(format!("pca must be at most {width} here")),
+                ));
+            }
+        }
+        let Some(kind) = params.get("model_type").and_then(Value::as_str) else {
+            return;
+        };
+        let Some(contract) = lumen_ml::contracts::shape_contract(kind) else {
+            return;
+        };
+        if width < contract.min_features {
+            self.diags.push(adiag(
+                "A104",
+                Severity::Error,
+                node,
+                format!(
+                    "{kind} requires at least {} feature column(s), got {width} ({})",
+                    contract.min_features, contract.note
+                ),
+                None,
+            ));
+        }
+        for &key in contract.compressive {
+            if let Some(v) = params.get(key).and_then(Value::as_u64) {
+                if v as usize >= width && width >= contract.min_features {
+                    self.diags.push(adiag(
+                        "A105",
+                        Severity::Warn,
+                        node,
+                        format!(
+                            "{kind} {key}={v} is not below the {width}-column feature \
+                             width ({})",
+                            contract.note
+                        ),
+                        Some(format!("use {key} < {width} for an effective bottleneck")),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn eval_predict(&mut self, node: &LintNode) -> AbsValue {
+        let trained = self.input(node, 0);
+        let table = self.input_table(node, 1);
+        if let AbsValue::Trained {
+            table: fit_table, ..
+        } = &trained
+        {
+            if let (AbsShape::Cols(fit), AbsShape::Cols(now)) = (&fit_table.shape, &table.shape) {
+                let names = |cs: &[AbsCol]| cs.iter().map(|c| c.name.clone()).collect::<Vec<_>>();
+                if names(fit) != names(now) {
+                    self.diags.push(adiag(
+                        "A106",
+                        Severity::Error,
+                        node,
+                        format!(
+                            "prediction features ({} columns) do not match the schema the \
+                             model was trained on ({} columns)",
+                            now.len(),
+                            fit.len()
+                        ),
+                        Some("Train and Predict must see identically named columns".into()),
+                    ));
+                }
+            }
+        }
+        AbsValue::Opaque
+    }
+
+    fn eval_node(&mut self, node: &LintNode) -> AbsValue {
+        let Some(func) = node.func.as_deref() else {
+            return AbsValue::Opaque;
+        };
+        match func {
+            "Concat" => self.eval_concat(node),
+            "MergeTables" => self.eval_merge(node),
+            "TrainTestSplit" => AbsValue::Split(self.input_table(node, 0)),
+            "TakeTrain" | "TakeTest" => {
+                let half = if func == "TakeTrain" {
+                    SplitHalf::Train
+                } else {
+                    SplitHalf::Test
+                };
+                let base = match self.input(node, 0) {
+                    AbsValue::Split(t) => t,
+                    AbsValue::Table(t) => t, // mis-typed; lint flags it
+                    _ => AbsTable::unknown(),
+                };
+                AbsValue::Table(AbsTable {
+                    shape: base.shape,
+                    half: Some(half),
+                })
+            }
+            "Model" => {
+                let mut params = serde_json::Map::new();
+                for (k, v) in &node.params {
+                    params.insert(k.clone(), v.clone());
+                }
+                AbsValue::Model(Value::Object(params))
+            }
+            "Train" => self.eval_train(node),
+            "Predict" => self.eval_predict(node),
+            "Evaluate" => AbsValue::Opaque,
+            _ => match audit_meta(func) {
+                Some(m) => self.transfer_meta(node, m.cols, m.fitted),
+                None => AbsValue::Opaque,
+            },
+        }
+    }
+}
+
+// ------------------------------------------------------------------ entry
+
+/// Audits a raw template by abstract interpretation.
+///
+/// `inputs` declares the externally bound variables and their kinds (the
+/// same names [`crate::lint::lint_template`] takes); only
+/// [`DataKind::Table`] inputs start with table tracking, everything else is
+/// opaque. Diagnostics are ordered by node index, then rule id, and carry
+/// stable `A1xx` rule IDs from [`audit_rule_catalog`].
+pub fn audit_template(template: &Value, inputs: &[(&str, DataKind)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(arr) = template.as_array() else {
+        // Structural breakage is the linter's domain (L000); the abstract
+        // interpreter has nothing to say about a non-array template.
+        return diags;
+    };
+    let mut scratch = Vec::new();
+    let nodes = extract_nodes(arr, &mut scratch);
+
+    let mut interp = Interp {
+        env: HashMap::new(),
+        diags: &mut diags,
+        saw_train: false,
+    };
+    for (name, kind) in inputs {
+        let v = match kind {
+            DataKind::Table => AbsValue::Table(AbsTable::unknown()),
+            _ => AbsValue::Opaque,
+        };
+        interp.env.insert((*name).to_string(), v);
+    }
+
+    let mut terminal: Option<(usize, AbsTable)> = None;
+    for node in &nodes {
+        let out = interp.eval_node(node);
+        if let Some(var) = &node.output {
+            if let AbsValue::Table(t) = &out {
+                terminal = Some((node.idx, t.clone()));
+            }
+            interp.env.insert(var.clone(), out);
+        }
+    }
+
+    // A111: a feature template (no Train stage) whose final table still
+    // carries a label-suspect column hands leakage to whichever training
+    // template consumes it.
+    if !interp.saw_train {
+        if let Some((idx, table)) = terminal {
+            let suspects: Vec<&str> = match &table.shape {
+                AbsShape::Cols(c) => c
+                    .iter()
+                    .filter(|c| c.tainted || label_suspect(&c.name))
+                    .map(|c| c.name.as_str())
+                    .collect(),
+                AbsShape::Unknown => Vec::new(),
+            };
+            if !suspects.is_empty() {
+                diags.push(Diagnostic {
+                    rule_id: "A111",
+                    severity: Severity::Warn,
+                    node: Some(idx),
+                    func: nodes.iter().find(|n| n.idx == idx).and_then(|n| n.func.clone()),
+                    message: format!(
+                        "terminal feature table carries label-suspect column(s) {suspects:?}"
+                    ),
+                    suggestion: Some(
+                        "feature templates must not emit ground-truth columns".into(),
+                    ),
+                });
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| (d.node.map_or(usize::MAX, |i| i), d.rule_id));
+    diags
+}
+
+/// The Level-1 audit rule catalog: (rule id, severity, summary).
+/// DESIGN.md §4h's table is generated from this list (a unit test keeps
+/// them in lockstep).
+pub fn audit_rule_catalog() -> Vec<(&'static str, Severity, &'static str)> {
+    vec![
+        (
+            "A100",
+            Severity::Error,
+            "Pca components exceed the known input width",
+        ),
+        (
+            "A101",
+            Severity::Error,
+            "FeatureSelect references a column absent from the known input schema",
+        ),
+        (
+            "A102",
+            Severity::Error,
+            "MergeTables inputs have mismatched known schemas",
+        ),
+        (
+            "A103",
+            Severity::Error,
+            "model-attached pca exceeds the known feature width",
+        ),
+        (
+            "A104",
+            Severity::Error,
+            "feature width below the model kind's minimum input dimension",
+        ),
+        (
+            "A105",
+            Severity::Warn,
+            "compressive hyper-parameter at or above the known feature width",
+        ),
+        (
+            "A106",
+            Severity::Error,
+            "Predict feature schema differs from the schema the model was trained on",
+        ),
+        (
+            "A110",
+            Severity::Error,
+            "label-tainted column flows into the training features",
+        ),
+        (
+            "A111",
+            Severity::Warn,
+            "terminal feature table carries a label-suspect column",
+        ),
+        (
+            "A112",
+            Severity::Warn,
+            "model trained on the test half of a split",
+        ),
+        (
+            "A120",
+            Severity::Error,
+            "fitted preprocessing applied to the test half (fit-on-test statistics)",
+        ),
+        (
+            "A121",
+            Severity::Warn,
+            "fitted preprocessing applied to the train half only (statistics cannot replay on test)",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::has_errors;
+    use serde_json::json;
+
+    fn table_input() -> Vec<(&'static str, DataKind)> {
+        vec![("features", DataKind::Table)]
+    }
+
+    fn ids(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule_id).collect()
+    }
+
+    /// A packet-derived 3-column table the fixtures build on.
+    fn extract(fields: &[&str]) -> Value {
+        json!({"func": "FieldExtract", "input": "source", "output": "t",
+               "params": {"fields": fields}})
+    }
+
+    #[test]
+    fn clean_template_audits_clean() {
+        let t = json!([
+            extract(&["ttl", "wire_len", "payload_entropy"]),
+            {"func": "TrainTestSplit", "input": "t", "output": "split"},
+            {"func": "TakeTrain", "input": "split", "output": "tr"},
+            {"func": "TakeTest", "input": "split", "output": "te"},
+            {"func": "Model", "output": "m", "params": {"model_type": "DecisionTree"}},
+            {"func": "Train", "input": ["m", "tr"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "te"], "output": "preds"},
+        ]);
+        let diags = audit_template(&t, &[("source", DataKind::Packets)]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn a100_pca_wider_than_input() {
+        let t = json!([
+            extract(&["ttl", "wire_len"]),
+            {"func": "Pca", "input": "t", "output": "p", "params": {"components": 5}},
+        ]);
+        let diags = audit_template(&t, &[("source", DataKind::Packets)]);
+        assert_eq!(ids(&diags), vec!["A100"]);
+        assert_eq!(diags[0].node, Some(1));
+    }
+
+    #[test]
+    fn a101_unknown_column_with_suggestion() {
+        let t = json!([
+            extract(&["ttl", "wire_len"]),
+            {"func": "FeatureSelect", "input": "t", "output": "s",
+             "params": {"columns": ["wire_le"]}},
+        ]);
+        let diags = audit_template(&t, &[("source", DataKind::Packets)]);
+        assert_eq!(ids(&diags), vec!["A101"]);
+        assert!(diags[0].suggestion.as_deref().unwrap().contains("wire_len"));
+    }
+
+    #[test]
+    fn a102_merge_schema_mismatch() {
+        let t = json!([
+            extract(&["ttl", "wire_len"]),
+            {"func": "FieldExtract", "input": "source", "output": "u",
+             "params": {"fields": ["ttl"]}},
+            {"func": "MergeTables", "input": ["t", "u"], "output": "m"},
+        ]);
+        let diags = audit_template(&t, &[("source", DataKind::Packets)]);
+        assert_eq!(ids(&diags), vec!["A102"]);
+    }
+
+    #[test]
+    fn a103_and_a104_model_contract() {
+        // Zero-width select: training a model on no features.
+        let t = json!([
+            {"func": "FeatureSelect", "input": "features", "output": "s",
+             "params": {"columns": []}},
+            {"func": "Model", "output": "m", "params": {"model_type": "KNN", "pca": 4}},
+            {"func": "Train", "input": ["m", "s"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A103", "A104"]);
+    }
+
+    #[test]
+    fn a105_non_compressive_autoencoder() {
+        let t = json!([
+            {"func": "FeatureSelect", "input": "features", "output": "s",
+             "params": {"columns": ["a", "b"]}},
+            {"func": "Model", "output": "m",
+             "params": {"model_type": "Autoencoder", "hidden": 8}},
+            {"func": "Train", "input": ["m", "s"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A105"]);
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn a106_predict_schema_mismatch() {
+        let t = json!([
+            extract(&["ttl", "wire_len"]),
+            {"func": "FieldExtract", "input": "source", "output": "other",
+             "params": {"fields": ["ttl", "proto"]}},
+            {"func": "Model", "output": "m", "params": {"model_type": "DecisionTree"}},
+            {"func": "Train", "input": ["m", "t"], "output": "trained"},
+            {"func": "Predict", "input": ["trained", "other"], "output": "p"},
+        ]);
+        let diags = audit_template(&t, &[("source", DataKind::Packets)]);
+        assert_eq!(ids(&diags), vec!["A106"]);
+    }
+
+    #[test]
+    fn a110_label_column_reaches_train() {
+        // The fixture from ISSUE 6: a label-tainted feature column.
+        let t = json!([
+            {"func": "FeatureSelect", "input": "features", "output": "s",
+             "params": {"columns": ["duration", "label"]}},
+            {"func": "Model", "output": "m", "params": {"model_type": "DecisionTree"}},
+            {"func": "Train", "input": ["m", "s"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A110"]);
+        assert!(diags[0].message.contains("label"));
+    }
+
+    #[test]
+    fn taint_survives_pca() {
+        let t = json!([
+            {"func": "FeatureSelect", "input": "features", "output": "s",
+             "params": {"columns": ["duration", "attack_tag"]}},
+            {"func": "Pca", "input": "s", "output": "p", "params": {"components": 2}},
+            {"func": "Model", "output": "m", "params": {"model_type": "GMM"}},
+            {"func": "Train", "input": ["m", "p"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A110"]);
+    }
+
+    #[test]
+    fn a111_terminal_label_column() {
+        let t = json!([
+            {"func": "FeatureSelect", "input": "features", "output": "s",
+             "params": {"columns": ["duration", "label"]}},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A111"]);
+    }
+
+    #[test]
+    fn a112_train_on_test_half() {
+        let t = json!([
+            {"func": "TrainTestSplit", "input": "features", "output": "split"},
+            {"func": "TakeTest", "input": "split", "output": "te"},
+            {"func": "Model", "output": "m", "params": {"model_type": "DecisionTree"}},
+            {"func": "Train", "input": ["m", "te"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A112"]);
+    }
+
+    #[test]
+    fn a120_fit_on_test_half() {
+        // The fixture from ISSUE 6: scaler fit on the test split.
+        let t = json!([
+            {"func": "TrainTestSplit", "input": "features", "output": "split"},
+            {"func": "TakeTest", "input": "split", "output": "te"},
+            {"func": "Normalize", "input": "te", "output": "scaled"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A120"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn a121_fit_on_train_half_warns() {
+        let t = json!([
+            {"func": "TrainTestSplit", "input": "features", "output": "split"},
+            {"func": "TakeTrain", "input": "split", "output": "tr"},
+            {"func": "Normalize", "input": "tr", "output": "scaled"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        assert_eq!(ids(&diags), vec!["A121"]);
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn unknown_shapes_stay_silent() {
+        // Encoders and aggregates degrade to Unknown: no rule may fire on
+        // missing knowledge.
+        let t = json!([
+            {"func": "NprintEncode", "input": "source", "output": "enc"},
+            {"func": "Pca", "input": "enc", "output": "p", "params": {"components": 999}},
+            {"func": "Model", "output": "m", "params": {"model_type": "KNN"}},
+            {"func": "Train", "input": ["m", "p"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &[("source", DataKind::Packets)]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn conn_state_degrades_to_unknown() {
+        let t = json!([
+            {"func": "ConnExtract", "input": "flows", "output": "t",
+             "params": {"fields": ["duration", "state"]}},
+            {"func": "FeatureSelect", "input": "t", "output": "s",
+             "params": {"columns": ["no_such_column"]}},
+        ]);
+        // Unknown input schema: FeatureSelect trusts the request, no A101.
+        let diags = audit_template(&t, &[("flows", DataKind::Connections)]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_ordered() {
+        let t = json!([
+            {"func": "TrainTestSplit", "input": "features", "output": "split"},
+            {"func": "TakeTest", "input": "split", "output": "te"},
+            {"func": "Normalize", "input": "te", "output": "scaled"},
+            {"func": "Pca", "input": "te", "output": "p", "params": {"components": 3}},
+            {"func": "Model", "output": "m", "params": {"model_type": "DecisionTree"}},
+            {"func": "Train", "input": ["m", "scaled"], "output": "trained"},
+        ]);
+        let diags = audit_template(&t, &table_input());
+        let keys: Vec<_> = diags
+            .iter()
+            .map(|d| (d.node.map_or(usize::MAX, |i| i), d.rule_id))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(keys.len() >= 2);
+    }
+
+    #[test]
+    fn catalog_ids_unique_sorted_and_match_fired_rules() {
+        let cat = audit_rule_catalog();
+        let ids: Vec<_> = cat.iter().map(|(id, _, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "catalog must be sorted and duplicate-free");
+        for id in &ids {
+            assert!(id.starts_with('A'), "{id}: Level-1 rules use the A prefix");
+        }
+    }
+
+    // DESIGN.md §4h's Level-1 table is generated from this catalog; the
+    // full row must appear verbatim so the docs cannot drift from the code.
+    #[test]
+    fn design_table_tracks_audit_catalog() {
+        let design = include_str!("../../../DESIGN.md");
+        for (id, sev, summary) in audit_rule_catalog() {
+            let row = format!("| {id} | {sev:?} | {summary} |");
+            assert!(design.contains(&row), "DESIGN.md §4h missing row: {row}");
+        }
+    }
+
+    #[test]
+    fn every_model_kind_has_a_shape_contract() {
+        for kind in crate::ops::MODEL_KINDS {
+            assert!(
+                lumen_ml::contracts::shape_contract(kind).is_some(),
+                "{kind} lacks a shape contract"
+            );
+        }
+    }
+}

@@ -276,6 +276,149 @@ mod tests {
         assert_eq!(hits, 7);
     }
 
+    // ---- loom-style forced interleavings --------------------------------
+    //
+    // The timing-based tests above make bad interleavings *likely*; these
+    // make the interesting schedules *certain* by parking the computing
+    // thread at its linearization point (inside the compute closure, where
+    // the in-flight marker is published but the map entry is not) and only
+    // releasing it once the racing thread has provably reached the state
+    // under test. Rendezvous is by channel + observation of the private
+    // in-flight map, so each test exercises exactly one schedule.
+
+    /// Parks until the in-flight entry for `key` has at least one waiter
+    /// (the computer holds one clone; each waiter holds another).
+    fn await_waiter(cache: &FeatureCache, key: &Key) {
+        loop {
+            if let Some(flight) = cache.in_flight.lock().get(key) {
+                // the map's own Arc plus at least one waiter's clone
+                if Arc::strong_count(flight) >= 2 {
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn interleaving_waiter_joins_mid_compute() {
+        let cache = Arc::new(FeatureCache::new());
+        let key: Key = ("K".into(), 1);
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+
+        let computer = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache
+                    .get_or_compute("K", 1, move || {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                        Ok(table(5.0))
+                    })
+                    .unwrap()
+            })
+        };
+
+        // Schedule point 1: computer is inside compute; the marker must be
+        // visible before any result is.
+        entered_rx.recv().unwrap();
+        assert!(cache.in_flight.lock().contains_key(&key));
+        assert!(cache.map.lock().get(&key).is_none());
+
+        // Schedule point 2: a second thread misses and must wait, not
+        // compute (its closure is a tripwire).
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache
+                    .get_or_compute("K", 1, || panic!("coalescing failed: waiter computed"))
+                    .unwrap()
+            })
+        };
+        await_waiter(&cache, &key);
+
+        // Schedule point 3: only now does the computer finish.
+        release_tx.send(()).unwrap();
+        let a = computer.join().unwrap();
+        let b = waiter.join().unwrap();
+        assert_eq!(a.x.get(0, 0), 5.0);
+        assert_eq!(b.x.get(0, 0), 5.0);
+        assert_eq!(cache.stats(), (1, 1));
+        assert!(cache.in_flight.lock().is_empty());
+    }
+
+    #[test]
+    fn interleaving_failure_hands_over_while_waiter_parked() {
+        let cache = Arc::new(FeatureCache::new());
+        let key: Key = ("K".into(), 2);
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+
+        let failer = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute("K", 2, move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Err(crate::CoreError::Unbound("forced failure".into()))
+                })
+            })
+        };
+        entered_rx.recv().unwrap();
+
+        let takeover = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.get_or_compute("K", 2, || Ok(table(6.0))))
+        };
+        await_waiter(&cache, &key);
+
+        // The waiter is parked on the flight; the failure must wake it and
+        // it must become the new computer (second miss, not a hit).
+        release_tx.send(()).unwrap();
+        assert!(failer.join().unwrap().is_err());
+        let t = takeover.join().unwrap().unwrap();
+        assert_eq!(t.x.get(0, 0), 6.0);
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.in_flight.lock().is_empty());
+    }
+
+    #[test]
+    fn interleaving_panic_unwinds_flight_and_frees_waiter() {
+        let cache = Arc::new(FeatureCache::new());
+        let key: Key = ("K".into(), 3);
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _ = cache.get_or_compute("K", 3, move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    panic!("forced panic inside compute");
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+
+        let survivor = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.get_or_compute("K", 3, || Ok(table(7.0))))
+        };
+        await_waiter(&cache, &key);
+
+        release_tx.send(()).unwrap();
+        assert!(panicker.join().is_err(), "panic must propagate");
+        // FlightGuard's Drop ran during unwind: the waiter is released and
+        // recomputes rather than deadlocking on the condvar.
+        let t = survivor.join().unwrap().unwrap();
+        assert_eq!(t.x.get(0, 0), 7.0);
+        assert!(cache.in_flight.lock().is_empty());
+        assert_eq!(cache.len(), 1);
+    }
+
     #[test]
     fn failed_compute_hands_off_to_a_waiter() {
         let cache = Arc::new(FeatureCache::new());

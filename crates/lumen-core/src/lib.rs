@@ -20,10 +20,16 @@
 //! * [`engine`] — template parsing, type checking, execution, profiling.
 //! * [`lint`] — static analysis over raw templates: parameter-schema
 //!   strictness, dataflow checks, and the §4 evaluation-faithfulness rules.
+//! * [`audit`] — abstract interpretation over templates: shape, dtype, and
+//!   column-provenance inference catching dimension mismatches, label
+//!   leakage, and fit-on-test preprocessing before any data is loaded.
 //! * [`cache`] — a feature cache so the benchmark can share extraction work
 //!   across algorithms (§3.2 "intermediate results are shared").
 //! * [`par`] — crossbeam-based chunked parallelism (the Ray substitute).
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod cache;
 pub mod data;
 pub mod engine;
@@ -32,6 +38,7 @@ pub mod ops;
 pub mod par;
 pub mod table;
 
+pub use audit::{audit_rule_catalog, audit_template, AbsCol, AbsShape, AbsTable, SplitHalf};
 pub use data::{Data, DataKind, PacketData, PredOutput, Report};
 pub use engine::{OpProfile, OpStat, OpsProfile, Pipeline, RunOutput};
 pub use lint::{lint_template, Diagnostic, Severity};

@@ -138,17 +138,26 @@ fn budget(a: &str, b: &str) -> usize {
 // ------------------------------------------------------------------ lint IR
 
 /// A tolerantly-extracted template node: whatever could be read out of the
-/// raw JSON, with malformed pieces already reported.
-struct LintNode {
-    idx: usize,
-    func: Option<String>,
-    inputs: Vec<String>,
-    output: Option<String>,
+/// raw JSON, with malformed pieces already reported. Shared with the
+/// [`crate::audit`] abstract interpreter so both analyses agree on what a
+/// node *is*.
+pub(crate) struct LintNode {
+    pub(crate) idx: usize,
+    pub(crate) func: Option<String>,
+    pub(crate) inputs: Vec<String>,
+    pub(crate) output: Option<String>,
     /// Merged top-level + nested `"params"` parameter entries.
-    params: Vec<(String, Value)>,
+    pub(crate) params: Vec<(String, Value)>,
 }
 
-fn extract_nodes(arr: &[Value], diags: &mut Vec<Diagnostic>) -> Vec<LintNode> {
+impl LintNode {
+    /// Looks up a parameter by key (merged view).
+    pub(crate) fn param(&self, key: &str) -> Option<&Value> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+pub(crate) fn extract_nodes(arr: &[Value], diags: &mut Vec<Diagnostic>) -> Vec<LintNode> {
     let mut nodes = Vec::with_capacity(arr.len());
     for (idx, raw) in arr.iter().enumerate() {
         let Some(obj) = raw.as_object() else {
@@ -921,5 +930,27 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids.len(), sorted.len());
+    }
+
+    // DESIGN.md §4c documents every L-rule with its severity; the prose
+    // there is richer than the catalog summaries, so this pins the ID +
+    // severity columns (the stable contract) rather than the full row.
+    // (The severity cell may carry variants like "Error/Warn" for rules
+    // whose severity is parameter-dependent — the base severity must
+    // still appear.)
+    #[test]
+    fn design_table_tracks_lint_catalog() {
+        let design = include_str!("../../../DESIGN.md");
+        for (id, sev, _) in rule_catalog() {
+            let row = design
+                .lines()
+                .find(|l| l.starts_with(&format!("| {id} |")))
+                .unwrap_or_else(|| panic!("DESIGN.md §4c has no table row for {id}"));
+            let sev_cell = row.split('|').nth(2).unwrap_or("");
+            assert!(
+                sev_cell.contains(&format!("{sev:?}")),
+                "DESIGN.md row for {id} lists severity {sev_cell:?}, catalog says {sev:?}"
+            );
+        }
     }
 }

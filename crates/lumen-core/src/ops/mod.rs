@@ -15,7 +15,7 @@ mod model;
 mod source;
 mod tableops;
 
-pub use model::PreprocessedClassifier;
+pub use model::{PreprocessedClassifier, MODEL_KINDS};
 
 /// The field catalogs (packet / connection / unidirectional-flow), exported
 /// for documentation and validation.
@@ -146,6 +146,82 @@ pub fn param_schema(func: &str) -> Option<&'static [&'static str]> {
     })
 }
 
+// ---- audit metadata --------------------------------------------------------
+
+/// How an operation transforms its input table's column set. This is the
+/// shape/provenance *transfer function* the [`crate::audit`] abstract
+/// interpreter applies per node (DESIGN.md §4h); it describes what can be
+/// known about the output schema without running the op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColsTransfer {
+    /// Output columns equal the input columns (row-wise ops: `Impute`,
+    /// `Normalize`, `Sample`, ...).
+    Preserve,
+    /// Output columns are exactly the names in the given list parameter
+    /// (the extraction ops' `"fields"`).
+    FieldsParam(&'static str),
+    /// Output columns are `pc_0 .. pc_{components-1}`.
+    PcaComponents,
+    /// Output is the subset named by the given list parameter
+    /// (`FeatureSelect`'s `"columns"`).
+    SelectParam(&'static str),
+    /// Output is a data-dependent subset of the input columns
+    /// (`CorrelationFilter`); names survive but which ones is unknowable
+    /// statically.
+    Subset,
+    /// Output columns are freshly derived; the schema is data- or
+    /// config-dependent in ways the analyzer does not model (encoders,
+    /// aggregate expansions).
+    Fresh,
+    /// The op does not produce a feature table (sources, groupings, flow
+    /// assembly, models, reports).
+    NotTable,
+}
+
+/// Static audit metadata for one operation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpAuditMeta {
+    /// True when the op learns data-dependent parameters from the very
+    /// table it transforms (fit-on-self semantics). Applying such an op to
+    /// one half of a train/test split bakes that half's statistics into the
+    /// output — the audit's fit-on-test / fit-asymmetry rules key off this.
+    pub fitted: bool,
+    /// Column-set transfer function.
+    pub cols: ColsTransfer,
+}
+
+const fn meta(fitted: bool, cols: ColsTransfer) -> OpAuditMeta {
+    OpAuditMeta { fitted, cols }
+}
+
+/// Audit metadata for a registered operation, or `None` when the name is
+/// unknown. Structural ops the interpreter handles specially (`Concat`,
+/// `MergeTables`, the split family, and the model stages) are still listed
+/// so every name in [`OPERATION_NAMES`] has an entry.
+pub fn audit_meta(func: &str) -> Option<OpAuditMeta> {
+    use ColsTransfer::*;
+    Some(match func {
+        "PcapLoad" | "GroupBy" | "TimeSlice" | "Filter" | "FlowAssemble" | "UniFlowSplit" => {
+            meta(false, NotTable)
+        }
+        "FieldExtract" | "ConnExtract" | "UniExtract" => meta(false, FieldsParam("fields")),
+        "NprintEncode" | "PdmlEncode" | "PayloadBytes" | "FirstNStats" | "ApplyAggregates"
+        | "RollingAggregates" | "InterArrival" | "DampedStats" | "DampedCov" => meta(false, Fresh),
+        "Normalize" => meta(true, Preserve),
+        "CorrelationFilter" => meta(true, Subset),
+        "Pca" => meta(true, PcaComponents),
+        "Impute" => meta(false, Preserve),
+        "FeatureSelect" => meta(false, SelectParam("columns")),
+        "Sample" => meta(false, Preserve),
+        // Structural / model ops: the interpreter special-cases these, but
+        // they are classified here so the table is total.
+        "Concat" | "MergeTables" => meta(false, Fresh),
+        "TrainTestSplit" | "TakeTrain" | "TakeTest" => meta(false, Preserve),
+        "Model" | "Train" | "Predict" | "Evaluate" => meta(false, NotTable),
+        _ => return None,
+    })
+}
+
 /// Names of every registered operation (for docs and error hints).
 pub const OPERATION_NAMES: [&str; 33] = [
     "PcapLoad",
@@ -265,6 +341,14 @@ mod tests {
                 Err(other) => panic!("{name}: unexpected error {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn every_registered_name_has_audit_meta() {
+        for name in OPERATION_NAMES {
+            assert!(audit_meta(name).is_some(), "{name} lacks audit metadata");
+        }
+        assert!(audit_meta("Nonsense").is_none());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! pipelines consume. Unidirectional flows (A10's granularity) are derived
 //! views over the same records.
 
+#![forbid(unsafe_code)]
+
 pub mod record;
 pub mod tracker;
 

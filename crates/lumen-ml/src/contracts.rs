@@ -1,0 +1,121 @@
+//! Per-model **input-shape contracts** for static analysis.
+//!
+//! The experiment auditor (`lumen_core::audit`, DESIGN.md §4h) runs before
+//! any data is loaded, so it cannot ask a trained model how many features it
+//! expects. Instead each model kind declares, next to its implementation
+//! crate, what it statically requires of its input table: a minimum feature
+//! width and which hyper-parameters are *compressive* (only meaningful when
+//! strictly below the input width). The auditor joins these contracts
+//! against the abstract table shape it inferred for the `Train` node.
+//!
+//! Contracts are deliberately conservative: they only encode requirements
+//! whose violation is a definite configuration bug (training on zero
+//! features, a PCA wider than its input), never heuristics about what
+//! "usually" works — a false audit error on a legitimate experiment would
+//! be worse than a miss.
+
+/// What a model kind statically requires of its input feature table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeContract {
+    /// Model kind name as used in `Model` template nodes.
+    pub kind: &'static str,
+    /// Minimum number of feature columns for training to be meaningful.
+    pub min_features: usize,
+    /// Hyper-parameter keys whose value must stay strictly below the input
+    /// feature width (bottlenecks / projections). An equal-or-wider value
+    /// makes the layer an expensive identity, which is almost always a
+    /// misconfiguration.
+    pub compressive: &'static [&'static str],
+    /// One-line rationale, surfaced in audit diagnostics.
+    pub note: &'static str,
+}
+
+const fn contract(
+    kind: &'static str,
+    min_features: usize,
+    compressive: &'static [&'static str],
+    note: &'static str,
+) -> ShapeContract {
+    ShapeContract {
+        kind,
+        min_features,
+        compressive,
+        note,
+    }
+}
+
+/// Contracts for every model kind the `Model` op can build, in the same
+/// order as the op's kind registry.
+pub const SHAPE_CONTRACTS: [ShapeContract; 14] = [
+    contract("DecisionTree", 1, &[], "splits need at least one feature"),
+    contract("RandomForest", 1, &[], "splits need at least one feature"),
+    contract("GaussianNB", 1, &[], "needs per-feature likelihoods"),
+    contract("KNN", 1, &[], "distances need at least one feature"),
+    contract("LogisticRegression", 1, &[], "needs at least one coefficient"),
+    contract("LinearSVM", 1, &[], "needs at least one coefficient"),
+    contract("Committee", 1, &[], "members need at least one feature"),
+    contract("AutoML", 1, &[], "candidates need at least one feature"),
+    contract("OCSVM", 1, &[], "kernel needs at least one feature"),
+    contract(
+        "NystroemGMM",
+        1,
+        &[],
+        "landmark kernel needs at least one feature",
+    ),
+    contract(
+        "NystroemOCSVM",
+        1,
+        &[],
+        "landmark kernel needs at least one feature",
+    ),
+    contract("GMM", 1, &[], "mixture needs at least one feature"),
+    contract(
+        "Autoencoder",
+        1,
+        &["hidden"],
+        "a bottleneck at or above the input width reconstructs trivially",
+    ),
+    contract(
+        "Kitsune",
+        1,
+        &[],
+        "the feature map needs at least one feature",
+    ),
+];
+
+/// Looks up the contract for a model kind, or `None` for unknown kinds
+/// (the `Model` op itself reports those at build time).
+pub fn shape_contract(kind: &str) -> Option<&'static ShapeContract> {
+    SHAPE_CONTRACTS.iter().find(|c| c.kind == kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let mut names: Vec<_> = SHAPE_CONTRACTS.iter().map(|c| c.kind).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SHAPE_CONTRACTS.len());
+    }
+
+    #[test]
+    fn lookup_finds_known_and_rejects_unknown() {
+        let ae = shape_contract("Autoencoder").expect("Autoencoder contract");
+        assert_eq!(ae.compressive, &["hidden"]);
+        assert!(shape_contract("Perceptron9000").is_none());
+    }
+
+    #[test]
+    fn contracts_are_conservative() {
+        // No contract may demand more than one feature: the auditor only
+        // flags definite bugs (zero-width tables), not heuristics.
+        for c in &SHAPE_CONTRACTS {
+            assert!(c.min_features >= 1, "{}: vacuous contract", c.kind);
+            assert!(c.min_features <= 1, "{}: speculative contract", c.kind);
+            assert!(!c.note.is_empty());
+        }
+    }
+}

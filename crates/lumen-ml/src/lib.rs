@@ -21,10 +21,12 @@
 // better with explicit indices than with iterator chains; silence the
 // style lint for the whole crate.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 
 pub mod autoencoder;
 pub mod bayes;
 pub mod cluster;
+pub mod contracts;
 pub mod dataset;
 pub mod ensemble;
 pub mod forest;
@@ -43,6 +45,7 @@ pub mod preprocess;
 pub mod search;
 pub mod tree;
 
+pub use contracts::{shape_contract, ShapeContract};
 pub use dataset::{kfold, train_test_split, Dataset};
 pub use matrix::Matrix;
 pub use metrics::{confusion, roc_auc, Confusion};

@@ -46,7 +46,7 @@ pub fn tcp_packet(p: TcpParams<'_>) -> Vec<u8> {
 
     let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
     ip.set_version_and_header_len(IP_HDR)
-        .expect("IP_HDR is a valid header length");
+        .expect("IP_HDR is a valid header length"); // panic-audit: allowed (const header length)
     ip.set_dscp(0);
     ip.set_total_length(ip_total as u16);
     ip.set_identification((p.seq & 0xFFFF) as u16);
@@ -63,7 +63,7 @@ pub fn tcp_packet(p: TcpParams<'_>) -> Vec<u8> {
     tcp.set_seq(p.seq);
     tcp.set_ack(p.ack);
     tcp.set_header_len(TCP_HDR)
-        .expect("TCP_HDR is a valid header length");
+        .expect("TCP_HDR is a valid header length"); // panic-audit: allowed (const header length)
     tcp.set_flags(p.flags);
     tcp.set_window(p.window);
     tcp.payload_mut().copy_from_slice(p.payload);
@@ -98,7 +98,7 @@ pub fn udp_packet(p: UdpParams<'_>) -> Vec<u8> {
 
     let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
     ip.set_version_and_header_len(IP_HDR)
-        .expect("IP_HDR is a valid header length");
+        .expect("IP_HDR is a valid header length"); // panic-audit: allowed (const header length)
     ip.set_total_length(ip_total as u16);
     ip.set_identification((p.payload.len() as u16).wrapping_mul(31));
     ip.set_dont_frag(true);
@@ -141,7 +141,7 @@ pub fn icmp_echo(
 
     let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
     ip.set_version_and_header_len(IP_HDR)
-        .expect("IP_HDR is a valid header length");
+        .expect("IP_HDR is a valid header length"); // panic-audit: allowed (const header length)
     ip.set_total_length(ip_total as u16);
     ip.set_identification(id ^ seq);
     ip.set_dont_frag(false);

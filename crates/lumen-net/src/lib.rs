@@ -16,6 +16,8 @@
 //!   (Ethernet/IP/TCP/UDP/ICMP/ARP/802.11) with correct checksums; used by
 //!   the traffic synthesizer.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod checksum;
 pub mod decode;

@@ -15,6 +15,8 @@
 //! paper's headline observations are about how poorly algorithms transfer
 //! across datasets, and that phenomenon needs real heterogeneity to appear.
 
+#![forbid(unsafe_code)]
+
 pub mod attacks;
 pub mod chaos;
 pub mod devices;

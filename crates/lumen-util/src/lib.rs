@@ -5,6 +5,8 @@
 //! deterministic [`rng::Rng`] defined here so that experiments are
 //! reproducible bit-for-bit from a single `u64` seed.
 
+#![forbid(unsafe_code)]
+
 pub mod cancel;
 pub mod entropy;
 pub mod par;

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Panic-audit gate: no new `.unwrap()` / `.expect(` in the packet-decode and
+# flow-assembly hot paths (crates/lumen-net, crates/lumen-flow).
+#
+# These crates ingest hostile bytes; a reachable panic there is a
+# denial-of-service primitive (see the no-panic decode work in the ingest
+# hardening PR). Test code is exempt (`#[cfg(test)]` modules and `tests/`
+# trees), and a line may opt out with an explicit justification marker:
+#
+#     .expect("..."); // panic-audit: allowed (<why this cannot fire>)
+#
+# Exit 0 = clean, 1 = violations listed on stdout.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for src in crates/lumen-net/src crates/lumen-flow/src; do
+    while IFS= read -r file; do
+        # Strip everything from the first `#[cfg(test)]` to EOF (test modules
+        # sit at the bottom of each file, repo convention), drop comment-only
+        # lines, then look for panicking calls without the allow marker.
+        hits=$(awk '
+            /#\[cfg\(test\)\]/ { exit }
+            { print NR": "$0 }
+        ' "$file" \
+            | grep -vE '^[0-9]+: *//' \
+            | grep -E '\.unwrap\(\)|\.expect\(' \
+            | grep -v 'panic-audit: allowed' || true)
+        if [ -n "$hits" ]; then
+            fail=1
+            echo "panic-audit: $file has unreviewed unwrap/expect in a hot path:"
+            echo "$hits" | sed 's/^/    /'
+        fi
+    done < <(find "$src" -name '*.rs' | sort)
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "panic-audit: use error returns, or justify with '// panic-audit: allowed (...)'" >&2
+    exit 1
+fi
+echo "panic-audit: lumen-net and lumen-flow hot paths are unwrap/expect-free"

@@ -56,6 +56,8 @@
 //! assert_eq!(trained.kind(), DataKind::Trained);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lumen_algorithms as algorithms;
 pub use lumen_bench_suite as bench;
 pub use lumen_core as core;
