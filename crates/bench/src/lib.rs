@@ -16,6 +16,7 @@ pub fn bench_capture() -> LabeledCapture {
             duration_s: 20.0,
             benign_density: 6,
             intensity: 1.0,
+            devices: 0,
         },
         1234,
     )

@@ -1,0 +1,184 @@
+//! Flow-tracker scalability benchmark: assembles a million-endpoint sweep
+//! (`lumen_synth::endpoint_sweep`) across a shard sweep and emits
+//! `BENCH_flowscale.json` (to `$LUMEN_RESULTS_DIR` when set, else the
+//! working directory) — same discipline as `BENCH_kernels.json`.
+//!
+//! Because sharding is an execution detail (records merge back into
+//! canonical order), every configuration is also checked for bit-identical
+//! output against the single-tracker baseline; a mismatch aborts.
+//!
+//! Flags: `--fast` shrinks the workload, `--devices N` / `--flows N` /
+//! `--shards LIST` (comma-separated) resize it, and `--assert-scaling`
+//! exits nonzero unless 2 shards beat 1 (skipped with a message on
+//! single-core machines, where no speedup is physically possible).
+
+use std::time::Instant;
+
+use lumen_flow::{assemble_sharded, FlowConfig};
+use lumen_synth::{endpoint_sweep, SweepSpec};
+use lumen_util::par::available_threads;
+
+/// One measured configuration.
+struct Record {
+    op: &'static str,
+    n: usize,
+    shards: usize,
+    flows_per_sec: f64,
+    speedup: f64,
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let assert_scaling = std::env::args().any(|a| a == "--assert-scaling");
+    let reps = if fast { 2 } else { 3 };
+
+    let devices: usize = arg_value("--devices")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast { 25_000 } else { 250_000 });
+    let flows_per_device: usize = arg_value("--flows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let shard_sweep: Vec<usize> = arg_value("--shards")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+
+    let spec = SweepSpec {
+        devices,
+        flows_per_device,
+        pkts_per_flow: 4,
+        seed: 42,
+    };
+    eprintln!(
+        "generating sweep: {} devices x {} flows = {} flows, {} packets...",
+        spec.devices,
+        spec.flows_per_device,
+        spec.total_flows(),
+        spec.total_packets()
+    );
+    let t0 = Instant::now();
+    let packets = endpoint_sweep(&spec);
+    eprintln!(
+        "generated {} packets in {:.1}s ({} cores available)\n",
+        packets.len(),
+        t0.elapsed().as_secs_f64(),
+        available_threads()
+    );
+
+    let cfg = FlowConfig::default();
+    let mut records: Vec<Record> = Vec::new();
+    let mut baseline: Option<(f64, Vec<lumen_flow::ConnRecord>)> = None;
+
+    println!(
+        "{:<14} {:>9} {:>7} {:>14} {:>9}",
+        "op", "n", "shards", "flows/sec", "speedup"
+    );
+    for &shards in &shard_sweep {
+        if shards == 0 {
+            continue;
+        }
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let asm = assemble_sharded(&packets, cfg, shards);
+            best = best.min(t0.elapsed().as_secs_f64());
+            out = Some(asm);
+        }
+        let asm = out.expect("reps >= 1");
+        let fps = asm.records.len() as f64 / best;
+        // Shard-invariance gate: the merged records must be byte-identical
+        // to the single-tracker baseline, or the numbers are meaningless.
+        match &baseline {
+            None => baseline = Some((fps, asm.records)),
+            Some((_, base)) => {
+                assert_eq!(
+                    &asm.records, base,
+                    "shards={shards} changed the records — determinism bug"
+                );
+            }
+        }
+        let base_fps = baseline.as_ref().map_or(fps, |(f, _)| *f);
+        let speedup = fps / base_fps;
+        println!(
+            "{:<14} {:>9} {:>7} {:>14.0} {:>8.2}x",
+            "flow_assemble",
+            packets.len(),
+            shards,
+            fps,
+            speedup
+        );
+        records.push(Record {
+            op: "flow_assemble",
+            n: packets.len(),
+            shards,
+            flows_per_sec: fps,
+            speedup,
+        });
+    }
+
+    let json: Vec<serde_json::Value> = records
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "op": r.op,
+                "n": r.n,
+                "shards": r.shards,
+                "flows_per_sec": r.flows_per_sec,
+                "speedup": r.speedup,
+            })
+        })
+        .collect();
+    let dir = std::env::var("LUMEN_RESULTS_DIR").unwrap_or_else(|_| ".".into());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join("BENCH_flowscale.json");
+    let body = serde_json::to_string_pretty(&serde_json::Value::Array(json)).unwrap();
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("\n[flow scalability persisted to {}]", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+
+    if assert_scaling {
+        if available_threads() < 2 {
+            eprintln!(
+                "--assert-scaling skipped: only {} core(s) available, multi-shard \
+                 speedup is not physically possible here",
+                available_threads()
+            );
+            return;
+        }
+        let fps_of = |s: usize| {
+            records
+                .iter()
+                .find(|r| r.shards == s)
+                .map(|r| r.flows_per_sec)
+        };
+        match (fps_of(1), fps_of(2)) {
+            (Some(f1), Some(f2)) if f2 > f1 => {
+                eprintln!("scaling OK: 2 shards {:.2}x over 1", f2 / f1);
+            }
+            (Some(f1), Some(f2)) => {
+                eprintln!(
+                    "SCALING REGRESSION: 2 shards ({f2:.0} flows/sec) did not beat \
+                     1 shard ({f1:.0} flows/sec)"
+                );
+                std::process::exit(1);
+            }
+            _ => {
+                eprintln!("--assert-scaling needs shards 1 and 2 in the sweep");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@ fn main() {
         duration_s: duration,
         benign_density: 10,
         intensity: 2.0,
+        devices: 0,
     };
     println!("Generating a large capture (F3-style DDoS, {duration}s)...");
     let cap = build_dataset(DatasetId::F3, scale, 99);

@@ -13,7 +13,9 @@ use crate::runner::{FaultKind, FaultSpec, RunBudget, RunConfig, Runner};
 /// Flags: `--fast` (small datasets for smoke runs), `--strict` (exit
 /// nonzero when any journaled task genuinely failed), `--chaos` (corrupt
 /// every capture with the seeded fault-injection engine before ingestion),
-/// `--seed N`, `--threads N`, `--kernel-threads N`, `--duration SECONDS`,
+/// `--seed N`, `--threads N`, `--kernel-threads N`, `--flow-shards N`,
+/// `--devices N` (synth device-roster override; counts above 245 spread
+/// past the home /24), `--duration SECONDS`,
 /// `--max-packets N`; supervision flags `--task-deadline-ms N`,
 /// `--max-attempts N`, `--backoff-ms N`, `--resume JOURNAL.jsonl`, and
 /// `--fault ALGO:DATASET:KIND[:N]` (kinds: error, panic, hang:MS, slow:MS,
@@ -25,6 +27,9 @@ pub struct ExpConfig {
     pub threads: usize,
     /// ML compute-kernel threads per matrix task (0 = auto share).
     pub kernel_threads: usize,
+    /// Flow-tracker shards per `FlowAssemble` (0 = auto share). Sharding
+    /// never changes records, features, or predictions — only throughput.
+    pub flow_shards: usize,
     pub max_packets: usize,
     /// When true, a non-skip failure in the run journal flips the process
     /// exit code (faithfulness skips stay non-fatal).
@@ -61,6 +66,7 @@ impl ExpConfig {
                 .unwrap_or(4)
                 .min(8),
             kernel_threads: 0,
+            flow_shards: 0,
             max_packets: 4000,
             strict: false,
             chaos: false,
@@ -80,7 +86,7 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --strict --chaos --audit --seed N --threads N --kernel-threads N --duration S --max-packets N \
+                    "{why}; known flags: --fast --strict --chaos --audit --seed N --threads N --kernel-threads N --flow-shards N --devices N --duration S --max-packets N \
                      --task-deadline-ms N --max-attempts N --backoff-ms N --resume JOURNAL.jsonl --fault ALGO:DATASET:KIND[:N]"
                 );
                 std::process::exit(2);
@@ -125,6 +131,16 @@ impl ExpConfig {
                     cfg.kernel_threads = value(&mut i)?
                         .parse()
                         .map_err(|e| format!("--kernel-threads: {e}"))?;
+                }
+                "--flow-shards" => {
+                    cfg.flow_shards = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--flow-shards: {e}"))?;
+                }
+                "--devices" => {
+                    cfg.scale.devices = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--devices: {e}"))?;
                 }
                 "--duration" => {
                     cfg.scale.duration_s = value(&mut i)?
@@ -190,6 +206,7 @@ impl ExpConfig {
                     backoff_ms: self.backoff_ms,
                 },
                 audit: self.audit,
+                flow_shards: self.flow_shards,
             },
         )
     }
@@ -478,6 +495,18 @@ mod tests {
         let cfg = parse(&["--kernel-threads", "3"]).unwrap();
         assert_eq!(cfg.kernel_threads, 3);
         assert!(parse(&["--kernel-threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn flow_shards_and_devices_flags_are_parsed() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.flow_shards, 0, "auto by default");
+        assert_eq!(cfg.scale.devices, 0, "recipe default by default");
+        let cfg = parse(&["--flow-shards", "4", "--devices", "1000000"]).unwrap();
+        assert_eq!(cfg.flow_shards, 4);
+        assert_eq!(cfg.scale.devices, 1_000_000);
+        assert!(parse(&["--flow-shards", "x"]).is_err());
+        assert!(parse(&["--devices"]).is_err());
     }
 
     #[test]

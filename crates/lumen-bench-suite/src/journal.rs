@@ -421,10 +421,31 @@ pub struct AuditFinding {
     pub message: String,
 }
 
+/// Per-shard flow-tracker accounting: what one shard of the sharded flow
+/// tracker did across every assembly of the run. Attribution is exact —
+/// the numbers come from each tracker's own [`lumen_flow::FlowStats`], so
+/// concurrent matrices in one process cannot bleed into each other.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FlowShardEntry {
+    /// Shard index.
+    pub shard: usize,
+    /// LRU evictions under this shard's share of the active-table cap.
+    pub evictions: u64,
+    /// Connection records this shard finalized.
+    pub records: u64,
+    /// Sum of per-assembly high-water marks of concurrently-tracked
+    /// connections in this shard.
+    pub peak_active: u64,
+}
+
 /// Current journal schema version. v1 (implicit) predates supervision;
 /// v2 adds `schema_version` itself, `TimedOut` outcomes, and per-task
-/// attempt history; v3 adds experiment-audit findings.
-pub const SCHEMA_VERSION: u32 = 3;
+/// attempt history; v3 adds experiment-audit findings; v4 adds per-shard
+/// flow-tracker accounting (`flow_shards`) and re-scopes `flow_evictions`
+/// to per-tracker stats summed over the run's own assemblies, instead of a
+/// process-global counter diff that misattributed evictions across
+/// concurrently-running matrices.
+pub const SCHEMA_VERSION: u32 = 4;
 
 fn v1_schema_version() -> u32 {
     1
@@ -440,9 +461,14 @@ pub struct RunJournal {
     /// Per-dataset ingestion/quarantine accounting (absent pre-PR-4).
     #[serde(default)]
     ingest: Vec<IngestEntry>,
-    /// Flow-table LRU evictions observed over the whole run.
+    /// Flow-table LRU evictions observed over the whole run, summed from
+    /// the run's own trackers (never a process-global counter diff).
     #[serde(default)]
     flow_evictions: u64,
+    /// Per-shard flow-tracker accounting for this run (absent pre-v4 and
+    /// when the run assembled no flows). Indexed by shard number.
+    #[serde(default)]
+    flow_shards: Vec<FlowShardEntry>,
     /// Experiment-audit findings for this run (absent pre-v3 and when the
     /// run did not audit).
     #[serde(default)]
@@ -463,6 +489,7 @@ impl RunJournal {
             entries: Vec::new(),
             ingest: Vec::new(),
             flow_evictions: 0,
+            flow_shards: Vec::new(),
             audit: Vec::new(),
         }
     }
@@ -478,11 +505,26 @@ impl RunJournal {
     }
 
     /// Appends every entry of another journal, merging its ingestion
-    /// accounting and eviction counts.
+    /// accounting and eviction counts. Per-shard flow accounting merges
+    /// index-wise (shard i of both runs is the same hash partition only if
+    /// both used the same shard count; merged journals report the union).
     pub fn extend(&mut self, other: RunJournal) {
         self.entries.extend(other.entries);
         self.ingest.extend(other.ingest);
         self.flow_evictions += other.flow_evictions;
+        if self.flow_shards.len() < other.flow_shards.len() {
+            self.flow_shards.resize(other.flow_shards.len(), FlowShardEntry::default());
+            for (i, e) in self.flow_shards.iter_mut().enumerate() {
+                e.shard = i;
+            }
+        }
+        for o in &other.flow_shards {
+            let e = &mut self.flow_shards[o.shard];
+            e.shard = o.shard;
+            e.evictions += o.evictions;
+            e.records += o.records;
+            e.peak_active += o.peak_active;
+        }
     }
 
     /// Replaces the per-dataset ingestion accounting.
@@ -518,6 +560,16 @@ impl RunJournal {
     /// Flow-table LRU evictions over the run.
     pub fn flow_evictions(&self) -> u64 {
         self.flow_evictions
+    }
+
+    /// Replaces the per-shard flow-tracker accounting.
+    pub fn set_flow_shards(&mut self, shards: Vec<FlowShardEntry>) {
+        self.flow_shards = shards;
+    }
+
+    /// Per-shard flow-tracker accounting, indexed by shard.
+    pub fn flow_shards(&self) -> &[FlowShardEntry] {
+        &self.flow_shards
     }
 
     /// Total quarantined items across all datasets.
@@ -765,6 +817,20 @@ impl RunJournal {
                 self.flow_evictions
             ));
         }
+        if !self.flow_shards.is_empty() {
+            let records: u64 = self.flow_shards.iter().map(|e| e.records).sum();
+            s.push_str(&format!(
+                "flow shards: {} shard(s), {} record(s) finalized\n",
+                self.flow_shards.len(),
+                records
+            ));
+            for e in self.flow_shards.iter().filter(|e| e.evictions > 0) {
+                s.push_str(&format!(
+                    "  shard {}: {} eviction(s), {} record(s)\n",
+                    e.shard, e.evictions, e.records
+                ));
+            }
+        }
         s
     }
 
@@ -941,6 +1007,79 @@ mod tests {
     }
 
     #[test]
+    fn extend_merges_per_shard_flow_accounting() {
+        let mut a = RunJournal::new();
+        a.set_flow_shards(vec![FlowShardEntry {
+            shard: 0,
+            evictions: 2,
+            records: 10,
+            peak_active: 5,
+        }]);
+        let mut b = RunJournal::new();
+        b.set_flow_shards(vec![
+            FlowShardEntry {
+                shard: 0,
+                evictions: 1,
+                records: 4,
+                peak_active: 2,
+            },
+            FlowShardEntry {
+                shard: 1,
+                evictions: 7,
+                records: 9,
+                peak_active: 3,
+            },
+        ]);
+        a.extend(b);
+        assert_eq!(a.flow_shards().len(), 2);
+        assert_eq!(a.flow_shards()[0].evictions, 3);
+        assert_eq!(a.flow_shards()[0].records, 14);
+        assert_eq!(a.flow_shards()[1].shard, 1);
+        assert_eq!(a.flow_shards()[1].evictions, 7);
+    }
+
+    #[test]
+    fn shard_accounting_appears_in_the_summary() {
+        let mut j = RunJournal::new();
+        j.set_flow_shards(vec![
+            FlowShardEntry {
+                shard: 0,
+                evictions: 0,
+                records: 6,
+                peak_active: 4,
+            },
+            FlowShardEntry {
+                shard: 1,
+                evictions: 2,
+                records: 5,
+                peak_active: 3,
+            },
+        ]);
+        let s = j.summary(0, 0);
+        assert!(s.contains("flow shards: 2 shard(s), 11 record(s) finalized"), "{s}");
+        assert!(s.contains("shard 1: 2 eviction(s), 5 record(s)"), "{s}");
+        assert!(!s.contains("shard 0:"), "clean shards stay out of the summary");
+    }
+
+    /// Doc drift: the journal's flow-accounting fields are documented in
+    /// DESIGN.md §4i and the README performance section; renaming a field
+    /// (or bumping the schema) without updating the docs fails here.
+    #[test]
+    fn design_and_readme_document_flow_shard_accounting() {
+        let design = include_str!("../../../DESIGN.md");
+        let readme = include_str!("../../../README.md");
+        for field in ["flow_shards", "flow_evictions", "FlowShardEntry"] {
+            assert!(design.contains(field), "DESIGN.md missing `{field}`");
+        }
+        assert!(design.contains("schema v4"), "DESIGN.md missing schema v4");
+        assert!(
+            readme.contains("flow_shards") && readme.contains("schema v4"),
+            "README performance section missing journal v4 fields"
+        );
+        assert_eq!(SCHEMA_VERSION, 4, "schema bumped: update DESIGN.md/README");
+    }
+
+    #[test]
     fn timed_out_counts_as_failure_for_strict() {
         let mut j = RunJournal::new();
         j.push(entry("A1", TaskOutcome::Ok, 10));
@@ -998,7 +1137,10 @@ mod tests {
         j.push(e);
         let json = j.to_json();
         assert!(json.contains("\"status\": \"timed_out\""), "{json}");
-        assert!(json.contains("\"schema_version\": 2"), "{json}");
+        assert!(
+            json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
+            "{json}"
+        );
         let back = RunJournal::from_json(&json).unwrap();
         assert_eq!(back.schema_version(), SCHEMA_VERSION);
         assert_eq!(back.entries(), j.entries());

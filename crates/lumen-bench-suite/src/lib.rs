@@ -27,7 +27,8 @@ pub use audit::{
 };
 pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
 pub use journal::{
-    AttemptRecord, AuditFinding, IngestEntry, JournalEntry, RunJournal, TaskOutcome, WalRecord,
+    AttemptRecord, AuditFinding, FlowShardEntry, IngestEntry, JournalEntry, RunJournal,
+    TaskOutcome, WalRecord,
 };
 pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunBudget, RunConfig, Runner};
 pub use store::{ResultRow, ResultStore};

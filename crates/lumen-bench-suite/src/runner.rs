@@ -138,6 +138,10 @@ pub struct RunConfig {
     /// matrix and journal its findings; `finish_run` then denies (exit 1)
     /// on any error-severity finding.
     pub audit: bool,
+    /// Flow-tracker shards for `FlowAssemble` operations (0 = auto: like
+    /// `kernel_threads`, each matrix worker gets an equal share of the
+    /// machine). Sharding never changes records — only throughput.
+    pub flow_shards: usize,
 }
 
 impl Default for RunConfig {
@@ -151,6 +155,7 @@ impl Default for RunConfig {
             fault: None,
             budget: RunBudget::default(),
             audit: false,
+            flow_shards: 0,
         }
     }
 }
@@ -182,6 +187,32 @@ pub struct MatrixRun {
 /// A task's identity key in the write-ahead log: (algo, train, test, mode).
 type TaskKey = (String, String, String, String);
 
+/// Per-runner flow-tracker accounting, accumulated from each assembly's
+/// own [`lumen_flow::FlowStats`] as feature extractions complete. This is
+/// the per-run eviction source of truth: unlike the process-global
+/// `lumen_flow::counters` (which stays useful as a whole-process total),
+/// it cannot absorb evictions from other runners in the same process.
+#[derive(Debug, Clone, Default)]
+pub struct FlowAccounting {
+    /// Aggregate across all shards and assemblies.
+    pub total: lumen_flow::FlowStats,
+    /// Per-shard aggregates, indexed by shard.
+    pub per_shard: Vec<lumen_flow::FlowStats>,
+}
+
+impl FlowAccounting {
+    fn absorb(&mut self, total: &lumen_flow::FlowStats, per_shard: &[lumen_flow::FlowStats]) {
+        self.total.absorb(total);
+        if self.per_shard.len() < per_shard.len() {
+            self.per_shard
+                .resize(per_shard.len(), lumen_flow::FlowStats::default());
+        }
+        for (acc, s) in self.per_shard.iter_mut().zip(per_shard) {
+            acc.absorb(s);
+        }
+    }
+}
+
 /// The evaluation runner.
 pub struct Runner {
     /// Dataset registry (shared, lazily built).
@@ -191,6 +222,9 @@ pub struct Runner {
     /// Aggregated per-operation profile across every feature extraction
     /// this runner performed (cache hits add nothing — no work ran).
     pub ops_profile: Mutex<OpsProfile>,
+    /// Flow-tracker accounting across this runner's feature extractions
+    /// (cache hits add nothing — no assembly ran).
+    pub flow_accounting: Mutex<FlowAccounting>,
     /// Configuration.
     pub config: RunConfig,
     /// Write-ahead log: one fsync'd [`WalRecord`] line per finished task.
@@ -212,10 +246,19 @@ impl Runner {
             (lumen_util::par::available_threads() / config.threads.max(1)).max(1)
         };
         lumen_ml::kernels::set_default_threads(kernel_threads);
+        // Same share-the-machine discipline for flow-tracker shards: each
+        // matrix worker's assemblies split the remaining parallelism.
+        let flow_shards = if config.flow_shards > 0 {
+            config.flow_shards
+        } else {
+            (lumen_util::par::available_threads() / config.threads.max(1)).max(1)
+        };
+        lumen_flow::set_default_shards(flow_shards);
         Runner {
             registry,
             cache: FeatureCache::new(),
             ops_profile: Mutex::new(OpsProfile::new()),
+            flow_accounting: Mutex::new(FlowAccounting::default()),
             config,
             wal: None,
             resume: HashMap::new(),
@@ -307,6 +350,16 @@ impl Runner {
         self.cache
             .get_or_compute(ds.code(), fp, || {
                 let (table, profile) = algo.extract_features_profiled(&ds.source)?;
+                // Route each assembly's own tracker stats into the runner's
+                // per-run accounting — never the process-global counter,
+                // which other concurrent runners also bump.
+                let mut acct = self.flow_accounting.lock();
+                for p in &profile {
+                    if let Some((total, per_shard)) = &p.flow {
+                        acct.absorb(total, per_shard);
+                    }
+                }
+                drop(acct);
                 self.ops_profile.lock().record(&profile);
                 Ok(table)
             })
@@ -839,10 +892,12 @@ impl Runner {
         include_cross: bool,
     ) -> MatrixRun {
         // Kernel counters are process-global; the snapshot delta across the
-        // matrix attributes ML compute time to this run. Same idiom for the
-        // flow tracker's eviction counter.
+        // matrix attributes ML compute time to this run. Flow evictions are
+        // NOT attributed this way: a counter diff absorbs whatever other
+        // matrices run concurrently in the process, so eviction accounting
+        // comes from each tracker's own stats via `flow_accounting`.
         let kernels_before = lumen_ml::kernels::profile_snapshot();
-        let evictions_before = lumen_flow::counters::evictions();
+        let flow_before = self.flow_accounting.lock().clone();
         // Build the task list; unfaithful pairings go straight to the
         // journal as skips.
         let mut tasks: Vec<(AlgorithmId, DatasetId, DatasetId)> = Vec::new();
@@ -957,8 +1012,32 @@ impl Runner {
         // Ingestion quarantine + flow-table eviction accounting: what the
         // hardened decode path dropped while this matrix ran, per dataset.
         journal.set_ingest(self.registry.ingest_entries());
-        let evictions = lumen_flow::counters::evictions() - evictions_before;
+        // Per-tracker flow accounting delta for exactly this matrix. Every
+        // field is a monotone sum, so before/after subtraction is exact even
+        // when several matrices share the runner sequentially; concurrent
+        // runners in the same process each have their own accounting and
+        // cannot bleed into this journal (the global counter remains as a
+        // process-wide total only).
+        let flow_now = self.flow_accounting.lock().clone();
+        let evictions = flow_now.total.evictions - flow_before.total.evictions;
         journal.set_flow_evictions(evictions);
+        let shards: Vec<crate::journal::FlowShardEntry> = flow_now
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let before = flow_before.per_shard.get(i).copied().unwrap_or_default();
+                crate::journal::FlowShardEntry {
+                    shard: i,
+                    evictions: s.evictions - before.evictions,
+                    records: s.records - before.records,
+                    peak_active: (s.peak_active - before.peak_active) as u64,
+                }
+            })
+            .collect();
+        if shards.iter().any(|e| e.records > 0 || e.evictions > 0) {
+            journal.set_flow_shards(shards);
+        }
         if evictions > 0 {
             self.ops_profile
                 .lock()

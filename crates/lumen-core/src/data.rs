@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lumen_flow::{ConnRecord, UniFlowRecord};
+use lumen_flow::{ConnRecord, FlowStats, UniFlowRecord};
 use lumen_ml::model::Classifier;
 use lumen_net::{LinkType, PacketMeta};
 
@@ -73,6 +73,12 @@ pub struct ConnData {
     pub labels: Vec<u8>,
     /// Majority attack tag per connection (0 = benign).
     pub tags: Vec<u32>,
+    /// Aggregate tracker accounting for the assembly that produced these
+    /// records — the per-run (not process-global) eviction source of truth.
+    pub flow: FlowStats,
+    /// Per-shard accounting; length is the shard count the assembly used
+    /// (1 for the single-tracker path).
+    pub shard_flow: Vec<FlowStats>,
 }
 
 /// Unidirectional flows plus derived ground truth.

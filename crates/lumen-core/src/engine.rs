@@ -136,6 +136,12 @@ pub struct OpProfile {
     pub output_bytes: usize,
     /// Variables freed after this operation (dead-value elimination).
     pub freed: Vec<String>,
+    /// Flow-assembly accounting when this op produced connections:
+    /// `(aggregate, per-shard)` tracker stats for exactly this execution.
+    /// Telemetry consumers attribute evictions per run through this field
+    /// rather than diffing process-global counters, which misattribute
+    /// under concurrency.
+    pub flow: Option<(lumen_flow::FlowStats, Vec<lumen_flow::FlowStats>)>,
 }
 
 /// Aggregated per-operation statistics across many pipeline executions —
@@ -542,6 +548,11 @@ impl Pipeline {
             let out = node.op.execute(&inputs)?;
             let micros = start.elapsed().as_micros();
             let output_bytes = out.approx_bytes();
+            let flow = if let Data::Connections(c) = &out {
+                Some((c.flow, c.shard_flow.clone()))
+            } else {
+                None
+            };
             env.insert(node.output.clone(), out);
             // Dead-value elimination (the paper's basic memory optimization).
             for dead in &self.frees[i] {
@@ -553,6 +564,7 @@ impl Pipeline {
                 micros,
                 output_bytes,
                 freed: self.frees[i].clone(),
+                flow,
             };
             hook(&entry);
             profile.push(entry);

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lumen_flow::{assemble, FlowConfig};
+use lumen_flow::{assemble_sharded, FlowConfig};
 use serde_json::Value;
 
 use crate::data::{ConnData, Data, DataKind, UniData};
@@ -12,7 +12,7 @@ use crate::CoreResult;
 // ---- accepted parameter keys (the linter's L001 schemas) -------------------
 
 pub(crate) const FLOW_ASSEMBLE_PARAMS: &[&str] =
-    &["tcp_idle_s", "udp_idle_s", "first_n", "max_active"];
+    &["tcp_idle_s", "udp_idle_s", "first_n", "max_active", "shards"];
 pub(crate) const UNI_FLOW_SPLIT_PARAMS: &[&str] = &[];
 
 fn derive_truth(labels: &[u8], tags: &[u32], indices: &[u32]) -> (u8, u32) {
@@ -34,8 +34,14 @@ fn derive_truth(labels: &[u8], tags: &[u32], indices: &[u32]) -> (u8, u32) {
 
 /// `FlowAssemble`: runs the connection tracker over the packet stream and
 /// derives connection-level ground truth by the any-malicious rule.
+///
+/// The tracker is sharded by canonical 5-tuple (`shards` parameter; 0 means
+/// "use the process default", mirroring how thread counts are configured).
+/// Sharding is an execution detail: records are merged back into canonical
+/// order, so the output is byte-identical for any shard count.
 pub struct FlowAssemble {
     cfg: FlowConfig,
+    shards: usize,
 }
 
 impl FlowAssemble {
@@ -44,6 +50,7 @@ impl FlowAssemble {
         let udp_idle_s = param_f64_or(params, "udp_idle_s", 60.0);
         let first_n = param_usize_or(params, "first_n", 100);
         let max_active = param_usize_or(params, "max_active", FlowConfig::default().max_active);
+        let shards = param_usize_or(params, "shards", 0);
         if tcp_idle_s <= 0.0 || udp_idle_s <= 0.0 {
             return Err(bad_param("FlowAssemble", "idle timeouts must be positive"));
         }
@@ -53,6 +60,9 @@ impl FlowAssemble {
         if max_active == 0 {
             return Err(bad_param("FlowAssemble", "max_active must be positive"));
         }
+        if shards > 256 {
+            return Err(bad_param("FlowAssemble", "shards must be at most 256"));
+        }
         Ok(Box::new(FlowAssemble {
             cfg: FlowConfig {
                 tcp_idle_us: (tcp_idle_s * 1e6) as u64,
@@ -61,6 +71,7 @@ impl FlowAssemble {
                 first_n,
                 max_active,
             },
+            shards,
         }))
     }
 }
@@ -79,7 +90,13 @@ impl Operation for FlowAssemble {
         let Data::Packets(p) = inputs[0] else {
             unreachable!("type-checked")
         };
-        let conns = assemble(&p.metas, self.cfg);
+        let shards = if self.shards == 0 {
+            lumen_flow::default_shards()
+        } else {
+            self.shards
+        };
+        let asm = assemble_sharded(&p.metas, self.cfg, shards);
+        let conns = asm.records;
         let mut labels = Vec::with_capacity(conns.len());
         let mut tags = Vec::with_capacity(conns.len());
         for c in &conns {
@@ -92,6 +109,8 @@ impl Operation for FlowAssemble {
             conns,
             labels,
             tags,
+            flow: asm.total,
+            shard_flow: asm.per_shard,
         })))
     }
 }
@@ -213,6 +232,23 @@ mod tests {
         assert!(FlowAssemble::from_params(&json!({"tcp_idle_s": -1.0})).is_err());
         assert!(FlowAssemble::from_params(&json!({"first_n": 0})).is_err());
         assert!(FlowAssemble::from_params(&json!({"max_active": 0})).is_err());
+    }
+
+    #[test]
+    fn sharded_assembly_matches_default_and_reports_stats() {
+        let base_op = FlowAssemble::from_params(&json!({})).unwrap();
+        let Data::Connections(base) = base_op.execute(&[&two_conn_source()]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(base.flow.records, base.conns.len() as u64);
+        let op = FlowAssemble::from_params(&json!({"shards": 2})).unwrap();
+        let Data::Connections(cd) = op.execute(&[&two_conn_source()]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(cd.conns, base.conns, "sharding must not change records");
+        assert_eq!(cd.shard_flow.len(), 2);
+        assert_eq!(cd.flow.records, cd.conns.len() as u64);
+        assert!(FlowAssemble::from_params(&json!({"shards": 1000})).is_err());
     }
 
     #[test]

@@ -12,16 +12,22 @@
 #![forbid(unsafe_code)]
 
 pub mod record;
+pub mod shard;
 pub mod tracker;
 
 pub use record::{ConnRecord, ConnState, Direction, PktSketch, UniFlowRecord};
+pub use shard::{
+    assemble_sharded, default_shards, set_default_shards, shard_of, ShardedAssembly,
+};
 pub use tracker::{assemble, assemble_with_stats, counters, ConnectionTracker, FlowConfig, FlowStats};
 
 use std::net::Ipv4Addr;
 
 /// Canonical bidirectional flow key: endpoint pairs ordered so that both
-/// directions of a conversation hash identically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// directions of a conversation hash identically. `Ord` exists so the key
+/// can compound LRU-index entries (`(stamp, FlowKey)`), making recency
+/// bookkeeping collision-proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Lexicographically smaller endpoint.
     pub lo: (Ipv4Addr, u16),

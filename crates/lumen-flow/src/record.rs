@@ -105,7 +105,9 @@ impl FlagCounts {
 
 /// A completed bidirectional connection with the statistics every
 /// connection-granularity feature pipeline in the benchmark draws on.
-#[derive(Debug, Clone)]
+/// `PartialEq` exists so shard-invariance tests can assert that sharded
+/// and single-tracker assembly produce identical records.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConnRecord {
     /// Originator address/port (sender of the first packet).
     pub orig: (Ipv4Addr, u16),
@@ -219,7 +221,7 @@ impl ConnRecord {
 
 /// A single direction of a connection — the granularity smartdet (A10)
 /// classifies at.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UniFlowRecord {
     pub src: (Ipv4Addr, u16),
     pub dst: (Ipv4Addr, u16),

@@ -1,0 +1,360 @@
+//! Sharded flow assembly: one flow table partitioned across N workers.
+//!
+//! A single [`crate::ConnectionTracker`] serializes every packet through
+//! one LRU-capped map — fine for one capture, a bottleneck for millions of
+//! concurrent devices. This module partitions flow state: the canonical
+//! 5-tuple hashes to one of N shards (FNV-1a, stable across platforms and
+//! runs), each shard owns a private tracker with an LRU budget of
+//! `max_active / N` and its own [`FlowStats`], and the decode stage feeds
+//! shards through bounded SPSC rings ([`lumen_util::ring`]) carrying
+//! batches of packet indices — backpressure instead of unbounded queues.
+//!
+//! # Determinism
+//!
+//! The discipline mirrors [`lumen_util::par`]: assignment is fixed by the
+//! data (same 5-tuple → same shard, independent of timing), each ring
+//! preserves arrival order, and the merge sorts the concatenated shard
+//! outputs with the tracker's own canonical comparator
+//! (`(start_us, orig, resp, proto)` — a total order over records of one
+//! capture). Because a canonical flow lives in exactly one shard, its
+//! packets hit one tracker in the same relative order the single tracker
+//! would see, so outside eviction pressure the finalized records — and
+//! therefore features and predictions — are byte-identical for any shard
+//! count. Under eviction pressure the budget is enforced per shard
+//! (`max_active / N` each), so *which* flow is evicted can differ from the
+//! global-LRU choice while the table-wide bound still holds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lumen_net::PacketMeta;
+
+use crate::tracker::{sort_records, ConnectionTracker, FlowConfig, FlowStats};
+use crate::{ConnRecord, FlowKey};
+
+/// Packets per ring batch: large enough that ring locking amortizes to
+/// noise, small enough that shards stay busy on modest captures.
+const BATCH: usize = 1024;
+
+/// Ring depth in batches; bounds decode→shard buffering (backpressure).
+const RING_DEPTH: usize = 4;
+
+/// Process-wide default shard count, mirroring the compute-kernel thread
+/// default: the benchmark runner sets it once from its configuration and
+/// every `FlowAssemble` op with `shards = 0` (auto) picks it up without
+/// threading a parameter through each pipeline template.
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default shard count (clamped to ≥ 1).
+pub fn set_default_shards(n: usize) {
+    DEFAULT_SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default shard count.
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::Relaxed).max(1)
+}
+
+/// The shard a canonical flow key belongs to: FNV-1a over the key bytes,
+/// reduced mod `shards`. Both directions of a conversation share a key, so
+/// they always land on the same shard.
+pub fn shard_of(key: &FlowKey, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in key.lo.0.octets() {
+        eat(b);
+    }
+    for b in key.lo.1.to_be_bytes() {
+        eat(b);
+    }
+    for b in key.hi.0.octets() {
+        eat(b);
+    }
+    for b in key.hi.1.to_be_bytes() {
+        eat(b);
+    }
+    eat(key.proto);
+    // FNV mixes low bits weakly for short structured inputs (sequential
+    // device addresses land in runs); a murmur-style finalizer avalanches
+    // every input bit across the word before the modulo.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    (h % shards as u64) as usize
+}
+
+/// Everything one sharded assembly produces: the merged records plus
+/// table-wide and per-shard accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedAssembly {
+    /// Finalized records, in the canonical order every assembly path emits.
+    pub records: Vec<ConnRecord>,
+    /// Aggregate accounting (evictions and records summed; `peak_active`
+    /// summed too — shards are concurrently live, so the sum is the
+    /// table-wide high-water bound).
+    pub total: FlowStats,
+    /// Per-shard accounting, indexed by shard.
+    pub per_shard: Vec<FlowStats>,
+}
+
+/// Assembles connections from a packet slice across `shards` worker
+/// shards. `shards <= 1` runs the plain single-tracker path (no threads,
+/// no rings); otherwise each shard gets an LRU budget of
+/// `max_active / shards` (≥ 1) and its own stats. See the module docs for
+/// the determinism contract.
+pub fn assemble_sharded(packets: &[PacketMeta], cfg: FlowConfig, shards: usize) -> ShardedAssembly {
+    if shards <= 1 {
+        let (records, stats) = crate::tracker::assemble_with_stats(packets, cfg);
+        return ShardedAssembly {
+            records,
+            total: stats,
+            per_shard: vec![stats],
+        };
+    }
+
+    let shard_cfg = FlowConfig {
+        max_active: (cfg.max_active / shards).max(1),
+        ..cfg
+    };
+
+    // Feed order must match the single tracker: timestamp order, original
+    // capture indices (label propagation keys off them).
+    let presorted = packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us);
+    let order: Vec<u32> = if presorted {
+        (0..packets.len() as u32).collect()
+    } else {
+        let mut order: Vec<u32> = (0..packets.len() as u32).collect();
+        order.sort_by_key(|&i| packets[i as usize].ts_us);
+        order
+    };
+
+    let mut rings = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = lumen_util::ring::ring::<Vec<u32>>(RING_DEPTH);
+        rings.push(tx);
+        receivers.push(rx);
+    }
+
+    let shard_results: Vec<(Vec<ConnRecord>, FlowStats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .map(|rx| {
+                s.spawn(move || {
+                    let mut tracker = ConnectionTracker::new(shard_cfg);
+                    while let Some(batch) = rx.recv() {
+                        for idx in batch {
+                            tracker.push(idx, &packets[idx as usize]);
+                        }
+                    }
+                    tracker.finish_with_stats()
+                })
+            })
+            .collect();
+
+        // The caller thread is the producer: route each packet's canonical
+        // key to its shard, batch per shard, block when a ring is full.
+        let mut batches: Vec<Vec<u32>> = vec![Vec::with_capacity(BATCH); shards];
+        for &idx in &order {
+            let meta = &packets[idx as usize];
+            let Some((src, dst, sp, dp, proto)) = meta.five_tuple() else {
+                continue; // non-IP: the single tracker skips these too
+            };
+            let shard = shard_of(&FlowKey::canonical(src, dst, sp, dp, proto), shards);
+            batches[shard].push(idx);
+            if batches[shard].len() >= BATCH {
+                let full = std::mem::replace(&mut batches[shard], Vec::with_capacity(BATCH));
+                if rings[shard].send(full).is_err() {
+                    break; // receiver died (worker panicked); joins surface it
+                }
+            }
+        }
+        for (shard, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                let _ = rings[shard].send(batch);
+            }
+        }
+        drop(rings); // close every ring so workers drain and finish
+
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut out = ShardedAssembly {
+        records: Vec::new(),
+        total: FlowStats::default(),
+        per_shard: Vec::with_capacity(shards),
+    };
+    for (records, stats) in shard_results {
+        out.records.extend(records);
+        out.total.absorb(&stats);
+        out.per_shard.push(stats);
+    }
+    sort_records(&mut out.records);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_net::builder::{udp_packet, UdpParams};
+    use lumen_net::wire::MacAddr;
+    use lumen_net::LinkType;
+    use std::net::Ipv4Addr;
+
+    fn udp(ts_us: u64, src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16) -> PacketMeta {
+        let pkt = udp_packet(UdpParams {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sp,
+            dst_port: dp,
+            ttl: 64,
+            payload: b"payload",
+        });
+        PacketMeta::parse(LinkType::Ethernet, ts_us, &pkt).unwrap()
+    }
+
+    /// A mixed workload: many interleaved bidirectional flows.
+    fn workload(flows: u16, pkts_per_flow: u16) -> Vec<PacketMeta> {
+        let mut pkts = Vec::new();
+        let mut ts = 0u64;
+        for round in 0..pkts_per_flow {
+            for f in 0..flows {
+                let dev = Ipv4Addr::new(10, (f >> 8) as u8, f as u8, 7);
+                let srv = Ipv4Addr::new(34, 1, 2, 3);
+                // Alternate directions so canonicalization matters.
+                if round % 2 == 0 {
+                    pkts.push(udp(ts, dev, srv, 40_000 + f, 53));
+                } else {
+                    pkts.push(udp(ts, srv, dev, 53, 40_000 + f));
+                }
+                ts += 13;
+            }
+        }
+        pkts
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_direction_independent() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let k1 = FlowKey::canonical(a, b, 1234, 80, 6);
+        let k2 = FlowKey::canonical(b, a, 80, 1234, 6);
+        for shards in [1usize, 2, 3, 8, 64] {
+            let s = shard_of(&k1, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of(&k2, shards), "both directions co-shard");
+            assert_eq!(s, shard_of(&k1, shards), "assignment is pure");
+        }
+    }
+
+    #[test]
+    fn shard_assignment_spreads_keys() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for f in 0..4000u16 {
+            let dev = Ipv4Addr::new(10, (f >> 8) as u8, f as u8, 7);
+            let key = FlowKey::canonical(dev, Ipv4Addr::new(34, 1, 2, 3), 40_000 + f, 53, 17);
+            counts[shard_of(&key, shards)] += 1;
+        }
+        let expect = 4000 / shards;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "shard {i} holds {c} of 4000 keys — hash is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_records_match_single_tracker_exactly() {
+        let pkts = workload(500, 4);
+        let baseline = assemble_sharded(&pkts, FlowConfig::default(), 1);
+        assert_eq!(baseline.records.len(), 500);
+        for shards in [2usize, 3, 8] {
+            let sharded = assemble_sharded(&pkts, FlowConfig::default(), shards);
+            assert_eq!(
+                sharded.records, baseline.records,
+                "{shards}-shard records must be identical to the single tracker"
+            );
+            assert_eq!(sharded.per_shard.len(), shards);
+            assert_eq!(sharded.total.records, 500);
+            assert_eq!(sharded.total.evictions, 0);
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_before_routing() {
+        let mut pkts = workload(40, 3);
+        pkts.reverse();
+        let single = assemble_sharded(&pkts, FlowConfig::default(), 1);
+        let sharded = assemble_sharded(&pkts, FlowConfig::default(), 4);
+        assert_eq!(sharded.records, single.records);
+    }
+
+    #[test]
+    fn eviction_budget_is_split_across_shards() {
+        let shards = 4;
+        let flows: u16 = 400;
+        let cfg = FlowConfig {
+            max_active: 40, // budget of 10 per shard
+            ..FlowConfig::default()
+        };
+        // One packet per flow, all flows stay open: every shard must evict
+        // exactly what exceeds its own budget.
+        let pkts: Vec<PacketMeta> = (0..flows)
+            .map(|f| {
+                let dev = Ipv4Addr::new(10, (f >> 8) as u8, f as u8, 7);
+                udp(u64::from(f) * 10, dev, Ipv4Addr::new(34, 1, 2, 3), 40_000 + f, 53)
+            })
+            .collect();
+        let out = assemble_sharded(&pkts, cfg, shards);
+        let budget = cfg.max_active / shards;
+        let mut per_shard_flows = vec![0u64; shards];
+        for p in &pkts {
+            let (src, dst, sp, dp, proto) = p.five_tuple().unwrap();
+            per_shard_flows[shard_of(&FlowKey::canonical(src, dst, sp, dp, proto), shards)] += 1;
+        }
+        for (i, stats) in out.per_shard.iter().enumerate() {
+            let expected = per_shard_flows[i].saturating_sub(budget as u64);
+            assert_eq!(
+                stats.evictions, expected,
+                "shard {i}: {} flows against budget {budget}",
+                per_shard_flows[i]
+            );
+            assert!(stats.peak_active <= budget);
+        }
+        assert_eq!(
+            out.total.evictions,
+            out.per_shard.iter().map(|s| s.evictions).sum::<u64>()
+        );
+        // Evicted flows are finalized, not dropped: every flow surfaces.
+        assert_eq!(out.records.len(), flows as usize);
+        assert_eq!(out.total.records, u64::from(flows));
+    }
+
+    #[test]
+    fn default_shards_is_process_wide() {
+        assert_eq!(default_shards(), 1);
+        set_default_shards(6);
+        assert_eq!(default_shards(), 6);
+        set_default_shards(0); // clamped
+        assert_eq!(default_shards(), 1);
+    }
+}

@@ -1,6 +1,6 @@
 //! The connection tracker: packets in, Zeek-style connection records out.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use lumen_net::{PacketMeta, TransportMeta};
@@ -59,6 +59,20 @@ pub struct FlowStats {
     pub evictions: u64,
     /// High-water mark of concurrently-tracked connections.
     pub peak_active: usize,
+    /// Connection records finalized (evicted, split, or flushed).
+    pub records: u64,
+}
+
+impl FlowStats {
+    /// Folds another tracker's accounting into this one. Eviction and
+    /// record counts add; `peak_active` adds too, because the trackers
+    /// being merged (shards of one table) were concurrently live, so the
+    /// sum is the table-wide high-water bound.
+    pub fn absorb(&mut self, other: &FlowStats) {
+        self.evictions += other.evictions;
+        self.peak_active += other.peak_active;
+        self.records += other.records;
+    }
 }
 
 /// Process-global eviction counter, mirroring the compute-kernel profile
@@ -369,9 +383,13 @@ impl ActiveConn {
 pub struct ConnectionTracker {
     cfg: FlowConfig,
     active: HashMap<FlowKey, ActiveConn>,
-    /// Recency order: stamp -> key. Stamps are unique (one per push), so the
-    /// first entry is always the least-recently-touched connection.
-    lru: BTreeMap<u64, FlowKey>,
+    /// Recency order, keyed by `(stamp, key)`. The stamp is a per-tracker
+    /// logical clock (one tick per push), so stamps alone are already
+    /// unique; compounding the key makes the index collision-proof by
+    /// construction — a duplicated stamp can no longer shadow another
+    /// flow's entry and leak it from the eviction order (the bug the old
+    /// `BTreeMap<u64, FlowKey>` index allowed if the clock ever repeated).
+    lru: BTreeSet<(u64, FlowKey)>,
     /// Logical clock driving the LRU stamps.
     stamp: u64,
     stats: FlowStats,
@@ -384,16 +402,24 @@ impl ConnectionTracker {
         ConnectionTracker {
             cfg,
             active: HashMap::new(),
-            lru: BTreeMap::new(),
+            lru: BTreeSet::new(),
             stamp: 0,
             stats: FlowStats::default(),
             done: Vec::new(),
         }
     }
 
+    /// Rewinds the logical clock, forcing the next pushes to re-issue
+    /// already-used stamps — exists only so tests can prove a stamp
+    /// collision cannot shadow a flow in the LRU index.
+    #[cfg(test)]
+    fn rewind_stamp_for_test(&mut self, to: u64) {
+        self.stamp = to;
+    }
+
     fn retire(&mut self, key: &FlowKey) {
         if let Some(conn) = self.active.remove(key) {
-            self.lru.remove(&conn.touched);
+            self.lru.remove(&(conn.touched, *key));
             self.done.push(conn.finalize());
         }
     }
@@ -438,7 +464,7 @@ impl ConnectionTracker {
         match self.active.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let conn = e.get_mut();
-                self.lru.remove(&conn.touched);
+                self.lru.remove(&(conn.touched, key));
                 conn.touched = stamp;
                 conn.update(meta, (src, sp), index, &self.cfg);
             }
@@ -448,7 +474,11 @@ impl ConnectionTracker {
                 e.insert(conn);
             }
         }
-        self.lru.insert(stamp, key);
+        let fresh = self.lru.insert((stamp, key));
+        debug_assert!(
+            fresh,
+            "LRU stamp collision: ({stamp}, {key:?}) already indexed"
+        );
         self.stats.peak_active = self.stats.peak_active.max(self.active.len());
     }
 
@@ -459,18 +489,31 @@ impl ConnectionTracker {
     }
 
     /// Like [`ConnectionTracker::finish`], also returning the flow-table
-    /// accounting (LRU evictions, peak active connections).
+    /// accounting (LRU evictions, peak active connections, record count).
     pub fn finish_with_stats(mut self) -> (Vec<ConnRecord>, FlowStats) {
         self.done
             .extend(self.active.into_values().map(ActiveConn::finalize));
-        self.done.sort_by(|a, b| {
-            a.start_us
-                .cmp(&b.start_us)
-                .then_with(|| a.orig.cmp(&b.orig))
-                .then_with(|| a.resp.cmp(&b.resp))
-        });
+        sort_records(&mut self.done);
+        self.stats.records = self.done.len() as u64;
         (self.done, self.stats)
     }
+}
+
+/// The canonical record order every assembly path emits: start time, then
+/// originator, responder, and protocol. Over records produced from one
+/// capture this is a total order — two distinct records can never share all
+/// four fields (a canonical flow is tracked by exactly one tracker at a
+/// time, and splits of the same flow have distinct start times) — which is
+/// what lets the shard router merge per-shard outputs by sorting and land
+/// byte-identical to the single-tracker path.
+pub(crate) fn sort_records(records: &mut [ConnRecord]) {
+    records.sort_by(|a, b| {
+        a.start_us
+            .cmp(&b.start_us)
+            .then_with(|| a.orig.cmp(&b.orig))
+            .then_with(|| a.resp.cmp(&b.resp))
+            .then_with(|| a.proto.cmp(&b.proto))
+    });
 }
 
 /// Convenience: assembles connections from a packet slice (sorted internally
@@ -780,5 +823,69 @@ mod tests {
         assert_eq!(conns.len(), 1);
         assert_eq!(stats.evictions, 0);
         assert_eq!(stats.peak_active, 1);
+        assert_eq!(stats.records, 1);
+    }
+
+    #[test]
+    fn forced_stamp_collision_cannot_shadow_a_flow() {
+        // Regression: the LRU index used to be keyed by stamp alone, so a
+        // repeated stamp overwrote the earlier flow's entry — that flow
+        // could then never be evicted (leaked until flush). Rewind the
+        // logical clock so two distinct flows carry the SAME stamp and
+        // prove both remain in the eviction order.
+        let cfg = FlowConfig {
+            max_active: 2,
+            ..FlowConfig::default()
+        };
+        let mut t = ConnectionTracker::new(cfg);
+        t.push(0, &udp(0, A, B, 1000, 53, b"x")); // flow X, stamp 1
+        t.rewind_stamp_for_test(0);
+        t.push(1, &udp(1, A, B, 1001, 53, b"y")); // flow Y, stamp 1 again
+        assert_eq!(t.lru.len(), 2, "colliding stamps must not shadow an entry");
+        // Two more flows: with max_active = 2, BOTH X and Y must be
+        // evictable. Under the old index one of them was unreachable.
+        t.push(2, &udp(2, A, B, 1002, 53, b"z"));
+        t.push(3, &udp(3, A, B, 1003, 53, b"w"));
+        let (conns, stats) = t.finish_with_stats();
+        assert_eq!(stats.evictions, 2, "both colliding flows were evictable");
+        assert_eq!(conns.len(), 4);
+        assert_eq!(stats.records, 4);
+    }
+
+    #[test]
+    fn concurrent_trackers_keep_their_own_eviction_counts() {
+        // Regression for the matrix-attribution bug: eviction accounting
+        // must come from each tracker's own FlowStats, not from diffing the
+        // process-global counter, which interleaves counts from trackers
+        // running concurrently on other threads.
+        let mk_pkts = |n: u16| -> Vec<PacketMeta> {
+            (0..n)
+                .map(|i| udp(u64::from(i) * 10, A, B, 10_000 + i, 53, b"q"))
+                .collect()
+        };
+        let cfg_small = FlowConfig {
+            max_active: 5,
+            ..FlowConfig::default()
+        };
+        let cfg_large = FlowConfig {
+            max_active: 50,
+            ..FlowConfig::default()
+        };
+        let global_before = counters::evictions();
+        let (a, b) = std::thread::scope(|s| {
+            let pkts_a = mk_pkts(100); // 95 evictions under cap 5
+            let pkts_b = mk_pkts(60); // 10 evictions under cap 50
+            let ha = s.spawn(move || assemble_with_stats(&pkts_a, cfg_small).1);
+            let hb = s.spawn(move || assemble_with_stats(&pkts_b, cfg_large).1);
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        // Per-tracker stats attribute exactly, regardless of interleaving.
+        assert_eq!(a.evictions, 95);
+        assert_eq!(b.evictions, 10);
+        assert_eq!(a.records, 100);
+        assert_eq!(b.records, 60);
+        // The global counter remains a process-wide total: it saw at least
+        // the sum, but cannot attribute it — that is the journal's job now.
+        assert!(counters::evictions() >= global_before + 105);
     }
 }

@@ -24,11 +24,13 @@ pub mod labels;
 pub mod network;
 pub mod recipes;
 pub mod session;
+pub mod sweep;
 
 pub use chaos::{ChaosConfig, ChaosFault, ChaosPcap, ChaosReport};
 pub use labels::{connection_labels, uni_flow_labels};
 pub use network::{Endpoint, NetworkEnv};
 pub use recipes::{build_dataset, DatasetId, DatasetSpec, SynthScale};
+pub use sweep::{endpoint_sweep, SweepSpec};
 
 use lumen_net::{CapturedPacket, LinkType};
 

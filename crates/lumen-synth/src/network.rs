@@ -40,20 +40,56 @@ pub struct NetworkEnv {
     pub remote_ttl: u8,
     /// Base TTL local devices use.
     pub local_ttl: u8,
+    /// True when the roster overflowed the home /24 and devices were spread
+    /// across sibling /24 blocks of the enclosing /8 (see [`device_ip`]).
+    /// Locality checks then match the /8 instead of the /24.
+    pub wide: bool,
+}
+
+/// How many devices fit in the home /24 (hosts .10–.254; .1 is the gateway,
+/// .250 is reserved for the port-scan attacker persona — it sits inside the
+/// range, but recipes that use it keep rosters far below this cap).
+const NARROW_CAP: usize = 245;
+
+/// Hosts usable per sibling /24 in the wide plan (.2–.254).
+const WIDE_HOSTS: usize = 253;
+
+/// Address of device `i`: the home /24 until it fills, then sibling /24
+/// blocks of the enclosing /8, starting just after the home block and
+/// wrapping through the full /8. Every index below ~16.5M maps to a distinct
+/// address, which is what lets recipes host millions of device endpoints.
+fn device_ip(subnet: [u8; 3], i: usize) -> Ipv4Addr {
+    if i < NARROW_CAP {
+        return Ipv4Addr::new(subnet[0], subnet[1], subnet[2], 10 + i as u8);
+    }
+    let j = i - NARROW_CAP;
+    let home_block = ((subnet[1] as usize) << 8) | subnet[2] as usize;
+    let block = (home_block + 1 + j / WIDE_HOSTS) % (1 << 16);
+    let host = 2 + (j % WIDE_HOSTS) as u8;
+    Ipv4Addr::new(subnet[0], (block >> 8) as u8, (block & 0xff) as u8, host)
 }
 
 impl NetworkEnv {
     /// Builds an environment with `n_devices` hosts on `subnet`.x and
     /// `n_cloud` remote servers drawn deterministically from `rng`.
+    ///
+    /// Rosters up to 245 devices live on the home /24 exactly as before;
+    /// larger rosters spill into sibling /24s of the enclosing /8 (capacity
+    /// ~16.5M distinct devices) and mark the environment [`NetworkEnv::wide`].
     pub fn new(subnet: [u8; 3], n_devices: usize, n_cloud: usize, rng: &mut Rng) -> NetworkEnv {
+        let wide = n_devices > NARROW_CAP;
         let gateway = Endpoint::new(Ipv4Addr::new(subnet[0], subnet[1], subnet[2], 1));
         let devices = (0..n_devices)
-            .map(|i| Endpoint::new(Ipv4Addr::new(subnet[0], subnet[1], subnet[2], 10 + i as u8)))
+            .map(|i| Endpoint::new(device_ip(subnet, i)))
             .collect();
         let cloud = (0..n_cloud.max(1))
             .map(|_| {
-                // Public-looking addresses outside RFC1918.
-                let a = *rng.choose(&[13u8, 34, 52, 104, 142, 172, 203]);
+                // Public-looking addresses outside RFC1918. A wide roster
+                // owns its whole /8, so keep cloud servers out of it.
+                let mut a = *rng.choose(&[13u8, 34, 52, 104, 142, 172, 203]);
+                if wide && a == subnet[0] {
+                    a = if a == 203 { 34 } else { 203 };
+                }
                 Endpoint::new(Ipv4Addr::new(
                     a,
                     rng.below(224) as u8,
@@ -69,6 +105,7 @@ impl NetworkEnv {
             cloud,
             remote_ttl: 48 + (rng.below(16) as u8),
             local_ttl: 64,
+            wide,
         }
     }
 
@@ -82,10 +119,15 @@ impl NetworkEnv {
         self.cloud[i % self.cloud.len()]
     }
 
-    /// True when `ip` is on this LAN.
+    /// True when `ip` is on this LAN: the home /24 normally, the whole /8
+    /// for wide rosters (whose devices spill across sibling /24s).
     pub fn is_local(&self, ip: Ipv4Addr) -> bool {
         let o = ip.octets();
-        o[0] == self.subnet[0] && o[1] == self.subnet[1] && o[2] == self.subnet[2]
+        if self.wide {
+            o[0] == self.subnet[0]
+        } else {
+            o[0] == self.subnet[0] && o[1] == self.subnet[1] && o[2] == self.subnet[2]
+        }
     }
 
     /// A fresh external (attacker/spoofed) endpoint.
@@ -143,6 +185,54 @@ mod tests {
         let b = NetworkEnv::new([192, 168, 1], 4, 3, &mut Rng::new(9));
         assert_eq!(a.cloud, b.cloud);
         assert_eq!(a.remote_ttl, b.remote_ttl);
+    }
+
+    #[test]
+    fn small_rosters_keep_the_legacy_24_plan() {
+        let mut rng = Rng::new(12);
+        let env = NetworkEnv::new([192, 168, 50], 245, 2, &mut rng);
+        assert!(!env.wide);
+        assert_eq!(env.device(0).ip, Ipv4Addr::new(192, 168, 50, 10));
+        assert_eq!(env.device(244).ip, Ipv4Addr::new(192, 168, 50, 254));
+        assert!(!env.is_local(Ipv4Addr::new(192, 168, 51, 10)));
+    }
+
+    #[test]
+    fn wide_rosters_get_distinct_local_addresses() {
+        let mut rng = Rng::new(13);
+        let n = 100_000;
+        let env = NetworkEnv::new([10, 0, 2], n, 3, &mut rng);
+        assert!(env.wide);
+        assert_eq!(env.devices.len(), n);
+        let ips: std::collections::HashSet<u32> =
+            env.devices.iter().map(|d| u32::from(d.ip)).collect();
+        assert_eq!(ips.len(), n, "device addresses must be distinct");
+        assert!(!ips.contains(&u32::from(env.gateway.ip)));
+        for d in env.devices.iter().step_by(9973) {
+            assert!(env.is_local(d.ip), "{} should be local", d.ip);
+        }
+        for c in &env.cloud {
+            assert!(!env.is_local(c.ip), "cloud {} leaked into the wide /8", c.ip);
+        }
+        for _ in 0..50 {
+            assert!(!env.is_local(env.external(&mut rng).ip));
+        }
+    }
+
+    #[test]
+    fn wide_plan_can_host_millions() {
+        // Spot-check distinctness at million-scale without materializing
+        // the roster: the address function itself must not collide.
+        let idxs = [0usize, 244, 245, 500_000, 1_000_000, 4_000_000, 16_000_000];
+        let ips: std::collections::HashSet<u32> = idxs
+            .iter()
+            .map(|&i| u32::from(device_ip([10, 0, 2], i)))
+            .collect();
+        assert_eq!(ips.len(), idxs.len());
+        // Neighbouring million-scale indices stay distinct too.
+        let a = device_ip([10, 0, 2], 2_000_000);
+        let b = device_ip([10, 0, 2], 2_000_001);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -252,6 +252,12 @@ pub struct SynthScale {
     pub benign_density: usize,
     /// Multiplier on attack rates/counts.
     pub intensity: f64,
+    /// Device-roster override: 0 keeps each recipe's historical device
+    /// count; any other value sizes the environment's roster directly.
+    /// Counts above 245 spill past the home /24 (see
+    /// [`crate::network::NetworkEnv`]), allowing millions of distinct
+    /// device endpoints.
+    pub devices: usize,
 }
 
 impl Default for SynthScale {
@@ -260,6 +266,7 @@ impl Default for SynthScale {
             duration_s: 30.0,
             benign_density: 8,
             intensity: 1.0,
+            devices: 0,
         }
     }
 }
@@ -271,6 +278,7 @@ impl SynthScale {
             duration_s: 10.0,
             benign_density: 4,
             intensity: 0.5,
+            devices: 0,
         }
     }
 
@@ -294,12 +302,21 @@ pub fn build_dataset(id: DatasetId, scale: SynthScale, seed: u64) -> LabeledCapt
         return build_wifi(spec, scale, &mut rng);
     }
 
+    // Each family's historical roster size, overridable by the scale knob
+    // (0 = keep the recipe default).
+    let roster = |default: usize| {
+        if scale.devices > 0 {
+            scale.devices
+        } else {
+            default
+        }
+    };
     let env = match spec.source {
-        "cicids2017" => NetworkEnv::new([192, 168, 10], 12, 6, &mut rng.fork(1)),
-        "cicids2019" => NetworkEnv::new([172, 16, 0], 10, 5, &mut rng.fork(1)),
-        "ctu" => NetworkEnv::new([192, 168, 100], 4, 2, &mut rng.fork(1)),
-        "kitsune" => NetworkEnv::new([10, 0, 2], 9, 3, &mut rng.fork(1)),
-        _ => NetworkEnv::new([192, 168, 0], 8, 4, &mut rng.fork(1)),
+        "cicids2017" => NetworkEnv::new([192, 168, 10], roster(12), 6, &mut rng.fork(1)),
+        "cicids2019" => NetworkEnv::new([172, 16, 0], roster(10), 5, &mut rng.fork(1)),
+        "ctu" => NetworkEnv::new([192, 168, 100], roster(4), 2, &mut rng.fork(1)),
+        "kitsune" => NetworkEnv::new([10, 0, 2], roster(9), 3, &mut rng.fork(1)),
+        _ => NetworkEnv::new([192, 168, 0], roster(8), 4, &mut rng.fork(1)),
     };
 
     let mut stream = Vec::new();
@@ -531,6 +548,38 @@ mod tests {
         assert_eq!(a.packets[10].data, b.packets[10].data);
         let c = build_dataset(DatasetId::F0, SynthScale::small(), 6);
         assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn device_override_zero_is_the_recipe_default() {
+        // F4 is CTU-sourced with a historical roster of 4 devices: asking
+        // for exactly 4 must reproduce the devices=0 capture bit-for-bit.
+        let base = build_dataset(DatasetId::F4, SynthScale::small(), 21);
+        let same = build_dataset(
+            DatasetId::F4,
+            SynthScale {
+                devices: 4,
+                ..SynthScale::small()
+            },
+            21,
+        );
+        assert_eq!(base.len(), same.len());
+        for (a, b) in base.packets.iter().zip(&same.packets) {
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn device_override_scales_past_the_home_slash24() {
+        let cap = build_dataset(
+            DatasetId::F4,
+            SynthScale {
+                devices: 300,
+                ..SynthScale::small()
+            },
+            21,
+        );
+        assert!(!cap.is_empty());
     }
 
     #[test]

@@ -10,9 +10,11 @@
 pub mod cancel;
 pub mod entropy;
 pub mod par;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 
 pub use cancel::{CancelToken, Cancelled};
+pub use ring::{ring, RingClosed, RingReceiver, RingSender};
 pub use rng::Rng;
 pub use stats::{OnlineStats, Summary};

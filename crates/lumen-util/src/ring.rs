@@ -1,0 +1,222 @@
+//! Bounded SPSC rings: the decode→shard hand-off primitive.
+//!
+//! The flow-shard router (`lumen_flow::shard`) feeds each worker shard
+//! from the decode stage through one of these rings. The workspace forbids
+//! `unsafe`, so this is not a lock-free ring buffer: it is a fixed-capacity
+//! queue behind a mutex + condvars, used batch-at-a-time so the lock is
+//! taken once per ~thousand packets, not once per packet. The discipline
+//! mirrors [`crate::par`]: bounded buffering gives backpressure (a slow
+//! shard stalls the producer instead of ballooning memory), FIFO order is
+//! preserved, and dropping the sender closes the ring so consumers drain
+//! and exit deterministically.
+//!
+//! Neither endpoint is `Clone`, so a ring is single-producer
+//! single-consumer by construction.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Capacity in items (batches, for the shard router).
+    capacity: usize,
+    /// Signalled when the queue gains an item or closes.
+    readable: Condvar,
+    /// Signalled when the queue loses an item.
+    writable: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, shrugging off poisoning: the queue holds plain
+    /// data, so a panicked peer cannot leave it logically corrupt, and the
+    /// survivor still needs to observe `closed`.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Producer half of a bounded ring.
+pub struct RingSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half of a bounded ring.
+pub struct RingReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded FIFO ring with room for `capacity` items
+/// (`capacity` is clamped to at least 1).
+pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        capacity: capacity.max(1),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (
+        RingSender {
+            shared: Arc::clone(&shared),
+        },
+        RingReceiver { shared },
+    )
+}
+
+/// Error returned by [`RingSender::send`] when the receiver is gone; the
+/// item comes back so the caller can account for it.
+#[derive(Debug)]
+pub struct RingClosed<T>(pub T);
+
+impl<T> RingSender<T> {
+    /// Enqueues one item, blocking while the ring is full (backpressure).
+    /// Fails only when the receiver has been dropped.
+    pub fn send(&self, item: T) -> Result<(), RingClosed<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.closed {
+                return Err(RingClosed(item));
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(item);
+                self.shared.readable.notify_one();
+                return Ok(());
+            }
+            st = self
+                .shared
+                .writable
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        self.shared.lock().closed = true;
+        self.shared.readable.notify_all();
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Dequeues the next item, blocking while the ring is empty. Returns
+    /// `None` once the sender is dropped **and** the queue has drained —
+    /// every sent item is observed exactly once.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                self.shared.writable.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .shared
+                .readable
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.closed = true;
+        st.queue.clear();
+        self.shared.writable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = ring(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn recv_after_close_drains_then_ends() {
+        let (tx, rx) = ring(8);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), Some("b"));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "closed ring stays closed");
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_item() {
+        let (tx, rx) = ring(2);
+        drop(rx);
+        let Err(RingClosed(item)) = tx.send(42) else {
+            panic!("send into a dropped receiver must fail");
+        };
+        assert_eq!(item, 42);
+    }
+
+    #[test]
+    fn capacity_bounds_the_queue_under_load() {
+        // A slow consumer never observes more than `capacity` items queued:
+        // the producer blocks (backpressure) instead of buffering unboundedly.
+        static MAX_SEEN: AtomicUsize = AtomicUsize::new(0);
+        let (tx, rx) = ring::<usize>(3);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..200 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                let mut expect = 0;
+                while let Some(i) = rx.recv() {
+                    assert_eq!(i, expect, "cross-thread FIFO");
+                    expect += 1;
+                    let depth = rx.shared.lock().queue.len();
+                    MAX_SEEN.fetch_max(depth, Ordering::Relaxed);
+                }
+                assert_eq!(expect, 200, "every sent item observed once");
+            });
+        });
+        assert!(MAX_SEEN.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn blocking_send_wakes_when_space_frees() {
+        let (tx, rx) = ring(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                tx.send(2).unwrap(); // blocks until the recv below
+                drop(tx);
+            });
+            assert_eq!(rx.recv(), Some(1));
+            assert_eq!(rx.recv(), Some(2));
+            assert_eq!(rx.recv(), None);
+            h.join().unwrap();
+        });
+    }
+}

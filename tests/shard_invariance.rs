@@ -1,0 +1,131 @@
+//! Shard invariance: flow sharding is an execution detail, never a
+//! semantic one. For any shard count the merged connection records — and
+//! therefore every downstream feature table, prediction, and metric —
+//! must be bit-identical to the single-tracker baseline.
+
+use std::sync::Arc;
+
+use lumen::bench::{DatasetRegistry, RunConfig, Runner};
+use lumen::flow::{assemble_sharded, FlowConfig};
+use lumen::prelude::*;
+
+/// The merged records of a sharded assembly are bit-identical to the
+/// single-tracker output for every shard count, and the per-shard stats
+/// always reconcile with the totals.
+#[test]
+fn sharded_assembly_is_bit_identical_across_shard_counts() {
+    let capture = build_dataset(DatasetId::F4, SynthScale::small(), 42);
+    let (metas, _stats) = parse_capture(capture.link, &capture.packets, 2);
+    let cfg = FlowConfig::default();
+
+    let base = assemble_sharded(&metas, cfg, 1);
+    assert!(!base.records.is_empty(), "baseline produced no flows");
+    for shards in [2usize, 3, 8] {
+        let asm = assemble_sharded(&metas, cfg, shards);
+        assert_eq!(
+            asm.records, base.records,
+            "shards={shards} changed the merged records"
+        );
+        assert_eq!(asm.per_shard.len(), shards);
+        let records: u64 = asm.per_shard.iter().map(|s| s.records).sum();
+        assert_eq!(records, asm.total.records, "per-shard records reconcile");
+        let evictions: u64 = asm.per_shard.iter().map(|s| s.evictions).sum();
+        assert_eq!(evictions, asm.total.evictions);
+    }
+}
+
+/// Under memory pressure each shard gets `max_active / shards`, so the
+/// sharded path keeps the same *total* budget while evicting per shard.
+#[test]
+fn eviction_budget_is_split_across_shards() {
+    let capture = build_dataset(DatasetId::F4, SynthScale::small(), 7);
+    let (metas, _stats) = parse_capture(capture.link, &capture.packets, 2);
+    let cfg = FlowConfig {
+        max_active: 8,
+        ..FlowConfig::default()
+    };
+
+    let asm = assemble_sharded(&metas, cfg, 4);
+    assert!(asm.total.evictions > 0, "tiny budget must force evictions");
+    for (i, s) in asm.per_shard.iter().enumerate() {
+        assert!(
+            s.peak_active <= 8,
+            "shard {i} peak_active {} exceeded the whole budget",
+            s.peak_active
+        );
+    }
+}
+
+/// End-to-end invariance through the real benchmark runner: the same
+/// algorithm/dataset matrix produces identical *metrics* (precision,
+/// recall, f1, accuracy, auc, instance counts) for 1, 2, and 8 flow
+/// shards. Timing fields are excluded — they legitimately vary.
+///
+/// All shard counts run serially inside one test because the default
+/// shard count is process-global (`lumen_flow::set_default_shards`).
+#[test]
+fn run_matrix_metrics_are_invariant_under_flow_sharding() {
+    let key = |rows: &ResultStore| -> Vec<(String, String, String, String, Option<String>)> {
+        rows.rows()
+            .iter()
+            .map(|r| {
+                (
+                    r.algo.clone(),
+                    r.train.clone(),
+                    r.test.clone(),
+                    r.mode.clone(),
+                    r.attack.clone(),
+                )
+            })
+            .collect()
+    };
+    let metrics = |rows: &ResultStore| -> Vec<(f64, f64, f64, f64, f64, usize, usize)> {
+        rows.rows()
+            .iter()
+            .map(|r| {
+                (
+                    r.precision, r.recall, r.f1, r.accuracy, r.auc, r.n_train, r.n_test,
+                )
+            })
+            .collect()
+    };
+
+    let mut baseline: Option<(
+        Vec<(String, String, String, String, Option<String>)>,
+        Vec<(f64, f64, f64, f64, f64, usize, usize)>,
+    )> = None;
+    for flow_shards in [1usize, 2, 8] {
+        let registry = Arc::new(DatasetRegistry::new(SynthScale::small(), 5).with_max_packets(800));
+        let runner = Runner::new(
+            registry,
+            RunConfig {
+                threads: 1,
+                flow_shards,
+                ..RunConfig::default()
+            },
+        );
+        let run = runner.run_matrix(&[AlgorithmId::A14], &[DatasetId::F4], false);
+        assert_eq!(run.journal.failed_count(), 0);
+        if flow_shards > 1 {
+            let per_shard = run.journal.flow_shards();
+            assert_eq!(
+                per_shard.len(),
+                flow_shards,
+                "journal should carry one accounting entry per shard"
+            );
+            let finalized: u64 = per_shard.iter().map(|e| e.records).sum();
+            assert!(finalized > 0, "shards finalized no flows");
+        }
+        match &baseline {
+            None => baseline = Some((key(&run.store), metrics(&run.store))),
+            Some((base_key, base_metrics)) => {
+                assert_eq!(&key(&run.store), base_key, "flow_shards={flow_shards}");
+                assert_eq!(
+                    &metrics(&run.store),
+                    base_metrics,
+                    "flow_shards={flow_shards} changed the evaluation metrics"
+                );
+            }
+        }
+    }
+}
