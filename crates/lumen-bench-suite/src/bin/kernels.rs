@@ -6,18 +6,33 @@
 //! Baselines: `matmul`, `pairwise_sq_dists` and `knn_predict` are measured
 //! against naive scalar implementations (the loops the model zoo used to
 //! hand-roll); `kmeans_fit` runs the same fused routine at one thread, so
-//! its speedup column reads as parallel scaling.
+//! its speedup column reads as parallel scaling. `matmul` and
+//! `pairwise_sq_dists` additionally run once per available SIMD backend
+//! (`backend` column: `scalar` plus `avx2`/`neon` when the host supports
+//! one), so the instruction-set win is a row ratio inside one artifact.
+//! The `*_batch_score` rows time the model zoo's batched prediction paths
+//! against their own row-by-row loops (same trained model, same probes).
 //!
 //! `--fast` shrinks every workload *except* the pairwise case, which stays
 //! at n=4000, d=32 — the acceptance-criterion configuration.
+//!
+//! `--baseline PATH` compares the fresh run against a committed
+//! `BENCH_kernels.json`: rows are matched on (op, n, d, threads, backend),
+//! per-row time ratios are normalized by the run's median ratio (so a
+//! uniformly slower or faster host does not trip the gate), and any op
+//! regressing more than 25% beyond that median fails the process. Baseline
+//! rows for a backend this host cannot run are skipped with a notice.
 
 use std::time::Instant;
 
-use lumen_ml::kernels::{self, reference};
+use lumen_ml::autoencoder::{Autoencoder, AutoencoderConfig};
+use lumen_ml::gmm::{Gmm, GmmConfig};
+use lumen_ml::kernels::{self, reference, Backend};
 use lumen_ml::kmeans::kmeans_t;
 use lumen_ml::knn::{Knn, KnnConfig};
+use lumen_ml::linear::{LogisticRegression, SgdConfig};
 use lumen_ml::matrix::Matrix;
-use lumen_ml::model::Classifier;
+use lumen_ml::model::{AnomalyDetector, Classifier};
 use lumen_ml::Dataset;
 use lumen_util::par::available_threads;
 use lumen_util::Rng;
@@ -28,6 +43,7 @@ struct Record {
     n: usize,
     d: usize,
     threads: usize,
+    backend: &'static str,
     ns_per_iter: f64,
     speedup: f64,
 }
@@ -82,34 +98,60 @@ fn thread_sweep() -> Vec<usize> {
     sweep
 }
 
+/// The backends this host can execute: scalar always, plus the detected
+/// SIMD instruction set when there is one.
+fn runnable_backends() -> Vec<Backend> {
+    let detected = kernels::detected_backend();
+    if detected == Backend::Scalar {
+        vec![Backend::Scalar]
+    } else {
+        vec![Backend::Scalar, detected]
+    }
+}
+
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let reps = if fast { 2 } else { 3 };
     let sweep = thread_sweep();
+    let backends = runnable_backends();
+    let active = kernels::active_backend().name();
+    eprintln!(
+        "kernel dispatch: active backend {active}, cpu features {}",
+        kernels::detected_features()
+    );
     let mut records: Vec<Record> = Vec::new();
 
-    // --- matmul ------------------------------------------------------------
+    // --- matmul (per backend) ----------------------------------------------
     let (mm_n, mm_d) = if fast { (128, 48) } else { (320, 128) };
     let a = random_matrix(mm_n, mm_d, 1);
     let b = random_matrix(mm_d, mm_n, 2);
     let ref_ns = time_ns(reps, || {
         std::hint::black_box(reference::matmul(&a, &b).unwrap());
     });
-    for &t in &sweep {
-        let ns = time_ns(reps, || {
-            std::hint::black_box(kernels::matmul(&a, &b, t).unwrap());
-        });
-        records.push(Record {
-            op: "matmul",
-            n: mm_n,
-            d: mm_d,
-            threads: t,
-            ns_per_iter: ns,
-            speedup: ref_ns / ns,
-        });
+    for &be in &backends {
+        for &t in &sweep {
+            let ns = time_ns(reps, || {
+                std::hint::black_box(kernels::matmul_with(be, &a, &b, t).unwrap());
+            });
+            records.push(Record {
+                op: "matmul",
+                n: mm_n,
+                d: mm_d,
+                threads: t,
+                backend: be.name(),
+                ns_per_iter: ns,
+                speedup: ref_ns / ns,
+            });
+        }
     }
 
-    // --- pairwise_sq_dists (acceptance config, never shrunk) ---------------
+    // --- pairwise_sq_dists (acceptance config, never shrunk; per backend) --
     // Both sides write into a preallocated buffer so the measurement is
     // compute vs compute, not dominated by page-faulting a fresh 128 MB
     // output per call.
@@ -121,19 +163,22 @@ fn main() {
         reference::pairwise_sq_dists_into(&a, &b, &mut out);
         std::hint::black_box(out.get(0, 0));
     });
-    for &t in &sweep {
-        let ns = time_ns(reps, || {
-            kernels::pairwise_sq_dists_into(&a, &b, &mut out, t).unwrap();
-            std::hint::black_box(out.get(0, 0));
-        });
-        records.push(Record {
-            op: "pairwise_sq_dists",
-            n: pw_n,
-            d: pw_d,
-            threads: t,
-            ns_per_iter: ns,
-            speedup: ref_ns / ns,
-        });
+    for &be in &backends {
+        for &t in &sweep {
+            let ns = time_ns(reps, || {
+                kernels::pairwise_sq_dists_into_with(be, &a, &b, &mut out, t).unwrap();
+                std::hint::black_box(out.get(0, 0));
+            });
+            records.push(Record {
+                op: "pairwise_sq_dists",
+                n: pw_n,
+                d: pw_d,
+                threads: t,
+                backend: be.name(),
+                ns_per_iter: ns,
+                speedup: ref_ns / ns,
+            });
+        }
     }
 
     // --- knn_predict -------------------------------------------------------
@@ -165,6 +210,7 @@ fn main() {
             n: kn_q,
             d: kn_d,
             threads: t,
+            backend: active,
             ns_per_iter: ns,
             speedup: ref_ns / ns,
         });
@@ -187,20 +233,104 @@ fn main() {
             n: km_n,
             d: km_d,
             threads: t,
+            backend: active,
             ns_per_iter: ns,
             speedup: ref_ns / ns,
         });
     }
 
+    // --- batched prediction vs row loops (model zoo) -----------------------
+    // Same trained model on both sides; the reference is the model's own
+    // row-by-row scoring loop, so speedup reads as "batching win". Batch
+    // paths take their parallelism from the process default, which we pin
+    // to 1 so the ratio isolates batching from threading.
+    kernels::set_default_threads(1);
+    let (bs_n, bs_d) = if fast { (600, 16) } else { (2000, 32) };
+    let fit_x = random_matrix(400, bs_d, 10);
+    let probe = random_matrix(bs_n, bs_d, 11);
+
+    let mut gmm = Gmm::new(GmmConfig {
+        n_components: 4,
+        max_iter: 15,
+        threads: 1,
+        ..GmmConfig::default()
+    });
+    gmm.fit_benign(&fit_x).unwrap();
+    let ref_ns = time_ns(reps, || {
+        let s: Vec<f64> = probe.rows_iter().map(|r| gmm.anomaly_score(r)).collect();
+        std::hint::black_box(s);
+    });
+    let ns = time_ns(reps, || {
+        std::hint::black_box(gmm.anomaly_scores(&probe));
+    });
+    records.push(Record {
+        op: "gmm_batch_score",
+        n: bs_n,
+        d: bs_d,
+        threads: 1,
+        backend: active,
+        ns_per_iter: ns,
+        speedup: ref_ns / ns,
+    });
+
+    let mut ae = Autoencoder::new(AutoencoderConfig {
+        hidden: vec![8],
+        epochs: 3,
+        ..AutoencoderConfig::default()
+    });
+    ae.fit_benign(&fit_x).unwrap();
+    let ref_ns = time_ns(reps, || {
+        let s: Vec<f64> = probe.rows_iter().map(|r| ae.anomaly_score(r)).collect();
+        std::hint::black_box(s);
+    });
+    let ns = time_ns(reps, || {
+        std::hint::black_box(ae.anomaly_scores(&probe));
+    });
+    records.push(Record {
+        op: "ae_batch_score",
+        n: bs_n,
+        d: bs_d,
+        threads: 1,
+        backend: active,
+        ns_per_iter: ns,
+        speedup: ref_ns / ns,
+    });
+
+    let mut rng = Rng::new(12);
+    let fit_y: Vec<u8> = (0..fit_x.rows()).map(|_| u8::from(rng.chance(0.5))).collect();
+    let mut logreg = LogisticRegression::new(SgdConfig {
+        epochs: 5,
+        ..SgdConfig::default()
+    });
+    logreg
+        .fit(&Dataset::new(fit_x.clone(), fit_y).unwrap())
+        .unwrap();
+    let ref_ns = time_ns(reps, || {
+        let s: Vec<f64> = probe.rows_iter().map(|r| logreg.score_row(r)).collect();
+        std::hint::black_box(s);
+    });
+    let ns = time_ns(reps, || {
+        std::hint::black_box(logreg.scores(&probe));
+    });
+    records.push(Record {
+        op: "linear_batch_score",
+        n: bs_n,
+        d: bs_d,
+        threads: 1,
+        backend: active,
+        ns_per_iter: ns,
+        speedup: ref_ns / ns,
+    });
+
     // --- report ------------------------------------------------------------
     println!(
-        "{:<18} {:>6} {:>4} {:>8} {:>14} {:>9}",
-        "op", "n", "d", "threads", "ns/iter", "speedup"
+        "{:<18} {:>6} {:>4} {:>8} {:>8} {:>14} {:>9}",
+        "op", "n", "d", "threads", "backend", "ns/iter", "speedup"
     );
     for r in &records {
         println!(
-            "{:<18} {:>6} {:>4} {:>8} {:>14.0} {:>8.2}x",
-            r.op, r.n, r.d, r.threads, r.ns_per_iter, r.speedup
+            "{:<18} {:>6} {:>4} {:>8} {:>8} {:>14.0} {:>8.2}x",
+            r.op, r.n, r.d, r.threads, r.backend, r.ns_per_iter, r.speedup
         );
     }
 
@@ -212,6 +342,7 @@ fn main() {
                 "n": r.n,
                 "d": r.d,
                 "threads": r.threads,
+                "backend": r.backend,
                 "ns_per_iter": r.ns_per_iter,
                 "speedup": r.speedup,
             })
@@ -224,5 +355,108 @@ fn main() {
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("\n[kernel benchmarks persisted to {}]", path.display()),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+
+    if let Some(bp) = baseline_path {
+        if let Err(regressions) = check_baseline(&bp, &records) {
+            eprintln!("kernels-regress: {} op(s) regressed >25% vs {bp}:", regressions.len());
+            for r in regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("kernels-regress: no op regressed >25% vs {bp}");
+    }
+}
+
+/// Compares this run against a committed baseline. Rows match on
+/// (op, n, d, threads, backend); per-row fresh/baseline time ratios are
+/// normalized by the median ratio so a uniformly different host does not
+/// trip the gate, then any row more than 25% slower than that median
+/// shift is reported as a regression. Only single-thread rows gate:
+/// threads>1 rows measure scheduler contention on small ops (host
+/// scaling, noisy on shared runners), not kernel code quality — they stay
+/// in the artifact for inspection but are skipped here with a notice.
+fn check_baseline(path: &str, records: &[Record]) -> Result<(), Vec<String>> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("kernels-regress notice: cannot read baseline {path}: {e}; skipping");
+            return Ok(());
+        }
+    };
+    let rows: Vec<serde_json::Value> = match serde_json::from_str(&body) {
+        Ok(serde_json::Value::Array(rows)) => rows,
+        _ => {
+            eprintln!("kernels-regress notice: baseline {path} is not a JSON array; skipping");
+            return Ok(());
+        }
+    };
+    let runnable: Vec<&str> = runnable_backends().iter().map(|b| b.name()).collect();
+    let mut compared: Vec<(String, f64)> = Vec::new();
+    let mut skipped_mt = 0usize;
+    for row in &rows {
+        let get_str = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("");
+        let get_u = |k: &str| row.get(k).and_then(|v| v.as_u64()).unwrap_or(0) as usize;
+        let get_f = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let (op, backend) = (get_str("op").to_string(), get_str("backend").to_string());
+        let (n, d, threads) = (get_u("n"), get_u("d"), get_u("threads"));
+        let base_ns = get_f("ns_per_iter");
+        if base_ns <= 0.0 {
+            continue;
+        }
+        if threads > 1 {
+            skipped_mt += 1;
+            continue;
+        }
+        if !backend.is_empty() && !runnable.contains(&backend.as_str()) {
+            eprintln!(
+                "kernels-regress notice: host lacks backend {backend}; skipping baseline row {op} (n={n}, d={d}, t={threads})"
+            );
+            continue;
+        }
+        let fresh = records.iter().find(|r| {
+            r.op == op
+                && r.n == n
+                && r.d == d
+                && r.threads == threads
+                && (backend.is_empty() || r.backend == backend)
+        });
+        match fresh {
+            Some(r) => compared.push((
+                format!("{op} [{backend}] (n={n}, d={d}, t={threads})"),
+                r.ns_per_iter / base_ns,
+            )),
+            None => eprintln!(
+                "kernels-regress notice: no fresh row for baseline {op} [{backend}] (n={n}, d={d}, t={threads}); skipping"
+            ),
+        }
+    }
+    if skipped_mt > 0 {
+        eprintln!(
+            "kernels-regress notice: {skipped_mt} multi-thread baseline row(s) excluded from the gate (host-scaling noise)"
+        );
+    }
+    if compared.is_empty() {
+        eprintln!("kernels-regress notice: nothing comparable in {path}; skipping");
+        return Ok(());
+    }
+    let mut ratios: Vec<f64> = compared.iter().map(|(_, r)| *r).collect();
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    let regressions: Vec<String> = compared
+        .iter()
+        .filter(|(_, ratio)| ratio / median > 1.25)
+        .map(|(label, ratio)| {
+            format!(
+                "{label}: {:.0}% slower than the baseline after normalizing host speed (x{median:.2})",
+                (ratio / median - 1.0) * 100.0
+            )
+        })
+        .collect();
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(regressions)
     }
 }

@@ -13,7 +13,8 @@ use crate::runner::{FaultKind, FaultSpec, RunBudget, RunConfig, Runner};
 /// Flags: `--fast` (small datasets for smoke runs), `--strict` (exit
 /// nonzero when any journaled task genuinely failed), `--chaos` (corrupt
 /// every capture with the seeded fault-injection engine before ingestion),
-/// `--seed N`, `--threads N`, `--kernel-threads N`, `--flow-shards N`,
+/// `--seed N`, `--threads N`, `--kernel-threads N`,
+/// `--kernel-backend scalar|auto`, `--flow-shards N`,
 /// `--devices N` (synth device-roster override; counts above 245 spread
 /// past the home /24), `--duration SECONDS`,
 /// `--max-packets N`; supervision flags `--task-deadline-ms N`,
@@ -27,6 +28,10 @@ pub struct ExpConfig {
     pub threads: usize,
     /// ML compute-kernel threads per matrix task (0 = auto share).
     pub kernel_threads: usize,
+    /// SIMD dispatch mode for ML kernels (`--kernel-backend scalar|auto`).
+    /// Scalar pins the portable path for A/B runs; predictions are
+    /// bit-identical either way.
+    pub kernel_backend: lumen_ml::kernels::BackendMode,
     /// Flow-tracker shards per `FlowAssemble` (0 = auto share). Sharding
     /// never changes records, features, or predictions — only throughput.
     pub flow_shards: usize,
@@ -66,6 +71,7 @@ impl ExpConfig {
                 .unwrap_or(4)
                 .min(8),
             kernel_threads: 0,
+            kernel_backend: lumen_ml::kernels::BackendMode::Auto,
             flow_shards: 0,
             max_packets: 4000,
             strict: false,
@@ -86,7 +92,7 @@ impl ExpConfig {
             Ok(cfg) => cfg,
             Err(why) => {
                 eprintln!(
-                    "{why}; known flags: --fast --strict --chaos --audit --seed N --threads N --kernel-threads N --flow-shards N --devices N --duration S --max-packets N \
+                    "{why}; known flags: --fast --strict --chaos --audit --seed N --threads N --kernel-threads N --kernel-backend scalar|auto --flow-shards N --devices N --duration S --max-packets N \
                      --task-deadline-ms N --max-attempts N --backoff-ms N --resume JOURNAL.jsonl --fault ALGO:DATASET:KIND[:N]"
                 );
                 std::process::exit(2);
@@ -131,6 +137,13 @@ impl ExpConfig {
                     cfg.kernel_threads = value(&mut i)?
                         .parse()
                         .map_err(|e| format!("--kernel-threads: {e}"))?;
+                }
+                "--kernel-backend" => {
+                    let v = value(&mut i)?;
+                    cfg.kernel_backend =
+                        lumen_ml::kernels::BackendMode::parse(v).ok_or_else(|| {
+                            format!("--kernel-backend: {v:?} (want \"scalar\" or \"auto\")")
+                        })?;
                 }
                 "--flow-shards" => {
                     cfg.flow_shards = value(&mut i)?
@@ -198,6 +211,7 @@ impl ExpConfig {
                 seed: self.seed,
                 threads: self.threads,
                 kernel_threads: self.kernel_threads,
+                kernel_backend: self.kernel_backend,
                 per_attack: true,
                 fault: self.fault,
                 budget: RunBudget {
@@ -495,6 +509,18 @@ mod tests {
         let cfg = parse(&["--kernel-threads", "3"]).unwrap();
         assert_eq!(cfg.kernel_threads, 3);
         assert!(parse(&["--kernel-threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn kernel_backend_flag_is_parsed() {
+        use lumen_ml::kernels::BackendMode;
+        assert_eq!(parse(&[]).unwrap().kernel_backend, BackendMode::Auto);
+        let cfg = parse(&["--kernel-backend", "scalar"]).unwrap();
+        assert_eq!(cfg.kernel_backend, BackendMode::ForceScalar);
+        let cfg = parse(&["--kernel-backend", "auto"]).unwrap();
+        assert_eq!(cfg.kernel_backend, BackendMode::Auto);
+        assert!(parse(&["--kernel-backend", "avx2"]).is_err(), "only scalar/auto are pinnable");
+        assert!(parse(&["--kernel-backend"]).is_err());
     }
 
     #[test]

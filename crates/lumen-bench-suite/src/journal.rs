@@ -444,8 +444,11 @@ pub struct FlowShardEntry {
 /// flow-tracker accounting (`flow_shards`) and re-scopes `flow_evictions`
 /// to per-tracker stats summed over the run's own assemblies, instead of a
 /// process-global counter diff that misattributed evictions across
-/// concurrently-running matrices.
-pub const SCHEMA_VERSION: u32 = 4;
+/// concurrently-running matrices; v5 records the ML kernel dispatch
+/// decision in the header (`kernel_backend`: scalar/avx2/neon, and
+/// `kernel_features`: the detected CPU feature list) so perf numbers are
+/// attributable to the instruction set that produced them.
+pub const SCHEMA_VERSION: u32 = 5;
 
 fn v1_schema_version() -> u32 {
     1
@@ -473,6 +476,14 @@ pub struct RunJournal {
     /// run did not audit).
     #[serde(default)]
     audit: Vec<AuditFinding>,
+    /// ML kernel backend the run dispatched to (`scalar`/`avx2`/`neon`;
+    /// absent pre-v5). Captured at journal creation from the process-wide
+    /// dispatch state (`--kernel-backend`).
+    #[serde(default)]
+    kernel_backend: String,
+    /// Detected CPU features relevant to kernel dispatch (absent pre-v5).
+    #[serde(default)]
+    kernel_features: String,
 }
 
 impl Default for RunJournal {
@@ -482,7 +493,10 @@ impl Default for RunJournal {
 }
 
 impl RunJournal {
-    /// Empty journal at the current schema version.
+    /// Empty journal at the current schema version. The kernel-dispatch
+    /// header is captured here, so it reflects the backend in force when
+    /// the run started (`--kernel-backend` is applied before any journal
+    /// exists).
     pub fn new() -> RunJournal {
         RunJournal {
             schema_version: SCHEMA_VERSION,
@@ -491,12 +505,24 @@ impl RunJournal {
             flow_evictions: 0,
             flow_shards: Vec::new(),
             audit: Vec::new(),
+            kernel_backend: lumen_ml::kernels::active_backend().name().to_string(),
+            kernel_features: lumen_ml::kernels::detected_features().to_string(),
         }
     }
 
     /// The schema version this journal was written with.
     pub fn schema_version(&self) -> u32 {
         self.schema_version
+    }
+
+    /// The ML kernel backend this run dispatched to (empty pre-v5).
+    pub fn kernel_backend(&self) -> &str {
+        &self.kernel_backend
+    }
+
+    /// The CPU features detected at run start (empty pre-v5).
+    pub fn kernel_features(&self) -> &str {
+        &self.kernel_features
     }
 
     /// Appends one entry.
@@ -724,6 +750,12 @@ impl RunJournal {
             self.timed_out_count(),
             self.len()
         );
+        if !self.kernel_backend.is_empty() {
+            s.push_str(&format!(
+                "kernel backend: {} (cpu features: {})\n",
+                self.kernel_backend, self.kernel_features
+            ));
+        }
         for e in self.failures() {
             if let TaskOutcome::Failed { error } = &e.outcome {
                 s.push_str(&format!(
@@ -1071,12 +1103,41 @@ mod tests {
         for field in ["flow_shards", "flow_evictions", "FlowShardEntry"] {
             assert!(design.contains(field), "DESIGN.md missing `{field}`");
         }
-        assert!(design.contains("schema v4"), "DESIGN.md missing schema v4");
+        assert!(design.contains("schema v5"), "DESIGN.md missing schema v5");
         assert!(
-            readme.contains("flow_shards") && readme.contains("schema v4"),
-            "README performance section missing journal v4 fields"
+            readme.contains("flow_shards") && readme.contains("schema v5"),
+            "README performance section missing journal v5 fields"
         );
-        assert_eq!(SCHEMA_VERSION, 4, "schema bumped: update DESIGN.md/README");
+        for field in ["kernel_backend", "kernel_features"] {
+            assert!(design.contains(field), "DESIGN.md missing `{field}`");
+        }
+        // Backend names are part of the published schema: journals, bench
+        // artifacts and the CLI all use these exact strings.
+        for backend in ["scalar", "avx2", "neon"] {
+            assert!(
+                design.contains(backend),
+                "DESIGN.md missing backend name `{backend}`"
+            );
+        }
+        assert_eq!(SCHEMA_VERSION, 5, "schema bumped: update DESIGN.md/README");
+    }
+
+    #[test]
+    fn journal_header_records_kernel_backend() {
+        let j = RunJournal::new();
+        assert!(
+            ["scalar", "avx2", "neon"].contains(&j.kernel_backend()),
+            "unexpected backend {:?}",
+            j.kernel_backend()
+        );
+        assert!(!j.kernel_features().is_empty());
+        let s = j.summary(0, 0);
+        assert!(s.contains("kernel backend: "), "{s}");
+        // Pre-v5 journals deserialize with an empty header and must not
+        // fabricate a backend line.
+        let mut old = RunJournal::new();
+        old.kernel_backend = String::new();
+        assert!(!old.summary(0, 0).contains("kernel backend"));
     }
 
     #[test]

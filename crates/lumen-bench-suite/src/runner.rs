@@ -128,6 +128,11 @@ pub struct RunConfig {
     /// count, so matrix- and kernel-level parallelism don't oversubscribe
     /// the machine).
     pub kernel_threads: usize,
+    /// SIMD dispatch mode for the ML kernels (`--kernel-backend`): `Auto`
+    /// picks the best detected instruction set, `ForceScalar` pins the
+    /// portable path. Either way predictions are bit-identical — the knob
+    /// affects throughput only.
+    pub kernel_backend: lumen_ml::kernels::BackendMode,
     /// Whether to also emit per-attack rows.
     pub per_attack: bool,
     /// Optional injected fault (test/chaos instrumentation).
@@ -151,6 +156,7 @@ impl Default for RunConfig {
             seed: 7,
             threads: 4,
             kernel_threads: 0,
+            kernel_backend: lumen_ml::kernels::BackendMode::Auto,
             per_attack: false,
             fault: None,
             budget: RunBudget::default(),
@@ -246,6 +252,9 @@ impl Runner {
             (lumen_util::par::available_threads() / config.threads.max(1)).max(1)
         };
         lumen_ml::kernels::set_default_threads(kernel_threads);
+        // Pin or auto-select the SIMD backend before any kernel runs; the
+        // journal header records the resolved choice.
+        lumen_ml::kernels::set_backend_mode(config.kernel_backend);
         // Same share-the-machine discipline for flow-tracker shards: each
         // matrix worker's assemblies split the remaining parallelism.
         let flow_shards = if config.flow_shards > 0 {
@@ -994,12 +1003,19 @@ impl Runner {
             eprintln!("resume: replayed {reused} completed task(s) from the write-ahead log");
         }
         // Fold the per-op kernel timings accumulated during this matrix
-        // into the ops profile, next to the feature-extraction ops.
+        // into the ops profile, next to the feature-extraction ops. Rows
+        // are tagged with the dispatch backend so profiles from different
+        // instruction sets never aggregate silently.
         let delta = lumen_ml::kernels::profile_snapshot().delta_since(&kernels_before);
         if delta.total_calls() > 0 {
+            let backend = lumen_ml::kernels::active_backend().name();
             let mut ops = self.ops_profile.lock();
             for (name, calls, nanos) in delta.entries() {
-                ops.add_timing(&format!("Kernel::{name}"), calls, u128::from(nanos) / 1_000);
+                ops.add_timing(
+                    &format!("Kernel::{name}[{backend}]"),
+                    calls,
+                    u128::from(nanos) / 1_000,
+                );
             }
         }
         let mut store = store.into_inner();
@@ -1325,6 +1341,12 @@ mod tests {
             !kernel_ops.is_empty(),
             "expected Kernel::* rows in the ops profile, got {:?}",
             profile.stats().keys().collect::<Vec<_>>()
+        );
+        // Every row carries the dispatch-backend tag.
+        let tag = format!("[{}]", lumen_ml::kernels::active_backend().name());
+        assert!(
+            kernel_ops.iter().all(|k| k.ends_with(&tag)),
+            "Kernel rows missing backend tag {tag}: {kernel_ops:?}"
         );
         assert!(profile
             .stats()

@@ -7,6 +7,7 @@
 
 use lumen_util::Rng;
 
+use crate::kernels::{self, KernelOp};
 use crate::matrix::Matrix;
 use crate::model::AnomalyDetector;
 use crate::preprocess::{MinMaxScaler, Transform};
@@ -41,7 +42,13 @@ impl Default for AutoencoderConfig {
 }
 
 /// One dense layer with sigmoid activation.
+///
+/// Weights are stored transpose-packed (`w.row(c)` holds output unit `c`'s
+/// incoming weights), so a row forward is one [`kernels::dot`] per unit and
+/// a batch forward is one [`kernels::matmul_bt`] — the same accumulation
+/// structure, so the two paths are bit-identical.
 struct Layer {
+    /// `outputs × inputs`, transpose-packed.
     w: Matrix,
     b: Vec<f64>,
     vw: Matrix,
@@ -52,14 +59,12 @@ impl Layer {
     fn new(inputs: usize, outputs: usize, rng: &mut Rng) -> Layer {
         // Xavier-style uniform init.
         let bound = (6.0 / (inputs + outputs) as f64).sqrt();
-        let mut w = Matrix::zeros(inputs, outputs);
-        for r in 0..inputs {
-            for c in 0..outputs {
-                w.set(r, c, rng.f64_range(-bound, bound));
-            }
+        let mut w = Matrix::zeros(outputs, inputs);
+        for v in w.as_mut_slice() {
+            *v = rng.f64_range(-bound, bound);
         }
         Layer {
-            vw: Matrix::zeros(inputs, outputs),
+            vw: Matrix::zeros(outputs, inputs),
             vb: vec![0.0; outputs],
             w,
             b: vec![0.0; outputs],
@@ -67,20 +72,23 @@ impl Layer {
     }
 
     fn forward(&self, input: &[f64]) -> Vec<f64> {
+        (0..self.b.len())
+            .map(|c| sigmoid(self.b[c] + kernels::dot(input, self.w.row(c))))
+            .collect()
+    }
+
+    /// Whole-batch forward: `sigmoid(X·Wᵀ + b)` as one `matmul_bt` plus an
+    /// element-wise pass. `out[i][c] = sigmoid(b[c] + dot(x_i, w_c))` —
+    /// exactly the [`Layer::forward`] expression, hence bit-identical.
+    fn forward_matrix(&self, x: &Matrix, threads: usize) -> Matrix {
+        let mut z = kernels::matmul_bt(x, &self.w, threads).expect("layer shapes agree");
         let outs = self.b.len();
-        let mut z = self.b.clone();
-        for (i, &x) in input.iter().enumerate() {
-            if x == 0.0 {
-                continue;
+        let b = &self.b;
+        lumen_util::par::par_rows_mut(z.as_mut_slice(), outs, threads, |_, row| {
+            for (v, &bc) in row.iter_mut().zip(b) {
+                *v = sigmoid(bc + *v);
             }
-            let wrow = self.w.row(i);
-            for c in 0..outs {
-                z[c] += x * wrow[c];
-            }
-        }
-        for v in &mut z {
-            *v = sigmoid(*v);
-        }
+        });
         z
     }
 }
@@ -162,26 +170,29 @@ impl Autoencoder {
             let mut prev_delta = vec![0.0; inputs.len()];
             {
                 let layer = &self.layers[l];
-                for (i, pd) in prev_delta.iter_mut().enumerate() {
-                    let wrow = layer.w.row(i);
-                    let mut s = 0.0;
-                    for (c, &dc) in delta.iter().enumerate() {
-                        s += wrow[c] * dc;
+                // prev_delta[i] = Σ_c w[c][i]·δ[c] — one axpy per output unit
+                // over the transpose-packed weight rows.
+                for (c, &dc) in delta.iter().enumerate() {
+                    kernels::axpy(dc, layer.w.row(c), &mut prev_delta);
+                }
+                // Multiply by sigmoid' of this activation (skip for raw input layer).
+                if l != 0 {
+                    for (pd, &a) in prev_delta.iter_mut().zip(inputs.iter()) {
+                        *pd *= a * (1.0 - a);
                     }
-                    // Multiply by sigmoid' of this activation (skip for raw input layer).
-                    let a = inputs[i];
-                    *pd = if l == 0 { s } else { s * a * (1.0 - a) };
                 }
             }
             let layer = &mut self.layers[l];
-            for (i, &a) in inputs.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                for (c, &dc) in delta.iter().enumerate() {
-                    let v = mu * layer.vw.get(i, c) - lr * a * dc;
-                    layer.vw.set(i, c, v);
-                    layer.w.set(i, c, layer.w.get(i, c) + v);
+            for (c, &dc) in delta.iter().enumerate() {
+                let vrow = layer.vw.row_mut(c);
+                let wrow = layer.w.row_mut(c);
+                for (i, &a) in inputs.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let v = mu * vrow[i] - lr * a * dc;
+                    vrow[i] = v;
+                    wrow[i] += v;
                 }
             }
             for (c, &dc) in delta.iter().enumerate() {
@@ -197,15 +208,20 @@ impl Autoencoder {
     /// Reconstruction RMSE of one already-scaled row.
     fn rmse_scaled(&self, scaled: &[f64]) -> f64 {
         let acts = self.forward_all(scaled);
-        let out = acts.last().expect("output");
-        let mse: f64 = out
-            .iter()
-            .zip(scaled)
-            .map(|(o, t)| (o - t) * (o - t))
-            .sum::<f64>()
-            / scaled.len().max(1) as f64;
-        mse.sqrt()
+        rmse_rows(acts.last().expect("output"), scaled)
     }
+}
+
+/// RMSE between a reconstruction and its target (sequential sum — shared by
+/// the row and batch scoring paths so they agree bit-for-bit).
+fn rmse_rows(out: &[f64], target: &[f64]) -> f64 {
+    let mse: f64 = out
+        .iter()
+        .zip(target)
+        .map(|(o, t)| (o - t) * (o - t))
+        .sum::<f64>()
+        / target.len().max(1) as f64;
+    mse.sqrt()
 }
 
 impl AnomalyDetector for Autoencoder {
@@ -243,6 +259,29 @@ impl AnomalyDetector for Autoencoder {
         // follow, so clamp the target for a bounded-but-monotone score.
         let clamped: Vec<f64> = scaled.row(0).iter().map(|v| v.clamp(-1.0, 2.0)).collect();
         self.rmse_scaled(&clamped)
+    }
+
+    /// Batched scoring: one whole-matrix forward pass per layer instead of a
+    /// per-row loop. Bit-identical to [`Autoencoder::anomaly_score`] because
+    /// [`Layer::forward_matrix`] mirrors [`Layer::forward`]'s accumulation.
+    fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        if !self.fitted {
+            return vec![0.0; x.rows()];
+        }
+        let mut target = self.scaler.transform(x);
+        for v in target.as_mut_slice() {
+            *v = v.clamp(-1.0, 2.0);
+        }
+        let threads = kernels::resolve_threads(0);
+        kernels::timed(KernelOp::AeForward, || {
+            let mut cur = target.clone();
+            for layer in &self.layers {
+                cur = layer.forward_matrix(&cur, threads);
+            }
+            (0..target.rows())
+                .map(|i| rmse_rows(cur.row(i), target.row(i)))
+                .collect()
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -330,6 +369,26 @@ mod tests {
         b.fit_benign(&x).unwrap();
         let p = [0.3, 0.7, 0.2];
         assert_eq!(a.anomaly_score(&p), b.anomaly_score(&p));
+    }
+
+    #[test]
+    fn batch_scores_match_row_scores_exactly() {
+        let x = correlated_benign(5, 120);
+        let mut ae = Autoencoder::new(AutoencoderConfig {
+            hidden: vec![2],
+            epochs: 20,
+            ..AutoencoderConfig::default()
+        });
+        ae.fit_benign(&x).unwrap();
+        let probe = correlated_benign(6, 40);
+        let batch = ae.anomaly_scores(&probe);
+        for (i, row) in probe.rows_iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                ae.anomaly_score(row).to_bits(),
+                "row {i} diverged"
+            );
+        }
     }
 
     #[test]

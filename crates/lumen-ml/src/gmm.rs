@@ -50,6 +50,14 @@ pub struct Gmm {
     weights: Vec<f64>,
     means: Matrix,
     vars: Matrix,
+    /// Scoring decomposition, precomputed after EM (see [`Gmm::finalize`]):
+    /// row `c` is `mean_c / var_c`, so the cross term of every component's
+    /// log-density is one dot product.
+    score_p: Matrix,
+    /// Row `c` is `0.5 / var_c` — the quadratic term against `x²`.
+    score_q: Matrix,
+    /// Per-component constant: `ln w_c − 0.5·Σ_j (m²/v + ln v + ln 2π)`.
+    score_const: Vec<f64>,
     fitted: bool,
 }
 
@@ -61,11 +69,15 @@ impl Gmm {
             weights: Vec::new(),
             means: Matrix::zeros(0, 0),
             vars: Matrix::zeros(0, 0),
+            score_p: Matrix::zeros(0, 0),
+            score_q: Matrix::zeros(0, 0),
+            score_const: Vec::new(),
             fitted: false,
         }
     }
 
-    /// Log density of `row` under component `c` (diagonal Gaussian).
+    /// Log density of `row` under component `c` (diagonal Gaussian) — the
+    /// direct form used inside EM, where the parameters change every sweep.
     fn component_log_pdf(&self, c: usize, row: &[f64]) -> f64 {
         let mean = self.means.row(c);
         let var = self.vars.row(c);
@@ -78,14 +90,54 @@ impl Gmm {
         ll
     }
 
+    /// Precomputes the scoring decomposition from the fitted parameters:
+    /// `log p_c(x) = const_c + x·(m_c/v_c) − x²·(0.5/v_c)`, so a whole batch
+    /// scores as two [`kernels::matmul_bt`] products. The row path uses the
+    /// *same* decomposition (same `kernels::dot` accumulation), so batch and
+    /// row scores are bit-identical.
+    fn finalize(&mut self) {
+        let (k, d) = (self.means.rows(), self.means.cols());
+        self.score_p = Matrix::zeros(k, d);
+        self.score_q = Matrix::zeros(k, d);
+        self.score_const = Vec::with_capacity(k);
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        for c in 0..k {
+            let mean = self.means.row(c);
+            let var = self.vars.row(c);
+            let prow = self.score_p.row_mut(c);
+            let qrow = self.score_q.row_mut(c);
+            let mut constant = self.weights[c].max(1e-300).ln();
+            for j in 0..d {
+                let v = var[j];
+                prow[j] = mean[j] / v;
+                qrow[j] = 0.5 / v;
+                constant -= 0.5 * (mean[j] * mean[j] / v + v.ln() + ln_2pi);
+            }
+            self.score_const.push(constant);
+        }
+    }
+
+    /// Per-component log joints `ln w_c + ln p_c(x)` for one row, via the
+    /// precomputed decomposition. `row2` is the element-wise square of
+    /// `row`, supplied by the caller so batch paths can reuse a buffer.
+    fn component_logs(&self, row: &[f64], row2: &[f64], logs: &mut Vec<f64>) {
+        logs.clear();
+        for c in 0..self.score_const.len() {
+            logs.push(
+                self.score_const[c] + kernels::dot(row, self.score_p.row(c))
+                    - kernels::dot(row2, self.score_q.row(c)),
+            );
+        }
+    }
+
     /// Log-likelihood of one row under the mixture.
     pub fn log_likelihood(&self, row: &[f64]) -> f64 {
         if !self.fitted {
             return f64::NEG_INFINITY;
         }
-        let logs: Vec<f64> = (0..self.weights.len())
-            .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, row))
-            .collect();
+        let row2: Vec<f64> = row.iter().map(|x| x * x).collect();
+        let mut logs = Vec::new();
+        self.component_logs(row, &row2, &mut logs);
         log_sum_exp(&logs)
     }
 
@@ -115,6 +167,9 @@ impl Gmm {
             self.vars.row_mut(c).copy_from_slice(&global_var);
         }
         self.fitted = true;
+        // Keep the scoring decomposition consistent even if EM is cancelled
+        // mid-flight; recomputed again after EM converges.
+        self.finalize();
 
         let mut resp = Matrix::zeros(n, k);
         let mut prev_ll = f64::NEG_INFINITY;
@@ -208,6 +263,7 @@ impl Gmm {
             }
             prev_ll = total_ll;
         }
+        self.finalize();
         Ok(())
     }
 }
@@ -230,13 +286,41 @@ impl AnomalyDetector for Gmm {
         -self.log_likelihood(row)
     }
 
+    /// Batched scoring: each fixed-size row block computes its component
+    /// log-joints as two `matmul_bt` products (`X·Pᵀ` for the cross terms,
+    /// `X²·Qᵀ` for the quadratic terms) plus the per-component constants,
+    /// then a per-row `log_sum_exp`. Same decomposition and the same
+    /// `kernels::dot` accumulation as [`Gmm::log_likelihood`], so batch and
+    /// row scores are bit-identical — at any thread count, on any backend.
     fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        if !self.fitted {
+            return vec![f64::INFINITY; x.rows()];
+        }
         let threads = kernels::resolve_threads(self.config.threads);
+        let (n, d) = (x.rows(), x.cols());
+        let k = self.score_const.len();
         kernels::timed(KernelOp::Gmm, || {
-            par::par_blocks(x.rows(), BLOCK, threads, |s, e| {
-                (s..e)
-                    .map(|i| -self.log_likelihood(x.row(i)))
-                    .collect::<Vec<f64>>()
+            par::par_blocks(n, BLOCK, threads, |s, e| {
+                let m = e - s;
+                let xb = Matrix::from_vec(m, d, x.as_slice()[s * d..e * d].to_vec())
+                    .expect("block shape");
+                let mut x2 = xb.clone();
+                for v in x2.as_mut_slice() {
+                    *v *= *v;
+                }
+                // Kernel parallelism off: the block sweep is the parallel axis.
+                let cross = kernels::matmul_bt(&xb, &self.score_p, 1).expect("shapes agree");
+                let quad = kernels::matmul_bt(&x2, &self.score_q, 1).expect("shapes agree");
+                let mut logs = Vec::with_capacity(k);
+                let mut out = Vec::with_capacity(m);
+                for i in 0..m {
+                    logs.clear();
+                    for c in 0..k {
+                        logs.push(self.score_const[c] + cross.get(i, c) - quad.get(i, c));
+                    }
+                    out.push(-log_sum_exp(&logs));
+                }
+                out
             })
             .into_iter()
             .flatten()
@@ -311,6 +395,26 @@ mod tests {
         gmm.fit(&x).unwrap();
         assert!((gmm.means.get(0, 0) - 5.0).abs() < 0.3);
         assert!((gmm.vars.get(0, 0) - 4.0).abs() < 0.8);
+    }
+
+    #[test]
+    fn batch_scores_match_row_scores_exactly() {
+        // Batch scoring goes through matmul_bt; the row path uses the same
+        // decomposition and dot accumulation — results must be bit-equal.
+        let x = two_blobs(7, 300);
+        let mut gmm = Gmm::new(GmmConfig {
+            n_components: 3,
+            ..GmmConfig::default()
+        });
+        gmm.fit_benign(&x).unwrap();
+        let batch = gmm.anomaly_scores(&x);
+        for (i, row) in x.rows_iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                gmm.anomaly_score(row).to_bits(),
+                "row {i}"
+            );
+        }
     }
 
     #[test]

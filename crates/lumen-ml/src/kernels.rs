@@ -18,6 +18,14 @@
 //!   inner loop. Catastrophic cancellation can produce tiny negative
 //!   results for near-identical points; those are clamped to `0.0` (the
 //!   mathematically exact value is never negative).
+//! - **Runtime SIMD dispatch** ([`Backend`], [`simd`]): the vector inner
+//!   loops (`dot`, `axpy`, squared norms, the `matmul_bt` and
+//!   `pairwise_sq_dists` row microkernels) have AVX2 and NEON
+//!   implementations selected once per process from cached CPU detection.
+//!   All backends share one mirrored accumulation structure (no FMA), so
+//!   switching backends never changes a single output bit — dispatch is a
+//!   pure throughput decision, and `--kernel-backend scalar` pins the
+//!   portable mirror for A/B runs.
 //! - **Deterministic parallelism**: every parallel kernel maps *rows* of
 //!   the output, each computed independently with a fixed accumulation
 //!   order, so results are bit-identical at any thread count. Reductions
@@ -35,13 +43,146 @@
 //! `RunConfig`; a default of `0` means the machine's available
 //! parallelism.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use lumen_util::par;
 
 use crate::matrix::Matrix;
 use crate::{MlError, MlResult};
+
+pub mod simd;
+
+// ---------------------------------------------------------------------------
+// SIMD backend selection
+// ---------------------------------------------------------------------------
+
+/// Instruction-set backend for the vector kernels. All backends are
+/// bit-identical (see [`simd`] for the mirrored-reduction contract); the
+/// choice affects throughput only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar mirror — every target's fallback and the oracle the
+    /// SIMD paths are property-tested against.
+    Scalar,
+    /// AVX2 (x86_64), runtime-detected.
+    Avx2,
+    /// NEON (aarch64), runtime-detected.
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase name used in benchmarks, journals and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+/// How [`active_backend`] resolves: `Auto` picks the best detected
+/// instruction set; `ForceScalar` pins the portable path (for A/B runs via
+/// `--kernel-backend scalar`, and for perf triage on noisy hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendMode {
+    /// Use the best backend the CPU supports (the default).
+    #[default]
+    Auto,
+    /// Pin the scalar mirror regardless of CPU support.
+    ForceScalar,
+}
+
+impl BackendMode {
+    /// Parses a `--kernel-backend` CLI value (`"auto"` or `"scalar"`).
+    pub fn parse(s: &str) -> Option<BackendMode> {
+        match s {
+            "auto" => Some(BackendMode::Auto),
+            "scalar" => Some(BackendMode::ForceScalar),
+            _ => None,
+        }
+    }
+}
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+static DETECTED: OnceLock<Backend> = OnceLock::new();
+static FEATURES: OnceLock<String> = OnceLock::new();
+
+/// Sets the process-wide backend mode (plumbed from `--kernel-backend`).
+pub fn set_backend_mode(mode: BackendMode) {
+    FORCE_SCALAR.store(mode == BackendMode::ForceScalar, Ordering::Relaxed);
+}
+
+/// The current process-wide backend mode.
+pub fn backend_mode() -> BackendMode {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        BackendMode::ForceScalar
+    } else {
+        BackendMode::Auto
+    }
+}
+
+/// The best backend this CPU supports, detected once and cached.
+pub fn detected_backend() -> Backend {
+    *DETECTED.get_or_init(|| {
+        if simd::avx2_available() {
+            Backend::Avx2
+        } else if simd::neon_available() {
+            Backend::Neon
+        } else {
+            Backend::Scalar
+        }
+    })
+}
+
+/// The backend the public kernels dispatch to right now: the detected one,
+/// unless [`BackendMode::ForceScalar`] pins the portable path.
+pub fn active_backend() -> Backend {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        Backend::Scalar
+    } else {
+        detected_backend()
+    }
+}
+
+/// Comma-separated list of detected CPU features relevant to kernel
+/// dispatch (journaled with every run for reproducibility).
+pub fn detected_features() -> &'static str {
+    FEATURES.get_or_init(|| {
+        let mut f: Vec<&str> = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("sse2") {
+                f.push("sse2");
+            }
+            if is_x86_feature_detected!("avx") {
+                f.push("avx");
+            }
+            if is_x86_feature_detected!("avx2") {
+                f.push("avx2");
+            }
+            if is_x86_feature_detected!("fma") {
+                f.push("fma");
+            }
+            if is_x86_feature_detected!("avx512f") {
+                f.push("avx512f");
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                f.push("neon");
+            }
+        }
+        if f.is_empty() {
+            "none".to_string()
+        } else {
+            f.join(",")
+        }
+    })
+}
 
 // ---------------------------------------------------------------------------
 // Thread plumbing
@@ -106,9 +247,13 @@ pub enum KernelOp {
     RffMap,
     /// Nystroem kernel-matrix construction / projection.
     Nystroem,
+    /// Autoencoder whole-matrix forward pass (batch scoring).
+    AeForward,
+    /// Linear-model batch margin computation (logreg / linear SVM).
+    LinearScore,
 }
 
-const OP_COUNT: usize = 8;
+const OP_COUNT: usize = 10;
 const OP_NAMES: [&str; OP_COUNT] = [
     "matmul",
     "pairwise_sq_dists",
@@ -118,6 +263,8 @@ const OP_NAMES: [&str; OP_COUNT] = [
     "gmm",
     "rff_map",
     "nystroem",
+    "ae_forward",
+    "linear_score",
 ];
 
 const ZERO: AtomicU64 = AtomicU64::new(0);
@@ -188,42 +335,44 @@ pub fn profile_snapshot() -> KernelProfile {
 // Fused vector helpers
 // ---------------------------------------------------------------------------
 
-/// Dot product with four independent accumulators (breaks the FP-add
-/// dependency chain; fixed summation order, so the result is reproducible).
+/// Dot product with eight independent accumulators (breaks the FP-add
+/// dependency chain; fixed summation order mirrored bit-for-bit by every
+/// SIMD backend), dispatched to [`active_backend`].
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for (x, y) in (&mut ca).zip(&mut cb) {
-        s0 += x[0] * y[0];
-        s1 += x[1] * y[1];
-        s2 += x[2] * y[2];
-        s3 += x[3] * y[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    ((s0 + s1) + (s2 + s3)) + tail
+    simd::dot(active_backend(), a, b)
 }
 
-/// `y ← y + alpha·x`, element-wise.
+/// [`dot`] on an explicit backend (benchmarks and equivalence tests).
+#[inline]
+pub fn dot_with(backend: Backend, a: &[f64], b: &[f64]) -> f64 {
+    simd::dot(backend, a, b)
+}
+
+/// `y ← y + alpha·x`, element-wise, dispatched to [`active_backend`].
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(active_backend(), alpha, x, y)
+}
+
+/// [`axpy`] on an explicit backend.
+#[inline]
+pub fn axpy_with(backend: Backend, alpha: f64, x: &[f64], y: &mut [f64]) {
+    simd::axpy(backend, alpha, x, y)
 }
 
 /// Squared Euclidean norm of each row.
 pub fn sq_norms(m: &Matrix) -> Vec<f64> {
-    if m.cols() == 0 {
-        return vec![0.0; m.rows()];
+    sq_norms_with(active_backend(), m)
+}
+
+/// [`sq_norms`] on an explicit backend.
+pub fn sq_norms_with(backend: Backend, m: &Matrix) -> Vec<f64> {
+    let mut out = vec![0.0; m.rows()];
+    if m.cols() > 0 {
+        simd::sq_norms_into(backend, m.as_slice(), m.cols(), &mut out);
     }
-    m.rows_iter().map(|r| dot(r, r)).collect()
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -260,6 +409,11 @@ pub fn transpose(m: &Matrix) -> Matrix {
 /// loop is a contiguous row-row dot product, then [`matmul_bt`] does the
 /// work across `threads` workers.
 pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
+    matmul_with(active_backend(), a, b, threads)
+}
+
+/// [`matmul`] on an explicit backend.
+pub fn matmul_with(backend: Backend, a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
     if a.cols() != b.rows() {
         return Err(MlError::DimensionMismatch {
             expected: a.cols(),
@@ -267,7 +421,7 @@ pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
         });
     }
     let bt = transpose(b);
-    matmul_bt(a, &bt, threads)
+    matmul_bt_with(backend, a, &bt, threads)
 }
 
 /// `A × Bᵀᵀ` for a pre-packed `Bᵀ` (`bt.row(j)` holds column `j` of the
@@ -276,6 +430,13 @@ pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
 /// Output rows are computed independently on up to `threads` workers, so
 /// the result is bit-identical at any thread count.
 pub fn matmul_bt(a: &Matrix, bt: &Matrix, threads: usize) -> MlResult<Matrix> {
+    matmul_bt_with(active_backend(), a, bt, threads)
+}
+
+/// [`matmul_bt`] on an explicit backend. The backend is resolved once here
+/// and passed *by value* into the worker closures, so every row of one call
+/// uses the same instruction set regardless of which thread computes it.
+pub fn matmul_bt_with(backend: Backend, a: &Matrix, bt: &Matrix, threads: usize) -> MlResult<Matrix> {
     if a.cols() != bt.cols() {
         return Err(MlError::DimensionMismatch {
             expected: a.cols(),
@@ -287,16 +448,25 @@ pub fn matmul_bt(a: &Matrix, bt: &Matrix, threads: usize) -> MlResult<Matrix> {
     let mut out = Matrix::zeros(n, m);
     if n > 0 && m > 0 {
         let threads = clamp_threads(threads, n * m * k.max(1));
+        let bsrc = bt.as_slice();
         par::par_rows_mut(out.as_mut_slice(), m, threads, |i, out_row| {
-            let arow = a.row(i);
-            for (j, brow) in bt.rows_iter().enumerate() {
-                out_row[j] = dot(arow, brow);
-            }
+            simd::matmul_bt_row(backend, a.row(i), bsrc, k, out_row);
         });
     }
     record(KernelOp::Matmul, t);
     Ok(out)
 }
+
+/// A-rows per cache block in [`pairwise_sq_dists`]: every B tile loaded
+/// from memory is reused by this many a-rows before moving on, cutting B
+/// traffic by the same factor. 8 rows × up to a few hundred features stays
+/// comfortably inside L1 alongside the tile.
+const PAIRWISE_BLOCK_ROWS: usize = 8;
+
+/// B-rows per tile in [`pairwise_sq_dists`]: 64 rows × d features (16 KiB
+/// at d=32) fits in L1, so the inner `pairwise_row` sweep of each a-row in
+/// the block hits cache instead of DRAM.
+const PAIRWISE_TILE_ROWS: usize = 64;
 
 /// Pairwise squared Euclidean distances between the rows of `a` and the
 /// rows of `b`: `out[i][j] = ‖a.row(i) − b.row(j)‖²`, computed by the Gram
@@ -306,6 +476,16 @@ pub fn matmul_bt(a: &Matrix, bt: &Matrix, threads: usize) -> MlResult<Matrix> {
 /// clamped to `0.0`. Rows are computed independently on up to `threads`
 /// workers (bit-identical at any thread count).
 pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Matrix> {
+    pairwise_sq_dists_with(active_backend(), a, b, threads)
+}
+
+/// [`pairwise_sq_dists`] on an explicit backend.
+pub fn pairwise_sq_dists_with(
+    backend: Backend,
+    a: &Matrix,
+    b: &Matrix,
+    threads: usize,
+) -> MlResult<Matrix> {
     if a.cols() != b.cols() {
         return Err(MlError::DimensionMismatch {
             expected: a.cols(),
@@ -314,7 +494,7 @@ pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Mat
     }
     let (n, m) = (a.rows(), b.rows());
     let mut out = Matrix::zeros(n, m);
-    pairwise_sq_dists_into(a, b, &mut out, threads)?;
+    pairwise_sq_dists_into_with(backend, a, b, &mut out, threads)?;
     Ok(out)
 }
 
@@ -322,6 +502,18 @@ pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix, threads: usize) -> MlResult<Mat
 /// `a.rows() × b.rows()`), so repeated batch scoring can reuse one buffer
 /// instead of re-faulting a fresh allocation per call.
 pub fn pairwise_sq_dists_into(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    threads: usize,
+) -> MlResult<()> {
+    pairwise_sq_dists_into_with(active_backend(), a, b, out, threads)
+}
+
+/// [`pairwise_sq_dists_into`] on an explicit backend (resolved once, passed
+/// by value into the worker closures — see [`matmul_bt_with`]).
+pub fn pairwise_sq_dists_into_with(
+    backend: Backend,
     a: &Matrix,
     b: &Matrix,
     out: &mut Matrix,
@@ -336,17 +528,44 @@ pub fn pairwise_sq_dists_into(
     let t = Instant::now();
     let (n, m, d) = (a.rows(), b.rows(), a.cols());
     if n > 0 && m > 0 && d > 0 {
-        let bn = sq_norms(b);
+        let bn = sq_norms_with(backend, b);
         let threads = clamp_threads(threads, n * m * d);
         let bsrc = b.as_slice();
-        par::par_rows_mut(out.as_mut_slice(), m, threads, |i, out_row| {
-            let arow = a.row(i);
-            let an = dot(arow, arow);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let brow = &bsrc[j * d..j * d + d];
-                *o = (an + bn[j] - 2.0 * dot(arow, brow)).max(0.0);
-            }
-        });
+        let asrc = a.as_slice();
+        // Cache blocking: each block of `PAIRWISE_BLOCK_ROWS` a-rows sweeps
+        // B in `PAIRWISE_TILE_ROWS`-row tiles, so a tile loaded for one
+        // a-row is reused from L1/L2 by the rest of the block instead of
+        // re-streaming all of B per a-row (at n=4000, d=32 that single
+        // change moves the kernel from memory-bound to compute-bound).
+        // Every output element is still `max(0, an + bn[j] − 2·dot)` with
+        // the same mirrored-reduction dot, so blocking reorders the
+        // traversal without changing a single bit of the result.
+        par::par_row_blocks_mut(
+            out.as_mut_slice(),
+            m,
+            PAIRWISE_BLOCK_ROWS,
+            threads,
+            |first_row, blk| {
+                let rows = blk.len() / m;
+                let mut an = [0.0f64; PAIRWISE_BLOCK_ROWS];
+                for (i, an_i) in an.iter_mut().take(rows).enumerate() {
+                    let arow = &asrc[(first_row + i) * d..(first_row + i + 1) * d];
+                    *an_i = simd::dot(backend, arow, arow);
+                }
+                let mut jt = 0;
+                while jt < m {
+                    let je = (jt + PAIRWISE_TILE_ROWS).min(m);
+                    let btile = &bsrc[jt * d..je * d];
+                    let bntile = &bn[jt..je];
+                    for i in 0..rows {
+                        let arow = &asrc[(first_row + i) * d..(first_row + i + 1) * d];
+                        let out_span = &mut blk[i * m + jt..i * m + je];
+                        simd::pairwise_row(backend, arow, an[i], btile, d, bntile, out_span);
+                    }
+                    jt = je;
+                }
+            },
+        );
     } else {
         out.as_mut_slice().fill(0.0);
     }
@@ -534,6 +753,35 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_cache_blocking_is_bit_transparent() {
+        // Sizes straddling both blocking constants: n is not a multiple of
+        // PAIRWISE_BLOCK_ROWS and m crosses two PAIRWISE_TILE_ROWS
+        // boundaries, so short blocks and short tiles are all exercised.
+        // The blocked traversal must reproduce the plain Gram expansion
+        // bit-for-bit on every backend.
+        let n = PAIRWISE_BLOCK_ROWS * 2 + 3;
+        let m = PAIRWISE_TILE_ROWS * 2 + 5;
+        let a = toy(n, 9, 21);
+        let b = toy(m, 9, 22);
+        for be in [Backend::Scalar, detected_backend()] {
+            let got = pairwise_sq_dists_with(be, &a, &b, 3).unwrap();
+            let bn = sq_norms_with(be, &b);
+            for i in 0..n {
+                for j in 0..m {
+                    let an = simd::dot(be, a.row(i), a.row(i));
+                    let want = (an + bn[j] - 2.0 * simd::dot(be, a.row(i), b.row(j))).max(0.0);
+                    assert_eq!(
+                        got.get(i, j).to_bits(),
+                        want.to_bits(),
+                        "({i},{j}) backend {}",
+                        be.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn kernels_bit_identical_across_threads() {
         let a = toy(37, 12, 6);
         let b = toy(29, 12, 7);
@@ -542,6 +790,43 @@ mod tests {
         for threads in [2, 3, 8] {
             assert_eq!(pairwise_sq_dists(&a, &b, threads).unwrap(), m1);
             assert_eq!(matmul_bt(&a, &b, threads).unwrap(), g1);
+        }
+    }
+
+    #[test]
+    fn matrix_kernels_bit_identical_across_backends() {
+        // The acceptance contract: dispatching to the detected SIMD backend
+        // must not change a single output bit relative to the scalar
+        // mirror, for any thread count. (On scalar-only hosts this
+        // degenerates to scalar-vs-scalar, which still exercises dispatch.)
+        let a = toy(23, 13, 11);
+        let b = toy(19, 13, 12);
+        let simd_be = detected_backend();
+        for threads in [1, 2, 8] {
+            let mm_s = matmul_bt_with(Backend::Scalar, &a, &b, threads).unwrap();
+            let mm_f = matmul_bt_with(simd_be, &a, &b, threads).unwrap();
+            assert_eq!(mm_s, mm_f, "matmul_bt backend divergence");
+            let pw_s = pairwise_sq_dists_with(Backend::Scalar, &a, &b, threads).unwrap();
+            let pw_f = pairwise_sq_dists_with(simd_be, &a, &b, threads).unwrap();
+            assert_eq!(pw_s, pw_f, "pairwise backend divergence");
+        }
+        assert_eq!(sq_norms_with(Backend::Scalar, &a), sq_norms_with(simd_be, &a));
+    }
+
+    #[test]
+    fn backend_names_and_mode_parse() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Avx2.name(), "avx2");
+        assert_eq!(Backend::Neon.name(), "neon");
+        assert_eq!(BackendMode::parse("auto"), Some(BackendMode::Auto));
+        assert_eq!(BackendMode::parse("scalar"), Some(BackendMode::ForceScalar));
+        assert_eq!(BackendMode::parse("avx9"), None);
+        assert!(!detected_features().is_empty());
+        // The detected backend must be one the host actually supports.
+        match detected_backend() {
+            Backend::Avx2 => assert!(simd::avx2_available()),
+            Backend::Neon => assert!(simd::neon_available()),
+            Backend::Scalar => {}
         }
     }
 

@@ -1,0 +1,737 @@
+//! Runtime-dispatched SIMD inner loops — the crate's only `unsafe` code.
+//!
+//! This module holds the data-parallel implementations of the hot vector
+//! primitives (`dot`, `axpy`, row squared-norms, the `matmul_bt` and
+//! `pairwise_sq_dists` row microkernels) for AVX2 (x86_64) and NEON
+//! (aarch64), plus the portable scalar mirrors that every other target —
+//! and every `--kernel-backend scalar` A/B run — uses.
+//!
+//! # Unsafe carve-out policy
+//!
+//! The crate is `#![deny(unsafe_code)]`; this file carries the single
+//! `#![allow(unsafe_code)]`. The rules (enforced by
+//! `scripts/check_unsafe_audit.sh` in CI):
+//!
+//! - `unsafe` appears nowhere else in the workspace;
+//! - every `unsafe fn` and every `unsafe { .. }` block in this file is
+//!   annotated with a `// safety:` comment stating the invariant that makes
+//!   it sound;
+//! - the only unsafety is `std::arch` intrinsics plus in-bounds pointer
+//!   loads derived from slice lengths computed in this file — no FFI, no
+//!   lifetime laundering, no aliasing tricks;
+//! - the public dispatch functions are *safe*: they verify instruction-set
+//!   availability via runtime CPU detection before entering a SIMD path and
+//!   fall back to scalar otherwise, so a [`Backend`] value is never a
+//!   soundness obligation for callers.
+//!
+//! # Bit-identity contract
+//!
+//! Every backend accumulates dot products in the same mirrored structure:
+//! eight logical f64 lanes per step, where lane `j` sums the elements at
+//! indices `≡ j (mod 8)`, reduced as `((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))`
+//! (exactly the AVX2 two-register horizontal sum; the NEON four-register
+//! tree reassociates to the same expression), followed by a sequential
+//! scalar tail. No FMA is used — fused rounding would diverge from the
+//! scalar mirror. Scalar, AVX2 and NEON therefore produce **bit-identical**
+//! results for `dot`/`axpy`/`sq_norms`/`matmul_bt`/`pairwise_sq_dists`:
+//! backend dispatch changes speed, never floats. Tests pin this with
+//! `f64::to_bits` equality across backends (including the remainder lanes:
+//! lengths 0, 1, 7, 8, 9 and other non-multiples of the width).
+#![allow(unsafe_code)]
+
+use super::Backend;
+
+/// Logical f64 lanes each backend's dot-product inner loop consumes per
+/// step (two 256-bit registers on AVX2, four 128-bit registers on NEON,
+/// eight scalar accumulators on the portable path).
+pub const WIDTH: usize = 8;
+
+/// True when this CPU can run the AVX2 kernels (always false off x86_64).
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when this CPU can run the NEON kernels (always false off aarch64).
+#[inline]
+pub fn neon_available() -> bool {
+    #[cfg(target_arch = "aarch64")]
+    {
+        std::arch::is_aarch64_feature_detected!("neon")
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable scalar mirrors
+// ---------------------------------------------------------------------------
+
+/// Scalar dot product in the mirrored 8-lane shape (see the module docs for
+/// the bit-identity contract with the SIMD paths).
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let mut ca = a.chunks_exact(WIDTH);
+    let mut cb = b.chunks_exact(WIDTH);
+    let mut s = [0.0f64; WIDTH];
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for j in 0..WIDTH {
+            s[j] += x[j] * y[j];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    // Lanewise halves sum (s[j] + s[j+4]), then the 128-bit-half tree —
+    // the exact shape of the AVX2/NEON horizontal reductions.
+    let v0 = s[0] + s[4];
+    let v1 = s[1] + s[5];
+    let v2 = s[2] + s[6];
+    let v3 = s[3] + s[7];
+    ((v0 + v2) + (v1 + v3)) + tail
+}
+
+/// Scalar `y ← y + alpha·x`. Element-wise (no reassociation), so every
+/// backend is trivially bit-identical here as long as none uses FMA.
+#[inline]
+pub fn axpy_scalar(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[inline]
+fn sq_norms_scalar(data: &[f64], d: usize, out: &mut [f64]) {
+    for (j, o) in out.iter_mut().enumerate() {
+        let row = &data[j * d..j * d + d];
+        *o = dot_scalar(row, row);
+    }
+}
+
+#[inline]
+fn matmul_bt_row_scalar(arow: &[f64], b_data: &[f64], d: usize, out_row: &mut [f64]) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        *o = dot_scalar(arow, &b_data[j * d..j * d + d]);
+    }
+}
+
+#[inline]
+fn pairwise_row_scalar(
+    arow: &[f64],
+    an: f64,
+    b_data: &[f64],
+    d: usize,
+    bn: &[f64],
+    out_row: &mut [f64],
+) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let brow = &b_data[j * d..j * d + d];
+        *o = (an + bn[j] - 2.0 * dot_scalar(arow, brow)).max(0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 (x86_64)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// AVX2 dot product, bit-identical to [`super::dot_scalar`].
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (checked by the caller via runtime
+    /// feature detection).
+    // safety: callers gate on avx2_available(); all loads below stay inside
+    // `min(a.len(), b.len())`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let i = c * 8;
+            // safety: i + 8 <= chunks * 8 <= n <= a.len() and b.len(), so
+            // all eight lanes are in-bounds; loadu tolerates any alignment.
+            let x0 = _mm256_loadu_pd(ap.add(i));
+            let y0 = _mm256_loadu_pd(bp.add(i));
+            let x1 = _mm256_loadu_pd(ap.add(i + 4));
+            let y1 = _mm256_loadu_pd(bp.add(i + 4));
+            // mul + add, not FMA: fused rounding would break the
+            // bit-identity contract with the scalar mirror.
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(x0, y0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(x1, y1));
+        }
+        // v[j] = s[j] + s[j+4], then the 128-bit-half tree:
+        // ((v0+v2) + (v1+v3)) — mirrored exactly in dot_scalar.
+        let v = _mm256_add_pd(acc0, acc1);
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let t = _mm_add_pd(lo, hi);
+        let sum = _mm_cvtsd_f64(t) + _mm_cvtsd_f64(_mm_unpackhi_pd(t, t));
+        let mut tail = 0.0;
+        for i in chunks * 8..n {
+            tail += a[i] * b[i];
+        }
+        sum + tail
+    }
+
+    /// AVX2 `y ← y + alpha·x`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2.
+    // safety: callers gate on avx2_available(); loads/stores stay inside
+    // `min(x.len(), y.len())`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len().min(y.len());
+        let chunks = n / 4;
+        let av = _mm256_set1_pd(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        for c in 0..chunks {
+            let i = c * 4;
+            // safety: i + 4 <= chunks * 4 <= n <= x.len() and y.len(); the
+            // store writes back to the same in-bounds y lanes just loaded.
+            let xv = _mm256_loadu_pd(xp.add(i));
+            let yv = _mm256_loadu_pd(yp.add(i));
+            _mm256_storeu_pd(yp.add(i), _mm256_add_pd(yv, _mm256_mul_pd(av, xv)));
+        }
+        for i in chunks * 4..n {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    /// AVX2 row squared-norms: `out[j] = ‖data[j·d .. j·d+d]‖²`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; caller guarantees
+    /// `data.len() >= out.len() * d`.
+    // safety: row slices below are in-bounds by the caller contract, which
+    // the safe dispatch wrapper asserts.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_norms(data: &[f64], d: usize, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            let row = &data[j * d..j * d + d];
+            // safety: AVX2 is active for this whole fn (target_feature);
+            // `dot` inlines here.
+            *o = dot(row, row);
+        }
+    }
+
+    /// AVX2 `matmul_bt` row microkernel: `out_row[j] = dot(arow, b_row_j)`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; caller guarantees
+    /// `b_data.len() >= out_row.len() * d`.
+    // safety: row slices are in-bounds by the caller contract, asserted in
+    // the safe dispatch wrapper.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matmul_bt_row(arow: &[f64], b_data: &[f64], d: usize, out_row: &mut [f64]) {
+        for (j, o) in out_row.iter_mut().enumerate() {
+            // safety: AVX2 active for this whole fn; `dot` inlines here.
+            *o = dot(arow, &b_data[j * d..j * d + d]);
+        }
+    }
+
+    /// AVX2 Gram-expansion distance row:
+    /// `out_row[j] = max(0, an + bn[j] − 2·dot(arow, b_row_j))`.
+    ///
+    /// Processes four b-rows per step with a private mirrored accumulator
+    /// pair each: the shared a-row loads are amortized and the four add
+    /// chains are independent, which hides the 4-cycle vector-add latency
+    /// that bounds the one-row-at-a-time loop (d=32 gives each dot only 4
+    /// chunk iterations — too few to saturate the ports alone). The
+    /// combined 4-dot reduction evaluates exactly
+    /// `((v0+v2) + (v1+v3))` per column, i.e. the same tree as the
+    /// single-dot horizontal sum, so the unroll is bit-transparent.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; caller guarantees
+    /// `b_data.len() >= out_row.len() * d` and `bn.len() >= out_row.len()`.
+    // safety: slice accesses are in-bounds by the caller contract, asserted
+    // in the safe dispatch wrapper.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pairwise_row(
+        arow: &[f64],
+        an: f64,
+        b_data: &[f64],
+        d: usize,
+        bn: &[f64],
+        out_row: &mut [f64],
+    ) {
+        let m = out_row.len();
+        let chunks = d / 8;
+        let ap = arow.as_ptr();
+        let bp = b_data.as_ptr();
+        let quads = m / 4;
+        for q in 0..quads {
+            let j = q * 4;
+            // safety: (j + 3) * d + d <= m * d <= b_data.len() by the
+            // caller contract, so all four row pointers and every load
+            // below (bounded by chunks * 8 <= d) stay in-bounds.
+            let r0 = bp.add(j * d);
+            let r1 = bp.add((j + 1) * d);
+            let r2 = bp.add((j + 2) * d);
+            let r3 = bp.add((j + 3) * d);
+            // Per column k: acc0k sums lanes 0–3, acc1k lanes 4–7 — the
+            // same split as `dot`, just four columns in flight.
+            let mut acc00 = _mm256_setzero_pd();
+            let mut acc10 = _mm256_setzero_pd();
+            let mut acc01 = _mm256_setzero_pd();
+            let mut acc11 = _mm256_setzero_pd();
+            let mut acc02 = _mm256_setzero_pd();
+            let mut acc12 = _mm256_setzero_pd();
+            let mut acc03 = _mm256_setzero_pd();
+            let mut acc13 = _mm256_setzero_pd();
+            for c in 0..chunks {
+                let i = c * 8;
+                // safety: i + 8 <= chunks * 8 <= d <= each row's length.
+                let x0 = _mm256_loadu_pd(ap.add(i));
+                let x1 = _mm256_loadu_pd(ap.add(i + 4));
+                // mul + add, not FMA (bit-identity contract with scalar).
+                acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(x0, _mm256_loadu_pd(r0.add(i))));
+                acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(x1, _mm256_loadu_pd(r0.add(i + 4))));
+                acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(x0, _mm256_loadu_pd(r1.add(i))));
+                acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(x1, _mm256_loadu_pd(r1.add(i + 4))));
+                acc02 = _mm256_add_pd(acc02, _mm256_mul_pd(x0, _mm256_loadu_pd(r2.add(i))));
+                acc12 = _mm256_add_pd(acc12, _mm256_mul_pd(x1, _mm256_loadu_pd(r2.add(i + 4))));
+                acc03 = _mm256_add_pd(acc03, _mm256_mul_pd(x0, _mm256_loadu_pd(r3.add(i))));
+                acc13 = _mm256_add_pd(acc13, _mm256_mul_pd(x1, _mm256_loadu_pd(r3.add(i + 4))));
+            }
+            // v[k] = acc0 + acc1 per column (lanes v0..v3), then
+            // w = v + swap128(v) gives (v0+v2, v1+v3, ·, ·); unpacklo/hi
+            // pairs select w0 and w1 per column, and their sum is
+            // ((v0+v2) + (v1+v3)) — the exact single-dot reduction tree.
+            let va = _mm256_add_pd(acc00, acc10);
+            let vb = _mm256_add_pd(acc01, acc11);
+            let vc = _mm256_add_pd(acc02, acc12);
+            let vd = _mm256_add_pd(acc03, acc13);
+            let wa = _mm256_add_pd(va, _mm256_permute2f128_pd::<0x01>(va, va));
+            let wb = _mm256_add_pd(vb, _mm256_permute2f128_pd::<0x01>(vb, vb));
+            let wc = _mm256_add_pd(vc, _mm256_permute2f128_pd::<0x01>(vc, vc));
+            let wd = _mm256_add_pd(vd, _mm256_permute2f128_pd::<0x01>(vd, vd));
+            let sab = _mm256_add_pd(_mm256_unpacklo_pd(wa, wb), _mm256_unpackhi_pd(wa, wb));
+            let scd = _mm256_add_pd(_mm256_unpacklo_pd(wc, wd), _mm256_unpackhi_pd(wc, wd));
+            let dots = _mm256_permute2f128_pd::<0x20>(sab, scd);
+            if chunks * 8 == d {
+                // No scalar tail: finish the Gram expression in vector
+                // lanes. Each lane evaluates `(an + bn[j]) − (2·dot)` then
+                // `max(·, 0)` — elementwise-identical IEEE ops to the
+                // scalar epilogue (vmaxpd with the zero vector as the
+                // second operand returns 0.0 for NaN lanes, matching
+                // `f64::max(NaN, 0.0)`; `−0.0` cannot arise because
+                // `an + bn[j] ≥ +0.0`).
+                // safety: j + 4 <= quads * 4 <= m <= bn.len() and
+                // out_row.len(), so both the bn load and the out store
+                // touch in-bounds lanes.
+                let anv = _mm256_set1_pd(an);
+                let bnv = _mm256_loadu_pd(bn.as_ptr().add(j));
+                let two = _mm256_set1_pd(2.0);
+                let r = _mm256_sub_pd(_mm256_add_pd(anv, bnv), _mm256_mul_pd(two, dots));
+                let r = _mm256_max_pd(r, _mm256_setzero_pd());
+                _mm256_storeu_pd(out_row.as_mut_ptr().add(j), r);
+            } else {
+                let mut dv = [0.0f64; 4];
+                // safety: dv is a 4-element stack array; storeu writes 4
+                // lanes.
+                _mm256_storeu_pd(dv.as_mut_ptr(), dots);
+                for (k, &dk) in dv.iter().enumerate() {
+                    // Sequential scalar tail appended after the vector sum
+                    // — the same `sum + tail` order as `dot`.
+                    let mut tail = 0.0;
+                    for i in chunks * 8..d {
+                        tail += arow[i] * b_data[(j + k) * d + i];
+                    }
+                    out_row[j + k] = (an + bn[j + k] - 2.0 * (dk + tail)).max(0.0);
+                }
+            }
+        }
+        for j in quads * 4..m {
+            let brow = &b_data[j * d..j * d + d];
+            // safety: AVX2 active for this whole fn; `dot` inlines here.
+            out_row[j] = (an + bn[j] - 2.0 * dot(arow, brow)).max(0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use std::arch::aarch64::*;
+
+    /// NEON dot product, bit-identical to [`super::dot_scalar`].
+    ///
+    /// # Safety
+    /// The CPU must support NEON (checked by the caller via runtime
+    /// feature detection).
+    // safety: callers gate on neon_available(); all loads below stay inside
+    // `min(a.len(), b.len())`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        // c0..c3 hold lane pairs (0,1) (2,3) (4,5) (6,7) of each 8-chunk.
+        let mut c0 = vdupq_n_f64(0.0);
+        let mut c1 = vdupq_n_f64(0.0);
+        let mut c2 = vdupq_n_f64(0.0);
+        let mut c3 = vdupq_n_f64(0.0);
+        for c in 0..chunks {
+            let i = c * 8;
+            // safety: i + 8 <= chunks * 8 <= n <= a.len() and b.len(), so
+            // all eight lanes are in-bounds.
+            // vmulq + vaddq, not vfmaq: fused rounding would break the
+            // bit-identity contract with the scalar mirror.
+            c0 = vaddq_f64(c0, vmulq_f64(vld1q_f64(ap.add(i)), vld1q_f64(bp.add(i))));
+            c1 = vaddq_f64(
+                c1,
+                vmulq_f64(vld1q_f64(ap.add(i + 2)), vld1q_f64(bp.add(i + 2))),
+            );
+            c2 = vaddq_f64(
+                c2,
+                vmulq_f64(vld1q_f64(ap.add(i + 4)), vld1q_f64(bp.add(i + 4))),
+            );
+            c3 = vaddq_f64(
+                c3,
+                vmulq_f64(vld1q_f64(ap.add(i + 6)), vld1q_f64(bp.add(i + 6))),
+            );
+        }
+        // (c0+c2) = (s0+s4, s1+s5), (c1+c3) = (s2+s6, s3+s7); their sum's
+        // lane0+lane1 is ((v0+v2) + (v1+v3)) — mirrored in dot_scalar.
+        let w0 = vaddq_f64(c0, c2);
+        let w1 = vaddq_f64(c1, c3);
+        let x = vaddq_f64(w0, w1);
+        let sum = vgetq_lane_f64::<0>(x) + vgetq_lane_f64::<1>(x);
+        let mut tail = 0.0;
+        for i in chunks * 8..n {
+            tail += a[i] * b[i];
+        }
+        sum + tail
+    }
+
+    /// NEON `y ← y + alpha·x`.
+    ///
+    /// # Safety
+    /// The CPU must support NEON.
+    // safety: callers gate on neon_available(); loads/stores stay inside
+    // `min(x.len(), y.len())`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len().min(y.len());
+        let chunks = n / 2;
+        let av = vdupq_n_f64(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        for c in 0..chunks {
+            let i = c * 2;
+            // safety: i + 2 <= chunks * 2 <= n <= x.len() and y.len(); the
+            // store writes back to the same in-bounds y lanes just loaded.
+            let xv = vld1q_f64(xp.add(i));
+            let yv = vld1q_f64(yp.add(i));
+            vst1q_f64(yp.add(i), vaddq_f64(yv, vmulq_f64(av, xv)));
+        }
+        for i in chunks * 2..n {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    /// NEON row squared-norms.
+    ///
+    /// # Safety
+    /// The CPU must support NEON; caller guarantees
+    /// `data.len() >= out.len() * d`.
+    // safety: row slices are in-bounds by the caller contract, asserted in
+    // the safe dispatch wrapper.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sq_norms(data: &[f64], d: usize, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            let row = &data[j * d..j * d + d];
+            // safety: NEON active for this whole fn; `dot` inlines here.
+            *o = dot(row, row);
+        }
+    }
+
+    /// NEON `matmul_bt` row microkernel.
+    ///
+    /// # Safety
+    /// The CPU must support NEON; caller guarantees
+    /// `b_data.len() >= out_row.len() * d`.
+    // safety: row slices are in-bounds by the caller contract, asserted in
+    // the safe dispatch wrapper.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn matmul_bt_row(arow: &[f64], b_data: &[f64], d: usize, out_row: &mut [f64]) {
+        for (j, o) in out_row.iter_mut().enumerate() {
+            // safety: NEON active for this whole fn; `dot` inlines here.
+            *o = dot(arow, &b_data[j * d..j * d + d]);
+        }
+    }
+
+    /// NEON Gram-expansion distance row.
+    ///
+    /// # Safety
+    /// The CPU must support NEON; caller guarantees
+    /// `b_data.len() >= out_row.len() * d` and `bn.len() >= out_row.len()`.
+    // safety: slice accesses are in-bounds by the caller contract, asserted
+    // in the safe dispatch wrapper.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn pairwise_row(
+        arow: &[f64],
+        an: f64,
+        b_data: &[f64],
+        d: usize,
+        bn: &[f64],
+        out_row: &mut [f64],
+    ) {
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let brow = &b_data[j * d..j * d + d];
+            // safety: NEON active for this whole fn; `dot` inlines here.
+            *o = (an + bn[j] - 2.0 * dot(arow, brow)).max(0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Safe dispatch (availability-checked; falls back to scalar)
+// ---------------------------------------------------------------------------
+
+/// Backend-dispatched dot product. Falls back to the scalar mirror when the
+/// requested backend is unavailable on this CPU, so passing any [`Backend`]
+/// is always sound.
+#[inline]
+pub fn dot(backend: Backend, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if avx2_available() => {
+            // safety: avx2_available() just confirmed AVX2 via runtime CPU
+            // detection (cached by std).
+            unsafe { x86::dot(a, b) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon if neon_available() => {
+            // safety: neon_available() just confirmed NEON via runtime CPU
+            // detection (cached by std).
+            unsafe { arm::dot(a, b) }
+        }
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// Backend-dispatched `y ← y + alpha·x` (scalar fallback when unavailable).
+#[inline]
+pub fn axpy(backend: Backend, alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if avx2_available() => {
+            // safety: avx2_available() just confirmed AVX2 via runtime CPU
+            // detection.
+            unsafe { x86::axpy(alpha, x, y) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon if neon_available() => {
+            // safety: neon_available() just confirmed NEON via runtime CPU
+            // detection.
+            unsafe { arm::axpy(alpha, x, y) }
+        }
+        _ => axpy_scalar(alpha, x, y),
+    }
+}
+
+/// Backend-dispatched row squared-norms over a flat `rows × d` buffer.
+#[inline]
+pub fn sq_norms_into(backend: Backend, data: &[f64], d: usize, out: &mut [f64]) {
+    assert!(data.len() >= out.len() * d, "sq_norms_into: short data");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if avx2_available() => {
+            // safety: AVX2 confirmed by runtime detection; the assert above
+            // establishes the in-bounds caller contract.
+            unsafe { x86::sq_norms(data, d, out) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon if neon_available() => {
+            // safety: NEON confirmed by runtime detection; the assert above
+            // establishes the in-bounds caller contract.
+            unsafe { arm::sq_norms(data, d, out) }
+        }
+        _ => sq_norms_scalar(data, d, out),
+    }
+}
+
+/// Backend-dispatched `matmul_bt` row microkernel:
+/// `out_row[j] = dot(arow, b_data[j·d .. j·d+d])`.
+#[inline]
+pub fn matmul_bt_row(backend: Backend, arow: &[f64], b_data: &[f64], d: usize, out_row: &mut [f64]) {
+    assert!(b_data.len() >= out_row.len() * d, "matmul_bt_row: short b");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if avx2_available() => {
+            // safety: AVX2 confirmed by runtime detection; the assert above
+            // establishes the in-bounds caller contract.
+            unsafe { x86::matmul_bt_row(arow, b_data, d, out_row) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon if neon_available() => {
+            // safety: NEON confirmed by runtime detection; the assert above
+            // establishes the in-bounds caller contract.
+            unsafe { arm::matmul_bt_row(arow, b_data, d, out_row) }
+        }
+        _ => matmul_bt_row_scalar(arow, b_data, d, out_row),
+    }
+}
+
+/// Backend-dispatched Gram-expansion distance row:
+/// `out_row[j] = max(0, an + bn[j] − 2·dot(arow, b_row_j))`.
+#[inline]
+pub fn pairwise_row(
+    backend: Backend,
+    arow: &[f64],
+    an: f64,
+    b_data: &[f64],
+    d: usize,
+    bn: &[f64],
+    out_row: &mut [f64],
+) {
+    assert!(b_data.len() >= out_row.len() * d, "pairwise_row: short b");
+    assert!(bn.len() >= out_row.len(), "pairwise_row: short bn");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if avx2_available() => {
+            // safety: AVX2 confirmed by runtime detection; the asserts above
+            // establish the in-bounds caller contract.
+            unsafe { x86::pairwise_row(arow, an, b_data, d, bn, out_row) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon if neon_available() => {
+            // safety: NEON confirmed by runtime detection; the asserts above
+            // establish the in-bounds caller contract.
+            unsafe { arm::pairwise_row(arow, an, b_data, d, bn, out_row) }
+        }
+        _ => pairwise_row_scalar(arow, an, b_data, d, bn, out_row),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(len: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = lumen_util::Rng::new(seed);
+        let a: Vec<f64> = (0..len).map(|_| rng.f64_range(-3.0, 3.0)).collect();
+        let b: Vec<f64> = (0..len).map(|_| rng.f64_range(-3.0, 3.0)).collect();
+        (a, b)
+    }
+
+    /// Remainder-lane coverage: lengths 0, 1, width−1, width, width+1 and
+    /// other non-multiples of the width, dispatched vs the scalar mirror.
+    /// On hosts with AVX2/NEON this pins bit-identity of the SIMD path; on
+    /// scalar-only hosts it degenerates to scalar-vs-scalar (still a valid
+    /// dispatch test).
+    #[test]
+    fn dot_bit_identical_across_backends_all_remainders() {
+        let simd = super::super::detected_backend();
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 257] {
+            let (a, b) = vecs(len, 40 + len as u64);
+            let scalar = dot(Backend::Scalar, &a, &b);
+            let fast = dot(simd, &a, &b);
+            assert_eq!(
+                scalar.to_bits(),
+                fast.to_bits(),
+                "len {len}: scalar {scalar} vs {} {fast}",
+                simd.name()
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_bit_identical_across_backends_all_remainders() {
+        let simd = super::super::detected_backend();
+        for len in [0, 1, 3, 4, 5, 7, 8, 9, 31, 100] {
+            let (x, y0) = vecs(len, 80 + len as u64);
+            let mut ys = y0.clone();
+            let mut yf = y0.clone();
+            axpy(Backend::Scalar, 1.7, &x, &mut ys);
+            axpy(simd, 1.7, &x, &mut yf);
+            for (s, f) in ys.iter().zip(&yf) {
+                assert_eq!(s.to_bits(), f.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_kernels_bit_identical_across_backends() {
+        let simd = super::super::detected_backend();
+        for d in [0, 1, 7, 8, 9, 33] {
+            let rows = 5;
+            let (arow, _) = vecs(d, 7 + d as u64);
+            let (b_data, _) = vecs(rows * d, 9 + d as u64);
+            let mut bn = vec![0.0; rows];
+            sq_norms_into(Backend::Scalar, &b_data, d, &mut bn);
+            let mut bn_simd = vec![0.0; rows];
+            sq_norms_into(simd, &b_data, d, &mut bn_simd);
+            assert_eq!(bn, bn_simd, "sq_norms d={d}");
+
+            let an = dot(Backend::Scalar, &arow, &arow);
+            let mut mm_s = vec![0.0; rows];
+            let mut mm_f = vec![0.0; rows];
+            matmul_bt_row(Backend::Scalar, &arow, &b_data, d, &mut mm_s);
+            matmul_bt_row(simd, &arow, &b_data, d, &mut mm_f);
+            assert_eq!(mm_s, mm_f, "matmul_bt_row d={d}");
+
+            let mut pw_s = vec![0.0; rows];
+            let mut pw_f = vec![0.0; rows];
+            pairwise_row(Backend::Scalar, &arow, an, &b_data, d, &bn, &mut pw_s);
+            pairwise_row(simd, &arow, an, &b_data, d, &bn, &mut pw_f);
+            assert_eq!(pw_s, pw_f, "pairwise_row d={d}");
+        }
+    }
+
+    #[test]
+    fn dot_scalar_matches_naive_summation() {
+        for len in [0, 1, 9, 64, 129] {
+            let (a, b) = vecs(len, len as u64);
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let got = dot_scalar(&a, &b);
+            let scale = naive.abs().max(1.0);
+            assert!(
+                (got - naive).abs() <= 1e-12 * scale,
+                "len {len}: {got} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn requesting_unavailable_backend_falls_back_to_scalar() {
+        // On x86_64 the Neon request must be served by the scalar path (and
+        // vice versa) — same bits, no UB. This is the soundness guarantee
+        // that makes `Backend` a plain value rather than a capability.
+        let (a, b) = vecs(37, 3);
+        let want = dot(Backend::Scalar, &a, &b);
+        #[cfg(not(target_arch = "aarch64"))]
+        assert_eq!(dot(Backend::Neon, &a, &b).to_bits(), want.to_bits());
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(dot(Backend::Avx2, &a, &b).to_bits(), want.to_bits());
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(dot(Backend::Avx2, &a, &b).to_bits(), want.to_bits());
+    }
+}

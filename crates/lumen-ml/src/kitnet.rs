@@ -86,6 +86,20 @@ impl Kitnet {
             })
             .collect()
     }
+
+    /// Per-cluster RMSE matrix (`rows × ensemble_size`) for a whole batch:
+    /// each member scores its feature slice with one batched forward pass.
+    /// Column `j` equals [`Kitnet::tail_scores`] element `j` bit-for-bit.
+    fn tail_matrix(&self, x: &Matrix) -> Matrix {
+        let mut tails = Matrix::zeros(x.rows(), self.ensemble.len());
+        for (j, (cluster, ae)) in self.clusters.iter().zip(&self.ensemble).enumerate() {
+            let sub = x.select_cols(cluster);
+            for (i, s) in ae.anomaly_scores(&sub).into_iter().enumerate() {
+                tails.set(i, j, s);
+            }
+        }
+        tails
+    }
 }
 
 impl AnomalyDetector for Kitnet {
@@ -104,12 +118,9 @@ impl AnomalyDetector for Kitnet {
             self.ensemble.push(ae);
         }
 
-        // Train the output autoencoder on the ensemble's RMSE vectors.
-        let tails: Vec<Vec<f64>> = benign
-            .rows_iter()
-            .map(|row| self.tail_scores(row))
-            .collect();
-        let tail_m = Matrix::from_rows(tails)?;
+        // Train the output autoencoder on the ensemble's RMSE vectors
+        // (batched: one whole-matrix forward per ensemble member).
+        let tail_m = self.tail_matrix(benign);
         let mut out = Autoencoder::new(self.ae_config(self.clusters.len(), 0));
         out.fit_benign(&tail_m)?;
         self.output = Some(out);
@@ -121,6 +132,15 @@ impl AnomalyDetector for Kitnet {
             return 0.0;
         };
         out.anomaly_score(&self.tail_scores(row))
+    }
+
+    /// Batched scoring: every ensemble member (and the output autoencoder)
+    /// runs one whole-matrix forward pass instead of a per-row loop.
+    fn anomaly_scores(&self, x: &Matrix) -> Vec<f64> {
+        let Some(out) = &self.output else {
+            return vec![0.0; x.rows()];
+        };
+        out.anomaly_scores(&self.tail_matrix(x))
     }
 
     fn name(&self) -> &'static str {
@@ -192,6 +212,26 @@ mod tests {
         });
         kit.fit_benign(&x).unwrap();
         assert!(kit.clusters.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn batch_scores_match_row_scores_exactly() {
+        let x = benign(4, 150);
+        let mut kit = Kitnet::new(KitnetConfig {
+            max_cluster: 3,
+            epochs: 10,
+            ..KitnetConfig::default()
+        });
+        kit.fit_benign(&x).unwrap();
+        let probe = benign(5, 60);
+        let batch = kit.anomaly_scores(&probe);
+        for (i, row) in probe.rows_iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                kit.anomaly_score(row).to_bits(),
+                "row {i} diverged"
+            );
+        }
     }
 
     #[test]

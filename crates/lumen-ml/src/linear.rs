@@ -4,6 +4,8 @@
 use lumen_util::Rng;
 
 use crate::dataset::Dataset;
+use crate::kernels::{self, KernelOp};
+use crate::matrix::Matrix;
 use crate::model::Classifier;
 use crate::preprocess::{StandardScaler, Transform};
 use crate::{MlError, MlResult};
@@ -39,6 +41,19 @@ fn sigmoid(z: f64) -> f64 {
         let e = z.exp();
         e / (1.0 + e)
     }
+}
+
+/// Batched decision scores for a linear model: one `matmul_bt` against the
+/// weight row, then `sigmoid(bias + z)` per element. The row paths compute
+/// `sigmoid(bias + kernels::dot(row, w))` — the same expression, so batch
+/// and row scores agree bit-for-bit.
+fn batch_scores(scaled: &Matrix, weights: &[f64], bias: f64) -> Vec<f64> {
+    let w = Matrix::from_rows(vec![weights.to_vec()]).expect("weight row");
+    kernels::timed(KernelOp::LinearScore, || {
+        let z = kernels::matmul_bt(scaled, &w, kernels::resolve_threads(0))
+            .expect("feature width matches training width");
+        z.as_slice().iter().map(|&v| sigmoid(bias + v)).collect()
+    })
 }
 
 /// Logistic regression over standardized features.
@@ -107,16 +122,22 @@ impl Classifier for LogisticRegression {
         if !self.fitted {
             return 0.0;
         }
-        let probe = crate::matrix::Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let probe = Matrix::from_rows(vec![row.to_vec()]).expect("row");
         let scaled = self.scaler.transform(&probe);
-        let z = self.bias
-            + scaled
-                .row(0)
-                .iter()
-                .zip(&self.weights)
-                .map(|(a, w)| a * w)
-                .sum::<f64>();
-        sigmoid(z)
+        sigmoid(self.bias + kernels::dot(scaled.row(0), &self.weights))
+    }
+
+    /// Batched scoring: scale once, then a single matrix–vector product.
+    fn scores(&self, x: &Matrix) -> Vec<f64> {
+        if !self.fitted {
+            return vec![0.0; x.rows()];
+        }
+        let scaled = self.scaler.transform(x);
+        batch_scores(&scaled, &self.weights, self.bias)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.scores(x).iter().map(|&s| u8::from(s >= 0.5)).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -148,12 +169,7 @@ impl LinearSvm {
 
     /// Raw margin for a (scaled) feature row.
     fn margin(&self, scaled: &[f64]) -> f64 {
-        self.bias
-            + scaled
-                .iter()
-                .zip(&self.weights)
-                .map(|(a, w)| a * w)
-                .sum::<f64>()
+        self.bias + kernels::dot(scaled, &self.weights)
     }
 }
 
@@ -200,9 +216,22 @@ impl Classifier for LinearSvm {
         if !self.fitted {
             return 0.0;
         }
-        let probe = crate::matrix::Matrix::from_rows(vec![row.to_vec()]).expect("row");
+        let probe = Matrix::from_rows(vec![row.to_vec()]).expect("row");
         let scaled = self.scaler.transform(&probe);
         sigmoid(self.margin(scaled.row(0)))
+    }
+
+    /// Batched scoring: scale once, then a single matrix–vector product.
+    fn scores(&self, x: &Matrix) -> Vec<f64> {
+        if !self.fitted {
+            return vec![0.0; x.rows()];
+        }
+        let scaled = self.scaler.transform(x);
+        batch_scores(&scaled, &self.weights, self.bias)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.scores(x).iter().map(|&s| u8::from(s >= 0.5)).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -280,6 +309,29 @@ mod tests {
     fn unfitted_scores_zero() {
         let m = LinearSvm::new(SgdConfig::default());
         assert_eq!(m.score_row(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn batch_scores_match_row_scores_exactly() {
+        let train = linear_problem(7, 300);
+        let probe = linear_problem(8, 120);
+        let mut lr = LogisticRegression::new(SgdConfig::default());
+        lr.fit(&train).unwrap();
+        let mut svm = LinearSvm::new(SgdConfig::default());
+        svm.fit(&train).unwrap();
+        for m in [&lr as &dyn Classifier, &svm as &dyn Classifier] {
+            let batch = m.scores(&probe.x);
+            let preds = m.predict(&probe.x);
+            for (i, row) in probe.x.rows_iter().enumerate() {
+                assert_eq!(
+                    batch[i].to_bits(),
+                    m.score_row(row).to_bits(),
+                    "{} row {i} diverged",
+                    m.name()
+                );
+                assert_eq!(preds[i], m.predict_row(row));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Batch-vs-row and scalar-vs-SIMD equivalence over the model zoo.
+//!
+//! The batched inference contract (DESIGN.md §4j) is *bitwise*: for every
+//! model family, `predict`/`scores`/`anomaly_scores` on a whole matrix must
+//! return exactly the same bits as the row-at-a-time path, and the answer
+//! must not depend on which kernel backend (scalar, AVX2, NEON) or thread
+//! count executed it. These tests pin the contract with plain deterministic
+//! sweeps — shapes chosen to hit every SIMD remainder lane — rather than
+//! sampled property tests, so the file runs identically everywhere
+//! (including hosts without AVX2/NEON, where the dispatcher falls back to
+//! scalar and the cross-backend assertions degenerate to scalar == scalar).
+
+use lumen_ml::autoencoder::{Autoencoder, AutoencoderConfig};
+use lumen_ml::gmm::{Gmm, GmmConfig};
+use lumen_ml::kernels::{self, Backend, BackendMode};
+use lumen_ml::kitnet::{Kitnet, KitnetConfig};
+use lumen_ml::knn::{Knn, KnnConfig};
+use lumen_ml::linear::{LinearSvm, LogisticRegression, SgdConfig};
+use lumen_ml::nystroem::{NystroemConfig, NystroemDetector};
+use lumen_ml::ocsvm::{OcsvmConfig, OneClassSvm};
+use lumen_ml::{AnomalyDetector, Classifier, Dataset, Matrix};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global backend mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores `BackendMode::Auto` even if the test panics, so a failure here
+/// cannot leak a forced-scalar mode into unrelated tests.
+struct ModeGuard;
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        kernels::set_backend_mode(BackendMode::Auto);
+    }
+}
+
+/// xorshift64* — deterministic test-data generator, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Benign manifold: each row sits near a 1-D curve through `d`-space with
+/// small iid noise, so one-class detectors fit something non-degenerate.
+fn benign_matrix(seed: u64, n: usize, d: usize) -> Matrix {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = rng.next_f64();
+        let mut row = Vec::with_capacity(d);
+        for j in 0..d {
+            let base = if j % 2 == 0 { t } else { 1.0 - t };
+            row.push(base * (1.0 + j as f64 * 0.1) + 0.01 * (rng.next_f64() - 0.5));
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(rows).expect("benign matrix")
+}
+
+/// Query set: benign-like rows plus off-manifold outliers, so scores span
+/// both sides of any calibrated threshold.
+fn query_matrix(seed: u64, n: usize, d: usize) -> Matrix {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(d);
+        if i % 4 == 3 {
+            for _ in 0..d {
+                row.push(4.0 * rng.next_f64() - 2.0);
+            }
+        } else {
+            let t = rng.next_f64();
+            for j in 0..d {
+                let base = if j % 2 == 0 { t } else { 1.0 - t };
+                row.push(base * (1.0 + j as f64 * 0.1) + 0.01 * (rng.next_f64() - 0.5));
+            }
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(rows).expect("query matrix")
+}
+
+/// Linearly separable labeled problem (with margin) for the classifiers.
+fn labeled_dataset(seed: u64, n: usize, d: usize) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut i = 0;
+    while rows.len() < n {
+        let mut row: Vec<f64> = (0..d).map(|_| 2.0 * rng.next_f64() - 1.0).collect();
+        let margin = 2.0 * row[0] - row[1 % d];
+        if margin.abs() < 0.2 {
+            i += 1;
+            assert!(i < 100 * n, "rejection sampling stalled");
+            continue;
+        }
+        row[0] += 0.05; // break exact symmetry between the classes
+        y.push(u8::from(margin > 0.0));
+        rows.push(row);
+    }
+    Dataset::new(Matrix::from_rows(rows).expect("x"), y).expect("dataset")
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Kernel primitives: the detected SIMD backend must agree bitwise with the
+/// scalar reference on shapes covering every remainder width (d mod 8 and
+/// m mod 4), at more than one thread count.
+#[test]
+fn kernel_ops_bit_identical_scalar_vs_detected_backend() {
+    let det = kernels::detected_backend();
+    for &d in &[1usize, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+        let a = benign_matrix(11 + d as u64, 13, d);
+        let b = query_matrix(23 + d as u64, 18, d);
+        for &threads in &[1usize, 3] {
+            let sn_s = kernels::sq_norms_with(Backend::Scalar, &a);
+            let sn_v = kernels::sq_norms_with(det, &a);
+            assert_eq!(bits(&sn_s), bits(&sn_v), "sq_norms d={d}");
+
+            let mm_s = kernels::matmul_bt_with(Backend::Scalar, &a, &b, threads).expect("mm");
+            let mm_v = kernels::matmul_bt_with(det, &a, &b, threads).expect("mm");
+            assert_eq!(
+                bits(mm_s.as_slice()),
+                bits(mm_v.as_slice()),
+                "matmul_bt d={d} threads={threads}"
+            );
+
+            let pd_s =
+                kernels::pairwise_sq_dists_with(Backend::Scalar, &a, &b, threads).expect("pd");
+            let pd_v = kernels::pairwise_sq_dists_with(det, &a, &b, threads).expect("pd");
+            assert_eq!(
+                bits(pd_s.as_slice()),
+                bits(pd_v.as_slice()),
+                "pairwise d={d} threads={threads}"
+            );
+        }
+    }
+}
+
+fn detector_zoo() -> Vec<Box<dyn AnomalyDetector>> {
+    vec![
+        Box::new(Gmm::new(GmmConfig {
+            n_components: 2,
+            max_iter: 10,
+            ..GmmConfig::default()
+        })),
+        Box::new(OneClassSvm::new(OcsvmConfig {
+            epochs: 10,
+            ..OcsvmConfig::default()
+        })),
+        Box::new(Autoencoder::new(AutoencoderConfig {
+            hidden: vec![3],
+            epochs: 15,
+            ..AutoencoderConfig::default()
+        })),
+        Box::new(Kitnet::new(KitnetConfig {
+            epochs: 8,
+            ..KitnetConfig::default()
+        })),
+        Box::new(NystroemDetector::ocsvm(
+            NystroemConfig {
+                n_components: 16,
+                ..NystroemConfig::default()
+            },
+            OcsvmConfig {
+                epochs: 10,
+                kernel: lumen_ml::ocsvm::OcsvmKernel::Linear,
+                ..OcsvmConfig::default()
+            },
+        )),
+    ]
+}
+
+fn classifier_zoo() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(Knn::new(KnnConfig {
+            k: 3,
+            ..KnnConfig::default()
+        })),
+        Box::new(LogisticRegression::new(SgdConfig::default())),
+        Box::new(LinearSvm::new(SgdConfig::default())),
+    ]
+}
+
+/// For every anomaly detector: batch scoring equals row-at-a-time scoring
+/// bitwise, and the whole fit+score pipeline produces identical bits under
+/// forced-scalar and auto (SIMD) dispatch.
+#[test]
+fn detector_batch_equals_rows_and_backends_agree() {
+    let _lock = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = ModeGuard;
+
+    let d = 7; // odd width: every dot product exercises the remainder tail
+    let train = benign_matrix(101, 160, d);
+    let query = query_matrix(202, 57, d);
+
+    let mut per_mode: Vec<Vec<Vec<u64>>> = Vec::new();
+    for mode in [BackendMode::ForceScalar, BackendMode::Auto] {
+        kernels::set_backend_mode(mode);
+        let mut mode_bits = Vec::new();
+        for mut det in detector_zoo() {
+            det.fit_benign(&train).expect("fit_benign");
+            let batch = det.anomaly_scores(&query);
+            assert_eq!(batch.len(), query.rows(), "{} batch len", det.name());
+            let rowwise: Vec<f64> = query.rows_iter().map(|r| det.anomaly_score(r)).collect();
+            assert_eq!(
+                bits(&batch),
+                bits(&rowwise),
+                "{} batch != row under {mode:?}",
+                det.name()
+            );
+            mode_bits.push(bits(&batch));
+        }
+        per_mode.push(mode_bits);
+    }
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "detector scores differ between forced-scalar and auto dispatch"
+    );
+}
+
+/// For every classifier: batch `predict`/`scores` equal the row-at-a-time
+/// path bitwise, and labels are identical across backend modes.
+#[test]
+fn classifier_batch_equals_rows_and_backends_agree() {
+    let _lock = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = ModeGuard;
+
+    let d = 5;
+    let data = labeled_dataset(303, 180, d);
+    let query = query_matrix(404, 49, d);
+
+    let mut per_mode: Vec<Vec<(Vec<u8>, Vec<u64>)>> = Vec::new();
+    for mode in [BackendMode::ForceScalar, BackendMode::Auto] {
+        kernels::set_backend_mode(mode);
+        let mut mode_out = Vec::new();
+        for mut clf in classifier_zoo() {
+            clf.fit(&data).expect("fit");
+            let labels = clf.predict(&query);
+            let scores = clf.scores(&query);
+            let row_labels: Vec<u8> = query.rows_iter().map(|r| clf.predict_row(r)).collect();
+            let row_scores: Vec<f64> = query.rows_iter().map(|r| clf.score_row(r)).collect();
+            assert_eq!(labels, row_labels, "{} labels batch != row", clf.name());
+            assert_eq!(
+                bits(&scores),
+                bits(&row_scores),
+                "{} scores batch != row under {mode:?}",
+                clf.name()
+            );
+            mode_out.push((labels, bits(&scores)));
+        }
+        per_mode.push(mode_out);
+    }
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "classifier output differs between forced-scalar and auto dispatch"
+    );
+}
+
+/// Batch scores must not depend on the worker-thread count, in either
+/// backend mode: the block-deterministic reductions make (backend, threads)
+/// a pure performance knob.
+#[test]
+fn batch_scores_bit_identical_across_thread_counts_and_modes() {
+    let _lock = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = ModeGuard;
+
+    let d = 9;
+    let train = benign_matrix(505, 120, d);
+    let query = query_matrix(606, 41, d);
+    let data = labeled_dataset(707, 150, d);
+
+    for mode in [BackendMode::ForceScalar, BackendMode::Auto] {
+        kernels::set_backend_mode(mode);
+        let mut gmm_runs = Vec::new();
+        let mut knn_runs = Vec::new();
+        for &threads in &[1usize, 2, 5] {
+            let mut gmm = Gmm::new(GmmConfig {
+                n_components: 2,
+                max_iter: 8,
+                threads,
+                ..GmmConfig::default()
+            });
+            gmm.fit_benign(&train).expect("gmm fit");
+            gmm_runs.push(bits(&gmm.anomaly_scores(&query)));
+
+            let mut knn = Knn::new(KnnConfig {
+                k: 3,
+                threads,
+                ..KnnConfig::default()
+            });
+            knn.fit(&data).expect("knn fit");
+            knn_runs.push(bits(&knn.scores(&query)));
+        }
+        for run in &gmm_runs[1..] {
+            assert_eq!(&gmm_runs[0], run, "gmm scores vary with threads in {mode:?}");
+        }
+        for run in &knn_runs[1..] {
+            assert_eq!(&knn_runs[0], run, "knn scores vary with threads in {mode:?}");
+        }
+    }
+}

@@ -214,6 +214,75 @@ where
     results.into_iter().collect()
 }
 
+/// Like [`try_par_rows_mut`], but hands each call a *block* of up to
+/// `block_rows` consecutive rows instead of a single row: `f(first_row,
+/// block)` where `block` covers rows `first_row .. first_row +
+/// block.len()/row_len` (the final block may be short). Work is split
+/// across workers at block granularity, so cache-blocked kernels can reuse
+/// data loaded for one row across the whole block while keeping the
+/// disjoint-writes / bit-identical-at-any-thread-count contract of
+/// [`try_par_rows_mut`].
+pub fn try_par_row_blocks_mut<F>(
+    out: &mut [f64],
+    row_len: usize,
+    block_rows: usize,
+    threads: usize,
+    f: F,
+) -> Result<(), String>
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let threads = threads.max(1);
+    let block_rows = block_rows.max(1);
+    if out.is_empty() || row_len == 0 {
+        return Ok(());
+    }
+    debug_assert_eq!(out.len() % row_len, 0, "out must be whole rows");
+    let rows = out.len() / row_len;
+    let blocks = rows.div_ceil(block_rows);
+    let run = |start_block: usize, chunk: &mut [f64]| -> Result<(), String> {
+        for (j, blk) in chunk.chunks_mut(block_rows * row_len).enumerate() {
+            let first_row = (start_block + j) * block_rows;
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(first_row, blk))) {
+                return Err(panic_message(p.as_ref()));
+            }
+        }
+        Ok(())
+    };
+    if threads == 1 || blocks == 1 {
+        return run(0, out);
+    }
+    let per = blocks.div_ceil(threads);
+    let run = &run;
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(per * block_rows * row_len)
+            .enumerate()
+            .map(|(w, chunk)| scope.spawn(move || run(w * per, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker catches its own panics"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Infallible wrapper over [`try_par_row_blocks_mut`].
+pub fn par_row_blocks_mut<F>(
+    out: &mut [f64],
+    row_len: usize,
+    block_rows: usize,
+    threads: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if let Err(msg) = try_par_row_blocks_mut(out, row_len, block_rows, threads, f) {
+        panic!("par_row_blocks_mut worker panicked: {msg}");
+    }
+}
+
 /// Infallible wrapper over [`try_par_rows_mut`].
 pub fn par_rows_mut<F>(out: &mut [f64], row_len: usize, threads: usize, f: F)
 where
@@ -318,6 +387,48 @@ mod tests {
     fn par_rows_mut_empty_is_noop() {
         let mut out: Vec<f64> = Vec::new();
         par_rows_mut(&mut out, 4, 8, |_, _| panic!("never called"));
+    }
+
+    #[test]
+    fn par_row_blocks_mut_covers_every_row_with_short_tail() {
+        // 11 rows of 3 in blocks of 4 → blocks start at rows 0, 4, 8 and
+        // the last block is short (3 rows). Every thread count must visit
+        // the same (first_row, block length) pairs and touch every cell.
+        for threads in [1, 2, 3, 8] {
+            let mut out = vec![0.0; 11 * 3];
+            par_row_blocks_mut(&mut out, 3, 4, threads, |first_row, blk| {
+                assert_eq!(first_row % 4, 0, "blocks start on block boundaries");
+                assert_eq!(blk.len() % 3, 0, "blocks are whole rows");
+                for (j, row) in blk.chunks_mut(3).enumerate() {
+                    for (k, v) in row.iter_mut().enumerate() {
+                        *v = ((first_row + j) * 10 + k) as f64;
+                    }
+                }
+            });
+            for i in 0..11 {
+                for k in 0..3 {
+                    assert_eq!(out[i * 3 + k], (i * 10 + k) as f64, "threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_mut_empty_is_noop() {
+        let mut out: Vec<f64> = Vec::new();
+        par_row_blocks_mut(&mut out, 4, 8, 2, |_, _| panic!("never called"));
+    }
+
+    #[test]
+    fn try_par_row_blocks_mut_catches_worker_panic() {
+        let mut out = vec![0.0; 12 * 2];
+        let err = try_par_row_blocks_mut(&mut out, 2, 4, 3, |first, _| {
+            if first == 8 {
+                panic!("block at 8 exploded");
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("exploded"), "{err}");
     }
 
     #[test]
