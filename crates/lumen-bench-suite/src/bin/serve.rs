@@ -1,0 +1,130 @@
+//! `lumen-serve`: long-running streaming detection daemon (DESIGN.md §4k).
+//!
+//! Replays a synthetic capture through the staged pipeline — recovering
+//! source → decode → sliced flow assembly → ML scoring — with bounded
+//! rings, load shedding, a circuit breaker, per-stage watchdogs, and a
+//! clean SIGTERM drain. Emits the `stream:` summary block and persists the
+//! schema-v6 run journal (with its `StreamReport`) as
+//! `$LUMEN_RESULTS_DIR/serve_journal.json` when that variable is set.
+//!
+//! Flags:
+//!   --fast              smaller capture (quick smoke runs)
+//!   --chaos             corrupt the replayed bytes first (ChaosPcap)
+//!   --rate N            replay pacing, packets/sec (0 = unpaced)
+//!   --slice-ms N        time-slice width in capture milliseconds
+//!   --seed N            generator / chaos seed
+//!   --fault SPEC        inject a stream fault (STAGE:KIND[:ARG[:N]]),
+//!                       repeatable; kinds: hang / slow / transient
+//!   --watchdog-ms N     heartbeat staleness budget (0 disables)
+//!   --breaker-ms N      per-slice scoring budget for the circuit breaker
+//!   --ring N            inter-stage ring capacity
+//!   --pending N         shed-buffer capacity (parked slices)
+//!
+//! Exit codes: 0 on a clean drain (including SIGTERM), 1 on a failed run,
+//! 2 on bad flags.
+
+use std::time::Duration;
+
+use lumen_bench_suite::exp::maybe_persist_journal;
+use lumen_bench_suite::journal::RunJournal;
+use lumen_bench_suite::{run_stream, ServeConfig, StreamFault};
+use lumen_synth::{ChaosConfig, SynthScale};
+use lumen_util::shutdown;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_values(name: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
+}
+
+fn num_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_value(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad {name} value {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let chaos = std::env::args().any(|a| a == "--chaos");
+
+    let mut faults = Vec::new();
+    for spec in arg_values("--fault") {
+        match StreamFault::parse(&spec) {
+            Ok(f) => faults.push(f),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        scale: if fast {
+            SynthScale::small()
+        } else {
+            SynthScale::default()
+        },
+        seed: num_or("--seed", 7),
+        chaos: chaos.then(ChaosConfig::default),
+        rate_pps: num_or("--rate", 0),
+        slice_us: num_or::<u64>("--slice-ms", 500).max(1) * 1_000,
+        ring_capacity: num_or("--ring", defaults.ring_capacity),
+        pending_cap: num_or("--pending", defaults.pending_cap),
+        score_budget: Duration::from_millis(num_or("--breaker-ms", 250)),
+        watchdog_ms: num_or("--watchdog-ms", 2_000),
+        faults,
+        ..defaults
+    };
+
+    // SIGTERM/SIGINT flip the process-global flag; the source stage polls
+    // it and starts the drain.
+    shutdown::install_term_handler();
+
+    eprintln!(
+        "lumen-serve: dataset {} seed {} rate {} pps slice {} ms chaos {}",
+        cfg.dataset.code(),
+        cfg.seed,
+        cfg.rate_pps,
+        cfg.slice_us / 1_000,
+        chaos,
+    );
+    match run_stream(&cfg) {
+        Ok(out) => {
+            let mut journal = RunJournal::new();
+            journal.set_stream(out.report.clone());
+            print!("{}", journal.summary(0, 0));
+            maybe_persist_journal(&journal, "serve");
+            if !out.report.accounts_exactly() {
+                eprintln!("ACCOUNTING MISMATCH: {:?}", out.report);
+                std::process::exit(1);
+            }
+            eprintln!(
+                "source stats: {} record(s), {} dropped, {} resync(s)",
+                out.source_stats.records,
+                out.source_stats.dropped_records,
+                out.source_stats.resyncs
+            );
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

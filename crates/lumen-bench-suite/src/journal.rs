@@ -438,6 +438,108 @@ pub struct FlowShardEntry {
     pub peak_active: u64,
 }
 
+/// Per-stage accounting for one pipeline stage of a streaming run: how
+/// deep its input ring got, and how often its watchdog had to restart it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct StreamStageEntry {
+    /// Stage name (`source`/`decode`/`flow`/`score`).
+    pub stage: String,
+    /// Capacity of the stage's input ring (0 for the source, which has
+    /// no input ring).
+    pub queue_capacity: u64,
+    /// High-water mark of the stage's input ring depth.
+    pub queue_peak: u64,
+    /// Times the stage's watchdog cancelled and restarted it after a
+    /// wedge (stale heartbeat while holding work).
+    pub restarts: u64,
+}
+
+/// End-of-run report from the `lumen-serve` streaming daemon (schema v6):
+/// packet-exact accounting across every stage, overload behavior (shed and
+/// degraded slices, breaker trips), scoring latency quantiles, and how the
+/// run ended. The load-bearing invariants, asserted in the serve tests:
+/// `packets_read == packets_parsed + decode_errors` and
+/// `records_scored + records_degraded + records_shed == records_finalized`
+/// — nothing is ever dropped silently.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct StreamReport {
+    /// Packets the recovering source yielded.
+    #[serde(default)]
+    pub packets_read: u64,
+    /// Packets that decoded to usable metadata.
+    #[serde(default)]
+    pub packets_parsed: u64,
+    /// Packets quarantined by the decode stage (link/net/transport).
+    #[serde(default)]
+    pub decode_errors: u64,
+    /// Parsed packets without an IP five-tuple (ignored by flow tracking).
+    #[serde(default)]
+    pub non_ip: u64,
+    /// Connection records the flow stage finalized.
+    #[serde(default)]
+    pub records_finalized: u64,
+    /// Time slices emitted by the flow stage.
+    #[serde(default)]
+    pub slices_total: u64,
+    /// Slices scored by the ML model.
+    #[serde(default)]
+    pub slices_scored: u64,
+    /// Slices classified by the rule-engine prefilter while the breaker
+    /// was open (degraded mode).
+    #[serde(default)]
+    pub slices_degraded: u64,
+    /// Slices shed under overload (counted, never silent).
+    #[serde(default)]
+    pub slices_shed: u64,
+    /// Records on ML-scored slices.
+    #[serde(default)]
+    pub records_scored: u64,
+    /// Records on degraded (rule-engine) slices.
+    #[serde(default)]
+    pub records_degraded: u64,
+    /// Records on shed slices.
+    #[serde(default)]
+    pub records_shed: u64,
+    /// Alarms raised (ML or rule engine).
+    #[serde(default)]
+    pub alarms: u64,
+    /// Median per-slice scoring latency, milliseconds.
+    #[serde(default)]
+    pub score_p50_ms: f64,
+    /// 99th-percentile per-slice scoring latency, milliseconds.
+    #[serde(default)]
+    pub score_p99_ms: f64,
+    /// Times the circuit breaker tripped open.
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Breaker state at end of run (`closed`/`open`/`half-open`).
+    #[serde(default)]
+    pub breaker_final: String,
+    /// Per-stage queue/restart accounting.
+    #[serde(default)]
+    pub stages: Vec<StreamStageEntry>,
+    /// True when the run drained cleanly (all stages joined, journal
+    /// flushed) rather than aborting.
+    #[serde(default)]
+    pub drained_clean: bool,
+    /// True when the drain was initiated by SIGTERM/SIGINT rather than
+    /// end-of-source.
+    #[serde(default)]
+    pub sigterm: bool,
+}
+
+impl StreamReport {
+    /// True when every finalized record is accounted for by exactly one
+    /// of scored/degraded/shed, and every read packet either parsed or
+    /// was quarantined.
+    pub fn accounts_exactly(&self) -> bool {
+        self.packets_read == self.packets_parsed + self.decode_errors
+            && self.records_scored + self.records_degraded + self.records_shed
+                == self.records_finalized
+            && self.slices_scored + self.slices_degraded + self.slices_shed == self.slices_total
+    }
+}
+
 /// Current journal schema version. v1 (implicit) predates supervision;
 /// v2 adds `schema_version` itself, `TimedOut` outcomes, and per-task
 /// attempt history; v3 adds experiment-audit findings; v4 adds per-shard
@@ -447,8 +549,11 @@ pub struct FlowShardEntry {
 /// concurrently-running matrices; v5 records the ML kernel dispatch
 /// decision in the header (`kernel_backend`: scalar/avx2/neon, and
 /// `kernel_features`: the detected CPU feature list) so perf numbers are
-/// attributable to the instruction set that produced them.
-pub const SCHEMA_VERSION: u32 = 5;
+/// attributable to the instruction set that produced them; v6 adds the
+/// optional `stream` section (`StreamReport`): the lumen-serve daemon's
+/// packet-exact overload accounting — shed/degraded/restart counters,
+/// breaker state, per-stage queue depths, and p50/p99 scoring latency.
+pub const SCHEMA_VERSION: u32 = 6;
 
 fn v1_schema_version() -> u32 {
     1
@@ -484,6 +589,9 @@ pub struct RunJournal {
     /// Detected CPU features relevant to kernel dispatch (absent pre-v5).
     #[serde(default)]
     kernel_features: String,
+    /// Streaming-daemon report (absent pre-v6 and for batch runs).
+    #[serde(default)]
+    stream: Option<StreamReport>,
 }
 
 impl Default for RunJournal {
@@ -507,6 +615,7 @@ impl RunJournal {
             audit: Vec::new(),
             kernel_backend: lumen_ml::kernels::active_backend().name().to_string(),
             kernel_features: lumen_ml::kernels::detected_features().to_string(),
+            stream: None,
         }
     }
 
@@ -550,6 +659,11 @@ impl RunJournal {
             e.evictions += o.evictions;
             e.records += o.records;
             e.peak_active += o.peak_active;
+        }
+        // Stream reports are per-daemon-run and do not aggregate; keep the
+        // first one rather than inventing a merged report.
+        if self.stream.is_none() {
+            self.stream = other.stream;
         }
     }
 
@@ -596,6 +710,17 @@ impl RunJournal {
     /// Per-shard flow-tracker accounting, indexed by shard.
     pub fn flow_shards(&self) -> &[FlowShardEntry] {
         &self.flow_shards
+    }
+
+    /// Attaches the streaming-daemon report (schema v6).
+    pub fn set_stream(&mut self, report: StreamReport) {
+        self.stream = Some(report);
+    }
+
+    /// The streaming-daemon report, when this journal came from a
+    /// `lumen-serve` run (always `None` pre-v6 and for batch runs).
+    pub fn stream(&self) -> Option<&StreamReport> {
+        self.stream.as_ref()
     }
 
     /// Total quarantined items across all datasets.
@@ -849,7 +974,13 @@ impl RunJournal {
                 self.flow_evictions
             ));
         }
-        if !self.flow_shards.is_empty() {
+        // An all-zero shard table (a run that assembled no flows) says
+        // nothing; render the block only when some shard did work.
+        let shards_active = self
+            .flow_shards
+            .iter()
+            .any(|e| e.records > 0 || e.evictions > 0 || e.peak_active > 0);
+        if shards_active {
             let records: u64 = self.flow_shards.iter().map(|e| e.records).sum();
             s.push_str(&format!(
                 "flow shards: {} shard(s), {} record(s) finalized\n",
@@ -862,6 +993,51 @@ impl RunJournal {
                     e.shard, e.evictions, e.records
                 ));
             }
+        }
+        if let Some(r) = &self.stream {
+            s.push_str(&format!(
+                "stream: {} packet(s) read ({} parsed / {} quarantined / {} non-IP), \
+                 {} record(s) over {} slice(s)\n",
+                r.packets_read,
+                r.packets_parsed,
+                r.decode_errors,
+                r.non_ip,
+                r.records_finalized,
+                r.slices_total
+            ));
+            s.push_str(&format!(
+                "  scored {} / degraded {} / shed {} slice(s) \
+                 (records {} / {} / {}), {} alarm(s)\n",
+                r.slices_scored,
+                r.slices_degraded,
+                r.slices_shed,
+                r.records_scored,
+                r.records_degraded,
+                r.records_shed,
+                r.alarms
+            ));
+            s.push_str(&format!(
+                "  scoring latency p50 {:.2} ms / p99 {:.2} ms, breaker: {} trip(s), final {}\n",
+                r.score_p50_ms,
+                r.score_p99_ms,
+                r.breaker_trips,
+                if r.breaker_final.is_empty() {
+                    "closed"
+                } else {
+                    &r.breaker_final
+                }
+            ));
+            for st in &r.stages {
+                s.push_str(&format!(
+                    "  stage {}: queue peak {}/{}, {} restart(s)\n",
+                    st.stage, st.queue_peak, st.queue_capacity, st.restarts
+                ));
+            }
+            s.push_str(&format!(
+                "  drain: {}{}\n",
+                if r.drained_clean { "clean" } else { "ABORTED" },
+                if r.sigterm { " (SIGTERM)" } else { "" }
+            ));
         }
         s
     }
@@ -1093,6 +1269,29 @@ mod tests {
         assert!(!s.contains("shard 0:"), "clean shards stay out of the summary");
     }
 
+    #[test]
+    fn all_zero_shard_table_stays_out_of_the_summary() {
+        // A run that sharded the tracker but assembled no flows (e.g. a
+        // pure non-IP capture) must not render a noise-only block.
+        let mut j = RunJournal::new();
+        j.set_flow_shards(vec![FlowShardEntry::default(), FlowShardEntry::default()]);
+        let s = j.summary(0, 0);
+        assert!(
+            !s.contains("flow shards:"),
+            "all-zero shard table must be suppressed: {s}"
+        );
+        // One nonzero counter anywhere brings the block back.
+        j.set_flow_shards(vec![
+            FlowShardEntry::default(),
+            FlowShardEntry {
+                shard: 1,
+                peak_active: 1,
+                ..FlowShardEntry::default()
+            },
+        ]);
+        assert!(j.summary(0, 0).contains("flow shards: 2 shard(s)"));
+    }
+
     /// Doc drift: the journal's flow-accounting fields are documented in
     /// DESIGN.md §4i and the README performance section; renaming a field
     /// (or bumping the schema) without updating the docs fails here.
@@ -1103,10 +1302,10 @@ mod tests {
         for field in ["flow_shards", "flow_evictions", "FlowShardEntry"] {
             assert!(design.contains(field), "DESIGN.md missing `{field}`");
         }
-        assert!(design.contains("schema v5"), "DESIGN.md missing schema v5");
+        assert!(design.contains("schema v6"), "DESIGN.md missing schema v6");
         assert!(
-            readme.contains("flow_shards") && readme.contains("schema v5"),
-            "README performance section missing journal v5 fields"
+            readme.contains("flow_shards") && readme.contains("schema v6"),
+            "README missing journal v6 fields"
         );
         for field in ["kernel_backend", "kernel_features"] {
             assert!(design.contains(field), "DESIGN.md missing `{field}`");
@@ -1119,7 +1318,20 @@ mod tests {
                 "DESIGN.md missing backend name `{backend}`"
             );
         }
-        assert_eq!(SCHEMA_VERSION, 5, "schema bumped: update DESIGN.md/README");
+        // v6 streaming: the StreamReport fields and the daemon's overload
+        // machinery are documented in DESIGN.md §4k and the README
+        // "Streaming mode" section.
+        for field in ["StreamReport", "slices_shed", "breaker_trips", "score_p99_ms"] {
+            assert!(design.contains(field), "DESIGN.md missing `{field}`");
+        }
+        for concept in ["backpressure", "circuit breaker", "load shedding", "watchdog"] {
+            assert!(design.contains(concept), "DESIGN.md missing `{concept}`");
+        }
+        assert!(
+            readme.contains("Streaming mode"),
+            "README missing the Streaming mode section"
+        );
+        assert_eq!(SCHEMA_VERSION, 6, "schema bumped: update DESIGN.md/README");
     }
 
     #[test]
@@ -1234,6 +1446,103 @@ mod tests {
         assert_eq!(j.ok_count(), 1);
         assert_eq!(j.failed_count(), 1);
         assert!(j.entries().iter().all(|e| e.attempts.is_empty()));
+    }
+
+    #[test]
+    fn v5_journal_without_stream_section_still_loads() {
+        // A journal written by the v5 (pre-streaming) suite: kernel header
+        // present, no `stream` section. It must load with `stream: None`
+        // and keep its recorded version — never fabricate a StreamReport.
+        let v5 = r#"{
+            "schema_version": 5,
+            "entries": [
+                {"algo": "A14", "train": "F4", "test": "F4", "mode": "same",
+                 "outcome": {"status": "ok"}, "wall_ms": 7}
+            ],
+            "flow_evictions": 3,
+            "flow_shards": [
+                {"shard": 0, "evictions": 3, "records": 12, "peak_active": 5}
+            ],
+            "kernel_backend": "scalar",
+            "kernel_features": "sse2"
+        }"#;
+        let j = match RunJournal::from_json(v5) {
+            Ok(j) => j,
+            Err(_) => {
+                eprintln!("offline serde_json stub without deserialization support; skipping");
+                return;
+            }
+        };
+        assert_eq!(j.schema_version(), 5);
+        assert_eq!(j.ok_count(), 1);
+        assert_eq!(j.flow_evictions(), 3);
+        assert_eq!(j.flow_shards().len(), 1);
+        assert_eq!(j.kernel_backend(), "scalar");
+        assert!(j.stream().is_none(), "v5 journals carry no stream report");
+        assert!(!j.summary(0, 0).contains("stream:"));
+    }
+
+    #[test]
+    fn stream_report_roundtrips_and_renders() {
+        let mut j = RunJournal::new();
+        let report = StreamReport {
+            packets_read: 1000,
+            packets_parsed: 990,
+            decode_errors: 10,
+            non_ip: 5,
+            records_finalized: 200,
+            slices_total: 20,
+            slices_scored: 14,
+            slices_degraded: 4,
+            slices_shed: 2,
+            records_scored: 150,
+            records_degraded: 40,
+            records_shed: 10,
+            alarms: 7,
+            score_p50_ms: 1.25,
+            score_p99_ms: 9.5,
+            breaker_trips: 1,
+            breaker_final: "closed".into(),
+            stages: vec![StreamStageEntry {
+                stage: "score".into(),
+                queue_capacity: 8,
+                queue_peak: 8,
+                restarts: 1,
+            }],
+            drained_clean: true,
+            sigterm: true,
+        };
+        assert!(report.accounts_exactly());
+        j.set_stream(report.clone());
+        let s = j.summary(0, 0);
+        assert!(s.contains("stream: 1000 packet(s) read"), "{s}");
+        assert!(s.contains("shed 2 slice(s)"), "{s}");
+        assert!(s.contains("p50 1.25 ms / p99 9.50 ms"), "{s}");
+        assert!(s.contains("stage score: queue peak 8/8, 1 restart(s)"), "{s}");
+        assert!(s.contains("drain: clean (SIGTERM)"), "{s}");
+
+        if serde_json::to_string(&j).is_err() {
+            eprintln!("offline serde_json stub without serialization support; skipping");
+            return;
+        }
+        let json = j.to_json();
+        assert!(json.contains("\"slices_shed\""), "{json}");
+        let back = RunJournal::from_json(&json).unwrap();
+        assert_eq!(back.stream(), Some(&report));
+        assert_eq!(back.schema_version(), SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn broken_stream_accounting_is_detected() {
+        let mut r = StreamReport {
+            packets_read: 10,
+            packets_parsed: 9,
+            decode_errors: 1,
+            ..StreamReport::default()
+        };
+        assert!(r.accounts_exactly());
+        r.records_finalized = 5; // five records, none attributed
+        assert!(!r.accounts_exactly(), "silent record loss must be caught");
     }
 
     #[test]

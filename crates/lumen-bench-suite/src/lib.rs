@@ -20,6 +20,7 @@ pub mod journal;
 pub mod literature;
 pub mod render;
 pub mod runner;
+pub mod serve;
 pub mod store;
 
 pub use audit::{
@@ -31,6 +32,10 @@ pub use journal::{
     TaskOutcome, WalRecord,
 };
 pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunBudget, RunConfig, Runner};
+pub use serve::{
+    run_stream, BreakerState, CircuitBreaker, RuleEngine, ServeConfig, ShedBuffer, StageId,
+    StreamFault, StreamFaultKind, StreamOutcome,
+};
 pub use store::{ResultRow, ResultStore};
 
 /// Errors surfaced by the suite.

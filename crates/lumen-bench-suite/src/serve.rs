@@ -1,0 +1,1535 @@
+//! `lumen-serve`: the overload-resilient streaming detection daemon
+//! (DESIGN.md §4k).
+//!
+//! A replayed capture flows through four staged workers connected by
+//! bounded rings — source → decode → flow → score — so backpressure
+//! propagates source-ward instead of growing unbounded queues. Overload is
+//! a first-class condition, not an accident:
+//!
+//! * the flow→score edge absorbs pressure through a priority shed buffer
+//!   ([`ShedBuffer`]): when the scorer falls behind, the lowest-priority
+//!   pending slices (fewest records) are dropped, counted, and journaled —
+//!   never silently;
+//! * a circuit breaker ([`CircuitBreaker`]) around the ML scorer trips to
+//!   a cheap threshold [`RuleEngine`] prefilter after consecutive
+//!   over-budget scorings, then probes its way back (half-open) once the
+//!   cooldown elapses;
+//! * a watchdog thread supervises per-stage heartbeats and cancels the
+//!   attempt token of any stage that wedges while holding work, forcing a
+//!   counted restart instead of a hung run;
+//! * SIGTERM (or a cooperative stop flag) drains the pipeline stage by
+//!   stage and flushes the journal, so an operator kill never loses the
+//!   run's accounting.
+//!
+//! Everything is packet-exact: `packets_read == packets_parsed +
+//! decode_errors` and `records_scored + records_degraded + records_shed ==
+//! records_finalized`, enforced by [`StreamReport::accounts_exactly`] and
+//! asserted by the tests below.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lumen_core::data::{ConnData, Data, PacketData};
+use lumen_core::ops::{build_op, Operation};
+use lumen_core::par::parse_capture_indexed;
+use lumen_core::table::Table;
+use lumen_flow::{ConnRecord, ConnState, ConnectionTracker, FlowConfig, FlowStats};
+use lumen_ml::linear::{LogisticRegression, SgdConfig};
+use lumen_ml::{Classifier, Pretrained};
+use lumen_net::pcap::{to_bytes, CaptureStats, CapturedPacket, PcapLimits, RecoveringReader};
+use lumen_net::{LinkType, PacketMeta};
+use lumen_synth::{build_dataset, ChaosConfig, ChaosPcap, DatasetId, SynthScale};
+use lumen_util::shutdown;
+use lumen_util::{ring, CancelToken, RingSender, TrySendError};
+
+use crate::datasets::attack_tag;
+use crate::journal::{StreamReport, StreamStageEntry};
+use crate::{BenchError, BenchResult};
+
+// ---------------------------------------------------------------------------
+// Stage identity and fault injection
+// ---------------------------------------------------------------------------
+
+/// The four pipeline stages, in flow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageId {
+    /// Replayed pcap bytes through the recovering reader.
+    Source,
+    /// Frame → [`PacketMeta`] decode.
+    Decode,
+    /// Sliced incremental flow assembly.
+    Flow,
+    /// ML scoring (or rule-engine prefilter in degraded mode).
+    Score,
+}
+
+impl StageId {
+    /// All stages in pipeline order.
+    pub const ALL: [StageId; 4] = [
+        StageId::Source,
+        StageId::Decode,
+        StageId::Flow,
+        StageId::Score,
+    ];
+
+    /// Journal/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Source => "source",
+            StageId::Decode => "decode",
+            StageId::Flow => "flow",
+            StageId::Score => "score",
+        }
+    }
+
+    fn parse(s: &str) -> Option<StageId> {
+        match s {
+            "source" => Some(StageId::Source),
+            "decode" => Some(StageId::Decode),
+            "flow" => Some(StageId::Flow),
+            "score" => Some(StageId::Score),
+            _ => None,
+        }
+    }
+}
+
+/// What an injected stream fault does to its stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFaultKind {
+    /// The stage stops making progress for `ms` while holding work — the
+    /// watchdog must cancel and restart it. Fires once.
+    Hang { ms: u64 },
+    /// The first `n` items at the stage each take an extra `ms` — the
+    /// overload / breaker-trip lever.
+    Slow { ms: u64, n: u32 },
+    /// The first item at the stage fails `n` times before succeeding;
+    /// each failure is a counted stage restart.
+    Transient { n: u32 },
+}
+
+/// One injected fault, bound to a stage. Parsed from
+/// `STAGE:KIND[:ARG[:N]]` — e.g. `score:hang:30000`, `score:slow:50`,
+/// `score:slow:50:4`, `decode:transient:2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFault {
+    /// Which stage the fault hits.
+    pub stage: StageId,
+    /// What it does there.
+    pub kind: StreamFaultKind,
+}
+
+impl StreamFault {
+    /// Parses a `STAGE:KIND[:ARG[:N]]` spec. `hang`/`slow` default to
+    /// 10 000 ms / 25 ms, `slow` to all items, `transient` to 1 failure.
+    pub fn parse(spec: &str) -> BenchResult<StreamFault> {
+        let bad = |why: &str| BenchError::Serde(format!("bad --fault {spec:?}: {why}"));
+        let mut parts = spec.split(':');
+        let stage = parts
+            .next()
+            .and_then(StageId::parse)
+            .ok_or_else(|| bad("stage must be source/decode/flow/score"))?;
+        let kind = parts.next().unwrap_or("");
+        let mut num = |p: Option<&str>| -> BenchResult<Option<u64>> {
+            match p {
+                None => Ok(None),
+                Some(a) => a
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| bad("arguments must be integers")),
+            }
+        };
+        let arg = num(parts.next())?;
+        let count = num(parts.next())?;
+        if parts.next().is_some() {
+            return Err(bad("too many ':' segments"));
+        }
+        let clamp32 = |v: u64| v.min(u64::from(u32::MAX)) as u32;
+        let kind = match kind {
+            "hang" => StreamFaultKind::Hang {
+                ms: arg.unwrap_or(10_000),
+            },
+            "slow" => StreamFaultKind::Slow {
+                ms: arg.unwrap_or(25),
+                n: count.map_or(u32::MAX, clamp32),
+            },
+            "transient" => StreamFaultKind::Transient {
+                n: clamp32(arg.unwrap_or(1)),
+            },
+            _ => return Err(bad("kind must be hang/slow/transient")),
+        };
+        Ok(StreamFault { stage, kind })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine (degraded-mode prefilter)
+// ---------------------------------------------------------------------------
+
+/// Cheap threshold rules over flow features — the degraded-mode prefilter
+/// the breaker falls back to when ML scoring is too slow. No featurization,
+/// no matrix: a handful of comparisons per [`ConnRecord`], so it keeps up
+/// at rates that drown the model.
+///
+/// The rules target the attack shapes the synthetic corpus actually
+/// produces: connection attempts that never get an answer (scans, SYN
+/// floods) and high-volume one-way chatter (UDP floods).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleEngine {
+    /// A TCP flow with at least this many originator SYNs and no responder
+    /// packets looks like a flood probe.
+    pub syn_burst: u32,
+    /// A no-response (non-TCP) flow with at least this many originator
+    /// packets looks like a flood.
+    pub oneway_pkts: u32,
+}
+
+impl Default for RuleEngine {
+    fn default() -> RuleEngine {
+        RuleEngine {
+            syn_burst: 3,
+            oneway_pkts: 20,
+        }
+    }
+}
+
+impl RuleEngine {
+    /// True when the record trips any rule.
+    pub fn alarm(&self, rec: &ConnRecord) -> bool {
+        // Rule 1: connection attempt the responder never answered — the
+        // Zeek S0/REJ states cover vertical scans and SYN probes.
+        if rec.proto == 6 && matches!(rec.state, ConnState::S0 | ConnState::Rej) {
+            return true;
+        }
+        // Rule 2: SYN burst with a silent responder (flood shape even when
+        // the state machine saw enough to leave S0).
+        if rec.proto == 6 && rec.orig_flags.syn() >= self.syn_burst && rec.resp_pkts == 0 {
+            return true;
+        }
+        // Rule 3: high-volume one-way non-TCP chatter (UDP/ICMP flood).
+        if rec.proto != 6 && rec.resp_pkts == 0 && rec.orig_pkts >= self.oneway_pkts {
+            return true;
+        }
+        false
+    }
+
+    /// Alarm count over a slice of records.
+    pub fn alarms(&self, recs: &[ConnRecord]) -> u64 {
+        recs.iter().filter(|r| self.alarm(r)).count() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Breaker state: closed (ML scoring), open (rule engine), half-open
+/// (probing one slice through the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: slices go through the ML model.
+    Closed,
+    /// Degraded: slices go through the rule engine until the cooldown
+    /// (counted in slices) elapses.
+    Open,
+    /// Cooldown over: the next slice probes the model; a fast probe closes
+    /// the breaker, a slow one re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Journal name (`closed`/`open`/`half-open`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Pure breaker state machine around the scorer. The score stage reports
+/// each model-scored slice's latency; the breaker decides whether the
+/// *next* slice is scored by the model or the rule engine. Deterministic
+/// and clock-free, so it unit-tests without timers.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Per-slice scoring budget: a slice slower than this is "over budget".
+    budget: Duration,
+    /// Consecutive over-budget slices that trip the breaker.
+    threshold: u32,
+    /// Degraded slices to serve before probing.
+    cooldown_slices: u32,
+    consecutive_slow: u32,
+    cooldown_left: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Builds a closed breaker. Threshold and cooldown are clamped ≥ 1.
+    pub fn new(budget: Duration, threshold: u32, cooldown_slices: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            budget,
+            threshold: threshold.max(1),
+            cooldown_slices: cooldown_slices.max(1),
+            consecutive_slow: 0,
+            cooldown_left: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker tripped open (including re-opens after a failed
+    /// half-open probe).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the next slice should be scored by the ML model (`true`) or
+    /// the rule engine (`false`). Open-state calls also tick the cooldown.
+    pub fn use_model(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Reports the latency of a model-scored slice and advances the state
+    /// machine.
+    pub fn observe(&mut self, elapsed: Duration) {
+        let slow = elapsed > self.budget;
+        match self.state {
+            BreakerState::Closed => {
+                if slow {
+                    self.consecutive_slow += 1;
+                    if self.consecutive_slow >= self.threshold {
+                        self.trip();
+                    }
+                } else {
+                    self.consecutive_slow = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                if slow {
+                    // Failed probe: straight back to degraded mode.
+                    self.trip();
+                } else {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_slow = 0;
+                }
+            }
+            // A rule-engine slice never reaches observe(); nothing to do.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.trips += 1;
+        self.consecutive_slow = 0;
+        self.cooldown_left = self.cooldown_slices;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shed buffer
+// ---------------------------------------------------------------------------
+
+/// One time-slice of finalized connection records headed for the scorer.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// Monotonic slice number (for logs; accounting is by record count).
+    pub seq: u64,
+    /// Records finalized in this slice.
+    pub records: Vec<ConnRecord>,
+}
+
+/// Bounded holding pen between the flow stage and the score ring. When the
+/// ring is full the flow stage parks slices here instead of blocking; when
+/// the pen itself is full, the *lowest-priority* slice (fewest records —
+/// the least evidence lost per drop) is shed and counted. Shedding is the
+/// explicit, journaled overload valve: nothing ever vanishes silently.
+#[derive(Debug)]
+pub struct ShedBuffer {
+    pending: Vec<Slice>,
+    capacity: usize,
+    shed_slices: u64,
+    shed_records: u64,
+}
+
+impl ShedBuffer {
+    /// A pen holding at most `capacity` parked slices (clamped ≥ 1).
+    pub fn new(capacity: usize) -> ShedBuffer {
+        ShedBuffer {
+            pending: Vec::new(),
+            capacity: capacity.max(1),
+            shed_slices: 0,
+            shed_records: 0,
+        }
+    }
+
+    /// Parks a slice; sheds the lowest-priority parked slice when over
+    /// capacity. Returns the shed slice (already counted) so callers can
+    /// log it.
+    pub fn park(&mut self, slice: Slice) -> Option<Slice> {
+        self.pending.push(slice);
+        if self.pending.len() <= self.capacity {
+            return None;
+        }
+        // Priority = record count; ties broken toward the older slice so
+        // shedding is deterministic.
+        let victim = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, s)| (s.records.len(), i))
+            .map(|(i, _)| i)?;
+        let shed = self.pending.remove(victim);
+        self.shed_slices += 1;
+        self.shed_records += shed.records.len() as u64;
+        Some(shed)
+    }
+
+    /// Oldest parked slice, if any.
+    pub fn next_ready(&mut self) -> Option<Slice> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.pending.remove(0))
+        }
+    }
+
+    /// Puts a slice back at the front (the ring refused it after
+    /// [`ShedBuffer::next_ready`]).
+    pub fn unpark_front(&mut self, slice: Slice) {
+        self.pending.insert(0, slice);
+    }
+
+    /// Parked slices right now.
+    pub fn parked(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// (slices, records) shed so far.
+    pub fn shed(&self) -> (u64, u64) {
+        (self.shed_slices, self.shed_records)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage health (watchdog surface)
+// ---------------------------------------------------------------------------
+
+/// Heartbeat cell one stage shares with the watchdog. `working` is only
+/// true while the stage holds an item — a stage blocked on its input ring
+/// is *waiting*, not wedged, and must never be restarted for it.
+struct StageHealth {
+    working: AtomicBool,
+    /// Milliseconds since run start at the last heartbeat.
+    beat_ms: AtomicU64,
+    restarts: AtomicU64,
+    /// Cancel token of the in-flight attempt, installed while working.
+    attempt: Mutex<Option<CancelToken>>,
+}
+
+impl StageHealth {
+    fn new() -> StageHealth {
+        StageHealth {
+            working: AtomicBool::new(false),
+            beat_ms: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            attempt: Mutex::new(None),
+        }
+    }
+
+    fn beat(&self, epoch: Instant) {
+        self.beat_ms
+            .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn begin_work(&self, epoch: Instant, token: &CancelToken) {
+        if let Ok(mut slot) = self.attempt.lock() {
+            *slot = Some(token.clone());
+        }
+        self.beat(epoch);
+        self.working.store(true, Ordering::Release);
+    }
+
+    fn end_work(&self, epoch: Instant) {
+        self.working.store(false, Ordering::Release);
+        if let Ok(mut slot) = self.attempt.lock() {
+            *slot = None;
+        }
+        self.beat(epoch);
+    }
+
+    /// Watchdog side: cancel the in-flight attempt of a wedged stage.
+    fn kick(&self) {
+        if let Ok(slot) = self.attempt.lock() {
+            if let Some(token) = slot.as_ref() {
+                token.cancel();
+            }
+        }
+    }
+}
+
+/// Per-stage fault arm: which injected faults are still pending here.
+struct FaultArm {
+    hang_ms: Option<u64>,
+    slow_ms: u64,
+    slow_left: u32,
+    transient_left: u32,
+}
+
+impl FaultArm {
+    fn for_stage(stage: StageId, faults: &[StreamFault]) -> FaultArm {
+        let mut arm = FaultArm {
+            hang_ms: None,
+            slow_ms: 0,
+            slow_left: 0,
+            transient_left: 0,
+        };
+        for f in faults.iter().filter(|f| f.stage == stage) {
+            match f.kind {
+                StreamFaultKind::Hang { ms } => arm.hang_ms = Some(ms),
+                StreamFaultKind::Slow { ms, n } => {
+                    arm.slow_ms = ms;
+                    arm.slow_left = n;
+                }
+                StreamFaultKind::Transient { n } => arm.transient_left = n,
+            }
+        }
+        arm
+    }
+}
+
+/// Runs one stage work item under the watchdog contract: heartbeats while
+/// working, injected faults applied first, cancellation surfacing as a
+/// counted restart followed by one clean retry (the hang fault is consumed
+/// by the restart, so accounting stays exact).
+fn supervised<T>(
+    health: &StageHealth,
+    epoch: Instant,
+    arm: &mut FaultArm,
+    mut work: impl FnMut() -> T,
+) -> T {
+    loop {
+        let token = CancelToken::unbounded();
+        health.begin_work(epoch, &token);
+        // Injected transient fault: fail the attempt, count a restart,
+        // retry the same item.
+        if arm.transient_left > 0 {
+            arm.transient_left -= 1;
+            health.restarts.fetch_add(1, Ordering::Relaxed);
+            health.end_work(epoch);
+            continue;
+        }
+        // Injected hang: stop heartbeating while "holding" the item until
+        // the watchdog cancels the attempt token.
+        if let Some(ms) = arm.hang_ms.take() {
+            let until = Instant::now() + Duration::from_millis(ms);
+            let mut cancelled = false;
+            while Instant::now() < until {
+                if token.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            health.end_work(epoch);
+            if cancelled {
+                // Watchdog restart: the fault is consumed (taken above),
+                // so the retry processes the item cleanly.
+                health.restarts.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Hang outlived the configured watchdog budget without a kick
+            // (e.g. watchdog disabled): fall through and do the work.
+            health.begin_work(epoch, &token);
+        }
+        // Injected slowdown: cooperative, so drains stay prompt.
+        if arm.slow_ms > 0 && arm.slow_left > 0 {
+            arm.slow_left -= 1;
+            let until = Instant::now() + Duration::from_millis(arm.slow_ms);
+            while Instant::now() < until && !token.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let out = work();
+        health.end_work(epoch);
+        return out;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Everything [`run_stream`] needs. Defaults give a small, fast, clean run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Which synthetic dataset to replay (and to train on, clean).
+    pub dataset: DatasetId,
+    /// Generator size knobs.
+    pub scale: SynthScale,
+    /// Generator / chaos seed.
+    pub seed: u64,
+    /// Corrupt the replayed bytes with [`ChaosPcap`] before streaming.
+    pub chaos: Option<ChaosConfig>,
+    /// Replay pacing in packets/sec; 0 replays as fast as possible.
+    pub rate_pps: u64,
+    /// Time-slice width in capture microseconds.
+    pub slice_us: u64,
+    /// Tracker timeouts for the streaming path. Streaming wants far more
+    /// aggressive idle finalization than the batch default (Zeek's 5-minute
+    /// TCP timeout would park every flow of a short replay until EOF).
+    pub flow: FlowConfig,
+    /// Capacity of each inter-stage ring.
+    pub ring_capacity: usize,
+    /// Packets per batch on the source→decode→flow rings.
+    pub batch: usize,
+    /// Per-slice scoring budget (breaker input).
+    pub score_budget: Duration,
+    /// Consecutive over-budget slices that trip the breaker.
+    pub breaker_threshold: u32,
+    /// Degraded slices before the breaker probes (half-open).
+    pub breaker_cooldown_slices: u32,
+    /// Shed-buffer capacity (parked slices before shedding starts).
+    pub pending_cap: usize,
+    /// Heartbeat staleness that counts as a wedge; 0 disables the watchdog.
+    pub watchdog_ms: u64,
+    /// Injected stream faults.
+    pub faults: Vec<StreamFault>,
+    /// Cooperative stop flag (the SIGTERM path for tests; the binary also
+    /// wires the process-global [`shutdown`] flag).
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            dataset: DatasetId::F1,
+            scale: SynthScale::small(),
+            seed: 7,
+            chaos: None,
+            rate_pps: 0,
+            slice_us: 500_000,
+            flow: FlowConfig {
+                tcp_idle_us: 2_000_000,
+                udp_idle_us: 1_000_000,
+                icmp_idle_us: 1_000_000,
+                ..FlowConfig::default()
+            },
+            ring_capacity: 8,
+            batch: 256,
+            score_budget: Duration::from_millis(250),
+            breaker_threshold: 3,
+            breaker_cooldown_slices: 2,
+            pending_cap: 4,
+            watchdog_ms: 0,
+            faults: Vec::new(),
+            stop: None,
+        }
+    }
+}
+
+fn stop_requested(cfg: &ServeConfig) -> bool {
+    shutdown::termination_requested()
+        || cfg
+            .stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// Model bootstrap
+// ---------------------------------------------------------------------------
+
+/// Feature list the daemon extracts per connection — a stable subset of
+/// `ConnExtract`'s catalog plus the one-hot state encoding.
+const SERVE_FIELDS: [&str; 16] = [
+    "duration",
+    "orig_pkts",
+    "resp_pkts",
+    "orig_bytes",
+    "resp_bytes",
+    "bandwidth",
+    "symmetry",
+    "iat_mean",
+    "iat_std",
+    "orig_len_mean",
+    "resp_len_mean",
+    "orig_syn",
+    "resp_ack",
+    "orig_ttl_mean",
+    "resp_port_wellknown",
+    "state",
+];
+
+fn conn_extract_op() -> BenchResult<Box<dyn Operation>> {
+    let fields: Vec<serde_json::Value> = SERVE_FIELDS
+        .iter()
+        .map(|f| serde_json::Value::String((*f).to_string()))
+        .collect();
+    Ok(build_op(
+        "ConnExtract",
+        &serde_json::json!({ "fields": fields }),
+    )?)
+}
+
+/// Trains the daemon's scorer offline on the *clean* capture (labeled
+/// ground truth), exactly as a deployment would train on a curated corpus
+/// before going live, and freezes it behind [`Pretrained`]. Training uses
+/// the same tracker timeouts and feature list as the live path so the
+/// model sees the same record distribution it will score.
+pub fn train_scorer(cfg: &ServeConfig) -> BenchResult<Pretrained> {
+    let capture = build_dataset(cfg.dataset, cfg.scale, cfg.seed);
+    let (metas, kept, _stats) = parse_capture_indexed(capture.link, &capture.packets, 1);
+    let labels: Vec<u8> = kept
+        .iter()
+        .map(|&i| u8::from(capture.labels[i as usize].malicious))
+        .collect();
+    let tags: Vec<u32> = kept
+        .iter()
+        .map(|&i| capture.labels[i as usize].attack.map_or(0, attack_tag))
+        .collect();
+    let pd = PacketData {
+        link: capture.link,
+        metas,
+        labels,
+        tags,
+    };
+    let assemble = build_op(
+        "FlowAssemble",
+        &serde_json::json!({
+            "tcp_idle_s": cfg.flow.tcp_idle_us as f64 / 1e6,
+            "udp_idle_s": cfg.flow.udp_idle_us as f64 / 1e6,
+            "shards": 1,
+        }),
+    )?;
+    let conns = assemble.execute(&[&Data::Packets(Arc::new(pd))])?;
+    let extract = conn_extract_op()?;
+    let Data::Table(table) = extract.execute(&[&conns])? else {
+        return Err(BenchError::Serde("ConnExtract did not yield a table".into()));
+    };
+    let data = table.to_dataset()?;
+    let mut model = LogisticRegression::new(SgdConfig::default());
+    model
+        .fit(&data)
+        .map_err(|e| BenchError::Serde(format!("scorer training failed: {e}")))?;
+    Ok(Pretrained::new(model))
+}
+
+/// Featurizes one slice of records through the same `ConnExtract` op the
+/// training path used. Labels/tags are unknown at runtime (all zero) and
+/// the parent packet store is empty — `ConnExtract` reads only the records.
+fn featurize(
+    extract: &dyn Operation,
+    link: LinkType,
+    records: &[ConnRecord],
+) -> BenchResult<Arc<Table>> {
+    let n = records.len();
+    let cd = ConnData {
+        parent: Arc::new(PacketData::unlabeled(link, Vec::new())),
+        conns: records.to_vec(),
+        labels: vec![0; n],
+        tags: vec![0; n],
+        flow: FlowStats::default(),
+        shard_flow: Vec::new(),
+    };
+    let Data::Table(table) = extract.execute(&[&Data::Connections(Arc::new(cd))])? else {
+        return Err(BenchError::Serde("ConnExtract did not yield a table".into()));
+    };
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// The daemon
+// ---------------------------------------------------------------------------
+
+struct DecodedBatch {
+    metas: Vec<PacketMeta>,
+    read: u64,
+    parse_errors: u64,
+    non_ip: u64,
+}
+
+/// Output of [`run_stream`]: the journal-ready report plus the source
+/// reader's own accounting, so callers can cross-check the two.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Journal-ready stream report (schema v6).
+    pub report: StreamReport,
+    /// The recovering reader's capture accounting.
+    pub source_stats: CaptureStats,
+}
+
+/// Offers a slice to the scorer without blocking: parked slices drain
+/// first (order preserved), the ring's `Full` verdict parks, and the pen
+/// sheds when over capacity. Returns false once the score stage is gone.
+fn offer_slice(tx: &RingSender<Slice>, shed: &mut ShedBuffer, slice: Slice) -> bool {
+    while let Some(ready) = shed.next_ready() {
+        match tx.try_send(ready) {
+            Ok(()) => {}
+            Err(TrySendError::Full(back)) => {
+                shed.unpark_front(back);
+                break;
+            }
+            Err(TrySendError::Closed(_)) => return false,
+        }
+    }
+    match tx.try_send(slice) {
+        Ok(()) => true,
+        Err(TrySendError::Full(back)) => {
+            shed.park(back);
+            true
+        }
+        Err(TrySendError::Closed(_)) => false,
+    }
+}
+
+/// Runs the streaming daemon to completion (end of capture or requested
+/// stop) and returns the packet-exact [`StreamReport`].
+///
+/// Stage layout (all on scoped threads, joined before return):
+///
+/// ```text
+/// source ──ring──▶ decode ──ring──▶ flow ──ring+shed──▶ score
+///    ▲                                                    │
+///    └──────────── backpressure (bounded rings) ──────────┘
+///                      watchdog supervises all four
+/// ```
+pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
+    let scorer = train_scorer(cfg)?;
+    let extract = conn_extract_op()?;
+    let rules = RuleEngine::default();
+
+    // Replay bytes: the dirty stream the daemon actually sees.
+    let capture = build_dataset(cfg.dataset, cfg.scale, cfg.seed);
+    let link = capture.link;
+    let mut bytes = to_bytes(link, &capture.packets);
+    if let Some(chaos_cfg) = cfg.chaos {
+        let (dirty, _report) = ChaosPcap::new(cfg.seed, chaos_cfg).corrupt(&bytes);
+        bytes = dirty;
+    }
+
+    let epoch = Instant::now();
+    let health: Vec<Arc<StageHealth>> = (0..4).map(|_| Arc::new(StageHealth::new())).collect();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let (pkt_tx, pkt_rx) = ring::<Vec<CapturedPacket>>(cfg.ring_capacity);
+    let (meta_tx, meta_rx) = ring::<DecodedBatch>(cfg.ring_capacity);
+    let (slice_tx, slice_rx) = ring::<Slice>(cfg.ring_capacity);
+    let pkt_mon = pkt_rx.monitor();
+    let meta_mon = meta_rx.monitor();
+    let slice_mon = slice_rx.monitor();
+
+    let mut outcome: Option<BenchResult<StreamOutcome>> = None;
+    std::thread::scope(|s| {
+        // --- watchdog ------------------------------------------------
+        let wd_handle = {
+            let health = health.clone();
+            let done = done.clone();
+            let watchdog_ms = cfg.watchdog_ms;
+            s.spawn(move || {
+                if watchdog_ms == 0 {
+                    return;
+                }
+                let tick = Duration::from_millis((watchdog_ms / 4).max(1));
+                while !done.load(Ordering::Acquire) {
+                    let now_ms = epoch.elapsed().as_millis() as u64;
+                    for h in &health {
+                        let working = h.working.load(Ordering::Acquire);
+                        let beat = h.beat_ms.load(Ordering::Relaxed);
+                        // Waiting (blocked on a ring) is healthy; only a
+                        // stage *holding work* with a stale heartbeat is
+                        // wedged.
+                        if working && now_ms.saturating_sub(beat) > watchdog_ms {
+                            h.kick();
+                        }
+                    }
+                    std::thread::sleep(tick);
+                }
+            })
+        };
+
+        // --- source --------------------------------------------------
+        let src_handle = {
+            let bytes = &bytes;
+            let cfg_ref = cfg;
+            let health = health[0].clone();
+            let mut arm = FaultArm::for_stage(StageId::Source, &cfg.faults);
+            s.spawn(move || {
+                let mut reader = match RecoveringReader::new(bytes, PcapLimits::default()) {
+                    Ok(r) => r,
+                    // Header too corrupt to stream at all: empty run.
+                    Err(_) => return (CaptureStats::default(), false),
+                };
+                let mut sigterm = false;
+                let mut sent_total: u64 = 0;
+                'read: loop {
+                    if stop_requested(cfg_ref) {
+                        sigterm = true;
+                        break;
+                    }
+                    let mut batch = Vec::with_capacity(cfg_ref.batch);
+                    while batch.len() < cfg_ref.batch {
+                        match reader.next_packet() {
+                            Some(p) => batch.push(p),
+                            None => break,
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    let n = batch.len() as u64;
+                    // Faults run inside the supervised window; the
+                    // (possibly blocking) send happens outside it, so
+                    // backpressure reads as waiting, never as a wedge.
+                    supervised(&health, epoch, &mut arm, || ());
+                    if pkt_tx.send(batch).is_err() {
+                        break 'read; // downstream gone
+                    }
+                    sent_total += n;
+                    // Pace the replay. Source-side sleeps also give the
+                    // bounded rings room to drain: pacing and backpressure
+                    // meet here.
+                    if cfg_ref.rate_pps > 0 {
+                        let due =
+                            Duration::from_secs_f64(sent_total as f64 / cfg_ref.rate_pps as f64);
+                        while epoch.elapsed() < due {
+                            if stop_requested(cfg_ref) {
+                                sigterm = true;
+                                break 'read;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+                let stats = reader.stats();
+                drop(pkt_tx); // close the ring: the drain cascades downstream
+                (stats, sigterm)
+            })
+        };
+
+        // --- decode --------------------------------------------------
+        let dec_handle = {
+            let health = health[1].clone();
+            let mut arm = FaultArm::for_stage(StageId::Decode, &cfg.faults);
+            s.spawn(move || {
+                while let Some(batch) = pkt_rx.recv() {
+                    let out = supervised(&health, epoch, &mut arm, || {
+                        let mut d = DecodedBatch {
+                            metas: Vec::with_capacity(batch.len()),
+                            read: batch.len() as u64,
+                            parse_errors: 0,
+                            non_ip: 0,
+                        };
+                        for p in &batch {
+                            match PacketMeta::parse(link, p.ts_us, &p.data) {
+                                Ok(m) => {
+                                    if m.five_tuple().is_none() {
+                                        d.non_ip += 1;
+                                    }
+                                    d.metas.push(m);
+                                }
+                                Err(_) => d.parse_errors += 1,
+                            }
+                        }
+                        d
+                    });
+                    if meta_tx.send(out).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+
+        // --- flow ----------------------------------------------------
+        let flow_handle = {
+            let health = health[2].clone();
+            let mut arm = FaultArm::for_stage(StageId::Flow, &cfg.faults);
+            let slice_us = cfg.slice_us.max(1);
+            let pending_cap = cfg.pending_cap;
+            let flow_cfg = cfg.flow;
+            s.spawn(move || {
+                let mut tracker = ConnectionTracker::new(flow_cfg);
+                let mut shed = ShedBuffer::new(pending_cap);
+                let mut read: u64 = 0;
+                let mut parse_errors: u64 = 0;
+                let mut non_ip: u64 = 0;
+                let mut boundary: Option<u64> = None;
+                let mut seq: u64 = 0;
+                let mut index: u32 = 0;
+
+                'pump: while let Some(batch) = meta_rx.recv() {
+                    read += batch.read;
+                    parse_errors += batch.parse_errors;
+                    non_ip += batch.non_ip;
+                    let slices = supervised(&health, epoch, &mut arm, || {
+                        let mut out: Vec<Slice> = Vec::new();
+                        for m in &batch.metas {
+                            let mut bb = *boundary.get_or_insert_with(|| {
+                                (m.ts_us / slice_us).saturating_add(1).saturating_mul(slice_us)
+                            });
+                            if m.ts_us >= bb {
+                                let target = (m.ts_us / slice_us)
+                                    .saturating_add(1)
+                                    .saturating_mul(slice_us);
+                                // Bound per-packet boundary work: a corrupt
+                                // far-future timestamp fast-forwards in one
+                                // flush instead of spinning per slice.
+                                if (target - bb) / slice_us > 1024 {
+                                    tracker.flush_idle(m.ts_us);
+                                    let records = tracker.drain_done();
+                                    if !records.is_empty() {
+                                        out.push(Slice { seq, records });
+                                        seq += 1;
+                                    }
+                                    bb = target;
+                                } else {
+                                    while m.ts_us >= bb {
+                                        tracker.flush_idle(bb);
+                                        let records = tracker.drain_done();
+                                        if !records.is_empty() {
+                                            out.push(Slice { seq, records });
+                                            seq += 1;
+                                        }
+                                        bb += slice_us;
+                                    }
+                                }
+                                boundary = Some(bb);
+                            }
+                            tracker.push(index, m);
+                            index = index.wrapping_add(1);
+                        }
+                        out
+                    });
+                    for slice in slices {
+                        if !offer_slice(&slice_tx, &mut shed, slice) {
+                            break 'pump;
+                        }
+                    }
+                }
+                // End of stream (or stop): finalize every active flow and
+                // drain the pen with *blocking* sends — the drain path
+                // never sheds.
+                let (records, flow_stats) = tracker.finish_remaining();
+                if !records.is_empty() {
+                    let _ = slice_tx.send(Slice { seq, records });
+                }
+                while let Some(ready) = shed.next_ready() {
+                    if slice_tx.send(ready).is_err() {
+                        break;
+                    }
+                }
+                let (shed_slices, shed_records) = shed.shed();
+                drop(slice_tx);
+                (
+                    read,
+                    parse_errors,
+                    non_ip,
+                    flow_stats,
+                    shed_slices,
+                    shed_records,
+                )
+            })
+        };
+
+        // --- score ---------------------------------------------------
+        let score_handle = {
+            let health = health[3].clone();
+            let mut arm = FaultArm::for_stage(StageId::Score, &cfg.faults);
+            let scorer = scorer.clone();
+            let extract = &extract;
+            let mut breaker = CircuitBreaker::new(
+                cfg.score_budget,
+                cfg.breaker_threshold,
+                cfg.breaker_cooldown_slices,
+            );
+            s.spawn(move || {
+                let mut latencies_ms: Vec<f64> = Vec::new();
+                let mut scored = (0u64, 0u64); // (slices, records)
+                let mut degraded = (0u64, 0u64);
+                let mut alarms: u64 = 0;
+                while let Some(slice) = slice_rx.recv() {
+                    let n = slice.records.len() as u64;
+                    if breaker.use_model() {
+                        let t0 = Instant::now();
+                        let slice_alarms = supervised(&health, epoch, &mut arm, || {
+                            match featurize(extract.as_ref(), link, &slice.records) {
+                                Ok(table) => scorer
+                                    .predict(&table.x)
+                                    .iter()
+                                    .filter(|&&p| p == 1)
+                                    .count() as u64,
+                                // Degenerate slice: fall back to the rules
+                                // so the records still get a verdict.
+                                Err(_) => rules.alarms(&slice.records),
+                            }
+                        });
+                        let elapsed = t0.elapsed();
+                        breaker.observe(elapsed);
+                        latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+                        alarms += slice_alarms;
+                        scored.0 += 1;
+                        scored.1 += n;
+                    } else {
+                        alarms +=
+                            supervised(&health, epoch, &mut arm, || rules.alarms(&slice.records));
+                        degraded.0 += 1;
+                        degraded.1 += n;
+                    }
+                }
+                latencies_ms
+                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let q = |p: f64| -> f64 {
+                    if latencies_ms.is_empty() {
+                        return 0.0;
+                    }
+                    let i = ((latencies_ms.len() - 1) as f64 * p).round() as usize;
+                    latencies_ms[i.min(latencies_ms.len() - 1)]
+                };
+                (
+                    scored,
+                    degraded,
+                    alarms,
+                    q(0.50),
+                    q(0.99),
+                    breaker.trips(),
+                    breaker.state().name().to_string(),
+                )
+            })
+        };
+
+        // --- join + assemble the report ------------------------------
+        let src_out = src_handle.join();
+        let dec_out = dec_handle.join();
+        let flow_out = flow_handle.join();
+        let score_out = score_handle.join();
+        done.store(true, Ordering::Release);
+        let _ = wd_handle.join();
+
+        let (Ok((source_stats, sigterm)), Ok(()), Ok(flow_out), Ok(score_out)) =
+            (src_out, dec_out, flow_out, score_out)
+        else {
+            outcome = Some(Err(BenchError::Serde("a pipeline stage panicked".into())));
+            return;
+        };
+        let (read, parse_errors, non_ip, flow_stats, shed_slices, shed_records) = flow_out;
+        let (scored, degraded, alarms, p50, p99, trips, breaker_final) = score_out;
+
+        let stages = vec![
+            StreamStageEntry {
+                stage: "source".into(),
+                queue_capacity: 0,
+                queue_peak: 0,
+                restarts: health[0].restarts.load(Ordering::Relaxed),
+            },
+            StreamStageEntry {
+                stage: "decode".into(),
+                queue_capacity: pkt_mon.capacity() as u64,
+                queue_peak: pkt_mon.peak_depth() as u64,
+                restarts: health[1].restarts.load(Ordering::Relaxed),
+            },
+            StreamStageEntry {
+                stage: "flow".into(),
+                queue_capacity: meta_mon.capacity() as u64,
+                queue_peak: meta_mon.peak_depth() as u64,
+                restarts: health[2].restarts.load(Ordering::Relaxed),
+            },
+            StreamStageEntry {
+                stage: "score".into(),
+                queue_capacity: slice_mon.capacity() as u64,
+                queue_peak: slice_mon.peak_depth() as u64,
+                restarts: health[3].restarts.load(Ordering::Relaxed),
+            },
+        ];
+        let report = StreamReport {
+            packets_read: read,
+            packets_parsed: read - parse_errors,
+            decode_errors: parse_errors,
+            non_ip,
+            records_finalized: flow_stats.records,
+            slices_total: scored.0 + degraded.0 + shed_slices,
+            slices_scored: scored.0,
+            slices_degraded: degraded.0,
+            slices_shed: shed_slices,
+            records_scored: scored.1,
+            records_degraded: degraded.1,
+            records_shed: shed_records,
+            alarms,
+            score_p50_ms: p50,
+            score_p99_ms: p99,
+            breaker_trips: trips,
+            breaker_final,
+            stages,
+            drained_clean: true,
+            sigterm,
+        };
+        outcome = Some(Ok(StreamOutcome {
+            report,
+            source_stats,
+        }));
+    });
+    outcome.unwrap_or_else(|| Err(BenchError::Serde("stream produced no outcome".into())))
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- pure components -------------------------------------------------
+
+    #[test]
+    fn fault_specs_parse_and_reject() {
+        assert_eq!(
+            StreamFault::parse("score:hang:30000").unwrap(),
+            StreamFault {
+                stage: StageId::Score,
+                kind: StreamFaultKind::Hang { ms: 30_000 }
+            }
+        );
+        assert_eq!(
+            StreamFault::parse("decode:transient:2").unwrap(),
+            StreamFault {
+                stage: StageId::Decode,
+                kind: StreamFaultKind::Transient { n: 2 }
+            }
+        );
+        assert_eq!(
+            StreamFault::parse("score:slow:50:4").unwrap(),
+            StreamFault {
+                stage: StageId::Score,
+                kind: StreamFaultKind::Slow { ms: 50, n: 4 }
+            }
+        );
+        // Defaults: slow applies to every item, hang 10s.
+        assert_eq!(
+            StreamFault::parse("flow:slow").unwrap().kind,
+            StreamFaultKind::Slow {
+                ms: 25,
+                n: u32::MAX
+            }
+        );
+        assert!(StreamFault::parse("turbo:hang").is_err());
+        assert!(StreamFault::parse("score:explode").is_err());
+        assert!(StreamFault::parse("score:slow:abc").is_err());
+        assert!(StreamFault::parse("score:slow:1:2:3").is_err());
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_slow_and_recovers_via_probe() {
+        let fast = Duration::from_millis(1);
+        let slow = Duration::from_millis(100);
+        let mut b = CircuitBreaker::new(Duration::from_millis(10), 2, 2);
+
+        // One slow slice is noise; a fast one resets the streak.
+        assert!(b.use_model());
+        b.observe(slow);
+        assert!(b.use_model());
+        b.observe(fast);
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Two consecutive slow slices trip it.
+        assert!(b.use_model());
+        b.observe(slow);
+        assert!(b.use_model());
+        b.observe(slow);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+
+        // Cooldown: two degraded slices, then a half-open probe.
+        assert!(!b.use_model());
+        assert!(!b.use_model());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // Failed probe re-opens (and counts as a trip)...
+        assert!(b.use_model());
+        b.observe(slow);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+
+        // ...and a successful probe after the next cooldown closes it.
+        assert!(!b.use_model());
+        assert!(!b.use_model());
+        assert!(b.use_model());
+        b.observe(fast);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 2);
+    }
+
+    /// A minimal hand-built record for the pure-component tests.
+    fn test_record(proto: u8, state: ConnState, orig_pkts: u32, resp_pkts: u32) -> ConnRecord {
+        ConnRecord {
+            orig: (std::net::Ipv4Addr::new(10, 0, 0, 1), 40_000),
+            resp: (std::net::Ipv4Addr::new(10, 0, 0, 2), 80),
+            proto,
+            start_us: 0,
+            end_us: 1_000,
+            orig_pkts,
+            resp_pkts,
+            orig_bytes: 100,
+            resp_bytes: 100,
+            orig_wire_bytes: 150,
+            resp_wire_bytes: 150,
+            orig_flags: lumen_flow::record::FlagCounts::default(),
+            resp_flags: lumen_flow::record::FlagCounts::default(),
+            iat: lumen_util::Summary::of(&[]),
+            orig_len: lumen_util::Summary::of(&[]),
+            resp_len: lumen_util::Summary::of(&[]),
+            state,
+            history: String::new(),
+            first_n: Vec::new(),
+            orig_ttl_mean: 64.0,
+            packet_indices: Vec::new(),
+        }
+    }
+
+    fn slice_of(seq: u64, n: usize) -> Slice {
+        let rec = test_record(6, ConnState::SF, 4, 4);
+        Slice {
+            seq,
+            records: vec![rec; n],
+        }
+    }
+
+    #[test]
+    fn shed_buffer_drops_the_smallest_slice_and_counts_it() {
+        let mut pen = ShedBuffer::new(2);
+        assert!(pen.park(slice_of(0, 5)).is_none());
+        assert!(pen.park(slice_of(1, 2)).is_none());
+        // Overflow: slice 1 (2 records) is the lowest-priority victim.
+        let shed = pen.park(slice_of(2, 9)).expect("over capacity must shed");
+        assert_eq!(shed.seq, 1);
+        assert_eq!(pen.shed(), (1, 2));
+        assert_eq!(pen.parked(), 2);
+        // Ties shed the older slice, deterministically.
+        let shed = pen.park(slice_of(3, 5)).expect("over capacity must shed");
+        assert_eq!(shed.seq, 0);
+        assert_eq!(pen.shed(), (2, 7));
+        // FIFO drain of what's left.
+        assert_eq!(pen.next_ready().map(|s| s.seq), Some(2));
+        assert_eq!(pen.next_ready().map(|s| s.seq), Some(3));
+        assert!(pen.next_ready().is_none());
+    }
+
+    #[test]
+    fn rule_engine_flags_scan_and_flood_shapes() {
+        let rules = RuleEngine::default();
+        // Benign established flow.
+        assert!(!rules.alarm(&test_record(6, ConnState::SF, 10, 9)));
+        // Unanswered SYN (scan shape).
+        assert!(rules.alarm(&test_record(6, ConnState::S0, 1, 0)));
+        // SYN burst with a silent responder.
+        let mut flood = test_record(6, ConnState::S1, 10, 0);
+        flood.orig_flags = lumen_flow::record::FlagCounts([5, 0, 0, 0, 0, 0]);
+        assert!(rules.alarm(&flood));
+        // UDP flood: one-way, high volume.
+        assert!(rules.alarm(&test_record(17, ConnState::Oth, 50, 0)));
+        // Low-volume one-way UDP (DNS-ish) stays quiet.
+        assert!(!rules.alarm(&test_record(17, ConnState::Oth, 2, 0)));
+    }
+
+    // ---- the daemon end to end -------------------------------------------
+
+    fn overload_config() -> ServeConfig {
+        ServeConfig {
+            scale: SynthScale {
+                duration_s: 8.0,
+                benign_density: 3,
+                intensity: 1.0,
+                devices: 0,
+            },
+            slice_us: 250_000,
+            ring_capacity: 2,
+            batch: 64,
+            pending_cap: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Satellite 3 + tentpole acceptance: an unsustainable scoring rate
+    /// must engage backpressure and shedding, never deadlock, and account
+    /// for every packet and record against the source's own stats.
+    #[test]
+    fn overload_sheds_slices_and_accounts_exactly() {
+        let cfg = ServeConfig {
+            // Every slice takes ~30 ms at the scorer; the breaker is set
+            // unreachable so pure load shedding carries the overload.
+            faults: vec![StreamFault::parse("score:slow:30").unwrap()],
+            score_budget: Duration::from_secs(60),
+            breaker_threshold: u32::MAX,
+            ..overload_config()
+        };
+        let out = run_stream(&cfg).expect("overloaded stream must still finish");
+        let r = &out.report;
+        assert!(
+            r.accounts_exactly(),
+            "every packet and record must be accounted for: {r:?}"
+        );
+        assert_eq!(
+            r.packets_read, out.source_stats.records,
+            "daemon accounting must match the reader's own stats"
+        );
+        assert!(r.packets_read > 0 && r.records_finalized > 0);
+        assert!(
+            r.slices_shed > 0 && r.records_shed > 0,
+            "an unsustainable rate must shed, and shedding must be counted: {r:?}"
+        );
+        assert!(r.slices_scored > 0, "the drain path still scores: {r:?}");
+        assert!(r.score_p50_ms > 0.0 && r.score_p99_ms >= r.score_p50_ms);
+        assert!(r.drained_clean && !r.sigterm);
+        // Backpressure engaged: the score ring hit its bound.
+        let score_stage = r.stages.iter().find(|s| s.stage == "score").unwrap();
+        assert_eq!(score_stage.queue_peak, score_stage.queue_capacity);
+    }
+
+    /// Satellite 3: a slow-scorer fault trips the breaker into degraded
+    /// (rule-engine) mode, the run recovers after the fault clears, and
+    /// degraded slices are exactly accounted.
+    #[test]
+    fn slow_scorer_trips_breaker_then_recovers() {
+        let cfg = ServeConfig {
+            // First 4 scorer items take ~100 ms against a 40 ms budget;
+            // afterwards scoring is fast again and a probe must close the
+            // breaker.
+            faults: vec![StreamFault::parse("score:slow:100:4").unwrap()],
+            score_budget: Duration::from_millis(40),
+            breaker_threshold: 2,
+            breaker_cooldown_slices: 1,
+            // A roomy pen: this test is about the breaker, not shedding.
+            ring_capacity: 8,
+            pending_cap: 64,
+            ..overload_config()
+        };
+        let out = run_stream(&cfg).expect("degraded stream must still finish");
+        let r = &out.report;
+        assert!(r.accounts_exactly(), "accounting broke: {r:?}");
+        assert!(r.breaker_trips >= 1, "the slow fault must trip: {r:?}");
+        assert!(
+            r.slices_degraded > 0 && r.records_degraded > 0,
+            "open-breaker slices go through the rule engine: {r:?}"
+        );
+        assert_eq!(
+            r.breaker_final, "closed",
+            "after the fault clears a probe must re-close the breaker: {r:?}"
+        );
+        assert!(r.slices_scored > 0);
+        assert!(r.drained_clean && !r.sigterm);
+    }
+
+    /// Tentpole acceptance: a hung stage is detected by the watchdog,
+    /// restarted, and the run still finishes cleanly with exact accounting.
+    #[test]
+    fn watchdog_restarts_a_hung_scorer() {
+        let cfg = ServeConfig {
+            faults: vec![StreamFault::parse("score:hang:30000").unwrap()],
+            watchdog_ms: 50,
+            ..overload_config()
+        };
+        let t0 = Instant::now();
+        let out = run_stream(&cfg).expect("a hung stage must not hang the run");
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "watchdog should cut the 30 s hang short"
+        );
+        let r = &out.report;
+        assert!(r.accounts_exactly(), "accounting broke: {r:?}");
+        let score_stage = r.stages.iter().find(|s| s.stage == "score").unwrap();
+        assert!(
+            score_stage.restarts >= 1,
+            "the watchdog must log the restart: {r:?}"
+        );
+        assert!(r.drained_clean && r.slices_scored > 0);
+    }
+
+    /// Transient faults are retried in place and counted as restarts.
+    #[test]
+    fn transient_decode_fault_is_retried_and_counted() {
+        let cfg = ServeConfig {
+            faults: vec![StreamFault::parse("decode:transient:2").unwrap()],
+            ..overload_config()
+        };
+        let out = run_stream(&cfg).expect("transient faults must be absorbed");
+        let r = &out.report;
+        assert!(r.accounts_exactly(), "accounting broke: {r:?}");
+        assert_eq!(r.packets_read, out.source_stats.records);
+        let decode_stage = r.stages.iter().find(|s| s.stage == "decode").unwrap();
+        assert_eq!(decode_stage.restarts, 2, "both injected failures count");
+    }
+
+    /// Clean termination drain: a SIGTERM-equivalent stop mid-replay stops
+    /// the source, drains every stage, and the partial run still accounts
+    /// exactly.
+    #[test]
+    fn requested_stop_drains_cleanly_mid_replay() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = build_dataset(
+            overload_config().dataset,
+            overload_config().scale,
+            overload_config().seed,
+        )
+        .packets
+        .len() as u64;
+        let cfg = ServeConfig {
+            // Pace the replay so the whole capture would take ~60 s; the
+            // stop lands long before that.
+            rate_pps: (total / 60).max(10),
+            stop: Some(stop.clone()),
+            ..overload_config()
+        };
+        let setter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            stop.store(true, Ordering::Relaxed);
+        });
+        let out = run_stream(&cfg).expect("a requested stop is a clean exit");
+        setter.join().unwrap();
+        let r = &out.report;
+        assert!(r.sigterm, "the stop must be recorded: {r:?}");
+        assert!(r.drained_clean);
+        assert!(r.accounts_exactly(), "partial runs still account: {r:?}");
+        assert_eq!(r.packets_read, out.source_stats.records);
+        assert!(
+            r.packets_read < total,
+            "the stop should land mid-replay ({} of {total} packets)",
+            r.packets_read
+        );
+    }
+
+    /// `--chaos`: corrupted replay bytes stream through the recovering
+    /// reader; damage shows up as reader stats, not lost accounting.
+    #[test]
+    fn chaos_capture_streams_with_exact_accounting() {
+        let cfg = ServeConfig {
+            chaos: Some(ChaosConfig::default()),
+            ..overload_config()
+        };
+        let out = run_stream(&cfg).expect("chaos bytes must still stream");
+        let r = &out.report;
+        assert!(r.accounts_exactly(), "accounting broke: {r:?}");
+        assert_eq!(r.packets_read, out.source_stats.records);
+        assert!(r.packets_read > 0);
+        assert!(
+            out.source_stats.dropped_records > 0 || out.source_stats.resyncs > 0,
+            "default chaos config should damage something: {:?}",
+            out.source_stats
+        );
+    }
+}

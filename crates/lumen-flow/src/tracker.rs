@@ -382,6 +382,11 @@ impl ActiveConn {
 /// and are drained by [`ConnectionTracker::finish`].
 pub struct ConnectionTracker {
     cfg: FlowConfig,
+    /// Total records finalized over the tracker's lifetime (splits,
+    /// evictions, idle flushes, and the final drain). Kept separately from
+    /// `done.len()` because streaming consumers drain `done` incrementally
+    /// via [`ConnectionTracker::drain_done`].
+    finalized: u64,
     active: HashMap<FlowKey, ActiveConn>,
     /// Recency order, keyed by `(stamp, key)`. The stamp is a per-tracker
     /// logical clock (one tick per push), so stamps alone are already
@@ -401,6 +406,7 @@ impl ConnectionTracker {
     pub fn new(cfg: FlowConfig) -> ConnectionTracker {
         ConnectionTracker {
             cfg,
+            finalized: 0,
             active: HashMap::new(),
             lru: BTreeSet::new(),
             stamp: 0,
@@ -421,6 +427,7 @@ impl ConnectionTracker {
         if let Some(conn) = self.active.remove(key) {
             self.lru.remove(&(conn.touched, *key));
             self.done.push(conn.finalize());
+            self.finalized += 1;
         }
     }
 
@@ -453,6 +460,7 @@ impl ConnectionTracker {
                 };
                 if let Some(conn) = self.active.remove(&victim) {
                     self.done.push(conn.finalize());
+                    self.finalized += 1;
                     self.stats.evictions += 1;
                     counters::note_eviction();
                 }
@@ -491,11 +499,77 @@ impl ConnectionTracker {
     /// Like [`ConnectionTracker::finish`], also returning the flow-table
     /// accounting (LRU evictions, peak active connections, record count).
     pub fn finish_with_stats(mut self) -> (Vec<ConnRecord>, FlowStats) {
+        self.finalized += self.active.len() as u64;
         self.done
             .extend(self.active.into_values().map(ActiveConn::finalize));
         sort_records(&mut self.done);
-        self.stats.records = self.done.len() as u64;
+        self.stats.records = self.finalized;
         (self.done, self.stats)
+    }
+
+    // --- incremental (streaming) finalization -------------------------------
+    //
+    // The batch path above holds every record until end-of-capture. A
+    // streaming consumer instead calls `flush_idle` at each time-slice
+    // boundary and `drain_done` to take whatever has been finalized so far;
+    // `finish_remaining` replaces `finish_with_stats` at end-of-stream.
+    // Record sets are identical to the batch path (see the regression test
+    // `incremental_finalization_matches_batch`): `flush_idle` retires a flow
+    // only when its idle timeout has already expired at the slice boundary,
+    // which is exactly the condition under which the batch tracker would
+    // have gap-split it on the flow's next packet — and packets after the
+    // boundary carry timestamps at or past it.
+
+    /// Retires every active connection whose protocol idle timeout has
+    /// expired as of `now_us` (capture time, µs). Call at time-slice
+    /// boundaries with `now_us` no later than the next packet's timestamp.
+    /// Returns how many connections were retired.
+    pub fn flush_idle(&mut self, now_us: u64) -> usize {
+        let expired: Vec<FlowKey> = self
+            .active
+            .iter()
+            .filter(|(_, conn)| {
+                now_us.saturating_sub(conn.last_us) > self.cfg.idle_for(conn.proto)
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        for key in &expired {
+            self.retire(key);
+        }
+        expired.len()
+    }
+
+    /// Takes every record finalized so far (gap splits, LRU evictions, idle
+    /// flushes) in finalization order. Flows still active stay tracked.
+    pub fn drain_done(&mut self) -> Vec<ConnRecord> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// End-of-stream drain: finalizes all still-active connections and
+    /// returns them (plus any undrained records) sorted, with the lifetime
+    /// accounting. `stats.records` counts every record the tracker ever
+    /// finalized, including those already taken by
+    /// [`ConnectionTracker::drain_done`].
+    pub fn finish_remaining(mut self) -> (Vec<ConnRecord>, FlowStats) {
+        self.finalized += self.active.len() as u64;
+        self.done
+            .extend(self.active.into_values().map(ActiveConn::finalize));
+        sort_records(&mut self.done);
+        self.stats.records = self.finalized;
+        (self.done, self.stats)
+    }
+
+    /// Number of currently-tracked (still-open) connections.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Snapshot of the lifetime accounting so far. `records` reflects
+    /// finalized records to date; it keeps growing until the final drain.
+    pub fn stats_snapshot(&self) -> FlowStats {
+        let mut s = self.stats;
+        s.records = self.finalized;
+        s
     }
 }
 
@@ -887,5 +961,110 @@ mod tests {
         // The global counter remains a process-wide total: it saw at least
         // the sum, but cannot attribute it — that is the journal's job now.
         assert!(counters::evictions() >= global_before + 105);
+    }
+
+    /// Traffic with flows that straddle slice boundaries, go idle past
+    /// their timeout, split on a gap, and stay open to end-of-capture —
+    /// the shapes that distinguish incremental from batch finalization.
+    fn straddling_traffic() -> Vec<PacketMeta> {
+        let mut pkts = Vec::new();
+        // Flow 1: full handshake in the first second.
+        pkts.extend(full_handshake_conn());
+        // Flow 2: UDP query at t=0.5s, reply at t=2.5s (straddles a 1s
+        // slice boundary but stays within its 60s idle window).
+        pkts.push(udp(500_000, A, B, 50_000, 53, b"query"));
+        pkts.push(udp(2_500_000, B, A, 53, 50_000, b"answer"));
+        // Flow 3: UDP burst at t=1s, then silence — idle-expires mid-run.
+        pkts.push(udp(1_000_000, A, B, 50_001, 123, b"ntp"));
+        // Flow 4: TCP conversation with a >idle gap — splits in two.
+        pkts.push(tcp(3_000_000, A, B, 40_001, 80, TcpFlags::SYN, b""));
+        pkts.push(tcp(3_010_000, B, A, 80, 40_001, TcpFlags::SYN_ACK, b""));
+        pkts.push(tcp(400_000_000, A, B, 40_001, 80, TcpFlags::SYN, b""));
+        // Flow 5: still open at end-of-capture.
+        pkts.push(udp(401_000_000, B, A, 50_002, 53, b"late"));
+        pkts.sort_by_key(|p| p.ts_us);
+        pkts
+    }
+
+    #[test]
+    fn incremental_finalization_matches_batch() {
+        let cfg = FlowConfig::default(); // default max_active: no evictions
+        let pkts = straddling_traffic();
+        let (batch, batch_stats) = assemble_with_stats(&pkts, cfg);
+
+        // Incremental: push slice by slice, flushing idle flows and
+        // draining finalized records at every 1-second boundary.
+        let mut tracker = ConnectionTracker::new(cfg);
+        let slice_us = 1_000_000;
+        let mut boundary = slice_us;
+        let mut drained: Vec<ConnRecord> = Vec::new();
+        let mut drained_running = 0u64;
+        for (i, p) in pkts.iter().enumerate() {
+            while p.ts_us >= boundary {
+                tracker.flush_idle(boundary);
+                drained.extend(tracker.drain_done());
+                boundary += slice_us;
+            }
+            tracker.push(i as u32, p);
+            drained.extend(tracker.drain_done());
+            // The snapshot's record count tracks what has been finalized.
+            assert_eq!(tracker.stats_snapshot().records, drained.len() as u64);
+            drained_running = drained.len() as u64;
+        }
+        let open_at_end = tracker.active_len();
+        assert!(open_at_end > 0, "flow 5 must still be open at end");
+        let (rest, inc_stats) = tracker.finish_remaining();
+        drained.extend(rest);
+        sort_records(&mut drained);
+
+        // Identical record sets, identical lifetime accounting.
+        assert_eq!(batch.len(), drained.len());
+        for (b, d) in batch.iter().zip(drained.iter()) {
+            assert_eq!(b.orig, d.orig);
+            assert_eq!(b.resp, d.resp);
+            assert_eq!(b.proto, d.proto);
+            assert_eq!(b.start_us, d.start_us);
+            assert_eq!(b.end_us, d.end_us);
+            assert_eq!(b.state, d.state);
+            assert_eq!(b.history, d.history);
+            assert_eq!(b.packet_indices, d.packet_indices);
+            assert_eq!(b.orig_pkts, d.orig_pkts);
+            assert_eq!(b.resp_pkts, d.resp_pkts);
+            assert_eq!(b.orig_bytes, d.orig_bytes);
+            assert_eq!(b.resp_bytes, d.resp_bytes);
+        }
+        assert_eq!(batch_stats.records, inc_stats.records);
+        assert_eq!(batch_stats.evictions, inc_stats.evictions);
+        // The NTP flow (idle 30+ seconds past its 60s window by t=400s)
+        // must have been flushed mid-run, not at end-of-capture.
+        assert!(
+            drained_running > 0,
+            "idle flush must finalize flows before end-of-stream"
+        );
+    }
+
+    #[test]
+    fn flush_idle_respects_per_protocol_timeouts() {
+        let cfg = FlowConfig::default();
+        let mut tracker = ConnectionTracker::new(cfg);
+        // One TCP (300s idle) and one UDP (60s idle) flow, both at t=0.
+        tracker.push(0, &tcp(0, A, B, 40_000, 80, TcpFlags::SYN, b""));
+        tracker.push(1, &udp(0, A, B, 50_000, 53, b"q"));
+        assert_eq!(tracker.active_len(), 2);
+
+        // At t=61s only the UDP flow has expired.
+        assert_eq!(tracker.flush_idle(61_000_000), 1);
+        assert_eq!(tracker.active_len(), 1);
+        let drained = tracker.drain_done();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].proto, 17);
+
+        // At t=301s the TCP flow expires too; a second flush is a no-op.
+        assert_eq!(tracker.flush_idle(301_000_000), 1);
+        assert_eq!(tracker.flush_idle(301_000_000), 0);
+        let (rest, stats) = tracker.finish_remaining();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].proto, 6);
+        assert_eq!(stats.records, 2, "lifetime count spans drained + rest");
     }
 }

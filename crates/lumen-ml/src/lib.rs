@@ -53,7 +53,7 @@ pub use contracts::{shape_contract, ShapeContract};
 pub use dataset::{kfold, train_test_split, Dataset};
 pub use matrix::Matrix;
 pub use metrics::{confusion, roc_auc, Confusion};
-pub use model::{AnomalyDetector, AnyModel, Classifier};
+pub use model::{AnomalyDetector, AnyModel, Classifier, Pretrained};
 
 /// Errors produced by the ML substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

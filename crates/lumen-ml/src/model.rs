@@ -1,5 +1,7 @@
 //! Model traits shared by every learning algorithm in the crate.
 
+use std::sync::Arc;
+
 use crate::dataset::Dataset;
 use crate::matrix::Matrix;
 use crate::MlResult;
@@ -136,6 +138,66 @@ impl<D: AnomalyDetector> Classifier for Calibrated<D> {
     }
 }
 
+/// A frozen, score-only view of an already-trained classifier.
+///
+/// The streaming daemon trains once at startup (or will eventually load a
+/// persisted model) and then scores live slices for hours; nothing on that
+/// path may mutate the model. `Pretrained` enforces score-only use at the
+/// type level: it shares the underlying classifier through an [`Arc`]
+/// (cloneable across scorer threads/restarts without copying weights), and
+/// its [`Classifier::fit`] is a hard error rather than a silent retrain.
+/// Prediction and scoring delegate to the wrapped model's own batched
+/// overrides, so the kernelized hot paths are preserved.
+#[derive(Clone)]
+pub struct Pretrained {
+    inner: Arc<dyn Classifier>,
+}
+
+impl Pretrained {
+    /// Freezes an already-fitted classifier. The caller is responsible for
+    /// having fitted it; an unfitted model stays unfitted forever.
+    pub fn new<C: Classifier + 'static>(fitted: C) -> Pretrained {
+        Pretrained {
+            inner: Arc::new(fitted),
+        }
+    }
+
+    /// Freezes a shared classifier (e.g. one already behind an `Arc` in a
+    /// pipeline `Trained` artifact) without cloning the weights.
+    pub fn from_shared(fitted: Arc<dyn Classifier>) -> Pretrained {
+        Pretrained { inner: fitted }
+    }
+}
+
+impl Classifier for Pretrained {
+    /// Always an error: a frozen model cannot be retrained in place.
+    fn fit(&mut self, _data: &Dataset) -> MlResult<()> {
+        Err(crate::MlError::BadConfig(
+            "Pretrained models are frozen; train the inner model before wrapping".into(),
+        ))
+    }
+
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        self.inner.predict_row(row)
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        self.inner.score_row(row)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.inner.predict(x)
+    }
+
+    fn scores(&self, x: &Matrix) -> Vec<f64> {
+        self.inner.scores(x)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 /// A boxed classifier with convenience constructors — what pipeline
 /// operations pass around.
 pub struct AnyModel(pub Box<dyn Classifier>);
@@ -225,5 +287,36 @@ mod tests {
     fn unfitted_calibrated_never_alarms() {
         let model = Calibrated::new(DistanceDetector { center: 0.0 });
         assert_eq!(model.predict_row(&[100.0]), 0);
+    }
+
+    #[test]
+    fn pretrained_scores_like_the_inner_model_but_refuses_fit() {
+        let x = Matrix::from_rows(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![-0.1],
+            vec![0.05],
+            vec![9.0],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 0, 0, 1];
+        let data = Dataset::new(x.clone(), y).unwrap();
+        let mut inner = Calibrated::with_quantile(DistanceDetector { center: f64::NAN }, 1.0);
+        inner.fit(&data).unwrap();
+        let expected_preds = inner.predict(&x);
+        let expected_scores = inner.scores(&x);
+
+        let mut frozen = Pretrained::new(inner);
+        assert_eq!(frozen.name(), "distance");
+        assert_eq!(frozen.predict(&x), expected_preds);
+        assert_eq!(frozen.scores(&x), expected_scores);
+        assert_eq!(frozen.predict_row(&[9.0]), 1);
+        assert!(
+            matches!(frozen.fit(&data), Err(MlError::BadConfig(_))),
+            "a frozen model must refuse retraining"
+        );
+        // Clones share the same weights: scoring agrees bit-for-bit.
+        let clone = frozen.clone();
+        assert_eq!(clone.scores(&x), expected_scores);
     }
 }

@@ -27,7 +27,9 @@ pub mod wire;
 
 pub use decode::{DecodeError, DecodeReason, DecodeStats, Layer, QuarantineSample};
 pub use meta::{LinkType, PacketMeta, TransportMeta};
-pub use pcap::{CaptureStats, CapturedPacket, PcapLimits, PcapReader, PcapWriter};
+pub use pcap::{
+    CaptureStats, CapturedPacket, PcapLimits, PcapReader, PcapWriter, RecoveringReader,
+};
 pub use wire::MacAddr;
 
 /// Errors produced by the packet substrate.

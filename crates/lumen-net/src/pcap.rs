@@ -352,98 +352,165 @@ fn plausible_record(bytes: &[u8], o: usize, gh: &GlobalHeader) -> Option<usize> 
     Some(incl)
 }
 
-/// Reads a capture from a byte slice, skipping corruption instead of
-/// aborting: implausible or lying record headers are dropped and the reader
-/// re-synchronizes by scanning forward for the next offset that looks like
-/// a record header *and* chains to another plausible record (or ends the
-/// file exactly). Only the 24-byte global header must be intact — without a
-/// readable magic/linktype there is nothing to recover.
-pub fn from_bytes_recovering(bytes: &[u8], limits: PcapLimits) -> Result<RecoveredCapture> {
-    if bytes.len() < 24 {
-        return Err(NetError::BadPcap(format!(
-            "global header needs 24 bytes, file has {}",
-            bytes.len()
-        )));
+/// Lazy recovering reader over an in-memory capture: yields one decoded
+/// packet at a time, skipping corruption and re-synchronizing exactly like
+/// [`from_bytes_recovering`] (which is now a collect over this type).
+/// Streaming consumers — the `lumen-serve` source stage — pull packets at
+/// their own (backpressured) pace instead of materializing the whole
+/// capture up front, and can snapshot the running [`CaptureStats`] at any
+/// point for the no-packet-silently-lost accounting.
+pub struct RecoveringReader<'a> {
+    bytes: &'a [u8],
+    gh: GlobalHeader,
+    limits: PcapLimits,
+    stats: CaptureStats,
+    total_bytes: u64,
+    prev_ts: u64,
+    /// Cursor into `bytes`; past the end once the read has finished.
+    o: usize,
+}
+
+impl<'a> RecoveringReader<'a> {
+    /// Validates the 24-byte global header and positions the cursor at the
+    /// first record. Only the global header must be intact — without a
+    /// readable magic/linktype there is nothing to recover.
+    pub fn new(bytes: &'a [u8], limits: PcapLimits) -> Result<RecoveringReader<'a>> {
+        if bytes.len() < 24 {
+            return Err(NetError::BadPcap(format!(
+                "global header needs 24 bytes, file has {}",
+                bytes.len()
+            )));
+        }
+        let mut header = [0u8; 24];
+        header.copy_from_slice(&bytes[..24]);
+        let gh = parse_global_header(&header)?;
+        Ok(RecoveringReader {
+            bytes,
+            gh,
+            limits,
+            stats: CaptureStats::default(),
+            total_bytes: 0,
+            prev_ts: 0,
+            o: 24,
+        })
     }
-    let mut header = [0u8; 24];
-    header.copy_from_slice(&bytes[..24]);
-    let gh = parse_global_header(&header)?;
-    let read_u32 = |at: usize| {
-        let v = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
-        if gh.swapped {
+
+    /// The file's link-layer type.
+    pub fn link_type(&self) -> LinkType {
+        self.gh.link
+    }
+
+    /// Snapshot of the recovery accounting so far. Final once
+    /// [`RecoveringReader::next_packet`] has returned `None`.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    fn read_u32(&self, at: usize) -> u32 {
+        let b = &self.bytes;
+        let v = u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]);
+        if self.gh.swapped {
             v.swap_bytes()
         } else {
             v
         }
-    };
+    }
 
-    let mut packets = Vec::new();
-    let mut stats = CaptureStats::default();
-    let mut total_bytes = 0u64;
-    let mut prev_ts = 0u64;
-    let mut o = 24usize;
-    while o < bytes.len() {
-        let remaining = bytes.len() - o;
-        if remaining < 16 {
-            stats.truncated_tail = true;
-            stats.bytes_skipped += remaining as u64;
-            break;
-        }
-        match plausible_record(bytes, o, &gh) {
-            Some(incl) => {
-                if packets.len() >= limits.max_packets
-                    || total_bytes + incl as u64 > limits.max_total_bytes
-                {
-                    stats.limit_hit = true;
-                    break;
-                }
-                let secs = u64::from(read_u32(o));
-                let frac = u64::from(read_u32(o + 4));
-                let micros = if gh.nanos { frac / 1000 } else { frac };
-                let ts_us = secs * 1_000_000 + micros;
-                if ts_us < prev_ts {
-                    stats.ts_regressions += 1;
-                }
-                prev_ts = prev_ts.max(ts_us);
-                packets.push(CapturedPacket {
-                    ts_us,
-                    data: bytes[o + 16..o + 16 + incl].to_vec(),
-                });
-                stats.records += 1;
-                total_bytes += incl as u64;
-                o += 16 + incl;
+    /// Decodes the next plausible record, dropping corruption and
+    /// re-synchronizing as needed. `None` at end-of-capture (clean,
+    /// truncated, or limit-stopped — consult [`RecoveringReader::stats`]).
+    pub fn next_packet(&mut self) -> Option<CapturedPacket> {
+        while self.o < self.bytes.len() {
+            let o = self.o;
+            let remaining = self.bytes.len() - o;
+            if remaining < 16 {
+                self.stats.truncated_tail = true;
+                self.stats.bytes_skipped += remaining as u64;
+                self.o = self.bytes.len();
+                return None;
             }
-            None => {
-                stats.dropped_records += 1;
-                // Resync: the next offset that both looks like a record
-                // header and chains (its successor is plausible too, or it
-                // ends the file exactly). Chaining keeps random payload
-                // bytes from masquerading as a record boundary.
-                let mut resumed = false;
-                for q in o + 1..bytes.len().saturating_sub(15) {
-                    if let Some(incl) = plausible_record(bytes, q, &gh) {
-                        let next = q + 16 + incl;
-                        if next == bytes.len() || plausible_record(bytes, next, &gh).is_some() {
-                            stats.resyncs += 1;
-                            stats.bytes_skipped += (q - o) as u64;
-                            o = q;
-                            resumed = true;
-                            break;
+            match plausible_record(self.bytes, o, &self.gh) {
+                Some(incl) => {
+                    if self.stats.records >= self.limits.max_packets as u64
+                        || self.total_bytes + incl as u64 > self.limits.max_total_bytes
+                    {
+                        self.stats.limit_hit = true;
+                        self.o = self.bytes.len();
+                        return None;
+                    }
+                    let secs = u64::from(self.read_u32(o));
+                    let frac = u64::from(self.read_u32(o + 4));
+                    let micros = if self.gh.nanos { frac / 1000 } else { frac };
+                    let ts_us = secs * 1_000_000 + micros;
+                    if ts_us < self.prev_ts {
+                        self.stats.ts_regressions += 1;
+                    }
+                    self.prev_ts = self.prev_ts.max(ts_us);
+                    self.stats.records += 1;
+                    self.total_bytes += incl as u64;
+                    self.o = o + 16 + incl;
+                    return Some(CapturedPacket {
+                        ts_us,
+                        data: self.bytes[o + 16..o + 16 + incl].to_vec(),
+                    });
+                }
+                None => {
+                    self.stats.dropped_records += 1;
+                    // Resync: the next offset that both looks like a record
+                    // header and chains (its successor is plausible too, or
+                    // it ends the file exactly). Chaining keeps random
+                    // payload bytes from masquerading as a record boundary.
+                    let mut resumed = false;
+                    for q in o + 1..self.bytes.len().saturating_sub(15) {
+                        if let Some(incl) = plausible_record(self.bytes, q, &self.gh) {
+                            let next = q + 16 + incl;
+                            if next == self.bytes.len()
+                                || plausible_record(self.bytes, next, &self.gh).is_some()
+                            {
+                                self.stats.resyncs += 1;
+                                self.stats.bytes_skipped += (q - o) as u64;
+                                self.o = q;
+                                resumed = true;
+                                break;
+                            }
                         }
                     }
-                }
-                if !resumed {
-                    stats.bytes_skipped += remaining as u64;
-                    stats.truncated_tail = true;
-                    break;
+                    if !resumed {
+                        self.stats.bytes_skipped += remaining as u64;
+                        self.stats.truncated_tail = true;
+                        self.o = self.bytes.len();
+                        return None;
+                    }
                 }
             }
         }
+        None
+    }
+}
+
+impl Iterator for RecoveringReader<'_> {
+    type Item = CapturedPacket;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet()
+    }
+}
+
+/// Reads a capture from a byte slice, skipping corruption instead of
+/// aborting: implausible or lying record headers are dropped and the reader
+/// re-synchronizes by scanning forward for the next offset that looks like
+/// a record header *and* chains to another plausible record (or ends the
+/// file exactly). A strict collect over [`RecoveringReader`].
+pub fn from_bytes_recovering(bytes: &[u8], limits: PcapLimits) -> Result<RecoveredCapture> {
+    let mut reader = RecoveringReader::new(bytes, limits)?;
+    let link = reader.link_type();
+    let mut packets = Vec::new();
+    while let Some(p) = reader.next_packet() {
+        packets.push(p);
     }
     Ok(RecoveredCapture {
-        link: gh.link,
+        link,
         packets,
-        stats,
+        stats: reader.stats(),
     })
 }
 
@@ -597,6 +664,45 @@ mod tests {
         assert!(rec.stats.is_clean());
         let strict = from_bytes(&bytes).unwrap().1;
         assert_eq!(rec.packets, strict);
+    }
+
+    #[test]
+    fn lazy_reader_matches_batch_recovery_under_corruption() {
+        // The streaming source stage pulls packets one at a time; the
+        // incremental path must see exactly what the batch collect sees —
+        // same packets, same final accounting — even through a resync.
+        let mut bytes = to_bytes(LinkType::Ethernet, &sample());
+        corrupt_record_at(&mut bytes, 1, |rec| {
+            rec[8..12].copy_from_slice(&9_000u32.to_le_bytes());
+        });
+        let batch = from_bytes_recovering(&bytes, PcapLimits::default()).unwrap();
+
+        let mut lazy = RecoveringReader::new(&bytes, PcapLimits::default()).unwrap();
+        assert_eq!(lazy.link_type(), batch.link);
+        assert!(lazy.stats().is_clean(), "no accounting before any pull");
+        let mut pulled = Vec::new();
+        while let Some(p) = lazy.next_packet() {
+            // The running snapshot counts every packet yielded so far.
+            pulled.push(p);
+            assert_eq!(lazy.stats().records, pulled.len() as u64);
+        }
+        assert_eq!(pulled, batch.packets);
+        assert_eq!(lazy.stats(), batch.stats);
+        assert_eq!(lazy.next_packet(), None, "exhausted reader stays done");
+    }
+
+    #[test]
+    fn lazy_reader_stops_at_packet_limit() {
+        let bytes = to_bytes(LinkType::Ethernet, &sample());
+        let limits = PcapLimits {
+            max_packets: 2,
+            ..PcapLimits::default()
+        };
+        let lazy: Vec<_> = RecoveringReader::new(&bytes, limits).unwrap().collect();
+        let batch = from_bytes_recovering(&bytes, limits).unwrap();
+        assert_eq!(lazy.len(), 2);
+        assert_eq!(lazy, batch.packets);
+        assert!(batch.stats.limit_hit);
     }
 
     #[test]

@@ -1,19 +1,26 @@
-//! Bounded SPSC rings: the decode→shard hand-off primitive.
+//! Bounded rings: the staged-pipeline hand-off primitive.
 //!
 //! The flow-shard router (`lumen_flow::shard`) feeds each worker shard
-//! from the decode stage through one of these rings. The workspace forbids
-//! `unsafe`, so this is not a lock-free ring buffer: it is a fixed-capacity
-//! queue behind a mutex + condvars, used batch-at-a-time so the lock is
-//! taken once per ~thousand packets, not once per packet. The discipline
-//! mirrors [`crate::par`]: bounded buffering gives backpressure (a slow
-//! shard stalls the producer instead of ballooning memory), FIFO order is
-//! preserved, and dropping the sender closes the ring so consumers drain
-//! and exit deterministically.
+//! from the decode stage through one of these rings, and the streaming
+//! daemon (`lumen-serve`) chains its stages with them. The workspace
+//! confines `unsafe` to the SIMD kernels, so this is not a lock-free ring
+//! buffer: it is a fixed-capacity queue behind a mutex + condvars, used
+//! batch-at-a-time so the lock is taken once per ~thousand packets, not
+//! once per packet. The discipline mirrors [`crate::par`]: bounded
+//! buffering gives backpressure (a slow consumer stalls the producer
+//! instead of ballooning memory), FIFO order is preserved, and dropping
+//! the last sender closes the ring so consumers drain and exit
+//! deterministically.
 //!
-//! Neither endpoint is `Clone`, so a ring is single-producer
-//! single-consumer by construction.
+//! Senders are [`Clone`] (multi-producer); the ring closes when the *last*
+//! sender drops. The receiver is not `Clone`, so a ring is
+//! multi-producer single-consumer by construction. For callers that must
+//! never block — a load-shedding stage deciding whether to drop work —
+//! [`RingSender::try_send`] reports a full ring instead of waiting, and
+//! [`RingMonitor`] exposes the queue depth without holding the ring open.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 struct State<T> {
@@ -25,6 +32,10 @@ struct Shared<T> {
     state: Mutex<State<T>>,
     /// Capacity in items (batches, for the shard router).
     capacity: usize,
+    /// Live sender handles; the ring closes when this reaches zero.
+    senders: AtomicUsize,
+    /// High-water mark of the queue depth, for stage telemetry.
+    peak_depth: AtomicUsize,
     /// Signalled when the queue gains an item or closes.
     readable: Condvar,
     /// Signalled when the queue loses an item.
@@ -38,9 +49,14 @@ impl<T> Shared<T> {
     fn lock(&self) -> MutexGuard<'_, State<T>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    fn note_depth(&self, depth: usize) {
+        self.peak_depth.fetch_max(depth, Ordering::Relaxed);
+    }
 }
 
-/// Producer half of a bounded ring.
+/// Producer half of a bounded ring. Cloning adds a producer; the ring
+/// closes when the last clone drops.
 pub struct RingSender<T> {
     shared: Arc<Shared<T>>,
 }
@@ -48,6 +64,32 @@ pub struct RingSender<T> {
 /// Consumer half of a bounded ring.
 pub struct RingReceiver<T> {
     shared: Arc<Shared<T>>,
+}
+
+/// A passive depth probe on a ring: reports queue depth and capacity
+/// without being a producer or consumer, so holding one never keeps the
+/// ring open. Cheap to clone; the watchdog samples these for the
+/// per-stage queue-depth telemetry.
+#[derive(Clone)]
+pub struct RingMonitor<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> RingMonitor<T> {
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// High-water mark of the queue depth since the ring was created.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak_depth.load(Ordering::Relaxed)
+    }
 }
 
 /// Creates a bounded FIFO ring with room for `capacity` items
@@ -59,6 +101,8 @@ pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
             closed: false,
         }),
         capacity: capacity.max(1),
+        senders: AtomicUsize::new(1),
+        peak_depth: AtomicUsize::new(0),
         readable: Condvar::new(),
         writable: Condvar::new(),
     });
@@ -75,6 +119,27 @@ pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
 #[derive(Debug)]
 pub struct RingClosed<T>(pub T);
 
+/// Error returned by [`RingSender::try_send`]; the item comes back either
+/// way so the caller can shed it *accountably* (journal the drop) or park
+/// it for a retry.
+#[derive(Debug)]
+pub enum TrySendError<T> {
+    /// The ring is at capacity right now; the caller decides whether to
+    /// shed, retry, or fall back to a blocking [`RingSender::send`].
+    Full(T),
+    /// The receiver is gone; no send can ever succeed again.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The item that could not be enqueued.
+    pub fn into_item(self) -> T {
+        match self {
+            TrySendError::Full(item) | TrySendError::Closed(item) => item,
+        }
+    }
+}
+
 impl<T> RingSender<T> {
     /// Enqueues one item, blocking while the ring is full (backpressure).
     /// Fails only when the receiver has been dropped.
@@ -86,6 +151,7 @@ impl<T> RingSender<T> {
             }
             if st.queue.len() < self.shared.capacity {
                 st.queue.push_back(item);
+                self.shared.note_depth(st.queue.len());
                 self.shared.readable.notify_one();
                 return Ok(());
             }
@@ -96,18 +162,54 @@ impl<T> RingSender<T> {
                 .unwrap_or_else(|e| e.into_inner());
         }
     }
+
+    /// Non-blocking enqueue: succeeds immediately or reports why it
+    /// cannot. A full ring comes back as [`TrySendError::Full`] with the
+    /// item, which is exactly the decision point a load-shedding stage
+    /// needs — drop the item (and count the drop) instead of stalling.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.closed {
+            return Err(TrySendError::Closed(item));
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(item));
+        }
+        st.queue.push_back(item);
+        self.shared.note_depth(st.queue.len());
+        self.shared.readable.notify_one();
+        Ok(())
+    }
+
+    /// A passive depth probe for this ring (see [`RingMonitor`]).
+    pub fn monitor(&self) -> RingMonitor<T> {
+        RingMonitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for RingSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        RingSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl<T> Drop for RingSender<T> {
     fn drop(&mut self) {
-        self.shared.lock().closed = true;
-        self.shared.readable.notify_all();
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.lock().closed = true;
+            self.shared.readable.notify_all();
+        }
     }
 }
 
 impl<T> RingReceiver<T> {
     /// Dequeues the next item, blocking while the ring is empty. Returns
-    /// `None` once the sender is dropped **and** the queue has drained —
+    /// `None` once every sender is dropped **and** the queue has drained —
     /// every sent item is observed exactly once.
     pub fn recv(&self) -> Option<T> {
         let mut st = self.shared.lock();
@@ -124,6 +226,13 @@ impl<T> RingReceiver<T> {
                 .readable
                 .wait(st)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A passive depth probe for this ring (see [`RingMonitor`]).
+    pub fn monitor(&self) -> RingMonitor<T> {
+        RingMonitor {
+            shared: Arc::clone(&self.shared),
         }
     }
 }
@@ -184,6 +293,7 @@ mod tests {
         // the producer blocks (backpressure) instead of buffering unboundedly.
         static MAX_SEEN: AtomicUsize = AtomicUsize::new(0);
         let (tx, rx) = ring::<usize>(3);
+        let mon = rx.monitor();
         std::thread::scope(|s| {
             s.spawn(move || {
                 for i in 0..200 {
@@ -202,6 +312,8 @@ mod tests {
             });
         });
         assert!(MAX_SEEN.load(Ordering::Relaxed) <= 3);
+        assert!(mon.peak_depth() <= 3, "peak telemetry respects the bound");
+        assert!(mon.peak_depth() >= 1, "peak telemetry saw traffic");
     }
 
     #[test]
@@ -218,5 +330,113 @@ mod tests {
             assert_eq!(rx.recv(), None);
             h.join().unwrap();
         });
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking_and_preserves_order() {
+        let (tx, rx) = ring::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        // Ring is at capacity: try_send must return immediately with the
+        // item, not block like `send` would.
+        let Err(TrySendError::Full(item)) = tx.try_send(3) else {
+            panic!("try_send into a full ring must report Full");
+        };
+        assert_eq!(item, 3, "the unsent item comes back for accounting");
+        // Draining one slot makes the next try_send succeed; FIFO order
+        // holds across the mixed send/try_send history.
+        assert_eq!(rx.recv(), Some(1));
+        tx.try_send(4).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(4));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_send_to_dropped_receiver_reports_closed() {
+        let (tx, rx) = ring::<u32>(2);
+        drop(rx);
+        let Err(TrySendError::Closed(item)) = tx.try_send(7) else {
+            panic!("try_send into a dropped receiver must report Closed");
+        };
+        assert_eq!(item, 7);
+        assert_eq!(TrySendError::Full(9).into_item(), 9);
+    }
+
+    #[test]
+    fn capacity_is_respected_for_any_constructor_value() {
+        for cap in [1usize, 2, 3, 7, 64] {
+            let (tx, rx) = ring::<usize>(cap);
+            for i in 0..cap {
+                tx.try_send(i).unwrap_or_else(|_| panic!("cap {cap}: slot {i} must fit"));
+            }
+            assert!(
+                matches!(tx.try_send(cap), Err(TrySendError::Full(_))),
+                "cap {cap}: item {cap} must not fit"
+            );
+            for i in 0..cap {
+                assert_eq!(rx.recv(), Some(i), "cap {cap}: FIFO");
+            }
+        }
+        // Zero clamps to one so a ring can never be unusable.
+        let (tx, _rx) = ring::<u8>(0);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(_))));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver_and_close_on_last_drop() {
+        let (tx, rx) = ring::<usize>(8);
+        let n_producers = 4;
+        let per_producer = 50;
+        std::thread::scope(|s| {
+            for p in 0..n_producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        tx.send(p * per_producer + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // the clones keep the ring open until they all finish
+            let mut seen: Vec<usize> = Vec::new();
+            while let Some(i) = rx.recv() {
+                seen.push(i);
+            }
+            // recv returned None only after every clone dropped; nothing lost.
+            assert_eq!(seen.len(), n_producers * per_producer);
+            seen.sort_unstable();
+            assert!(seen.windows(2).all(|w| w[0] + 1 == w[1]));
+        });
+    }
+
+    #[test]
+    fn one_dropped_clone_does_not_close_the_ring() {
+        let (tx, rx) = ring::<u8>(4);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        assert_eq!(rx.recv(), Some(5));
+        drop(tx2);
+        assert_eq!(rx.recv(), None, "last clone closes the ring");
+    }
+
+    #[test]
+    fn monitor_reports_depth_without_holding_the_ring_open() {
+        let (tx, rx) = ring::<u8>(4);
+        let mon = tx.monitor();
+        assert_eq!(mon.capacity(), 4);
+        assert_eq!(mon.depth(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(mon.depth(), 2);
+        assert_eq!(mon.peak_depth(), 2);
+        drop(tx);
+        // The monitor outlives the sender without keeping the ring open.
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(mon.peak_depth(), 2, "peak survives the drain");
     }
 }

@@ -1,0 +1,129 @@
+//! Cooperative termination for long-running binaries.
+//!
+//! `lumen-serve` is a daemon: operators stop it with SIGTERM (systemd,
+//! `kill`, CI), and a clean stop must *drain* — finish in-flight slices,
+//! flush the run journal — rather than abort mid-write. The workspace has
+//! no `libc` dependency, so the handler is installed through a minimal,
+//! audited FFI declaration of glibc's `signal(2)`. This file is one of the
+//! two unsafe carve-outs enforced by `scripts/check_unsafe_audit.sh`
+//! (the other is the SIMD kernel backend in `lumen-ml`).
+//!
+//! The handler itself does the only thing that is async-signal-safe here:
+//! it stores a relaxed flag. Pipeline stages poll
+//! [`termination_requested`] at their loop heads; nothing is torn down
+//! from signal context.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set from signal context; polled by pipeline sources.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod ffi {
+    extern "C" {
+        /// glibc `signal(2)`. Handler is passed as a plain function
+        /// address; `usize` keeps the declaration dependency-free.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+        /// glibc `raise(3)` — used by the unit test to deliver a real
+        /// SIGTERM to this process.
+        pub fn raise(signum: i32) -> i32;
+    }
+}
+
+/// `SIGTERM` on every Unix Lumen targets.
+pub const SIGTERM: i32 = 15;
+/// `SIGINT` (Ctrl-C) on every Unix Lumen targets.
+pub const SIGINT: i32 = 2;
+
+/// The installed handler: async-signal-safe by construction — a single
+/// relaxed atomic store, no allocation, no locks, no I/O.
+#[cfg(unix)]
+extern "C" fn on_terminate(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs the drain-request handler for SIGTERM and SIGINT. Idempotent;
+/// call once at daemon startup. On non-Unix targets this is a no-op and
+/// only [`request_termination`] can set the flag.
+pub fn install_term_handler() {
+    #[cfg(unix)]
+    {
+        let handler = on_terminate as extern "C" fn(i32) as usize;
+        // safety: `signal` is the C standard library's handler
+        // registration; the arguments are a valid signal number and the
+        // address of an `extern "C" fn(i32)` with the exact ABI signal
+        // delivery expects. The handler body is async-signal-safe (one
+        // atomic store). The return value (previous handler) is ignored,
+        // which leaks no resource.
+        unsafe {
+            ffi::signal(SIGTERM, handler);
+            ffi::signal(SIGINT, handler);
+        }
+    }
+}
+
+/// True once SIGTERM/SIGINT has been delivered (or
+/// [`request_termination`] called). Stages treat this as "stop pulling
+/// new work, drain what you hold, flush the journal".
+pub fn termination_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Cooperative path to the same flag — used by tests and by in-process
+/// supervisors that want a drain without involving the kernel.
+pub fn request_termination() {
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag. Test-support only: real daemons terminate after a
+/// drain, they do not resume.
+pub fn reset_termination_flag() {
+    TERM_REQUESTED.store(false, Ordering::Relaxed);
+}
+
+/// Delivers a real `SIGTERM` to the current process. Test-support: lets
+/// the signal path be exercised end-to-end without a second process.
+#[cfg(unix)]
+pub fn raise_sigterm_for_test() {
+    // safety: `raise` is the C standard library call delivering a signal
+    // to the calling process; SIGTERM is a valid signal number and the
+    // handler installed above is async-signal-safe.
+    unsafe {
+        ffi::raise(SIGTERM);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole lifecycle because the flag is global
+    // process state: parallel test threads must not observe each other's
+    // resets.
+    #[test]
+    fn sigterm_sets_the_flag_and_cooperative_path_matches() {
+        reset_termination_flag();
+        assert!(!termination_requested());
+
+        // Cooperative path.
+        request_termination();
+        assert!(termination_requested());
+        reset_termination_flag();
+        assert!(!termination_requested());
+
+        // Kernel path: install the handler, deliver a real SIGTERM.
+        #[cfg(unix)]
+        {
+            install_term_handler();
+            install_term_handler(); // idempotent
+            raise_sigterm_for_test();
+            assert!(
+                termination_requested(),
+                "a delivered SIGTERM must set the drain flag"
+            );
+            reset_termination_flag();
+        }
+    }
+}

@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
-# Unsafe-audit gate: `unsafe` is allowed in exactly one file — the SIMD
-# kernel module — and every unsafe site there must discharge its obligation
-# with a `// safety:` comment.
+# Unsafe-audit gate: `unsafe` is allowed in exactly two files — the SIMD
+# kernel module and the signal-handler FFI shim — and every unsafe site
+# there must discharge its obligation with a `// safety:` comment.
 #
-# The workspace is `#![forbid(unsafe_code)]` everywhere except
-# `lumen-ml`, which is `#![deny(unsafe_code)]` with a single file-level
-# `#![allow(unsafe_code)]` carve-out in `crates/lumen-ml/src/kernels/simd.rs`
-# (runtime-dispatched AVX2/NEON intrinsics; see DESIGN.md §4j). This gate
-# enforces the policy structurally:
+# The workspace is `#![forbid(unsafe_code)]` everywhere except `lumen-ml`
+# and `lumen-util`, which are `#![deny(unsafe_code)]` with one file-level
+# `#![allow(unsafe_code)]` carve-out each:
 #
-#   1. no `unsafe` token outside the carve-out file (strings/comments
+#   crates/lumen-ml/src/kernels/simd.rs   runtime-dispatched AVX2/NEON
+#                                         intrinsics (DESIGN.md §4j)
+#   crates/lumen-util/src/shutdown.rs     glibc signal(2)/raise(3) FFI for
+#                                         the SIGTERM drain (DESIGN.md §4k)
+#
+# This gate enforces the policy structurally:
+#
+#   1. no `unsafe` token outside the carve-out files (strings/comments
 #      excluded by a best-effort code-token match);
-#   2. no `#![allow(unsafe_code)]` outside the carve-out file;
-#   3. inside the carve-out file, every `unsafe fn` / `unsafe {` line is
+#   2. no `#![allow(unsafe_code)]` outside the carve-out files;
+#   3. inside each carve-out file, every `unsafe fn` / `unsafe {` line is
 #      preceded (within 8 lines) by a `// safety:` comment;
-#   4. the lumen-ml crate root still carries `#![deny(unsafe_code)]`.
+#   4. the lumen-ml and lumen-util crate roots still carry
+#      `#![deny(unsafe_code)]`, and every other crate root keeps
+#      `#![forbid(unsafe_code)]`.
 #
 # Exit 0 = clean, 1 = violations listed on stdout.
 
@@ -22,52 +29,73 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-CARVEOUT="crates/lumen-ml/src/kernels/simd.rs"
+CARVEOUTS=(
+    "crates/lumen-ml/src/kernels/simd.rs"
+    "crates/lumen-util/src/shutdown.rs"
+)
+DENY_ROOTS=(
+    "crates/lumen-ml/src/lib.rs"
+    "crates/lumen-util/src/lib.rs"
+)
 fail=0
 
-# 1+2: unsafe tokens and allow attributes outside the carve-out.
+in_list() {
+    local needle="$1"
+    shift
+    local x
+    for x in "$@"; do
+        [ "$x" = "$needle" ] && return 0
+    done
+    return 1
+}
+
+# 1+2: unsafe tokens and allow attributes outside the carve-outs.
 while IFS= read -r file; do
-    [ "$file" = "$CARVEOUT" ] && continue
+    in_list "$file" "${CARVEOUTS[@]}" && continue
     hits=$(grep -nE '(^|[^a-zA-Z0-9_"])unsafe([^a-zA-Z0-9_]|$)' "$file" \
         | grep -vE '^[0-9]+: *//' \
         | grep -vE 'forbid\(unsafe_code\)|deny\(unsafe_code\)' \
         | grep -vE '"[^"]*unsafe[^"]*"' || true)
     if [ -n "$hits" ]; then
         fail=1
-        echo "unsafe-audit: $file uses unsafe outside the SIMD carve-out:"
+        echo "unsafe-audit: $file uses unsafe outside the carve-outs:"
         echo "$hits" | sed 's/^/    /'
     fi
 done < <(git ls-files 'crates/*/src/*.rs' 'crates/*/src/**/*.rs' 'src/*.rs' 'src/**/*.rs' | sort)
 
-# 3: every unsafe site in the carve-out has a nearby `// safety:` comment.
-if [ -f "$CARVEOUT" ]; then
-    hits=$(awk '
-        /\/\/ *safety:/ { last_safety = NR }
-        /^ *\/\// { next }
-        /(^|[^a-zA-Z0-9_"])unsafe( fn | \{)/ {
-            if (last_safety == 0 || NR - last_safety > 8) {
-                print NR": "$0
+# 3: every unsafe site in each carve-out has a nearby `// safety:` comment.
+for carveout in "${CARVEOUTS[@]}"; do
+    if [ -f "$carveout" ]; then
+        hits=$(awk '
+            /\/\/ *safety:/ { last_safety = NR }
+            /^ *\/\// { next }
+            /(^|[^a-zA-Z0-9_"])unsafe( fn | \{)/ {
+                if (last_safety == 0 || NR - last_safety > 8) {
+                    print NR": "$0
+                }
             }
-        }
-    ' "$CARVEOUT")
-    if [ -n "$hits" ]; then
+        ' "$carveout")
+        if [ -n "$hits" ]; then
+            fail=1
+            echo "unsafe-audit: $carveout has unsafe sites without a // safety: comment:"
+            echo "$hits" | sed 's/^/    /'
+        fi
+    else
         fail=1
-        echo "unsafe-audit: $CARVEOUT has unsafe sites without a // safety: comment:"
-        echo "$hits" | sed 's/^/    /'
+        echo "unsafe-audit: carve-out file $carveout is missing"
     fi
-else
-    fail=1
-    echo "unsafe-audit: carve-out file $CARVEOUT is missing"
-fi
+done
 
-# 4: the crate root must keep deny(unsafe_code) (the carve-out is the only
-# allow), and every other crate root must keep forbid(unsafe_code).
-if ! grep -q '#!\[deny(unsafe_code)\]' crates/lumen-ml/src/lib.rs; then
-    fail=1
-    echo "unsafe-audit: crates/lumen-ml/src/lib.rs lost #![deny(unsafe_code)]"
-fi
+# 4: carve-out crate roots must keep deny(unsafe_code) (the carve-outs are
+# the only allows), and every other crate root must keep forbid(unsafe_code).
+for denyroot in "${DENY_ROOTS[@]}"; do
+    if ! grep -q '#!\[deny(unsafe_code)\]' "$denyroot"; then
+        fail=1
+        echo "unsafe-audit: $denyroot lost #![deny(unsafe_code)]"
+    fi
+done
 while IFS= read -r libfile; do
-    [ "$libfile" = "crates/lumen-ml/src/lib.rs" ] && continue
+    in_list "$libfile" "${DENY_ROOTS[@]}" && continue
     if ! grep -q 'forbid(unsafe_code)' "$libfile"; then
         fail=1
         echo "unsafe-audit: $libfile lost #![forbid(unsafe_code)]"
@@ -75,7 +103,7 @@ while IFS= read -r libfile; do
 done < <(git ls-files 'crates/*/src/lib.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then
-    echo "unsafe-audit: keep unsafe inside $CARVEOUT and annotate every site with '// safety: ...'" >&2
+    echo "unsafe-audit: keep unsafe inside the carve-outs and annotate every site with '// safety: ...'" >&2
     exit 1
 fi
-echo "unsafe-audit: unsafe confined to $CARVEOUT, all sites carry safety comments"
+echo "unsafe-audit: unsafe confined to ${CARVEOUTS[*]}, all sites carry safety comments"
