@@ -1,0 +1,124 @@
+//! `driftbench`: sweep every scenario in the drift & adversarial suite
+//! (DESIGN.md §4l) through the streaming daemon with online drift
+//! detection enabled, and tabulate detection latency, adaptation, and
+//! recovery per scenario.
+//!
+//! Each scenario (S0..S6) replays a seeded capture whose ground-truth
+//! breakpoints come from the scenario engine; the daemon trains on the
+//! clean pre-breakpoint prefix only, so every regime change is genuinely
+//! unseen. Per scenario the run's schema-v7 journal (seeds header +
+//! `DriftReport`) is persisted as
+//! `$LUMEN_RESULTS_DIR/drift_<code>_journal.json` when that variable is
+//! set.
+//!
+//! Flags:
+//!   --fast         smaller captures (quick smoke runs)
+//!   --seed N       generator seed (default 7)
+//!   --scenario ID  run a single scenario instead of the full sweep
+//!
+//! Exit codes: 0 when every run finishes with exact accounting, 1
+//! otherwise (a missed detection is reported but is a finding, not a
+//! failure — evasion scenarios are *designed* to be hard).
+
+use lumen_bench_suite::exp::maybe_persist_journal;
+use lumen_bench_suite::journal::{RunJournal, RunSeeds};
+use lumen_bench_suite::{run_stream, ServeConfig};
+use lumen_ml::DriftConfig;
+use lumen_synth::{ScenarioId, SynthScale};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let seed: u64 = arg_value("--seed")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --seed value {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(7);
+    let only = arg_value("--scenario").map(|v| match ScenarioId::parse(&v) {
+        Some(id) => id,
+        None => {
+            eprintln!("bad --scenario {v:?}: use S0..S6 or a scenario name");
+            std::process::exit(2);
+        }
+    });
+
+    let ids: Vec<ScenarioId> = match only {
+        Some(id) => vec![id],
+        None => ScenarioId::ALL.to_vec(),
+    };
+
+    println!(
+        "{:<4} {:<16} {:<10} {:>4} {:>4} {:>6} {:>5} {:>7} {:>7} {:>7} {:>7}",
+        "id", "scenario", "family", "bps", "det", "lat_ms", "swaps", "before", "during", "after",
+        "rules"
+    );
+    let mut failed = false;
+    for id in ids {
+        let cfg = ServeConfig {
+            scenario: Some(id),
+            drift: Some(DriftConfig::default()),
+            scale: if fast {
+                SynthScale::small()
+            } else {
+                SynthScale::default()
+            },
+            seed,
+            ..ServeConfig::default()
+        };
+        let out = match run_stream(&cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{}: run failed: {e}", id.code());
+                failed = true;
+                continue;
+            }
+        };
+        if !out.report.accounts_exactly() {
+            eprintln!("{}: ACCOUNTING MISMATCH: {:?}", id.code(), out.report);
+            failed = true;
+        }
+        let mut journal = RunJournal::new();
+        journal.set_seeds(RunSeeds {
+            generator: seed,
+            chaos: None,
+            scenario: Some(id.code().to_string()),
+        });
+        journal.set_stream(out.report.clone());
+        maybe_persist_journal(&journal, &format!("drift_{}", id.code()));
+
+        let Some(d) = out.report.drift.as_ref() else {
+            eprintln!("{}: no drift report", id.code());
+            failed = true;
+            continue;
+        };
+        let detected = d.breakpoints.iter().filter(|b| b.detected).count();
+        let worst_latency = d.breakpoints.iter().map(|b| b.latency_ms).max().unwrap_or(0);
+        println!(
+            "{:<4} {:<16} {:<10} {:>4} {:>4} {:>6} {:>5} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            id.code(),
+            id.name(),
+            id.family().name(),
+            d.breakpoints.len(),
+            detected,
+            worst_latency,
+            d.model_swaps,
+            d.acc_before,
+            d.acc_during,
+            d.acc_after,
+            d.baseline_acc,
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,11 +1,14 @@
-//! `lumen-serve`: long-running streaming detection daemon (DESIGN.md §4k).
+//! `lumen-serve`: long-running streaming detection daemon (DESIGN.md §4k,
+//! §4l).
 //!
 //! Replays a synthetic capture through the staged pipeline — recovering
-//! source → decode → sliced flow assembly → ML scoring — with bounded
-//! rings, load shedding, a circuit breaker, per-stage watchdogs, and a
-//! clean SIGTERM drain. Emits the `stream:` summary block and persists the
-//! schema-v6 run journal (with its `StreamReport`) as
-//! `$LUMEN_RESULTS_DIR/serve_journal.json` when that variable is set.
+//! source → decode → sliced flow assembly → ML scoring, with a background
+//! retrain stage — with bounded rings, load shedding, a circuit breaker,
+//! per-stage watchdogs, online drift detection with adaptive recovery, and
+//! a clean SIGTERM drain. Emits the `stream:` summary block and persists
+//! the schema-v7 run journal (with its `StreamReport`, seeds header, and
+//! `DriftReport`) as `$LUMEN_RESULTS_DIR/serve_journal.json` when that
+//! variable is set.
 //!
 //! Flags:
 //!   --fast              smaller capture (quick smoke runs)
@@ -14,11 +17,19 @@
 //!   --slice-ms N        time-slice width in capture milliseconds
 //!   --seed N            generator / chaos seed
 //!   --fault SPEC        inject a stream fault (STAGE:KIND[:ARG[:N]]),
-//!                       repeatable; kinds: hang / slow / transient
+//!                       repeatable; stages include `retrain`,
+//!                       kinds: hang / slow / transient
 //!   --watchdog-ms N     heartbeat staleness budget (0 disables)
 //!   --breaker-ms N      per-slice scoring budget for the circuit breaker
 //!   --ring N            inter-stage ring capacity
 //!   --pending N         shed-buffer capacity (parked slices)
+//!   --scenario ID       replay a drift/evasion scenario (S0..S6 or a
+//!                       name like device-churn) instead of the dataset
+//!   --drift             enable online drift detection + adaptation
+//!   --retrain-ms N      wall-clock budget per retrain attempt (0 = none)
+//!   --assert-drift      exit 1 unless the journal's DriftReport shows
+//!                       every breakpoint detected, ≥1 validated swap, and
+//!                       post-drift accuracy ≥ the rules baseline
 //!
 //! Exit codes: 0 on a clean drain (including SIGTERM), 1 on a failed run,
 //! 2 on bad flags.
@@ -26,9 +37,10 @@
 use std::time::Duration;
 
 use lumen_bench_suite::exp::maybe_persist_journal;
-use lumen_bench_suite::journal::RunJournal;
+use lumen_bench_suite::journal::{RunJournal, RunSeeds};
 use lumen_bench_suite::{run_stream, ServeConfig, StreamFault};
-use lumen_synth::{ChaosConfig, SynthScale};
+use lumen_ml::DriftConfig;
+use lumen_synth::{ChaosConfig, ScenarioId, SynthScale};
 use lumen_util::shutdown;
 
 fn arg_value(name: &str) -> Option<String> {
@@ -74,6 +86,15 @@ fn main() {
         }
     }
 
+    let scenario = arg_value("--scenario").map(|v| match ScenarioId::parse(&v) {
+        Some(id) => id,
+        None => {
+            eprintln!("bad --scenario {v:?}: use S0..S6 or a scenario name");
+            std::process::exit(2);
+        }
+    });
+    let drift = std::env::args().any(|a| a == "--drift") || scenario.is_some();
+
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         scale: if fast {
@@ -90,6 +111,9 @@ fn main() {
         score_budget: Duration::from_millis(num_or("--breaker-ms", 250)),
         watchdog_ms: num_or("--watchdog-ms", 2_000),
         faults,
+        scenario,
+        drift: drift.then(DriftConfig::default),
+        retrain_budget_ms: num_or("--retrain-ms", defaults.retrain_budget_ms),
         ..defaults
     };
 
@@ -98,22 +122,53 @@ fn main() {
     shutdown::install_term_handler();
 
     eprintln!(
-        "lumen-serve: dataset {} seed {} rate {} pps slice {} ms chaos {}",
-        cfg.dataset.code(),
+        "lumen-serve: {} seed {} rate {} pps slice {} ms chaos {} drift {}",
+        match cfg.scenario {
+            Some(id) => format!("scenario {} ({})", id.code(), id.name()),
+            None => format!("dataset {}", cfg.dataset.code()),
+        },
         cfg.seed,
         cfg.rate_pps,
         cfg.slice_us / 1_000,
         chaos,
+        cfg.drift.is_some(),
     );
     match run_stream(&cfg) {
         Ok(out) => {
             let mut journal = RunJournal::new();
+            journal.set_seeds(RunSeeds {
+                generator: cfg.seed,
+                chaos: cfg.chaos.map(|_| cfg.seed),
+                scenario: cfg.scenario.map(|id| id.code().to_string()),
+            });
             journal.set_stream(out.report.clone());
             print!("{}", journal.summary(0, 0));
             maybe_persist_journal(&journal, "serve");
             if !out.report.accounts_exactly() {
                 eprintln!("ACCOUNTING MISMATCH: {:?}", out.report);
                 std::process::exit(1);
+            }
+            if std::env::args().any(|a| a == "--assert-drift") {
+                // Read back through the journal, not the in-memory report:
+                // the assertion covers what was actually persisted.
+                let Some(d) = journal.stream().and_then(|r| r.drift.as_ref()) else {
+                    eprintln!("--assert-drift: no DriftReport in the journal");
+                    std::process::exit(1);
+                };
+                let ok = d.all_breakpoints_detected()
+                    && d.model_swaps >= 1
+                    && d.acc_after >= d.baseline_acc;
+                if !ok {
+                    eprintln!("--assert-drift FAILED: {d:?}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "--assert-drift OK: {} breakpoint(s) detected, {} swap(s), acc_after {:.3} >= baseline {:.3}",
+                    d.breakpoints.len(),
+                    d.model_swaps,
+                    d.acc_after,
+                    d.baseline_acc
+                );
             }
             eprintln!(
                 "source stats: {} record(s), {} dropped, {} resync(s)",

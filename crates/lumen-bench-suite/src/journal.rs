@@ -454,6 +454,104 @@ pub struct StreamStageEntry {
     pub restarts: u64,
 }
 
+/// Ground truth vs detection for one scenario breakpoint (schema v7): did
+/// the online drift monitor confirm drift after this ground-truth change
+/// point, and how long did confirmation take in capture time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct DriftBreakpointEntry {
+    /// Ground-truth breakpoint timestamp (µs, capture clock).
+    #[serde(default)]
+    pub ts_us: u64,
+    /// Breakpoint kind name (`feature-shift`/`rate-cycle`/`device-churn`/
+    /// `evasion-onset`/`regime-change`).
+    #[serde(default)]
+    pub kind: String,
+    /// True when a confirmed detection landed at or after this breakpoint
+    /// (and before the next one).
+    #[serde(default)]
+    pub detected: bool,
+    /// Capture timestamp of the confirming detection (µs; 0 when missed).
+    #[serde(default)]
+    pub detected_ts_us: u64,
+    /// Detection latency in capture-clock milliseconds (0 when missed).
+    #[serde(default)]
+    pub latency_ms: u64,
+}
+
+/// Drift-and-adaptation report for one streaming run (schema v7): the
+/// detection ledger against scenario ground truth, accuracy across the
+/// before/during/after phases of the drift, and the full retrain history —
+/// attempts, failures, aborts, validated swaps, and the rule-engine
+/// prefilter's workload while the daemon was adapting. Every number comes
+/// from the journal, never from stdout.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct DriftReport {
+    /// Scenario code (`S0`..`S6`; empty when the run had no scenario).
+    #[serde(default)]
+    pub scenario: String,
+    /// Scenario family (`drift`/`evasion`/`encryption`).
+    #[serde(default)]
+    pub family: String,
+    /// Per-breakpoint detection ledger vs the [`ScenarioReport`] ground
+    /// truth the capture was generated with.
+    ///
+    /// [`ScenarioReport`]: lumen_synth::ScenarioReport
+    #[serde(default)]
+    pub breakpoints: Vec<DriftBreakpointEntry>,
+    /// Total confirmed drift detections over the run.
+    #[serde(default)]
+    pub detections: u64,
+    /// Confirmed detections not attributable to any ground-truth
+    /// breakpoint.
+    #[serde(default)]
+    pub false_alarms: u64,
+    /// ML slice accuracy before the first breakpoint.
+    #[serde(default)]
+    pub acc_before: f64,
+    /// Slice accuracy between the first breakpoint and the model swap
+    /// (the degraded window).
+    #[serde(default)]
+    pub acc_during: f64,
+    /// ML slice accuracy after the validated model swap.
+    #[serde(default)]
+    pub acc_after: f64,
+    /// Rule-engine baseline accuracy over the post-drift phase — the
+    /// floor the swapped model must beat.
+    #[serde(default)]
+    pub baseline_acc: f64,
+    /// Times the daemon entered the journaled `Adapting` state.
+    #[serde(default)]
+    pub adapt_entries: u64,
+    /// Rule-engine prefilter classifications while `Adapting` (the
+    /// prefilter is promoted full-time during adaptation).
+    #[serde(default)]
+    pub prefilter_hits: u64,
+    /// Warm-start retrain attempts launched.
+    #[serde(default)]
+    pub retrain_attempts: u64,
+    /// Retrain attempts that failed (injected fault, training error, or
+    /// validation-gate rejection).
+    #[serde(default)]
+    pub retrain_failures: u64,
+    /// Retrains aborted by cancellation (budget deadline or drain).
+    #[serde(default)]
+    pub retrains_aborted: u64,
+    /// Validated model swaps installed.
+    #[serde(default)]
+    pub model_swaps: u64,
+    /// Total wall time spent in retrain attempts, ms.
+    #[serde(default)]
+    pub retrain_ms_total: u64,
+}
+
+impl DriftReport {
+    /// True when every ground-truth breakpoint has a confirmed detection
+    /// with finite latency (and the scenario had breakpoints at all).
+    pub fn all_breakpoints_detected(&self) -> bool {
+        !self.breakpoints.is_empty() && self.breakpoints.iter().all(|b| b.detected)
+    }
+}
+
 /// End-of-run report from the `lumen-serve` streaming daemon (schema v6):
 /// packet-exact accounting across every stage, overload behavior (shed and
 /// degraded slices, breaker trips), scoring latency quantiles, and how the
@@ -526,6 +624,10 @@ pub struct StreamReport {
     /// end-of-source.
     #[serde(default)]
     pub sigterm: bool,
+    /// Drift-and-adaptation report (schema v7; absent for runs without a
+    /// drift monitor).
+    #[serde(default)]
+    pub drift: Option<DriftReport>,
 }
 
 impl StreamReport {
@@ -552,8 +654,30 @@ impl StreamReport {
 /// attributable to the instruction set that produced them; v6 adds the
 /// optional `stream` section (`StreamReport`): the lumen-serve daemon's
 /// packet-exact overload accounting — shed/degraded/restart counters,
-/// breaker state, per-stage queue depths, and p50/p99 scoring latency.
-pub const SCHEMA_VERSION: u32 = 6;
+/// breaker state, per-stage queue depths, and p50/p99 scoring latency;
+/// v7 adds the `seeds` header ([`RunSeeds`]: generator/chaos/scenario
+/// seeds, so any run regenerates from the journal alone) and the optional
+/// `stream.drift` section ([`DriftReport`]: per-breakpoint detection
+/// latency vs scenario ground truth, before/during/after accuracy, and
+/// the warm-start retrain ledger).
+pub const SCHEMA_VERSION: u32 = 7;
+
+/// The seeds that produced a run's input capture (schema v7 header):
+/// everything needed to regenerate the exact capture — and therefore
+/// reproduce the run — from the journal alone, with no out-of-band notes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct RunSeeds {
+    /// Seed handed to the dataset/scenario generator.
+    #[serde(default)]
+    pub generator: u64,
+    /// Chaos-engine seed, when the capture was corrupted before ingest.
+    #[serde(default)]
+    pub chaos: Option<u64>,
+    /// Scenario code (`S0`..`S6`) when the capture came from the scenario
+    /// engine rather than a static dataset recipe.
+    #[serde(default)]
+    pub scenario: Option<String>,
+}
 
 fn v1_schema_version() -> u32 {
     1
@@ -592,6 +716,10 @@ pub struct RunJournal {
     /// Streaming-daemon report (absent pre-v6 and for batch runs).
     #[serde(default)]
     stream: Option<StreamReport>,
+    /// Capture-generation seeds (absent pre-v7); present, the run is
+    /// reproducible from the journal alone.
+    #[serde(default)]
+    seeds: Option<RunSeeds>,
 }
 
 impl Default for RunJournal {
@@ -616,6 +744,7 @@ impl RunJournal {
             kernel_backend: lumen_ml::kernels::active_backend().name().to_string(),
             kernel_features: lumen_ml::kernels::detected_features().to_string(),
             stream: None,
+            seeds: None,
         }
     }
 
@@ -660,10 +789,13 @@ impl RunJournal {
             e.records += o.records;
             e.peak_active += o.peak_active;
         }
-        // Stream reports are per-daemon-run and do not aggregate; keep the
-        // first one rather than inventing a merged report.
+        // Stream reports and seed headers are per-run and do not
+        // aggregate; keep the first one rather than inventing a merge.
         if self.stream.is_none() {
             self.stream = other.stream;
+        }
+        if self.seeds.is_none() {
+            self.seeds = other.seeds;
         }
     }
 
@@ -721,6 +853,16 @@ impl RunJournal {
     /// `lumen-serve` run (always `None` pre-v6 and for batch runs).
     pub fn stream(&self) -> Option<&StreamReport> {
         self.stream.as_ref()
+    }
+
+    /// Records the capture-generation seeds in the header (schema v7).
+    pub fn set_seeds(&mut self, seeds: RunSeeds) {
+        self.seeds = Some(seeds);
+    }
+
+    /// The capture-generation seeds (always `None` pre-v7).
+    pub fn seeds(&self) -> Option<&RunSeeds> {
+        self.seeds.as_ref()
     }
 
     /// Total quarantined items across all datasets.
@@ -881,6 +1023,16 @@ impl RunJournal {
                 self.kernel_backend, self.kernel_features
             ));
         }
+        if let Some(seeds) = &self.seeds {
+            s.push_str(&format!("seeds: generator {}", seeds.generator));
+            if let Some(c) = seeds.chaos {
+                s.push_str(&format!(", chaos {c}"));
+            }
+            if let Some(sc) = &seeds.scenario {
+                s.push_str(&format!(", scenario {sc}"));
+            }
+            s.push('\n');
+        }
         for e in self.failures() {
             if let TaskOutcome::Failed { error } = &e.outcome {
                 s.push_str(&format!(
@@ -1031,6 +1183,45 @@ impl RunJournal {
                 s.push_str(&format!(
                     "  stage {}: queue peak {}/{}, {} restart(s)\n",
                     st.stage, st.queue_peak, st.queue_capacity, st.restarts
+                ));
+            }
+            if let Some(d) = &r.drift {
+                s.push_str(&format!(
+                    "  drift: scenario {} [{}], {} detection(s) ({} false alarm(s)), \
+                     {} adapt entr{}\n",
+                    if d.scenario.is_empty() { "-" } else { &d.scenario },
+                    d.family,
+                    d.detections,
+                    d.false_alarms,
+                    d.adapt_entries,
+                    if d.adapt_entries == 1 { "y" } else { "ies" }
+                ));
+                for b in &d.breakpoints {
+                    s.push_str(&format!(
+                        "    breakpoint {} @ {} us: {}\n",
+                        b.kind,
+                        b.ts_us,
+                        if b.detected {
+                            format!("detected +{} ms", b.latency_ms)
+                        } else {
+                            "MISSED".to_string()
+                        }
+                    ));
+                }
+                s.push_str(&format!(
+                    "    accuracy before {:.3} / during {:.3} / after {:.3} \
+                     (rules baseline {:.3})\n",
+                    d.acc_before, d.acc_during, d.acc_after, d.baseline_acc
+                ));
+                s.push_str(&format!(
+                    "    retrain: {} attempt(s), {} failure(s), {} aborted, \
+                     {} swap(s), {} ms total, {} prefilter hit(s)\n",
+                    d.retrain_attempts,
+                    d.retrain_failures,
+                    d.retrains_aborted,
+                    d.model_swaps,
+                    d.retrain_ms_total,
+                    d.prefilter_hits
                 ));
             }
             s.push_str(&format!(
@@ -1302,10 +1493,10 @@ mod tests {
         for field in ["flow_shards", "flow_evictions", "FlowShardEntry"] {
             assert!(design.contains(field), "DESIGN.md missing `{field}`");
         }
-        assert!(design.contains("schema v6"), "DESIGN.md missing schema v6");
+        assert!(design.contains("schema v7"), "DESIGN.md missing schema v7");
         assert!(
-            readme.contains("flow_shards") && readme.contains("schema v6"),
-            "README missing journal v6 fields"
+            readme.contains("flow_shards") && readme.contains("schema v7"),
+            "README missing journal v7 fields"
         );
         for field in ["kernel_backend", "kernel_features"] {
             assert!(design.contains(field), "DESIGN.md missing `{field}`");
@@ -1331,7 +1522,29 @@ mod tests {
             readme.contains("Streaming mode"),
             "README missing the Streaming mode section"
         );
-        assert_eq!(SCHEMA_VERSION, 6, "schema bumped: update DESIGN.md/README");
+        // v7 drift: the DriftReport/RunSeeds schema and the adaptive
+        // recovery machinery are documented in DESIGN.md §4l and the
+        // README "Drift & adversarial scenarios" section.
+        for field in [
+            "DriftReport",
+            "RunSeeds",
+            "false_alarms",
+            "latency_ms",
+            "baseline_acc",
+            "retrains_aborted",
+            "model_swaps",
+            "prefilter_hits",
+        ] {
+            assert!(design.contains(field), "DESIGN.md missing `{field}`");
+        }
+        for concept in ["drift monitor", "Page", "Adapting", "warm-start", "validation gate"] {
+            assert!(design.contains(concept), "DESIGN.md missing `{concept}`");
+        }
+        assert!(
+            readme.contains("Drift & adversarial scenarios"),
+            "README missing the drift scenarios section"
+        );
+        assert_eq!(SCHEMA_VERSION, 7, "schema bumped: update DESIGN.md/README");
     }
 
     #[test]
@@ -1483,6 +1696,83 @@ mod tests {
     }
 
     #[test]
+    fn v6_journal_without_drift_or_seeds_still_loads() {
+        // A journal written by the v6 (pre-drift) suite: stream section
+        // present, no `drift` inside it and no `seeds` header. It must
+        // load with both absent and keep its recorded version — never
+        // fabricate a drift report or a seed header.
+        let v6 = r#"{
+            "schema_version": 6,
+            "entries": [
+                {"algo": "A14", "train": "F4", "test": "F4", "mode": "same",
+                 "outcome": {"status": "ok"}, "wall_ms": 7}
+            ],
+            "kernel_backend": "scalar",
+            "kernel_features": "sse2",
+            "stream": {
+                "packets_read": 10,
+                "packets_parsed": 10,
+                "records_finalized": 4,
+                "slices_total": 2,
+                "slices_scored": 2,
+                "records_scored": 4,
+                "breaker_final": "closed",
+                "drained_clean": true
+            }
+        }"#;
+        let j = match RunJournal::from_json(v6) {
+            Ok(j) => j,
+            Err(_) => {
+                eprintln!("offline serde_json stub without deserialization support; skipping");
+                return;
+            }
+        };
+        assert_eq!(j.schema_version(), 6);
+        let r = j.stream().expect("v6 stream section loads");
+        assert!(r.accounts_exactly());
+        assert!(r.drift.is_none(), "v6 stream reports carry no drift section");
+        assert!(j.seeds().is_none(), "v6 journals carry no seeds header");
+        let s = j.summary(0, 0);
+        assert!(!s.contains("drift:"), "{s}");
+        assert!(!s.contains("seeds:"), "{s}");
+    }
+
+    #[test]
+    fn seeds_header_roundtrips_and_renders() {
+        let mut j = RunJournal::new();
+        assert!(j.seeds().is_none());
+        j.set_seeds(RunSeeds {
+            generator: 42,
+            chaos: Some(7),
+            scenario: Some("S2".into()),
+        });
+        let s = j.summary(0, 0);
+        assert!(s.contains("seeds: generator 42, chaos 7, scenario S2"), "{s}");
+        // Absent chaos/scenario stay out of the line entirely.
+        j.set_seeds(RunSeeds {
+            generator: 9,
+            chaos: None,
+            scenario: None,
+        });
+        let s = j.summary(0, 0);
+        assert!(s.contains("seeds: generator 9\n"), "{s}");
+        assert!(!s.contains("chaos"), "{s}");
+
+        if serde_json::to_string(&j).is_err() {
+            eprintln!("offline serde_json stub without serialization support; skipping");
+            return;
+        }
+        j.set_seeds(RunSeeds {
+            generator: 42,
+            chaos: Some(7),
+            scenario: Some("S2".into()),
+        });
+        let back = RunJournal::from_json(&j.to_json()).unwrap();
+        assert_eq!(back.seeds(), j.seeds());
+        assert_eq!(back.seeds().unwrap().scenario.as_deref(), Some("S2"));
+    }
+
+    #[test]
     fn stream_report_roundtrips_and_renders() {
         let mut j = RunJournal::new();
         let report = StreamReport {
@@ -1511,8 +1801,40 @@ mod tests {
             }],
             drained_clean: true,
             sigterm: true,
+            drift: Some(DriftReport {
+                scenario: "S2".into(),
+                family: "drift".into(),
+                breakpoints: vec![
+                    DriftBreakpointEntry {
+                        ts_us: 14_500_000,
+                        kind: "device-churn".into(),
+                        detected: true,
+                        detected_ts_us: 16_100_000,
+                        latency_ms: 1600,
+                    },
+                    DriftBreakpointEntry {
+                        ts_us: 25_000_000,
+                        kind: "rate-cycle".into(),
+                        ..DriftBreakpointEntry::default()
+                    },
+                ],
+                detections: 1,
+                false_alarms: 0,
+                acc_before: 0.95,
+                acc_during: 0.6,
+                acc_after: 0.9,
+                baseline_acc: 0.7,
+                adapt_entries: 1,
+                prefilter_hits: 40,
+                retrain_attempts: 2,
+                retrain_failures: 1,
+                retrains_aborted: 0,
+                model_swaps: 1,
+                retrain_ms_total: 310,
+            }),
         };
         assert!(report.accounts_exactly());
+        assert!(!report.drift.as_ref().unwrap().all_breakpoints_detected());
         j.set_stream(report.clone());
         let s = j.summary(0, 0);
         assert!(s.contains("stream: 1000 packet(s) read"), "{s}");
@@ -1520,6 +1842,17 @@ mod tests {
         assert!(s.contains("p50 1.25 ms / p99 9.50 ms"), "{s}");
         assert!(s.contains("stage score: queue peak 8/8, 1 restart(s)"), "{s}");
         assert!(s.contains("drain: clean (SIGTERM)"), "{s}");
+        assert!(s.contains("drift: scenario S2 [drift]"), "{s}");
+        assert!(s.contains("breakpoint device-churn @ 14500000 us: detected +1600 ms"), "{s}");
+        assert!(s.contains("breakpoint rate-cycle @ 25000000 us: MISSED"), "{s}");
+        assert!(
+            s.contains("accuracy before 0.950 / during 0.600 / after 0.900 (rules baseline 0.700)"),
+            "{s}"
+        );
+        assert!(
+            s.contains("retrain: 2 attempt(s), 1 failure(s), 0 aborted, 1 swap(s), 310 ms total, 40 prefilter hit(s)"),
+            "{s}"
+        );
 
         if serde_json::to_string(&j).is_err() {
             eprintln!("offline serde_json stub without serialization support; skipping");

@@ -28,13 +28,13 @@ pub use audit::{
 };
 pub use datasets::{attack_from_tag, attack_tag, BenchDataset, DatasetRegistry};
 pub use journal::{
-    AttemptRecord, AuditFinding, FlowShardEntry, IngestEntry, JournalEntry, RunJournal,
-    TaskOutcome, WalRecord,
+    AttemptRecord, AuditFinding, DriftBreakpointEntry, DriftReport, FlowShardEntry, IngestEntry,
+    JournalEntry, RunJournal, RunSeeds, TaskOutcome, WalRecord,
 };
 pub use runner::{EvalMode, FaultKind, FaultSpec, MatrixRun, RunBudget, RunConfig, Runner};
 pub use serve::{
-    run_stream, BreakerState, CircuitBreaker, RuleEngine, ServeConfig, ShedBuffer, StageId,
-    StreamFault, StreamFaultKind, StreamOutcome,
+    build_serve_capture, run_stream, BreakerState, CircuitBreaker, RuleEngine, ServeConfig,
+    ShedBuffer, StageId, StreamFault, StreamFaultKind, StreamOutcome,
 };
 pub use store::{ResultRow, ResultStore};
 

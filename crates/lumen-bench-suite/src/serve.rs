@@ -1,10 +1,12 @@
 //! `lumen-serve`: the overload-resilient streaming detection daemon
-//! (DESIGN.md §4k).
+//! (DESIGN.md §4k), with online drift detection and adaptive recovery
+//! (DESIGN.md §4l).
 //!
-//! A replayed capture flows through four staged workers connected by
-//! bounded rings — source → decode → flow → score — so backpressure
-//! propagates source-ward instead of growing unbounded queues. Overload is
-//! a first-class condition, not an accident:
+//! A replayed capture flows through staged workers connected by
+//! bounded rings — source → decode → flow → score, plus a background
+//! retrain stage — so backpressure propagates source-ward instead of
+//! growing unbounded queues. Overload is a first-class condition, not an
+//! accident:
 //!
 //! * the flow→score edge absorbs pressure through a priority shed buffer
 //!   ([`ShedBuffer`]): when the scorer falls behind, the lowest-priority
@@ -21,11 +23,25 @@
 //!   stage and flushes the journal, so an operator kill never loses the
 //!   run's accounting.
 //!
+//! Concept drift is the other first-class failure mode (DESIGN.md §4l).
+//! With a [`DriftConfig`] set, the score stage feeds every ML-scored slice
+//! to a [`DriftMonitor`]; a confirmed detection moves the daemon into a
+//! journaled *Adapting* state: the rule-engine prefilter is promoted
+//! full-time (hits counted), the frozen scorer is handed to the retrain
+//! stage, which thaws it ([`Pretrained::into_inner`]), warm-starts a
+//! snapshot on reservoir-sampled recent slices under a cancellable,
+//! deadline-budgeted token, and swaps the candidate in only after it
+//! beats the prefilter on held-back slices. Failed or aborted retrains
+//! reinstate the untouched original and are counted — never silent.
+//! Scenario runs ([`ServeConfig::scenario`]) replay a capture with drift
+//! ground truth, so detection latency per breakpoint is measurable.
+//!
 //! Everything is packet-exact: `packets_read == packets_parsed +
 //! decode_errors` and `records_scored + records_degraded + records_shed ==
 //! records_finalized`, enforced by [`StreamReport::accounts_exactly`] and
 //! asserted by the tests below.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -36,22 +52,26 @@ use lumen_core::par::parse_capture_indexed;
 use lumen_core::table::Table;
 use lumen_flow::{ConnRecord, ConnState, ConnectionTracker, FlowConfig, FlowStats};
 use lumen_ml::linear::{LogisticRegression, SgdConfig};
-use lumen_ml::{Classifier, Pretrained};
+use lumen_ml::{Classifier, Dataset, DriftConfig, DriftMonitor, Matrix, MlError, Pretrained};
 use lumen_net::pcap::{to_bytes, CaptureStats, CapturedPacket, PcapLimits, RecoveringReader};
 use lumen_net::{LinkType, PacketMeta};
-use lumen_synth::{build_dataset, ChaosConfig, ChaosPcap, DatasetId, SynthScale};
+use lumen_synth::{
+    build_dataset, build_scenario, ChaosConfig, ChaosPcap, DatasetId, Label, LabeledCapture,
+    ScenarioId, ScenarioReport, SynthScale,
+};
 use lumen_util::shutdown;
-use lumen_util::{ring, CancelToken, RingSender, TrySendError};
+use lumen_util::{ring, CancelToken, Rng, RingSender, TryRecvError, TrySendError};
 
 use crate::datasets::attack_tag;
-use crate::journal::{StreamReport, StreamStageEntry};
+use crate::journal::{DriftBreakpointEntry, DriftReport, StreamReport, StreamStageEntry};
 use crate::{BenchError, BenchResult};
 
 // ---------------------------------------------------------------------------
 // Stage identity and fault injection
 // ---------------------------------------------------------------------------
 
-/// The four pipeline stages, in flow order.
+/// The five pipeline stages: four in flow order plus the background
+/// retrain stage the score stage delegates adaptation to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StageId {
     /// Replayed pcap bytes through the recovering reader.
@@ -62,15 +82,18 @@ pub enum StageId {
     Flow,
     /// ML scoring (or rule-engine prefilter in degraded mode).
     Score,
+    /// Background warm-start retraining while the daemon is adapting.
+    Retrain,
 }
 
 impl StageId {
-    /// All stages in pipeline order.
-    pub const ALL: [StageId; 4] = [
+    /// All stages in pipeline order (retrain last: it hangs off score).
+    pub const ALL: [StageId; 5] = [
         StageId::Source,
         StageId::Decode,
         StageId::Flow,
         StageId::Score,
+        StageId::Retrain,
     ];
 
     /// Journal/CLI name.
@@ -80,6 +103,7 @@ impl StageId {
             StageId::Decode => "decode",
             StageId::Flow => "flow",
             StageId::Score => "score",
+            StageId::Retrain => "retrain",
         }
     }
 
@@ -89,6 +113,7 @@ impl StageId {
             "decode" => Some(StageId::Decode),
             "flow" => Some(StageId::Flow),
             "score" => Some(StageId::Score),
+            "retrain" => Some(StageId::Retrain),
             _ => None,
         }
     }
@@ -128,7 +153,7 @@ impl StreamFault {
         let stage = parts
             .next()
             .and_then(StageId::parse)
-            .ok_or_else(|| bad("stage must be source/decode/flow/score"))?;
+            .ok_or_else(|| bad("stage must be source/decode/flow/score/retrain"))?;
         let kind = parts.next().unwrap_or("");
         let mut num = |p: Option<&str>| -> BenchResult<Option<u64>> {
             match p {
@@ -354,6 +379,14 @@ pub struct Slice {
     pub seq: u64,
     /// Records finalized in this slice.
     pub records: Vec<ConnRecord>,
+    /// Ground-truth label per record (any member packet malicious) — the
+    /// replay harness's stand-in for operator feedback, consumed by drift
+    /// accuracy accounting and warm-start retraining. All-false when the
+    /// capture's labels could not be realigned.
+    pub labels: Vec<bool>,
+    /// Capture timestamp of the slice boundary that closed this slice
+    /// (µs), used to match drift detections to scenario breakpoints.
+    pub end_ts_us: u64,
 }
 
 /// Bounded holding pen between the flow stage and the score ring. When the
@@ -615,6 +648,20 @@ pub struct ServeConfig {
     /// Cooperative stop flag (the SIGTERM path for tests; the binary also
     /// wires the process-global [`shutdown`] flag).
     pub stop: Option<Arc<AtomicBool>>,
+    /// Replay a scenario-engine capture (with drift/evasion ground truth)
+    /// instead of the static `dataset` recipe. The scorer then trains on
+    /// the clean pre-breakpoint prefix only.
+    pub scenario: Option<ScenarioId>,
+    /// Online drift detection tuning; `None` disables drift detection and
+    /// adaptation entirely (the pre-v7 behavior).
+    pub drift: Option<DriftConfig>,
+    /// Wall-clock budget per warm-start retrain attempt, ms (0 =
+    /// unbounded). The retrain token carries this as its deadline.
+    pub retrain_budget_ms: u64,
+    /// Reservoir capacity (slices) for the warm-start training sample.
+    pub reservoir_cap: usize,
+    /// Most-recent slices held back from training for the validation gate.
+    pub holdback: usize,
 }
 
 impl Default for ServeConfig {
@@ -641,6 +688,11 @@ impl Default for ServeConfig {
             watchdog_ms: 0,
             faults: Vec::new(),
             stop: None,
+            scenario: None,
+            drift: None,
+            retrain_budget_ms: 30_000,
+            reservoir_cap: 16,
+            holdback: 4,
         }
     }
 }
@@ -689,24 +741,59 @@ fn conn_extract_op() -> BenchResult<Box<dyn Operation>> {
     )?)
 }
 
+/// The capture a serve run replays: the static `dataset` recipe, or —
+/// when [`ServeConfig::scenario`] is set — a scenario-engine capture with
+/// its drift/evasion ground truth.
+pub fn build_serve_capture(cfg: &ServeConfig) -> (LabeledCapture, Option<ScenarioReport>) {
+    match cfg.scenario {
+        Some(id) => {
+            let (capture, report) = build_scenario(id, cfg.scale, cfg.seed);
+            (capture, Some(report))
+        }
+        None => (build_dataset(cfg.dataset, cfg.scale, cfg.seed), None),
+    }
+}
+
+/// Packets before the first ground-truth breakpoint — the clean prefix a
+/// scenario run trains on, so the model genuinely meets the drifted regime
+/// cold. Without a scenario the whole capture is the training corpus.
+fn training_cut(capture: &LabeledCapture, scenario: Option<&ScenarioReport>) -> usize {
+    match scenario.and_then(|r| r.breakpoints.first()) {
+        Some(bp) => capture.packets.partition_point(|p| p.ts_us < bp.ts_us),
+        None => capture.packets.len(),
+    }
+}
+
 /// Trains the daemon's scorer offline on the *clean* capture (labeled
 /// ground truth), exactly as a deployment would train on a curated corpus
 /// before going live, and freezes it behind [`Pretrained`]. Training uses
 /// the same tracker timeouts and feature list as the live path so the
 /// model sees the same record distribution it will score.
 pub fn train_scorer(cfg: &ServeConfig) -> BenchResult<Pretrained> {
-    let capture = build_dataset(cfg.dataset, cfg.scale, cfg.seed);
-    let (metas, kept, _stats) = parse_capture_indexed(capture.link, &capture.packets, 1);
+    let (capture, scenario) = build_serve_capture(cfg);
+    let cut = training_cut(&capture, scenario.as_ref());
+    train_on_packets(cfg, capture.link, &capture.packets[..cut], &capture.labels[..cut])
+}
+
+/// The shared training path: flow-assembles `packets`, featurizes, and
+/// fits the logistic scorer.
+fn train_on_packets(
+    cfg: &ServeConfig,
+    link: LinkType,
+    packets: &[CapturedPacket],
+    pkt_labels: &[Label],
+) -> BenchResult<Pretrained> {
+    let (metas, kept, _stats) = parse_capture_indexed(link, packets, 1);
     let labels: Vec<u8> = kept
         .iter()
-        .map(|&i| u8::from(capture.labels[i as usize].malicious))
+        .map(|&i| u8::from(pkt_labels[i as usize].malicious))
         .collect();
     let tags: Vec<u32> = kept
         .iter()
-        .map(|&i| capture.labels[i as usize].attack.map_or(0, attack_tag))
+        .map(|&i| pkt_labels[i as usize].attack.map_or(0, attack_tag))
         .collect();
     let pd = PacketData {
-        link: capture.link,
+        link,
         metas,
         labels,
         tags,
@@ -753,6 +840,173 @@ fn featurize(
         return Err(BenchError::Serde("ConnExtract did not yield a table".into()));
     };
     Ok(table)
+}
+
+/// Per-column means of a feature matrix — the drift monitor's per-slice
+/// feature observation.
+fn column_means(x: &Matrix) -> Vec<f64> {
+    let (rows, cols) = (x.rows(), x.cols());
+    let mut means = vec![0.0; cols];
+    for row in x.rows_iter() {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    if rows > 0 {
+        for m in &mut means {
+            *m /= rows as f64;
+        }
+    }
+    means
+}
+
+/// Ground-truth label per finalized record: malicious when any member
+/// packet was. `pkt_labels` is indexed by the tracker's packet index.
+fn record_labels(records: &[ConnRecord], pkt_labels: &[bool]) -> Vec<bool> {
+    records
+        .iter()
+        .map(|r| {
+            r.packet_indices
+                .iter()
+                .any(|&i| pkt_labels.get(i as usize).copied().unwrap_or(false))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive retraining
+// ---------------------------------------------------------------------------
+
+/// What the score stage hands the retrain stage when drift is confirmed:
+/// its only scorer handle (so the checked thaw succeeds), the
+/// reservoir-sampled training slices, and the held-back validation
+/// slices.
+struct RetrainJob {
+    scorer: Pretrained,
+    train: Vec<Slice>,
+    holdback: Vec<Slice>,
+}
+
+/// The retrain stage's verdict, sent back on the result ring.
+enum RetrainReply {
+    /// The warm-started candidate passed the validation gate; install it.
+    Swapped(Pretrained),
+    /// Training failed, was aborted, or lost the gate: reinstate the
+    /// untouched original.
+    Reinstated(Pretrained),
+}
+
+/// How one retrain attempt ended (drives the failure/abort counters).
+enum RetrainOutcome {
+    Swapped(Pretrained),
+    /// The candidate did not beat the rule-engine baseline on holdback.
+    GateFailed(Pretrained),
+    /// Thaw, featurize, or fit failed.
+    TrainError(Pretrained),
+    /// The budget deadline (or a drain kick) cancelled the fit.
+    Cancelled(Pretrained),
+}
+
+/// One warm-start retrain: thaw the frozen scorer, snapshot it (the
+/// candidate trains; the original stays pristine for fallback),
+/// warm-start on the reservoir slices, then gate on the holdback slices —
+/// the candidate must at least match the rule-engine prefilter it would
+/// be replacing. The caller installs the thread-current cancel token;
+/// `fit_incremental` polls it cooperatively.
+fn run_retrain(
+    job: RetrainJob,
+    extract: &dyn Operation,
+    link: LinkType,
+    rules: &RuleEngine,
+) -> RetrainOutcome {
+    let original: Box<dyn Classifier> = match job.scorer.into_inner() {
+        Ok(boxed) => boxed,
+        // Shared weights cannot be warm-started without violating the
+        // freeze guarantee; fall back unchanged.
+        Err(frozen) => return RetrainOutcome::TrainError(frozen),
+    };
+    let Some(mut candidate) = original.snapshot() else {
+        return RetrainOutcome::TrainError(Pretrained::new_boxed(original));
+    };
+
+    let mut records: Vec<ConnRecord> = Vec::new();
+    let mut labels: Vec<u8> = Vec::new();
+    for s in &job.train {
+        records.extend(s.records.iter().cloned());
+        labels.extend(s.labels.iter().map(|&l| u8::from(l)));
+    }
+    let data = match featurize(extract, link, &records) {
+        Ok(t) if t.x.rows() == labels.len() && t.x.rows() > 0 => {
+            match Dataset::new(t.x.clone(), labels) {
+                Ok(d) => d,
+                Err(_) => return RetrainOutcome::TrainError(Pretrained::new_boxed(original)),
+            }
+        }
+        _ => return RetrainOutcome::TrainError(Pretrained::new_boxed(original)),
+    };
+    match candidate.fit_incremental(&data) {
+        Ok(()) => {}
+        Err(MlError::Cancelled) => {
+            return RetrainOutcome::Cancelled(Pretrained::new_boxed(original))
+        }
+        Err(_) => return RetrainOutcome::TrainError(Pretrained::new_boxed(original)),
+    }
+
+    // Validation gate: candidate accuracy vs the prefilter's, on slices
+    // the training reservoir never saw.
+    let mut cand_ok = 0u64;
+    let mut rules_ok = 0u64;
+    let mut total = 0u64;
+    for s in &job.holdback {
+        let Ok(t) = featurize(extract, link, &s.records) else {
+            continue;
+        };
+        if t.x.rows() != s.labels.len() {
+            continue;
+        }
+        let preds = candidate.predict(&t.x);
+        for ((p, r), l) in preds.iter().zip(&s.records).zip(&s.labels) {
+            cand_ok += u64::from((*p == 1) == *l);
+            rules_ok += u64::from(rules.alarm(r) == *l);
+            total += 1;
+        }
+    }
+    if total == 0 || cand_ok < rules_ok {
+        return RetrainOutcome::GateFailed(Pretrained::new_boxed(original));
+    }
+    RetrainOutcome::Swapped(Pretrained::new_boxed(candidate))
+}
+
+/// Per-slice verdict-vs-truth accounting the score stage keeps so the
+/// before/during/after accuracy phases can be assembled after the join.
+struct SliceAcc {
+    end_ts_us: u64,
+    /// Scored by the ML model (vs the rule engine).
+    ml: bool,
+    /// Records whose installed verdict matched ground truth.
+    correct: u64,
+    /// Records the rule engine alone would have gotten right.
+    rules_correct: u64,
+    total: u64,
+}
+
+/// Everything the score stage returns at join time.
+struct ScoreOut {
+    scored: (u64, u64),
+    degraded: (u64, u64),
+    alarms: u64,
+    p50: f64,
+    p99: f64,
+    trips: u64,
+    breaker_final: String,
+    accs: Vec<SliceAcc>,
+    /// Slice-boundary timestamps of confirmed drift detections.
+    detections: Vec<u64>,
+    /// Slice-boundary timestamp of the last validated model swap.
+    swap_ts: Option<u64>,
+    adapt_entries: u64,
+    prefilter_hits: u64,
+    model_swaps: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -812,13 +1066,24 @@ fn offer_slice(tx: &RingSender<Slice>, shed: &mut ShedBuffer, slice: Slice) -> b
 ///                      watchdog supervises all four
 /// ```
 pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
-    let scorer = train_scorer(cfg)?;
+    // Build the capture once: training prefix, replay bytes, and ground
+    // truth all come from the same generation.
+    let (capture, scenario) = build_serve_capture(cfg);
+    let link = capture.link;
+    let cut = training_cut(&capture, scenario.as_ref());
+    let scorer = train_on_packets(cfg, link, &capture.packets[..cut], &capture.labels[..cut])?;
     let extract = conn_extract_op()?;
     let rules = RuleEngine::default();
 
+    // Ground-truth realignment: the replay round-trips through pcap bytes
+    // (possibly chaos-corrupted), so labels are re-attached by timestamp;
+    // duplicate timestamps pop in capture order.
+    let mut label_map: HashMap<u64, VecDeque<bool>> = HashMap::new();
+    for (p, l) in capture.packets.iter().zip(&capture.labels) {
+        label_map.entry(p.ts_us).or_default().push_back(l.malicious);
+    }
+
     // Replay bytes: the dirty stream the daemon actually sees.
-    let capture = build_dataset(cfg.dataset, cfg.scale, cfg.seed);
-    let link = capture.link;
     let mut bytes = to_bytes(link, &capture.packets);
     if let Some(chaos_cfg) = cfg.chaos {
         let (dirty, _report) = ChaosPcap::new(cfg.seed, chaos_cfg).corrupt(&bytes);
@@ -826,15 +1091,20 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
     }
 
     let epoch = Instant::now();
-    let health: Vec<Arc<StageHealth>> = (0..4).map(|_| Arc::new(StageHealth::new())).collect();
+    let health: Vec<Arc<StageHealth>> = (0..5).map(|_| Arc::new(StageHealth::new())).collect();
     let done = Arc::new(AtomicBool::new(false));
 
     let (pkt_tx, pkt_rx) = ring::<Vec<CapturedPacket>>(cfg.ring_capacity);
     let (meta_tx, meta_rx) = ring::<DecodedBatch>(cfg.ring_capacity);
     let (slice_tx, slice_rx) = ring::<Slice>(cfg.ring_capacity);
+    // Score → retrain and back: capacity 1 because at most one retrain is
+    // ever in flight (the daemon has exactly one scorer to hand over).
+    let (retrain_tx, retrain_rx) = ring::<RetrainJob>(1);
+    let (result_tx, result_rx) = ring::<RetrainReply>(1);
     let pkt_mon = pkt_rx.monitor();
     let meta_mon = meta_rx.monitor();
     let slice_mon = slice_rx.monitor();
+    let retrain_mon = retrain_rx.monitor();
 
     let mut outcome: Option<BenchResult<StreamOutcome>> = None;
     std::thread::scope(|s| {
@@ -973,6 +1243,11 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                 let mut boundary: Option<u64> = None;
                 let mut seq: u64 = 0;
                 let mut index: u32 = 0;
+                let mut label_map = label_map;
+                // Parallel to the tracker's packet index: ground truth per
+                // pushed packet, consumed via `ConnRecord::packet_indices`.
+                let mut pkt_labels: Vec<bool> = Vec::new();
+                let mut last_ts: u64 = 0;
 
                 'pump: while let Some(batch) = meta_rx.recv() {
                     read += batch.read;
@@ -995,7 +1270,13 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                                     tracker.flush_idle(m.ts_us);
                                     let records = tracker.drain_done();
                                     if !records.is_empty() {
-                                        out.push(Slice { seq, records });
+                                        let labels = record_labels(&records, &pkt_labels);
+                                        out.push(Slice {
+                                            seq,
+                                            records,
+                                            labels,
+                                            end_ts_us: target,
+                                        });
                                         seq += 1;
                                     }
                                     bb = target;
@@ -1004,7 +1285,13 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                                         tracker.flush_idle(bb);
                                         let records = tracker.drain_done();
                                         if !records.is_empty() {
-                                            out.push(Slice { seq, records });
+                                            let labels = record_labels(&records, &pkt_labels);
+                                            out.push(Slice {
+                                                seq,
+                                                records,
+                                                labels,
+                                                end_ts_us: bb,
+                                            });
                                             seq += 1;
                                         }
                                         bb += slice_us;
@@ -1012,6 +1299,13 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                                 }
                                 boundary = Some(bb);
                             }
+                            pkt_labels.push(
+                                label_map
+                                    .get_mut(&m.ts_us)
+                                    .and_then(|q| q.pop_front())
+                                    .unwrap_or(false),
+                            );
+                            last_ts = last_ts.max(m.ts_us);
                             tracker.push(index, m);
                             index = index.wrapping_add(1);
                         }
@@ -1028,7 +1322,13 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                 // never sheds.
                 let (records, flow_stats) = tracker.finish_remaining();
                 if !records.is_empty() {
-                    let _ = slice_tx.send(Slice { seq, records });
+                    let labels = record_labels(&records, &pkt_labels);
+                    let _ = slice_tx.send(Slice {
+                        seq,
+                        records,
+                        labels,
+                        end_ts_us: last_ts,
+                    });
                 }
                 while let Some(ready) = shed.next_ready() {
                     if slice_tx.send(ready).is_err() {
@@ -1050,47 +1350,211 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
 
         // --- score ---------------------------------------------------
         let score_handle = {
+            let retrain_health = health[4].clone();
             let health = health[3].clone();
             let mut arm = FaultArm::for_stage(StageId::Score, &cfg.faults);
-            let scorer = scorer.clone();
+            let mut scorer_slot: Option<Pretrained> = Some(scorer);
             let extract = &extract;
+            let cfg_ref = cfg;
             let mut breaker = CircuitBreaker::new(
                 cfg.score_budget,
                 cfg.breaker_threshold,
                 cfg.breaker_cooldown_slices,
             );
+            let mut monitor = cfg.drift.map(DriftMonitor::new);
+            let reservoir_cap = cfg.reservoir_cap.max(1);
+            let holdback_cap = cfg.holdback.max(1);
+            let mut rng = Rng::new(cfg.seed ^ 0xD81F_7E5E_0A3C_9B42);
             s.spawn(move || {
                 let mut latencies_ms: Vec<f64> = Vec::new();
                 let mut scored = (0u64, 0u64); // (slices, records)
                 let mut degraded = (0u64, 0u64);
                 let mut alarms: u64 = 0;
+                let mut accs: Vec<SliceAcc> = Vec::new();
+                let mut detections: Vec<u64> = Vec::new();
+                let mut swap_ts: Option<u64> = None;
+                let mut adapting = false;
+                let mut adapt_entries: u64 = 0;
+                let mut prefilter_hits: u64 = 0;
+                let mut model_swaps: u64 = 0;
+                let mut obs_seq: u64 = 0;
+                // Warm-start corpus: a uniform reservoir over slices that
+                // have aged out of the holdback window, so training and
+                // validation never share a slice.
+                let mut reservoir: Vec<Slice> = Vec::new();
+                let mut evicted: u64 = 0;
+                let mut recent: VecDeque<Slice> = VecDeque::new();
                 while let Some(slice) = slice_rx.recv() {
-                    let n = slice.records.len() as u64;
-                    if breaker.use_model() {
-                        let t0 = Instant::now();
-                        let slice_alarms = supervised(&health, epoch, &mut arm, || {
-                            match featurize(extract.as_ref(), link, &slice.records) {
-                                Ok(table) => scorer
-                                    .predict(&table.x)
-                                    .iter()
-                                    .filter(|&&p| p == 1)
-                                    .count() as u64,
-                                // Degenerate slice: fall back to the rules
-                                // so the records still get a verdict.
-                                Err(_) => rules.alarms(&slice.records),
+                    // A finished retrain installs (or reinstates) first, so
+                    // this slice already sees the verdict.
+                    match result_rx.try_recv() {
+                        Ok(RetrainReply::Swapped(m)) => {
+                            scorer_slot = Some(m);
+                            if let Some(mon) = monitor.as_mut() {
+                                mon.reset();
                             }
+                            adapting = false;
+                            model_swaps += 1;
+                            swap_ts = Some(slice.end_ts_us);
+                        }
+                        Ok(RetrainReply::Reinstated(m)) => {
+                            scorer_slot = Some(m);
+                            if let Some(mon) = monitor.as_mut() {
+                                mon.reset();
+                            }
+                            adapting = false;
+                        }
+                        Err(_) => {}
+                    }
+                    let n = slice.records.len() as u64;
+                    if monitor.is_some() {
+                        recent.push_back(slice.clone());
+                        if recent.len() > holdback_cap {
+                            let old = recent.pop_front().expect("non-empty");
+                            evicted += 1;
+                            if reservoir.len() < reservoir_cap {
+                                reservoir.push(old);
+                            } else {
+                                let j = rng.below(evicted) as usize;
+                                if j < reservoir_cap {
+                                    reservoir[j] = old;
+                                }
+                            }
+                        }
+                    }
+                    // The prefilter's verdicts are computed on every path:
+                    // they are the degraded-mode output and the baseline
+                    // the drift report measures recovery against.
+                    let rules_flags: Vec<bool> =
+                        slice.records.iter().map(|r| rules.alarm(r)).collect();
+                    let rules_alarms = rules_flags.iter().filter(|&&a| a).count() as u64;
+                    let rules_correct = rules_flags
+                        .iter()
+                        .zip(&slice.labels)
+                        .filter(|&(a, l)| a == l)
+                        .count() as u64;
+                    if adapting {
+                        // Adapting: the prefilter is promoted full-time
+                        // while the retrain runs in the background.
+                        supervised(&health, epoch, &mut arm, || ());
+                        alarms += rules_alarms;
+                        prefilter_hits += n;
+                        degraded.0 += 1;
+                        degraded.1 += n;
+                        accs.push(SliceAcc {
+                            end_ts_us: slice.end_ts_us,
+                            ml: false,
+                            correct: rules_correct,
+                            rules_correct,
+                            total: n,
                         });
+                    } else if breaker.use_model() {
+                        let t0 = Instant::now();
+                        let (slice_alarms, correct, obs) =
+                            supervised(&health, epoch, &mut arm, || {
+                                let scorer = scorer_slot
+                                    .as_ref()
+                                    .expect("scorer present whenever not adapting");
+                                match featurize(extract.as_ref(), link, &slice.records) {
+                                    Ok(table) => {
+                                        let preds = scorer.predict(&table.x);
+                                        let a =
+                                            preds.iter().filter(|&&p| p == 1).count() as u64;
+                                        let correct = preds
+                                            .iter()
+                                            .zip(&slice.labels)
+                                            .filter(|&(p, l)| (*p == 1) == *l)
+                                            .count()
+                                            as u64;
+                                        let mean = if preds.is_empty() {
+                                            0.0
+                                        } else {
+                                            a as f64 / preds.len() as f64
+                                        };
+                                        (a, correct, Some((column_means(&table.x), mean)))
+                                    }
+                                    // Degenerate slice: fall back to the
+                                    // rules so the records still get a
+                                    // verdict (and skip drift observation).
+                                    Err(_) => (rules_alarms, rules_correct, None),
+                                }
+                            });
                         let elapsed = t0.elapsed();
                         breaker.observe(elapsed);
                         latencies_ms.push(elapsed.as_secs_f64() * 1e3);
                         alarms += slice_alarms;
                         scored.0 += 1;
                         scored.1 += n;
+                        accs.push(SliceAcc {
+                            end_ts_us: slice.end_ts_us,
+                            ml: true,
+                            correct,
+                            rules_correct,
+                            total: n,
+                        });
+                        if let (Some(mon), Some((means, score_mean))) = (monitor.as_mut(), obs)
+                        {
+                            if mon.observe(obs_seq, &means, score_mean).is_some() {
+                                detections.push(slice.end_ts_us);
+                                let job = RetrainJob {
+                                    scorer: scorer_slot
+                                        .take()
+                                        .expect("scorer present whenever not adapting"),
+                                    train: reservoir.clone(),
+                                    holdback: recent.iter().cloned().collect(),
+                                };
+                                match retrain_tx.try_send(job) {
+                                    Ok(()) => {
+                                        adapting = true;
+                                        adapt_entries += 1;
+                                    }
+                                    // Ring full (impossible: one job in
+                                    // flight max) or retrain stage gone —
+                                    // keep scoring with the old model.
+                                    Err(TrySendError::Full(job))
+                                    | Err(TrySendError::Closed(job)) => {
+                                        scorer_slot = Some(job.scorer);
+                                    }
+                                }
+                            }
+                            obs_seq += 1;
+                        }
                     } else {
-                        alarms +=
-                            supervised(&health, epoch, &mut arm, || rules.alarms(&slice.records));
+                        supervised(&health, epoch, &mut arm, || ());
+                        alarms += rules_alarms;
                         degraded.0 += 1;
                         degraded.1 += n;
+                        accs.push(SliceAcc {
+                            end_ts_us: slice.end_ts_us,
+                            ml: false,
+                            correct: rules_correct,
+                            rules_correct,
+                            total: n,
+                        });
+                    }
+                }
+                // Input exhausted: stop feeding the retrain stage, then
+                // collect any in-flight verdict so the accounting (and the
+                // scorer handle) is never lost. A requested stop aborts the
+                // attempt via its cancel token; a natural end of capture
+                // waits out the retrain budget.
+                drop(retrain_tx);
+                if adapting {
+                    loop {
+                        if stop_requested(cfg_ref) {
+                            retrain_health.kick();
+                        }
+                        match result_rx.try_recv() {
+                            Ok(RetrainReply::Swapped(_)) => {
+                                model_swaps += 1;
+                                break;
+                            }
+                            Ok(RetrainReply::Reinstated(_)) => break,
+                            Err(TryRecvError::Closed) => break,
+                            Err(TryRecvError::Empty) => {
+                                std::thread::sleep(Duration::from_millis(2))
+                            }
+                        }
                     }
                 }
                 latencies_ms
@@ -1102,15 +1566,107 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                     let i = ((latencies_ms.len() - 1) as f64 * p).round() as usize;
                     latencies_ms[i.min(latencies_ms.len() - 1)]
                 };
-                (
+                ScoreOut {
                     scored,
                     degraded,
                     alarms,
-                    q(0.50),
-                    q(0.99),
-                    breaker.trips(),
-                    breaker.state().name().to_string(),
-                )
+                    p50: q(0.50),
+                    p99: q(0.99),
+                    trips: breaker.trips(),
+                    breaker_final: breaker.state().name().to_string(),
+                    accs,
+                    detections,
+                    swap_ts,
+                    adapt_entries,
+                    prefilter_hits,
+                    model_swaps,
+                }
+            })
+        };
+
+        // --- retrain (background, hangs off score) -------------------
+        let retrain_handle = {
+            let health = health[4].clone();
+            let mut arm = FaultArm::for_stage(StageId::Retrain, &cfg.faults);
+            let extract = &extract;
+            let budget_ms = cfg.retrain_budget_ms;
+            s.spawn(move || {
+                let mut attempts: u64 = 0;
+                let mut failures: u64 = 0;
+                let mut aborted: u64 = 0;
+                let mut total_ms: u64 = 0;
+                while let Some(job) = retrain_rx.recv() {
+                    let t0 = Instant::now();
+                    // Hand-rolled supervision (not `supervised()`): the
+                    // attempt token carries the retrain budget as a
+                    // deadline, and a cancelled fit must surface as a
+                    // counted abort with the original model reinstated —
+                    // not as a silent retry.
+                    let reply = 'attempt: loop {
+                        attempts += 1;
+                        let token = if budget_ms > 0 {
+                            CancelToken::with_deadline_ms(budget_ms)
+                        } else {
+                            CancelToken::unbounded()
+                        };
+                        health.begin_work(epoch, &token);
+                        if arm.transient_left > 0 {
+                            arm.transient_left -= 1;
+                            health.restarts.fetch_add(1, Ordering::Relaxed);
+                            failures += 1;
+                            health.end_work(epoch);
+                            continue;
+                        }
+                        if let Some(ms) = arm.hang_ms.take() {
+                            let until = Instant::now() + Duration::from_millis(ms);
+                            let mut cancelled = false;
+                            while Instant::now() < until {
+                                if token.is_cancelled() {
+                                    cancelled = true;
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            if cancelled {
+                                aborted += 1;
+                                health.end_work(epoch);
+                                break 'attempt RetrainReply::Reinstated(job.scorer);
+                            }
+                            health.beat(epoch);
+                        }
+                        if arm.slow_ms > 0 && arm.slow_left > 0 {
+                            arm.slow_left -= 1;
+                            let until = Instant::now() + Duration::from_millis(arm.slow_ms);
+                            while Instant::now() < until && !token.is_cancelled() {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        let guard = token.set_current();
+                        let outcome = run_retrain(job, extract.as_ref(), link, &rules);
+                        drop(guard);
+                        health.end_work(epoch);
+                        break 'attempt match outcome {
+                            RetrainOutcome::Swapped(m) => RetrainReply::Swapped(m),
+                            RetrainOutcome::GateFailed(m) => {
+                                failures += 1;
+                                RetrainReply::Reinstated(m)
+                            }
+                            RetrainOutcome::TrainError(m) => {
+                                failures += 1;
+                                RetrainReply::Reinstated(m)
+                            }
+                            RetrainOutcome::Cancelled(m) => {
+                                aborted += 1;
+                                RetrainReply::Reinstated(m)
+                            }
+                        };
+                    };
+                    total_ms += t0.elapsed().as_millis() as u64;
+                    if result_tx.send(reply).is_err() {
+                        break;
+                    }
+                }
+                (attempts, failures, aborted, total_ms)
             })
         };
 
@@ -1119,17 +1675,19 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
         let dec_out = dec_handle.join();
         let flow_out = flow_handle.join();
         let score_out = score_handle.join();
+        let retrain_out = retrain_handle.join();
         done.store(true, Ordering::Release);
         let _ = wd_handle.join();
 
-        let (Ok((source_stats, sigterm)), Ok(()), Ok(flow_out), Ok(score_out)) =
-            (src_out, dec_out, flow_out, score_out)
+        let (Ok((source_stats, sigterm)), Ok(()), Ok(flow_out), Ok(so), Ok(retrain_out)) =
+            (src_out, dec_out, flow_out, score_out, retrain_out)
         else {
             outcome = Some(Err(BenchError::Serde("a pipeline stage panicked".into())));
             return;
         };
         let (read, parse_errors, non_ip, flow_stats, shed_slices, shed_records) = flow_out;
-        let (scored, degraded, alarms, p50, p99, trips, breaker_final) = score_out;
+        let (retrain_attempts, retrain_failures, retrains_aborted, retrain_ms_total) =
+            retrain_out;
 
         let stages = vec![
             StreamStageEntry {
@@ -1156,28 +1714,122 @@ pub fn run_stream(cfg: &ServeConfig) -> BenchResult<StreamOutcome> {
                 queue_peak: slice_mon.peak_depth() as u64,
                 restarts: health[3].restarts.load(Ordering::Relaxed),
             },
+            StreamStageEntry {
+                stage: "retrain".into(),
+                queue_capacity: retrain_mon.capacity() as u64,
+                queue_peak: retrain_mon.peak_depth() as u64,
+                restarts: health[4].restarts.load(Ordering::Relaxed),
+            },
         ];
+
+        // Drift report: match each ground-truth breakpoint to the first
+        // unclaimed detection at or after it; leftovers are false alarms.
+        let drift = cfg.drift.map(|_| {
+            let mut used = vec![false; so.detections.len()];
+            let breakpoints: Vec<DriftBreakpointEntry> = scenario
+                .as_ref()
+                .map(|rep| {
+                    rep.breakpoints
+                        .iter()
+                        .map(|bp| {
+                            let mut hit: Option<u64> = None;
+                            for (i, &ts) in so.detections.iter().enumerate() {
+                                if !used[i] && ts >= bp.ts_us {
+                                    used[i] = true;
+                                    hit = Some(ts);
+                                    break;
+                                }
+                            }
+                            DriftBreakpointEntry {
+                                ts_us: bp.ts_us,
+                                kind: bp.kind.name().to_string(),
+                                detected: hit.is_some(),
+                                detected_ts_us: hit.unwrap_or(0),
+                                latency_ms: hit.map_or(0, |ts| (ts - bp.ts_us) / 1000),
+                            }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let false_alarms = used.iter().filter(|&&u| !u).count() as u64;
+            let first_bp = scenario
+                .as_ref()
+                .and_then(|r| r.breakpoints.first())
+                .map(|b| b.ts_us);
+            let accuracy = |pred: &dyn Fn(&SliceAcc) -> bool, baseline: bool| -> f64 {
+                let (mut ok, mut tot) = (0u64, 0u64);
+                for a in so.accs.iter().filter(|a| pred(a)) {
+                    ok += if baseline { a.rules_correct } else { a.correct };
+                    tot += a.total;
+                }
+                if tot == 0 {
+                    0.0
+                } else {
+                    ok as f64 / tot as f64
+                }
+            };
+            let swap = so.swap_ts;
+            let acc_before = accuracy(
+                &|a| a.ml && first_bp.map_or(true, |bp| a.end_ts_us <= bp),
+                false,
+            );
+            let acc_during = match (first_bp, swap) {
+                (Some(bp), Some(sw)) => accuracy(&|a| a.end_ts_us > bp && a.end_ts_us <= sw, false),
+                (Some(bp), None) => accuracy(&|a| a.end_ts_us > bp, false),
+                (None, _) => 0.0,
+            };
+            let acc_after = match swap {
+                Some(sw) => accuracy(&|a| a.ml && a.end_ts_us > sw, false),
+                None => 0.0,
+            };
+            let baseline_acc = match swap.or(first_bp) {
+                Some(c) => accuracy(&|a| a.end_ts_us > c, true),
+                None => accuracy(&|_| true, true),
+            };
+            DriftReport {
+                scenario: scenario.as_ref().map_or_else(String::new, |r| r.id.code().into()),
+                family: scenario
+                    .as_ref()
+                    .map_or_else(String::new, |r| r.id.family().name().into()),
+                breakpoints,
+                detections: so.detections.len() as u64,
+                false_alarms,
+                acc_before,
+                acc_during,
+                acc_after,
+                baseline_acc,
+                adapt_entries: so.adapt_entries,
+                prefilter_hits: so.prefilter_hits,
+                retrain_attempts,
+                retrain_failures,
+                retrains_aborted,
+                model_swaps: so.model_swaps,
+                retrain_ms_total,
+            }
+        });
+
         let report = StreamReport {
             packets_read: read,
             packets_parsed: read - parse_errors,
             decode_errors: parse_errors,
             non_ip,
             records_finalized: flow_stats.records,
-            slices_total: scored.0 + degraded.0 + shed_slices,
-            slices_scored: scored.0,
-            slices_degraded: degraded.0,
+            slices_total: so.scored.0 + so.degraded.0 + shed_slices,
+            slices_scored: so.scored.0,
+            slices_degraded: so.degraded.0,
             slices_shed: shed_slices,
-            records_scored: scored.1,
-            records_degraded: degraded.1,
+            records_scored: so.scored.1,
+            records_degraded: so.degraded.1,
             records_shed: shed_records,
-            alarms,
-            score_p50_ms: p50,
-            score_p99_ms: p99,
-            breaker_trips: trips,
-            breaker_final,
+            alarms: so.alarms,
+            score_p50_ms: so.p50,
+            score_p99_ms: so.p99,
+            breaker_trips: so.trips,
+            breaker_final: so.breaker_final,
             stages,
             drained_clean: true,
             sigterm,
+            drift,
         };
         outcome = Some(Ok(StreamOutcome {
             report,
@@ -1307,6 +1959,8 @@ mod tests {
         Slice {
             seq,
             records: vec![rec; n],
+            labels: vec![false; n],
+            end_ts_us: 0,
         }
     }
 
@@ -1531,5 +2185,159 @@ mod tests {
             "default chaos config should damage something: {:?}",
             out.source_stats
         );
+    }
+
+    // ---- drift detection and adaptive recovery ---------------------------
+
+    /// A drift config sensitive enough to confirm the scenario engine's
+    /// regime changes within a few slices on the small test captures.
+    fn sensitive_drift() -> DriftConfig {
+        DriftConfig {
+            warmup_slices: 4,
+            confirm_slices: 1,
+            z_threshold: 2.5,
+            feature_quorum: 1,
+            ph_delta: 0.02,
+            ph_lambda: 0.25,
+        }
+    }
+
+    fn drift_config() -> ServeConfig {
+        ServeConfig {
+            scenario: Some(ScenarioId::DeviceChurn),
+            drift: Some(sensitive_drift()),
+            scale: SynthScale {
+                duration_s: 16.0,
+                benign_density: 3,
+                intensity: 1.0,
+                devices: 0,
+            },
+            slice_us: 250_000,
+            ring_capacity: 8,
+            batch: 64,
+            pending_cap: 64,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Tentpole acceptance: replaying the device-churn scenario, the drift
+    /// monitor must detect every ground-truth breakpoint with finite
+    /// latency, enter the journaled Adapting state, land a validated
+    /// warm-start swap, and end with post-drift accuracy at or above the
+    /// rule-engine baseline — all read from the journal report.
+    #[test]
+    fn device_churn_drift_is_detected_and_recovered() {
+        let out = run_stream(&drift_config()).expect("scenario stream must finish");
+        let r = &out.report;
+        assert!(r.accounts_exactly(), "accounting broke: {r:?}");
+        let d = r.drift.as_ref().expect("drift config must yield a report");
+        assert_eq!(d.scenario, "S2");
+        assert_eq!(d.family, "drift");
+        assert!(!d.breakpoints.is_empty(), "ground truth missing: {d:?}");
+        assert!(
+            d.all_breakpoints_detected(),
+            "every breakpoint needs a confirmed detection: {d:?}"
+        );
+        assert!(
+            d.breakpoints.iter().all(|b| b.detected_ts_us >= b.ts_us),
+            "detections must land at or after their breakpoint: {d:?}"
+        );
+        assert!(d.adapt_entries >= 1, "adaptation must engage: {d:?}");
+        assert!(d.prefilter_hits > 0, "the promoted prefilter works: {d:?}");
+        assert!(
+            d.model_swaps >= 1,
+            "a validated warm-start swap must land: {d:?}"
+        );
+        assert!(
+            d.acc_after >= d.baseline_acc,
+            "the swapped model must beat the rules floor: {d:?}"
+        );
+        assert!(r.drained_clean && !r.sigterm);
+    }
+
+    /// Satellite: an injected transient retrain failure is retried in
+    /// place — counted as a failure and a stage restart — and the daemon
+    /// still converges to a validated swap without losing a record.
+    #[test]
+    fn transient_retrain_fault_recovers_and_still_swaps() {
+        let cfg = ServeConfig {
+            faults: vec![StreamFault::parse("retrain:transient:1").unwrap()],
+            ..drift_config()
+        };
+        let out = run_stream(&cfg).expect("transient retrain fault must be absorbed");
+        let r = &out.report;
+        assert!(r.accounts_exactly(), "accounting broke: {r:?}");
+        let d = r.drift.as_ref().expect("drift report");
+        assert!(
+            d.retrain_attempts >= 2,
+            "the failed attempt is retried: {d:?}"
+        );
+        assert!(d.retrain_failures >= 1, "the failure is counted: {d:?}");
+        let retrain_stage = r.stages.iter().find(|s| s.stage == "retrain").unwrap();
+        assert_eq!(retrain_stage.restarts, 1, "injected failure counts once");
+        assert!(d.model_swaps >= 1, "recovery still lands a swap: {d:?}");
+    }
+
+    /// Satellite: SIGTERM while the breaker is probing (half-open under a
+    /// persistent slow-scorer fault) *and* a retrain is hung in flight must
+    /// still drain cleanly — the hung retrain is cancelled, journaled as
+    /// aborted, and the partial run accounts exactly.
+    #[test]
+    fn sigterm_with_breaker_probing_and_hung_retrain_drains_cleanly() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let base = drift_config();
+        let total = build_scenario(ScenarioId::DeviceChurn, base.scale, base.seed)
+            .0
+            .packets
+            .len() as u64;
+        let cfg = ServeConfig {
+            drift: Some(DriftConfig {
+                warmup_slices: 2,
+                confirm_slices: 1,
+                z_threshold: 0.5,
+                feature_quorum: 1,
+                ph_delta: 0.0,
+                ph_lambda: 0.05,
+            }),
+            // Every ML slice blows the budget: the breaker trips after two
+            // and then oscillates open ↔ half-open probes.
+            faults: vec![
+                StreamFault::parse("score:slow:60").unwrap(),
+                StreamFault::parse("retrain:hang:30000").unwrap(),
+            ],
+            score_budget: Duration::from_millis(20),
+            breaker_threshold: 2,
+            breaker_cooldown_slices: 1,
+            // Unbounded retrain budget: only the SIGTERM drain may abort
+            // the hung attempt.
+            retrain_budget_ms: 0,
+            // Pace the replay over ~4 s so the stop lands mid-capture.
+            rate_pps: (total / 4).max(10),
+            stop: Some(stop.clone()),
+            ..base
+        };
+        let setter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(1500));
+            stop.store(true, Ordering::Relaxed);
+        });
+        let t0 = Instant::now();
+        let out = run_stream(&cfg).expect("sigterm with work in flight is a clean exit");
+        setter.join().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "the 30 s hung retrain must not stall the drain"
+        );
+        let r = &out.report;
+        assert!(r.sigterm, "the stop must be recorded: {r:?}");
+        assert!(r.drained_clean);
+        assert!(r.accounts_exactly(), "partial runs still account: {r:?}");
+        assert!(r.breaker_trips >= 1, "the slow fault must trip: {r:?}");
+        let d = r.drift.as_ref().expect("drift report");
+        assert!(d.adapt_entries >= 1, "drift must fire pre-stop: {d:?}");
+        assert!(
+            d.retrains_aborted >= 1,
+            "the hung retrain is journaled as aborted: {d:?}"
+        );
+        assert_eq!(d.model_swaps, 0, "an aborted retrain must not swap: {d:?}");
     }
 }

@@ -1,0 +1,414 @@
+//! Streaming concept-drift detection over per-slice score and feature
+//! distributions.
+//!
+//! The serve scorer feeds a [`DriftMonitor`] one observation per time
+//! slice: the slice's per-feature means and its mean anomaly score. The
+//! monitor builds a reference distribution from a warmup window of
+//! slices, then watches two complementary signals:
+//!
+//! * a **two-sided Page–Hinkley test** on the mean score — the classic
+//!   sequential change-point statistic: cumulative deviation from the
+//!   reference mean (less a tolerance `delta`), fired when it escapes its
+//!   running minimum/maximum by more than `lambda`. This catches drift
+//!   that the *model* sees: score distributions sliding up (new attacks
+//!   scored benign-ish push the mean around) or down.
+//! * **per-feature windowed mean monitors** — each feature's slice-mean is
+//!   compared against the reference slice-mean distribution; a slice where
+//!   at least `feature_quorum` features sit further than `z_threshold`
+//!   reference standard deviations from their reference means is
+//!   *shifted*, and `confirm_slices` consecutive shifted slices confirm
+//!   drift. This catches drift the model is *blind* to (input shift with
+//!   scores still calm), and the quorum keeps a single noisy feature from
+//!   crying wolf.
+//!
+//! Both references are computed over **slice means**, not raw records, so
+//! thresholds self-calibrate to however concentrated the slice statistics
+//! are for the traffic at hand. After every detection the monitor re-arms
+//! (drops its reference and re-enters warmup) so successive breakpoints
+//! are each detected once; the serve daemon also calls [`DriftMonitor::reset`]
+//! after a model swap so the new model's score scale builds a fresh
+//! baseline. Everything is deterministic and clock-free: the monitor sees
+//! only what it is fed.
+
+/// Tuning for a [`DriftMonitor`]. The defaults are sized for serve's
+/// sub-second slices over synthetic captures; all thresholds are in units
+/// of the reference distribution, so they transfer across traffic scales.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Slices used to build the reference distribution before testing.
+    pub warmup_slices: usize,
+    /// Page–Hinkley tolerance: deviations smaller than this per slice are
+    /// treated as noise and do not accumulate.
+    pub ph_delta: f64,
+    /// Page–Hinkley threshold on the accumulated deviation.
+    pub ph_lambda: f64,
+    /// How many reference standard deviations a feature's slice-mean must
+    /// stray before the feature counts as shifted.
+    pub z_threshold: f64,
+    /// Features that must be shifted simultaneously for a slice to count.
+    pub feature_quorum: usize,
+    /// Consecutive shifted slices required to confirm feature drift.
+    pub confirm_slices: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            warmup_slices: 6,
+            ph_delta: 0.02,
+            ph_lambda: 0.35,
+            z_threshold: 6.0,
+            feature_quorum: 2,
+            confirm_slices: 2,
+        }
+    }
+}
+
+/// Which signal confirmed the drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftTrigger {
+    /// The Page–Hinkley statistic on the mean score escaped `ph_lambda`.
+    Score {
+        /// The accumulated deviation at detection time.
+        deviation: f64,
+    },
+    /// `shifted` features strayed beyond `z_threshold` for
+    /// `confirm_slices` consecutive slices.
+    Features {
+        /// Features shifted on the confirming slice.
+        shifted: usize,
+    },
+}
+
+impl DriftTrigger {
+    /// Short label for journals and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftTrigger::Score { .. } => "score",
+            DriftTrigger::Features { .. } => "features",
+        }
+    }
+}
+
+/// One confirmed drift detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// The slice sequence number the caller passed to `observe`.
+    pub slice: u64,
+    /// Which test fired.
+    pub trigger: DriftTrigger,
+}
+
+/// Per-feature reference statistics over warmup slice-means.
+#[derive(Debug, Clone, Copy)]
+struct RefStat {
+    mean: f64,
+    std: f64,
+}
+
+/// Floor on a reference std so a perfectly constant warmup feature does
+/// not make every later slice look infinitely shifted.
+const MIN_REF_STD: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Collecting warmup slices: per-slice feature means + score means.
+    Warmup {
+        feature_rows: Vec<Vec<f64>>,
+        score_means: Vec<f64>,
+    },
+    /// Armed: reference built, tests running.
+    Armed {
+        features: Vec<RefStat>,
+        score: RefStat,
+        /// Page–Hinkley rising accumulator `Σ(x − mean − δ)` and its
+        /// running minimum (upward-shift test).
+        ph_up: f64,
+        ph_up_min: f64,
+        /// Falling accumulator `Σ(x − mean + δ)` and its running maximum
+        /// (downward-shift test).
+        ph_dn: f64,
+        ph_dn_max: f64,
+        /// Consecutive slices with a feature quorum shifted.
+        shifted_streak: usize,
+    },
+}
+
+/// Streaming drift detector; see the module docs for the method.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    /// Feature dimensionality, pinned by the first observed slice.
+    dim: Option<usize>,
+    phase: Phase,
+    detections: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given tuning.
+    pub fn new(cfg: DriftConfig) -> DriftMonitor {
+        DriftMonitor {
+            cfg,
+            dim: None,
+            phase: Phase::empty(),
+            detections: 0,
+        }
+    }
+
+    /// A monitor with [`DriftConfig::default`] tuning.
+    pub fn with_defaults() -> DriftMonitor {
+        DriftMonitor::new(DriftConfig::default())
+    }
+
+    /// True once the warmup window has filled and the tests are running.
+    pub fn is_armed(&self) -> bool {
+        matches!(self.phase, Phase::Armed { .. })
+    }
+
+    /// Total confirmed detections over the monitor's lifetime (survives
+    /// re-arming).
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Drops the reference and re-enters warmup. Called internally after
+    /// every detection, and by the serve daemon after a model swap (the
+    /// new model scores on a different scale, so the old score reference
+    /// is meaningless).
+    pub fn reset(&mut self) {
+        self.phase = Phase::empty();
+    }
+
+    /// Feeds one slice: its per-feature means and its mean anomaly score.
+    /// Returns a [`DriftEvent`] when either test confirms drift; the
+    /// monitor re-arms itself afterwards. A change in feature
+    /// dimensionality resets the monitor (a new extraction schema is a new
+    /// world, not drift within the old one).
+    pub fn observe(&mut self, slice: u64, feature_means: &[f64], score_mean: f64) -> Option<DriftEvent> {
+        if self.dim != Some(feature_means.len()) {
+            if self.dim.is_some() {
+                self.reset();
+            }
+            self.dim = Some(feature_means.len());
+        }
+        match &mut self.phase {
+            Phase::Warmup {
+                feature_rows,
+                score_means,
+            } => {
+                feature_rows.push(feature_means.to_vec());
+                score_means.push(score_mean);
+                if feature_rows.len() >= self.cfg.warmup_slices.max(2) {
+                    let features = column_stats(feature_rows);
+                    let score = scalar_stats(score_means);
+                    self.phase = Phase::Armed {
+                        features,
+                        score,
+                        ph_up: 0.0,
+                        ph_up_min: 0.0,
+                        ph_dn: 0.0,
+                        ph_dn_max: 0.0,
+                        shifted_streak: 0,
+                    };
+                }
+                None
+            }
+            Phase::Armed {
+                features,
+                score,
+                ph_up,
+                ph_up_min,
+                ph_dn,
+                ph_dn_max,
+                shifted_streak,
+            } => {
+                // Two-sided Page–Hinkley on the mean score: the tolerance
+                // `delta` is subtracted (added) per observation, so
+                // zero-mean noise walks the accumulators *away* from the
+                // alarm instead of randomly into it.
+                let dev = score_mean - score.mean;
+                *ph_up += dev - self.cfg.ph_delta;
+                *ph_up_min = ph_up_min.min(*ph_up);
+                *ph_dn += dev + self.cfg.ph_delta;
+                *ph_dn_max = ph_dn_max.max(*ph_dn);
+                let rise = *ph_up - *ph_up_min;
+                let fall = *ph_dn_max - *ph_dn;
+                if rise > self.cfg.ph_lambda || fall > self.cfg.ph_lambda {
+                    let deviation = if rise > fall { rise } else { fall };
+                    self.detections += 1;
+                    self.reset();
+                    return Some(DriftEvent {
+                        slice,
+                        trigger: DriftTrigger::Score { deviation },
+                    });
+                }
+
+                // Per-feature windowed mean monitors with a quorum.
+                let shifted = features
+                    .iter()
+                    .zip(feature_means)
+                    .filter(|(r, &m)| (m - r.mean).abs() > self.cfg.z_threshold * r.std.max(MIN_REF_STD))
+                    .count();
+                if shifted >= self.cfg.feature_quorum.max(1) {
+                    *shifted_streak += 1;
+                    if *shifted_streak >= self.cfg.confirm_slices.max(1) {
+                        self.detections += 1;
+                        self.reset();
+                        return Some(DriftEvent {
+                            slice,
+                            trigger: DriftTrigger::Features { shifted },
+                        });
+                    }
+                } else {
+                    *shifted_streak = 0;
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Phase {
+    fn empty() -> Phase {
+        Phase::Warmup {
+            feature_rows: Vec::new(),
+            score_means: Vec::new(),
+        }
+    }
+}
+
+/// Mean/std per column over the warmup rows.
+fn column_stats(rows: &[Vec<f64>]) -> Vec<RefStat> {
+    let dim = rows.first().map_or(0, Vec::len);
+    (0..dim)
+        .map(|j| {
+            let col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+            scalar_stats(&col)
+        })
+        .collect()
+}
+
+fn scalar_stats(xs: &[f64]) -> RefStat {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    RefStat {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_util::Rng;
+
+    fn cfg() -> DriftConfig {
+        DriftConfig::default()
+    }
+
+    /// Stationary noisy features + score: slice means wobble but never
+    /// drift, and the monitor stays quiet for hundreds of slices.
+    #[test]
+    fn stationary_stream_never_fires() {
+        let mut rng = Rng::new(42);
+        let mut mon = DriftMonitor::new(cfg());
+        for slice in 0..300 {
+            let f: Vec<f64> = (0..4).map(|i| 10.0 * (i as f64) + (0.0 + 0.05 * rng.normal())).collect();
+            let s = 0.3 + (0.0 + 0.01 * rng.normal());
+            assert_eq!(mon.observe(slice, &f, s), None, "false alarm at slice {slice}");
+        }
+        assert!(mon.is_armed());
+        assert_eq!(mon.detections(), 0);
+    }
+
+    /// A sustained score shift is caught by Page–Hinkley within a handful
+    /// of slices, and the monitor re-arms to catch a second shift.
+    #[test]
+    fn score_shift_fires_page_hinkley_then_rearms() {
+        let mut rng = Rng::new(7);
+        let mut mon = DriftMonitor::new(cfg());
+        let mut events = Vec::new();
+        for slice in 0..200 {
+            let f: Vec<f64> = (0..3).map(|_| (5.0 + 0.05 * rng.normal())).collect();
+            let s = match slice {
+                0..=49 => 0.25,
+                50..=119 => 0.55, // breakpoint 1
+                _ => 0.15,        // breakpoint 2 (downward: two-sided test)
+            } + (0.0 + 0.01 * rng.normal());
+            if let Some(e) = mon.observe(slice, &f, s) {
+                events.push(e);
+            }
+        }
+        assert!(events.len() >= 2, "both shifts detected, got {events:?}");
+        let first = &events[0];
+        assert!(
+            (50..62).contains(&first.slice),
+            "bounded detection latency, fired at {}",
+            first.slice
+        );
+        assert!(matches!(first.trigger, DriftTrigger::Score { .. }));
+        let second = events.iter().find(|e| e.slice >= 120).expect("downward shift detected");
+        assert!(second.slice < 135, "bounded latency on the fall, fired at {}", second.slice);
+        assert_eq!(mon.detections(), events.len() as u64);
+    }
+
+    /// Input drift the model cannot see: scores stay flat while a quorum
+    /// of features shifts. One shifted feature is not enough.
+    #[test]
+    fn feature_quorum_gates_the_feature_path() {
+        let mut rng = Rng::new(9);
+        // One feature shifting: stays quiet.
+        let mut mon = DriftMonitor::new(cfg());
+        for slice in 0..80 {
+            let bump = if slice >= 40 { 3.0 } else { 0.0 };
+            let f = [1.0 + bump + (0.0 + 0.02 * rng.normal()), 2.0 + (0.0 + 0.02 * rng.normal()), 3.0 + (0.0 + 0.02 * rng.normal())];
+            assert_eq!(mon.observe(slice, &f, 0.4 + (0.0 + 0.005 * rng.normal())), None);
+        }
+        // Two features shifting: fires shortly after the breakpoint.
+        let mut mon = DriftMonitor::new(cfg());
+        let mut fired = None;
+        for slice in 0..80 {
+            let bump = if slice >= 40 { 3.0 } else { 0.0 };
+            let f = [1.0 + bump + (0.0 + 0.02 * rng.normal()), 2.0 + bump + (0.0 + 0.02 * rng.normal()), 3.0 + (0.0 + 0.02 * rng.normal())];
+            if let Some(e) = mon.observe(slice, &f, 0.4 + (0.0 + 0.005 * rng.normal())) {
+                fired = Some(e);
+                break;
+            }
+        }
+        let e = fired.expect("quorum shift must fire");
+        assert!((40..46).contains(&e.slice), "fired at {}", e.slice);
+        assert!(matches!(e.trigger, DriftTrigger::Features { shifted: 2 }));
+    }
+
+    /// A dimensionality change is a schema change, not drift: the monitor
+    /// resets instead of firing.
+    #[test]
+    fn dimension_change_resets_instead_of_firing() {
+        let mut mon = DriftMonitor::new(cfg());
+        for slice in 0..20 {
+            mon.observe(slice, &[1.0, 2.0, 3.0], 0.5);
+        }
+        assert!(mon.is_armed());
+        assert_eq!(mon.observe(20, &[100.0, 200.0], 0.9), None);
+        assert!(!mon.is_armed(), "new schema re-enters warmup");
+        assert_eq!(mon.detections(), 0);
+    }
+
+    /// Explicit reset (post model swap) drops the score reference so the
+    /// new model's different score scale is not read as drift.
+    #[test]
+    fn reset_after_swap_rebuilds_the_reference() {
+        let mut mon = DriftMonitor::new(cfg());
+        for slice in 0..20 {
+            assert_eq!(mon.observe(slice, &[4.0], 0.2), None);
+        }
+        mon.reset();
+        // A new, much higher score level: quiet, because the reference is
+        // rebuilt around it during the fresh warmup.
+        for slice in 20..60 {
+            assert_eq!(mon.observe(slice, &[4.0], 0.8), None);
+        }
+        assert!(mon.is_armed());
+    }
+}

@@ -32,6 +32,7 @@ pub mod bayes;
 pub mod cluster;
 pub mod contracts;
 pub mod dataset;
+pub mod drift;
 pub mod ensemble;
 pub mod forest;
 pub mod gmm;
@@ -51,6 +52,7 @@ pub mod tree;
 
 pub use contracts::{shape_contract, ShapeContract};
 pub use dataset::{kfold, train_test_split, Dataset};
+pub use drift::{DriftConfig, DriftEvent, DriftMonitor, DriftTrigger};
 pub use matrix::Matrix;
 pub use metrics::{confusion, roc_auc, Confusion};
 pub use model::{AnomalyDetector, AnyModel, Classifier, Pretrained};

@@ -1,7 +1,7 @@
 //! Linear models trained by mini-batch SGD: logistic regression and a
 //! hinge-loss linear SVM (the SVM member of the ML-DDoS ensemble, A00).
 
-use lumen_util::Rng;
+use lumen_util::{CancelToken, Rng};
 
 use crate::dataset::Dataset;
 use crate::kernels::{self, KernelOp};
@@ -57,6 +57,7 @@ fn batch_scores(scaled: &Matrix, weights: &[f64], bias: f64) -> Vec<f64> {
 }
 
 /// Logistic regression over standardized features.
+#[derive(Clone)]
 pub struct LogisticRegression {
     /// Hyperparameters.
     pub config: SgdConfig,
@@ -114,6 +115,61 @@ impl Classifier for LogisticRegression {
         Ok(())
     }
 
+    /// Warm start: continues SGD from the current weights on new data.
+    ///
+    /// The scaler is *not* refitted — the model keeps its training-time
+    /// feature normalization so old and new weights live on the same
+    /// scale, and a schema change surfaces as `DimensionMismatch` instead
+    /// of silently relearning a different space. The learning-rate
+    /// schedule restarts (a warm restart in the SGD sense), and the
+    /// epoch loop polls the thread's current [`CancelToken`] so a
+    /// budgeted or draining retrain stage can abort mid-fit.
+    fn fit_incremental(&mut self, data: &Dataset) -> MlResult<()> {
+        if data.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if data.x.cols() != self.weights.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.weights.len(),
+                got: data.x.cols(),
+            });
+        }
+        let x = self.scaler.transform(&data.x);
+        let mut rng = Rng::new(self.config.seed ^ 0xA5A5_5A5A_A5A5_5A5A);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut t = 0.0;
+        for _ in 0..self.config.epochs {
+            if CancelToken::current_cancelled() {
+                return Err(MlError::Cancelled);
+            }
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let row = x.row(i);
+                let z = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, w)| a * w)
+                        .sum::<f64>();
+                let err = sigmoid(z) - f64::from(data.y[i]);
+                let lr = self.config.learning_rate / (1.0 + 0.01 * t);
+                for (w, &a) in self.weights.iter_mut().zip(row) {
+                    *w -= lr * (err * a + self.config.l2 * *w);
+                }
+                self.bias -= lr * err;
+                t += 1.0;
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Classifier>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn predict_row(&self, row: &[f64]) -> u8 {
         u8::from(self.score_row(row) >= 0.5)
     }
@@ -146,6 +202,7 @@ impl Classifier for LogisticRegression {
 }
 
 /// Linear SVM trained with hinge loss; scores are logistic-squashed margins.
+#[derive(Clone)]
 pub struct LinearSvm {
     /// Hyperparameters.
     pub config: SgdConfig,
@@ -206,6 +263,10 @@ impl Classifier for LinearSvm {
         }
         self.fitted = true;
         Ok(())
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Classifier>> {
+        Some(Box::new(self.clone()))
     }
 
     fn predict_row(&self, row: &[f64]) -> u8 {
@@ -341,5 +402,95 @@ mod tests {
             .fit(&data)
             .is_err());
         assert!(LinearSvm::new(SgdConfig::default()).fit(&data).is_err());
+    }
+
+    /// The satellite contract: warm-starting on *unchanged* data is
+    /// equivalent to the cold fit — same decision boundary at prediction
+    /// level, no accuracy loss — because the extra SGD passes only polish
+    /// an already-converged optimum.
+    #[test]
+    fn warm_start_on_unchanged_data_matches_cold_fit() {
+        let train = linear_problem(11, 400);
+        let test = linear_problem(12, 200);
+
+        let mut cold = LogisticRegression::new(SgdConfig::default());
+        cold.fit(&train).unwrap();
+
+        let mut warm = LogisticRegression::new(SgdConfig::default());
+        warm.fit(&train).unwrap();
+        warm.fit_incremental(&train).unwrap();
+
+        let cold_acc = accuracy(&cold.predict(&test.x), &test.y);
+        let warm_acc = accuracy(&warm.predict(&test.x), &test.y);
+        assert!(cold_acc > 0.95 && warm_acc > 0.95, "cold {cold_acc} warm {warm_acc}");
+        assert!(warm_acc >= cold_acc - 0.01, "warm start must not degrade: cold {cold_acc} warm {warm_acc}");
+        let agree = accuracy(&warm.predict(&test.x), &cold.predict(&test.x));
+        assert!(agree >= 0.99, "warm and cold boundaries diverged: agreement {agree}");
+    }
+
+    /// Warm start actually adapts: after the label relationship flips
+    /// (simulated drift), an incremental pass moves the boundary to the
+    /// new world.
+    #[test]
+    fn warm_start_adapts_to_flipped_labels() {
+        let train = linear_problem(13, 400);
+        let mut m = LogisticRegression::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+
+        let flipped = Dataset::new(
+            train.x.clone(),
+            train.y.iter().map(|&y| 1 - y).collect(),
+        )
+        .unwrap();
+        m.fit_incremental(&flipped).unwrap();
+        let acc_on_flipped = accuracy(&m.predict(&flipped.x), &flipped.y);
+        assert!(acc_on_flipped > 0.95, "adapted accuracy {acc_on_flipped}");
+    }
+
+    #[test]
+    fn fit_incremental_guards_state_and_schema() {
+        let train = linear_problem(14, 200);
+        // Never fitted: warm start has no state to start from.
+        let mut unfitted = LogisticRegression::new(SgdConfig::default());
+        assert_eq!(unfitted.fit_incremental(&train), Err(MlError::NotFitted));
+        // Width change is a schema change, not drift.
+        let mut m = LogisticRegression::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+        let wide =
+            Dataset::new(Matrix::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap(), vec![1]).unwrap();
+        assert_eq!(
+            m.fit_incremental(&wide),
+            Err(MlError::DimensionMismatch { expected: 2, got: 3 })
+        );
+    }
+
+    /// A cancelled thread-current token aborts the warm start between
+    /// epochs — the hook the budgeted serve retrain stage relies on.
+    #[test]
+    fn fit_incremental_honors_the_current_cancel_token() {
+        let train = linear_problem(15, 100);
+        let mut m = LogisticRegression::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+        let before = m.scores(&train.x);
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let _guard = token.set_current();
+        assert_eq!(m.fit_incremental(&train), Err(MlError::Cancelled));
+        assert_eq!(m.scores(&train.x), before, "aborted before touching weights");
+    }
+
+    #[test]
+    fn snapshot_clones_fitted_state() {
+        let train = linear_problem(16, 200);
+        let mut m = LogisticRegression::new(SgdConfig::default());
+        m.fit(&train).unwrap();
+        let snap = m.snapshot().expect("linear models snapshot");
+        assert_eq!(snap.name(), "logistic-regression");
+        assert_eq!(snap.predict(&train.x), m.predict(&train.x));
+        // Mutating the snapshot leaves the original untouched.
+        let before = m.scores(&train.x);
+        let mut snap = snap;
+        snap.fit(&train).unwrap();
+        assert_eq!(m.scores(&train.x), before);
     }
 }

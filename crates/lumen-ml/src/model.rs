@@ -11,6 +11,25 @@ pub trait Classifier: Send + Sync {
     /// Trains on a labeled dataset.
     fn fit(&mut self, data: &Dataset) -> MlResult<()>;
 
+    /// Continues training from the current fitted state on new data.
+    ///
+    /// The default is a cold refit — correct for every model, warm for
+    /// none. Models with a genuine warm start (SGD-trained linear models
+    /// continuing from their current weights) override this; the serve
+    /// retrain stage calls it so adaptation reuses fitted state instead of
+    /// relearning from scratch.
+    fn fit_incremental(&mut self, data: &Dataset) -> MlResult<()> {
+        self.fit(data)
+    }
+
+    /// A boxed copy of this fitted model, when the implementation supports
+    /// cloning its fitted state. The retrain stage snapshots before a
+    /// warm-start so a failed validation gate can reinstate the untouched
+    /// original; models without snapshot support force a cold retrain path.
+    fn snapshot(&self) -> Option<Box<dyn Classifier>> {
+        None
+    }
+
     /// Predicts the label of one feature row.
     fn predict_row(&self, row: &[f64]) -> u8;
 
@@ -148,24 +167,73 @@ impl<D: AnomalyDetector> Classifier for Calibrated<D> {
 /// its [`Classifier::fit`] is a hard error rather than a silent retrain.
 /// Prediction and scoring delegate to the wrapped model's own batched
 /// overrides, so the kernelized hot paths are preserved.
+///
+/// The freeze is reversible, but only *checked*: [`Pretrained::into_inner`]
+/// thaws the classifier back out when this is the last handle, so the
+/// serve retrain stage can warm-start from fitted state without ever
+/// racing a live scorer that still shares the weights.
 #[derive(Clone)]
 pub struct Pretrained {
-    inner: Arc<dyn Classifier>,
+    inner: FrozenInner,
+}
+
+#[derive(Clone)]
+enum FrozenInner {
+    /// Frozen from an owned classifier; thawable once unique.
+    Owned(Arc<Box<dyn Classifier>>),
+    /// Frozen from an already-shared classifier (a pipeline `Trained`
+    /// artifact); other owners may exist outside any `Pretrained`, so this
+    /// is never thawable.
+    Shared(Arc<dyn Classifier>),
 }
 
 impl Pretrained {
     /// Freezes an already-fitted classifier. The caller is responsible for
     /// having fitted it; an unfitted model stays unfitted forever.
     pub fn new<C: Classifier + 'static>(fitted: C) -> Pretrained {
+        Pretrained::new_boxed(Box::new(fitted))
+    }
+
+    /// Freezes an already-boxed classifier (what [`Pretrained::into_inner`]
+    /// hands back, so thaw → warm-start → refreeze round-trips).
+    pub fn new_boxed(fitted: Box<dyn Classifier>) -> Pretrained {
         Pretrained {
-            inner: Arc::new(fitted),
+            inner: FrozenInner::Owned(Arc::new(fitted)),
         }
     }
 
     /// Freezes a shared classifier (e.g. one already behind an `Arc` in a
     /// pipeline `Trained` artifact) without cloning the weights.
     pub fn from_shared(fitted: Arc<dyn Classifier>) -> Pretrained {
-        Pretrained { inner: fitted }
+        Pretrained {
+            inner: FrozenInner::Shared(fitted),
+        }
+    }
+
+    /// Thaws the wrapped classifier back out for a warm-start retrain.
+    ///
+    /// Checked: succeeds only when this is the last handle to the weights
+    /// — a clone still scoring in another thread, or a
+    /// [`Pretrained::from_shared`] origin, gets the wrapper back unchanged
+    /// as the `Err`. The freeze guarantee is therefore never violated:
+    /// either nobody else can observe the model and it becomes mutable, or
+    /// somebody can and it stays frozen.
+    pub fn into_inner(self) -> Result<Box<dyn Classifier>, Pretrained> {
+        match self.inner {
+            FrozenInner::Owned(arc) => Arc::try_unwrap(arc).map_err(|arc| Pretrained {
+                inner: FrozenInner::Owned(arc),
+            }),
+            FrozenInner::Shared(arc) => Err(Pretrained {
+                inner: FrozenInner::Shared(arc),
+            }),
+        }
+    }
+
+    fn get(&self) -> &dyn Classifier {
+        match &self.inner {
+            FrozenInner::Owned(boxed) => boxed.as_ref().as_ref(),
+            FrozenInner::Shared(arc) => arc.as_ref(),
+        }
     }
 }
 
@@ -173,28 +241,40 @@ impl Classifier for Pretrained {
     /// Always an error: a frozen model cannot be retrained in place.
     fn fit(&mut self, _data: &Dataset) -> MlResult<()> {
         Err(crate::MlError::BadConfig(
-            "Pretrained models are frozen; train the inner model before wrapping".into(),
+            "Pretrained models are frozen; thaw with into_inner() before retraining".into(),
         ))
     }
 
+    /// Also an error: warm starts go through [`Pretrained::into_inner`].
+    fn fit_incremental(&mut self, data: &Dataset) -> MlResult<()> {
+        self.fit(data)
+    }
+
+    /// Snapshots the *inner* fitted state (when the wrapped model supports
+    /// it) — the one mutation-free escape hatch that works even while the
+    /// weights are shared.
+    fn snapshot(&self) -> Option<Box<dyn Classifier>> {
+        self.get().snapshot()
+    }
+
     fn predict_row(&self, row: &[f64]) -> u8 {
-        self.inner.predict_row(row)
+        self.get().predict_row(row)
     }
 
     fn score_row(&self, row: &[f64]) -> f64 {
-        self.inner.score_row(row)
+        self.get().score_row(row)
     }
 
     fn predict(&self, x: &Matrix) -> Vec<u8> {
-        self.inner.predict(x)
+        self.get().predict(x)
     }
 
     fn scores(&self, x: &Matrix) -> Vec<f64> {
-        self.inner.scores(x)
+        self.get().scores(x)
     }
 
     fn name(&self) -> &'static str {
-        self.inner.name()
+        self.get().name()
     }
 }
 
@@ -318,5 +398,51 @@ mod tests {
         // Clones share the same weights: scoring agrees bit-for-bit.
         let clone = frozen.clone();
         assert_eq!(clone.scores(&x), expected_scores);
+    }
+
+    #[test]
+    fn into_inner_thaws_only_the_last_handle() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![0.1], vec![-0.1], vec![9.0]]).unwrap();
+        let data = Dataset::new(x.clone(), vec![0, 0, 0, 1]).unwrap();
+        let mut inner = Calibrated::with_quantile(DistanceDetector { center: f64::NAN }, 1.0);
+        inner.fit(&data).unwrap();
+        let frozen = Pretrained::new(inner);
+
+        // A live clone blocks the thaw; the wrapper comes back intact and
+        // still scores.
+        let clone = frozen.clone();
+        let frozen = match frozen.into_inner() {
+            Ok(_) => panic!("thaw must fail while a clone holds the weights"),
+            Err(p) => p,
+        };
+        assert_eq!(frozen.predict_row(&[9.0]), 1);
+        drop(clone);
+
+        // Last handle: the thaw succeeds and the model is mutable again.
+        let Ok(mut thawed) = frozen.into_inner() else {
+            panic!("unique handle must thaw");
+        };
+        assert_eq!(thawed.predict_row(&[9.0]), 1);
+        thawed.fit(&data).expect("thawed model accepts training again");
+
+        // Refreeze round-trips through the boxed constructor.
+        let refrozen = Pretrained::new_boxed(thawed);
+        assert_eq!(refrozen.predict_row(&[9.0]), 1);
+    }
+
+    #[test]
+    fn shared_origin_is_never_thawable() {
+        let mut inner = Calibrated::with_quantile(DistanceDetector { center: f64::NAN }, 1.0);
+        let x = Matrix::from_rows(vec![vec![0.0], vec![0.1], vec![9.0]]).unwrap();
+        let data = Dataset::new(x, vec![0, 0, 1]).unwrap();
+        inner.fit(&data).unwrap();
+        let shared: Arc<dyn Classifier> = Arc::new(inner);
+        let frozen = Pretrained::from_shared(Arc::clone(&shared));
+        // Even though this Pretrained is the only *wrapper*, the Arc has an
+        // owner outside it — the freeze must hold.
+        let Err(frozen) = frozen.into_inner() else {
+            panic!("shared origin must stay frozen");
+        };
+        assert_eq!(frozen.predict_row(&[9.0]), 1);
     }
 }

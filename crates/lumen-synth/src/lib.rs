@@ -23,6 +23,7 @@ pub mod devices;
 pub mod labels;
 pub mod network;
 pub mod recipes;
+pub mod scenario;
 pub mod session;
 pub mod sweep;
 
@@ -30,6 +31,9 @@ pub use chaos::{ChaosConfig, ChaosFault, ChaosPcap, ChaosReport};
 pub use labels::{connection_labels, uni_flow_labels};
 pub use network::{Endpoint, NetworkEnv};
 pub use recipes::{build_dataset, DatasetId, DatasetSpec, SynthScale};
+pub use scenario::{
+    build_scenario, Breakpoint, BreakpointKind, ScenarioFamily, ScenarioId, ScenarioReport,
+};
 pub use sweep::{endpoint_sweep, SweepSpec};
 
 use lumen_net::{CapturedPacket, LinkType};

@@ -1,0 +1,872 @@
+//! Mid-capture scenario engine: concept drift, evasive attacks, and an
+//! encrypted regime, each with machine-readable ground truth.
+//!
+//! The static recipes in [`crate::recipes`] are stationary: the traffic
+//! distribution a model trains on is the distribution it is scored on. Real
+//! deployments are not — firmware updates shift feature distributions,
+//! device rosters churn, attackers throttle themselves under detection
+//! thresholds, and TLS adoption zeroes payload-derived features overnight.
+//! This module composes the existing generators into captures that *mutate
+//! mid-stream* at seeded breakpoints, and emits a [`ScenarioReport`] naming
+//! every breakpoint so drift detectors can be scored on detection latency
+//! against exact ground truth rather than eyeballed onset times.
+//!
+//! The same `(id, scale, seed)` triple always produces the identical capture
+//! and report, mirroring [`crate::recipes::build_dataset`].
+
+use lumen_net::builder::{self, TcpParams, UdpParams};
+use lumen_net::meta::Ipv4Meta;
+use lumen_net::wire::tcp::TcpFlags;
+use lumen_net::{CapturedPacket, LinkType, PacketMeta, TransportMeta};
+use lumen_util::Rng;
+
+use crate::devices;
+use crate::network::{Endpoint, NetworkEnv};
+use crate::session::{tcp_conversation, Exchange, TcpConv, Teardown};
+use crate::{attacks, AttackKind, Label, LabelGranularity, LabeledCapture, LabeledPacket};
+
+/// Identifier of one drift/adversarial scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScenarioId {
+    /// Concept drift: a firmware rollout adds bulk-download and streaming
+    /// behaviour to a previously chatty-but-small device population.
+    FirmwareShift,
+    /// Concept drift: diurnal rate cycles — benign density steps up and down
+    /// at segment boundaries, shifting rate-derived features.
+    DiurnalCycle,
+    /// Concept drift: the device roster churns mid-capture; sensors go
+    /// offline and a different device mix (TVs, cameras, assistants) with
+    /// different addresses and timing comes online.
+    DeviceChurn,
+    /// Evasion: a low-and-slow port scan paced far below flood thresholds.
+    LowSlowScan,
+    /// Evasion: C2 beaconing disguised as a benign HTTP poller — identical
+    /// byte patterns to benign traffic, malicious ground truth.
+    MimicryC2,
+    /// Evasion: rate-limited exfiltration — small uploads spread over the
+    /// whole tail of the capture.
+    SlowExfil,
+    /// Regime change: every post-breakpoint TCP/UDP payload is rebuilt empty
+    /// (wholesale encryption adoption), zeroing payload-derived features.
+    EncryptedRegime,
+}
+
+impl ScenarioId {
+    /// Every scenario, in display order.
+    pub const ALL: [ScenarioId; 7] = [
+        ScenarioId::FirmwareShift,
+        ScenarioId::DiurnalCycle,
+        ScenarioId::DeviceChurn,
+        ScenarioId::LowSlowScan,
+        ScenarioId::MimicryC2,
+        ScenarioId::SlowExfil,
+        ScenarioId::EncryptedRegime,
+    ];
+
+    /// Short identifier ("S0".."S6"), following the dataset code convention.
+    pub fn code(self) -> &'static str {
+        match self {
+            ScenarioId::FirmwareShift => "S0",
+            ScenarioId::DiurnalCycle => "S1",
+            ScenarioId::DeviceChurn => "S2",
+            ScenarioId::LowSlowScan => "S3",
+            ScenarioId::MimicryC2 => "S4",
+            ScenarioId::SlowExfil => "S5",
+            ScenarioId::EncryptedRegime => "S6",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioId::FirmwareShift => "firmware-shift",
+            ScenarioId::DiurnalCycle => "diurnal-cycle",
+            ScenarioId::DeviceChurn => "device-churn",
+            ScenarioId::LowSlowScan => "low-slow-scan",
+            ScenarioId::MimicryC2 => "mimicry-c2",
+            ScenarioId::SlowExfil => "slow-exfil",
+            ScenarioId::EncryptedRegime => "encrypted-regime",
+        }
+    }
+
+    /// Which family of non-stationarity this scenario exercises.
+    pub fn family(self) -> ScenarioFamily {
+        match self {
+            ScenarioId::FirmwareShift | ScenarioId::DiurnalCycle | ScenarioId::DeviceChurn => {
+                ScenarioFamily::Drift
+            }
+            ScenarioId::LowSlowScan | ScenarioId::MimicryC2 | ScenarioId::SlowExfil => {
+                ScenarioFamily::Evasion
+            }
+            ScenarioId::EncryptedRegime => ScenarioFamily::Encryption,
+        }
+    }
+
+    /// Parses a scenario from its code ("S2") or name ("device-churn").
+    pub fn parse(s: &str) -> Option<ScenarioId> {
+        ScenarioId::ALL
+            .into_iter()
+            .find(|id| id.code().eq_ignore_ascii_case(s) || id.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Coarse scenario family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioFamily {
+    /// Benign distribution shifts; the attack mix stays constant.
+    Drift,
+    /// Attacks crafted to hide inside the benign distribution.
+    Evasion,
+    /// Feature channels disappear wholesale (encryption adoption).
+    Encryption,
+}
+
+impl ScenarioFamily {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioFamily::Drift => "drift",
+            ScenarioFamily::Evasion => "evasion",
+            ScenarioFamily::Encryption => "encryption",
+        }
+    }
+}
+
+/// What changed at a breakpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakpointKind {
+    /// Benign feature distributions shifted (payload sizes, protocols).
+    FeatureShift,
+    /// Benign traffic rate stepped up or down.
+    RateCycle,
+    /// The device roster changed.
+    DeviceChurn,
+    /// An evasive attack began.
+    EvasionOnset,
+    /// A capture-wide regime change (e.g. encryption adoption).
+    RegimeChange,
+}
+
+impl BreakpointKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakpointKind::FeatureShift => "feature-shift",
+            BreakpointKind::RateCycle => "rate-cycle",
+            BreakpointKind::DeviceChurn => "device-churn",
+            BreakpointKind::EvasionOnset => "evasion-onset",
+            BreakpointKind::RegimeChange => "regime-change",
+        }
+    }
+}
+
+/// One ground-truth distribution breakpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breakpoint {
+    /// Capture timestamp (µs) at which the new regime begins.
+    pub ts_us: u64,
+    /// What changed.
+    pub kind: BreakpointKind,
+}
+
+/// Machine-readable ground truth for one scenario build: what mutated, when,
+/// and how many packets belong to the mutated regime. Drift detectors are
+/// scored against this, never against eyeballed onsets.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Which scenario.
+    pub id: ScenarioId,
+    /// Seed the capture was built from.
+    pub seed: u64,
+    /// Breakpoints in time order.
+    pub breakpoints: Vec<Breakpoint>,
+    /// Packets in the capture.
+    pub total_packets: usize,
+    /// Packets belonging to the mutated regime (phase-2 generators, evasive
+    /// flows, or rewritten frames).
+    pub affected_packets: usize,
+    /// Malicious packets (ground truth).
+    pub malicious_packets: usize,
+}
+
+/// Builds one scenario capture plus its ground-truth report. The same
+/// `(id, scale, seed)` triple always produces the identical pair.
+pub fn build_scenario(
+    id: ScenarioId,
+    scale: crate::SynthScale,
+    seed: u64,
+) -> (LabeledCapture, ScenarioReport) {
+    // Offset the id mix so scenario S0 and dataset F0 never share a stream
+    // even under the same user seed.
+    let mut rng = Rng::new(seed ^ (id as u64 + 0x5C).wrapping_mul(0x9E37_79B9));
+    let dur = (scale.duration_s * 1e6) as u64;
+    let t0 = 1_000_000u64;
+    let ctx = ScenarioCtx {
+        t0,
+        dur,
+        end: t0 + dur,
+        density: scale.benign_density,
+        intensity: scale.intensity,
+    };
+
+    let (stream, affected, breakpoints) = match id {
+        ScenarioId::FirmwareShift => firmware_shift(&ctx, &mut rng),
+        ScenarioId::DiurnalCycle => diurnal_cycle(&ctx, &mut rng),
+        ScenarioId::DeviceChurn => device_churn(&ctx, &mut rng),
+        ScenarioId::LowSlowScan => low_slow_scan(&ctx, &mut rng),
+        ScenarioId::MimicryC2 => mimicry_c2(&ctx, &mut rng),
+        ScenarioId::SlowExfil => slow_exfil(&ctx, &mut rng),
+        ScenarioId::EncryptedRegime => encrypted_regime(&ctx, &mut rng),
+    };
+
+    let cap = LabeledCapture::from_streams(LinkType::Ethernet, LabelGranularity::Connection, stream);
+    let report = ScenarioReport {
+        id,
+        seed,
+        breakpoints,
+        total_packets: cap.len(),
+        affected_packets: affected,
+        malicious_packets: cap.labels.iter().filter(|l| l.malicious).count(),
+    };
+    (cap, report)
+}
+
+struct ScenarioCtx {
+    t0: u64,
+    dur: u64,
+    end: u64,
+    density: usize,
+    intensity: f64,
+}
+
+impl ScenarioCtx {
+    /// The primary breakpoint: 45% into the capture, past the serve
+    /// pipeline's training prefix and the drift monitor's warmup.
+    fn breakpoint(&self) -> u64 {
+        self.t0 + self.dur * 45 / 100
+    }
+
+    fn env(&self, subnet: [u8; 3], devices: usize, cloud: usize, rng: &mut Rng) -> NetworkEnv {
+        NetworkEnv::new(subnet, devices, cloud, &mut rng.fork(1))
+    }
+}
+
+type Phase = (Vec<LabeledPacket>, usize, Vec<Breakpoint>);
+
+/// S0: benign mix throughout; at the breakpoint a firmware rollout adds
+/// bulk downloads and camera streaming to the same device population. A
+/// steady low-rate SYN flood spans both phases so detection accuracy is
+/// measurable before, during, and after the shift.
+fn firmware_shift(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 44, 0], 10, 4, rng);
+    let bp = ctx.breakpoint();
+    let mut stream = devices::benign_mix(&env, ctx.t0, ctx.dur, ctx.density, &mut rng.fork(2));
+
+    let atk_start = ctx.t0 + ctx.dur / 6;
+    stream.extend(attacks::syn_flood(
+        &env,
+        env.device(0),
+        80,
+        atk_start,
+        ctx.end - atk_start,
+        120.0 * ctx.intensity,
+        &mut rng.fork(3),
+    ));
+
+    // Phase 2: the rollout. Staggered bulk downloads plus a camera that was
+    // previously idle — payload sizes and per-flow byte counts jump.
+    let mut shift_rng = rng.fork(4);
+    let mut affected = Vec::new();
+    let mut t = bp;
+    let gap = (ctx.end - bp) / 6;
+    let mut dev = 1usize;
+    while t < ctx.end {
+        affected.extend(devices::firmware_download(
+            &env,
+            dev % env.devices.len(),
+            dev % 4,
+            t,
+            (180_000.0 * ctx.intensity) as usize + 60_000,
+            &mut shift_rng,
+        ));
+        dev += 1;
+        t += gap.max(1);
+    }
+    affected.extend(devices::camera_stream(
+        &env,
+        2,
+        1,
+        bp,
+        ctx.end - bp,
+        &mut shift_rng,
+    ));
+
+    let n_affected = affected.len();
+    stream.extend(affected);
+    (
+        stream,
+        n_affected,
+        vec![Breakpoint {
+            ts_us: bp,
+            kind: BreakpointKind::FeatureShift,
+        }],
+    )
+}
+
+/// S1: benign density alternates low/high/low/high across four segments;
+/// each boundary is a rate-cycle breakpoint. A steady UDP flood spans the
+/// middle of the capture.
+fn diurnal_cycle(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 45, 0], 10, 4, rng);
+    let seg = ctx.dur / 4;
+    let mut stream = Vec::new();
+    let mut affected = 0usize;
+    let mut breakpoints = Vec::new();
+    for i in 0..4u64 {
+        let start = ctx.t0 + i * seg;
+        let density = if i % 2 == 0 {
+            ctx.density.max(2)
+        } else {
+            ctx.density.max(2) * 3
+        };
+        let packets = devices::benign_mix(&env, start, seg, density, &mut rng.fork(10 + i));
+        if i > 0 {
+            affected += packets.len();
+            breakpoints.push(Breakpoint {
+                ts_us: start,
+                kind: BreakpointKind::RateCycle,
+            });
+        }
+        stream.extend(packets);
+    }
+
+    let atk_start = ctx.t0 + ctx.dur / 5;
+    stream.extend(attacks::udp_flood(
+        &env,
+        env.device(1),
+        atk_start,
+        ctx.dur * 3 / 5,
+        90.0 * ctx.intensity,
+        &mut rng.fork(3),
+    ));
+    (stream, affected, breakpoints)
+}
+
+/// S2: the sensor roster (MQTT, DNS, NTP, HTTP pollers) goes offline at the
+/// breakpoint and a different device mix (TVs, assistants, cameras) with
+/// different addresses comes online. A telnet brute force spans both phases.
+fn device_churn(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 46, 0], 12, 4, rng);
+    let bp = ctx.breakpoint();
+    let mut p1 = rng.fork(2);
+    let mut stream = Vec::new();
+    let pre = bp - ctx.t0;
+    for d in 0..4 {
+        stream.extend(devices::mqtt_sensor(
+            &env,
+            d,
+            d % 4,
+            ctx.t0,
+            pre,
+            2_000_000,
+            &mut p1,
+        ));
+    }
+    stream.extend(devices::dns_chatter(&env, 0, ctx.t0, pre, 3_000_000, &mut p1));
+    stream.extend(devices::ntp_sync(&env, 1, 1, ctx.t0, pre, &mut p1));
+    stream.extend(devices::http_poller(
+        &env, 2, 2, ctx.t0, pre, 1_500_000, &mut p1,
+    ));
+
+    // Phase 2: a different roster — different IPs, protocols, and timing.
+    let mut p2 = rng.fork(4);
+    let post = ctx.end - bp;
+    let mut affected = Vec::new();
+    affected.extend(devices::smart_tv(&env, 6, 0, bp, post, &mut p2));
+    affected.extend(devices::voice_assistant(&env, 7, 1, bp, post, &mut p2));
+    affected.extend(devices::camera_stream(&env, 8, 2, bp, post, &mut p2));
+    affected.extend(devices::camera_stream(&env, 9, 3, bp, post, &mut p2));
+    affected.extend(devices::connectivity_check(&env, 10, bp, 6, &mut p2));
+
+    let mut atk_rng = rng.fork(3);
+    let ext = env.external(&mut atk_rng);
+    let attacker = Endpoint {
+        mac: env.gateway.mac,
+        ip: ext.ip,
+    };
+    let attempts = ((ctx.dur / 300_000) as usize).max(8);
+    stream.extend(attacks::brute_force(
+        &env,
+        AttackKind::BruteForceTelnet,
+        attacker,
+        env.device(0),
+        ctx.t0 + ctx.dur / 8,
+        attempts,
+        300_000,
+        &mut atk_rng,
+    ));
+
+    let n_affected = affected.len();
+    stream.extend(affected);
+    (
+        stream,
+        n_affected,
+        vec![Breakpoint {
+            ts_us: bp,
+            kind: BreakpointKind::DeviceChurn,
+        }],
+    )
+}
+
+/// S3: a port scan paced at roughly two probes per second — far below the
+/// flood-style scan in [`attacks::port_scan`] — sweeping device ports from
+/// a quiet local address. Closed ports answer RST.
+fn low_slow_scan(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 47, 0], 10, 4, rng);
+    let bp = ctx.breakpoint();
+    let mut stream = devices::benign_mix(&env, ctx.t0, ctx.dur, ctx.density, &mut rng.fork(2));
+
+    let label = Label::attack(AttackKind::PortScan);
+    let scanner = Endpoint::new(std::net::Ipv4Addr::new(10, 47, 0, 251));
+    let mut scan_rng = rng.fork(3);
+    let mut affected = Vec::new();
+    let mut t = bp;
+    let mut probe = 0u32;
+    const PORTS: [u16; 6] = [22, 23, 80, 443, 1883, 8080];
+    while t < ctx.end {
+        let target = env.device(probe as usize % env.devices.len());
+        let port = PORTS[probe as usize % PORTS.len()];
+        let sport = env.ephemeral_port(&mut scan_rng);
+        let seq = scan_rng.next_u64() as u32;
+        affected.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t,
+                builder::tcp_packet(TcpParams {
+                    src_mac: scanner.mac,
+                    dst_mac: target.mac,
+                    src_ip: scanner.ip,
+                    dst_ip: target.ip,
+                    src_port: sport,
+                    dst_port: port,
+                    seq,
+                    ack: 0,
+                    flags: TcpFlags::SYN,
+                    window: 1024,
+                    ttl: 64,
+                    payload: &[],
+                }),
+            ),
+            label,
+        });
+        // Closed port: RST/ACK straight back.
+        affected.push(LabeledPacket {
+            packet: CapturedPacket::new(
+                t + 400 + scan_rng.below(300),
+                builder::tcp_packet(TcpParams {
+                    src_mac: target.mac,
+                    dst_mac: scanner.mac,
+                    src_ip: target.ip,
+                    dst_ip: scanner.ip,
+                    src_port: port,
+                    dst_port: sport,
+                    seq: 0,
+                    ack: seq.wrapping_add(1),
+                    flags: TcpFlags::RST,
+                    window: 0,
+                    ttl: 64,
+                    payload: &[],
+                }),
+            ),
+            label,
+        });
+        // ~2 probes/s with exponential jitter: low and slow by design.
+        t += 300_000 + (scan_rng.exponential(1.0 / 200_000.0)) as u64;
+        probe += 1;
+    }
+
+    let n_affected = affected.len();
+    stream.extend(affected);
+    (
+        stream,
+        n_affected,
+        vec![Breakpoint {
+            ts_us: bp,
+            kind: BreakpointKind::EvasionOnset,
+        }],
+    )
+}
+
+/// S4: C2 beaconing that reuses the *benign* HTTP poller generator verbatim
+/// — byte-identical to legitimate polling, relabeled malicious. The hardest
+/// case for payload- and rate-based detectors alike.
+fn mimicry_c2(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 48, 0], 10, 4, rng);
+    let bp = ctx.breakpoint();
+    let mut stream = devices::benign_mix(&env, ctx.t0, ctx.dur, ctx.density, &mut rng.fork(2));
+
+    let mut c2 = devices::http_poller(&env, 3, 1, bp, ctx.end - bp, 1_200_000, &mut rng.fork(3));
+    for lp in &mut c2 {
+        lp.label = Label::attack(AttackKind::BotnetTorii);
+    }
+
+    // A visible attack alongside the mimicry keeps both classes present in
+    // every phase for accuracy bookkeeping.
+    let atk_start = ctx.t0 + ctx.dur / 6;
+    stream.extend(attacks::syn_flood(
+        &env,
+        env.device(0),
+        80,
+        atk_start,
+        ctx.end - atk_start,
+        100.0 * ctx.intensity,
+        &mut rng.fork(4),
+    ));
+
+    let n_affected = c2.len();
+    stream.extend(c2);
+    (
+        stream,
+        n_affected,
+        vec![Breakpoint {
+            ts_us: bp,
+            kind: BreakpointKind::EvasionOnset,
+        }],
+    )
+}
+
+/// S5: rate-limited exfiltration — one long-lived connection trickling
+/// small uploads every ~700 ms to an external drop, under flood thresholds.
+fn slow_exfil(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 49, 0], 10, 4, rng);
+    let bp = ctx.breakpoint();
+    let mut stream = devices::benign_mix(&env, ctx.t0, ctx.dur, ctx.density, &mut rng.fork(2));
+
+    let mut exfil_rng = rng.fork(3);
+    let compromised = env.device(2);
+    let drop = env.external(&mut exfil_rng);
+    let mut exchanges = Vec::new();
+    let mut elapsed = 0u64;
+    while elapsed < ctx.end - bp {
+        let chunk = exfil_rng.range(500, 1300);
+        let bytes: Vec<u8> = (0..chunk).map(|_| exfil_rng.next_u64() as u8).collect();
+        let gap = 500_000 + exfil_rng.below(400_000);
+        exchanges.push(Exchange::c2s(bytes, gap));
+        exchanges.push(Exchange::s2c(b"ok".to_vec(), 8_000));
+        elapsed += gap;
+    }
+    let client_port = env.ephemeral_port(&mut exfil_rng);
+    let (exfil, _) = tcp_conversation(
+        TcpConv {
+            start_us: bp,
+            client: compromised,
+            server: drop,
+            client_port,
+            server_port: 443,
+            client_ttl: 64,
+            server_ttl: 52,
+            exchanges: &exchanges,
+            teardown: Teardown::None,
+            rtt_us: 40_000,
+            label: Label::attack(AttackKind::Infiltration),
+        },
+        &mut exfil_rng,
+    );
+
+    let atk_start = ctx.t0 + ctx.dur / 6;
+    stream.extend(attacks::udp_flood(
+        &env,
+        env.device(1),
+        atk_start,
+        ctx.end - atk_start,
+        80.0 * ctx.intensity,
+        &mut rng.fork(4),
+    ));
+
+    let n_affected = exfil.len();
+    stream.extend(exfil);
+    (
+        stream,
+        n_affected,
+        vec![Breakpoint {
+            ts_us: bp,
+            kind: BreakpointKind::EvasionOnset,
+        }],
+    )
+}
+
+/// S6: the network adopts encryption overnight — every post-breakpoint
+/// TCP/UDP frame is rebuilt with an empty payload (headers preserved), so
+/// payload-derived features vanish while flow structure survives.
+fn encrypted_regime(ctx: &ScenarioCtx, rng: &mut Rng) -> Phase {
+    let env = ctx.env([10, 50, 0], 10, 4, rng);
+    let bp = ctx.breakpoint();
+    let mut stream = devices::benign_mix(&env, ctx.t0, ctx.dur, ctx.density, &mut rng.fork(2));
+
+    let atk_start = ctx.t0 + ctx.dur / 6;
+    stream.extend(attacks::web_attack(
+        &env,
+        env.device(0),
+        atk_start,
+        ((30.0 * ctx.intensity) as usize + 8).max(8),
+        400_000,
+        &mut rng.fork(3),
+    ));
+    // DNS keeps humming in both regimes (rebuilt empty after bp like
+    // everything else) so the capture has UDP on both sides.
+    stream.extend(devices::dns_chatter(
+        &env,
+        1,
+        ctx.t0,
+        ctx.dur,
+        2_500_000,
+        &mut rng.fork(4),
+    ));
+
+    let mut affected = 0usize;
+    for lp in &mut stream {
+        if lp.packet.ts_us < bp {
+            continue;
+        }
+        if let Some(rebuilt) = strip_payload(&lp.packet) {
+            lp.packet = rebuilt;
+            affected += 1;
+        }
+    }
+    (
+        stream,
+        affected,
+        vec![Breakpoint {
+            ts_us: bp,
+            kind: BreakpointKind::RegimeChange,
+        }],
+    )
+}
+
+/// Rebuilds a TCP/UDP frame with an empty payload, preserving addresses,
+/// ports, sequence state, flags, and TTL. Returns `None` for frames that
+/// carry no payload (nothing to strip) or are not TCP/UDP over IPv4.
+fn strip_payload(packet: &CapturedPacket) -> Option<CapturedPacket> {
+    let meta = PacketMeta::parse(LinkType::Ethernet, packet.ts_us, &packet.data).ok()?;
+    let Ipv4Meta { src, dst, ttl, .. } = meta.ipv4?;
+    match meta.transport {
+        TransportMeta::Tcp {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            payload_len,
+            ..
+        } => {
+            if payload_len == 0 {
+                return None;
+            }
+            Some(CapturedPacket::new(
+                packet.ts_us,
+                builder::tcp_packet(TcpParams {
+                    src_mac: meta.src_mac,
+                    dst_mac: meta.dst_mac,
+                    src_ip: src,
+                    dst_ip: dst,
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                    window,
+                    ttl,
+                    payload: &[],
+                }),
+            ))
+        }
+        TransportMeta::Udp {
+            src_port,
+            dst_port,
+            payload_len,
+            ..
+        } => {
+            if payload_len == 0 {
+                return None;
+            }
+            Some(CapturedPacket::new(
+                packet.ts_us,
+                builder::udp_packet(UdpParams {
+                    src_mac: meta.src_mac,
+                    dst_mac: meta.dst_mac,
+                    src_ip: src,
+                    dst_ip: dst,
+                    src_port,
+                    dst_port,
+                    ttl,
+                    payload: &[],
+                }),
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthScale;
+
+    fn small() -> SynthScale {
+        SynthScale::small()
+    }
+
+    #[test]
+    fn every_scenario_builds_nonempty_with_ground_truth() {
+        for id in ScenarioId::ALL {
+            let (cap, report) = build_scenario(id, small(), 42);
+            assert!(!cap.is_empty(), "{} empty", id.code());
+            assert!(
+                !report.breakpoints.is_empty(),
+                "{} has no breakpoints",
+                id.code()
+            );
+            assert_eq!(report.total_packets, cap.len());
+            assert!(report.affected_packets > 0, "{} affected=0", id.code());
+            assert!(
+                report.malicious_packets > 0,
+                "{} has no malicious packets",
+                id.code()
+            );
+            assert!(
+                report.malicious_packets < cap.len(),
+                "{} has no benign packets",
+                id.code()
+            );
+            let t0 = 1_000_000u64;
+            let end = t0 + (small().duration_s * 1e6) as u64;
+            for bp in &report.breakpoints {
+                assert!(
+                    bp.ts_us > t0 && bp.ts_us < end,
+                    "{} breakpoint {} outside capture",
+                    id.code(),
+                    bp.ts_us
+                );
+            }
+            assert!(
+                report
+                    .breakpoints
+                    .windows(2)
+                    .all(|w| w[0].ts_us < w[1].ts_us),
+                "{} breakpoints unordered",
+                id.code()
+            );
+            assert!(cap.packets.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let (a, ra) = build_scenario(ScenarioId::DeviceChurn, small(), 7);
+        let (b, rb) = build_scenario(ScenarioId::DeviceChurn, small(), 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.packets[20].data, b.packets[20].data);
+        assert_eq!(ra.breakpoints, rb.breakpoints);
+        let (c, _) = build_scenario(ScenarioId::DeviceChurn, small(), 8);
+        assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn encrypted_regime_zeroes_post_breakpoint_payloads() {
+        let (cap, report) = build_scenario(ScenarioId::EncryptedRegime, small(), 11);
+        let bp = report.breakpoints[0].ts_us;
+        let mut checked = 0;
+        for p in &cap.packets {
+            if p.ts_us < bp {
+                continue;
+            }
+            let Ok(meta) = PacketMeta::parse(LinkType::Ethernet, p.ts_us, &p.data) else {
+                continue;
+            };
+            match meta.transport {
+                TransportMeta::Tcp { payload_len, .. } | TransportMeta::Udp { payload_len, .. } => {
+                    assert_eq!(payload_len, 0, "payload survived at ts {}", p.ts_us);
+                    checked += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(checked > 50, "too few post-breakpoint frames ({checked})");
+        // And pre-breakpoint payloads are untouched.
+        let pre_payload = cap.packets.iter().any(|p| {
+            p.ts_us < bp
+                && PacketMeta::parse(LinkType::Ethernet, p.ts_us, &p.data)
+                    .map(|m| m.transport.payload_len() > 0)
+                    .unwrap_or(false)
+        });
+        assert!(pre_payload, "no pre-breakpoint payloads found");
+    }
+
+    #[test]
+    fn mimicry_c2_relabels_benign_bytes_as_torii() {
+        let (cap, report) = build_scenario(ScenarioId::MimicryC2, small(), 13);
+        let bp = report.breakpoints[0].ts_us;
+        let torii: Vec<u64> = cap
+            .packets
+            .iter()
+            .zip(&cap.labels)
+            .filter(|(_, l)| l.attack == Some(AttackKind::BotnetTorii))
+            .map(|(p, _)| p.ts_us)
+            .collect();
+        assert!(!torii.is_empty(), "no mimicry packets");
+        assert!(
+            torii.iter().all(|&ts| ts >= bp),
+            "mimicry traffic before its onset breakpoint"
+        );
+    }
+
+    #[test]
+    fn low_slow_scan_is_actually_slow() {
+        let (cap, _) = build_scenario(ScenarioId::LowSlowScan, small(), 17);
+        let mut syn_ts: Vec<u64> = Vec::new();
+        for (p, l) in cap.packets.iter().zip(&cap.labels) {
+            if l.attack != Some(AttackKind::PortScan) {
+                continue;
+            }
+            let Ok(meta) = PacketMeta::parse(LinkType::Ethernet, p.ts_us, &p.data) else {
+                continue;
+            };
+            if meta.transport.tcp_flags().map(|f| f.syn()) == Some(true) {
+                syn_ts.push(p.ts_us);
+            }
+        }
+        assert!(syn_ts.len() > 5, "too few probes ({})", syn_ts.len());
+        // Probes are spaced at least 250 ms apart — nothing flood-like.
+        assert!(
+            syn_ts.windows(2).all(|w| w[1] - w[0] >= 250_000),
+            "probe spacing below low-and-slow floor"
+        );
+    }
+
+    #[test]
+    fn codes_and_names_parse_back() {
+        for id in ScenarioId::ALL {
+            assert_eq!(ScenarioId::parse(id.code()), Some(id));
+            assert_eq!(ScenarioId::parse(id.name()), Some(id));
+        }
+        assert_eq!(ScenarioId::parse("no-such"), None);
+        assert_eq!(ScenarioId::parse("DEVICE-CHURN"), Some(ScenarioId::DeviceChurn));
+    }
+
+    #[test]
+    fn diurnal_cycle_has_multiple_breakpoints() {
+        let (_, report) = build_scenario(ScenarioId::DiurnalCycle, small(), 19);
+        assert_eq!(report.breakpoints.len(), 3);
+        assert!(report
+            .breakpoints
+            .iter()
+            .all(|b| b.kind == BreakpointKind::RateCycle));
+    }
+
+    #[test]
+    fn scenario_families_cover_all_three() {
+        use std::collections::HashSet;
+        let fams: HashSet<&str> = ScenarioId::ALL.iter().map(|s| s.family().name()).collect();
+        assert_eq!(fams.len(), 3);
+    }
+}

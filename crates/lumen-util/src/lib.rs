@@ -19,6 +19,6 @@ pub mod shutdown;
 pub mod stats;
 
 pub use cancel::{CancelToken, Cancelled};
-pub use ring::{ring, RingClosed, RingMonitor, RingReceiver, RingSender, TrySendError};
+pub use ring::{ring, RingClosed, RingMonitor, RingReceiver, RingSender, TryRecvError, TrySendError};
 pub use rng::Rng;
 pub use stats::{OnlineStats, Summary};

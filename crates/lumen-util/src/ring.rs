@@ -229,12 +229,43 @@ impl<T> RingReceiver<T> {
         }
     }
 
+    /// Non-blocking dequeue: `Ok(item)` when one is ready,
+    /// `Err(TryRecvError::Empty)` when the ring is open but idle, and
+    /// `Err(TryRecvError::Closed)` once every sender dropped and the queue
+    /// drained. A stage that must keep servicing its main input while also
+    /// watching a side channel — the serve scorer polling for a finished
+    /// background retrain — uses this instead of a blocking [`recv`].
+    ///
+    /// [`recv`]: RingReceiver::recv
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        if let Some(item) = st.queue.pop_front() {
+            self.shared.writable.notify_one();
+            return Ok(item);
+        }
+        if st.closed {
+            Err(TryRecvError::Closed)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
     /// A passive depth probe for this ring (see [`RingMonitor`]).
     pub fn monitor(&self) -> RingMonitor<T> {
         RingMonitor {
             shared: Arc::clone(&self.shared),
         }
     }
+}
+
+/// Error returned by [`RingReceiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The ring is open but has nothing queued right now.
+    Empty,
+    /// Every sender dropped and the queue has drained; no item will ever
+    /// arrive again.
+    Closed,
 }
 
 impl<T> Drop for RingReceiver<T> {
@@ -383,6 +414,42 @@ mod tests {
         let (tx, _rx) = ring::<u8>(0);
         tx.try_send(1).unwrap();
         assert!(matches!(tx.try_send(2), Err(TrySendError::Full(_))));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_closed() {
+        let (tx, rx) = ring::<u32>(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(11).unwrap();
+        tx.send(12).unwrap();
+        assert_eq!(rx.try_recv(), Ok(11));
+        drop(tx);
+        // Queued items still drain after close; only then is it Closed.
+        assert_eq!(rx.try_recv(), Ok(12));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+    }
+
+    #[test]
+    fn try_recv_frees_a_slot_for_blocked_senders() {
+        let (tx, rx) = ring::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                tx.send(2).unwrap(); // blocks until try_recv below frees a slot
+                drop(tx);
+            });
+            loop {
+                match rx.try_recv() {
+                    Ok(1) => continue,
+                    Ok(2) => break,
+                    Ok(other) => panic!("unexpected item {other}"),
+                    Err(TryRecvError::Empty) => std::thread::yield_now(),
+                    Err(TryRecvError::Closed) => panic!("closed before item 2"),
+                }
+            }
+            h.join().unwrap();
+        });
     }
 
     #[test]
